@@ -1,0 +1,47 @@
+//! Censor throughput by policy: the procedural checks are cheap — the
+//! paper's "fairly simple censor".
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sep_components::component::TestIo;
+use sep_components::snfe::{Censor, CensorPolicy, Header};
+use sep_components::Component;
+
+fn censor_throughput(c: &mut Criterion) {
+    let frames: Vec<Vec<u8>> = (0..256u16)
+        .map(|seq| {
+            Header {
+                seq,
+                len: 64,
+                dst: (seq % 4) as u8,
+                pad: 0,
+            }
+            .encode()
+            .to_vec()
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("censor");
+    group.throughput(Throughput::Elements(frames.len() as u64));
+    for (name, policy) in [
+        ("off", CensorPolicy::off()),
+        ("format", CensorPolicy::format_only()),
+        ("canonical", CensorPolicy::canonical()),
+        ("strict", CensorPolicy::strict()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut censor = Censor::new(policy);
+                let mut io = TestIo::new();
+                for f in &frames {
+                    io.push("red.in", f);
+                }
+                censor.step(&mut io);
+                io.take_sent("black.out").len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, censor_throughput);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Information Flow Analysis cost: parsing and certification scale with
+//! program size, independent of the state space — IFA's genuine strength.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sep_flow::{certify, parse};
+use sep_policy::lattice::TwoPoint;
+use std::collections::HashMap;
+
+fn big_program(statements: usize) -> String {
+    let mut src = String::from("var l : low; var h : high; var a : low[16];\n");
+    for i in 0..statements {
+        match i % 4 {
+            0 => src.push_str("l := l + 1;\n"),
+            1 => src.push_str("h := h + l;\n"),
+            2 => src.push_str("if l = 0 then l := 2; else l := 3; end\n"),
+            _ => src.push_str("while l > 4 do l := l - 1; end\n"),
+        }
+    }
+    src
+}
+
+fn ifa_costs(c: &mut Criterion) {
+    let classes: HashMap<String, TwoPoint> = HashMap::from([
+        ("low".to_string(), TwoPoint::Low),
+        ("high".to_string(), TwoPoint::High),
+    ]);
+
+    let mut group = c.benchmark_group("ifa");
+    for n in [50usize, 200, 800] {
+        let src = big_program(n);
+        group.bench_function(format!("parse_{n}_statements"), |b| {
+            b.iter(|| parse(&src).unwrap());
+        });
+        let program = parse(&src).unwrap();
+        group.bench_function(format!("certify_{n}_statements"), |b| {
+            b.iter(|| certify(&program, &classes).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ifa_costs);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Separation-kernel overhead: raw step rate, context-switch rate, and
+//! full message round trips between machine-code regimes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sep_bench::register_workload;
+use sep_kernel::config::{KernelConfig, RegimeSpec};
+use sep_kernel::kernel::SeparationKernel;
+
+fn kernel_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel");
+
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("steps_2_regimes", |b| {
+        let template = SeparationKernel::boot(register_workload(2)).unwrap();
+        b.iter_batched(
+            || template.clone(),
+            |mut k| k.run(1000),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+
+    // Message ping-pong: one SEND + one RECV per cycle.
+    let sender = "
+start:  MOV #0, R0
+        MOV #msg, R1
+        MOV #8, R2
+        TRAP 1
+        TRAP 0
+        BR start
+msg:    .word 1, 2, 3, 4
+";
+    let receiver = "
+start:  MOV #0, R0
+        MOV #buf, R1
+        MOV #16, R2
+        TRAP 2
+        TRAP 0
+        BR start
+buf:    .blkw 8
+";
+    let cfg = KernelConfig::new(vec![
+        RegimeSpec::assembly("tx", sender),
+        RegimeSpec::assembly("rx", receiver),
+    ])
+    .with_channel(0, 1, 4);
+    let template = SeparationKernel::boot(cfg).unwrap();
+    group.bench_function("message_pipeline_1000_steps", |b| {
+        b.iter_batched(
+            || template.clone(),
+            |mut k| {
+                k.run(1000);
+                k.stats.messages_sent
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, kernel_overhead);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Machine-substrate throughput: instruction execution and assembly.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sep_machine::{assemble, Machine};
+
+const SUM_LOOP: &str = "
+        CLR R0
+        MOV #1000, R1
+loop:   ADD R1, R0
+        SOB R1, loop
+        HALT
+";
+
+fn machine_throughput(c: &mut Criterion) {
+    let prog = assemble(SUM_LOOP).unwrap();
+    let mut group = c.benchmark_group("machine");
+    group.throughput(Throughput::Elements(2003)); // instructions per run
+    group.bench_function("sum_loop_2003_instructions", |b| {
+        b.iter(|| {
+            let mut m = Machine::new();
+            m.mem.load_words(0, &prog.words);
+            m.cpu.set_reg(6, 0o10000);
+            m.run_until_event(10_000).unwrap()
+        });
+    });
+    group.finish();
+
+    c.bench_function("assemble_sum_loop", |b| {
+        b.iter(|| assemble(SUM_LOOP).unwrap());
+    });
+}
+
+criterion_group!(benches, machine_throughput);
+criterion_main!(benches);

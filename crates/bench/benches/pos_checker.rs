@@ -1,0 +1,37 @@
+//! Proof of Separability checker cost on three systems of increasing
+//! realism: the demo machine, the SWAP machine, and the real kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sep_bench::register_workload;
+use sep_flow::swap::SwapMachine;
+use sep_kernel::verify::KernelSystem;
+use sep_model::check::SeparabilityChecker;
+use sep_model::demo::DemoMachine;
+
+fn pos_costs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pos_checker");
+
+    let demo = DemoMachine::secure(4);
+    let demo_abs = demo.abstractions();
+    group.bench_function("demo_machine_32_states", |b| {
+        b.iter(|| SeparabilityChecker::new().check(&demo, &demo_abs));
+    });
+
+    let swap = SwapMachine::new(3);
+    let swap_abs = swap.abstractions();
+    group.bench_function("swap_machine_1458_states", |b| {
+        b.iter(|| SeparabilityChecker::new().check(&swap, &swap_abs));
+    });
+
+    let sys = KernelSystem::new(register_workload(2)).unwrap();
+    let abs = sys.abstractions();
+    group.sample_size(10);
+    group.bench_function("separation_kernel_2_regimes", |b| {
+        b.iter(|| SeparabilityChecker::new().check(&sys, &abs));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, pos_costs);
+criterion_main!(benches);

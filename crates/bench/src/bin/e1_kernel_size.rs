@@ -1,0 +1,172 @@
+//! E1 — "minimally small and very simple": the separation kernel's
+//! mechanism footprint versus the conventional policy-enforcing kernel's,
+//! on equivalent four-party workloads.
+//!
+//! The paper reports the SUE at ~5K words including stack and data. We
+//! measure our two kernels' *mechanism*: source lines, system-call kinds,
+//! and — dynamically — the mediation work per application operation.
+
+use sep_bench::{header, row};
+use sep_kernel::config::DeviceSpec;
+use sep_kernel::conventional::{ConvAction, ConvIo, ConvProcess, ConventionalKernel};
+use sep_kernel::kernel::SeparationKernel;
+use sep_policy::level::{Classification, SecurityLevel};
+
+/// Counts non-empty, non-comment source lines, excluding test modules.
+fn loc(src: &str) -> usize {
+    src.split("#[cfg(test)]")
+        .next()
+        .unwrap_or("")
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("//") && !l.starts_with("//!"))
+        .count()
+}
+
+/// A conventional-kernel process doing `ops` create/write/read/delete
+/// cycles at its own level.
+struct Churner {
+    name: String,
+    level: SecurityLevel,
+    ops: usize,
+    done: usize,
+}
+
+impl ConvProcess for Churner {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn step(&mut self, io: &mut dyn ConvIo) -> ConvAction {
+        if self.done >= self.ops {
+            return ConvAction::Exit;
+        }
+        let name = format!("{}-{}", self.name, self.done);
+        if let Ok(obj) = io.create(&name, self.level) {
+            let _ = io.write(obj, b"payload");
+            let _ = io.read(obj);
+            let _ = io.delete(obj);
+        }
+        self.done += 1;
+        ConvAction::Continue
+    }
+}
+
+fn main() {
+    println!("# E1: kernel size and mediation footprint\n");
+
+    // Static mechanism size (non-comment source lines of the enforcing
+    // mechanism itself).
+    let sep_kernel_src = concat!(
+        include_str!("../../../kernel/src/kernel.rs"),
+        include_str!("../../../kernel/src/channel.rs"),
+        include_str!("../../../kernel/src/regime.rs"),
+    );
+    let conv_src = concat!(
+        include_str!("../../../kernel/src/conventional.rs"),
+        include_str!("../../../policy/src/blp.rs"),
+    );
+    println!("## mechanism size and TCB composition\n");
+    println!("(the conventional figure is its *policy engine only* — it would still");
+    println!("need everything in the separation column to actually isolate processes)\n");
+    header(&["kernel", "LoC", "of which policy", "syscall kinds", "TCB"]);
+    row(&[
+        "separation (SUE-style)".into(),
+        loc(sep_kernel_src).to_string(),
+        "0".into(),
+        "5 (SWAP, SEND, RECV, POLL, MYID)".into(),
+        "kernel only".into(),
+    ]);
+    row(&[
+        "conventional policy engine (KSOS-style)".into(),
+        loc(conv_src).to_string(),
+        loc(conv_src).to_string(),
+        "7 (create/read/write/append/delete/list/set-level)".into(),
+        "kernel + every trusted process".into(),
+    ]);
+
+    // Dynamic mediation per operation: four regimes exchanging messages vs
+    // four MLS processes churning files.
+    println!("\n## dynamic mediation on a four-party workload\n");
+
+    let sender = |chan: usize| {
+        format!(
+            "
+start:  MOV #{chan}, R0
+        MOV #msg, R1
+        MOV #4, R2
+        TRAP 1
+        TRAP 0
+        BR start
+msg:    .byte 1, 2, 3, 4
+        .even
+"
+        )
+    };
+    let receiver = |chan: usize| {
+        format!(
+            "
+start:  MOV #{chan}, R0
+        MOV #buf, R1
+        MOV #8, R2
+        TRAP 2
+        TRAP 0
+        BR start
+buf:    .blkw 4
+"
+        )
+    };
+    let cfg = sep_kernel::config::KernelConfig::new(vec![
+        sep_kernel::config::RegimeSpec::assembly("s0", &sender(0)),
+        sep_kernel::config::RegimeSpec::assembly("r0", &receiver(0)),
+        sep_kernel::config::RegimeSpec::assembly("s1", &sender(1)),
+        sep_kernel::config::RegimeSpec::assembly("r1", &receiver(1)),
+    ])
+    .with_channel(0, 1, 4)
+    .with_channel(2, 3, 4);
+    let _ = DeviceSpec::Serial; // devices exist; this workload needs none
+    let mut k = SeparationKernel::boot(cfg).unwrap();
+    k.run(4000);
+    let app_ops = k.stats.messages_sent;
+    let kernel_touches = k.stats.syscalls.iter().sum::<u64>() + k.stats.swaps;
+
+    let mut conv = ConventionalKernel::new();
+    for (i, class) in Classification::ALL.iter().enumerate() {
+        conv.add_process(
+            Box::new(Churner {
+                name: format!("p{i}"),
+                level: SecurityLevel::plain(*class),
+                ops: 50,
+                done: 0,
+            }),
+            SecurityLevel::plain(*class),
+            false,
+        );
+    }
+    conv.run(60);
+    let conv_app_ops = 4 * 50 * 4; // processes × cycles × ops per cycle
+
+    header(&["kernel", "app operations", "kernel interventions", "policy checks", "per app-op"]);
+    row(&[
+        "separation".into(),
+        app_ops.to_string(),
+        kernel_touches.to_string(),
+        "0 (no policy in kernel)".into(),
+        format!("{:.2}", kernel_touches as f64 / app_ops as f64),
+    ]);
+    row(&[
+        "conventional".into(),
+        conv_app_ops.to_string(),
+        conv.stats.syscalls.to_string(),
+        conv.stats.mediations.to_string(),
+        format!("{:.2}", conv.stats.mediations as f64 / conv_app_ops as f64),
+    ]);
+
+    println!(
+        "\npaper claim: the SUE \"is indeed small and simple\"; policy enforcement is\n\
+         not the kernel's concern. Measured: the separation kernel performs zero\n\
+         policy checks (vs {:.2} per application operation on the conventional\n\
+         kernel), and its per-operation intervention is a constant-cost copy/switch.",
+        conv.stats.mediations as f64 / conv_app_ops as f64
+    );
+}

@@ -1,0 +1,83 @@
+//! E4 — the censor's effect on covert bypass bandwidth: three exfiltration
+//! encodings swept against four censor policies.
+//!
+//! The accomplice taps the bypass downstream of the censor (the black
+//! software, in the paper's threat model, is exactly such an accomplice:
+//! unverified code on the network side). Bandwidth is what the accomplice
+//! actually recovers, discounted by the bit error rate.
+
+use sep_bench::{header, row};
+use sep_components::component::TestIo;
+use sep_components::Component;
+use sep_components::snfe::{
+    decode_exfiltration, Censor, CensorPolicy, ExfilMode, Header, MaliciousRed,
+};
+use sep_covert::channel::score_transfer;
+
+/// One host frame per round, one censor round per red round.
+fn run(mode: ExfilMode, policy: CensorPolicy, secret: &[u8]) -> (u64, usize, f64, f64) {
+    let rounds = (secret.len() * 8 + 16) as u64;
+    let mut red = MaliciousRed::new(mode, secret.to_vec());
+    let mut censor = Censor::new(policy);
+    let mut red_io = TestIo::new();
+    let mut censor_io = TestIo::new();
+    let mut survivors: Vec<Header> = Vec::new();
+    for round in 0..rounds {
+        red_io.now = round;
+        red_io.push("host.in", format!("cover traffic {round}").as_bytes());
+        red.step(&mut red_io);
+        censor_io.now = round;
+        for frame in red_io.take_sent("bypass.out") {
+            censor_io.push("red.in", &frame);
+        }
+        censor.step(&mut censor_io);
+        survivors.extend(
+            censor_io
+                .take_sent("black.out")
+                .iter()
+                .filter_map(|f| Header::decode(f)),
+        );
+    }
+    let recovered = decode_exfiltration(mode, &survivors);
+    let score = score_transfer(secret, &recovered, rounds);
+    (rounds, survivors.len(), score.error_rate, score.bits_per_round)
+}
+
+fn main() {
+    println!("# E4: covert bandwidth over the cleartext bypass\n");
+    println!("malicious red exfiltrates a secret through bypass headers; the");
+    println!("accomplice taps the bypass after the censor. bandwidth = covert");
+    println!("bits/round surviving, discounted by bit error (BSC capacity).\n");
+
+    let secret = b"OPERATION-SWORDFISH-AT-DAWN";
+    let policies = [
+        ("off", CensorPolicy::off()),
+        ("format", CensorPolicy::format_only()),
+        ("canonical", CensorPolicy::canonical()),
+        ("strict", CensorPolicy::strict()),
+    ];
+    for (mode_name, mode) in [
+        ("pad byte (8 bits/header)", ExfilMode::PadByte),
+        ("dst low bit (1 bit/header)", ExfilMode::DstBits),
+        ("header bursts (1 bit/packet)", ExfilMode::ExtraHeaders),
+    ] {
+        println!("## encoding: {mode_name}\n");
+        header(&["censor policy", "rounds", "headers passed", "bit error", "covert bits/round"]);
+        for (policy_name, policy) in policies {
+            let (rounds, passed, err, bw) = run(mode, policy, secret);
+            row(&[
+                policy_name.into(),
+                rounds.to_string(),
+                passed.to_string(),
+                format!("{:.1}%", err * 100.0),
+                format!("{bw:.4}"),
+            ]);
+        }
+        println!();
+    }
+    println!("paper claim: \"a fairly simple censor can reduce the bandwidth available");
+    println!("for illicit communication over the bypass to an acceptable level.\"");
+    println!("measured shape: format checks stop raw cleartext; canonicalization");
+    println!("kills the free pad channel; rate limiting throttles what survives in");
+    println!("semantic fields and timing.");
+}

@@ -1,0 +1,86 @@
+//! E6 — "cannot distinguish this shared environment from a physically
+//! distributed one": identical component suites on both substrates, with
+//! observation-stream comparison and kernel overhead measurement.
+
+use sep_bench::{header, row, timed};
+use sep_components::snfe::{BlackComponent, Censor, CensorPolicy, CryptoBox, RedComponent};
+use sep_components::util::{Sink, Source};
+use sep_core::spec::SystemSpec;
+use sep_core::traced::{logs_equal, PortLog, Traced};
+
+fn snfe_spec(frames: usize) -> (SystemSpec, Vec<PortLog>) {
+    let mut spec = SystemSpec::new();
+    let mut logs = Vec::new();
+    let mut add = |spec: &mut SystemSpec, name: &str, c: Box<dyn sep_components::Component>| {
+        let (t, log) = Traced::new(c);
+        logs.push(log);
+        spec.add(name, t)
+    };
+    let host_frames: Vec<Vec<u8>> = (0..frames)
+        .map(|i| format!("payload {i}").into_bytes())
+        .collect();
+    let host = add(&mut spec, "host", Box::new(Source::new("host", host_frames)));
+    let red = add(&mut spec, "red", Box::new(RedComponent::new(1)));
+    let crypto = add(&mut spec, "crypto", Box::new(CryptoBox::new([5, 6, 7, 8])));
+    let censor = add(&mut spec, "censor", Box::new(Censor::new(CensorPolicy::canonical())));
+    let black = add(&mut spec, "black", Box::new(BlackComponent::new()));
+    let net = add(&mut spec, "network", Box::new(Sink::new("network")));
+    spec.connect(host, "out", red, "host.in", 64);
+    spec.connect(red, "crypto.out", crypto, "in", 64);
+    spec.connect(crypto, "out", black, "crypto.in", 64);
+    spec.connect(red, "bypass.out", censor, "red.in", 64);
+    spec.connect(censor, "black.out", black, "bypass.in", 64);
+    spec.connect(black, "net.out", net, "in", 64);
+    (spec, logs)
+}
+
+fn main() {
+    println!("# E6: indistinguishability of the two substrates\n");
+
+    header(&["frames", "streams compared", "divergent streams", "net frames", "kernel steps/msg", "dist ms", "kernel ms"]);
+    for frames in [4usize, 16, 64] {
+        let rounds = (frames as u64 + 30) * 2;
+
+        let (spec_a, logs_a) = snfe_spec(frames);
+        let (net, dist_ms) = timed(|| {
+            let mut n = spec_a.build_network();
+            n.run(rounds);
+            n
+        });
+
+        let (spec_b, logs_b) = snfe_spec(frames);
+        let n_comps = spec_b.len() as u64;
+        let (kernel, kern_ms) = timed(|| {
+            let mut k = spec_b.build_kernel().unwrap();
+            k.run(rounds * n_comps);
+            k
+        });
+
+        let mut streams = 0usize;
+        let mut divergent = 0usize;
+        for (a, b) in logs_a.iter().zip(logs_b.iter()) {
+            streams += a.borrow().len().max(b.borrow().len());
+            if logs_equal(a, b).is_err() {
+                divergent += 1;
+            }
+        }
+        let net_frames = logs_a[5].borrow().get("in/rx").map(|v| v.len()).unwrap_or(0);
+        let steps_per_msg = kernel.stats.steps as f64 / kernel.stats.messages_sent.max(1) as f64;
+        let _ = net.round();
+        row(&[
+            frames.to_string(),
+            streams.to_string(),
+            divergent.to_string(),
+            net_frames.to_string(),
+            format!("{steps_per_msg:.1}"),
+            format!("{dist_ms:.1}"),
+            format!("{kern_ms:.1}"),
+        ]);
+    }
+
+    println!("\npaper claim: the kernel provides each component \"an environment which");
+    println!("is indistinguishable from that which would be provided by a truly and");
+    println!("physically distributed system.\" Measured: every per-port observation");
+    println!("stream is identical across the two realizations; the kernel's cost is");
+    println!("a bounded number of steps per message (copying and switching).");
+}

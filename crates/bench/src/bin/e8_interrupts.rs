@@ -1,0 +1,149 @@
+//! E8 — interrupt handling is security-relevant: delivery latency under
+//! storm, isolation of interrupt traffic, the misrouting mutant, and the
+//! DMA threat.
+
+use sep_bench::{header, row, timed};
+use sep_kernel::config::{DeviceSpec, KernelConfig, Mutation, RegimeSpec};
+use sep_kernel::kernel::SeparationKernel;
+use sep_kernel::verify::KernelSystem;
+use sep_model::check::SeparabilityChecker;
+use sep_machine::asm::assemble;
+
+/// A regime that counts clock interrupts through its vector table.
+const CLOCKED: &str = "
+        BR start
+        .org 0o100
+        .word handler, 0
+        .org 0o200
+start:  MOV #0o160000, R4
+        MOV #0o100, (R4)    ; clock interrupt enable
+loop:   WAIT                ; sleep until the next interrupt
+        BR loop
+handler: INC ticks
+        RTI
+ticks:  .word 0
+";
+
+/// A busy bystander with no devices.
+const BYSTANDER: &str = "
+start:  INC counter
+        TRAP 0
+        BR start
+counter: .word 0
+";
+
+fn main() {
+    println!("# E8: interrupts, latency, isolation, and the DMA threat\n");
+
+    // Latency and throughput under different clock rates.
+    println!("## interrupt delivery under load\n");
+    header(&["clock period", "steps", "fielded", "delivered", "handler runs", "bystander progress"]);
+    for period in [4u32, 8, 16, 64] {
+        let cfg = KernelConfig::new(vec![
+            RegimeSpec::assembly("clocked", CLOCKED).with_device(DeviceSpec::Clock { period }),
+            RegimeSpec::assembly("bystander", BYSTANDER),
+        ]);
+        let mut k = SeparationKernel::boot(cfg).unwrap();
+        let steps = 3000u64;
+        k.run(steps);
+        let ticks_addr = assemble(CLOCKED).unwrap().symbol("ticks").unwrap();
+        let ticks = k.machine.mem.read_word(k.regimes[0].partition_base + ticks_addr as u32);
+        let counter_addr = assemble(BYSTANDER).unwrap().symbol("counter").unwrap();
+        let counter = k.machine.mem.read_word(k.regimes[1].partition_base + counter_addr as u32);
+        row(&[
+            period.to_string(),
+            steps.to_string(),
+            k.stats.interrupts_fielded.to_string(),
+            k.stats.interrupts_delivered.to_string(),
+            ticks.to_string(),
+            counter.to_string(),
+        ]);
+    }
+
+    // Interrupt isolation under Proof of Separability, correct vs misrouted.
+    println!("\n## interrupt routing under Proof of Separability\n");
+    let clocked_yielding = "
+start:  MOV #0o160000, R4
+        MOV #0o100, (R4)
+loop:   TRAP 0
+        BR loop
+";
+    let bystander_bounded = "
+start:  INC R1
+        BIC #0o177774, R1
+        TRAP 0
+        BR start
+";
+    header(&["routing", "states", "checks", "verdict", "ms"]);
+    for (name, mutation) in [("correct", Mutation::None), ("misrouted", Mutation::MisrouteInterrupts)] {
+        let mut cfg = KernelConfig::new(vec![
+            RegimeSpec::assembly("owner", clocked_yielding).with_device(DeviceSpec::Clock { period: 3 }),
+            RegimeSpec::assembly("bystander", bystander_bounded),
+        ]);
+        cfg.mutation = mutation;
+        let sys = KernelSystem::new(cfg).unwrap();
+        let abstractions = sys.abstractions();
+        let (report, ms) = timed(|| SeparabilityChecker::new().check(&sys, &abstractions));
+        row(&[
+            name.into(),
+            report.states.to_string(),
+            report.total_checks().to_string(),
+            if report.is_separable() { "SEPARABLE".into() } else { "VIOLATED".to_string() },
+            format!("{ms:.0}"),
+        ]);
+    }
+
+    // The DMA threat, demonstrated on the bare machine.
+    println!("\n## DMA versus the MMU (bare machine)\n");
+    header(&["configuration", "outcome"]);
+    {
+        use sep_machine::dev::dma::{DmaDisk, CSR_GO};
+        use sep_machine::Device;
+        let build = |allow: bool| {
+            let mut m = sep_machine::Machine::new();
+            m.allow_dma = allow;
+            let disk = m.devices.attach(Box::new(DmaDisk::new(0o777440, 0o220)));
+            {
+                let d = m.devices.downcast_mut::<DmaDisk>(disk).unwrap();
+                d.host_fill_sector(0, b"DMA payload!");
+                d.write_reg(2, 0o1000);
+                d.write_reg(4, 6);
+                d.write_reg(0, CSR_GO);
+            }
+            let ev = m.step();
+            (ev, m.mem.range(0o1000, 12).to_vec())
+        };
+        let (ev, mem) = build(false);
+        row(&[
+            "DMA excluded (the SUE stance)".into(),
+            format!("{ev:?}; memory untouched: {}", mem.iter().all(|&b| b == 0)),
+        ]);
+        let (_, mem) = build(true);
+        row(&[
+            "DMA permitted".into(),
+            format!(
+                "physical memory overwritten behind the MMU: {:?}",
+                String::from_utf8_lossy(&mem)
+            ),
+        ]);
+    }
+
+    // Kernel-level refusal at generation time.
+    let refused = SeparationKernel::boot(KernelConfig::new(vec![
+        RegimeSpec::assembly("r", "HALT").with_device(DeviceSpec::DmaDisk),
+    ]));
+    println!(
+        "\nseparation kernel with a DMA device: {}\n",
+        match refused {
+            Err(e) => format!("refused at boot — {e}"),
+            Ok(_) => "accepted (BUG)".into(),
+        }
+    );
+
+    println!("paper claims: the kernel's interrupt role is only \"to field interrupts");
+    println!("... and pass them on to the appropriate regime\"; DMA \"evades the");
+    println!("protection of the memory management hardware\" and is \"permanently");
+    println!("excluded.\" Measured: delivery tracks device rate without disturbing the");
+    println!("bystander; PoS verifies correct routing and catches misrouting; DMA");
+    println!("demonstrably bypasses the MMU and is refused at system generation.");
+}

@@ -1,0 +1,86 @@
+//! E9 — the "cut the wires" argument: cost and discrimination of channel
+//! verification on shared-object systems.
+
+use sep_bench::{header, row, timed};
+use sep_model::cut::{verify_channels_exhaustive, CutVerificationError};
+use sep_model::objects::{ObjRef, ObjectSystem};
+
+/// A chain system: n colours in a pipeline, each with private state and a
+/// declared channel to the next.
+fn chain(n: usize, hidden_channel: bool) -> (ObjectSystem, Vec<ObjRef>) {
+    let mut sys = ObjectSystem::new(3);
+    let colours: Vec<usize> = (0..n).map(|i| sys.add_colour(&format!("c{i}"))).collect();
+    let privates: Vec<ObjRef> = (0..n).map(|i| sys.add_object(&format!("p{i}"), 0)).collect();
+    let mut channels = Vec::new();
+    for i in 0..n - 1 {
+        let x = sys.add_object(&format!("x{i}"), 0);
+        channels.push(x);
+        sys.add_op(colours[i], &format!("work{i}"), vec![privates[i]], vec![privates[i]], |v| {
+            vec![v[0] + 1]
+        });
+        sys.add_op(colours[i], &format!("send{i}"), vec![privates[i]], vec![x], |v| vec![v[0]]);
+        sys.add_op(
+            colours[i + 1],
+            &format!("recv{i}"),
+            vec![x, privates[i + 1]],
+            vec![privates[i + 1]],
+            |v| vec![v[0] + v[1]],
+        );
+    }
+    if hidden_channel {
+        let sneaky = sys.add_object("sneaky", 0);
+        sys.add_op(colours[0], "stash", vec![privates[0]], vec![sneaky], |v| vec![v[0]]);
+        sys.add_op(
+            colours[n - 1],
+            "peek",
+            vec![sneaky, privates[n - 1]],
+            vec![privates[n - 1]],
+            |v| vec![v[0] + v[1]],
+        );
+    }
+    (sys, channels)
+}
+
+fn main() {
+    println!("# E9: the wire-cutting argument\n");
+
+    println!("## honest systems: declared channels are provably the only channels\n");
+    header(&["colours", "objects", "channels cut", "verdict", "states", "ms"]);
+    for n in [2usize, 3, 4] {
+        let (mut sys, channels) = chain(n, false);
+        sys.state_limit = 500_000;
+        let nchan = channels.len();
+        let (result, ms) = timed(|| verify_channels_exhaustive(&sys, &channels));
+        match result {
+            Ok(report) => row(&[
+                n.to_string(),
+                sys.objects.len().to_string(),
+                nchan.to_string(),
+                "ISOLATED after cut".into(),
+                report.states.to_string(),
+                format!("{ms:.0}"),
+            ]),
+            Err(e) => row(&[n.to_string(), "-".into(), "-".into(), format!("FAILED: {e}"), "-".into(), "-".into()]),
+        }
+    }
+
+    println!("\n## sabotaged systems: an undeclared shared object is exposed\n");
+    header(&["colours", "verdict", "witness"]);
+    for n in [2usize, 3, 4] {
+        let (sys, channels) = chain(n, true);
+        match verify_channels_exhaustive(&sys, &channels) {
+            Err(CutVerificationError::SharedObjects(ws)) => row(&[
+                n.to_string(),
+                "UNDECLARED CHANNEL".into(),
+                ws.first().map(|w| w.to_string()).unwrap_or_default(),
+            ]),
+            other => row(&[n.to_string(), format!("unexpected: {other:?}"), "-".into()]),
+        }
+    }
+
+    println!("\npaper claim: \"if we cut the communication channels that are allowed,");
+    println!("then, provided there are no illicit channels present, the components of");
+    println!("the system will become completely isolated from one another.\" Measured:");
+    println!("cutting the declared channels yields a provably separable system; any");
+    println!("undeclared sharing is named in the counterexample.");
+}

@@ -1,0 +1,103 @@
+//! Shared harness utilities for the experiment binaries (`src/bin/e*.rs`)
+//! and the Criterion benches.
+//!
+//! Each experiment binary regenerates one row-set of EXPERIMENTS.md; see
+//! DESIGN.md's per-experiment index for the mapping to the paper's claims.
+
+#![forbid(unsafe_code)]
+
+use sep_kernel::config::{KernelConfig, RegimeSpec};
+use std::time::Instant;
+
+/// Prints a Markdown-ish table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Prints a table header with separator.
+pub fn header(cells: &[&str]) {
+    println!("| {} |", cells.join(" | "));
+    println!("|{}|", cells.iter().map(|c| "-".repeat(c.len() + 2)).collect::<Vec<_>>().join("|"));
+}
+
+/// Times a closure, returning (result, milliseconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1000.0)
+}
+
+/// The standard register workload used by the verification experiments:
+/// `n` regimes computing in registers with varying condition codes, each
+/// yielding voluntarily.
+pub fn register_workload(n: usize) -> KernelConfig {
+    let regimes = (0..n)
+        .map(|i| {
+            let stride = i + 1;
+            let mask = 0o177770;
+            let source = format!(
+                "
+start:  ADD #{stride}, R1
+        BIC #{mask}, R1
+        MOV #{}, R3
+        BIT #1, R1
+        BEQ even
+        SEC
+        TRAP 0
+        BR start
+even:   CLC
+        TRAP 0
+        BR start
+",
+                0o1111 * (i + 1)
+            );
+            RegimeSpec::assembly(&format!("regime{i}"), &source)
+        })
+        .collect();
+    KernelConfig::new(regimes)
+}
+
+/// A memory-writing workload (partition contents vary).
+pub fn memory_workload(n: usize) -> KernelConfig {
+    let regimes = (0..n)
+        .map(|i| {
+            let stride = i + 1;
+            let source = format!(
+                "
+start:  ADD #{stride}, counter
+        BIC #0o177770, counter
+        TRAP 0
+        BR start
+counter: .word 0
+"
+            );
+            RegimeSpec::assembly(&format!("regime{i}"), &source)
+        })
+        .collect();
+    KernelConfig::new(regimes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sep_kernel::kernel::SeparationKernel;
+
+    #[test]
+    fn workloads_boot_and_run() {
+        for n in [2, 3, 4] {
+            let mut k = SeparationKernel::boot(register_workload(n)).unwrap();
+            k.run(100);
+            assert!(k.stats.swaps > 0);
+            let mut k = SeparationKernel::boot(memory_workload(n)).unwrap();
+            k.run(100);
+            assert!(k.stats.instructions > 0);
+        }
+    }
+
+    #[test]
+    fn timed_measures() {
+        let (v, ms) = timed(|| 42);
+        assert_eq!(v, 42);
+        assert!(ms >= 0.0);
+    }
+}

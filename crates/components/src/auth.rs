@@ -1,0 +1,268 @@
+//! The authentication mechanism.
+//!
+//! > "There must, for example, be some additional mechanism to authenticate
+//! > the identities of users as they log in to the single-user machines and
+//! > to inform the file and printer-servers of the security classifications
+//! > associated with each user."
+//!
+//! Terminals log in over dedicated lines (`t{i}.req` / `t{i}.rsp`); the
+//! servers query session tokens over a service line (`q.req` / `q.rsp`).
+//! Password verification uses an iterated salted FNV construction — a toy
+//! standing in for real password hashing (DESIGN.md substitution 5 applies
+//! to all cryptography here); what the reproduction needs is only that the
+//! clear password never leaves this component.
+
+use crate::component::{Component, ComponentIo};
+use crate::proto::{MsgReader, MsgWriter, Status};
+use sep_policy::level::SecurityLevel;
+#[cfg(test)]
+use sep_policy::level::Classification;
+use std::any::Any;
+
+/// Iterations of the toy password hash.
+const HASH_ROUNDS: usize = 1000;
+
+/// The toy password hash: iterated FNV-1a over `salt ‖ password`.
+pub fn password_hash(salt: u64, password: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ salt;
+    for _ in 0..HASH_ROUNDS {
+        for b in password.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h = h.rotate_left(17) ^ salt;
+    }
+    h
+}
+
+#[derive(Debug, Clone)]
+struct User {
+    name: String,
+    salt: u64,
+    hash: u64,
+    clearance: SecurityLevel,
+}
+
+/// The authentication server.
+#[derive(Debug, Clone)]
+pub struct AuthServer {
+    terminals: usize,
+    users: Vec<User>,
+    sessions: Vec<(u32, usize)>, // (token, user index)
+    next_token: u32,
+    /// Failed login attempts (host-visible).
+    pub failures: u64,
+}
+
+impl AuthServer {
+    /// An auth server handling `terminals` login lines.
+    pub fn new(terminals: usize) -> AuthServer {
+        AuthServer {
+            terminals,
+            users: Vec::new(),
+            sessions: Vec::new(),
+            next_token: 0x1000,
+            failures: 0,
+        }
+    }
+
+    /// Registers a user (system generation time).
+    pub fn add_user(&mut self, name: &str, password: &str, clearance: SecurityLevel) {
+        let salt = name
+            .bytes()
+            .fold(0x9E37_79B9_7F4A_7C15u64, |a, b| a.rotate_left(7) ^ b as u64);
+        self.users.push(User {
+            name: name.to_string(),
+            salt,
+            hash: password_hash(salt, password),
+            clearance,
+        });
+    }
+
+    /// Encodes a login request.
+    pub fn login_request(user: &str, password: &str) -> Vec<u8> {
+        let mut w = MsgWriter::new();
+        w.str(user).str(password);
+        w.finish()
+    }
+
+    /// Encodes a token-query request (for the servers).
+    pub fn query_request(token: u32) -> Vec<u8> {
+        let mut w = MsgWriter::new();
+        w.u32(token);
+        w.finish()
+    }
+
+    fn login(&mut self, frame: &[u8]) -> Vec<u8> {
+        let mut r = MsgReader::new(frame);
+        let parsed = (|| -> Result<(String, String), crate::proto::Malformed> {
+            let user = r.str()?.to_string();
+            let pass = r.str()?.to_string();
+            r.finish()?;
+            Ok((user, pass))
+        })();
+        let Ok((user, pass)) = parsed else {
+            return vec![Status::Bad.code()];
+        };
+        let found = self
+            .users
+            .iter()
+            .position(|u| u.name == user && u.hash == password_hash(u.salt, &pass));
+        match found {
+            Some(idx) => {
+                let token = self.next_token;
+                self.next_token = self.next_token.wrapping_add(0x11);
+                self.sessions.push((token, idx));
+                let mut w = MsgWriter::new();
+                w.u8(Status::Ok.code())
+                    .u32(token)
+                    .u8(self.users[idx].clearance.class.rank());
+                w.finish()
+            }
+            None => {
+                self.failures += 1;
+                vec![Status::Denied.code()]
+            }
+        }
+    }
+
+    fn query(&mut self, frame: &[u8]) -> Vec<u8> {
+        let mut r = MsgReader::new(frame);
+        let Ok(token) = r.u32() else {
+            return vec![Status::Bad.code()];
+        };
+        match self.sessions.iter().find(|(t, _)| *t == token) {
+            Some((_, idx)) => {
+                let u = &self.users[*idx];
+                let mut w = MsgWriter::new();
+                w.u8(Status::Ok.code())
+                    .str(&u.name)
+                    .u8(u.clearance.class.rank());
+                w.finish()
+            }
+            None => vec![Status::NotFound.code()],
+        }
+    }
+}
+
+impl Component for AuthServer {
+    fn name(&self) -> &str {
+        "auth-server"
+    }
+
+    fn step(&mut self, io: &mut dyn ComponentIo) {
+        for t in 0..self.terminals {
+            let req = format!("t{t}.req");
+            let rsp = format!("t{t}.rsp");
+            while let Some(frame) = io.recv(&req) {
+                let out = self.login(&frame);
+                io.send(&rsp, &out);
+            }
+        }
+        while let Some(frame) = io.recv("q.req") {
+            let out = self.query(&frame);
+            io.send("q.rsp", &out);
+        }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Component> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::TestIo;
+
+    fn server() -> AuthServer {
+        let mut a = AuthServer::new(2);
+        a.add_user("alice", "wonderland", SecurityLevel::plain(Classification::Secret));
+        a.add_user("bob", "builder", SecurityLevel::plain(Classification::Unclassified));
+        a
+    }
+
+    #[test]
+    fn successful_login_issues_token_and_clearance() {
+        let mut a = server();
+        let mut io = TestIo::new();
+        io.push("t0.req", &AuthServer::login_request("alice", "wonderland"));
+        io.run(&mut a, 1);
+        let rsp = io.take_sent("t0.rsp");
+        let mut r = MsgReader::new(&rsp[0]);
+        assert_eq!(r.u8().unwrap(), Status::Ok.code());
+        let token = r.u32().unwrap();
+        assert_eq!(r.u8().unwrap(), Classification::Secret.rank());
+        // The servers can resolve the token.
+        io.push("q.req", &AuthServer::query_request(token));
+        io.run(&mut a, 1);
+        let q = io.take_sent("q.rsp");
+        let mut r = MsgReader::new(&q[0]);
+        assert_eq!(r.u8().unwrap(), Status::Ok.code());
+        assert_eq!(r.str().unwrap(), "alice");
+        assert_eq!(r.u8().unwrap(), Classification::Secret.rank());
+    }
+
+    #[test]
+    fn wrong_password_is_denied() {
+        let mut a = server();
+        let mut io = TestIo::new();
+        io.push("t0.req", &AuthServer::login_request("alice", "queen"));
+        io.push("t1.req", &AuthServer::login_request("mallory", "x"));
+        io.run(&mut a, 1);
+        assert_eq!(io.sent("t0.rsp")[0], vec![Status::Denied.code()]);
+        assert_eq!(io.sent("t1.rsp")[0], vec![Status::Denied.code()]);
+        assert_eq!(a.failures, 2);
+    }
+
+    #[test]
+    fn unknown_token_is_not_found() {
+        let mut a = server();
+        let mut io = TestIo::new();
+        io.push("q.req", &AuthServer::query_request(0xDEAD));
+        io.run(&mut a, 1);
+        assert_eq!(io.sent("q.rsp")[0], vec![Status::NotFound.code()]);
+    }
+
+    #[test]
+    fn tokens_are_distinct_per_session() {
+        let mut a = server();
+        let mut io = TestIo::new();
+        io.push("t0.req", &AuthServer::login_request("bob", "builder"));
+        io.push("t1.req", &AuthServer::login_request("bob", "builder"));
+        io.run(&mut a, 1);
+        let t0 = {
+            let rsp = io.take_sent("t0.rsp");
+            let mut r = MsgReader::new(&rsp[0]);
+            r.u8().unwrap();
+            r.u32().unwrap()
+        };
+        let t1 = {
+            let rsp = io.take_sent("t1.rsp");
+            let mut r = MsgReader::new(&rsp[0]);
+            r.u8().unwrap();
+            r.u32().unwrap()
+        };
+        assert_ne!(t0, t1);
+    }
+
+    #[test]
+    fn hash_depends_on_salt_and_password() {
+        assert_ne!(password_hash(1, "pw"), password_hash(2, "pw"));
+        assert_ne!(password_hash(1, "pw"), password_hash(1, "pw2"));
+        assert_eq!(password_hash(5, "same"), password_hash(5, "same"));
+    }
+
+    #[test]
+    fn malformed_login_is_bad() {
+        let mut a = server();
+        let mut io = TestIo::new();
+        io.push("t0.req", &[1, 2]);
+        io.run(&mut a, 1);
+        assert_eq!(io.sent("t0.rsp")[0], vec![Status::Bad.code()]);
+    }
+}

@@ -1,0 +1,505 @@
+//! The multilevel secure file-server of the paper's §2.
+//!
+//! > "Provided that single component adheres to and enforces the multilevel
+//! > security policy, the security of the rest of the system follows from
+//! > the physical separation of its components."
+//!
+//! Files are identified by *(name, level)* — carrying the level explicitly
+//! in every request keeps the namespace free of the existence-inference
+//! channels that a flat namespace would open. Per request the server
+//! enforces:
+//!
+//! * **read** (`READ`, `LIST`): the client's level must dominate the
+//!   file's;
+//! * **alter** (`CREATE`, `WRITE`, `APPEND`): the file's level must
+//!   dominate the client's;
+//! * **delete**: levels must be equal — *except* for clients holding the
+//!   printer-server's **special service** privilege, which may delete spool
+//!   files of any classification. That privilege is exactly the paper's
+//!   point: a concrete, stated, auditable service, not a kernel dispensation
+//!   to flout the ★-property.
+//!
+//! Each client owns a dedicated pair of ports (`c{i}.req`, `c{i}.rsp`) —
+//! the "dedicated communication line" of the idealized design.
+
+use crate::component::{Component, ComponentIo};
+use crate::proto::{MsgReader, MsgWriter, Status};
+use sep_policy::level::SecurityLevel;
+use std::any::Any;
+use std::collections::BTreeMap;
+
+/// Request opcodes.
+pub mod op {
+    /// `CREATE name level` — create an empty file.
+    pub const CREATE: u8 = 0;
+    /// `WRITE name level data` — replace contents (blind alter).
+    pub const WRITE: u8 = 1;
+    /// `APPEND name level data` — extend contents (blind alter).
+    pub const APPEND: u8 = 2;
+    /// `READ name level` — fetch contents.
+    pub const READ: u8 = 3;
+    /// `DELETE name level` — remove the file.
+    pub const DELETE: u8 = 4;
+    /// `LIST` — enumerate files the client may observe.
+    pub const LIST: u8 = 5;
+}
+
+/// A registered client of the file server.
+#[derive(Debug, Clone)]
+pub struct FsClient {
+    /// Display name (for the audit log).
+    pub name: String,
+    /// The session level (fixed; supplied by the authentication service).
+    pub level: SecurityLevel,
+    /// The printer-server's special privilege: delete spool files of any
+    /// classification. Every exercise is audited.
+    pub special_delete: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct FileRecord {
+    level: SecurityLevel,
+    data: Vec<u8>,
+}
+
+/// The multilevel secure file server.
+#[derive(Debug, Clone)]
+pub struct FileServer {
+    clients: Vec<FsClient>,
+    files: BTreeMap<(String, u8), FileRecord>, // key includes the level rank
+    /// Audit log of special-service exercises, host-inspectable.
+    pub audit: Vec<String>,
+    /// Requests served (for the experiment harnesses).
+    pub requests_served: u64,
+    /// Requests denied by policy.
+    pub denials: u64,
+}
+
+impl FileServer {
+    /// A file server with the given client sessions.
+    pub fn new(clients: Vec<FsClient>) -> FileServer {
+        FileServer {
+            clients,
+            files: BTreeMap::new(),
+            audit: Vec::new(),
+            requests_served: 0,
+            denials: 0,
+        }
+    }
+
+    /// Host-side: the contents of a file, if it exists.
+    pub fn host_file(&self, name: &str, level: SecurityLevel) -> Option<&[u8]> {
+        self.files
+            .get(&(name.to_string(), level.class.rank()))
+            .filter(|f| f.level == level)
+            .map(|f| f.data.as_slice())
+    }
+
+    /// Host-side: number of files stored.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    fn handle(&mut self, client: usize, frame: &[u8]) -> Vec<u8> {
+        self.requests_served += 1;
+        match self.dispatch(client, frame) {
+            Ok(mut rsp) => {
+                let mut out = vec![Status::Ok.code()];
+                out.append(&mut rsp);
+                out
+            }
+            Err(status) => {
+                if status == Status::Denied {
+                    self.denials += 1;
+                }
+                vec![status.code()]
+            }
+        }
+    }
+
+    fn dispatch(&mut self, client: usize, frame: &[u8]) -> Result<Vec<u8>, Status> {
+        let me = self.clients[client].clone();
+        let mut r = MsgReader::new(frame);
+        let opcode = r.u8().map_err(|_| Status::Bad)?;
+        match opcode {
+            op::CREATE => {
+                let (name, level) = read_name_level(&mut r)?;
+                r.finish().map_err(|_| Status::Bad)?;
+                // Alter: the new file's level must dominate the client's.
+                if !level.dominates(&me.level) {
+                    return Err(Status::Denied);
+                }
+                // Blind operations (the client cannot observe the target
+                // level) must not reveal namespace state: a collision with
+                // a higher-level file would otherwise be a HIGH→LOW storage
+                // channel, so the status is masked to Ok.
+                let blind = !me.level.dominates(&level);
+                let key = (name.clone(), level.class.rank());
+                if self.files.contains_key(&key) {
+                    return if blind { Ok(Vec::new()) } else { Err(Status::Full) };
+                }
+                self.files.insert(
+                    key,
+                    FileRecord {
+                        level,
+                        data: Vec::new(),
+                    },
+                );
+                Ok(Vec::new())
+            }
+            op::WRITE | op::APPEND => {
+                let (name, level) = read_name_level(&mut r)?;
+                let data = r.bytes().map_err(|_| Status::Bad)?.to_vec();
+                r.finish().map_err(|_| Status::Bad)?;
+                if !level.dominates(&me.level) {
+                    return Err(Status::Denied);
+                }
+                // Mask existence on blind alters (see CREATE above).
+                let blind = !me.level.dominates(&level);
+                let rec = match self
+                    .files
+                    .get_mut(&(name, level.class.rank()))
+                    .filter(|f| f.level == level)
+                {
+                    Some(rec) => rec,
+                    None if blind => return Ok(Vec::new()),
+                    None => return Err(Status::NotFound),
+                };
+                if opcode == op::WRITE {
+                    rec.data = data;
+                } else {
+                    rec.data.extend_from_slice(&data);
+                }
+                Ok(Vec::new())
+            }
+            op::READ => {
+                let (name, level) = read_name_level(&mut r)?;
+                r.finish().map_err(|_| Status::Bad)?;
+                // Observe: the client's level must dominate the file's.
+                if !me.level.dominates(&level) {
+                    return Err(Status::Denied);
+                }
+                let rec = self
+                    .files
+                    .get(&(name, level.class.rank()))
+                    .filter(|f| f.level == level)
+                    .ok_or(Status::NotFound)?;
+                let mut w = MsgWriter::new();
+                w.bytes(&rec.data);
+                Ok(w.finish())
+            }
+            op::DELETE => {
+                let (name, level) = read_name_level(&mut r)?;
+                r.finish().map_err(|_| Status::Bad)?;
+                let permitted = level == me.level
+                    || (me.special_delete && name.starts_with("spool/"));
+                if !permitted {
+                    return Err(Status::Denied);
+                }
+                if me.special_delete && level != me.level {
+                    self.audit.push(format!(
+                        "special-delete by {} of {} at {}",
+                        me.name, name, level
+                    ));
+                }
+                self.files
+                    .remove(&(name, level.class.rank()))
+                    .ok_or(Status::NotFound)?;
+                Ok(Vec::new())
+            }
+            op::LIST => {
+                r.finish().map_err(|_| Status::Bad)?;
+                let mut w = MsgWriter::new();
+                let visible: Vec<_> = self
+                    .files
+                    .iter()
+                    .filter(|(_, f)| me.level.dominates(&f.level))
+                    .collect();
+                w.u16(visible.len() as u16);
+                for ((name, _), f) in visible {
+                    w.str(name);
+                    w.u8(f.level.class.rank());
+                }
+                Ok(w.finish())
+            }
+            _ => Err(Status::Bad),
+        }
+    }
+}
+
+/// Reads a `name level_rank` pair common to most requests.
+fn read_name_level(r: &mut MsgReader<'_>) -> Result<(String, SecurityLevel), Status> {
+    let name = r.str().map_err(|_| Status::Bad)?.to_string();
+    let rank = r.u8().map_err(|_| Status::Bad)?;
+    let class = sep_policy::level::Classification::from_rank(rank).ok_or(Status::Bad)?;
+    Ok((name, SecurityLevel::plain(class)))
+}
+
+impl Component for FileServer {
+    fn name(&self) -> &str {
+        "file-server"
+    }
+
+    fn step(&mut self, io: &mut dyn ComponentIo) {
+        for client in 0..self.clients.len() {
+            let req_port = format!("c{client}.req");
+            let rsp_port = format!("c{client}.rsp");
+            while let Some(frame) = io.recv(&req_port) {
+                let rsp = self.handle(client, &frame);
+                io.send(&rsp_port, &rsp);
+            }
+        }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Component> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Client-side request encoders (used by other components, the examples,
+/// and the tests).
+pub mod request {
+    use super::*;
+
+    fn name_level(opcode: u8, name: &str, level: SecurityLevel) -> MsgWriter {
+        let mut w = MsgWriter::with_op(opcode);
+        w.str(name).u8(level.class.rank());
+        w
+    }
+
+    /// Encodes `CREATE`.
+    pub fn create(name: &str, level: SecurityLevel) -> Vec<u8> {
+        name_level(op::CREATE, name, level).finish()
+    }
+
+    /// Encodes `WRITE`.
+    pub fn write(name: &str, level: SecurityLevel, data: &[u8]) -> Vec<u8> {
+        let mut w = name_level(op::WRITE, name, level);
+        w.bytes(data);
+        w.finish()
+    }
+
+    /// Encodes `APPEND`.
+    pub fn append(name: &str, level: SecurityLevel, data: &[u8]) -> Vec<u8> {
+        let mut w = name_level(op::APPEND, name, level);
+        w.bytes(data);
+        w.finish()
+    }
+
+    /// Encodes `READ`.
+    pub fn read(name: &str, level: SecurityLevel) -> Vec<u8> {
+        name_level(op::READ, name, level).finish()
+    }
+
+    /// Encodes `DELETE`.
+    pub fn delete(name: &str, level: SecurityLevel) -> Vec<u8> {
+        name_level(op::DELETE, name, level).finish()
+    }
+
+    /// Encodes `LIST`.
+    pub fn list() -> Vec<u8> {
+        MsgWriter::with_op(op::LIST).finish()
+    }
+
+    /// Decodes a response's status byte and payload.
+    pub fn decode(rsp: &[u8]) -> (Status, &[u8]) {
+        let status = rsp
+            .first()
+            .and_then(|&c| Status::from_code(c))
+            .unwrap_or(Status::Bad);
+        (status, rsp.get(1..).unwrap_or(&[]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::TestIo;
+    use sep_policy::level::Classification;
+
+    fn secret() -> SecurityLevel {
+        SecurityLevel::plain(Classification::Secret)
+    }
+
+    fn unclass() -> SecurityLevel {
+        SecurityLevel::plain(Classification::Unclassified)
+    }
+
+    /// Clients: 0 = low user, 1 = high user, 2 = printer (special).
+    fn server() -> FileServer {
+        FileServer::new(vec![
+            FsClient {
+                name: "low".into(),
+                level: unclass(),
+                special_delete: false,
+            },
+            FsClient {
+                name: "high".into(),
+                level: secret(),
+                special_delete: false,
+            },
+            FsClient {
+                name: "printer".into(),
+                level: secret(),
+                special_delete: true,
+            },
+        ])
+    }
+
+    fn one_round(fs: &mut FileServer, client: usize, req: Vec<u8>) -> (Status, Vec<u8>) {
+        let mut io = TestIo::new();
+        io.push(&format!("c{client}.req"), &req);
+        io.run(fs, 1);
+        let rsp = io.take_sent(&format!("c{client}.rsp"));
+        assert_eq!(rsp.len(), 1);
+        let (status, payload) = request::decode(&rsp[0]);
+        (status, payload.to_vec())
+    }
+
+    #[test]
+    fn create_write_read_roundtrip() {
+        let mut fs = server();
+        assert_eq!(one_round(&mut fs, 0, request::create("memo", unclass())).0, Status::Ok);
+        assert_eq!(
+            one_round(&mut fs, 0, request::write("memo", unclass(), b"hello")).0,
+            Status::Ok
+        );
+        let (status, payload) = one_round(&mut fs, 0, request::read("memo", unclass()));
+        assert_eq!(status, Status::Ok);
+        let mut r = MsgReader::new(&payload);
+        assert_eq!(r.bytes().unwrap(), b"hello");
+    }
+
+    #[test]
+    fn read_up_is_denied() {
+        let mut fs = server();
+        one_round(&mut fs, 1, request::create("plans", secret()));
+        one_round(&mut fs, 1, request::write("plans", secret(), b"attack at dawn"));
+        let (status, _) = one_round(&mut fs, 0, request::read("plans", secret()));
+        assert_eq!(status, Status::Denied);
+        assert!(fs.denials > 0);
+    }
+
+    #[test]
+    fn write_down_is_denied_append_up_is_allowed() {
+        let mut fs = server();
+        one_round(&mut fs, 0, request::create("box", unclass()));
+        // High user cannot alter a low file...
+        assert_eq!(
+            one_round(&mut fs, 1, request::write("box", unclass(), b"x")).0,
+            Status::Denied
+        );
+        // ...but a low user can blindly append to a high file.
+        one_round(&mut fs, 1, request::create("dropbox", secret()));
+        assert_eq!(
+            one_round(&mut fs, 0, request::append("dropbox", secret(), b"tip")).0,
+            Status::Ok
+        );
+        assert_eq!(fs.host_file("dropbox", secret()).unwrap(), b"tip");
+    }
+
+    #[test]
+    fn list_shows_only_dominated_levels() {
+        let mut fs = server();
+        one_round(&mut fs, 0, request::create("lowfile", unclass()));
+        one_round(&mut fs, 1, request::create("highfile", secret()));
+        let (status, payload) = one_round(&mut fs, 0, request::list());
+        assert_eq!(status, Status::Ok);
+        let mut r = MsgReader::new(&payload);
+        assert_eq!(r.u16().unwrap(), 1);
+        assert_eq!(r.str().unwrap(), "lowfile");
+    }
+
+    #[test]
+    fn delete_requires_equal_level() {
+        let mut fs = server();
+        one_round(&mut fs, 0, request::create("junk", unclass()));
+        // High user cannot delete the low file (write-down)...
+        assert_eq!(
+            one_round(&mut fs, 1, request::delete("junk", unclass())).0,
+            Status::Denied
+        );
+        // ...the owner level can.
+        assert_eq!(
+            one_round(&mut fs, 0, request::delete("junk", unclass())).0,
+            Status::Ok
+        );
+    }
+
+    #[test]
+    fn special_service_deletes_spool_files_across_levels_with_audit() {
+        let mut fs = server();
+        one_round(&mut fs, 0, request::create("spool/job1", unclass()));
+        // The printer (special) deletes the low spool file despite running
+        // high — the paper's spooler problem, solved as a stated service.
+        assert_eq!(
+            one_round(&mut fs, 2, request::delete("spool/job1", unclass())).0,
+            Status::Ok
+        );
+        assert_eq!(fs.audit.len(), 1);
+        assert!(fs.audit[0].contains("spool/job1"));
+        // The special privilege does NOT extend to non-spool files.
+        one_round(&mut fs, 0, request::create("private", unclass()));
+        assert_eq!(
+            one_round(&mut fs, 2, request::delete("private", unclass())).0,
+            Status::Denied
+        );
+    }
+
+    #[test]
+    fn same_name_different_levels_coexist() {
+        let mut fs = server();
+        one_round(&mut fs, 0, request::create("report", unclass()));
+        assert_eq!(one_round(&mut fs, 1, request::create("report", secret())).0, Status::Ok);
+        assert_eq!(fs.file_count(), 2);
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        let mut fs = server();
+        assert_eq!(one_round(&mut fs, 0, vec![op::READ, 0xFF]).0, Status::Bad);
+        assert_eq!(one_round(&mut fs, 0, vec![99]).0, Status::Bad);
+        assert_eq!(one_round(&mut fs, 0, vec![]).0, Status::Bad);
+    }
+
+    #[test]
+    fn blind_up_statuses_are_masked() {
+        // LOW's blind operations against the HIGH namespace return Ok
+        // whether or not the high file exists — no storage channel.
+        let mut fs = server();
+        assert_eq!(
+            one_round(&mut fs, 0, request::write("ghost", secret(), b"x")).0,
+            Status::Ok,
+            "blind write to a missing high file is masked"
+        );
+        one_round(&mut fs, 1, request::create("plans", secret()));
+        assert_eq!(
+            one_round(&mut fs, 0, request::create("plans", secret())).0,
+            Status::Ok,
+            "blind create collision is masked"
+        );
+        // The collision did not clobber the high file.
+        assert!(fs.host_file("plans", secret()).is_some());
+        // Same-level operations still report errors faithfully.
+        one_round(&mut fs, 0, request::create("mine", unclass()));
+        assert_eq!(
+            one_round(&mut fs, 0, request::create("mine", unclass())).0,
+            Status::Full
+        );
+        assert_eq!(
+            one_round(&mut fs, 0, request::write("missing", unclass(), b"x")).0,
+            Status::NotFound
+        );
+    }
+
+    #[test]
+    fn create_duplicate_is_refused() {
+        let mut fs = server();
+        one_round(&mut fs, 0, request::create("x", unclass()));
+        assert_eq!(one_round(&mut fs, 0, request::create("x", unclass())).0, Status::Full);
+    }
+}

@@ -1,0 +1,46 @@
+//! The trusted components of the distributed secure-system design.
+//!
+//! > "I contend that the security properties required of these and other
+//! > critical services can best be studied if they, too, are isolated as
+//! > separate, specialised components within a distributed system."
+//!
+//! Every component here implements the substrate-independent
+//! [`component::Component`] interface and therefore runs unchanged:
+//!
+//! * as a [`sep_distributed::Node`] on the physically distributed network
+//!   (the design level, where its security properties are stated), and
+//! * as a [`sep_kernel::NativeRegime`] on the separation kernel (the shared
+//!   implementation, which must be indistinguishable — experiment E6).
+//!
+//! The components:
+//!
+//! * [`fileserver`] — the multilevel secure file-server of §2, enforcing
+//!   Bell–LaPadula per request, with the printer-server's *special service*
+//!   (spool deletion across levels) as a first-class, precisely specified
+//!   interface rather than a trusted-process dispensation;
+//! * [`printserver`] — the secure printing service: banner pages carrying
+//!   the classification, no cross-job bleed, spool cleanup via the special
+//!   service;
+//! * [`auth`] — the authentication mechanism informing the servers of user
+//!   clearances;
+//! * [`guard`] — the ACCAT Guard of §1: LOW→HIGH unhindered, HIGH→LOW only
+//!   past the Security Watch Officer;
+//! * [`snfe`] — the secure network front end of §2: red and black
+//!   components, the crypto, and the **censor** on the cleartext bypass,
+//!   plus a malicious red variant for the covert-channel experiments.
+
+#![forbid(unsafe_code)]
+
+pub mod auth;
+pub mod component;
+pub mod fileserver;
+pub mod guard;
+pub mod printserver;
+pub mod proto;
+pub mod snfe;
+pub mod util;
+
+pub use component::{Component, ComponentIo, NodeAdapter, PortBinding, RegimeComponent};
+pub use fileserver::{FileServer, FsClient};
+pub use guard::{Guard, WatchOfficer};
+pub use printserver::PrintServer;

@@ -1,0 +1,328 @@
+//! The secure printing service.
+//!
+//! > "It must, for example, print the correct security classification of
+//! > each job on its header page and must not print parts of one job within
+//! > another ... the printer-server may need to co-operate with the
+//! > file-server and may require services from the file-server that are
+//! > different from those provided to ordinary users (for example, the
+//! > ability to delete spool files of all security classifications)."
+//!
+//! Users spool a file (at their own level) on the file server, then submit
+//! `{name, level}` on their dedicated submit port. The print server fetches
+//! the file (it is cleared to read every level), prints a banner page
+//! carrying the classification, the job body, and a trailer — strictly one
+//! job at a time, so jobs can never interleave — and finally removes the
+//! spool file through the file server's special delete service.
+
+use crate::component::{Component, ComponentIo};
+use crate::fileserver::request as fsreq;
+use crate::proto::{MsgReader, MsgWriter, Status};
+use sep_policy::level::{Classification, SecurityLevel};
+use std::any::Any;
+use std::collections::VecDeque;
+
+/// A queued print job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Job {
+    /// Submitting client (its submit-port index).
+    pub client: usize,
+    /// Spool file name (conventionally `spool/...`).
+    pub name: String,
+    /// The job's classification.
+    pub level: SecurityLevel,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PrinterState {
+    Idle,
+    AwaitingContents(Job),
+    AwaitingDelete(Job),
+}
+
+/// The print server.
+///
+/// Ports: `c{i}.submit` / `c{i}.status` per user, `fs.req` / `fs.rsp` to
+/// the file server, `paper` to the physical printer.
+#[derive(Debug, Clone)]
+pub struct PrintServer {
+    clients: usize,
+    queue: VecDeque<Job>,
+    state: PrinterState,
+    /// Completed job count.
+    pub jobs_printed: u64,
+}
+
+impl PrintServer {
+    /// A print server serving `clients` submit lines.
+    pub fn new(clients: usize) -> PrintServer {
+        PrintServer {
+            clients,
+            queue: VecDeque::new(),
+            state: PrinterState::Idle,
+            jobs_printed: 0,
+        }
+    }
+
+    /// Encodes a submit request.
+    pub fn submit_request(name: &str, level: SecurityLevel) -> Vec<u8> {
+        let mut w = MsgWriter::new();
+        w.str(name).u8(level.class.rank());
+        w.finish()
+    }
+
+    /// The banner line printed before a job.
+    pub fn banner(level: SecurityLevel) -> String {
+        format!("==== CLASSIFICATION: {level} ====\n")
+    }
+
+    /// The trailer line printed after a job.
+    pub fn trailer() -> &'static str {
+        "==== END OF JOB ====\n"
+    }
+}
+
+impl Component for PrintServer {
+    fn name(&self) -> &str {
+        "print-server"
+    }
+
+    fn step(&mut self, io: &mut dyn ComponentIo) {
+        // Accept new submissions.
+        for client in 0..self.clients {
+            let submit = format!("c{client}.submit");
+            while let Some(frame) = io.recv(&submit) {
+                let mut r = MsgReader::new(&frame);
+                let parsed = (|| -> Result<Job, crate::proto::Malformed> {
+                    let name = r.str()?.to_string();
+                    let rank = r.u8()?;
+                    let class = Classification::from_rank(rank).ok_or(crate::proto::Malformed)?;
+                    Ok(Job {
+                        client,
+                        name,
+                        level: SecurityLevel::plain(class),
+                    })
+                })();
+                let status_port = format!("c{client}.status");
+                match parsed {
+                    Ok(job) => {
+                        self.queue.push_back(job);
+                        io.send(&status_port, &[Status::Ok.code()]);
+                    }
+                    Err(_) => {
+                        io.send(&status_port, &[Status::Bad.code()]);
+                    }
+                }
+            }
+        }
+
+        // Drive the current job.
+        match self.state.clone() {
+            PrinterState::Idle => {
+                if let Some(job) = self.queue.pop_front() {
+                    io.send("fs.req", &fsreq::read(&job.name, job.level));
+                    self.state = PrinterState::AwaitingContents(job);
+                }
+            }
+            PrinterState::AwaitingContents(job) => {
+                if let Some(rsp) = io.recv("fs.rsp") {
+                    let (status, payload) = fsreq::decode(&rsp);
+                    if status == Status::Ok {
+                        let mut r = MsgReader::new(payload);
+                        let body = r.bytes().unwrap_or(&[]).to_vec();
+                        // One job, strictly contiguous on the paper port:
+                        // banner, body, trailer.
+                        io.send("paper", PrintServer::banner(job.level).as_bytes());
+                        io.send("paper", &body);
+                        io.send("paper", PrintServer::trailer().as_bytes());
+                        io.send("fs.req", &fsreq::delete(&job.name, job.level));
+                        self.state = PrinterState::AwaitingDelete(job);
+                    } else {
+                        // Job file missing/denied: report and move on.
+                        let port = format!("c{}.status", job.client);
+                        io.send(&port, &[Status::NotFound.code()]);
+                        self.state = PrinterState::Idle;
+                    }
+                }
+            }
+            PrinterState::AwaitingDelete(job) => {
+                if let Some(rsp) = io.recv("fs.rsp") {
+                    let (status, _) = fsreq::decode(&rsp);
+                    let port = format!("c{}.status", job.client);
+                    io.send(&port, &[status.code()]);
+                    self.jobs_printed += 1;
+                    self.state = PrinterState::Idle;
+                }
+            }
+        }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Component> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::TestIo;
+    use crate::fileserver::{FileServer, FsClient};
+
+    fn secret() -> SecurityLevel {
+        SecurityLevel::plain(Classification::Secret)
+    }
+
+    fn unclass() -> SecurityLevel {
+        SecurityLevel::plain(Classification::Unclassified)
+    }
+
+    /// Runs the print server against a real file server by shuttling frames
+    /// by hand.
+    struct Rig {
+        ps: PrintServer,
+        fs: FileServer,
+    }
+
+    impl Rig {
+        fn new() -> Rig {
+            Rig {
+                ps: PrintServer::new(2),
+                fs: FileServer::new(vec![
+                    FsClient {
+                        name: "printer".into(),
+                        level: SecurityLevel::plain(Classification::TopSecret),
+                        special_delete: true,
+                    },
+                    FsClient {
+                        name: "low-user".into(),
+                        level: unclass(),
+                        special_delete: false,
+                    },
+                    FsClient {
+                        name: "high-user".into(),
+                        level: secret(),
+                        special_delete: false,
+                    },
+                ]),
+            }
+        }
+
+        /// One round of both components with frame shuttling; returns the
+        /// paper output produced this round.
+        fn round(&mut self, submits: &mut Vec<(usize, Vec<u8>)>, carry: &mut Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+            let mut ps_io = TestIo::new();
+            for (client, frame) in submits.drain(..) {
+                ps_io.push(&format!("c{client}.submit"), &frame);
+            }
+            for rsp in carry.drain(..) {
+                ps_io.push("fs.rsp", &rsp);
+            }
+            ps_io.run(&mut self.ps, 1);
+            // Forward fs requests (printer is fs client 0).
+            let mut fs_io = TestIo::new();
+            for req in ps_io.take_sent("fs.req") {
+                fs_io.push("c0.req", &req);
+            }
+            fs_io.run(&mut self.fs, 1);
+            *carry = fs_io.take_sent("c0.rsp");
+            ps_io.take_sent("paper")
+        }
+    }
+
+    fn spool(fs: &mut FileServer, name: &str, level: SecurityLevel, body: &[u8]) {
+        // Users spool at their own level: client 1 is the low user, client
+        // 2 the high user.
+        let client = if level == unclass() { 1 } else { 2 };
+        let mut io = TestIo::new();
+        io.push(&format!("c{client}.req"), &crate::fileserver::request::create(name, level));
+        io.push(&format!("c{client}.req"), &crate::fileserver::request::write(name, level, body));
+        io.run(fs, 1);
+        let responses = io.take_sent(&format!("c{client}.rsp"));
+        assert!(responses.iter().all(|r| r[0] == Status::Ok.code()));
+    }
+
+    #[test]
+    fn prints_banner_body_trailer_and_cleans_up() {
+        let mut rig = Rig::new();
+        spool(&mut rig.fs, "spool/job1", unclass(), b"hello world");
+        let mut submits = vec![(0usize, PrintServer::submit_request("spool/job1", unclass()))];
+        let mut carry: Vec<Vec<u8>> = Vec::new();
+        let mut paper: Vec<Vec<u8>> = Vec::new();
+        for _ in 0..6 {
+            paper.extend(rig.round(&mut submits, &mut carry));
+        }
+        let text: Vec<u8> = paper.concat();
+        let text = String::from_utf8(text).unwrap();
+        assert!(text.starts_with("==== CLASSIFICATION: UNCLASSIFIED ====\n"));
+        assert!(text.contains("hello world"));
+        assert!(text.ends_with(PrintServer::trailer()));
+        // The spool file was removed via the special service, with audit.
+        assert_eq!(rig.fs.file_count(), 0);
+        assert_eq!(rig.fs.audit.len(), 1);
+        assert_eq!(rig.ps.jobs_printed, 1);
+    }
+
+    #[test]
+    fn jobs_never_interleave() {
+        let mut rig = Rig::new();
+        spool(&mut rig.fs, "spool/a", unclass(), b"AAAA");
+        spool(&mut rig.fs, "spool/b", secret(), b"BBBB");
+        let mut submits = vec![
+            (0usize, PrintServer::submit_request("spool/a", unclass())),
+            (1usize, PrintServer::submit_request("spool/b", secret())),
+        ];
+        let mut carry: Vec<Vec<u8>> = Vec::new();
+        let mut paper: Vec<Vec<u8>> = Vec::new();
+        for _ in 0..12 {
+            paper.extend(rig.round(&mut submits, &mut carry));
+        }
+        let text = String::from_utf8(paper.concat()).unwrap();
+        // Job A completes entirely before job B begins.
+        let a_end = text.find("END OF JOB").unwrap();
+        let b_start = text.find("BBBB").unwrap();
+        assert!(a_end < b_start, "{text}");
+        assert!(text.contains("CLASSIFICATION: SECRET"));
+        assert_eq!(rig.ps.jobs_printed, 2);
+    }
+
+    #[test]
+    fn missing_spool_file_reports_not_found() {
+        let mut rig = Rig::new();
+        let mut submits = vec![(0usize, PrintServer::submit_request("spool/ghost", unclass()))];
+        let mut carry: Vec<Vec<u8>> = Vec::new();
+        let mut ps_status = Vec::new();
+        for _ in 0..6 {
+            let mut ps_io = TestIo::new();
+            for (client, frame) in submits.drain(..) {
+                ps_io.push(&format!("c{client}.submit"), &frame);
+            }
+            for rsp in carry.drain(..) {
+                ps_io.push("fs.rsp", &rsp);
+            }
+            ps_io.run(&mut rig.ps, 1);
+            let mut fs_io = TestIo::new();
+            for req in ps_io.take_sent("fs.req") {
+                fs_io.push("c0.req", &req);
+            }
+            fs_io.run(&mut rig.fs, 1);
+            carry = fs_io.take_sent("c0.rsp");
+            ps_status.extend(ps_io.take_sent("c0.status"));
+        }
+        // First Ok (queued), then NotFound (no such spool file).
+        assert_eq!(ps_status.len(), 2);
+        assert_eq!(ps_status[1], vec![Status::NotFound.code()]);
+        assert_eq!(rig.ps.jobs_printed, 0);
+    }
+
+    #[test]
+    fn malformed_submission_is_rejected() {
+        let mut ps = PrintServer::new(1);
+        let mut io = TestIo::new();
+        io.push("c0.submit", &[0xFF, 0xFF, 0xFF]);
+        io.run(&mut ps, 1);
+        assert_eq!(io.sent("c0.status"), &[vec![Status::Bad.code()]]);
+    }
+}

@@ -1,0 +1,65 @@
+//! XTEA-CTR: the cipher behind the SNFE's crypto box.
+//!
+//! Counter mode over the XTEA block cipher from `sep-machine` (the same
+//! algorithm the memory-mapped crypto unit implements, so machine-code
+//! regimes and native components interoperate). A toy stand-in for real
+//! cryptographic equipment — see DESIGN.md, substitution 5. **Not for
+//! production use.**
+
+use sep_machine::dev::crypto::xtea_encrypt;
+
+/// A 128-bit key as four words.
+pub type Key = [u32; 4];
+
+/// Encrypts or decrypts `data` (CTR mode is symmetric) under `key` with a
+/// per-message `nonce`.
+pub fn xtea_ctr(key: Key, nonce: u64, data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len());
+    for (block_idx, chunk) in data.chunks(8).enumerate() {
+        let counter = [(nonce >> 32) as u32 ^ block_idx as u32, nonce as u32];
+        let ks = xtea_encrypt(counter, key);
+        let ks_bytes: Vec<u8> = ks.iter().flat_map(|w| w.to_le_bytes()).collect();
+        for (b, k) in chunk.iter().zip(ks_bytes.iter()) {
+            out.push(b ^ k);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: Key = [0x0123_4567, 0x89AB_CDEF, 0xFEDC_BA98, 0x7654_3210];
+
+    #[test]
+    fn ctr_roundtrip() {
+        let pt = b"attack at dawn, bring snacks";
+        let ct = xtea_ctr(KEY, 42, pt);
+        assert_ne!(&ct[..], &pt[..]);
+        assert_eq!(xtea_ctr(KEY, 42, &ct), pt);
+    }
+
+    #[test]
+    fn nonce_separates_streams() {
+        let pt = b"same plaintext";
+        assert_ne!(xtea_ctr(KEY, 1, pt), xtea_ctr(KEY, 2, pt));
+    }
+
+    #[test]
+    fn ciphertext_hides_plaintext_bytes() {
+        let pt = vec![b'A'; 64];
+        let ct = xtea_ctr(KEY, 7, &pt);
+        // No 4-byte run of the plaintext survives.
+        assert!(!ct.windows(4).any(|w| w == b"AAAA"));
+    }
+
+    #[test]
+    fn empty_and_partial_blocks() {
+        assert!(xtea_ctr(KEY, 0, &[]).is_empty());
+        let pt = b"abc";
+        let ct = xtea_ctr(KEY, 3, pt);
+        assert_eq!(ct.len(), 3);
+        assert_eq!(xtea_ctr(KEY, 3, &ct), pt);
+    }
+}

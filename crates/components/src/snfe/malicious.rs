@@ -1,0 +1,250 @@
+//! A malicious red component: the censor's reason for existing.
+//!
+//! This red behaves like the honest one — it must, to keep traffic
+//! flowing — but additionally tries to smuggle a secret byte stream to the
+//! network side through the cleartext bypass. Three classic encodings are
+//! implemented; experiment E4 measures how many secret bits survive each
+//! censor policy:
+//!
+//! * [`ExfilMode::PadByte`] — 8 bits per header in the padding byte
+//!   (defeated by canonicalization);
+//! * [`ExfilMode::DstBits`] — 1 bit per header in the destination
+//!   selector's low bit (survives canonicalization — `dst` is semantic —
+//!   but is slow, and rate limiting slows it further);
+//! * [`ExfilMode::ExtraHeaders`] — bursts of spurious-but-well-formed
+//!   headers; the *count* of headers per packet encodes bits (defeated in
+//!   bandwidth by rate limiting).
+
+use super::red::Header;
+use crate::component::{Component, ComponentIo};
+use std::any::Any;
+
+/// The covert encoding used by the malicious red.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExfilMode {
+    /// Secret bytes in the header padding field.
+    PadByte,
+    /// Secret bits in the destination selector's low bit.
+    DstBits,
+    /// Secret bits in the number of headers emitted per packet (one or
+    /// two): a presence/burst code.
+    ExtraHeaders,
+}
+
+/// The malicious red component.
+#[derive(Debug, Clone)]
+pub struct MaliciousRed {
+    mode: ExfilMode,
+    secret: Vec<u8>,
+    bit_pos: usize,
+    next_seq: u16,
+    /// Secret bits the component has attempted to place on the bypass.
+    pub bits_attempted: u64,
+}
+
+impl MaliciousRed {
+    /// A malicious red trying to exfiltrate `secret` using `mode`.
+    pub fn new(mode: ExfilMode, secret: Vec<u8>) -> MaliciousRed {
+        MaliciousRed {
+            mode,
+            secret,
+            bit_pos: 0,
+            next_seq: 0,
+            bits_attempted: 0,
+        }
+    }
+
+    fn next_bit(&mut self) -> Option<u8> {
+        let byte = self.secret.get(self.bit_pos / 8)?;
+        let bit = (byte >> (self.bit_pos % 8)) & 1;
+        self.bit_pos += 1;
+        self.bits_attempted += 1;
+        Some(bit)
+    }
+
+    fn next_byte(&mut self) -> Option<u8> {
+        let byte = self.secret.get(self.bit_pos / 8).copied()?;
+        self.bit_pos += 8;
+        self.bits_attempted += 8;
+        Some(byte)
+    }
+}
+
+impl Component for MaliciousRed {
+    fn name(&self) -> &str {
+        "red" // It presents exactly like the honest red.
+    }
+
+    fn step(&mut self, io: &mut dyn ComponentIo) {
+        while let Some(data) = io.recv("host.in") {
+            let seq = self.next_seq;
+            self.next_seq = self.next_seq.wrapping_add(1);
+            let mut header = Header {
+                seq,
+                len: data.len().min(u16::MAX as usize) as u16,
+                dst: 1,
+                pad: 0,
+            };
+            let mut extra = None;
+            match self.mode {
+                ExfilMode::PadByte => {
+                    if let Some(b) = self.next_byte() {
+                        header.pad = b;
+                    }
+                }
+                ExfilMode::DstBits => {
+                    if let Some(bit) = self.next_bit() {
+                        header.dst = 2 | bit; // 2 or 3: still valid selectors
+                    }
+                }
+                ExfilMode::ExtraHeaders => {
+                    if let Some(bit) = self.next_bit() {
+                        if bit == 1 {
+                            // A second, spurious header with a fresh seq.
+                            let seq2 = self.next_seq;
+                            self.next_seq = self.next_seq.wrapping_add(1);
+                            extra = Some(Header {
+                                seq: seq2,
+                                len: 0,
+                                dst: 1,
+                                pad: 0,
+                            });
+                        }
+                    }
+                }
+            }
+            io.send("bypass.out", &header.encode());
+            if let Some(e) = extra {
+                io.send("bypass.out", &e.encode());
+            }
+            let mut payload = seq.to_le_bytes().to_vec();
+            payload.extend(&data);
+            io.send("crypto.out", &payload);
+        }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Component> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The accomplice on the network side: decodes the covert stream from the
+/// headers that survived the censor. Returns the recovered bytes (possibly
+/// garbled — that is the point of the measurement).
+pub fn decode_exfiltration(mode: ExfilMode, headers: &[Header]) -> Vec<u8> {
+    let mut bits: Vec<u8> = Vec::new();
+    match mode {
+        ExfilMode::PadByte => {
+            return headers.iter().map(|h| h.pad).collect();
+        }
+        ExfilMode::DstBits => {
+            for h in headers {
+                if h.dst >= 2 {
+                    bits.push(h.dst & 1);
+                }
+            }
+        }
+        ExfilMode::ExtraHeaders => {
+            // A data header (len > 0) followed by a zero-length header
+            // encodes 1; a lone data header encodes 0.
+            let mut i = 0;
+            while i < headers.len() {
+                if headers[i].len > 0 {
+                    let burst = headers.get(i + 1).map(|h| h.len == 0).unwrap_or(false);
+                    bits.push(burst as u8);
+                    i += if burst { 2 } else { 1 };
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    bits.chunks(8)
+        .filter(|c| c.len() == 8)
+        .map(|c| c.iter().enumerate().fold(0u8, |a, (i, b)| a | (b << i)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::TestIo;
+    use crate::snfe::censor::{Censor, CensorPolicy};
+
+    /// Runs the malicious red against a censor; returns surviving headers.
+    fn run_exfil(mode: ExfilMode, policy: CensorPolicy, secret: &[u8], packets: usize) -> Vec<Header> {
+        let mut red = MaliciousRed::new(mode, secret.to_vec());
+        let mut censor = Censor::new(policy);
+        let mut red_io = TestIo::new();
+        for i in 0..packets {
+            red_io.push("host.in", format!("innocent traffic {i}").as_bytes());
+        }
+        red_io.run(&mut red, packets as u64);
+        let mut censor_io = TestIo::new();
+        for frame in red_io.take_sent("bypass.out") {
+            censor_io.push("red.in", &frame);
+        }
+        censor_io.run(&mut censor, 1);
+        censor_io
+            .take_sent("black.out")
+            .iter()
+            .filter_map(|f| Header::decode(f))
+            .collect()
+    }
+
+    #[test]
+    fn pad_byte_channel_works_without_canonicalization() {
+        let secret = b"leak";
+        let headers = run_exfil(ExfilMode::PadByte, CensorPolicy::format_only(), secret, 8);
+        let recovered = decode_exfiltration(ExfilMode::PadByte, &headers);
+        assert_eq!(&recovered[..4], secret);
+    }
+
+    #[test]
+    fn canonicalization_zeroes_the_pad_channel() {
+        let secret = b"leak";
+        let headers = run_exfil(ExfilMode::PadByte, CensorPolicy::canonical(), secret, 8);
+        let recovered = decode_exfiltration(ExfilMode::PadByte, &headers);
+        assert!(recovered.iter().all(|&b| b == 0), "{recovered:?}");
+    }
+
+    #[test]
+    fn dst_bit_channel_survives_canonicalization_at_low_rate() {
+        let secret = [0b1010_1010u8];
+        let headers = run_exfil(ExfilMode::DstBits, CensorPolicy::canonical(), &secret, 8);
+        let recovered = decode_exfiltration(ExfilMode::DstBits, &headers);
+        assert_eq!(recovered, vec![0b1010_1010]);
+    }
+
+    #[test]
+    fn extra_header_channel_defeated_by_rate_limit() {
+        let secret = vec![0xFF; 8]; // all-ones: maximum burst rate
+        let strict = CensorPolicy {
+            check_format: true,
+            canonicalize: true,
+            rate_limit: Some(4),
+        };
+        let open = run_exfil(ExfilMode::ExtraHeaders, CensorPolicy::canonical(), &secret, 16);
+        let limited = run_exfil(ExfilMode::ExtraHeaders, strict, &secret, 16);
+        assert!(
+            limited.len() < open.len() / 2,
+            "rate limiting cut the header count: {} vs {}",
+            limited.len(),
+            open.len()
+        );
+    }
+
+    #[test]
+    fn malicious_red_still_delivers_real_traffic() {
+        let mut red = MaliciousRed::new(ExfilMode::PadByte, b"x".to_vec());
+        let mut io = TestIo::new();
+        io.push("host.in", b"legit data");
+        io.run(&mut red, 1);
+        assert_eq!(io.sent("crypto.out").len(), 1);
+        assert_eq!(&io.sent("crypto.out")[0][2..], b"legit data");
+    }
+}

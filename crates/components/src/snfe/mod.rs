@@ -1,0 +1,198 @@
+//! The Secure Network Front End (SNFE) of the paper's §2 (and its figure).
+//!
+//! ```text
+//!             ┌───────┐ cleartext bypass ┌────────┐
+//!             │  RED  │────▶ censor ────▶│ BLACK  │
+//!  host ────▶ │       │                  │        │────▶ network
+//!             │       │────▶ crypto ────▶│        │
+//!             └───────┘    (payload)     └────────┘
+//! ```
+//!
+//! "The security requirement of the system is that user data from the host
+//! must not reach the network in cleartext form." Red packetizes host data:
+//! headers cross the **cleartext bypass**, policed by the [`censor`];
+//! payloads cross the [`CryptoBox`]. Black reassembles and transmits.
+//!
+//! [`malicious::MaliciousRed`] is the threat the censor exists for: red
+//! software "too large and complex to allow its verification" that tries to
+//! smuggle user data through the bypass. Experiment E4 measures how far the
+//! censor's strictness knobs cut that covert bandwidth.
+
+pub mod black;
+pub mod censor;
+pub mod cipher;
+pub mod malicious;
+pub mod red;
+
+use crate::component::{Component, ComponentIo, NodeAdapter};
+use crate::util::{Sink, Source};
+use sep_distributed::Network;
+use std::any::Any;
+
+pub use black::BlackComponent;
+pub use censor::{Censor, CensorPolicy};
+pub use cipher::{xtea_ctr, Key};
+pub use malicious::{decode_exfiltration, ExfilMode, MaliciousRed};
+pub use red::{Header, RedComponent, HEADER_LEN, HEADER_MAGIC};
+
+/// The crypto box: encrypts payload frames from red for black.
+///
+/// Frames are `[seq u16, body...]`; the sequence number passes in clear
+/// (black needs it for reassembly), the body is XTEA-CTR'd under the unit's
+/// key with the sequence as nonce.
+#[derive(Debug, Clone)]
+pub struct CryptoBox {
+    key: Key,
+    /// Frames processed.
+    pub processed: u64,
+}
+
+impl CryptoBox {
+    /// A crypto box with the given key.
+    pub fn new(key: Key) -> CryptoBox {
+        CryptoBox { key, processed: 0 }
+    }
+}
+
+impl Component for CryptoBox {
+    fn name(&self) -> &str {
+        "crypto"
+    }
+
+    fn step(&mut self, io: &mut dyn ComponentIo) {
+        while let Some(frame) = io.recv("in") {
+            if frame.len() < 2 {
+                continue; // Not a payload frame; the crypto is not a router.
+            }
+            let seq = u16::from_le_bytes([frame[0], frame[1]]);
+            let ct = xtea_ctr(self.key, seq as u64, &frame[2..]);
+            let mut out = frame[..2].to_vec();
+            out.extend(ct);
+            self.processed += 1;
+            io.send("out", &out);
+        }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Component> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Handles into a built SNFE network.
+pub struct SnfeNet {
+    /// The network, ready to run.
+    pub network: Network,
+    /// Node id of the host source.
+    pub host: sep_distributed::NodeId,
+    /// Node id of the network sink.
+    pub net: sep_distributed::NodeId,
+}
+
+/// Builds the full SNFE on the physically distributed substrate: host
+/// source → red → {censor, crypto} → black → network sink, with dedicated
+/// wires exactly matching the paper's figure (no red–black wire exists).
+pub fn build_snfe_network(
+    red: Box<dyn Component>,
+    policy: CensorPolicy,
+    key: Key,
+    host_frames: Vec<Vec<u8>>,
+) -> SnfeNet {
+    let mut network = Network::new();
+    let host = network.add_node(NodeAdapter::new(Box::new(Source::new("host", host_frames))));
+    let red_id = network.add_node(NodeAdapter::new(red));
+    let crypto = network.add_node(NodeAdapter::new(Box::new(CryptoBox::new(key))));
+    let censor = network.add_node(NodeAdapter::new(Box::new(Censor::new(policy))));
+    let black = network.add_node(NodeAdapter::new(Box::new(BlackComponent::new())));
+    let net = network.add_node(NodeAdapter::new(Box::new(Sink::new("network"))));
+
+    network.connect(host, "out", red_id, "host.in", 64, 1);
+    network.connect(red_id, "crypto.out", crypto, "in", 64, 1);
+    network.connect(crypto, "out", black, "crypto.in", 64, 1);
+    network.connect(red_id, "bypass.out", censor, "red.in", 64, 1);
+    network.connect(censor, "black.out", black, "bypass.in", 64, 1);
+    network.connect(black, "net.out", net, "in", 64, 1);
+    SnfeNet { network, host, net }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::TestIo;
+
+    const KEY: Key = [1, 2, 3, 4];
+
+    #[test]
+    fn crypto_box_encrypts_bodies_and_passes_seq() {
+        let mut c = CryptoBox::new(KEY);
+        let mut io = TestIo::new();
+        let mut frame = 7u16.to_le_bytes().to_vec();
+        frame.extend(b"plaintext body");
+        io.push("in", &frame);
+        io.run(&mut c, 1);
+        let out = io.take_sent("out");
+        assert_eq!(out.len(), 1);
+        assert_eq!(&out[0][..2], &7u16.to_le_bytes());
+        assert_ne!(&out[0][2..], b"plaintext body");
+        assert_eq!(xtea_ctr(KEY, 7, &out[0][2..]), b"plaintext body");
+        assert_eq!(c.processed, 1);
+    }
+
+    #[test]
+    fn end_to_end_no_cleartext_reaches_the_network() {
+        let secret = b"the fleet sails at midnight";
+        let frames = vec![secret.to_vec(), b"second message".to_vec()];
+        let mut snfe = build_snfe_network(
+            Box::new(RedComponent::new(1)),
+            CensorPolicy::strict(),
+            KEY,
+            frames,
+        );
+        let net = snfe.net;
+        snfe.network.run(30);
+        let sink_frames = {
+            let events = snfe.network.traces.trace("network").to_vec();
+            events
+        };
+        let _ = net;
+        // The sink's trace records hex of everything received; the secret
+        // in hex must not appear.
+        let hex_secret: String = secret.iter().map(|b| format!("{b:02x}")).collect();
+        for e in &sink_frames {
+            assert!(!e.contains(&hex_secret), "cleartext leaked: {e}");
+        }
+        assert!(!sink_frames.is_empty(), "traffic flowed");
+    }
+
+    #[test]
+    fn end_to_end_payload_decrypts_at_the_far_side() {
+        let secret = b"payload integrity check".to_vec();
+        let mut snfe = build_snfe_network(
+            Box::new(RedComponent::new(1)),
+            CensorPolicy::strict(),
+            KEY,
+            vec![secret.clone()],
+        );
+        snfe.network.run(30);
+        // Reconstruct what the network saw from the sink trace.
+        let events = snfe.network.traces.trace("network").to_vec();
+        let frame_hex: Vec<&str> = events
+            .iter()
+            .filter(|e| e.starts_with("recv in "))
+            .map(|e| e.rsplit(' ').next().unwrap())
+            .collect();
+        assert_eq!(frame_hex.len(), 1);
+        let frame: Vec<u8> = (0..frame_hex[0].len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&frame_hex[0][i..i + 2], 16).unwrap())
+            .collect();
+        // Frame = header (HEADER_LEN bytes) ‖ seq ‖ ciphertext.
+        let body = &frame[HEADER_LEN..];
+        let seq = u16::from_le_bytes([body[0], body[1]]);
+        let pt = xtea_ctr(KEY, seq as u64, &body[2..]);
+        assert_eq!(pt, secret);
+    }
+}

@@ -1,0 +1,27 @@
+//! Umbrella crate: one secure-system design, two realizations.
+//!
+//! This crate re-exports the whole reproduction and adds the layer the
+//! paper's argument turns on: a [`spec::SystemSpec`] describes a secure
+//! system *once* — components and the dedicated channels between them —
+//! and realizes it either as a physically distributed network
+//! ([`spec::SystemSpec::build_network`]) or as regimes on the separation
+//! kernel ([`spec::SystemSpec::build_kernel`]). The [`traced`] wrapper
+//! records what every component observes, so experiment E6 can check that
+//! the two realizations are indistinguishable at the component interface.
+
+#![forbid(unsafe_code)]
+
+pub mod spec;
+pub mod traced;
+
+pub use spec::{CompId, SystemSpec};
+pub use traced::{PortLog, Traced};
+
+pub use sep_components as components;
+pub use sep_covert as covert;
+pub use sep_distributed as distributed;
+pub use sep_flow as flow;
+pub use sep_kernel as kernel;
+pub use sep_machine as machine;
+pub use sep_model as model;
+pub use sep_policy as policy;

@@ -1,0 +1,91 @@
+//! Empirical interference probing.
+//!
+//! A dynamic, falsification-only check: run the same system twice, varying
+//! only what a HIGH party does, and compare everything a LOW party
+//! observes. Any difference is a channel (the converse does not hold — this
+//! finds leaks, it cannot prove their absence; that is what Proof of
+//! Separability is for).
+
+/// The result of an interference probe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterferenceReport {
+    /// Whether the LOW observations differed.
+    pub interferes: bool,
+    /// Index of the first differing observation, if any.
+    pub first_difference: Option<usize>,
+    /// Number of observations compared.
+    pub compared: usize,
+}
+
+/// Runs `experiment` once per HIGH behaviour and compares the LOW
+/// observation streams it returns.
+///
+/// `experiment` receives the behaviour selector and must return the LOW
+/// side's complete observation sequence for that run.
+pub fn probe_interference<B, F, O>(behaviours: &[B], mut experiment: F) -> InterferenceReport
+where
+    F: FnMut(&B) -> Vec<O>,
+    O: PartialEq,
+{
+    assert!(behaviours.len() >= 2, "need at least two HIGH behaviours");
+    let baseline = experiment(&behaviours[0]);
+    let mut compared = baseline.len();
+    for b in &behaviours[1..] {
+        let other = experiment(b);
+        compared = compared.max(other.len());
+        let n = baseline.len().min(other.len());
+        for i in 0..n {
+            if baseline[i] != other[i] {
+                return InterferenceReport {
+                    interferes: true,
+                    first_difference: Some(i),
+                    compared,
+                };
+            }
+        }
+        if baseline.len() != other.len() {
+            return InterferenceReport {
+                interferes: true,
+                first_difference: Some(n),
+                compared,
+            };
+        }
+    }
+    InterferenceReport {
+        interferes: false,
+        first_difference: None,
+        compared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_observations_do_not_interfere() {
+        let report = probe_interference(&[0u8, 1, 2], |_| vec![1u8, 2, 3]);
+        assert!(!report.interferes);
+        assert_eq!(report.compared, 3);
+    }
+
+    #[test]
+    fn differing_observations_interfere() {
+        let report = probe_interference(&[0u8, 1], |b| vec![1u8, *b, 3]);
+        assert!(report.interferes);
+        assert_eq!(report.first_difference, Some(1));
+    }
+
+    #[test]
+    fn length_differences_interfere() {
+        let report = probe_interference(&[1usize, 2], |b| vec![0u8; *b]);
+        assert!(report.interferes);
+        assert_eq!(report.first_difference, Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_behaviour_panics() {
+        probe_interference(&[0u8], |_| vec![0u8]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Scoring an attempted covert transfer.
+
+use crate::estimate::bsc_capacity;
+
+/// The outcome of one covert-transfer attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferScore {
+    /// Bits the insider attempted to transfer.
+    pub bits_attempted: usize,
+    /// Bits the accomplice recovered correctly (position-wise).
+    pub bits_correct: usize,
+    /// Bit error rate over the attempted bits.
+    pub error_rate: f64,
+    /// Effective bandwidth in bits per round, discounting errors by
+    /// binary-symmetric-channel capacity.
+    pub bits_per_round: f64,
+}
+
+/// Compares the secret the insider tried to send with what the accomplice
+/// recovered, over a run of `rounds` rounds.
+///
+/// Recovered data shorter than the secret counts the missing tail as
+/// errored at rate ½ (unknown bits); longer recoveries are truncated.
+pub fn score_transfer(secret: &[u8], recovered: &[u8], rounds: u64) -> TransferScore {
+    let bits_attempted = secret.len() * 8;
+    let mut bits_correct = 0usize;
+    let mut compared = 0usize;
+    for (s, r) in secret.iter().zip(recovered.iter()) {
+        for bit in 0..8 {
+            compared += 1;
+            if (s >> bit) & 1 == (r >> bit) & 1 {
+                bits_correct += 1;
+            }
+        }
+    }
+    // Missing tail: a guess is right half the time.
+    let missing = bits_attempted.saturating_sub(compared);
+    let effective_correct = bits_correct as f64 + missing as f64 * 0.5;
+    let error_rate = if bits_attempted == 0 {
+        0.0
+    } else {
+        1.0 - effective_correct / bits_attempted as f64
+    };
+    let capacity = bsc_capacity(error_rate);
+    let bits_per_round = if rounds == 0 {
+        0.0
+    } else {
+        capacity * bits_attempted as f64 / rounds as f64
+    };
+    TransferScore {
+        bits_attempted,
+        bits_correct,
+        error_rate,
+        bits_per_round,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_transfer_scores_full_bandwidth() {
+        let secret = b"leak this";
+        let score = score_transfer(secret, secret, 72);
+        assert_eq!(score.bits_attempted, 72);
+        assert_eq!(score.bits_correct, 72);
+        assert!(score.error_rate.abs() < 1e-9);
+        assert!((score.bits_per_round - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn garbled_transfer_scores_near_zero() {
+        // Recovered bits uncorrelated with the secret (alternating vs 0x55
+        // complement patterns give ~50% agreement).
+        let secret = vec![0b0101_0101u8; 32];
+        let recovered = vec![0b0011_0011u8; 32];
+        let score = score_transfer(&secret, &recovered, 256);
+        assert!((score.error_rate - 0.5).abs() < 0.1);
+        assert!(score.bits_per_round < 0.3);
+    }
+
+    #[test]
+    fn truncated_recovery_counts_missing_as_half() {
+        let secret = vec![0xFFu8; 4];
+        let recovered = vec![0xFFu8; 2];
+        let score = score_transfer(&secret, &recovered, 32);
+        assert_eq!(score.bits_correct, 16);
+        assert!((score.error_rate - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_secret_scores_zero() {
+        let score = score_transfer(&[], &[], 100);
+        assert_eq!(score.bits_attempted, 0);
+        assert_eq!(score.bits_per_round, 0.0);
+    }
+
+    #[test]
+    fn zero_rounds_yields_zero_bandwidth() {
+        let score = score_transfer(b"x", b"x", 0);
+        assert_eq!(score.bits_per_round, 0.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Empirical information-theoretic estimators.
+
+use std::collections::HashMap;
+
+/// Shannon entropy (bits/symbol) of an empirical distribution over symbols.
+pub fn entropy<T: std::hash::Hash + Eq>(symbols: &[T]) -> f64 {
+    if symbols.is_empty() {
+        return 0.0;
+    }
+    let mut counts: HashMap<&T, usize> = HashMap::new();
+    for s in symbols {
+        *counts.entry(s).or_insert(0) += 1;
+    }
+    let n = symbols.len() as f64;
+    counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// The binary entropy function `H₂(p)`.
+pub fn binary_entropy(p: f64) -> f64 {
+    if p <= 0.0 || p >= 1.0 {
+        return 0.0;
+    }
+    -p * p.log2() - (1.0 - p) * (1.0 - p).log2()
+}
+
+/// Capacity (bits/use) of a binary symmetric channel with error rate `p`.
+pub fn bsc_capacity(p: f64) -> f64 {
+    1.0 - binary_entropy(p.clamp(0.0, 1.0))
+}
+
+/// Empirical mutual information `I(X;Y)` (bits/symbol) between paired
+/// sequences.
+///
+/// # Panics
+///
+/// Panics when the sequences have different lengths.
+pub fn mutual_information<T, U>(xs: &[T], ys: &[U]) -> f64
+where
+    T: std::hash::Hash + Eq,
+    U: std::hash::Hash + Eq,
+{
+    assert_eq!(xs.len(), ys.len(), "paired sequences must align");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let n = xs.len() as f64;
+    let mut px: HashMap<&T, f64> = HashMap::new();
+    let mut py: HashMap<&U, f64> = HashMap::new();
+    let mut pxy: HashMap<(&T, &U), f64> = HashMap::new();
+    for (x, y) in xs.iter().zip(ys) {
+        *px.entry(x).or_insert(0.0) += 1.0 / n;
+        *py.entry(y).or_insert(0.0) += 1.0 / n;
+        *pxy.entry((x, y)).or_insert(0.0) += 1.0 / n;
+    }
+    pxy.iter()
+        .map(|((x, y), &pj)| pj * (pj / (px[x] * py[y])).log2())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn entropy_of_uniform_bits_is_one() {
+        let xs: Vec<u8> = (0..1000).map(|i| (i % 2) as u8).collect();
+        close(entropy(&xs), 1.0);
+    }
+
+    #[test]
+    fn entropy_of_constant_is_zero() {
+        close(entropy(&[7u8; 100]), 0.0);
+        close(entropy::<u8>(&[]), 0.0);
+    }
+
+    #[test]
+    fn binary_entropy_peaks_at_half() {
+        close(binary_entropy(0.5), 1.0);
+        close(binary_entropy(0.0), 0.0);
+        close(binary_entropy(1.0), 0.0);
+        assert!(binary_entropy(0.1) < binary_entropy(0.3));
+    }
+
+    #[test]
+    fn bsc_capacity_is_complement_of_entropy() {
+        close(bsc_capacity(0.0), 1.0);
+        close(bsc_capacity(0.5), 0.0);
+        close(bsc_capacity(1.0), 1.0); // a perfectly inverted channel is perfect
+    }
+
+    #[test]
+    fn mi_of_identical_sequences_is_entropy() {
+        let xs: Vec<u8> = (0..1024).map(|i| (i % 4) as u8).collect();
+        close(mutual_information(&xs, &xs), entropy(&xs));
+    }
+
+    #[test]
+    fn mi_of_independent_sequences_is_near_zero() {
+        let xs: Vec<u8> = (0..1024).map(|i| (i % 2) as u8).collect();
+        let ys: Vec<u8> = (0..1024).map(|i| ((i / 2) % 2) as u8).collect();
+        assert!(mutual_information(&xs, &ys).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mi_is_symmetric() {
+        let xs: Vec<u8> = (0..256).map(|i| (i % 3) as u8).collect();
+        let ys: Vec<u8> = (0..256).map(|i| ((i + 1) % 3) as u8).collect();
+        close(mutual_information(&xs, &ys), mutual_information(&ys, &xs));
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_lengths_panic() {
+        mutual_information(&[1u8], &[1u8, 2]);
+    }
+}

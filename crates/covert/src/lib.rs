@@ -1,0 +1,25 @@
+//! Covert-channel measurement.
+//!
+//! The paper's claim about the SNFE censor is quantitative in character:
+//! "a fairly simple censor can reduce the bandwidth available for illicit
+//! communication over the bypass to an acceptable level." This crate
+//! provides the measuring instruments:
+//!
+//! * [`estimate`] — empirical entropy, mutual information, and
+//!   binary-symmetric-channel capacity;
+//! * [`channel`] — end-to-end covert channel scoring: given what the
+//!   insider tried to send and what the accomplice recovered, the achieved
+//!   accuracy and effective bandwidth in bits per round;
+//! * [`analysis`] — an empirical interference probe: run a system twice
+//!   differing only in HIGH behaviour and diff the LOW observations (a
+//!   dynamic, falsification-only complement to Proof of Separability).
+
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod channel;
+pub mod estimate;
+
+pub use analysis::{probe_interference, InterferenceReport};
+pub use channel::{score_transfer, TransferScore};
+pub use estimate::{binary_entropy, bsc_capacity, entropy, mutual_information};

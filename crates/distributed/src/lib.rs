@@ -1,0 +1,28 @@
+//! The idealized physically distributed system.
+//!
+//! > "We can imagine an idealized system in which each user is given his own
+//! > private, physically isolated, single-user machine and a dedicated
+//! > communication line to a common, shared file-server. ... the security of
+//! > the rest of the system follows from the physical separation of its
+//! > components and the absence of direct communications paths."
+//!
+//! This crate is that idealization, executable: [`Node`]s are private
+//! machines, [`Network`] wires them together with dedicated unidirectional
+//! lines, and a deterministic round-based executor runs them. It serves two
+//! roles:
+//!
+//! 1. the *design level* at which trusted components (file-server, Guard,
+//!    SNFE censor) are built and verified, assuming physical isolation; and
+//! 2. the *reference behaviour* that a separation kernel must be
+//!    indistinguishable from (experiment E6 compares per-component traces
+//!    across the two substrates).
+
+#![forbid(unsafe_code)]
+
+pub mod network;
+pub mod node;
+pub mod wire;
+
+pub use network::{Network, NodeId};
+pub use node::{Node, NodeIo, SendError};
+pub use wire::Wire;

@@ -1,0 +1,46 @@
+//! Nodes: the private, physically isolated machines of the distributed
+//! design.
+
+/// Why a send was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendError {
+    /// The named port has no outgoing wire.
+    NoSuchPort(String),
+    /// The wire's capacity is exhausted this round (back-pressure).
+    WireFull(String),
+}
+
+impl core::fmt::Display for SendError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SendError::NoSuchPort(p) => write!(f, "no outgoing wire on port {p}"),
+            SendError::WireFull(p) => write!(f, "wire on port {p} is full"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// The I/O context a node sees during its step: its own ports, nothing else.
+///
+/// This interface is the *whole* of a node's connection to the world — the
+/// executable meaning of "physically isolated".
+pub trait NodeIo {
+    /// Receives the next pending message on an incoming port, if any.
+    fn recv(&mut self, port: &str) -> Option<Vec<u8>>;
+
+    /// Sends a message on an outgoing port.
+    fn send(&mut self, port: &str, msg: Vec<u8>) -> Result<(), SendError>;
+
+    /// The current round number (every node's only clock).
+    fn round(&self) -> u64;
+}
+
+/// A component of the distributed system.
+pub trait Node {
+    /// Display name (also the trace colour).
+    fn name(&self) -> &str;
+
+    /// Executes one round: consume available inputs, produce outputs.
+    fn step(&mut self, io: &mut dyn NodeIo);
+}

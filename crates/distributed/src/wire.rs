@@ -1,0 +1,120 @@
+//! Wires: dedicated, unidirectional communication lines.
+
+use std::collections::VecDeque;
+
+/// A unidirectional FIFO line between two node ports.
+#[derive(Debug, Clone)]
+pub struct Wire {
+    /// Source node index.
+    pub from_node: usize,
+    /// Source port name.
+    pub from_port: String,
+    /// Destination node index.
+    pub to_node: usize,
+    /// Destination port name.
+    pub to_port: String,
+    /// Maximum messages in flight.
+    pub capacity: usize,
+    /// Rounds between send and earliest delivery (≥ 1).
+    pub latency: u64,
+    queue: VecDeque<(u64, Vec<u8>)>, // (deliverable-at round, payload)
+}
+
+impl Wire {
+    /// A wire with the given capacity and latency.
+    pub fn new(
+        from_node: usize,
+        from_port: &str,
+        to_node: usize,
+        to_port: &str,
+        capacity: usize,
+        latency: u64,
+    ) -> Wire {
+        assert!(capacity > 0, "wire capacity must be positive");
+        assert!(latency > 0, "wire latency must be at least one round");
+        Wire {
+            from_node,
+            from_port: from_port.to_string(),
+            to_node,
+            to_port: to_port.to_string(),
+            capacity,
+            latency,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// True when another message can be enqueued.
+    pub fn has_room(&self) -> bool {
+        self.queue.len() < self.capacity
+    }
+
+    /// Number of messages in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Enqueues a message sent at `round`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the wire is full (callers check [`Wire::has_room`]).
+    pub fn push(&mut self, round: u64, msg: Vec<u8>) {
+        assert!(self.has_room(), "wire overflow");
+        self.queue.push_back((round + self.latency, msg));
+    }
+
+    /// Dequeues the next message deliverable at `round`, if any.
+    pub fn pop_deliverable(&mut self, round: u64) -> Option<Vec<u8>> {
+        match self.queue.front() {
+            Some((at, _)) if *at <= round => self.queue.pop_front().map(|(_, m)| m),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_respects_latency() {
+        let mut w = Wire::new(0, "out", 1, "in", 4, 2);
+        w.push(10, vec![1]);
+        assert_eq!(w.pop_deliverable(10), None);
+        assert_eq!(w.pop_deliverable(11), None);
+        assert_eq!(w.pop_deliverable(12), Some(vec![1]));
+        assert_eq!(w.pop_deliverable(12), None);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut w = Wire::new(0, "out", 1, "in", 4, 1);
+        w.push(0, vec![1]);
+        w.push(0, vec![2]);
+        assert_eq!(w.pop_deliverable(5), Some(vec![1]));
+        assert_eq!(w.pop_deliverable(5), Some(vec![2]));
+    }
+
+    #[test]
+    fn capacity_limits_in_flight() {
+        let mut w = Wire::new(0, "out", 1, "in", 2, 1);
+        w.push(0, vec![1]);
+        w.push(0, vec![2]);
+        assert!(!w.has_room());
+        assert_eq!(w.in_flight(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "wire overflow")]
+    fn overflow_panics() {
+        let mut w = Wire::new(0, "out", 1, "in", 1, 1);
+        w.push(0, vec![1]);
+        w.push(0, vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency must be at least one round")]
+    fn zero_latency_rejected() {
+        Wire::new(0, "a", 1, "b", 1, 0);
+    }
+}

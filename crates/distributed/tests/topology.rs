@@ -1,0 +1,159 @@
+//! Network topology behaviours: latency, multi-hop pipelines, and
+//! determinism under richer shapes than the unit tests cover.
+
+use sep_distributed::node::{Node, NodeIo};
+use sep_distributed::Network;
+
+/// Forwards everything from "in" to "out", stamping nothing.
+struct Relay(String);
+
+impl Node for Relay {
+    fn name(&self) -> &str {
+        &self.0
+    }
+
+    fn step(&mut self, io: &mut dyn NodeIo) {
+        while let Some(m) = io.recv("in") {
+            let _ = io.send("out", m);
+        }
+    }
+}
+
+/// Emits one numbered frame per round for `n` rounds.
+struct Counter {
+    name: String,
+    n: u8,
+    sent: u8,
+}
+
+impl Node for Counter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn step(&mut self, io: &mut dyn NodeIo) {
+        if self.sent < self.n && io.send("out", vec![self.sent]).is_ok() {
+            self.sent += 1;
+        }
+    }
+}
+
+/// Records arrival rounds.
+struct Stamper {
+    name: String,
+    arrivals: Vec<(u64, Vec<u8>)>,
+}
+
+impl Node for Stamper {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn step(&mut self, io: &mut dyn NodeIo) {
+        while let Some(m) = io.recv("in") {
+            self.arrivals.push((io.round(), m));
+        }
+    }
+}
+
+#[test]
+fn latency_accumulates_across_hops() {
+    // counter → relay → relay → stamper, one-round wires: frame 0 emitted
+    // in round 0 arrives in round 3.
+    let mut net = Network::new();
+    let c = net.add_node(Box::new(Counter {
+        name: "c".into(),
+        n: 3,
+        sent: 0,
+    }));
+    let r1 = net.add_node(Box::new(Relay("r1".into())));
+    let r2 = net.add_node(Box::new(Relay("r2".into())));
+    let s = net.add_node(Box::new(Stamper {
+        name: "s".into(),
+        arrivals: Vec::new(),
+    }));
+    net.connect(c, "out", r1, "in", 8, 1);
+    net.connect(r1, "out", r2, "in", 8, 1);
+    net.connect(r2, "out", s, "in", 8, 1);
+    net.run(10);
+    let trace = net.traces.trace("s").to_vec();
+    // Frames arrive in order, exactly three of them.
+    let recvs: Vec<&String> = trace.iter().filter(|e| e.starts_with("recv")).collect();
+    assert_eq!(recvs.len(), 3);
+    assert!(recvs[0].ends_with("00"));
+    assert!(recvs[2].ends_with("02"));
+}
+
+#[test]
+fn high_latency_wire_delays_delivery() {
+    let mut net = Network::new();
+    let c = net.add_node(Box::new(Counter {
+        name: "c".into(),
+        n: 1,
+        sent: 0,
+    }));
+    let s = net.add_node(Box::new(Stamper {
+        name: "s".into(),
+        arrivals: Vec::new(),
+    }));
+    net.connect(c, "out", s, "in", 8, 5);
+    net.run(4);
+    assert!(net.traces.trace("s").is_empty(), "not yet deliverable");
+    net.run(3);
+    assert_eq!(
+        net.traces
+            .trace("s")
+            .iter()
+            .filter(|e| e.starts_with("recv"))
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn fan_in_preserves_per_wire_fifo() {
+    // Two counters into one stamper on separate ports.
+    let mut net = Network::new();
+    let a = net.add_node(Box::new(Counter {
+        name: "a".into(),
+        n: 4,
+        sent: 0,
+    }));
+    let b = net.add_node(Box::new(Counter {
+        name: "b".into(),
+        n: 4,
+        sent: 0,
+    }));
+    struct TwoPort {
+        a_seen: Vec<u8>,
+        b_seen: Vec<u8>,
+    }
+    impl Node for TwoPort {
+        fn name(&self) -> &str {
+            "two"
+        }
+        fn step(&mut self, io: &mut dyn NodeIo) {
+            while let Some(m) = io.recv("a") {
+                self.a_seen.push(m[0]);
+            }
+            while let Some(m) = io.recv("b") {
+                self.b_seen.push(m[0]);
+            }
+        }
+    }
+    let t = net.add_node(Box::new(TwoPort {
+        a_seen: Vec::new(),
+        b_seen: Vec::new(),
+    }));
+    net.connect(a, "out", t, "a", 8, 1);
+    net.connect(b, "out", t, "b", 8, 2);
+    net.run(12);
+    // Inspect through a fresh run is impossible (nodes are consumed), so
+    // assert through traces: both streams fully received, in order.
+    let events = net.traces.trace("two").to_vec();
+    let a_stream: Vec<&String> = events.iter().filter(|e| e.starts_with("recv a")).collect();
+    let b_stream: Vec<&String> = events.iter().filter(|e| e.starts_with("recv b")).collect();
+    assert_eq!(a_stream.len(), 4);
+    assert_eq!(b_stream.len(), 4);
+    assert!(a_stream.windows(2).all(|w| w[0] <= w[1]));
+}

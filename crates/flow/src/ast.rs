@@ -1,0 +1,154 @@
+//! Abstract syntax of the kernel-specification language.
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Integer division.
+    Div,
+    /// Remainder.
+    Mod,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater or equal.
+    Ge,
+    /// Logical and (non-zero = true).
+    And,
+    /// Logical or.
+    Or,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i64),
+    /// Scalar variable read.
+    Var(String),
+    /// Array element read.
+    Index(String, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+}
+
+/// Statements, each carrying its source line for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `x := e`.
+    Assign {
+        /// Source line.
+        line: usize,
+        /// Target variable.
+        target: String,
+        /// Assigned expression.
+        expr: Expr,
+    },
+    /// `a[i] := e`.
+    AssignIndex {
+        /// Source line.
+        line: usize,
+        /// Target array.
+        target: String,
+        /// Index expression.
+        index: Expr,
+        /// Assigned expression.
+        expr: Expr,
+    },
+    /// `if c then ... else ... end`.
+    If {
+        /// Source line.
+        line: usize,
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then_body: Vec<Stmt>,
+        /// Else-branch (possibly empty).
+        else_body: Vec<Stmt>,
+    },
+    /// `while c do ... end`.
+    While {
+        /// Source line.
+        line: usize,
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `skip`.
+    Skip {
+        /// Source line.
+        line: usize,
+    },
+}
+
+impl Stmt {
+    /// The statement's source line.
+    pub fn line(&self) -> usize {
+        match self {
+            Stmt::Assign { line, .. }
+            | Stmt::AssignIndex { line, .. }
+            | Stmt::If { line, .. }
+            | Stmt::While { line, .. }
+            | Stmt::Skip { line } => *line,
+        }
+    }
+}
+
+/// A variable declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarDecl {
+    /// Variable name.
+    pub name: String,
+    /// Security class name (bound to a lattice element at certification).
+    pub class: String,
+    /// `Some(n)` for an array of `n` elements, `None` for a scalar.
+    pub array: Option<usize>,
+}
+
+/// A complete program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Declarations.
+    pub decls: Vec<VarDecl>,
+    /// Statements.
+    pub body: Vec<Stmt>,
+}
+
+impl Program {
+    /// Looks up a declaration by name.
+    pub fn decl(&self, name: &str) -> Option<&VarDecl> {
+        self.decls.iter().find(|d| d.name == name)
+    }
+
+    /// All variables read anywhere in an expression.
+    pub fn expr_vars(expr: &Expr, out: &mut Vec<String>) {
+        match expr {
+            Expr::Num(_) => {}
+            Expr::Var(v) => out.push(v.clone()),
+            Expr::Index(a, i) => {
+                out.push(a.clone());
+                Program::expr_vars(i, out);
+            }
+            Expr::Bin(_, l, r) => {
+                Program::expr_vars(l, out);
+                Program::expr_vars(r, out);
+            }
+            Expr::Not(e) => Program::expr_vars(e, out),
+        }
+    }
+}

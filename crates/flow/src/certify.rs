@@ -1,0 +1,301 @@
+//! Denning–Denning certification of secure information flow.
+//!
+//! Each variable carries a security class from a lattice. The rules:
+//!
+//! * the class of an expression is the least upper bound of the classes of
+//!   the variables it reads (array reads include the index's class);
+//! * an assignment `x := e` is certified iff `class(e) ⊔ context ≤ class(x)`,
+//!   where `context` is the lub of the classes of all conditions guarding
+//!   the statement (implicit flows);
+//! * array writes additionally fold in the index's class.
+//!
+//! This is *syntactic*: it never looks at values. That is its power (it is
+//! simple and compositional) and — as the paper's SWAP example shows — its
+//! fundamental limitation for verifying kernels.
+
+use crate::ast::{Expr, Program, Stmt};
+use sep_policy::Lattice;
+use std::collections::HashMap;
+
+/// A certified-flow failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowViolation {
+    /// Source line of the offending statement.
+    pub line: usize,
+    /// The assignment target.
+    pub target: String,
+    /// Debug rendering of the flowing class (lub of sources and context).
+    pub from_class: String,
+    /// Debug rendering of the target's class.
+    pub to_class: String,
+    /// True when the flow is via control (an `if`/`while` guard), not data.
+    pub implicit: bool,
+}
+
+impl core::fmt::Display for FlowViolation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "line {}: {}flow {} → {} into {} is not permitted by the lattice",
+            self.line,
+            if self.implicit { "implicit " } else { "" },
+            self.from_class,
+            self.to_class,
+            self.target,
+        )
+    }
+}
+
+/// An error preventing certification from running at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertifyError {
+    /// A variable is used but not declared.
+    UndeclaredVariable {
+        /// Line of use.
+        line: usize,
+        /// Variable name.
+        name: String,
+    },
+    /// A declaration references a class name not present in the binding.
+    UnknownClass {
+        /// Variable whose declaration is faulty.
+        name: String,
+        /// The unbound class name.
+        class: String,
+    },
+}
+
+impl core::fmt::Display for CertifyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CertifyError::UndeclaredVariable { line, name } => {
+                write!(f, "line {line}: undeclared variable {name}")
+            }
+            CertifyError::UnknownClass { name, class } => {
+                write!(f, "variable {name} declared with unknown class {class}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CertifyError {}
+
+/// Certifies `program` against the lattice binding `classes` (class name →
+/// lattice element). Returns the list of violations (empty = certified).
+pub fn certify<L: Lattice>(
+    program: &Program,
+    classes: &HashMap<String, L>,
+) -> Result<Vec<FlowViolation>, CertifyError> {
+    // Bind each variable to its class.
+    let mut var_class: HashMap<&str, L> = HashMap::new();
+    for d in &program.decls {
+        let class = classes.get(&d.class).ok_or_else(|| CertifyError::UnknownClass {
+            name: d.name.clone(),
+            class: d.class.clone(),
+        })?;
+        var_class.insert(&d.name, class.clone());
+    }
+    let mut violations = Vec::new();
+    let ctx = L::bottom();
+    certify_block(&program.body, &var_class, &ctx, false, &mut violations)?;
+    Ok(violations)
+}
+
+fn expr_class<L: Lattice>(
+    expr: &Expr,
+    vars: &HashMap<&str, L>,
+    line: usize,
+) -> Result<L, CertifyError> {
+    Ok(match expr {
+        Expr::Num(_) => L::bottom(),
+        Expr::Var(v) => lookup(vars, v, line)?.clone(),
+        Expr::Index(a, i) => lookup(vars, a, line)?.lub(&expr_class(i, vars, line)?),
+        Expr::Bin(_, l, r) => expr_class(l, vars, line)?.lub(&expr_class(r, vars, line)?),
+        Expr::Not(e) => expr_class(e, vars, line)?,
+    })
+}
+
+fn lookup<'a, L: Lattice>(
+    vars: &'a HashMap<&str, L>,
+    name: &str,
+    line: usize,
+) -> Result<&'a L, CertifyError> {
+    vars.get(name).ok_or_else(|| CertifyError::UndeclaredVariable {
+        line,
+        name: name.to_string(),
+    })
+}
+
+fn certify_block<L: Lattice>(
+    body: &[Stmt],
+    vars: &HashMap<&str, L>,
+    ctx: &L,
+    in_guard: bool,
+    out: &mut Vec<FlowViolation>,
+) -> Result<(), CertifyError> {
+    for stmt in body {
+        match stmt {
+            Stmt::Skip { .. } => {}
+            Stmt::Assign { line, target, expr } => {
+                let flowing = expr_class(expr, vars, *line)?.lub(ctx);
+                let tclass = lookup(vars, target, *line)?;
+                if !flowing.le(tclass) {
+                    let data_only = expr_class(expr, vars, *line)?;
+                    out.push(FlowViolation {
+                        line: *line,
+                        target: target.clone(),
+                        from_class: format!("{flowing:?}"),
+                        to_class: format!("{tclass:?}"),
+                        implicit: in_guard && data_only.le(tclass),
+                    });
+                }
+            }
+            Stmt::AssignIndex {
+                line,
+                target,
+                index,
+                expr,
+            } => {
+                let flowing = expr_class(expr, vars, *line)?
+                    .lub(&expr_class(index, vars, *line)?)
+                    .lub(ctx);
+                let tclass = lookup(vars, target, *line)?;
+                if !flowing.le(tclass) {
+                    let data_only =
+                        expr_class(expr, vars, *line)?.lub(&expr_class(index, vars, *line)?);
+                    out.push(FlowViolation {
+                        line: *line,
+                        target: target.clone(),
+                        from_class: format!("{flowing:?}"),
+                        to_class: format!("{tclass:?}"),
+                        implicit: in_guard && data_only.le(tclass),
+                    });
+                }
+            }
+            Stmt::If {
+                line,
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let inner = ctx.lub(&expr_class(cond, vars, *line)?);
+                certify_block(then_body, vars, &inner, true, out)?;
+                certify_block(else_body, vars, &inner, true, out)?;
+            }
+            Stmt::While { line, cond, body } => {
+                let inner = ctx.lub(&expr_class(cond, vars, *line)?);
+                certify_block(body, vars, &inner, true, out)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use sep_policy::lattice::TwoPoint;
+
+    fn two_point_classes() -> HashMap<String, TwoPoint> {
+        HashMap::from([
+            ("low".to_string(), TwoPoint::Low),
+            ("high".to_string(), TwoPoint::High),
+        ])
+    }
+
+    fn check(src: &str) -> Vec<FlowViolation> {
+        certify(&parse(src).unwrap(), &two_point_classes()).unwrap()
+    }
+
+    #[test]
+    fn upward_flow_certified() {
+        let v = check("var l : low; var h : high; h := l + 1;");
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn downward_flow_rejected() {
+        let v = check("var l : low; var h : high; l := h;");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].target, "l");
+        assert!(!v[0].implicit);
+    }
+
+    #[test]
+    fn implicit_flow_via_if_rejected() {
+        let v = check(
+            "var l : low; var h : high;
+             if h = 0 then l := 1; end",
+        );
+        assert_eq!(v.len(), 1);
+        assert!(v[0].implicit);
+    }
+
+    #[test]
+    fn implicit_flow_via_while_rejected() {
+        let v = check(
+            "var l : low; var h : high;
+             while h > 0 do l := l + 1; h := h - 1; end",
+        );
+        // The write to l leaks h via the guard; the write to h is fine.
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].target, "l");
+    }
+
+    #[test]
+    fn guard_at_same_level_certified() {
+        let v = check(
+            "var h : high; var g : high;
+             if g = 0 then h := 1; else h := 2; end",
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn array_index_class_counts_for_reads_and_writes() {
+        // Reading a low array at a high index leaks the index.
+        let v = check("var a : low[4]; var h : high; var l : low; l := a[h];");
+        assert_eq!(v.len(), 1);
+        // Writing a low array at a high index likewise.
+        let v = check("var a : low[4]; var h : high; a[h] := 0;");
+        assert_eq!(v.len(), 1);
+        // High array written from low data is fine.
+        let v = check("var a : high[4]; var l : low; a[l] := l;");
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn nested_guards_accumulate_context() {
+        let v = check(
+            "var l : low; var m : low; var h : high;
+             if h = 0 then
+               if m = 0 then l := 1; end
+             end",
+        );
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn undeclared_variable_is_an_error() {
+        let e = certify(
+            &parse("var x : low; x := ghost;").unwrap(),
+            &two_point_classes(),
+        )
+        .unwrap_err();
+        assert!(matches!(e, CertifyError::UndeclaredVariable { .. }));
+    }
+
+    #[test]
+    fn unknown_class_is_an_error() {
+        let e = certify(&parse("var x : mystery; x := 1;").unwrap(), &two_point_classes())
+            .unwrap_err();
+        assert!(matches!(e, CertifyError::UnknownClass { .. }));
+    }
+
+    #[test]
+    fn constants_are_bottom() {
+        let v = check("var l : low; l := 42;");
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,293 @@
+//! Interpreter: the semantics of the kernel-specification language.
+//!
+//! The interpreter exists so the same program text can be judged two ways:
+//! syntactically by [`mod@crate::certify`] (IFA) and semantically by Proof of
+//! Separability over its state-transition behaviour. The SWAP experiment
+//! (E3) depends on this distinction.
+
+use crate::ast::{BinOp, Expr, Program, Stmt};
+use std::collections::BTreeMap;
+
+/// A runtime error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// Use of an undeclared variable.
+    Undeclared(String),
+    /// Scalar/array shape mismatch.
+    ShapeMismatch(String),
+    /// Array index out of bounds.
+    OutOfBounds {
+        /// The array.
+        name: String,
+        /// The offending index.
+        index: i64,
+    },
+    /// Division or remainder by zero.
+    DivideByZero,
+    /// The step budget was exhausted (runaway loop).
+    OutOfFuel,
+}
+
+impl core::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            InterpError::Undeclared(n) => write!(f, "undeclared variable {n}"),
+            InterpError::ShapeMismatch(n) => write!(f, "scalar/array mismatch on {n}"),
+            InterpError::OutOfBounds { name, index } => {
+                write!(f, "index {index} out of bounds for {name}")
+            }
+            InterpError::DivideByZero => write!(f, "division by zero"),
+            InterpError::OutOfFuel => write!(f, "step budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// A variable binding: scalar or array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// A scalar.
+    Scalar(i64),
+    /// An array.
+    Array(Vec<i64>),
+}
+
+/// The interpreter environment: variable name → value.
+pub type Env = BTreeMap<String, Value>;
+
+/// Builds the initial environment from a program's declarations (zeroes).
+pub fn initial_env(program: &Program) -> Env {
+    program
+        .decls
+        .iter()
+        .map(|d| {
+            let v = match d.array {
+                Some(n) => Value::Array(vec![0; n]),
+                None => Value::Scalar(0),
+            };
+            (d.name.clone(), v)
+        })
+        .collect()
+}
+
+/// Runs a program to completion over `env`, bounded by `fuel` statement
+/// executions.
+pub fn run_program(program: &Program, env: &mut Env, fuel: u64) -> Result<(), InterpError> {
+    let mut fuel = fuel;
+    exec_block(&program.body, env, &mut fuel)
+}
+
+fn eval(expr: &Expr, env: &Env) -> Result<i64, InterpError> {
+    Ok(match expr {
+        Expr::Num(n) => *n,
+        Expr::Var(v) => match env.get(v) {
+            Some(Value::Scalar(n)) => *n,
+            Some(Value::Array(_)) => return Err(InterpError::ShapeMismatch(v.clone())),
+            None => return Err(InterpError::Undeclared(v.clone())),
+        },
+        Expr::Index(a, i) => {
+            let idx = eval(i, env)?;
+            match env.get(a) {
+                Some(Value::Array(items)) => *items
+                    .get(usize::try_from(idx).ok().filter(|&i| i < items.len()).ok_or(
+                        InterpError::OutOfBounds {
+                            name: a.clone(),
+                            index: idx,
+                        },
+                    )?)
+                    .ok_or(InterpError::OutOfBounds {
+                        name: a.clone(),
+                        index: idx,
+                    })?,
+                Some(Value::Scalar(_)) => return Err(InterpError::ShapeMismatch(a.clone())),
+                None => return Err(InterpError::Undeclared(a.clone())),
+            }
+        }
+        Expr::Bin(op, l, r) => {
+            let a = eval(l, env)?;
+            let b = eval(r, env)?;
+            match op {
+                BinOp::Add => a.wrapping_add(b),
+                BinOp::Sub => a.wrapping_sub(b),
+                BinOp::Mul => a.wrapping_mul(b),
+                BinOp::Div => {
+                    if b == 0 {
+                        return Err(InterpError::DivideByZero);
+                    }
+                    a.wrapping_div(b)
+                }
+                BinOp::Mod => {
+                    if b == 0 {
+                        return Err(InterpError::DivideByZero);
+                    }
+                    a.wrapping_rem(b)
+                }
+                BinOp::Eq => (a == b) as i64,
+                BinOp::Ne => (a != b) as i64,
+                BinOp::Lt => (a < b) as i64,
+                BinOp::Le => (a <= b) as i64,
+                BinOp::Gt => (a > b) as i64,
+                BinOp::Ge => (a >= b) as i64,
+                BinOp::And => ((a != 0) && (b != 0)) as i64,
+                BinOp::Or => ((a != 0) || (b != 0)) as i64,
+            }
+        }
+        Expr::Not(e) => (eval(e, env)? == 0) as i64,
+    })
+}
+
+fn exec_block(body: &[Stmt], env: &mut Env, fuel: &mut u64) -> Result<(), InterpError> {
+    for stmt in body {
+        if *fuel == 0 {
+            return Err(InterpError::OutOfFuel);
+        }
+        *fuel -= 1;
+        match stmt {
+            Stmt::Skip { .. } => {}
+            Stmt::Assign { target, expr, .. } => {
+                let v = eval(expr, env)?;
+                match env.get_mut(target) {
+                    Some(Value::Scalar(slot)) => *slot = v,
+                    Some(Value::Array(_)) => return Err(InterpError::ShapeMismatch(target.clone())),
+                    None => return Err(InterpError::Undeclared(target.clone())),
+                }
+            }
+            Stmt::AssignIndex {
+                target,
+                index,
+                expr,
+                ..
+            } => {
+                let idx = eval(index, env)?;
+                let v = eval(expr, env)?;
+                match env.get_mut(target) {
+                    Some(Value::Array(items)) => {
+                        let i = usize::try_from(idx)
+                            .ok()
+                            .filter(|&i| i < items.len())
+                            .ok_or(InterpError::OutOfBounds {
+                                name: target.clone(),
+                                index: idx,
+                            })?;
+                        items[i] = v;
+                    }
+                    Some(Value::Scalar(_)) => return Err(InterpError::ShapeMismatch(target.clone())),
+                    None => return Err(InterpError::Undeclared(target.clone())),
+                }
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
+                if eval(cond, env)? != 0 {
+                    exec_block(then_body, env, fuel)?;
+                } else {
+                    exec_block(else_body, env, fuel)?;
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                while eval(cond, env)? != 0 {
+                    if *fuel == 0 {
+                        return Err(InterpError::OutOfFuel);
+                    }
+                    *fuel -= 1;
+                    exec_block(body, env, fuel)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn run(src: &str) -> Env {
+        let p = parse(src).unwrap();
+        let mut env = initial_env(&p);
+        run_program(&p, &mut env, 100_000).unwrap();
+        env
+    }
+
+    fn scalar(env: &Env, name: &str) -> i64 {
+        match env.get(name) {
+            Some(Value::Scalar(n)) => *n,
+            other => panic!("{name}: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_assignment() {
+        let env = run("var x : low; x := 2 + 3 * 4;");
+        assert_eq!(scalar(&env, "x"), 14);
+    }
+
+    #[test]
+    fn while_loop_sums() {
+        let env = run(
+            "var s : low; var i : low;
+             i := 1;
+             while i <= 10 do s := s + i; i := i + 1; end",
+        );
+        assert_eq!(scalar(&env, "s"), 55);
+    }
+
+    #[test]
+    fn if_else_branches() {
+        let env = run(
+            "var x : low; var y : low;
+             x := 5;
+             if x > 3 then y := 1; else y := 2; end",
+        );
+        assert_eq!(scalar(&env, "y"), 1);
+    }
+
+    #[test]
+    fn arrays_read_and_write() {
+        let env = run(
+            "var a : low[4]; var i : low;
+             while i < 4 do a[i] := i * i; i := i + 1; end",
+        );
+        match env.get("a") {
+            Some(Value::Array(v)) => assert_eq!(v, &vec![0, 1, 4, 9]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported() {
+        let p = parse("var a : low[2]; a[5] := 1;").unwrap();
+        let mut env = initial_env(&p);
+        let e = run_program(&p, &mut env, 100).unwrap_err();
+        assert!(matches!(e, InterpError::OutOfBounds { index: 5, .. }));
+    }
+
+    #[test]
+    fn divide_by_zero_is_reported() {
+        let p = parse("var x : low; x := 1 / 0;").unwrap();
+        let mut env = initial_env(&p);
+        assert_eq!(run_program(&p, &mut env, 100), Err(InterpError::DivideByZero));
+    }
+
+    #[test]
+    fn runaway_loop_exhausts_fuel() {
+        let p = parse("var x : low; while 1 = 1 do skip; end").unwrap();
+        let mut env = initial_env(&p);
+        assert_eq!(run_program(&p, &mut env, 1000), Err(InterpError::OutOfFuel));
+    }
+
+    #[test]
+    fn logic_operators() {
+        let env = run(
+            "var x : low; var y : low;
+             x := (1 and 2) + (0 or 3) + not 0;",
+        );
+        // (true)=1, (true)=1, not 0 = 1.
+        assert_eq!(scalar(&env, "x"), 3);
+    }
+}

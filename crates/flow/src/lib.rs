@@ -1,0 +1,34 @@
+//! Information Flow Analysis — the verification baseline the paper argues
+//! against.
+//!
+//! IFA (Denning & Denning's certification, used by MITRE and KSOS) is "a
+//! syntactic technique: it is concerned only with the security
+//! classifications ('colours') of variables, not their values." This crate
+//! implements it faithfully over a small imperative kernel-specification
+//! language:
+//!
+//! * [`ast`], [`lexer`], [`parser`] — the language (scalars, arrays,
+//!   arithmetic, `if`/`while`).
+//! * [`mod@certify`] — Denning-style certification of explicit and implicit
+//!   flows against any [`sep_policy::Lattice`].
+//! * [`interp`] — an interpreter giving the language semantics, so the same
+//!   program can be judged *semantically* (by Proof of Separability) and
+//!   *syntactically* (by IFA).
+//! * [`swap`] — the paper's star witness: the register-SWAP routine, which
+//!   is "manifestly secure" yet rejected by IFA under every possible
+//!   classification of the shared register file; `swap::SwapMachine` is the
+//!   semantic model that Proof of Separability verifies.
+
+#![forbid(unsafe_code)]
+
+pub mod ast;
+pub mod certify;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+pub mod swap;
+
+pub use ast::{BinOp, Expr, Program, Stmt, VarDecl};
+pub use certify::{certify, FlowViolation};
+pub use interp::{run_program, Env, InterpError};
+pub use parser::{parse, ParseError};

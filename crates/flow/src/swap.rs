@@ -1,0 +1,401 @@
+//! The SWAP example: IFA's blind spot, Proof of Separability's home turf.
+//!
+//! > "Verification by IFA requires that operations invoked by RED may only
+//! > access RED values — but it is evident that the SWAP operation *must*
+//! > access *both* RED *and* BLACK values. It follows that IFA cannot verify
+//! > the security of a SWAP operation, even though it is manifestly secure."
+//!
+//! This module contains all three artefacts of experiment E3:
+//!
+//! * [`swap_program`] — the SWAP routine written in the kernel-specification
+//!   language: save the general registers into the RED save area, reload
+//!   them from the BLACK save area;
+//! * [`Diamond`] — the lattice `LOW ≤ {RED, BLACK} ≤ HIGH` with RED and
+//!   BLACK incomparable;
+//! * [`ifa_verdict_for_all_register_classes`] — certification of the SWAP
+//!   program under *every possible* classification of the shared register
+//!   file: each one fails, demonstrating the paper's claim syntactically;
+//! * [`SwapMachine`] — the *semantics* of a kernel performing
+//!   compute-then-SWAP rounds, as a [`SharedSystem`]; Proof of Separability
+//!   verifies it (see the tests), because each regime's abstraction function
+//!   sees the registers only while that regime owns them.
+
+use crate::ast::Program;
+use crate::certify::{certify, FlowViolation};
+use crate::parser::parse;
+use sep_model::abstraction::Abstraction;
+use sep_model::system::{Finite, Projected, SharedSystem};
+use sep_policy::Lattice;
+use std::collections::HashMap;
+
+/// The diamond lattice: `Low ≤ Red ≤ High`, `Low ≤ Black ≤ High`, with
+/// `Red` and `Black` incomparable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Diamond {
+    /// Bottom.
+    Low,
+    /// RED regime data.
+    Red,
+    /// BLACK regime data.
+    Black,
+    /// Top.
+    High,
+}
+
+impl Lattice for Diamond {
+    fn le(&self, other: &Self) -> bool {
+        matches!(
+            (self, other),
+            (Diamond::Low, _)
+                | (_, Diamond::High)
+                | (Diamond::Red, Diamond::Red)
+                | (Diamond::Black, Diamond::Black)
+        )
+    }
+
+    fn lub(&self, other: &Self) -> Self {
+        if self == other {
+            *self
+        } else if *self == Diamond::Low {
+            *other
+        } else if *other == Diamond::Low {
+            *self
+        } else {
+            Diamond::High
+        }
+    }
+
+    fn glb(&self, other: &Self) -> Self {
+        if self == other {
+            *self
+        } else if *self == Diamond::High {
+            *other
+        } else if *other == Diamond::High {
+            *self
+        } else {
+            Diamond::Low
+        }
+    }
+
+    fn bottom() -> Self {
+        Diamond::Low
+    }
+
+    fn top() -> Self {
+        Diamond::High
+    }
+}
+
+/// The SWAP routine as a kernel specification: RED is relinquishing the CPU,
+/// so the general registers are saved to RED's save area and reloaded from
+/// BLACK's. The class of `regs` is left as the free name `regclass`.
+pub fn swap_program() -> Program {
+    parse(
+        "var regs : regclass[2];
+         var red_save : red[2];
+         var black_save : black[2];
+         red_save[0] := regs[0];
+         red_save[1] := regs[1];
+         regs[0] := black_save[0];
+         regs[1] := black_save[1];",
+    )
+    .expect("swap program parses")
+}
+
+/// Certifies the SWAP program with `regs` bound to each of the four diamond
+/// classes in turn. Returns (class, violations) pairs.
+///
+/// The paper's claim is that *every* row has at least one violation: no
+/// single classification of the shared register file makes SWAP certifiable,
+/// even though it is manifestly secure.
+pub fn ifa_verdict_for_all_register_classes() -> Vec<(Diamond, Vec<FlowViolation>)> {
+    let program = swap_program();
+    [Diamond::Low, Diamond::Red, Diamond::Black, Diamond::High]
+        .into_iter()
+        .map(|regclass| {
+            let classes = HashMap::from([
+                ("red".to_string(), Diamond::Red),
+                ("black".to_string(), Diamond::Black),
+                ("regclass".to_string(), regclass),
+            ]);
+            let violations = certify(&program, &classes).expect("certification runs");
+            (regclass, violations)
+        })
+        .collect()
+}
+
+/// The two regimes of the SWAP machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SwapColour {
+    /// RED.
+    Red,
+    /// BLACK.
+    Black,
+}
+
+/// State of the SWAP machine: who owns the CPU, the (shared) general
+/// registers, and the two save areas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SwapState {
+    /// The regime currently executing.
+    pub turn: SwapColour,
+    /// The shared general registers.
+    pub regs: [u8; 2],
+    /// RED's save area.
+    pub red_save: [u8; 2],
+    /// BLACK's save area.
+    pub black_save: [u8; 2],
+}
+
+/// The single operation: the active regime computes one step (increments
+/// `regs[0]`), then the kernel SWAPs — saving the registers into the active
+/// regime's save area and reloading them from the other's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ComputeAndSwap;
+
+/// The semantics of compute-then-SWAP rounds as a shared system.
+#[derive(Debug, Clone)]
+pub struct SwapMachine {
+    /// Register values live in `0..modulus`.
+    pub modulus: u8,
+}
+
+impl SwapMachine {
+    /// A machine with the given register modulus (≥ 2).
+    pub fn new(modulus: u8) -> SwapMachine {
+        SwapMachine { modulus }
+    }
+
+    /// The canonical initial state.
+    pub fn initial(&self) -> SwapState {
+        SwapState {
+            turn: SwapColour::Red,
+            regs: [0, 0],
+            red_save: [0, 0],
+            black_save: [0, 0],
+        }
+    }
+
+    /// The view each regime has of "its registers": the live registers when
+    /// it owns the CPU, its save area otherwise. This is the abstraction
+    /// function Φ^c of the Proof of Separability.
+    pub fn view(&self, c: SwapColour, s: &SwapState) -> [u8; 2] {
+        if s.turn == c {
+            s.regs
+        } else {
+            match c {
+                SwapColour::Red => s.red_save,
+                SwapColour::Black => s.black_save,
+            }
+        }
+    }
+
+    /// Per-colour abstractions for the checker.
+    pub fn abstractions(&self) -> [SwapAbstraction; 2] {
+        [
+            SwapAbstraction {
+                colour: SwapColour::Red,
+                modulus: self.modulus,
+            },
+            SwapAbstraction {
+                colour: SwapColour::Black,
+                modulus: self.modulus,
+            },
+        ]
+    }
+}
+
+impl SharedSystem for SwapMachine {
+    type State = SwapState;
+    type Input = ();
+    type Output = (u8, u8);
+    type Colour = SwapColour;
+    type Op = ComputeAndSwap;
+
+    fn colours(&self) -> Vec<SwapColour> {
+        vec![SwapColour::Red, SwapColour::Black]
+    }
+
+    fn colour(&self, s: &SwapState) -> SwapColour {
+        s.turn
+    }
+
+    fn output(&self, s: &SwapState) -> (u8, u8) {
+        (
+            self.view(SwapColour::Red, s)[0],
+            self.view(SwapColour::Black, s)[0],
+        )
+    }
+
+    fn consume(&self, s: &SwapState, _i: &()) -> SwapState {
+        *s
+    }
+
+    fn next_op(&self, _s: &SwapState) -> ComputeAndSwap {
+        ComputeAndSwap
+    }
+
+    fn apply(&self, _op: &ComputeAndSwap, s: &SwapState) -> SwapState {
+        let mut regs = s.regs;
+        regs[0] = (regs[0] + 1) % self.modulus;
+        match s.turn {
+            SwapColour::Red => SwapState {
+                turn: SwapColour::Black,
+                regs: s.black_save,
+                red_save: regs,
+                black_save: s.black_save,
+            },
+            SwapColour::Black => SwapState {
+                turn: SwapColour::Red,
+                regs: s.red_save,
+                red_save: s.red_save,
+                black_save: regs,
+            },
+        }
+    }
+}
+
+impl Projected for SwapMachine {
+    type View = u8;
+
+    fn extract_input(&self, _c: &SwapColour, _i: &()) -> u8 {
+        0
+    }
+
+    fn extract_output(&self, c: &SwapColour, o: &(u8, u8)) -> u8 {
+        match c {
+            SwapColour::Red => o.0,
+            SwapColour::Black => o.1,
+        }
+    }
+}
+
+impl Finite for SwapMachine {
+    fn states(&self) -> Vec<SwapState> {
+        let m = self.modulus;
+        let mut out = Vec::new();
+        for turn in [SwapColour::Red, SwapColour::Black] {
+            for r0 in 0..m {
+                for r1 in 0..m {
+                    for rs0 in 0..m {
+                        for rs1 in 0..m {
+                            for bs0 in 0..m {
+                                for bs1 in 0..m {
+                                    out.push(SwapState {
+                                        turn,
+                                        regs: [r0, r1],
+                                        red_save: [rs0, rs1],
+                                        black_save: [bs0, bs1],
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn inputs(&self) -> Vec<()> {
+        vec![()]
+    }
+
+    fn ops(&self) -> Vec<ComputeAndSwap> {
+        vec![ComputeAndSwap]
+    }
+}
+
+/// Φ^c for the SWAP machine: the regime's registers as *it* can see them.
+#[derive(Debug, Clone)]
+pub struct SwapAbstraction {
+    /// The colour whose view this is.
+    pub colour: SwapColour,
+    /// Register modulus (matches the machine).
+    pub modulus: u8,
+}
+
+impl Abstraction<SwapMachine> for SwapAbstraction {
+    type AState = [u8; 2];
+    type AOp = ComputeAndSwap;
+
+    fn colour(&self) -> SwapColour {
+        self.colour
+    }
+
+    fn phi(&self, sys: &SwapMachine, s: &SwapState) -> [u8; 2] {
+        sys.view(self.colour, s)
+    }
+
+    fn abop(&self, _sys: &SwapMachine, op: &ComputeAndSwap) -> ComputeAndSwap {
+        *op
+    }
+
+    fn apply_abstract(&self, _sys: &SwapMachine, _aop: &ComputeAndSwap, a: &[u8; 2]) -> [u8; 2] {
+        // The regime's own view of the round: its first register increments.
+        // The SWAP itself is invisible to it.
+        [(a[0] + 1) % self.modulus, a[1]]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sep_model::check::SeparabilityChecker;
+
+    #[test]
+    fn ifa_rejects_swap_under_every_classification() {
+        let verdicts = ifa_verdict_for_all_register_classes();
+        assert_eq!(verdicts.len(), 4);
+        for (class, violations) in &verdicts {
+            assert!(
+                !violations.is_empty(),
+                "IFA unexpectedly certified SWAP with regs: {class:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ifa_violation_sites_match_the_argument() {
+        // With regs: RED, the saves to red_save certify but the reloads from
+        // black_save do not; with regs: BLACK, vice versa.
+        let verdicts = ifa_verdict_for_all_register_classes();
+        let red = verdicts.iter().find(|(c, _)| *c == Diamond::Red).unwrap();
+        assert!(red.1.iter().all(|v| v.target == "regs"));
+        let black = verdicts.iter().find(|(c, _)| *c == Diamond::Black).unwrap();
+        assert!(black.1.iter().all(|v| v.target == "red_save"));
+    }
+
+    #[test]
+    fn proof_of_separability_verifies_swap_semantics() {
+        let m = SwapMachine::new(3);
+        let report = SeparabilityChecker::new().check(&m, &m.abstractions());
+        assert!(report.is_separable(), "{report}");
+        // Full state space: 2 * 3^6 states.
+        assert_eq!(report.states, 2 * 3usize.pow(6));
+    }
+
+    #[test]
+    fn swap_round_trip_preserves_each_regimes_registers() {
+        let m = SwapMachine::new(10);
+        let s0 = m.initial();
+        // One round of RED then one of BLACK returns the CPU to RED with
+        // RED's registers incremented exactly once.
+        let s1 = m.apply(&ComputeAndSwap, &s0);
+        let s2 = m.apply(&ComputeAndSwap, &s1);
+        assert_eq!(s2.turn, SwapColour::Red);
+        assert_eq!(m.view(SwapColour::Red, &s2), [1, 0]);
+        assert_eq!(m.view(SwapColour::Black, &s2), [1, 0]);
+    }
+
+    #[test]
+    fn diamond_is_a_lattice() {
+        use Diamond::*;
+        assert!(Low.le(&Red) && Low.le(&Black) && Red.le(&High));
+        assert!(Red.incomparable(&Black));
+        assert_eq!(Red.lub(&Black), High);
+        assert_eq!(Red.glb(&Black), Low);
+        assert_eq!(Red.lub(&Low), Red);
+        assert_eq!(Red.glb(&High), Red);
+    }
+}

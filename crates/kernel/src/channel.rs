@@ -1,0 +1,173 @@
+//! Kernel-mediated message channels.
+//!
+//! Channels are the only communication the kernel provides between regimes,
+//! mirroring the dedicated lines of the distributed design. Each is
+//! unidirectional, statically configured, and bounded; the kernel copies
+//! message bytes between partitions so no memory is ever shared.
+
+use crate::config::ChannelSpec;
+use std::collections::VecDeque;
+
+/// Maximum message size in bytes.
+pub const MAX_MSG: usize = 512;
+
+/// Status codes returned to regimes (in R0 for machine-code regimes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelStatus {
+    /// Operation succeeded.
+    Ok,
+    /// Send refused: the queue is at capacity.
+    Full,
+    /// Receive refused: the queue is empty.
+    Empty,
+    /// The channel does not exist or the caller is not its declared
+    /// endpoint, or the buffer was invalid.
+    Invalid,
+}
+
+impl ChannelStatus {
+    /// The ABI encoding placed in R0.
+    pub fn code(self) -> u16 {
+        match self {
+            ChannelStatus::Ok => 0,
+            ChannelStatus::Full => 1,
+            ChannelStatus::Empty => 2,
+            ChannelStatus::Invalid => 3,
+        }
+    }
+}
+
+/// A channel's runtime state.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    /// The static configuration.
+    pub spec: ChannelSpec,
+    /// Whether this channel has been "cut" (wire-cutting argument): sends
+    /// feed the queue but nothing ever drains it, and receives always
+    /// report empty.
+    pub cut: bool,
+    queue: VecDeque<Vec<u8>>,
+}
+
+impl Channel {
+    /// A fresh channel for a spec.
+    pub fn new(spec: ChannelSpec, cut: bool) -> Channel {
+        Channel {
+            spec,
+            cut,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Attempts to enqueue a message from regime `sender`.
+    pub fn send(&mut self, sender: usize, msg: Vec<u8>) -> ChannelStatus {
+        if sender != self.spec.from || msg.len() > MAX_MSG {
+            return ChannelStatus::Invalid;
+        }
+        if self.queue.len() >= self.spec.capacity {
+            return ChannelStatus::Full;
+        }
+        self.queue.push_back(msg);
+        ChannelStatus::Ok
+    }
+
+    /// Attempts to dequeue a message for regime `receiver`.
+    pub fn recv(&mut self, receiver: usize) -> Result<Vec<u8>, ChannelStatus> {
+        if receiver != self.spec.to {
+            return Err(ChannelStatus::Invalid);
+        }
+        if self.cut {
+            return Err(ChannelStatus::Empty);
+        }
+        self.queue.pop_front().ok_or(ChannelStatus::Empty)
+    }
+
+    /// Queue length as observable by regime `who` (senders and receivers
+    /// see the queue; others see nothing).
+    pub fn poll(&self, who: usize) -> Option<usize> {
+        if who == self.spec.from {
+            Some(self.queue.len())
+        } else if who == self.spec.to {
+            Some(if self.cut { 0 } else { self.queue.len() })
+        } else {
+            None
+        }
+    }
+
+    /// The queued messages (for state snapshots).
+    pub fn queue(&self) -> &VecDeque<Vec<u8>> {
+        &self.queue
+    }
+
+    /// Replaces the queue contents (verification adapters imposing a
+    /// projected state).
+    pub fn restore_queue(&mut self, msgs: Vec<Vec<u8>>) {
+        self.queue = msgs.into();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chan(capacity: usize, cut: bool) -> Channel {
+        Channel::new(
+            ChannelSpec {
+                from: 0,
+                to: 1,
+                capacity,
+            },
+            cut,
+        )
+    }
+
+    #[test]
+    fn fifo_send_recv() {
+        let mut c = chan(2, false);
+        assert_eq!(c.send(0, vec![1]), ChannelStatus::Ok);
+        assert_eq!(c.send(0, vec![2]), ChannelStatus::Ok);
+        assert_eq!(c.recv(1), Ok(vec![1]));
+        assert_eq!(c.recv(1), Ok(vec![2]));
+        assert_eq!(c.recv(1), Err(ChannelStatus::Empty));
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut c = chan(1, false);
+        assert_eq!(c.send(0, vec![1]), ChannelStatus::Ok);
+        assert_eq!(c.send(0, vec![2]), ChannelStatus::Full);
+    }
+
+    #[test]
+    fn endpoints_enforced() {
+        let mut c = chan(2, false);
+        assert_eq!(c.send(1, vec![1]), ChannelStatus::Invalid);
+        assert_eq!(c.recv(0), Err(ChannelStatus::Invalid));
+    }
+
+    #[test]
+    fn oversized_message_rejected() {
+        let mut c = chan(2, false);
+        assert_eq!(c.send(0, vec![0; MAX_MSG + 1]), ChannelStatus::Invalid);
+        assert_eq!(c.send(0, vec![0; MAX_MSG]), ChannelStatus::Ok);
+    }
+
+    #[test]
+    fn cut_channel_never_delivers() {
+        let mut c = chan(2, true);
+        assert_eq!(c.send(0, vec![9]), ChannelStatus::Ok);
+        assert_eq!(c.recv(1), Err(ChannelStatus::Empty));
+        // Sender still sees capacity behaviour.
+        assert_eq!(c.send(0, vec![9]), ChannelStatus::Ok);
+        assert_eq!(c.send(0, vec![9]), ChannelStatus::Full);
+        // Receiver polls zero; sender polls its stub.
+        assert_eq!(c.poll(1), Some(0));
+        assert_eq!(c.poll(0), Some(2));
+    }
+
+    #[test]
+    fn third_parties_cannot_poll() {
+        let c = chan(2, false);
+        assert_eq!(c.poll(2), None);
+    }
+}

@@ -1,0 +1,1071 @@
+//! The separation kernel proper.
+//!
+//! The kernel is the machine's privileged mode, written in Rust (see
+//! DESIGN.md, substitution 2). Its entire behaviour is:
+//!
+//! * **boot** — carve fixed partitions, place each regime's devices in a
+//!   private I/O window, load programs, program the MMU;
+//! * **consume phase** — advance device time and field interrupts into the
+//!   owning regime's pending queue (the formal model's INPUT stage);
+//! * **execute phase** — deliver one pending interrupt to the current
+//!   regime, or let it execute one instruction, handling its traps: SWAP
+//!   (voluntary yield, round-robin), SEND/RECV/POLL/MYID (channels), WAIT,
+//!   and faults.
+//!
+//! That is the whole kernel — "readers will appreciate that, in comparison
+//! with a conventional security kernel, the SUE is indeed small and simple."
+//! Experiment E1 counts exactly how small.
+
+use crate::channel::{Channel, ChannelStatus, MAX_MSG};
+use crate::config::{DeviceSpec, KernelConfig, Mutation, ProgramSpec};
+use crate::regime::{
+    DeviceBinding, NativeAction, RegimeIo, RegimeRecord, RegimeStatus, SaveArea, DEV_WINDOW,
+    PARTITION_SIZE, VEC_BASE,
+};
+use sep_machine::asm::{assemble, AsmError};
+use sep_machine::dev::clock::LineClock;
+use sep_machine::dev::crypto::CryptoUnit;
+use sep_machine::dev::dma::DmaDisk;
+use sep_machine::dev::printer::LinePrinter;
+use sep_machine::dev::serial::SerialLine;
+use sep_machine::dev::InterruptRequest;
+use sep_machine::exec::{Event, Machine, Trap};
+use sep_machine::mem::IO_BASE;
+use sep_machine::mmu::{Access, SegmentDescriptor};
+use sep_machine::psw::{Mode, Psw};
+use sep_machine::types::{PhysAddr, Word};
+
+/// Physical base of the first partition (below it is reserved for nothing —
+/// the kernel itself lives outside the machine).
+const FIRST_PARTITION: PhysAddr = 0o40000;
+
+/// Bytes of I/O page reserved per regime for its devices.
+const DEV_WINDOW_BYTES: u32 = 1024;
+
+/// Maximum number of regimes (bounded by available partitions).
+pub const MAX_REGIMES: usize = 16;
+
+/// Maximum regimes with devices (each needs a window in the 8 KiB I/O
+/// page).
+pub const MAX_DEVICE_WINDOWS: usize = 8;
+
+/// Boot-time errors.
+#[derive(Debug)]
+pub enum KernelError {
+    /// The configuration names no regimes.
+    NoRegimes,
+    /// More regimes than [`MAX_REGIMES`].
+    TooManyRegimes(usize),
+    /// A regime's assembly failed.
+    Assembly {
+        /// The regime.
+        regime: String,
+        /// The assembler error.
+        error: AsmError,
+    },
+    /// A program exceeds the partition.
+    ProgramTooLarge {
+        /// The regime.
+        regime: String,
+    },
+    /// A DMA device was configured while DMA is excluded — the SUE's
+    /// "ruthless approach", enforced at generation time.
+    DmaExcluded {
+        /// The regime.
+        regime: String,
+    },
+    /// A regime's devices exceed its I/O window.
+    DeviceWindowOverflow {
+        /// The regime.
+        regime: String,
+    },
+    /// A channel references a regime that does not exist.
+    BadChannelEndpoint {
+        /// Index in the channel list.
+        channel: usize,
+    },
+}
+
+impl core::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            KernelError::NoRegimes => write!(f, "no regimes configured"),
+            KernelError::TooManyRegimes(n) => write!(f, "{n} regimes exceeds the maximum of {MAX_REGIMES}"),
+            KernelError::Assembly { regime, error } => write!(f, "regime {regime}: {error}"),
+            KernelError::ProgramTooLarge { regime } => write!(f, "regime {regime}: program exceeds partition"),
+            KernelError::DmaExcluded { regime } => {
+                write!(f, "regime {regime}: DMA devices are excluded from the system")
+            }
+            KernelError::DeviceWindowOverflow { regime } => {
+                write!(f, "regime {regime}: devices exceed the I/O window")
+            }
+            KernelError::BadChannelEndpoint { channel } => {
+                write!(f, "channel {channel}: endpoint out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// What one kernel step did (for host observation and statistics; regimes
+/// cannot see these).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelEvent {
+    /// The current regime executed one instruction.
+    Executed,
+    /// A native regime took one step.
+    NativeStep,
+    /// Control passed between regimes.
+    Swapped {
+        /// Outgoing regime.
+        from: usize,
+        /// Incoming regime.
+        to: usize,
+    },
+    /// A pending interrupt was delivered (or discarded if unhandled).
+    DeliveredInterrupt {
+        /// The receiving regime.
+        regime: usize,
+        /// The device's vector.
+        vector: Word,
+    },
+    /// A kernel call was serviced.
+    Syscall {
+        /// The calling regime.
+        regime: usize,
+        /// The TRAP operand.
+        trap: u8,
+    },
+    /// The current regime faulted and was stopped.
+    Fault {
+        /// The faulting regime.
+        regime: usize,
+        /// The trap.
+        trap: Trap,
+    },
+    /// No regime is runnable; device time still advances.
+    Idle,
+    /// Every regime is permanently stopped.
+    AllStopped,
+    /// A DMA attempt was refused.
+    DmaBlocked {
+        /// The offending device index.
+        device: usize,
+    },
+}
+
+/// Kernel statistics — the measurable footprint for experiment E1.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Total steps taken.
+    pub steps: u64,
+    /// User instructions retired.
+    pub instructions: u64,
+    /// Context switches.
+    pub swaps: u64,
+    /// Kernel calls serviced, by trap number (0–4).
+    pub syscalls: [u64; 5],
+    /// Messages accepted onto channels.
+    pub messages_sent: u64,
+    /// Message bytes copied between partitions.
+    pub bytes_copied: u64,
+    /// Interrupts fielded from devices.
+    pub interrupts_fielded: u64,
+    /// Interrupts delivered to regimes.
+    pub interrupts_delivered: u64,
+    /// Regime faults.
+    pub faults: u64,
+    /// Idle steps.
+    pub idle_steps: u64,
+}
+
+/// The separation kernel plus the machine it drives.
+#[derive(Debug, Clone)]
+pub struct SeparationKernel {
+    /// The machine.
+    pub machine: Machine,
+    /// Per-regime records.
+    pub regimes: Vec<RegimeRecord>,
+    /// Channel states.
+    pub channels: Vec<Channel>,
+    /// Statistics.
+    pub stats: KernelStats,
+    current: usize,
+    mutation: Mutation,
+    quantum: Option<u64>,
+    fixed_slot: bool,
+    quantum_left: u64,
+    /// Remaining idle padding of an early-yielded fixed slot.
+    slot_idle_left: u64,
+    /// machine device index → (regime, slot base of that device).
+    device_owner: Vec<(usize, usize)>,
+}
+
+impl SeparationKernel {
+    /// Generates the system: builds the machine, places devices, loads
+    /// programs, and loads regime 0's context.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sep_kernel::config::{KernelConfig, RegimeSpec};
+    /// use sep_kernel::kernel::SeparationKernel;
+    ///
+    /// let cfg = KernelConfig::new(vec![
+    ///     RegimeSpec::assembly("a", "start: INC R1\n TRAP 0\n BR start"),
+    ///     RegimeSpec::assembly("b", "start: INC R2\n TRAP 0\n BR start"),
+    /// ]);
+    /// let mut kernel = SeparationKernel::boot(cfg).unwrap();
+    /// kernel.run(100);
+    /// assert!(kernel.stats.swaps > 10);
+    /// ```
+    pub fn boot(config: KernelConfig) -> Result<SeparationKernel, KernelError> {
+        if config.regimes.is_empty() {
+            return Err(KernelError::NoRegimes);
+        }
+        if config.regimes.len() > MAX_REGIMES {
+            return Err(KernelError::TooManyRegimes(config.regimes.len()));
+        }
+        // Channel endpoints are logical ids. In a cut configuration an
+        // endpoint may be absent (a stub end whose peer lives in the full
+        // system); uncut channels need both endpoints present.
+        let logical_ids: Vec<usize> = config
+            .regimes
+            .iter()
+            .enumerate()
+            .map(|(i, r)| r.logical.unwrap_or(i))
+            .collect();
+        for (i, ch) in config.channels.iter().enumerate() {
+            let from_ok = logical_ids.contains(&ch.from);
+            let to_ok = logical_ids.contains(&ch.to);
+            let ok = if config.channels_cut {
+                // Cut channels may have absent endpoints (they are inert
+                // stubs in single-regime sub-configurations).
+                ch.from != ch.to
+            } else {
+                from_ok && to_ok && ch.from != ch.to
+            };
+            if !ok {
+                return Err(KernelError::BadChannelEndpoint { channel: i });
+            }
+        }
+
+        let mut machine = Machine::new();
+        machine.allow_dma = config.allow_dma;
+        machine.mmu.enabled = true;
+        let mut regimes = Vec::new();
+        let mut device_owner = Vec::new();
+        let mut vector_next: Word = 0o300;
+        let mut windows_used: u32 = 0;
+
+        for (i, spec) in config.regimes.iter().enumerate() {
+            let partition_base = FIRST_PARTITION + (i as u32) * PARTITION_SIZE;
+            assert!(partition_base + PARTITION_SIZE <= IO_BASE);
+
+            // Place devices in this regime's private I/O window (windows
+            // are allocated only to regimes that own devices).
+            if !spec.devices.is_empty() && windows_used as usize >= MAX_DEVICE_WINDOWS {
+                return Err(KernelError::DeviceWindowOverflow {
+                    regime: spec.name.clone(),
+                });
+            }
+            let window_base = IO_BASE + windows_used * DEV_WINDOW_BYTES;
+            if !spec.devices.is_empty() {
+                windows_used += 1;
+            }
+            let mut offset: u32 = 0;
+            let mut bindings = Vec::new();
+            for (slot_pos, d) in spec.devices.iter().enumerate() {
+                let base = window_base + offset;
+                let vector = vector_next;
+                vector_next += 0o20;
+                let boxed: Box<dyn sep_machine::dev::Device> = match d {
+                    DeviceSpec::Serial => Box::new(SerialLine::new(
+                        &format!("{}-tty{}", spec.name, slot_pos),
+                        base,
+                        vector,
+                        4,
+                    )),
+                    DeviceSpec::Clock { period } => Box::new(LineClock::new(base, vector, *period)),
+                    DeviceSpec::Printer => Box::new(LinePrinter::new(base, vector)),
+                    DeviceSpec::Crypto => Box::new(CryptoUnit::new(base, vector)),
+                    DeviceSpec::DmaDisk => {
+                        if !config.allow_dma {
+                            return Err(KernelError::DmaExcluded {
+                                regime: spec.name.clone(),
+                            });
+                        }
+                        Box::new(DmaDisk::new(base, vector))
+                    }
+                };
+                let reg_len = boxed.reg_len();
+                // 64-byte alignment so the MMU could in principle trim.
+                offset += reg_len.div_ceil(64) * 64;
+                if offset > DEV_WINDOW_BYTES {
+                    return Err(KernelError::DeviceWindowOverflow {
+                        regime: spec.name.clone(),
+                    });
+                }
+                let machine_index = machine.devices.attach(boxed);
+                debug_assert_eq!(machine_index, device_owner.len());
+                device_owner.push((i, 2 * slot_pos));
+                bindings.push(DeviceBinding {
+                    machine_index,
+                    virtual_base: DEV_WINDOW + (base - window_base) as Word,
+                    reg_len,
+                    vector,
+                });
+            }
+
+            // Load the program.
+            let mut native = None;
+            match &spec.program {
+                ProgramSpec::Assembly(src) => {
+                    let prog = assemble(src).map_err(|error| KernelError::Assembly {
+                        regime: spec.name.clone(),
+                        error,
+                    })?;
+                    if prog.byte_len() as u32 > PARTITION_SIZE {
+                        return Err(KernelError::ProgramTooLarge {
+                            regime: spec.name.clone(),
+                        });
+                    }
+                    machine.mem.load_words(partition_base, &prog.words);
+                }
+                ProgramSpec::Words(words) => {
+                    if (words.len() * 2) as u32 > PARTITION_SIZE {
+                        return Err(KernelError::ProgramTooLarge {
+                            regime: spec.name.clone(),
+                        });
+                    }
+                    machine.mem.load_words(partition_base, words);
+                }
+                ProgramSpec::Native(n) => native = Some(n.boxed_clone()),
+            }
+
+            regimes.push(RegimeRecord {
+                name: spec.name.clone(),
+                logical_id: spec.logical.unwrap_or(i),
+                status: RegimeStatus::Ready,
+                save: SaveArea::boot(),
+                partition_base,
+                window_base,
+                devices: bindings,
+                pending_irqs: Default::default(),
+                native,
+            });
+        }
+
+        let channels = config
+            .channels
+            .iter()
+            .map(|spec| Channel::new(*spec, config.channels_cut))
+            .collect();
+
+        let mut kernel = SeparationKernel {
+            machine,
+            regimes,
+            channels,
+            stats: KernelStats::default(),
+            current: 0,
+            mutation: config.mutation,
+            quantum: config.quantum,
+            fixed_slot: config.fixed_slot,
+            quantum_left: config.quantum.unwrap_or(0),
+            slot_idle_left: 0,
+            device_owner,
+        };
+        kernel.load_context(0);
+        Ok(kernel)
+    }
+
+    /// The regime currently holding (or scheduled to hold) the CPU.
+    pub fn current(&self) -> usize {
+        self.current
+    }
+
+    /// The configured mutation (sabotage) of this kernel.
+    pub fn mutation(&self) -> Mutation {
+        self.mutation
+    }
+
+    /// True when the configuration has a preemption quantum (an extension
+    /// beyond the SUE; refused by the verification adapter).
+    pub fn has_quantum(&self) -> bool {
+        self.quantum.is_some()
+    }
+
+    /// One full kernel step: consume phase then execute phase.
+    pub fn step(&mut self) -> KernelEvent {
+        if let Some(ev) = self.consume_phase(&[]) {
+            return ev;
+        }
+        self.exec_phase()
+    }
+
+    /// Runs `n` steps, returning the events.
+    pub fn run(&mut self, n: u64) -> Vec<KernelEvent> {
+        (0..n).map(|_| self.step()).collect()
+    }
+
+    /// Runs until [`KernelEvent::AllStopped`] or the step bound.
+    pub fn run_until_stopped(&mut self, max_steps: u64) -> bool {
+        for _ in 0..max_steps {
+            if self.step() == KernelEvent::AllStopped {
+                return true;
+            }
+        }
+        false
+    }
+
+    // ------------------------------------------------------------------
+    // The consume phase (the model's INPUT stage).
+    // ------------------------------------------------------------------
+
+    /// Advances device time, injects host serial input (one optional byte
+    /// per regime, to that regime's first serial line), and fields raised
+    /// interrupts into the owning regimes' pending queues.
+    pub fn consume_phase(&mut self, inputs: &[Option<u8>]) -> Option<KernelEvent> {
+        self.stats.steps += 1;
+        if let Some(Event::DmaBlocked { device }) = self.machine.tick_phase() {
+            return Some(KernelEvent::DmaBlocked { device });
+        }
+        for (r, input) in inputs.iter().enumerate() {
+            if let Some(b) = input {
+                self.host_send_serial(r, &[*b]);
+            }
+        }
+        self.field_interrupts();
+        None
+    }
+
+    /// Fields every raised device interrupt: acknowledge the device, queue
+    /// the request for the owning regime, and wake it if it was waiting.
+    fn field_interrupts(&mut self) {
+        while let Some((device, request)) = self.machine.devices.highest_pending(0) {
+            if let Some(d) = self.machine.devices.get_mut(device) {
+                d.acknowledge();
+            }
+            self.stats.interrupts_fielded += 1;
+            let (owner, slot_base) = self.device_owner[device];
+            let owner = match self.mutation {
+                Mutation::MisrouteInterrupts => (owner + 1) % self.regimes.len(),
+                _ => owner,
+            };
+            let binding_vector = self.regimes[self.device_owner[device].0].devices
+                [slot_base / 2]
+                .vector;
+            let slot = slot_base + usize::from(request.vector != binding_vector);
+            let rec = &mut self.regimes[owner];
+            rec.pending_irqs.push_back((slot, request));
+            if rec.status == RegimeStatus::Waiting {
+                rec.status = RegimeStatus::Ready;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The execute phase.
+    // ------------------------------------------------------------------
+
+    /// Delivers one pending interrupt to the current regime, or executes
+    /// one instruction (or native step) on its behalf.
+    pub fn exec_phase(&mut self) -> KernelEvent {
+        // Fixed-slot padding: burn the remainder of an early-yielded slot.
+        if self.slot_idle_left > 0 {
+            self.slot_idle_left -= 1;
+            if self.slot_idle_left == 0 {
+                self.quantum_left = 0; // the slot is over; switch next step
+            }
+            self.stats.idle_steps += 1;
+            return KernelEvent::Idle;
+        }
+        // Scheduling repair: if the current regime cannot run, pass control.
+        if !self.regimes[self.current].status.runnable() {
+            return match self.next_runnable() {
+                Some(next) => {
+                    let from = self.current;
+                    self.switch_to(next);
+                    KernelEvent::Swapped { from, to: next }
+                }
+                None => {
+                    if self
+                        .regimes
+                        .iter()
+                        .all(|r| !matches!(r.status, RegimeStatus::Ready | RegimeStatus::Waiting))
+                    {
+                        KernelEvent::AllStopped
+                    } else {
+                        self.stats.idle_steps += 1;
+                        KernelEvent::Idle
+                    }
+                }
+            };
+        }
+
+        // Preemption quantum (extension; disabled in verified configs).
+        if let Some(q) = self.quantum {
+            if self.quantum_left == 0 {
+                self.quantum_left = q;
+                if let Some(next) = self.next_runnable() {
+                    let from = self.current;
+                    self.switch_to(next);
+                    return KernelEvent::Swapped { from, to: next };
+                }
+            } else {
+                self.quantum_left -= 1;
+            }
+        }
+
+        let r = self.current;
+        if self.regimes[r].native.is_none() {
+            if let Some((slot, request)) = self.regimes[r].pending_irqs.pop_front() {
+                return self.deliver_interrupt(r, slot, request);
+            }
+            let event = self.machine.exec_phase();
+            self.handle_machine_event(r, event)
+        } else {
+            self.native_step(r)
+        }
+    }
+
+    /// Vectors a pending interrupt into the regime's handler.
+    fn deliver_interrupt(&mut self, r: usize, slot: usize, request: InterruptRequest) -> KernelEvent {
+        let table = VEC_BASE + 4 * slot as Word;
+        let base = self.regimes[r].partition_base;
+        let handler = self.machine.mem.read_word(base + table as u32);
+        let entry_cc = self.machine.mem.read_word(base + table as u32 + 2);
+        self.stats.interrupts_delivered += 1;
+        if handler == 0 {
+            // Unhandled: discarded, as the kernel has nowhere to put it.
+            return KernelEvent::DeliveredInterrupt {
+                regime: r,
+                vector: request.vector,
+            };
+        }
+        // Hardware-style entry: push PSW (condition codes), push PC.
+        let cc = self.machine.cpu.psw.cc_bits();
+        let pc = self.machine.cpu.pc;
+        let sp0 = self.machine.cpu.reg(6);
+        let push = |k: &mut Machine, sp: Word, v: Word| -> Result<Word, Trap> {
+            let sp = sp.wrapping_sub(2);
+            k.write_word_v(sp, v)?;
+            Ok(sp)
+        };
+        let result = push(&mut self.machine, sp0, cc).and_then(|sp| push(&mut self.machine, sp, pc));
+        match result {
+            Ok(sp) => {
+                self.machine.cpu.set_reg(6, sp);
+                self.machine.cpu.pc = handler;
+                self.machine.cpu.psw.set_cc_bits(entry_cc);
+                KernelEvent::DeliveredInterrupt {
+                    regime: r,
+                    vector: request.vector,
+                }
+            }
+            Err(trap) => self.fault(r, trap),
+        }
+    }
+
+    /// Handles the outcome of one machine instruction.
+    fn handle_machine_event(&mut self, r: usize, event: Event) -> KernelEvent {
+        match event {
+            Event::Ran => {
+                self.stats.instructions += 1;
+                KernelEvent::Executed
+            }
+            Event::Wait => {
+                if self.regimes[r].pending_irqs.is_empty() {
+                    self.regimes[r].status = RegimeStatus::Waiting;
+                    if self.fixed_slot && self.quantum_left > 0 {
+                        self.slot_idle_left = self.quantum_left;
+                        return KernelEvent::Executed;
+                    }
+                    if let Some(next) = self.next_runnable() {
+                        self.switch_to(next);
+                        return KernelEvent::Swapped { from: r, to: next };
+                    }
+                }
+                KernelEvent::Executed
+            }
+            Event::Trap(Trap::TrapInstr(n)) => self.syscall(r, n),
+            Event::Trap(trap) => self.fault(r, trap),
+            Event::Interrupt { device, request } => {
+                // Defensive: latches are normally drained in the consume
+                // phase before any instruction runs.
+                if let Some(d) = self.machine.devices.get_mut(device) {
+                    d.acknowledge();
+                }
+                let (owner, slot) = self.device_owner[device];
+                self.regimes[owner].pending_irqs.push_back((slot, request));
+                KernelEvent::Executed
+            }
+            Event::DmaBlocked { device } => KernelEvent::DmaBlocked { device },
+        }
+    }
+
+    /// Stops a faulting regime and passes control on.
+    fn fault(&mut self, r: usize, trap: Trap) -> KernelEvent {
+        self.regimes[r].status = RegimeStatus::Faulted(trap);
+        self.stats.faults += 1;
+        if let Some(next) = self.next_runnable() {
+            self.switch_to(next);
+        }
+        KernelEvent::Fault { regime: r, trap }
+    }
+
+    /// Services a TRAP-instruction kernel call.
+    fn syscall(&mut self, r: usize, n: u8) -> KernelEvent {
+        if (n as usize) < self.stats.syscalls.len() {
+            self.stats.syscalls[n as usize] += 1;
+        }
+        match n {
+            0 => {
+                // SWAP: voluntary yield.
+                if self.fixed_slot && self.quantum_left > 0 {
+                    // Pad the slot: nobody gets the donated time.
+                    self.slot_idle_left = self.quantum_left;
+                    return KernelEvent::Syscall { regime: r, trap: 0 };
+                }
+                if let Some(next) = self.next_runnable() {
+                    self.switch_to(next);
+                    return KernelEvent::Swapped { from: r, to: next };
+                }
+                KernelEvent::Syscall { regime: r, trap: 0 }
+            }
+            1 => {
+                // SEND: R0 = channel, R1 = buffer, R2 = length.
+                let chan = self.machine.cpu.reg(0) as usize;
+                let buf = self.machine.cpu.reg(1);
+                let len = self.machine.cpu.reg(2) as usize;
+                let status = self.do_send(r, chan, buf, len);
+                self.machine.cpu.set_reg(0, status.code());
+                KernelEvent::Syscall { regime: r, trap: 1 }
+            }
+            2 => {
+                // RECV: R0 = channel, R1 = buffer, R2 = max length. A
+                // message longer than the buffer is truncated to fit; the
+                // tail is discarded (regimes size buffers to MAX_MSG to
+                // avoid this).
+                let chan = self.machine.cpu.reg(0) as usize;
+                let buf = self.machine.cpu.reg(1);
+                let maxlen = self.machine.cpu.reg(2) as usize;
+                let (status, len) = self.do_recv(r, chan, buf, maxlen);
+                self.machine.cpu.set_reg(0, status.code());
+                self.machine.cpu.set_reg(2, len as Word);
+                KernelEvent::Syscall { regime: r, trap: 2 }
+            }
+            3 => {
+                // POLL: R0 = channel → queued count (0o177777 if not ours).
+                let chan = self.machine.cpu.reg(0) as usize;
+                let count = self
+                    .channels
+                    .get(chan)
+                    .and_then(|c| c.poll(self.regimes[r].logical_id))
+                    .map(|n| n as Word)
+                    .unwrap_or(0o177777);
+                self.machine.cpu.set_reg(0, count);
+                KernelEvent::Syscall { regime: r, trap: 3 }
+            }
+            4 => {
+                // MYID.
+                let id = self.regimes[r].logical_id as Word;
+                self.machine.cpu.set_reg(0, id);
+                KernelEvent::Syscall { regime: r, trap: 4 }
+            }
+            _ => self.fault(r, Trap::TrapInstr(n)),
+        }
+    }
+
+    fn do_send(&mut self, r: usize, chan: usize, buf: Word, len: usize) -> ChannelStatus {
+        if len > MAX_MSG {
+            return ChannelStatus::Invalid;
+        }
+        let me = self.regimes[r].logical_id;
+        let Some(channel) = self.channels.get(chan) else {
+            return ChannelStatus::Invalid;
+        };
+        if channel.spec.from != me {
+            return ChannelStatus::Invalid;
+        }
+        let mut bytes = Vec::with_capacity(len);
+        for i in 0..len {
+            match self.machine.read_byte_v(buf.wrapping_add(i as Word)) {
+                Ok(b) => bytes.push(b),
+                Err(_) => return ChannelStatus::Invalid,
+            }
+        }
+        let status = self.channels[chan].send(me, bytes);
+        if status == ChannelStatus::Ok {
+            self.stats.messages_sent += 1;
+            self.stats.bytes_copied += len as u64;
+        }
+        status
+    }
+
+    fn do_recv(&mut self, r: usize, chan: usize, buf: Word, maxlen: usize) -> (ChannelStatus, usize) {
+        let me = self.regimes[r].logical_id;
+        let Some(channel) = self.channels.get_mut(chan) else {
+            return (ChannelStatus::Invalid, 0);
+        };
+        match channel.recv(me) {
+            Ok(mut msg) => {
+                msg.truncate(maxlen);
+                for (i, b) in msg.iter().enumerate() {
+                    if self.machine.write_byte_v(buf.wrapping_add(i as Word), *b).is_err() {
+                        return (ChannelStatus::Invalid, 0);
+                    }
+                }
+                self.stats.bytes_copied += msg.len() as u64;
+                (ChannelStatus::Ok, msg.len())
+            }
+            Err(status) => (status, 0),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Context switching.
+    // ------------------------------------------------------------------
+
+    /// The next runnable regime after the current one, round-robin
+    /// (possibly the current regime itself); `None` when nobody is Ready.
+    fn next_runnable(&self) -> Option<usize> {
+        let n = self.regimes.len();
+        (1..=n)
+            .map(|k| (self.current + k) % n)
+            .find(|&i| self.regimes[i].status.runnable())
+    }
+
+    /// Saves the outgoing regime's context and loads the incoming one.
+    fn switch_to(&mut self, next: usize) {
+        let from = self.current;
+        self.save_context(from);
+        if self.mutation == Mutation::ScratchInPartition {
+            // Sabotage: the kernel "borrows" a word of regime 0's partition.
+            let scratch = self.regimes[0].partition_base + 0o76;
+            self.machine.mem.write_word(scratch, self.regimes[from].save.pc);
+        }
+        self.load_context(next);
+        self.stats.swaps += 1;
+        if let Some(q) = self.quantum {
+            self.quantum_left = q;
+        }
+    }
+
+    /// Saves the CPU context into the regime's save area.
+    fn save_context(&mut self, r: usize) {
+        let rec = &mut self.regimes[r];
+        rec.save.r = self.machine.cpu.r;
+        rec.save.sp = self.machine.cpu.sp_of(Mode::User);
+        rec.save.pc = self.machine.cpu.pc;
+        rec.save.cc = self.machine.cpu.psw.cc_bits();
+    }
+
+    /// Loads a regime's context and programs the MMU for its partition.
+    fn load_context(&mut self, r: usize) {
+        self.current = r;
+        let save = self.regimes[r].save;
+        let mut regs = save.r;
+        if self.mutation == Mutation::SkipR3Save {
+            // Sabotage: R3 is not restored; the incoming regime sees the
+            // outgoing regime's live value.
+            regs[3] = self.machine.cpu.r[3];
+        }
+        self.machine.cpu.r = regs;
+        self.machine.cpu.set_sp_of(Mode::User, save.sp);
+        self.machine.cpu.pc = save.pc;
+        let mut psw = Psw::user();
+        if self.mutation == Mutation::LeakConditionCodes {
+            // Sabotage: condition codes carry over from the outgoing regime.
+            psw.set_cc_bits(self.machine.cpu.psw.cc_bits());
+        } else {
+            psw.set_cc_bits(save.cc);
+        }
+        self.machine.cpu.psw = psw;
+
+        // Program the user address space: segment 0 = partition, segment 7
+        // = device window.
+        self.machine.mmu.clear_mode(Mode::User);
+        self.machine.mmu.set_segment(
+            Mode::User,
+            0,
+            SegmentDescriptor::mapping(self.regimes[r].partition_base, PARTITION_SIZE, Access::ReadWrite),
+        );
+        let window_used: u32 = self
+            .regimes[r]
+            .devices
+            .iter()
+            .map(|b| b.reg_len.div_ceil(64) * 64)
+            .sum();
+        if window_used > 0 {
+            self.machine.mmu.set_segment(
+                Mode::User,
+                7,
+                SegmentDescriptor::mapping(self.regimes[r].window_base, window_used, Access::ReadWrite),
+            );
+        }
+        if self.mutation == Mutation::OverlapPartitions {
+            // Sabotage: the next regime's partition is readable.
+            let peer = (r + 1) % self.regimes.len();
+            self.machine.mmu.set_segment(
+                Mode::User,
+                1,
+                SegmentDescriptor::mapping(
+                    self.regimes[peer].partition_base,
+                    PARTITION_SIZE,
+                    Access::ReadOnly,
+                ),
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Native regime execution.
+    // ------------------------------------------------------------------
+
+    fn native_step(&mut self, r: usize) -> KernelEvent {
+        let mut native = self.regimes[r].native.take().expect("native regime");
+        let action = {
+            let mut io = KernelIo { kernel: self, regime: r };
+            native.step(&mut io)
+        };
+        self.regimes[r].native = Some(native);
+        match action {
+            NativeAction::Continue => KernelEvent::NativeStep,
+            NativeAction::Swap => {
+                self.stats.syscalls[0] += 1;
+                if self.fixed_slot && self.quantum_left > 0 {
+                    self.slot_idle_left = self.quantum_left;
+                    return KernelEvent::NativeStep;
+                }
+                if let Some(next) = self.next_runnable() {
+                    self.switch_to(next);
+                    return KernelEvent::Swapped { from: r, to: next };
+                }
+                KernelEvent::NativeStep
+            }
+            NativeAction::Halt => {
+                self.regimes[r].status = RegimeStatus::Halted;
+                if let Some(next) = self.next_runnable() {
+                    self.switch_to(next);
+                }
+                KernelEvent::NativeStep
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Host access (the world outside the box).
+    // ------------------------------------------------------------------
+
+    /// Sends bytes into a regime's first serial line (host side).
+    pub fn host_send_serial(&mut self, regime: usize, bytes: &[u8]) {
+        if let Some(idx) = self.first_serial(regime) {
+            if let Some(tty) = self.machine.devices.downcast_mut::<SerialLine>(idx) {
+                tty.host_send(bytes);
+            }
+        }
+    }
+
+    /// Takes everything a regime's first serial line has transmitted.
+    pub fn host_take_serial_output(&mut self, regime: usize) -> Vec<u8> {
+        self.first_serial(regime)
+            .and_then(|idx| {
+                self.machine
+                    .devices
+                    .downcast_mut::<SerialLine>(idx)
+                    .map(SerialLine::host_take_output)
+            })
+            .unwrap_or_default()
+    }
+
+    /// The machine device index of a regime's device `slot_pos` (its
+    /// position in the regime's device list).
+    pub fn device_index(&self, regime: usize, slot_pos: usize) -> Option<usize> {
+        self.regimes
+            .get(regime)?
+            .devices
+            .get(slot_pos)
+            .map(|b| b.machine_index)
+    }
+
+    fn first_serial(&mut self, regime: usize) -> Option<usize> {
+        let indices: Vec<usize> = self
+            .regimes
+            .get(regime)?
+            .devices
+            .iter()
+            .map(|b| b.machine_index)
+            .collect();
+        indices.into_iter().find(|&idx| {
+            self.machine
+                .devices
+                .downcast_mut::<SerialLine>(idx)
+                .is_some()
+        })
+    }
+
+    /// A canonical vector of the kernel's model-relevant state, used for
+    /// state equality and hashing in the verification adapter.
+    pub fn state_vector(&self) -> Vec<u64> {
+        let mut v = Vec::new();
+        v.push(self.current as u64);
+        v.push(self.quantum_left);
+        v.push(self.slot_idle_left);
+        // Live CPU context.
+        for r in self.machine.cpu.r {
+            v.push(r as u64);
+        }
+        v.push(self.machine.cpu.sp_of(Mode::User) as u64);
+        v.push(self.machine.cpu.pc as u64);
+        v.push(self.machine.cpu.psw.0 as u64);
+        for rec in &self.regimes {
+            v.push(match rec.status {
+                RegimeStatus::Ready => 0,
+                RegimeStatus::Waiting => 1,
+                RegimeStatus::Halted => 2,
+                RegimeStatus::Faulted(_) => 3,
+            });
+            for r in rec.save.r {
+                v.push(r as u64);
+            }
+            v.push(rec.save.sp as u64);
+            v.push(rec.save.pc as u64);
+            v.push(rec.save.cc as u64);
+            v.push(rec.pending_irqs.len() as u64);
+            for (slot, req) in &rec.pending_irqs {
+                v.push(*slot as u64);
+                v.push(req.vector as u64);
+            }
+            // Two independent fingerprints of the partition make an
+            // accidental collision vanishingly unlikely.
+            v.push(self.machine.mem.fingerprint(rec.partition_base, PARTITION_SIZE));
+            v.push(
+                self.machine
+                    .mem
+                    .fingerprint(rec.partition_base, PARTITION_SIZE)
+                    .rotate_left(1)
+                    ^ fnv(rec.name.as_bytes()),
+            );
+            if let Some(n) = &rec.native {
+                v.push(fnv(&n.state_bytes()));
+            }
+        }
+        for snap in self.machine.devices.snapshots() {
+            let bytes: Vec<u8> = snap.iter().flat_map(|w| w.to_le_bytes()).collect();
+            v.push(fnv(&bytes));
+        }
+        for ch in &self.channels {
+            v.push(ch.queue().len() as u64);
+            for msg in ch.queue() {
+                v.push(fnv(msg));
+            }
+        }
+        v
+    }
+}
+
+/// FNV-1a over a byte slice.
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The [`RegimeIo`] a native regime sees: a narrow window onto the kernel.
+struct KernelIo<'a> {
+    kernel: &'a mut SeparationKernel,
+    regime: usize,
+}
+
+impl RegimeIo for KernelIo<'_> {
+    fn regime_id(&self) -> usize {
+        self.kernel.regimes[self.regime].logical_id
+    }
+
+    fn send(&mut self, channel: usize, msg: &[u8]) -> ChannelStatus {
+        let me = self.kernel.regimes[self.regime].logical_id;
+        let Some(ch) = self.kernel.channels.get_mut(channel) else {
+            return ChannelStatus::Invalid;
+        };
+        let status = ch.send(me, msg.to_vec());
+        if status == ChannelStatus::Ok {
+            self.kernel.stats.messages_sent += 1;
+            self.kernel.stats.bytes_copied += msg.len() as u64;
+        }
+        status
+    }
+
+    fn recv(&mut self, channel: usize) -> Result<Vec<u8>, ChannelStatus> {
+        let me = self.kernel.regimes[self.regime].logical_id;
+        let Some(ch) = self.kernel.channels.get_mut(channel) else {
+            return Err(ChannelStatus::Invalid);
+        };
+        let msg = ch.recv(me)?;
+        self.kernel.stats.bytes_copied += msg.len() as u64;
+        Ok(msg)
+    }
+
+    fn poll(&self, channel: usize) -> Option<usize> {
+        let me = self.kernel.regimes[self.regime].logical_id;
+        self.kernel.channels.get(channel).and_then(|c| c.poll(me))
+    }
+
+    fn read_device(&mut self, slot: usize, offset: u32) -> Option<Word> {
+        let binding = self.kernel.regimes[self.regime].devices.get(slot)?.clone();
+        if offset >= binding.reg_len {
+            return None;
+        }
+        self.kernel
+            .machine
+            .devices
+            .get_mut(binding.machine_index)
+            .map(|d| d.read_reg(offset))
+    }
+
+    fn write_device(&mut self, slot: usize, offset: u32, value: Word) -> bool {
+        let Some(binding) = self.kernel.regimes[self.regime].devices.get(slot).cloned() else {
+            return false;
+        };
+        if offset >= binding.reg_len {
+            return false;
+        }
+        match self.kernel.machine.devices.get_mut(binding.machine_index) {
+            Some(d) => {
+                d.write_reg(offset, value);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn read_mem(&mut self, vaddr: Word) -> Option<u8> {
+        if vaddr as u32 >= PARTITION_SIZE {
+            return None;
+        }
+        let base = self.kernel.regimes[self.regime].partition_base;
+        Some(self.kernel.machine.mem.read_byte(base + vaddr as u32))
+    }
+
+    fn write_mem(&mut self, vaddr: Word, value: u8) -> bool {
+        if vaddr as u32 >= PARTITION_SIZE {
+            return false;
+        }
+        let base = self.kernel.regimes[self.regime].partition_base;
+        self.kernel.machine.mem.write_byte(base + vaddr as u32, value);
+        true
+    }
+
+    fn take_interrupts(&mut self) -> Vec<(usize, Word)> {
+        self.kernel.regimes[self.regime]
+            .pending_irqs
+            .drain(..)
+            .map(|(slot, req)| (slot, req.vector))
+            .collect()
+    }
+}
+

@@ -1,0 +1,221 @@
+//! Per-regime state and the native-regime interface.
+
+use crate::channel::ChannelStatus;
+use sep_machine::dev::InterruptRequest;
+use sep_machine::exec::Trap;
+use sep_machine::types::{PhysAddr, Word};
+use core::any::Any;
+
+/// Virtual address of a regime's interrupt vector table (inside its own
+/// partition). Slot `k` occupies two words at `VEC_BASE + 4k`: the handler
+/// PC and the condition codes loaded on entry. A handler PC of 0 means the
+/// interrupt is discarded.
+pub const VEC_BASE: Word = 0o100;
+
+/// Virtual base address of a regime's device window (segment 7).
+pub const DEV_WINDOW: Word = 0o160000;
+
+/// Size of each regime's partition in bytes (one MMU segment).
+pub const PARTITION_SIZE: u32 = 8 * 1024;
+
+/// Initial user stack pointer (top of the partition).
+pub const INITIAL_SP: Word = (PARTITION_SIZE - 2) as Word;
+
+/// A regime's scheduling status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegimeStatus {
+    /// Runnable.
+    Ready,
+    /// Executed WAIT; becomes Ready when an interrupt is queued for it.
+    Waiting,
+    /// Stopped by a fault (the trap is recorded).
+    Faulted(Trap),
+    /// Stopped voluntarily (native regimes only).
+    Halted,
+}
+
+impl RegimeStatus {
+    /// True when the regime may be given the CPU.
+    pub fn runnable(self) -> bool {
+        self == RegimeStatus::Ready
+    }
+}
+
+/// The saved execution context of a regime — exactly what the SWAP
+/// operation must move, and exactly what IFA cannot verify the moving of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SaveArea {
+    /// R0–R5.
+    pub r: [Word; 6],
+    /// The user stack pointer.
+    pub sp: Word,
+    /// The program counter.
+    pub pc: Word,
+    /// The condition-code nibble.
+    pub cc: Word,
+}
+
+impl SaveArea {
+    /// The boot context: PC 0, stack at the top of the partition.
+    pub fn boot() -> SaveArea {
+        SaveArea {
+            r: [0; 6],
+            sp: INITIAL_SP,
+            pc: 0,
+            cc: 0,
+        }
+    }
+}
+
+/// A device owned by a regime.
+#[derive(Debug, Clone)]
+pub struct DeviceBinding {
+    /// Index in the machine's device set.
+    pub machine_index: usize,
+    /// Virtual address of its first register in the regime's window.
+    pub virtual_base: Word,
+    /// Register block length in bytes.
+    pub reg_len: u32,
+    /// Base interrupt vector assigned to the device.
+    pub vector: Word,
+}
+
+/// The kernel's record of one regime.
+pub struct RegimeRecord {
+    /// Display name.
+    pub name: String,
+    /// The regime's logical identity (stable across sub-configurations, so
+    /// a single-regime abstract machine answers MYID identically).
+    pub logical_id: usize,
+    /// Scheduling status.
+    pub status: RegimeStatus,
+    /// Saved context (valid when the regime is not loaded on the CPU).
+    pub save: SaveArea,
+    /// Physical base of its partition.
+    pub partition_base: PhysAddr,
+    /// Physical base of its device window in the I/O page.
+    pub window_base: PhysAddr,
+    /// Its devices.
+    pub devices: Vec<DeviceBinding>,
+    /// Interrupts fielded by the kernel, waiting for delivery to this
+    /// regime (device slot, request).
+    pub pending_irqs: std::collections::VecDeque<(usize, InterruptRequest)>,
+    /// The native program, if this is a native regime.
+    pub native: Option<Box<dyn NativeRegime>>,
+}
+
+impl Clone for RegimeRecord {
+    fn clone(&self) -> Self {
+        RegimeRecord {
+            name: self.name.clone(),
+            logical_id: self.logical_id,
+            status: self.status,
+            save: self.save,
+            partition_base: self.partition_base,
+            window_base: self.window_base,
+            devices: self.devices.clone(),
+            pending_irqs: self.pending_irqs.clone(),
+            native: self.native.as_ref().map(|n| n.boxed_clone()),
+        }
+    }
+}
+
+impl core::fmt::Debug for RegimeRecord {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("RegimeRecord")
+            .field("name", &self.name)
+            .field("status", &self.status)
+            .field("save", &self.save)
+            .field("pending_irqs", &self.pending_irqs.len())
+            .field("native", &self.native.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// What a native regime asks for at the end of a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NativeAction {
+    /// Keep the CPU.
+    Continue,
+    /// Yield (the SWAP call).
+    Swap,
+    /// Stop permanently.
+    Halt,
+}
+
+/// The world as a native regime sees it: its own partition, its own
+/// devices, and the kernel's channel interface. Nothing else — the same
+/// confinement the MMU imposes on machine-code regimes.
+pub trait RegimeIo {
+    /// This regime's logical identity (the MYID syscall).
+    fn regime_id(&self) -> usize;
+
+    /// Sends a message on a channel (must be its declared sender).
+    fn send(&mut self, channel: usize, msg: &[u8]) -> ChannelStatus;
+
+    /// Receives a message from a channel (must be its declared receiver).
+    fn recv(&mut self, channel: usize) -> Result<Vec<u8>, ChannelStatus>;
+
+    /// Number of messages waiting on a channel this regime may observe.
+    fn poll(&self, channel: usize) -> Option<usize>;
+
+    /// Reads a register of this regime's device `slot`.
+    fn read_device(&mut self, slot: usize, offset: u32) -> Option<Word>;
+
+    /// Writes a register of this regime's device `slot`.
+    fn write_device(&mut self, slot: usize, offset: u32, value: Word) -> bool;
+
+    /// Reads a byte of this regime's partition.
+    fn read_mem(&mut self, vaddr: Word) -> Option<u8>;
+
+    /// Writes a byte of this regime's partition.
+    fn write_mem(&mut self, vaddr: Word, value: u8) -> bool;
+
+    /// Takes the interrupts pending for this regime (native regimes poll
+    /// instead of vectoring).
+    fn take_interrupts(&mut self) -> Vec<(usize, Word)>;
+}
+
+/// A regime implemented in Rust rather than machine code.
+///
+/// Native regimes exist because writing a multilevel file-server in PDP-11
+/// assembly is out of scope (see DESIGN.md, substitution 3); they are
+/// confined to the [`RegimeIo`] interface, which exposes exactly what the
+/// MMU would.
+pub trait NativeRegime {
+    /// Executes one step; the returned action plays the role of the
+    /// instruction stream's TRAP/WAIT.
+    fn step(&mut self, io: &mut dyn RegimeIo) -> NativeAction;
+
+    /// Object-safe clone (the kernel is cloneable for verification).
+    fn boxed_clone(&self) -> Box<dyn NativeRegime>;
+
+    /// Host-side introspection for tests.
+    fn as_any(&mut self) -> &mut dyn Any;
+
+    /// A stable snapshot of internal state for kernel state vectors.
+    fn state_bytes(&self) -> Vec<u8> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boot_save_area() {
+        let s = SaveArea::boot();
+        assert_eq!(s.pc, 0);
+        assert_eq!(s.sp, 0o17776);
+        assert_eq!(s.cc, 0);
+    }
+
+    #[test]
+    fn status_runnable() {
+        assert!(RegimeStatus::Ready.runnable());
+        assert!(!RegimeStatus::Waiting.runnable());
+        assert!(!RegimeStatus::Halted.runnable());
+        assert!(!RegimeStatus::Faulted(Trap::Halt).runnable());
+    }
+}

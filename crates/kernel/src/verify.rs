@@ -1,0 +1,469 @@
+//! Proof of Separability for the real kernel.
+//!
+//! This module casts a booted [`SeparationKernel`] as a
+//! [`sep_model::SharedSystem`] and supplies, for each regime, the
+//! abstraction the paper requires: the regime's *abstract machine* is a
+//! **single-regime copy of the same kernel** — literally the private,
+//! physically isolated machine the regime believes it owns. Condition 1 is
+//! then checked by *running* that private machine and comparing; conditions
+//! 2–6 are checked on projections.
+//!
+//! The two-stage step of the formal model maps onto the kernel as:
+//!
+//! * `INPUT(s, i)` = the **consume phase**: device time advances, host
+//!   bytes arrive on serial lines, raised interrupts are fielded into
+//!   per-regime pending queues;
+//! * `NEXTOP`/`op` = the **execute phase**: one instruction (or interrupt
+//!   delivery, or context switch) on behalf of `COLOUR(s)` — the scheduled
+//!   regime.
+//!
+//! Verified configurations must have their channels **cut** (the paper's
+//! wire-cutting argument), no preemption quantum (the SUE has none), no DMA,
+//! and machine-code regimes only.
+
+use crate::config::KernelConfig;
+use crate::kernel::{KernelError, SeparationKernel};
+use crate::regime::{RegimeStatus, SaveArea, PARTITION_SIZE};
+use sep_machine::dev::InterruptRequest;
+use sep_machine::psw::{Mode, Psw};
+use sep_machine::types::Word;
+use sep_model::abstraction::Abstraction;
+use sep_model::system::{Finite, Projected, SharedSystem};
+use std::hash::{Hash, Hasher};
+
+/// A kernel state, hashable and comparable through its canonical state
+/// vector.
+#[derive(Clone)]
+pub struct KernelState {
+    /// The full kernel (machine, regimes, channels).
+    pub kernel: SeparationKernel,
+    vector: Vec<u64>,
+}
+
+impl KernelState {
+    /// Wraps a kernel, capturing its state vector.
+    pub fn new(kernel: SeparationKernel) -> KernelState {
+        let vector = kernel.state_vector();
+        KernelState { kernel, vector }
+    }
+}
+
+impl PartialEq for KernelState {
+    fn eq(&self, other: &Self) -> bool {
+        self.vector == other.vector
+    }
+}
+
+impl Eq for KernelState {}
+
+impl Hash for KernelState {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.vector.hash(state);
+    }
+}
+
+impl core::fmt::Debug for KernelState {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "KernelState(current={}, pcs=[{}])",
+            self.kernel.current(),
+            self.kernel
+                .regimes
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    let pc = if i == self.kernel.current() {
+                        self.kernel.machine.cpu.pc
+                    } else {
+                        r.save.pc
+                    };
+                    format!("{pc:o}")
+                })
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+    }
+}
+
+/// One step of input: at most one serial byte per regime.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct KInput(pub Vec<Option<u8>>);
+
+/// The single colour-generic operation: one execute phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KStep;
+
+/// The kernel as a shared system over regime colours.
+pub struct KernelSystem {
+    /// The booted initial kernel.
+    pub template: SeparationKernel,
+    config: KernelConfig,
+    /// The input alphabet used for exploration and conditions 3/4.
+    pub inputs: Vec<KInput>,
+    /// Bound on reachable-state enumeration.
+    pub state_limit: usize,
+}
+
+impl KernelSystem {
+    /// Builds the verification adapter. The configuration must be a
+    /// *verifiable* one: channels cut (or absent), no quantum, no DMA, and
+    /// no native regimes.
+    pub fn new(config: KernelConfig) -> Result<KernelSystem, KernelError> {
+        assert!(
+            config.channels.is_empty() || config.channels_cut,
+            "verified configurations must cut their channels first \
+             (KernelConfig::cut_channels) — that is the wire-cutting argument"
+        );
+        assert!(config.quantum.is_none(), "verified configurations have no quantum");
+        assert!(!config.allow_dma, "verified configurations exclude DMA");
+        assert!(
+            config
+                .regimes
+                .iter()
+                .all(|r| !matches!(r.program, crate::config::ProgramSpec::Native(_))),
+            "verified configurations use machine-code regimes"
+        );
+        let template = SeparationKernel::boot(config.clone())?;
+        let n = config.regimes.len();
+        Ok(KernelSystem {
+            template,
+            config,
+            inputs: vec![KInput(vec![None; n])],
+            state_limit: 200_000,
+        })
+    }
+
+    /// Extends the input alphabet: for each regime and each byte, an input
+    /// delivering that byte to that regime's serial line.
+    pub fn with_input_bytes(mut self, bytes: &[u8]) -> KernelSystem {
+        let n = self.config.regimes.len();
+        for r in 0..n {
+            for &b in bytes {
+                let mut v = vec![None; n];
+                v[r] = Some(b);
+                self.inputs.push(KInput(v));
+            }
+        }
+        self
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> KernelState {
+        KernelState::new(self.template.clone())
+    }
+
+    /// One abstraction per regime, each owning a single-regime copy of the
+    /// kernel as its abstract machine.
+    pub fn abstractions(&self) -> Vec<RegimeAbstraction> {
+        (0..self.config.regimes.len())
+            .map(|r| RegimeAbstraction::new(&self.config, r).expect("sub-configuration boots"))
+            .collect()
+    }
+}
+
+impl SharedSystem for KernelSystem {
+    type State = KernelState;
+    type Input = KInput;
+    type Output = Vec<Vec<Word>>;
+    type Colour = usize;
+    type Op = KStep;
+
+    fn colours(&self) -> Vec<usize> {
+        (0..self.config.regimes.len()).collect()
+    }
+
+    fn colour(&self, s: &KernelState) -> usize {
+        s.kernel.current()
+    }
+
+    fn output(&self, s: &KernelState) -> Vec<Vec<Word>> {
+        // Each regime's output is the externally visible state of its
+        // devices (line levels, last transmitted bytes, printed characters
+        // in flight) — its environment's entire window onto it.
+        s.kernel
+            .regimes
+            .iter()
+            .map(|rec| {
+                let mut out = Vec::new();
+                for b in &rec.devices {
+                    if let Some(d) = s.kernel.machine.devices.get(b.machine_index) {
+                        out.extend(d.snapshot());
+                    }
+                }
+                out
+            })
+            .collect()
+    }
+
+    fn consume(&self, s: &KernelState, i: &KInput) -> KernelState {
+        let mut kernel = s.kernel.clone();
+        let _ = kernel.consume_phase(&i.0);
+        KernelState::new(kernel)
+    }
+
+    fn next_op(&self, _s: &KernelState) -> KStep {
+        KStep
+    }
+
+    fn apply(&self, _op: &KStep, s: &KernelState) -> KernelState {
+        let mut kernel = s.kernel.clone();
+        let _ = kernel.exec_phase();
+        KernelState::new(kernel)
+    }
+}
+
+impl Projected for KernelSystem {
+    type View = Vec<Word>;
+
+    fn extract_input(&self, c: &usize, i: &KInput) -> Vec<Word> {
+        match i.0.get(*c).copied().flatten() {
+            Some(b) => vec![1, b as Word],
+            None => Vec::new(),
+        }
+    }
+
+    fn extract_output(&self, c: &usize, o: &Vec<Vec<Word>>) -> Vec<Word> {
+        o.get(*c).cloned().unwrap_or_default()
+    }
+}
+
+impl Finite for KernelSystem {
+    fn states(&self) -> Vec<KernelState> {
+        let (states, truncated) = sep_model::explore::reachable_states(
+            self,
+            &[self.initial()],
+            &self.inputs,
+            self.state_limit,
+        );
+        assert!(!truncated, "kernel state space exceeded limit {}", self.state_limit);
+        states
+    }
+
+    fn inputs(&self) -> Vec<KInput> {
+        self.inputs.clone()
+    }
+
+    fn ops(&self) -> Vec<KStep> {
+        vec![KStep]
+    }
+}
+
+/// A regime's view of the concrete machine: exactly the contents of its
+/// private abstract machine.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RegimeProjection {
+    /// Scheduling status.
+    pub status: RegimeStatus,
+    /// The execution context as the regime can see it (the live CPU when it
+    /// is current, its save area otherwise).
+    pub context: SaveArea,
+    /// Its partition's bytes.
+    pub partition: Vec<u8>,
+    /// Its devices' snapshots, in binding order.
+    pub devices: Vec<Vec<Word>>,
+    /// Interrupts pending for it.
+    pub pending: Vec<(usize, InterruptRequest)>,
+    /// Queues of the (cut) channels it is an endpoint of, in channel order.
+    pub channels: Vec<Vec<Vec<u8>>>,
+}
+
+/// Φ^c and the abstract machine for one regime.
+pub struct RegimeAbstraction {
+    regime: usize,
+    /// The regime's private machine: a single-regime kernel booted from the
+    /// same specification.
+    template: SeparationKernel,
+    /// Channel indices (in the full system) this regime may observe.
+    visible_channels: Vec<usize>,
+}
+
+impl RegimeAbstraction {
+    /// Builds the abstraction for `regime` of `config`.
+    pub fn new(config: &KernelConfig, regime: usize) -> Result<RegimeAbstraction, KernelError> {
+        let logical = config.regimes[regime].logical.unwrap_or(regime);
+        let mut spec = config.regimes[regime].clone();
+        spec.logical = Some(logical);
+        // A *cut* channel's queue is written only by its sender; it is part
+        // of the sender's view and nobody else's (the receiver of a cut
+        // channel sees a constant empty end).
+        let visible_channels: Vec<usize> = config
+            .channels
+            .iter()
+            .enumerate()
+            .filter(|(_, ch)| ch.from == logical)
+            .map(|(i, _)| i)
+            .collect();
+        // The sub-configuration keeps the *entire* channel list so channel
+        // ids mean the same thing on the abstract machine.
+        let sub = KernelConfig {
+            regimes: vec![spec],
+            channels: config.channels.clone(),
+            channels_cut: true,
+            quantum: None,
+            fixed_slot: false,
+            allow_dma: false,
+            mutation: crate::config::Mutation::None,
+        };
+        let template = SeparationKernel::boot(sub)?;
+        Ok(RegimeAbstraction {
+            regime,
+            template,
+            visible_channels,
+        })
+    }
+
+    /// Projects regime `r`'s view out of a kernel (`r` is an index into
+    /// `kernel.regimes`).
+    fn project(kernel: &SeparationKernel, r: usize, visible_channels: &[usize]) -> RegimeProjection {
+        let rec = &kernel.regimes[r];
+        let context = if kernel.current() == r {
+            SaveArea {
+                r: kernel.machine.cpu.r,
+                sp: kernel.machine.cpu.sp_of(Mode::User),
+                pc: kernel.machine.cpu.pc,
+                cc: kernel.machine.cpu.psw.cc_bits(),
+            }
+        } else {
+            rec.save
+        };
+        let partition = kernel
+            .machine
+            .mem
+            .range(rec.partition_base, PARTITION_SIZE)
+            .to_vec();
+        let devices = rec
+            .devices
+            .iter()
+            .map(|b| {
+                kernel
+                    .machine
+                    .devices
+                    .get(b.machine_index)
+                    .map(|d| d.snapshot())
+                    .unwrap_or_default()
+            })
+            .collect();
+        let channels = visible_channels
+            .iter()
+            .filter_map(|&i| kernel.channels.get(i))
+            .map(|c| c.queue().iter().cloned().collect())
+            .collect();
+        RegimeProjection {
+            status: rec.status,
+            context,
+            partition,
+            devices,
+            pending: rec.pending_irqs.iter().copied().collect(),
+            channels,
+        }
+    }
+
+    /// Imposes a projection onto the private machine (regime index 0).
+    fn impose(&self, a: &RegimeProjection) -> SeparationKernel {
+        let mut k = self.template.clone();
+        k.regimes[0].status = a.status;
+        // Context: the single regime is always current, so load it live.
+        k.machine.cpu.r = a.context.r;
+        k.machine.cpu.set_sp_of(Mode::User, a.context.sp);
+        k.machine.cpu.pc = a.context.pc;
+        let mut psw = Psw::user();
+        psw.set_cc_bits(a.context.cc);
+        k.machine.cpu.psw = psw;
+        // Partition contents.
+        let base = k.regimes[0].partition_base;
+        for (i, b) in a.partition.iter().enumerate() {
+            k.machine.mem.write_byte(base + i as u32, *b);
+        }
+        // Devices.
+        let bindings = k.regimes[0].devices.clone();
+        for (binding, snap) in bindings.iter().zip(&a.devices) {
+            if let Some(d) = k.machine.devices.get_mut(binding.machine_index) {
+                d.restore(snap);
+            }
+        }
+        // Pending interrupts and channels.
+        k.regimes[0].pending_irqs = a.pending.iter().copied().collect();
+        for (&idx, msgs) in self.visible_channels.iter().zip(&a.channels) {
+            k.channels[idx].restore_queue(msgs.clone());
+        }
+        k
+    }
+}
+
+impl Abstraction<KernelSystem> for RegimeAbstraction {
+    type AState = RegimeProjection;
+    type AOp = KStep;
+
+    fn colour(&self) -> usize {
+        self.regime
+    }
+
+    fn phi(&self, _sys: &KernelSystem, s: &KernelState) -> RegimeProjection {
+        RegimeAbstraction::project(&s.kernel, self.regime, &self.visible_channels)
+    }
+
+    fn abop(&self, _sys: &KernelSystem, op: &KStep) -> KStep {
+        *op
+    }
+
+    fn apply_abstract(&self, _sys: &KernelSystem, _aop: &KStep, a: &RegimeProjection) -> RegimeProjection {
+        let mut k = self.impose(a);
+        let _ = k.exec_phase();
+        // The sub-configuration keeps the full channel list, so the visible
+        // indices carry over unchanged.
+        RegimeAbstraction::project(&k, 0, &self.visible_channels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{KernelConfig, RegimeSpec};
+
+    fn two_counters() -> KernelConfig {
+        // Two regimes, each incrementing a private counter then yielding.
+        let prog = "
+start:  INC counter
+        MOV #3, R3
+        TRAP 0          ; SWAP
+        BR start
+counter: .word 0
+";
+        let prog2 = "
+start:  ADD #2, counter
+        MOV #5, R3
+        TRAP 0
+        BR start
+counter: .word 0
+";
+        KernelConfig::new(vec![
+            RegimeSpec::assembly("red", prog),
+            RegimeSpec::assembly("black", prog2),
+        ])
+    }
+
+    #[test]
+    fn projection_roundtrip_through_impose() {
+        let sys = KernelSystem::new(two_counters()).unwrap();
+        let abstractions = sys.abstractions();
+        let s0 = sys.initial();
+        for a in &abstractions {
+            let phi = a.phi(&sys, &s0);
+            let imposed = a.impose(&phi);
+            let back = RegimeAbstraction::project(&imposed, 0, &a.visible_channels);
+            assert_eq!(back, phi);
+        }
+    }
+
+    #[test]
+    fn consume_then_apply_matches_full_step() {
+        let sys = KernelSystem::new(two_counters()).unwrap();
+        let s0 = sys.initial();
+        let i = KInput(vec![None, None]);
+        let (_, s1) = sys.step(&s0, &i);
+        let mut direct = sys.template.clone();
+        direct.step();
+        assert_eq!(KernelState::new(direct), s1);
+    }
+}

@@ -1,0 +1,991 @@
+//! A two-pass assembler for the machine's PDP-11 subset.
+//!
+//! Regime programs in the examples and tests are written in assembly and
+//! assembled with [`assemble`]. The syntax follows MACRO-11 conventions
+//! closely enough to be familiar:
+//!
+//! ```text
+//! ; comments run to end of line
+//! start:  MOV #10, R0          ; immediate
+//!         MOVB (R1)+, R2       ; autoincrement
+//! loop:   DEC R0
+//!         BNE loop
+//!         TRAP 1               ; kernel call
+//!         .word 0x1234, start  ; data
+//!         .ascii "hi"
+//!         .even
+//!         .blkw 4              ; four zero words
+//! ```
+//!
+//! Numbers are decimal by default, with `0o` (octal), `0x` (hex), and `'c`
+//! (character) literals. Registers are `R0`–`R7`, `SP` (= R6), `PC` (= R7).
+//! Bare symbols as operands use PC-relative addressing; `#sym` is immediate
+//! and `@#sym` absolute.
+
+use crate::types::Word;
+use std::collections::HashMap;
+
+/// Assembly error with line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl core::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// The result of assembling a source file: words to load at the origin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Load origin in bytes (virtual).
+    pub origin: Word,
+    /// The assembled words.
+    pub words: Vec<Word>,
+    /// The symbol table (labels → byte addresses).
+    pub symbols: HashMap<String, Word>,
+}
+
+impl Program {
+    /// The address of a label.
+    pub fn symbol(&self, name: &str) -> Option<Word> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Program size in bytes.
+    pub fn byte_len(&self) -> Word {
+        (self.words.len() * 2) as Word
+    }
+}
+
+/// Assembles source text (origin 0).
+///
+/// # Examples
+///
+/// ```
+/// let prog = sep_machine::assemble("MOV #5, R0\nHALT").unwrap();
+/// assert_eq!(prog.words, vec![0o012700, 5, 0o000000]);
+/// ```
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    assemble_at(source, 0)
+}
+
+/// Assembles source text with a given load origin.
+pub fn assemble_at(source: &str, origin: Word) -> Result<Program, AsmError> {
+    let asm = Assembler::parse(source, origin)?;
+    asm.emit()
+}
+
+// ---------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Expr {
+    Num(i32),
+    Sym(String, i32), // symbol + addend
+    Here(i32),        // '.' + addend
+}
+
+#[derive(Debug, Clone)]
+enum Arg {
+    Operand { mode: u8, reg: u8, extra: Option<Expr> },
+}
+
+#[derive(Debug, Clone)]
+struct Item {
+    line: usize,
+    addr: Word,
+    kind: ItemKind,
+}
+
+#[derive(Debug, Clone)]
+enum ItemKind {
+    Instr { mnemonic: String, args: Vec<Arg> },
+    Word(Vec<Expr>),
+    Byte(Vec<Expr>),
+    Ascii(Vec<u8>),
+}
+
+struct Assembler {
+    origin: Word,
+    items: Vec<Item>,
+    symbols: HashMap<String, Word>,
+    end: Word,
+}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_reg(tok: &str) -> Option<u8> {
+    match tok.to_ascii_uppercase().as_str() {
+        "R0" => Some(0),
+        "R1" => Some(1),
+        "R2" => Some(2),
+        "R3" => Some(3),
+        "R4" => Some(4),
+        "R5" => Some(5),
+        "R6" | "SP" => Some(6),
+        "R7" | "PC" => Some(7),
+        _ => None,
+    }
+}
+
+fn parse_number(tok: &str) -> Option<i32> {
+    let (neg, t) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let v = if let Some(h) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        i64::from_str_radix(h, 16).ok()?
+    } else if let Some(o) = t.strip_prefix("0o").or_else(|| t.strip_prefix("0O")) {
+        i64::from_str_radix(o, 8).ok()?
+    } else if let Some(c) = t.strip_prefix('\'') {
+        let mut chars = c.chars();
+        let ch = chars.next()?;
+        if chars.next().is_some() {
+            return None;
+        }
+        ch as i64
+    } else {
+        t.parse::<i64>().ok()?
+    };
+    let v = if neg { -v } else { v };
+    (-65536..=65535).contains(&v).then_some(v as i32)
+}
+
+fn is_sym_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$'
+}
+
+fn parse_expr(tok: &str, line: usize) -> Result<Expr, AsmError> {
+    let tok = tok.trim();
+    if tok.is_empty() {
+        return Err(err(line, "empty expression"));
+    }
+    if let Some(n) = parse_number(tok) {
+        return Ok(Expr::Num(n));
+    }
+    // sym, sym+n, sym-n, ., .+n, .-n
+    let (base, addend) = {
+        // Find a +/- separator after the first character.
+        let mut split = None;
+        for (i, c) in tok.char_indices().skip(1) {
+            if c == '+' || c == '-' {
+                split = Some(i);
+                break;
+            }
+        }
+        match split {
+            Some(i) => {
+                let (b, rest) = tok.split_at(i);
+                let n = parse_number(rest)
+                    .or_else(|| parse_number(&rest[1..]).map(|v| if rest.starts_with('-') { -v } else { v }))
+                    .ok_or_else(|| err(line, format!("bad addend in expression: {tok}")))?;
+                (b.trim(), n)
+            }
+            None => (tok, 0),
+        }
+    };
+    if base == "." {
+        return Ok(Expr::Here(addend));
+    }
+    if !base.is_empty() && base.chars().all(is_sym_char) && !base.chars().next().unwrap().is_ascii_digit() {
+        return Ok(Expr::Sym(base.to_string(), addend));
+    }
+    Err(err(line, format!("cannot parse expression: {tok}")))
+}
+
+/// Parses one operand into addressing mode, register, and optional extra
+/// word.
+fn parse_operand(tok: &str, line: usize) -> Result<Arg, AsmError> {
+    let t = tok.trim();
+    if let Some(r) = parse_reg(t) {
+        return Ok(Arg::Operand {
+            mode: 0,
+            reg: r,
+            extra: None,
+        });
+    }
+    // Deferred forms start with '@'.
+    if let Some(rest) = t.strip_prefix('@') {
+        let rest = rest.trim();
+        if let Some(imm) = rest.strip_prefix('#') {
+            // @#addr — absolute.
+            return Ok(Arg::Operand {
+                mode: 3,
+                reg: 7,
+                extra: Some(parse_expr(imm, line)?),
+            });
+        }
+        if let Some(inner) = rest.strip_prefix("-(").and_then(|s| s.strip_suffix(')')) {
+            let r = parse_reg(inner).ok_or_else(|| err(line, format!("bad register: {inner}")))?;
+            return Ok(Arg::Operand {
+                mode: 5,
+                reg: r,
+                extra: None,
+            });
+        }
+        if let Some(inner) = rest.strip_prefix('(').and_then(|s| s.strip_suffix(")+")) {
+            let r = parse_reg(inner).ok_or_else(|| err(line, format!("bad register: {inner}")))?;
+            return Ok(Arg::Operand {
+                mode: 3,
+                reg: r,
+                extra: None,
+            });
+        }
+        if let Some(open) = rest.find('(') {
+            // @X(Rn)
+            let idx = &rest[..open];
+            let reg_part = rest[open + 1..]
+                .strip_suffix(')')
+                .ok_or_else(|| err(line, format!("missing ')': {t}")))?;
+            let r = parse_reg(reg_part).ok_or_else(|| err(line, format!("bad register: {reg_part}")))?;
+            return Ok(Arg::Operand {
+                mode: 7,
+                reg: r,
+                extra: Some(parse_expr(idx, line)?),
+            });
+        }
+        // @addr — PC-relative deferred.
+        return Ok(Arg::Operand {
+            mode: 7,
+            reg: 7,
+            extra: Some(Expr::relative(parse_expr(rest, line)?)),
+        });
+    }
+    if let Some(imm) = t.strip_prefix('#') {
+        return Ok(Arg::Operand {
+            mode: 2,
+            reg: 7,
+            extra: Some(parse_expr(imm, line)?),
+        });
+    }
+    if let Some(inner) = t.strip_prefix("-(").and_then(|s| s.strip_suffix(')')) {
+        let r = parse_reg(inner).ok_or_else(|| err(line, format!("bad register: {inner}")))?;
+        return Ok(Arg::Operand {
+            mode: 4,
+            reg: r,
+            extra: None,
+        });
+    }
+    if let Some(inner) = t.strip_prefix('(').and_then(|s| s.strip_suffix(")+")) {
+        let r = parse_reg(inner).ok_or_else(|| err(line, format!("bad register: {inner}")))?;
+        return Ok(Arg::Operand {
+            mode: 2,
+            reg: r,
+            extra: None,
+        });
+    }
+    if let Some(inner) = t.strip_prefix('(').and_then(|s| s.strip_suffix(')')) {
+        let r = parse_reg(inner).ok_or_else(|| err(line, format!("bad register: {inner}")))?;
+        return Ok(Arg::Operand {
+            mode: 1,
+            reg: r,
+            extra: None,
+        });
+    }
+    if let Some(open) = t.find('(') {
+        // X(Rn)
+        let idx = &t[..open];
+        let reg_part = t[open + 1..]
+            .strip_suffix(')')
+            .ok_or_else(|| err(line, format!("missing ')': {t}")))?;
+        let r = parse_reg(reg_part).ok_or_else(|| err(line, format!("bad register: {reg_part}")))?;
+        return Ok(Arg::Operand {
+            mode: 6,
+            reg: r,
+            extra: Some(parse_expr(idx, line)?),
+        });
+    }
+    // Bare expression: PC-relative.
+    Ok(Arg::Operand {
+        mode: 6,
+        reg: 7,
+        extra: Some(Expr::relative(parse_expr(t, line)?)),
+    })
+}
+
+impl Expr {
+    /// Marker wrapper: relative operands are resolved as `target − (addr of
+    /// extra word + 2)` during emission. We tag them by wrapping in a
+    /// special symbol namespace.
+    fn relative(e: Expr) -> Expr {
+        match e {
+            Expr::Sym(s, a) => Expr::Sym(format!("\u{1}rel\u{1}{s}"), a),
+            Expr::Num(n) => Expr::Sym("\u{1}relnum\u{1}".to_string(), n),
+            Expr::Here(a) => Expr::Here(a),
+        }
+    }
+}
+
+/// Splits an operand field on commas that are not inside parentheses or
+/// character literals.
+fn split_args(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ')' => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                out.push(cur.trim().to_string());
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+impl Assembler {
+    fn parse(source: &str, origin: Word) -> Result<Assembler, AsmError> {
+        let mut asm = Assembler {
+            origin,
+            items: Vec::new(),
+            symbols: HashMap::new(),
+            end: origin,
+        };
+        let mut loc = origin;
+        for (lineno, raw) in source.lines().enumerate() {
+            let line = lineno + 1;
+            let mut text = raw;
+            if let Some(i) = text.find(';') {
+                text = &text[..i];
+            }
+            let mut text = text.trim();
+            // Labels (possibly several).
+            while let Some(i) = text.find(':') {
+                let label = text[..i].trim();
+                if label.is_empty() || !label.chars().all(is_sym_char) {
+                    return Err(err(line, format!("bad label: {label}")));
+                }
+                if asm.symbols.insert(label.to_string(), loc).is_some() {
+                    return Err(err(line, format!("duplicate label: {label}")));
+                }
+                text = text[i + 1..].trim();
+            }
+            if text.is_empty() {
+                continue;
+            }
+            let (head, rest) = match text.find(char::is_whitespace) {
+                Some(i) => (&text[..i], text[i..].trim()),
+                None => (text, ""),
+            };
+            let mnemonic = head.to_ascii_uppercase();
+            match mnemonic.as_str() {
+                ".ORG" => {
+                    let e = parse_expr(rest, line)?;
+                    match e {
+                        Expr::Num(n) => {
+                            let n = n as Word;
+                            if n < loc {
+                                return Err(err(line, ".org moves backwards"));
+                            }
+                            loc = n;
+                        }
+                        _ => return Err(err(line, ".org requires a numeric operand")),
+                    }
+                }
+                ".EVEN" => {
+                    loc = (loc + 1) & !1;
+                }
+                ".BLKW" => {
+                    let n = parse_number(rest).ok_or_else(|| err(line, "bad .blkw count"))?;
+                    if !(0..=0o37777).contains(&n) {
+                        return Err(err(line, format!(".blkw count out of range: {n}")));
+                    }
+                    asm.items.push(Item {
+                        line,
+                        addr: loc,
+                        kind: ItemKind::Word(vec![Expr::Num(0); n as usize]),
+                    });
+                    loc += 2 * n as Word;
+                }
+                ".WORD" => {
+                    if loc & 1 != 0 {
+                        return Err(err(line, ".word at odd address"));
+                    }
+                    let exprs = split_args(rest)
+                        .iter()
+                        .map(|a| parse_expr(a, line))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let n = exprs.len() as Word;
+                    asm.items.push(Item {
+                        line,
+                        addr: loc,
+                        kind: ItemKind::Word(exprs),
+                    });
+                    loc += 2 * n;
+                }
+                ".BYTE" => {
+                    let exprs = split_args(rest)
+                        .iter()
+                        .map(|a| parse_expr(a, line))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let n = exprs.len() as Word;
+                    asm.items.push(Item {
+                        line,
+                        addr: loc,
+                        kind: ItemKind::Byte(exprs),
+                    });
+                    loc += n;
+                }
+                ".ASCII" | ".ASCIZ" => {
+                    let s = rest.trim();
+                    let inner = s
+                        .strip_prefix('"')
+                        .and_then(|x| x.strip_suffix('"'))
+                        .ok_or_else(|| err(line, "string must be double-quoted"))?;
+                    let mut bytes = inner.as_bytes().to_vec();
+                    if mnemonic == ".ASCIZ" {
+                        bytes.push(0);
+                    }
+                    let n = bytes.len() as Word;
+                    asm.items.push(Item {
+                        line,
+                        addr: loc,
+                        kind: ItemKind::Ascii(bytes),
+                    });
+                    loc += n;
+                }
+                _ => {
+                    if loc & 1 != 0 {
+                        return Err(err(line, "instruction at odd address"));
+                    }
+                    let args = split_args(rest);
+                    let (size, parsed) = instr_size_and_args(&mnemonic, &args, line)?;
+                    asm.items.push(Item {
+                        line,
+                        addr: loc,
+                        kind: ItemKind::Instr {
+                            mnemonic,
+                            args: parsed,
+                        },
+                    });
+                    loc += size;
+                }
+            }
+        }
+        asm.end = loc;
+        Ok(asm)
+    }
+
+    fn resolve(&self, e: &Expr, extra_addr: Word, line: usize) -> Result<Word, AsmError> {
+        match e {
+            Expr::Num(n) => Ok(*n as Word),
+            Expr::Here(a) => Ok((extra_addr as i32 + a) as Word),
+            Expr::Sym(s, a) => {
+                if let Some(rest) = s.strip_prefix("\u{1}rel\u{1}") {
+                    let target = self
+                        .symbols
+                        .get(rest)
+                        .copied()
+                        .ok_or_else(|| err(line, format!("undefined symbol: {rest}")))?;
+                    let target = (target as i32 + a) as Word;
+                    Ok(target.wrapping_sub(extra_addr.wrapping_add(2)))
+                } else if s == "\u{1}relnum\u{1}" {
+                    Ok((*a as Word).wrapping_sub(extra_addr.wrapping_add(2)))
+                } else {
+                    let v = self
+                        .symbols
+                        .get(s)
+                        .copied()
+                        .ok_or_else(|| err(line, format!("undefined symbol: {s}")))?;
+                    Ok((v as i32 + a) as Word)
+                }
+            }
+        }
+    }
+
+    fn emit(self) -> Result<Program, AsmError> {
+        let len_words = ((self.end - self.origin) as usize).div_ceil(2);
+        let mut words = vec![0u16; len_words];
+        let mut bytes_written: HashMap<usize, u8> = HashMap::new();
+        let put_word = |words: &mut Vec<Word>, addr: Word, w: Word| {
+            let idx = ((addr - self.origin) / 2) as usize;
+            words[idx] = w;
+        };
+        for item in &self.items {
+            match &item.kind {
+                ItemKind::Word(exprs) => {
+                    for (i, e) in exprs.iter().enumerate() {
+                        let a = item.addr + 2 * i as Word;
+                        let v = self.resolve(e, a, item.line)?;
+                        put_word(&mut words, a, v);
+                    }
+                }
+                ItemKind::Byte(exprs) => {
+                    for (i, e) in exprs.iter().enumerate() {
+                        let a = item.addr + i as Word;
+                        let v = self.resolve(e, a, item.line)? as u8;
+                        bytes_written.insert((a - self.origin) as usize, v);
+                    }
+                }
+                ItemKind::Ascii(bytes) => {
+                    for (i, b) in bytes.iter().enumerate() {
+                        let a = item.addr + i as Word;
+                        bytes_written.insert((a - self.origin) as usize, *b);
+                    }
+                }
+                ItemKind::Instr { mnemonic, args } => {
+                    let ws = self.encode(mnemonic, args, item.addr, item.line)?;
+                    for (i, w) in ws.iter().enumerate() {
+                        put_word(&mut words, item.addr + 2 * i as Word, *w);
+                    }
+                }
+            }
+        }
+        // Merge byte writes into the word array.
+        for (offset, b) in bytes_written {
+            let idx = offset / 2;
+            if offset % 2 == 0 {
+                words[idx] = (words[idx] & 0xFF00) | b as Word;
+            } else {
+                words[idx] = (words[idx] & 0x00FF) | ((b as Word) << 8);
+            }
+        }
+        Ok(Program {
+            origin: self.origin,
+            words,
+            symbols: self
+                .symbols
+                .into_iter()
+                .filter(|(k, _)| !k.starts_with('\u{1}'))
+                .collect(),
+        })
+    }
+
+    fn encode(&self, mnemonic: &str, args: &[Arg], addr: Word, line: usize) -> Result<Vec<Word>, AsmError> {
+        let mut out = Vec::with_capacity(3);
+        let mut extras: Vec<(Expr, usize)> = Vec::new();
+
+        let operand_bits = |arg: &Arg, extras: &mut Vec<(Expr, usize)>| -> Result<Word, AsmError> {
+            match arg {
+                Arg::Operand { mode, reg, extra } => {
+                    if let Some(e) = extra {
+                        let n = extras.len();
+                        extras.push((e.clone(), n));
+                    }
+                    Ok(((*mode as Word) << 3) | *reg as Word)
+                }
+            }
+        };
+
+        let double = |op: Word, out: &mut Vec<Word>, extras: &mut Vec<(Expr, usize)>, args: &[Arg]| -> Result<(), AsmError> {
+            if args.len() != 2 {
+                return Err(err(line, "expected two operands"));
+            }
+            let ob = |a: &Arg, ex: &mut Vec<(Expr, usize)>| match a {
+                Arg::Operand { mode, reg, extra } => {
+                    if let Some(e) = extra {
+                        let n = ex.len();
+                        ex.push((e.clone(), n));
+                    }
+                    Ok(((*mode as Word) << 3) | *reg as Word)
+                }
+            };
+            let s = ob(&args[0], extras)?;
+            let d = ob(&args[1], extras)?;
+            out.push(op | (s << 6) | d);
+            Ok(())
+        };
+
+        match mnemonic {
+            "MOV" => double(0o010000, &mut out, &mut extras, args)?,
+            "MOVB" => double(0o110000, &mut out, &mut extras, args)?,
+            "CMP" => double(0o020000, &mut out, &mut extras, args)?,
+            "CMPB" => double(0o120000, &mut out, &mut extras, args)?,
+            "BIT" => double(0o030000, &mut out, &mut extras, args)?,
+            "BITB" => double(0o130000, &mut out, &mut extras, args)?,
+            "BIC" => double(0o040000, &mut out, &mut extras, args)?,
+            "BICB" => double(0o140000, &mut out, &mut extras, args)?,
+            "BIS" => double(0o050000, &mut out, &mut extras, args)?,
+            "BISB" => double(0o150000, &mut out, &mut extras, args)?,
+            "ADD" => double(0o060000, &mut out, &mut extras, args)?,
+            "SUB" => double(0o160000, &mut out, &mut extras, args)?,
+            "CLR" | "CLRB" | "COM" | "COMB" | "INC" | "INCB" | "DEC" | "DECB" | "NEG" | "NEGB"
+            | "ADC" | "ADCB" | "SBC" | "SBCB" | "TST" | "TSTB" | "ROR" | "RORB" | "ROL" | "ROLB"
+            | "ASR" | "ASRB" | "ASL" | "ASLB" | "SWAB" | "SXT" | "JMP" => {
+                if args.len() != 1 {
+                    return Err(err(line, "expected one operand"));
+                }
+                // SWAB's trailing B is part of the name, not a byte marker.
+                let stem = if mnemonic == "SWAB" {
+                    "SWAB"
+                } else {
+                    mnemonic.strip_suffix('B').unwrap_or(mnemonic)
+                };
+                let base: Word = match stem {
+                    "CLR" => 0o005000,
+                    "COM" => 0o005100,
+                    "INC" => 0o005200,
+                    "DEC" => 0o005300,
+                    "NEG" => 0o005400,
+                    "ADC" => 0o005500,
+                    "SBC" => 0o005600,
+                    "TST" => 0o005700,
+                    "ROR" => 0o006000,
+                    "ROL" => 0o006100,
+                    "ASR" => 0o006200,
+                    "ASL" => 0o006300,
+                    "SWAB" => 0o000300,
+                    "SXT" => 0o006700,
+                    "JMP" => 0o000100,
+                    _ => unreachable!(),
+                };
+                let byte_bit = if mnemonic.ends_with('B') && mnemonic != "SWAB" {
+                    0o100000
+                } else {
+                    0
+                };
+                let d = operand_bits(&args[0], &mut extras)?;
+                out.push(base | byte_bit | d);
+            }
+            "BR" | "BNE" | "BEQ" | "BGE" | "BLT" | "BGT" | "BLE" | "BPL" | "BMI" | "BHI"
+            | "BLOS" | "BVC" | "BVS" | "BCC" | "BCS" => {
+                if args.len() != 1 {
+                    return Err(err(line, "expected a branch target"));
+                }
+                let base: Word = match mnemonic {
+                    "BR" => 0o000400,
+                    "BNE" => 0o001000,
+                    "BEQ" => 0o001400,
+                    "BGE" => 0o002000,
+                    "BLT" => 0o002400,
+                    "BGT" => 0o003000,
+                    "BLE" => 0o003400,
+                    "BPL" => 0o100000,
+                    "BMI" => 0o100400,
+                    "BHI" => 0o101000,
+                    "BLOS" => 0o101400,
+                    "BVC" => 0o102000,
+                    "BVS" => 0o102400,
+                    "BCC" => 0o103000,
+                    "BCS" => 0o103400,
+                    _ => unreachable!(),
+                };
+                let target = self.branch_target(&args[0], line)?;
+                let target = self.resolve(&target, addr, line)?;
+                let diff = (target as i32) - (addr as i32 + 2);
+                if diff % 2 != 0 {
+                    return Err(err(line, "branch target at odd distance"));
+                }
+                let off = diff / 2;
+                if !(-128..=127).contains(&off) {
+                    return Err(err(line, format!("branch out of range: {off} words")));
+                }
+                out.push(base | (off as u8 as Word));
+            }
+            "JSR" => {
+                if args.len() != 2 {
+                    return Err(err(line, "JSR reg, dst"));
+                }
+                let r = self.expect_reg(&args[0], line)?;
+                let d = operand_bits(&args[1], &mut extras)?;
+                out.push(0o004000 | ((r as Word) << 6) | d);
+            }
+            "RTS" => {
+                let r = self.expect_reg(&args[0], line)?;
+                out.push(0o000200 | r as Word);
+            }
+            "SOB" => {
+                if args.len() != 2 {
+                    return Err(err(line, "SOB reg, target"));
+                }
+                let r = self.expect_reg(&args[0], line)?;
+                let target = self.branch_target(&args[1], line)?;
+                let target = self.resolve(&target, addr, line)?;
+                let diff = (addr as i32 + 2) - target as i32;
+                if diff % 2 != 0 || !(0..=126).contains(&diff) {
+                    return Err(err(line, "SOB target out of range"));
+                }
+                out.push(0o077000 | ((r as Word) << 6) | (diff / 2) as Word);
+            }
+            "MUL" | "DIV" | "ASH" => {
+                if args.len() != 2 {
+                    return Err(err(line, format!("{mnemonic} src, reg")));
+                }
+                let base = match mnemonic {
+                    "MUL" => 0o070000,
+                    "DIV" => 0o071000,
+                    _ => 0o072000,
+                };
+                let s = operand_bits(&args[0], &mut extras)?;
+                let r = self.expect_reg(&args[1], line)?;
+                out.push(base | ((r as Word) << 6) | s);
+            }
+            "XOR" => {
+                if args.len() != 2 {
+                    return Err(err(line, "XOR reg, dst"));
+                }
+                let r = self.expect_reg(&args[0], line)?;
+                let d = operand_bits(&args[1], &mut extras)?;
+                out.push(0o074000 | ((r as Word) << 6) | d);
+            }
+            "EMT" | "TRAP" => {
+                let n = if args.is_empty() {
+                    0
+                } else {
+                    let e = self.branch_target(&args[0], line)?;
+                    self.resolve(&e, addr, line)? as i32
+                };
+                if !(0..=255).contains(&n) {
+                    return Err(err(line, "trap number out of range"));
+                }
+                let base = if mnemonic == "EMT" { 0o104000 } else { 0o104400 };
+                out.push(base | n as Word);
+            }
+            "HALT" => out.push(0o000000),
+            "WAIT" => out.push(0o000001),
+            "RTI" => out.push(0o000002),
+            "BPT" => out.push(0o000003),
+            "IOT" => out.push(0o000004),
+            "RESET" => out.push(0o000005),
+            "RTT" => out.push(0o000006),
+            "NOP" => out.push(0o000240),
+            "CLC" => out.push(0o000241),
+            "CLV" => out.push(0o000242),
+            "CLZ" => out.push(0o000244),
+            "CLN" => out.push(0o000250),
+            "CCC" => out.push(0o000257),
+            "SEC" => out.push(0o000261),
+            "SEV" => out.push(0o000262),
+            "SEZ" => out.push(0o000264),
+            "SEN" => out.push(0o000270),
+            "SCC" => out.push(0o000277),
+            _ => return Err(err(line, format!("unknown mnemonic: {mnemonic}"))),
+        }
+
+        // Append operand extension words in operand order.
+        for (i, (e, _)) in extras.iter().enumerate() {
+            let extra_addr = addr + 2 + 2 * i as Word;
+            let v = self.resolve(e, extra_addr, line)?;
+            out.push(v);
+        }
+        Ok(out)
+    }
+
+    fn expect_reg(&self, a: &Arg, line: usize) -> Result<u8, AsmError> {
+        match a {
+            Arg::Operand { mode: 0, reg, .. } => Ok(*reg),
+            _ => Err(err(line, "expected a register")),
+        }
+    }
+
+    /// Branch targets are bare expressions; unwrap the PC-relative tagging
+    /// that `parse_operand` applied (branches encode their own offset).
+    fn branch_target(&self, a: &Arg, line: usize) -> Result<Expr, AsmError> {
+        match a {
+            Arg::Operand {
+                mode: 6,
+                reg: 7,
+                extra: Some(Expr::Sym(s, add)),
+            } => {
+                if let Some(rest) = s.strip_prefix("\u{1}rel\u{1}") {
+                    Ok(Expr::Sym(rest.to_string(), *add))
+                } else if s == "\u{1}relnum\u{1}" {
+                    Ok(Expr::Num(*add))
+                } else {
+                    Ok(Expr::Sym(s.clone(), *add))
+                }
+            }
+            Arg::Operand {
+                mode: 6,
+                reg: 7,
+                extra: Some(e),
+            } => Ok(e.clone()),
+            _ => Err(err(line, "expected a branch target label")),
+        }
+    }
+}
+
+/// Computes an instruction's size in bytes and returns the parsed operands.
+fn instr_size_and_args(mnemonic: &str, args: &[String], line: usize) -> Result<(Word, Vec<Arg>), AsmError> {
+    let parsed: Vec<Arg> = args
+        .iter()
+        .map(|a| parse_operand(a, line))
+        .collect::<Result<Vec<_>, _>>()?;
+    // Branches and SOB encode their target in the base word; traps take a
+    // literal; everything else grows by one word per operand needing an
+    // extension.
+    let branchlike = matches!(
+        mnemonic,
+        "BR" | "BNE" | "BEQ" | "BGE" | "BLT" | "BGT" | "BLE" | "BPL" | "BMI" | "BHI" | "BLOS"
+            | "BVC" | "BVS" | "BCC" | "BCS" | "SOB" | "EMT" | "TRAP" | "RTS"
+    );
+    let size = if branchlike {
+        2
+    } else {
+        let extras: Word = parsed
+            .iter()
+            .map(|a| match a {
+                Arg::Operand { extra: Some(_), .. } => 1,
+                _ => 0,
+            })
+            .sum();
+        2 + 2 * extras
+    };
+    Ok((size, parsed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_simple_moves() {
+        let p = assemble("MOV R0, R1").unwrap();
+        assert_eq!(p.words, vec![0o010001]);
+        let p = assemble("MOV #5, R0").unwrap();
+        assert_eq!(p.words, vec![0o012700, 5]);
+        let p = assemble("MOVB (R1)+, R2").unwrap();
+        assert_eq!(p.words, vec![0o112102]);
+    }
+
+    #[test]
+    fn assembles_absolute_and_indexed() {
+        let p = assemble("MOV @#0o177560, R0").unwrap();
+        assert_eq!(p.words, vec![0o013700, 0o177560]);
+        let p = assemble("MOV 4(R1), R0").unwrap();
+        assert_eq!(p.words, vec![0o016100, 4]);
+        let p = assemble("MOV -(SP), R0").unwrap();
+        assert_eq!(p.words, vec![0o014600]);
+    }
+
+    #[test]
+    fn labels_and_branches() {
+        let src = "
+start:  CLR R0
+loop:   INC R0
+        CMP #3, R0
+        BNE loop
+        HALT
+";
+        let p = assemble(src).unwrap();
+        assert_eq!(p.symbol("start"), Some(0));
+        assert_eq!(p.symbol("loop"), Some(2));
+        // BNE is at byte 8; offset = (2 - 10)/2 = -4.
+        assert_eq!(p.words[4], 0o001000 | (-4i8 as u8 as Word));
+    }
+
+    #[test]
+    fn pc_relative_data_reference() {
+        let src = "
+        MOV counter, R0
+        HALT
+counter: .word 42
+";
+        let p = assemble(src).unwrap();
+        // MOV rel, R0 = 0o016700, then offset: counter(6) - (2+2) = 2.
+        assert_eq!(p.words[0], 0o016700);
+        assert_eq!(p.words[1], 2);
+        assert_eq!(p.words[3], 42);
+    }
+
+    #[test]
+    fn word_and_byte_directives() {
+        let p = assemble(".word 1, 2, 0x10\n.byte 7, 8\n.even\n.word 9").unwrap();
+        assert_eq!(p.words, vec![1, 2, 16, 0x0807, 9]);
+    }
+
+    #[test]
+    fn ascii_directive() {
+        let p = assemble(".ascii \"AB\"\n.even\n.word 1").unwrap();
+        assert_eq!(p.words[0], u16::from_le_bytes([b'A', b'B']));
+        assert_eq!(p.words[1], 1);
+    }
+
+    #[test]
+    fn trap_and_emt() {
+        let p = assemble("TRAP 3\nEMT 0o20").unwrap();
+        assert_eq!(p.words, vec![0o104403, 0o104020]);
+    }
+
+    #[test]
+    fn sob_encodes_backward_offset() {
+        let src = "
+loop:   NOP
+        SOB R1, loop
+";
+        let p = assemble(src).unwrap();
+        // SOB at byte 2: offset = (2+2-0)/2 = 2.
+        assert_eq!(p.words[1], 0o077102);
+    }
+
+    #[test]
+    fn jsr_and_rts() {
+        let src = "
+        JSR PC, sub
+        HALT
+sub:    RTS PC
+";
+        let p = assemble(src).unwrap();
+        assert_eq!(p.words[0], 0o004767);
+        assert_eq!(p.words[3], 0o000207);
+    }
+
+    #[test]
+    fn undefined_symbol_errors() {
+        let e = assemble("MOV nowhere, R0").unwrap_err();
+        assert!(e.message.contains("undefined symbol"));
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let e = assemble("a: NOP\na: NOP").unwrap_err();
+        assert!(e.message.contains("duplicate label"));
+    }
+
+    #[test]
+    fn branch_out_of_range_errors() {
+        let mut src = String::from("start: NOP\n");
+        for _ in 0..200 {
+            src.push_str("NOP\n");
+        }
+        src.push_str("BR start\n");
+        let e = assemble(&src).unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+
+    #[test]
+    fn blkw_bounds_are_checked() {
+        assert!(assemble(".blkw -1").unwrap_err().message.contains("out of range"));
+        assert!(assemble(".blkw 99999").is_err());
+        assert_eq!(assemble(".blkw 3").unwrap().words, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn origin_offsets_symbols() {
+        let p = assemble_at("x: .word 1", 0o1000).unwrap();
+        assert_eq!(p.symbol("x"), Some(0o1000));
+        assert_eq!(p.origin, 0o1000);
+    }
+
+    #[test]
+    fn numbers_in_all_bases() {
+        let p = assemble(".word 10, 0o10, 0x10, 'A, -1").unwrap();
+        assert_eq!(p.words, vec![10, 8, 16, 65, 0o177777]);
+    }
+}

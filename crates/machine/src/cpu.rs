@@ -1,0 +1,120 @@
+//! CPU register state.
+//!
+//! Eight general registers, with R6 (the stack pointer) banked per mode as
+//! on the real machine: the kernel and user modes each have a private SP.
+//! R7 is the program counter. The register file is the first thing a SWAP
+//! must save and restore — and, as the paper observes, exactly the thing
+//! Information Flow Analysis cannot handle, because the same physical
+//! registers carry every regime's values at different times.
+
+use crate::psw::{Mode, Psw};
+use crate::types::Word;
+
+/// CPU register state (registers plus PSW).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Cpu {
+    /// R0–R5.
+    pub r: [Word; 6],
+    /// Banked stack pointers: `sp[0]` kernel, `sp[1]` user.
+    pub sp: [Word; 2],
+    /// The program counter (R7).
+    pub pc: Word,
+    /// The processor status word.
+    pub psw: Psw,
+}
+
+impl Cpu {
+    /// A CPU in user mode with all registers zero.
+    pub fn new() -> Cpu {
+        Cpu {
+            psw: Psw::user(),
+            ..Cpu::default()
+        }
+    }
+
+    fn sp_index(&self, mode: Mode) -> usize {
+        match mode {
+            Mode::Kernel => 0,
+            Mode::User => 1,
+        }
+    }
+
+    /// Reads general register `n` (0–7), resolving SP by current mode.
+    pub fn reg(&self, n: u8) -> Word {
+        match n {
+            0..=5 => self.r[n as usize],
+            6 => self.sp[self.sp_index(self.psw.mode())],
+            7 => self.pc,
+            _ => panic!("register index out of range: {n}"),
+        }
+    }
+
+    /// Writes general register `n` (0–7), resolving SP by current mode.
+    pub fn set_reg(&mut self, n: u8, value: Word) {
+        match n {
+            0..=5 => self.r[n as usize] = value,
+            6 => {
+                let i = self.sp_index(self.psw.mode());
+                self.sp[i] = value;
+            }
+            7 => self.pc = value,
+            _ => panic!("register index out of range: {n}"),
+        }
+    }
+
+    /// The stack pointer of a specific mode (regardless of current mode).
+    pub fn sp_of(&self, mode: Mode) -> Word {
+        self.sp[self.sp_index(mode)]
+    }
+
+    /// Sets the stack pointer of a specific mode.
+    pub fn set_sp_of(&mut self, mode: Mode, value: Word) {
+        let i = self.sp_index(mode);
+        self.sp[i] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn general_registers_roundtrip() {
+        let mut cpu = Cpu::new();
+        for n in 0..=7u8 {
+            cpu.set_reg(n, 0o1000 + n as Word);
+        }
+        for n in 0..=7u8 {
+            assert_eq!(cpu.reg(n), 0o1000 + n as Word);
+        }
+    }
+
+    #[test]
+    fn sp_is_banked_by_mode() {
+        let mut cpu = Cpu::new();
+        cpu.psw.set_mode(Mode::User);
+        cpu.set_reg(6, 0o1000);
+        cpu.psw.set_mode(Mode::Kernel);
+        cpu.set_reg(6, 0o2000);
+        assert_eq!(cpu.reg(6), 0o2000);
+        cpu.psw.set_mode(Mode::User);
+        assert_eq!(cpu.reg(6), 0o1000);
+        assert_eq!(cpu.sp_of(Mode::Kernel), 0o2000);
+        assert_eq!(cpu.sp_of(Mode::User), 0o1000);
+    }
+
+    #[test]
+    fn pc_is_register_seven() {
+        let mut cpu = Cpu::new();
+        cpu.set_reg(7, 0o400);
+        assert_eq!(cpu.pc, 0o400);
+        cpu.pc = 0o500;
+        assert_eq!(cpu.reg(7), 0o500);
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn bad_register_panics() {
+        Cpu::new().reg(8);
+    }
+}

@@ -1,0 +1,828 @@
+//! The machine: CPU + MMU + memory + devices, executing unprivileged code.
+//!
+//! [`Machine::step`] advances time by one unit: devices tick, DMA requests
+//! are honoured or refused, a pending interrupt above the CPU priority is
+//! surfaced, or one instruction executes. Everything privileged — trap
+//! handling, interrupt dispatch, register save/restore, MMU loading — is the
+//! embedder's job: the separation kernel in `sep-kernel` receives each
+//! [`Event`] and manipulates the machine as the SUE's handlers would.
+
+use crate::cpu::Cpu;
+use crate::dev::{DeviceSet, DmaOp, InterruptRequest};
+use crate::isa::{decode, BinOp, BranchCond, Instr, Operand, UnOp};
+use crate::mem::Memory;
+use crate::mmu::{Mmu, MmuAbort};
+use crate::types::{is_neg_b, is_neg_w, sign_extend_byte, PhysAddr, Word, SIGN_W};
+
+/// A condition that transfers control to the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Trap {
+    /// Memory-management abort.
+    Mmu(MmuAbort),
+    /// Word access to an odd address.
+    OddAddress {
+        /// The offending virtual address.
+        vaddr: Word,
+    },
+    /// Reference to an I/O-page address with no device (bus timeout).
+    BusError {
+        /// The offending physical address.
+        addr: PhysAddr,
+    },
+    /// Reserved or unimplemented instruction.
+    Illegal {
+        /// The instruction word.
+        word: Word,
+    },
+    /// EMT instruction with its operand byte.
+    Emt(u8),
+    /// TRAP instruction with its operand byte — the kernel-call vehicle.
+    TrapInstr(u8),
+    /// Breakpoint trap.
+    Bpt,
+    /// I/O trap instruction.
+    Iot,
+    /// HALT attempted in user mode (privilege violation).
+    Halt,
+}
+
+/// What one call to [`Machine::step`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// One instruction executed normally.
+    Ran,
+    /// The CPU executed WAIT: it idles until an interrupt.
+    Wait,
+    /// A device interrupt is pending above the CPU priority. The kernel must
+    /// field it (and acknowledge the device).
+    Interrupt {
+        /// Index of the requesting device.
+        device: usize,
+        /// The request (vector and priority).
+        request: InterruptRequest,
+    },
+    /// A trap transferred control to the kernel.
+    Trap(Trap),
+    /// A device attempted DMA while DMA is excluded from the system.
+    DmaBlocked {
+        /// Index of the offending device.
+        device: usize,
+    },
+}
+
+/// The complete machine.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// CPU registers and PSW.
+    pub cpu: Cpu,
+    /// Memory management unit.
+    pub mmu: Mmu,
+    /// Physical RAM.
+    pub mem: Memory,
+    /// Attached peripherals.
+    pub devices: DeviceSet,
+    /// Whether DMA transfers are honoured. The SUE's answer is `false`.
+    pub allow_dma: bool,
+    /// Machine steps taken.
+    pub steps: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+}
+
+/// Where an operand lives after addressing-mode resolution.
+#[derive(Debug, Clone, Copy)]
+enum Place {
+    Reg(u8),
+    Mem(Word),
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Machine::new()
+    }
+}
+
+impl Machine {
+    /// A machine with zeroed CPU, empty MMU, zero RAM, and no devices.
+    pub fn new() -> Machine {
+        Machine {
+            cpu: Cpu::new(),
+            mmu: Mmu::new(),
+            mem: Memory::new(),
+            devices: DeviceSet::new(),
+            allow_dma: false,
+            steps: 0,
+            instructions: 0,
+        }
+    }
+
+    /// Advances the machine one step: the tick phase (device time and DMA)
+    /// followed by the execution phase (interrupt surfacing or one
+    /// instruction).
+    pub fn step(&mut self) -> Event {
+        if let Some(ev) = self.tick_phase() {
+            return ev;
+        }
+        self.exec_phase()
+    }
+
+    /// The tick phase: devices advance one time unit and DMA requests are
+    /// honoured or refused. In the formal model of `sep-model` this phase is
+    /// the `INPUT` stage — autonomous device activity — and is kept separate
+    /// from instruction execution so the Proof of Separability adapter can
+    /// drive the two stages independently.
+    ///
+    /// Returns `Some(event)` only when a DMA attempt was blocked.
+    pub fn tick_phase(&mut self) -> Option<Event> {
+        self.steps += 1;
+        self.devices.tick_all();
+        let dma_ops = self.devices.collect_dma();
+        for (device, op) in dma_ops {
+            if !self.allow_dma {
+                return Some(Event::DmaBlocked { device });
+            }
+            match op {
+                DmaOp::WriteMem { addr, data } => {
+                    for (i, b) in data.iter().enumerate() {
+                        self.mem.write_byte(addr + i as u32, *b);
+                    }
+                }
+                DmaOp::ReadMem { addr, len } => {
+                    let data: Vec<u8> =
+                        (0..len).map(|i| self.mem.read_byte(addr + i)).collect();
+                    if let Some(d) = self.devices.get_mut(device) {
+                        d.dma_complete(data);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// The execution phase: surface a pending interrupt above the CPU
+    /// priority, or execute one instruction.
+    pub fn exec_phase(&mut self) -> Event {
+        if let Some((device, request)) = self.devices.highest_pending(self.cpu.psw.priority()) {
+            return Event::Interrupt { device, request };
+        }
+        match self.execute_one() {
+            Ok(ev) => ev,
+            Err(t) => Event::Trap(t),
+        }
+    }
+
+    /// Runs until the next non-[`Event::Ran`] event, bounded by `max_steps`.
+    /// Returns the event and the number of steps taken, or `None` if the
+    /// bound was reached.
+    pub fn run_until_event(&mut self, max_steps: u64) -> Option<(Event, u64)> {
+        for n in 1..=max_steps {
+            let ev = self.step();
+            if ev != Event::Ran {
+                return Some((ev, n));
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Bus access (virtual, through the MMU, routed to RAM or devices).
+    // ------------------------------------------------------------------
+
+    fn translate(&self, vaddr: Word, write: bool) -> Result<PhysAddr, Trap> {
+        self.mmu
+            .translate(vaddr, self.cpu.psw.mode(), write)
+            .map_err(Trap::Mmu)
+    }
+
+    /// Reads a word at a virtual address in the current mode.
+    pub fn read_word_v(&mut self, vaddr: Word) -> Result<Word, Trap> {
+        if vaddr & 1 != 0 {
+            return Err(Trap::OddAddress { vaddr });
+        }
+        let p = self.translate(vaddr, false)?;
+        self.read_word_p(p)
+    }
+
+    /// Writes a word at a virtual address in the current mode.
+    pub fn write_word_v(&mut self, vaddr: Word, value: Word) -> Result<(), Trap> {
+        if vaddr & 1 != 0 {
+            return Err(Trap::OddAddress { vaddr });
+        }
+        let p = self.translate(vaddr, true)?;
+        self.write_word_p(p, value)
+    }
+
+    /// Reads a byte at a virtual address in the current mode.
+    pub fn read_byte_v(&mut self, vaddr: Word) -> Result<u8, Trap> {
+        let p = self.translate(vaddr, false)?;
+        if Memory::is_io(p) {
+            let word = self.read_word_p(p & !1)?;
+            Ok(if p & 1 == 0 {
+                (word & 0xFF) as u8
+            } else {
+                (word >> 8) as u8
+            })
+        } else {
+            Ok(self.mem.read_byte(p))
+        }
+    }
+
+    /// Writes a byte at a virtual address in the current mode.
+    pub fn write_byte_v(&mut self, vaddr: Word, value: u8) -> Result<(), Trap> {
+        let p = self.translate(vaddr, true)?;
+        if Memory::is_io(p) {
+            let aligned = p & !1;
+            let old = self.read_word_p(aligned)?;
+            let new = if p & 1 == 0 {
+                (old & 0xFF00) | value as Word
+            } else {
+                (old & 0x00FF) | ((value as Word) << 8)
+            };
+            self.write_word_p(aligned, new)
+        } else {
+            self.mem.write_byte(p, value);
+            Ok(())
+        }
+    }
+
+    /// Reads a word at a *physical* address (RAM or device register).
+    pub fn read_word_p(&mut self, addr: PhysAddr) -> Result<Word, Trap> {
+        if Memory::is_io(addr) {
+            match self.devices.by_addr(addr) {
+                Some(d) => {
+                    let off = addr - d.base();
+                    Ok(d.read_reg(off))
+                }
+                None => Err(Trap::BusError { addr }),
+            }
+        } else {
+            Ok(self.mem.read_word(addr))
+        }
+    }
+
+    /// Writes a word at a *physical* address (RAM or device register).
+    pub fn write_word_p(&mut self, addr: PhysAddr, value: Word) -> Result<(), Trap> {
+        if Memory::is_io(addr) {
+            match self.devices.by_addr(addr) {
+                Some(d) => {
+                    let off = addr - d.base();
+                    d.write_reg(off, value);
+                    Ok(())
+                }
+                None => Err(Trap::BusError { addr }),
+            }
+        } else {
+            self.mem.write_word(addr, value);
+            Ok(())
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Instruction execution.
+    // ------------------------------------------------------------------
+
+    fn fetch_word(&mut self) -> Result<Word, Trap> {
+        let pc = self.cpu.pc;
+        let w = self.read_word_v(pc)?;
+        self.cpu.pc = pc.wrapping_add(2);
+        Ok(w)
+    }
+
+    fn execute_one(&mut self) -> Result<Event, Trap> {
+        let word = self.fetch_word()?;
+        let instr = decode(word).ok_or(Trap::Illegal { word })?;
+        self.instructions += 1;
+        match instr {
+            Instr::Double { op, byte, src, dst } => self.exec_double(op, byte, src, dst)?,
+            Instr::Single { op, byte, dst } => self.exec_single(op, byte, dst)?,
+            Instr::Branch { cond, offset } => self.exec_branch(cond, offset),
+            Instr::Jmp { dst } => {
+                let place = self.resolve(dst, false)?;
+                match place {
+                    Place::Reg(_) => return Err(Trap::Illegal { word }),
+                    Place::Mem(addr) => self.cpu.pc = addr,
+                }
+            }
+            Instr::Jsr { reg, dst } => {
+                let place = self.resolve(dst, false)?;
+                let target = match place {
+                    Place::Reg(_) => return Err(Trap::Illegal { word }),
+                    Place::Mem(addr) => addr,
+                };
+                self.push(self.cpu.reg(reg))?;
+                let return_pc = self.cpu.pc;
+                self.cpu.set_reg(reg, return_pc);
+                self.cpu.pc = target;
+            }
+            Instr::Rts { reg } => {
+                self.cpu.pc = self.cpu.reg(reg);
+                let v = self.pop()?;
+                self.cpu.set_reg(reg, v);
+            }
+            Instr::Sob { reg, offset } => {
+                let v = self.cpu.reg(reg).wrapping_sub(1);
+                self.cpu.set_reg(reg, v);
+                if v != 0 {
+                    self.cpu.pc = self.cpu.pc.wrapping_sub(2 * offset as Word);
+                }
+            }
+            Instr::Mul { reg, src } => self.exec_mul(reg, src)?,
+            Instr::Div { reg, src } => self.exec_div(reg, src)?,
+            Instr::Ash { reg, src } => self.exec_ash(reg, src)?,
+            Instr::Xor { reg, dst } => {
+                let place = self.resolve(dst, false)?;
+                let v = self.read_place_w(place)? ^ self.cpu.reg(reg);
+                self.write_place_w(place, v)?;
+                let c = self.cpu.psw.c();
+                self.cpu.psw.set_nz_w(v, false, c);
+            }
+            Instr::Emt(n) => return Ok(Event::Trap(Trap::Emt(n))),
+            Instr::Trap(n) => return Ok(Event::Trap(Trap::TrapInstr(n))),
+            Instr::Bpt => return Ok(Event::Trap(Trap::Bpt)),
+            Instr::Iot => return Ok(Event::Trap(Trap::Iot)),
+            Instr::Halt => return Ok(Event::Trap(Trap::Halt)),
+            Instr::Wait => return Ok(Event::Wait),
+            Instr::Reset => {} // No-op in user mode, as on the hardware.
+            Instr::Rti | Instr::Rtt => {
+                let pc = self.pop()?;
+                let saved = self.pop()?;
+                self.cpu.pc = pc;
+                // In user mode only the condition codes can be restored;
+                // mode and priority are protected.
+                self.cpu.psw.set_cc_bits(saved);
+            }
+            Instr::CondCode { set, mask } => {
+                let bits = self.cpu.psw.cc_bits();
+                let new = if set { bits | mask as Word } else { bits & !(mask as Word) };
+                self.cpu.psw.set_cc_bits(new);
+            }
+        }
+        Ok(Event::Ran)
+    }
+
+    fn push(&mut self, value: Word) -> Result<(), Trap> {
+        let sp = self.cpu.reg(6).wrapping_sub(2);
+        self.cpu.set_reg(6, sp);
+        self.write_word_v(sp, value)
+    }
+
+    fn pop(&mut self) -> Result<Word, Trap> {
+        let sp = self.cpu.reg(6);
+        let v = self.read_word_v(sp)?;
+        self.cpu.set_reg(6, sp.wrapping_add(2));
+        Ok(v)
+    }
+
+    fn resolve(&mut self, op: Operand, byte: bool) -> Result<Place, Trap> {
+        let delta: Word = if byte && op.reg < 6 { 1 } else { 2 };
+        Ok(match op.mode {
+            0 => Place::Reg(op.reg),
+            1 => Place::Mem(self.cpu.reg(op.reg)),
+            2 => {
+                let a = self.cpu.reg(op.reg);
+                self.cpu.set_reg(op.reg, a.wrapping_add(delta));
+                Place::Mem(a)
+            }
+            3 => {
+                let a = self.cpu.reg(op.reg);
+                self.cpu.set_reg(op.reg, a.wrapping_add(2));
+                Place::Mem(self.read_word_v(a)?)
+            }
+            4 => {
+                let a = self.cpu.reg(op.reg).wrapping_sub(delta);
+                self.cpu.set_reg(op.reg, a);
+                Place::Mem(a)
+            }
+            5 => {
+                let a = self.cpu.reg(op.reg).wrapping_sub(2);
+                self.cpu.set_reg(op.reg, a);
+                Place::Mem(self.read_word_v(a)?)
+            }
+            6 => {
+                let x = self.fetch_word()?;
+                Place::Mem(self.cpu.reg(op.reg).wrapping_add(x))
+            }
+            _ => {
+                let x = self.fetch_word()?;
+                let a = self.cpu.reg(op.reg).wrapping_add(x);
+                Place::Mem(self.read_word_v(a)?)
+            }
+        })
+    }
+
+    fn read_place_w(&mut self, p: Place) -> Result<Word, Trap> {
+        match p {
+            Place::Reg(r) => Ok(self.cpu.reg(r)),
+            Place::Mem(a) => self.read_word_v(a),
+        }
+    }
+
+    fn write_place_w(&mut self, p: Place, v: Word) -> Result<(), Trap> {
+        match p {
+            Place::Reg(r) => {
+                self.cpu.set_reg(r, v);
+                Ok(())
+            }
+            Place::Mem(a) => self.write_word_v(a, v),
+        }
+    }
+
+    fn read_place_b(&mut self, p: Place) -> Result<u8, Trap> {
+        match p {
+            Place::Reg(r) => Ok((self.cpu.reg(r) & 0xFF) as u8),
+            Place::Mem(a) => self.read_byte_v(a),
+        }
+    }
+
+    fn write_place_b(&mut self, p: Place, v: u8) -> Result<(), Trap> {
+        match p {
+            Place::Reg(r) => {
+                let old = self.cpu.reg(r);
+                self.cpu.set_reg(r, (old & 0xFF00) | v as Word);
+                Ok(())
+            }
+            Place::Mem(a) => self.write_byte_v(a, v),
+        }
+    }
+
+    fn exec_double(&mut self, op: BinOp, byte: bool, src: Operand, dst: Operand) -> Result<(), Trap> {
+        if byte {
+            return self.exec_double_b(op, src, dst);
+        }
+        let s = {
+            let sp = self.resolve(src, false)?;
+            self.read_place_w(sp)?
+        };
+        let dp = self.resolve(dst, false)?;
+        let c = self.cpu.psw.c();
+        match op {
+            BinOp::Mov => {
+                self.write_place_w(dp, s)?;
+                self.cpu.psw.set_nz_w(s, false, c);
+            }
+            BinOp::Cmp => {
+                let d = self.read_place_w(dp)?;
+                let r = s.wrapping_sub(d);
+                let v = (is_neg_w(s) != is_neg_w(d)) && (is_neg_w(r) == is_neg_w(d));
+                let borrow = (s as u32) < (d as u32);
+                self.cpu.psw.set_nzvc(is_neg_w(r), r == 0, v, borrow);
+            }
+            BinOp::Bit => {
+                let d = self.read_place_w(dp)?;
+                let r = s & d;
+                self.cpu.psw.set_nz_w(r, false, c);
+            }
+            BinOp::Bic => {
+                let d = self.read_place_w(dp)?;
+                let r = d & !s;
+                self.write_place_w(dp, r)?;
+                self.cpu.psw.set_nz_w(r, false, c);
+            }
+            BinOp::Bis => {
+                let d = self.read_place_w(dp)?;
+                let r = d | s;
+                self.write_place_w(dp, r)?;
+                self.cpu.psw.set_nz_w(r, false, c);
+            }
+            BinOp::Add => {
+                let d = self.read_place_w(dp)?;
+                let (r, carry) = d.overflowing_add(s);
+                let v = (is_neg_w(s) == is_neg_w(d)) && (is_neg_w(r) != is_neg_w(d));
+                self.write_place_w(dp, r)?;
+                self.cpu.psw.set_nzvc(is_neg_w(r), r == 0, v, carry);
+            }
+            BinOp::Sub => {
+                let d = self.read_place_w(dp)?;
+                let r = d.wrapping_sub(s);
+                let v = (is_neg_w(s) != is_neg_w(d)) && (is_neg_w(r) == is_neg_w(s));
+                let borrow = (d as u32) < (s as u32);
+                self.write_place_w(dp, r)?;
+                self.cpu.psw.set_nzvc(is_neg_w(r), r == 0, v, borrow);
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_double_b(&mut self, op: BinOp, src: Operand, dst: Operand) -> Result<(), Trap> {
+        let s = {
+            let sp = self.resolve(src, true)?;
+            self.read_place_b(sp)?
+        };
+        let dp = self.resolve(dst, true)?;
+        let c = self.cpu.psw.c();
+        match op {
+            BinOp::Mov => {
+                // MOVB to a register sign-extends, per the hardware.
+                if let Place::Reg(r) = dp {
+                    self.cpu.set_reg(r, sign_extend_byte(s));
+                } else {
+                    self.write_place_b(dp, s)?;
+                }
+                self.cpu.psw.set_nzvc(is_neg_b(s), s == 0, false, c);
+            }
+            BinOp::Cmp => {
+                let d = self.read_place_b(dp)?;
+                let r = s.wrapping_sub(d);
+                let v = (is_neg_b(s) != is_neg_b(d)) && (is_neg_b(r) == is_neg_b(d));
+                let borrow = s < d;
+                self.cpu.psw.set_nzvc(is_neg_b(r), r == 0, v, borrow);
+            }
+            BinOp::Bit => {
+                let d = self.read_place_b(dp)?;
+                let r = s & d;
+                self.cpu.psw.set_nzvc(is_neg_b(r), r == 0, false, c);
+            }
+            BinOp::Bic => {
+                let d = self.read_place_b(dp)?;
+                let r = d & !s;
+                self.write_place_b(dp, r)?;
+                self.cpu.psw.set_nzvc(is_neg_b(r), r == 0, false, c);
+            }
+            BinOp::Bis => {
+                let d = self.read_place_b(dp)?;
+                let r = d | s;
+                self.write_place_b(dp, r)?;
+                self.cpu.psw.set_nzvc(is_neg_b(r), r == 0, false, c);
+            }
+            BinOp::Add | BinOp::Sub => unreachable!("ADD/SUB have no byte form"),
+        }
+        Ok(())
+    }
+
+    fn exec_single(&mut self, op: UnOp, byte: bool, dst: Operand) -> Result<(), Trap> {
+        if byte && !matches!(op, UnOp::Swab | UnOp::Sxt) {
+            return self.exec_single_b(op, dst);
+        }
+        let dp = self.resolve(dst, false)?;
+        let c = self.cpu.psw.c();
+        match op {
+            UnOp::Clr => {
+                self.write_place_w(dp, 0)?;
+                self.cpu.psw.set_nzvc(false, true, false, false);
+            }
+            UnOp::Com => {
+                let r = !self.read_place_w(dp)?;
+                self.write_place_w(dp, r)?;
+                self.cpu.psw.set_nzvc(is_neg_w(r), r == 0, false, true);
+            }
+            UnOp::Inc => {
+                let d = self.read_place_w(dp)?;
+                let r = d.wrapping_add(1);
+                self.write_place_w(dp, r)?;
+                self.cpu.psw.set_nzvc(is_neg_w(r), r == 0, d == 0o077777, c);
+            }
+            UnOp::Dec => {
+                let d = self.read_place_w(dp)?;
+                let r = d.wrapping_sub(1);
+                self.write_place_w(dp, r)?;
+                self.cpu.psw.set_nzvc(is_neg_w(r), r == 0, d == SIGN_W, c);
+            }
+            UnOp::Neg => {
+                let r = (self.read_place_w(dp)? as i16).wrapping_neg() as Word;
+                self.write_place_w(dp, r)?;
+                self.cpu.psw.set_nzvc(is_neg_w(r), r == 0, r == SIGN_W, r != 0);
+            }
+            UnOp::Adc => {
+                let d = self.read_place_w(dp)?;
+                let add = c as Word;
+                let r = d.wrapping_add(add);
+                self.write_place_w(dp, r)?;
+                self.cpu
+                    .psw
+                    .set_nzvc(is_neg_w(r), r == 0, d == 0o077777 && c, d == 0o177777 && c);
+            }
+            UnOp::Sbc => {
+                let d = self.read_place_w(dp)?;
+                let r = d.wrapping_sub(c as Word);
+                self.write_place_w(dp, r)?;
+                self.cpu
+                    .psw
+                    .set_nzvc(is_neg_w(r), r == 0, d == SIGN_W, !(d == 0 && c));
+            }
+            UnOp::Tst => {
+                let d = self.read_place_w(dp)?;
+                self.cpu.psw.set_nzvc(is_neg_w(d), d == 0, false, false);
+            }
+            UnOp::Ror => {
+                let d = self.read_place_w(dp)?;
+                let r = (d >> 1) | ((c as Word) << 15);
+                let new_c = d & 1 != 0;
+                self.write_place_w(dp, r)?;
+                let n = is_neg_w(r);
+                self.cpu.psw.set_nzvc(n, r == 0, n ^ new_c, new_c);
+            }
+            UnOp::Rol => {
+                let d = self.read_place_w(dp)?;
+                let r = (d << 1) | c as Word;
+                let new_c = is_neg_w(d);
+                self.write_place_w(dp, r)?;
+                let n = is_neg_w(r);
+                self.cpu.psw.set_nzvc(n, r == 0, n ^ new_c, new_c);
+            }
+            UnOp::Asr => {
+                let d = self.read_place_w(dp)?;
+                let r = ((d as i16) >> 1) as Word;
+                let new_c = d & 1 != 0;
+                self.write_place_w(dp, r)?;
+                let n = is_neg_w(r);
+                self.cpu.psw.set_nzvc(n, r == 0, n ^ new_c, new_c);
+            }
+            UnOp::Asl => {
+                let d = self.read_place_w(dp)?;
+                let r = d << 1;
+                let new_c = is_neg_w(d);
+                self.write_place_w(dp, r)?;
+                let n = is_neg_w(r);
+                self.cpu.psw.set_nzvc(n, r == 0, n ^ new_c, new_c);
+            }
+            UnOp::Swab => {
+                let d = self.read_place_w(dp)?;
+                let r = d.rotate_left(8);
+                self.write_place_w(dp, r)?;
+                let low = (r & 0xFF) as u8;
+                self.cpu.psw.set_nzvc(is_neg_b(low), low == 0, false, false);
+            }
+            UnOp::Sxt => {
+                let r = if self.cpu.psw.n() { 0o177777 } else { 0 };
+                self.write_place_w(dp, r)?;
+                let z = !self.cpu.psw.n();
+                let n = self.cpu.psw.n();
+                self.cpu.psw.set_nzvc(n, z, false, c);
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_single_b(&mut self, op: UnOp, dst: Operand) -> Result<(), Trap> {
+        let dp = self.resolve(dst, true)?;
+        let c = self.cpu.psw.c();
+        match op {
+            UnOp::Clr => {
+                self.write_place_b(dp, 0)?;
+                self.cpu.psw.set_nzvc(false, true, false, false);
+            }
+            UnOp::Com => {
+                let r = !self.read_place_b(dp)?;
+                self.write_place_b(dp, r)?;
+                self.cpu.psw.set_nzvc(is_neg_b(r), r == 0, false, true);
+            }
+            UnOp::Inc => {
+                let d = self.read_place_b(dp)?;
+                let r = d.wrapping_add(1);
+                self.write_place_b(dp, r)?;
+                self.cpu.psw.set_nzvc(is_neg_b(r), r == 0, d == 0o177, c);
+            }
+            UnOp::Dec => {
+                let d = self.read_place_b(dp)?;
+                let r = d.wrapping_sub(1);
+                self.write_place_b(dp, r)?;
+                self.cpu.psw.set_nzvc(is_neg_b(r), r == 0, d == 0o200, c);
+            }
+            UnOp::Neg => {
+                let r = (self.read_place_b(dp)? as i8).wrapping_neg() as u8;
+                self.write_place_b(dp, r)?;
+                self.cpu.psw.set_nzvc(is_neg_b(r), r == 0, r == 0o200, r != 0);
+            }
+            UnOp::Tst => {
+                let d = self.read_place_b(dp)?;
+                self.cpu.psw.set_nzvc(is_neg_b(d), d == 0, false, false);
+            }
+            UnOp::Adc => {
+                let d = self.read_place_b(dp)?;
+                let r = d.wrapping_add(c as u8);
+                self.write_place_b(dp, r)?;
+                self.cpu
+                    .psw
+                    .set_nzvc(is_neg_b(r), r == 0, d == 0o177 && c, d == 0o377 && c);
+            }
+            UnOp::Sbc => {
+                let d = self.read_place_b(dp)?;
+                let r = d.wrapping_sub(c as u8);
+                self.write_place_b(dp, r)?;
+                self.cpu
+                    .psw
+                    .set_nzvc(is_neg_b(r), r == 0, d == 0o200, !(d == 0 && c));
+            }
+            UnOp::Ror => {
+                let d = self.read_place_b(dp)?;
+                let r = (d >> 1) | ((c as u8) << 7);
+                let new_c = d & 1 != 0;
+                self.write_place_b(dp, r)?;
+                let n = is_neg_b(r);
+                self.cpu.psw.set_nzvc(n, r == 0, n ^ new_c, new_c);
+            }
+            UnOp::Rol => {
+                let d = self.read_place_b(dp)?;
+                let r = (d << 1) | c as u8;
+                let new_c = is_neg_b(d);
+                self.write_place_b(dp, r)?;
+                let n = is_neg_b(r);
+                self.cpu.psw.set_nzvc(n, r == 0, n ^ new_c, new_c);
+            }
+            UnOp::Asr => {
+                let d = self.read_place_b(dp)?;
+                let r = ((d as i8) >> 1) as u8;
+                let new_c = d & 1 != 0;
+                self.write_place_b(dp, r)?;
+                let n = is_neg_b(r);
+                self.cpu.psw.set_nzvc(n, r == 0, n ^ new_c, new_c);
+            }
+            UnOp::Asl => {
+                let d = self.read_place_b(dp)?;
+                let r = d << 1;
+                let new_c = is_neg_b(d);
+                self.write_place_b(dp, r)?;
+                let n = is_neg_b(r);
+                self.cpu.psw.set_nzvc(n, r == 0, n ^ new_c, new_c);
+            }
+            UnOp::Swab | UnOp::Sxt => unreachable!("word-only operations"),
+        }
+        Ok(())
+    }
+
+    fn exec_branch(&mut self, cond: BranchCond, offset: i8) {
+        let p = self.cpu.psw;
+        let take = match cond {
+            BranchCond::Br => true,
+            BranchCond::Bne => !p.z(),
+            BranchCond::Beq => p.z(),
+            BranchCond::Bge => p.n() == p.v(),
+            BranchCond::Blt => p.n() != p.v(),
+            BranchCond::Bgt => !p.z() && (p.n() == p.v()),
+            BranchCond::Ble => p.z() || (p.n() != p.v()),
+            BranchCond::Bpl => !p.n(),
+            BranchCond::Bmi => p.n(),
+            BranchCond::Bhi => !p.c() && !p.z(),
+            BranchCond::Blos => p.c() || p.z(),
+            BranchCond::Bvc => !p.v(),
+            BranchCond::Bvs => p.v(),
+            BranchCond::Bcc => !p.c(),
+            BranchCond::Bcs => p.c(),
+        };
+        if take {
+            self.cpu.pc = self.cpu.pc.wrapping_add((offset as i16 as Word).wrapping_mul(2));
+        }
+    }
+
+    fn exec_mul(&mut self, reg: u8, src: Operand) -> Result<(), Trap> {
+        let sp = self.resolve(src, false)?;
+        let s = self.read_place_w(sp)? as i16 as i32;
+        let r = self.cpu.reg(reg) as i16 as i32;
+        let product = r * s;
+        if reg & 1 == 0 {
+            self.cpu.set_reg(reg, (product >> 16) as Word);
+            self.cpu.set_reg(reg + 1, (product & 0xFFFF) as Word);
+        } else {
+            self.cpu.set_reg(reg, (product & 0xFFFF) as Word);
+        }
+        let c = !(-(1 << 15)..(1 << 15)).contains(&product);
+        self.cpu.psw.set_nzvc(product < 0, product == 0, false, c);
+        Ok(())
+    }
+
+    fn exec_div(&mut self, reg: u8, src: Operand) -> Result<(), Trap> {
+        let sp = self.resolve(src, false)?;
+        let s = self.read_place_w(sp)? as i16 as i32;
+        if reg & 1 != 0 {
+            // Odd register: undefined on the hardware; we trap it as illegal
+            // to keep programs honest.
+            return Err(Trap::Illegal { word: 0o071000 });
+        }
+        let dividend = ((self.cpu.reg(reg) as u32) << 16 | self.cpu.reg(reg + 1) as u32) as i32;
+        if s == 0 {
+            self.cpu.psw.set_nzvc(false, false, true, true);
+            return Ok(());
+        }
+        let q = dividend / s;
+        let rem = dividend % s;
+        if !( -(1 << 15)..(1 << 15)).contains(&q) {
+            self.cpu.psw.set_nzvc(q < 0, false, true, false);
+            return Ok(());
+        }
+        self.cpu.set_reg(reg, q as i16 as Word);
+        self.cpu.set_reg(reg + 1, rem as i16 as Word);
+        self.cpu.psw.set_nzvc(q < 0, q == 0, false, false);
+        Ok(())
+    }
+
+    fn exec_ash(&mut self, reg: u8, src: Operand) -> Result<(), Trap> {
+        let sp = self.resolve(src, false)?;
+        let count = (self.read_place_w(sp)? & 0o77) as i8;
+        // Six-bit signed shift count.
+        let count = if count >= 32 { count - 64 } else { count };
+        let v = self.cpu.reg(reg) as i16;
+        let (r, c) = if count >= 0 {
+            let shifted = (v as i32) << count;
+            (shifted as i16, count > 0 && (shifted & 0x1_0000) != 0)
+        } else {
+            let n = (-count) as u32;
+            let r = v >> n.min(15);
+            let c = n <= 16 && (v >> (n - 1).min(15)) & 1 != 0;
+            (r, c)
+        };
+        self.cpu.set_reg(reg, r as Word);
+        let v_flag = (r < 0) != (v < 0);
+        self.cpu.psw.set_nzvc(r < 0, r == 0, v_flag, c);
+        Ok(())
+    }
+}

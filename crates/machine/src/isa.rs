@@ -1,0 +1,581 @@
+//! Instruction set: decoding of the PDP-11 subset the machine executes.
+//!
+//! Encodings are the real PDP-11 ones (word opcodes in octal), covering the
+//! double-operand group, the single-operand group, branches, subroutine
+//! linkage, `SOB`, EIS `MUL`/`DIV`/`ASH`/`XOR`, traps, and condition-code
+//! operates — enough to write real programs, which the examples do.
+
+use crate::types::Word;
+use core::fmt;
+
+/// An addressing-mode/register pair (one six-bit operand field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Operand {
+    /// Addressing mode 0–7.
+    pub mode: u8,
+    /// Register 0–7 (6 = SP, 7 = PC).
+    pub reg: u8,
+}
+
+impl Operand {
+    fn from_bits(bits: Word) -> Operand {
+        Operand {
+            mode: ((bits >> 3) & 0o7) as u8,
+            reg: (bits & 0o7) as u8,
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let r = match self.reg {
+            6 => "SP".to_string(),
+            7 => "PC".to_string(),
+            n => format!("R{n}"),
+        };
+        match self.mode {
+            0 => write!(f, "{r}"),
+            1 => write!(f, "({r})"),
+            2 => write!(f, "({r})+"),
+            3 => write!(f, "@({r})+"),
+            4 => write!(f, "-({r})"),
+            5 => write!(f, "@-({r})"),
+            6 => write!(f, "X({r})"),
+            _ => write!(f, "@X({r})"),
+        }
+    }
+}
+
+/// Double-operand operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Move source to destination.
+    Mov,
+    /// Compare (source − destination, codes only).
+    Cmp,
+    /// Bit test (source ∧ destination, codes only).
+    Bit,
+    /// Bit clear (destination ∧ ¬source).
+    Bic,
+    /// Bit set (destination ∨ source).
+    Bis,
+    /// Add (word only).
+    Add,
+    /// Subtract (word only).
+    Sub,
+}
+
+/// Single-operand operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Clear.
+    Clr,
+    /// Ones complement.
+    Com,
+    /// Increment.
+    Inc,
+    /// Decrement.
+    Dec,
+    /// Twos complement negate.
+    Neg,
+    /// Add carry.
+    Adc,
+    /// Subtract carry.
+    Sbc,
+    /// Test (codes only).
+    Tst,
+    /// Rotate right through carry.
+    Ror,
+    /// Rotate left through carry.
+    Rol,
+    /// Arithmetic shift right.
+    Asr,
+    /// Arithmetic shift left.
+    Asl,
+    /// Swap bytes (word only).
+    Swab,
+    /// Sign extend from condition code N (word only).
+    Sxt,
+}
+
+/// Branch conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchCond {
+    /// Always.
+    Br,
+    /// Z = 0.
+    Bne,
+    /// Z = 1.
+    Beq,
+    /// N ⊕ V = 0.
+    Bge,
+    /// N ⊕ V = 1.
+    Blt,
+    /// Z ∨ (N ⊕ V) = 0.
+    Bgt,
+    /// Z ∨ (N ⊕ V) = 1.
+    Ble,
+    /// N = 0.
+    Bpl,
+    /// N = 1.
+    Bmi,
+    /// C ∨ Z = 0 (unsigned higher).
+    Bhi,
+    /// C ∨ Z = 1 (unsigned lower or same).
+    Blos,
+    /// V = 0.
+    Bvc,
+    /// V = 1.
+    Bvs,
+    /// C = 0.
+    Bcc,
+    /// C = 1.
+    Bcs,
+}
+
+/// A decoded instruction (operand-extension words are fetched at execution
+/// time by the addressing-mode machinery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// Double-operand group; `byte` selects the byte variant.
+    Double {
+        /// The operation.
+        op: BinOp,
+        /// Byte-sized variant.
+        byte: bool,
+        /// Source operand.
+        src: Operand,
+        /// Destination operand.
+        dst: Operand,
+    },
+    /// Single-operand group.
+    Single {
+        /// The operation.
+        op: UnOp,
+        /// Byte-sized variant.
+        byte: bool,
+        /// Destination operand.
+        dst: Operand,
+    },
+    /// Conditional branch with signed word offset.
+    Branch {
+        /// The condition.
+        cond: BranchCond,
+        /// Signed offset in words from the updated PC.
+        offset: i8,
+    },
+    /// Jump.
+    Jmp {
+        /// Destination (mode 0 is illegal at execution time).
+        dst: Operand,
+    },
+    /// Jump to subroutine.
+    Jsr {
+        /// Linkage register.
+        reg: u8,
+        /// Destination.
+        dst: Operand,
+    },
+    /// Return from subroutine.
+    Rts {
+        /// Linkage register.
+        reg: u8,
+    },
+    /// Subtract one and branch (backwards) if not zero.
+    Sob {
+        /// Counter register.
+        reg: u8,
+        /// Backward offset in words.
+        offset: u8,
+    },
+    /// EIS multiply.
+    Mul {
+        /// Destination register (pair if even).
+        reg: u8,
+        /// Source operand.
+        src: Operand,
+    },
+    /// EIS divide.
+    Div {
+        /// Destination register pair.
+        reg: u8,
+        /// Source operand.
+        src: Operand,
+    },
+    /// EIS arithmetic shift.
+    Ash {
+        /// Register shifted.
+        reg: u8,
+        /// Shift-count operand.
+        src: Operand,
+    },
+    /// Exclusive or (register with destination).
+    Xor {
+        /// Source register.
+        reg: u8,
+        /// Destination operand.
+        dst: Operand,
+    },
+    /// Emulator trap with operand byte.
+    Emt(u8),
+    /// Trap instruction with operand byte.
+    Trap(u8),
+    /// Breakpoint trap.
+    Bpt,
+    /// I/O trap.
+    Iot,
+    /// Halt (privileged; traps in user mode).
+    Halt,
+    /// Wait for interrupt.
+    Wait,
+    /// Reset external bus (no-op in user mode).
+    Reset,
+    /// Return from interrupt.
+    Rti,
+    /// Return from interrupt, inhibiting trace traps.
+    Rtt,
+    /// Condition-code operate: set or clear the codes in `mask` (N=8, Z=4,
+    /// V=2, C=1). `mask == 0` is NOP.
+    CondCode {
+        /// True to set, false to clear.
+        set: bool,
+        /// Which codes to affect.
+        mask: u8,
+    },
+}
+
+/// Decodes the base word of an instruction. Returns `None` for reserved or
+/// unimplemented encodings (which trap as illegal instructions).
+pub fn decode(word: Word) -> Option<Instr> {
+    let byte = word & 0o100000 != 0;
+    let top = (word >> 12) & 0o7;
+
+    // Double-operand group (opcodes 1–6 in bits 14-12).
+    if (1..=6).contains(&top) {
+        let src = Operand::from_bits(word >> 6);
+        let dst = Operand::from_bits(word);
+        let op = match (top, byte) {
+            (1, _) => BinOp::Mov,
+            (2, _) => BinOp::Cmp,
+            (3, _) => BinOp::Bit,
+            (4, _) => BinOp::Bic,
+            (5, _) => BinOp::Bis,
+            (6, false) => BinOp::Add,
+            (6, true) => BinOp::Sub,
+            _ => unreachable!(),
+        };
+        // ADD/SUB have no byte variant; `byte` is part of the opcode there.
+        let is_byte = byte && top != 6;
+        return Some(Instr::Double {
+            op,
+            byte: is_byte,
+            src,
+            dst,
+        });
+    }
+
+    // EIS group: 070–074.
+    if top == 7 && !byte {
+        let sub = (word >> 9) & 0o7;
+        let reg = ((word >> 6) & 0o7) as u8;
+        let opnd = Operand::from_bits(word);
+        return match sub {
+            0 => Some(Instr::Mul { reg, src: opnd }),
+            1 => Some(Instr::Div { reg, src: opnd }),
+            2 => Some(Instr::Ash { reg, src: opnd }),
+            4 => Some(Instr::Xor { reg, dst: opnd }),
+            7 => Some(Instr::Sob {
+                reg,
+                offset: (word & 0o77) as u8,
+            }),
+            _ => None,
+        };
+    }
+
+    // Remaining opcodes have 00 or 10 in the top four bits.
+    let op15_6 = word >> 6; // opcode field for single-operand group
+
+    match word {
+        0o000000 => return Some(Instr::Halt),
+        0o000001 => return Some(Instr::Wait),
+        0o000002 => return Some(Instr::Rti),
+        0o000003 => return Some(Instr::Bpt),
+        0o000004 => return Some(Instr::Iot),
+        0o000005 => return Some(Instr::Reset),
+        0o000006 => return Some(Instr::Rtt),
+        _ => {}
+    }
+
+    if word & 0o177770 == 0o000200 {
+        return Some(Instr::Rts {
+            reg: (word & 0o7) as u8,
+        });
+    }
+
+    if (0o000240..=0o000277).contains(&word) {
+        // Condition-code operates: 00024x–00025x clear, 00026x–00027x set.
+        let set = word & 0o20 != 0;
+        return Some(Instr::CondCode {
+            set,
+            mask: (word & 0o17) as u8,
+        });
+    }
+
+    if word & 0o177700 == 0o000100 {
+        return Some(Instr::Jmp {
+            dst: Operand::from_bits(word),
+        });
+    }
+
+    if word & 0o177000 == 0o004000 {
+        return Some(Instr::Jsr {
+            reg: ((word >> 6) & 0o7) as u8,
+            dst: Operand::from_bits(word),
+        });
+    }
+
+    if word & 0o177400 == 0o104000 {
+        return Some(Instr::Emt((word & 0o377) as u8));
+    }
+    if word & 0o177400 == 0o104400 {
+        return Some(Instr::Trap((word & 0o377) as u8));
+    }
+
+    // Branches.
+    let offset = (word & 0o377) as u8 as i8;
+    let cond = match word & 0o177400 {
+        0o000400 => Some(BranchCond::Br),
+        0o001000 => Some(BranchCond::Bne),
+        0o001400 => Some(BranchCond::Beq),
+        0o002000 => Some(BranchCond::Bge),
+        0o002400 => Some(BranchCond::Blt),
+        0o003000 => Some(BranchCond::Bgt),
+        0o003400 => Some(BranchCond::Ble),
+        0o100000 => Some(BranchCond::Bpl),
+        0o100400 => Some(BranchCond::Bmi),
+        0o101000 => Some(BranchCond::Bhi),
+        0o101400 => Some(BranchCond::Blos),
+        0o102000 => Some(BranchCond::Bvc),
+        0o102400 => Some(BranchCond::Bvs),
+        0o103000 => Some(BranchCond::Bcc),
+        0o103400 => Some(BranchCond::Bcs),
+        _ => None,
+    };
+    if let Some(cond) = cond {
+        return Some(Instr::Branch { cond, offset });
+    }
+
+    // Single-operand group: 0050DD–0063DD (and byte variants 1050DD–1063DD),
+    // plus SWAB 0003DD and SXT 0067DD.
+    if word & 0o177700 == 0o000300 {
+        return Some(Instr::Single {
+            op: UnOp::Swab,
+            byte: false,
+            dst: Operand::from_bits(word),
+        });
+    }
+    if word & 0o177700 == 0o006700 {
+        return Some(Instr::Single {
+            op: UnOp::Sxt,
+            byte: false,
+            dst: Operand::from_bits(word),
+        });
+    }
+    let un = match op15_6 & 0o777 {
+        0o050 => Some(UnOp::Clr),
+        0o051 => Some(UnOp::Com),
+        0o052 => Some(UnOp::Inc),
+        0o053 => Some(UnOp::Dec),
+        0o054 => Some(UnOp::Neg),
+        0o055 => Some(UnOp::Adc),
+        0o056 => Some(UnOp::Sbc),
+        0o057 => Some(UnOp::Tst),
+        0o060 => Some(UnOp::Ror),
+        0o061 => Some(UnOp::Rol),
+        0o062 => Some(UnOp::Asr),
+        0o063 => Some(UnOp::Asl),
+        _ => None,
+    };
+    if let Some(op) = un {
+        return Some(Instr::Single {
+            op,
+            byte,
+            dst: Operand::from_bits(word),
+        });
+    }
+
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_mov() {
+        // MOV R0, R1 = 010001.
+        match decode(0o010001).unwrap() {
+            Instr::Double { op, byte, src, dst } => {
+                assert_eq!(op, BinOp::Mov);
+                assert!(!byte);
+                assert_eq!((src.mode, src.reg), (0, 0));
+                assert_eq!((dst.mode, dst.reg), (0, 1));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_movb_and_sub() {
+        assert!(matches!(
+            decode(0o110001).unwrap(),
+            Instr::Double {
+                op: BinOp::Mov,
+                byte: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            decode(0o160001).unwrap(),
+            Instr::Double {
+                op: BinOp::Sub,
+                byte: false,
+                ..
+            }
+        ));
+        assert!(matches!(
+            decode(0o060001).unwrap(),
+            Instr::Double {
+                op: BinOp::Add,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn decode_single_ops() {
+        assert!(matches!(
+            decode(0o005000).unwrap(),
+            Instr::Single {
+                op: UnOp::Clr,
+                byte: false,
+                ..
+            }
+        ));
+        assert!(matches!(
+            decode(0o105000).unwrap(),
+            Instr::Single {
+                op: UnOp::Clr,
+                byte: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            decode(0o005201).unwrap(),
+            Instr::Single {
+                op: UnOp::Inc,
+                ..
+            }
+        ));
+        assert!(matches!(
+            decode(0o000301).unwrap(),
+            Instr::Single {
+                op: UnOp::Swab,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn decode_branches() {
+        assert!(matches!(
+            decode(0o000401).unwrap(),
+            Instr::Branch {
+                cond: BranchCond::Br,
+                offset: 1
+            }
+        ));
+        assert!(matches!(
+            decode(0o001377).unwrap(),
+            Instr::Branch {
+                cond: BranchCond::Bne,
+                offset: -1
+            }
+        ));
+        assert!(matches!(
+            decode(0o103400).unwrap(),
+            Instr::Branch {
+                cond: BranchCond::Bcs,
+                offset: 0
+            }
+        ));
+    }
+
+    #[test]
+    fn decode_control_flow() {
+        assert!(matches!(decode(0o000111).unwrap(), Instr::Jmp { .. }));
+        assert!(matches!(
+            decode(0o004711).unwrap(),
+            Instr::Jsr { reg: 7, .. }
+        ));
+        assert!(matches!(decode(0o000207).unwrap(), Instr::Rts { reg: 7 }));
+        assert!(matches!(
+            decode(0o077102).unwrap(),
+            Instr::Sob { reg: 1, offset: 2 }
+        ));
+    }
+
+    #[test]
+    fn decode_traps_and_misc() {
+        assert!(matches!(decode(0o104001).unwrap(), Instr::Emt(1)));
+        assert!(matches!(decode(0o104401).unwrap(), Instr::Trap(1)));
+        assert!(matches!(decode(0o000000).unwrap(), Instr::Halt));
+        assert!(matches!(decode(0o000001).unwrap(), Instr::Wait));
+        assert!(matches!(decode(0o000002).unwrap(), Instr::Rti));
+        assert!(matches!(decode(0o000006).unwrap(), Instr::Rtt));
+    }
+
+    #[test]
+    fn decode_condition_codes() {
+        // NOP.
+        assert!(matches!(
+            decode(0o000240).unwrap(),
+            Instr::CondCode { set: false, mask: 0 }
+        ));
+        // CLC.
+        assert!(matches!(
+            decode(0o000241).unwrap(),
+            Instr::CondCode { set: false, mask: 1 }
+        ));
+        // SEZ.
+        assert!(matches!(
+            decode(0o000264).unwrap(),
+            Instr::CondCode { set: true, mask: 4 }
+        ));
+    }
+
+    #[test]
+    fn decode_eis() {
+        assert!(matches!(decode(0o070001).unwrap(), Instr::Mul { reg: 0, .. }));
+        assert!(matches!(decode(0o071001).unwrap(), Instr::Div { reg: 0, .. }));
+        assert!(matches!(decode(0o072001).unwrap(), Instr::Ash { reg: 0, .. }));
+        assert!(matches!(decode(0o074001).unwrap(), Instr::Xor { reg: 0, .. }));
+    }
+
+    #[test]
+    fn reserved_encodings_are_none() {
+        assert_eq!(decode(0o000007), None);
+        assert_eq!(decode(0o007000), None);
+        assert_eq!(decode(0o075000), None);
+    }
+
+    #[test]
+    fn operand_display() {
+        let op = |mode, reg| Operand { mode, reg };
+        assert_eq!(op(0, 0).to_string(), "R0");
+        assert_eq!(op(1, 6).to_string(), "(SP)");
+        assert_eq!(op(2, 7).to_string(), "(PC)+");
+        assert_eq!(op(4, 6).to_string(), "-(SP)");
+        assert_eq!(op(6, 2).to_string(), "X(R2)");
+    }
+}

@@ -1,0 +1,146 @@
+//! Physical memory: 18-bit byte-addressed space with a memory-mapped I/O
+//! page at the top.
+//!
+//! The top 8 KiB of the physical address space (`0o760000..=0o777777`) is
+//! the **I/O page**: reads and writes there are routed to device registers
+//! by the machine, never to RAM. This is the property the SUE exploits —
+//! "the memory management of a PDP-11 allows device registers to be
+//! protected just like ordinary memory locations."
+
+use crate::types::{PhysAddr, Word};
+
+/// Total physical address space in bytes (18-bit addressing).
+pub const PHYS_SIZE: u32 = 1 << 18;
+
+/// First byte address of the I/O page.
+pub const IO_BASE: u32 = PHYS_SIZE - 8 * 1024;
+
+/// Physical RAM (the I/O page portion is never stored here).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Memory::new()
+    }
+}
+
+impl Memory {
+    /// All-zero RAM covering the full non-I/O physical space.
+    pub fn new() -> Memory {
+        Memory {
+            bytes: vec![0; IO_BASE as usize],
+        }
+    }
+
+    /// True when the address falls in the I/O page.
+    pub fn is_io(addr: PhysAddr) -> bool {
+        addr >= IO_BASE
+    }
+
+    /// Reads a byte of RAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is in the I/O page (the machine must route such
+    /// accesses to devices) or beyond physical memory.
+    pub fn read_byte(&self, addr: PhysAddr) -> u8 {
+        self.bytes[addr as usize]
+    }
+
+    /// Writes a byte of RAM (same panics as [`Memory::read_byte`]).
+    pub fn write_byte(&mut self, addr: PhysAddr, value: u8) {
+        self.bytes[addr as usize] = value;
+    }
+
+    /// Reads a little-endian word from an even RAM address.
+    pub fn read_word(&self, addr: PhysAddr) -> Word {
+        debug_assert_eq!(addr & 1, 0, "word access to odd address {addr:o}");
+        u16::from_le_bytes([self.bytes[addr as usize], self.bytes[addr as usize + 1]])
+    }
+
+    /// Writes a little-endian word to an even RAM address.
+    pub fn write_word(&mut self, addr: PhysAddr, value: Word) {
+        debug_assert_eq!(addr & 1, 0, "word access to odd address {addr:o}");
+        let [lo, hi] = value.to_le_bytes();
+        self.bytes[addr as usize] = lo;
+        self.bytes[addr as usize + 1] = hi;
+    }
+
+    /// Copies a slice of words into RAM starting at `addr` (must be even).
+    pub fn load_words(&mut self, addr: PhysAddr, words: &[Word]) {
+        for (i, w) in words.iter().enumerate() {
+            self.write_word(addr + 2 * i as u32, *w);
+        }
+    }
+
+    /// Reads `len` words starting at `addr` (must be even).
+    pub fn dump_words(&self, addr: PhysAddr, len: usize) -> Vec<Word> {
+        (0..len).map(|i| self.read_word(addr + 2 * i as u32)).collect()
+    }
+
+    /// A 64-bit FNV-1a fingerprint of a physical range, used by state
+    /// snapshots.
+    pub fn fingerprint(&self, start: PhysAddr, len: u32) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in &self.bytes[start as usize..(start + len) as usize] {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// The raw bytes of a physical range (for snapshot equality in the
+    /// verification adapters).
+    pub fn range(&self, start: PhysAddr, len: u32) -> &[u8] {
+        &self.bytes[start as usize..(start + len) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_page_location() {
+        assert_eq!(IO_BASE, 0o760000);
+        assert!(Memory::is_io(0o777560));
+        assert!(!Memory::is_io(0o757777));
+    }
+
+    #[test]
+    fn words_are_little_endian() {
+        let mut m = Memory::new();
+        m.write_word(0o1000, 0o123456);
+        assert_eq!(m.read_byte(0o1000), (0o123456u16 & 0xFF) as u8);
+        assert_eq!(m.read_word(0o1000), 0o123456);
+    }
+
+    #[test]
+    fn load_and_dump_roundtrip() {
+        let mut m = Memory::new();
+        let words = [1, 2, 3, 0o177777];
+        m.load_words(0o2000, &words);
+        assert_eq!(m.dump_words(0o2000, 4), words);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_contents() {
+        let mut a = Memory::new();
+        let b = Memory::new();
+        assert_eq!(a.fingerprint(0, 1024), b.fingerprint(0, 1024));
+        a.write_byte(100, 7);
+        assert_ne!(a.fingerprint(0, 1024), b.fingerprint(0, 1024));
+        // Change outside the range does not affect it.
+        assert_eq!(a.fingerprint(200, 100), b.fingerprint(200, 100));
+    }
+
+    #[test]
+    fn range_returns_bytes() {
+        let mut m = Memory::new();
+        m.write_byte(10, 0xAB);
+        assert_eq!(m.range(10, 2), &[0xAB, 0]);
+    }
+}

@@ -1,0 +1,277 @@
+//! The memory management unit: PAR/PDR segment registers, PDP-11 style.
+//!
+//! Each processor mode (kernel, user) has eight segment descriptors. A
+//! 16-bit virtual address selects a segment by its top three bits; the
+//! descriptor supplies a physical base (the PAR, in 64-byte units), an
+//! access field, and a length limit in 64-byte blocks (the PDR). The
+//! separation kernel establishes each regime's partition — including any
+//! device registers assigned to it — purely with these descriptors, and a
+//! regime can then touch nothing else: every reference is checked here,
+//! every violation aborts to the kernel.
+
+use crate::psw::Mode;
+use crate::types::{PhysAddr, Word};
+
+/// Segment size in bytes (8 KiB).
+pub const SEGMENT_SIZE: u32 = 8 * 1024;
+
+/// Block granularity of base and length fields (64 bytes).
+pub const BLOCK: u32 = 64;
+
+/// Access permitted by a segment descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Access {
+    /// The segment is unmapped; any reference aborts.
+    #[default]
+    None,
+    /// Read-only.
+    ReadOnly,
+    /// Read and write.
+    ReadWrite,
+}
+
+/// One PAR/PDR pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SegmentDescriptor {
+    /// Physical base address in 64-byte blocks (the PAR).
+    pub base_blocks: u16,
+    /// Segment length in 64-byte blocks, 0–128 (the PDR length field).
+    pub len_blocks: u16,
+    /// Access field.
+    pub access: Access,
+}
+
+impl SegmentDescriptor {
+    /// A descriptor mapping `len` bytes at physical `base` (both must be
+    /// 64-byte aligned) with the given access.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `base` or `len` is not 64-byte aligned, or when `len`
+    /// exceeds the 8 KiB segment size.
+    pub fn mapping(base: PhysAddr, len: u32, access: Access) -> SegmentDescriptor {
+        assert_eq!(base % BLOCK, 0, "segment base {base:#o} not 64-byte aligned");
+        assert_eq!(len % BLOCK, 0, "segment length {len:#o} not 64-byte aligned");
+        assert!(len <= SEGMENT_SIZE, "segment length {len:#o} exceeds 8 KiB");
+        SegmentDescriptor {
+            base_blocks: (base / BLOCK) as u16,
+            len_blocks: (len / BLOCK) as u16,
+            access,
+        }
+    }
+
+    /// Physical base address in bytes.
+    pub fn base(&self) -> PhysAddr {
+        self.base_blocks as u32 * BLOCK
+    }
+
+    /// Mapped length in bytes.
+    pub fn len(&self) -> u32 {
+        self.len_blocks as u32 * BLOCK
+    }
+
+    /// True when the descriptor maps nothing.
+    pub fn is_empty(&self) -> bool {
+        self.access == Access::None || self.len_blocks == 0
+    }
+}
+
+/// Why a reference was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MmuAbort {
+    /// The offending virtual address.
+    pub vaddr: Word,
+    /// The mode in which the reference was attempted.
+    pub mode: Mode,
+    /// Whether the reference was a write.
+    pub write: bool,
+    /// The reason.
+    pub reason: AbortReason,
+}
+
+/// The reason a reference aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortReason {
+    /// The segment is unmapped.
+    NonResident,
+    /// The offset exceeds the segment's length field.
+    LengthViolation,
+    /// A write was attempted to a read-only segment.
+    ReadOnlyViolation,
+}
+
+/// The MMU: eight descriptors per mode plus an enable flag.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Mmu {
+    /// Whether relocation is enabled (SR0 bit 0). When disabled, virtual
+    /// addresses map 1:1 into low memory, except that the top 8 KiB of
+    /// virtual space maps onto the I/O page — the PDP-11 convention.
+    pub enabled: bool,
+    kernel: [SegmentDescriptor; 8],
+    user: [SegmentDescriptor; 8],
+}
+
+impl Default for Mmu {
+    fn default() -> Self {
+        Mmu::new()
+    }
+}
+
+impl Mmu {
+    /// An MMU with relocation disabled and all segments unmapped.
+    pub fn new() -> Mmu {
+        Mmu {
+            enabled: false,
+            kernel: Default::default(),
+            user: Default::default(),
+        }
+    }
+
+    /// Sets a segment descriptor for a mode.
+    pub fn set_segment(&mut self, mode: Mode, index: usize, d: SegmentDescriptor) {
+        match mode {
+            Mode::Kernel => self.kernel[index] = d,
+            Mode::User => self.user[index] = d,
+        }
+    }
+
+    /// Reads back a segment descriptor.
+    pub fn segment(&self, mode: Mode, index: usize) -> SegmentDescriptor {
+        match mode {
+            Mode::Kernel => self.kernel[index],
+            Mode::User => self.user[index],
+        }
+    }
+
+    /// Clears all descriptors of a mode.
+    pub fn clear_mode(&mut self, mode: Mode) {
+        match mode {
+            Mode::Kernel => self.kernel = Default::default(),
+            Mode::User => self.user = Default::default(),
+        }
+    }
+
+    /// Translates a virtual address, enforcing access and length checks.
+    pub fn translate(&self, vaddr: Word, mode: Mode, write: bool) -> Result<PhysAddr, MmuAbort> {
+        if !self.enabled {
+            // 16-bit compatibility mapping: top 8 KiB of virtual space is
+            // the I/O page.
+            let v = vaddr as u32;
+            return Ok(if v >= 0o160000 {
+                crate::mem::IO_BASE + (v - 0o160000)
+            } else {
+                v
+            });
+        }
+        let seg = (vaddr >> 13) as usize;
+        let offset = (vaddr & 0o17777) as u32;
+        let d = match mode {
+            Mode::Kernel => &self.kernel[seg],
+            Mode::User => &self.user[seg],
+        };
+        let abort = |reason| MmuAbort {
+            vaddr,
+            mode,
+            write,
+            reason,
+        };
+        match d.access {
+            Access::None => return Err(abort(AbortReason::NonResident)),
+            Access::ReadOnly if write => return Err(abort(AbortReason::ReadOnlyViolation)),
+            _ => {}
+        }
+        if offset >= d.len() {
+            return Err(abort(AbortReason::LengthViolation));
+        }
+        Ok(d.base() + offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapped_mmu() -> Mmu {
+        let mut mmu = Mmu::new();
+        mmu.enabled = true;
+        mmu.set_segment(
+            Mode::User,
+            0,
+            SegmentDescriptor::mapping(0o40000, 0o20000, Access::ReadWrite),
+        );
+        mmu.set_segment(
+            Mode::User,
+            1,
+            SegmentDescriptor::mapping(0o100000, 0o1000, Access::ReadOnly),
+        );
+        mmu
+    }
+
+    #[test]
+    fn disabled_mmu_is_identity_with_io_window() {
+        let mmu = Mmu::new();
+        assert_eq!(mmu.translate(0o1000, Mode::User, true).unwrap(), 0o1000);
+        assert_eq!(
+            mmu.translate(0o177560, Mode::Kernel, false).unwrap(),
+            crate::mem::IO_BASE + 0o17560
+        );
+    }
+
+    #[test]
+    fn translation_relocates_by_segment() {
+        let mmu = mapped_mmu();
+        assert_eq!(mmu.translate(0, Mode::User, false).unwrap(), 0o40000);
+        assert_eq!(mmu.translate(0o100, Mode::User, true).unwrap(), 0o40100);
+        // Segment 1 starts at virtual 0o20000.
+        assert_eq!(mmu.translate(0o20000, Mode::User, false).unwrap(), 0o100000);
+    }
+
+    #[test]
+    fn unmapped_segment_aborts() {
+        let mmu = mapped_mmu();
+        let err = mmu.translate(0o60000, Mode::User, false).unwrap_err();
+        assert_eq!(err.reason, AbortReason::NonResident);
+        assert_eq!(err.vaddr, 0o60000);
+    }
+
+    #[test]
+    fn length_violation_aborts() {
+        let mmu = mapped_mmu();
+        // Segment 1 maps only 0o1000 bytes.
+        let err = mmu.translate(0o21000, Mode::User, false).unwrap_err();
+        assert_eq!(err.reason, AbortReason::LengthViolation);
+        // Last mapped byte is fine.
+        assert!(mmu.translate(0o20777, Mode::User, false).is_ok());
+    }
+
+    #[test]
+    fn read_only_segment_rejects_writes() {
+        let mmu = mapped_mmu();
+        assert!(mmu.translate(0o20000, Mode::User, false).is_ok());
+        let err = mmu.translate(0o20000, Mode::User, true).unwrap_err();
+        assert_eq!(err.reason, AbortReason::ReadOnlyViolation);
+    }
+
+    #[test]
+    fn modes_have_independent_maps() {
+        let mmu = mapped_mmu();
+        // Kernel has no mappings at all.
+        assert!(mmu.translate(0, Mode::Kernel, false).is_err());
+        assert!(mmu.translate(0, Mode::User, false).is_ok());
+    }
+
+    #[test]
+    fn descriptor_accessors() {
+        let d = SegmentDescriptor::mapping(0o40000, 0o20000, Access::ReadWrite);
+        assert_eq!(d.base(), 0o40000);
+        assert_eq!(d.len(), 0o20000);
+        assert!(!d.is_empty());
+        assert!(SegmentDescriptor::default().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not 64-byte aligned")]
+    fn misaligned_base_panics() {
+        SegmentDescriptor::mapping(0o40001, 0o100, Access::ReadWrite);
+    }
+}

@@ -1,0 +1,197 @@
+//! The processor status word: mode, priority, and condition codes.
+//!
+//! Layout follows the PDP-11 convention:
+//!
+//! ```text
+//! 15 14   13 12   11..8   7 6 5   4   3 2 1 0
+//! mode    prev    unused  prio    T   N Z V C
+//! ```
+//!
+//! Mode `00` is Kernel, `11` is User (the PDP-11/34 has no Supervisor mode).
+
+use crate::types::Word;
+
+/// Processor mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Privileged: the separation kernel's domain.
+    Kernel,
+    /// Unprivileged: where regimes run.
+    User,
+}
+
+impl Mode {
+    fn bits(self) -> Word {
+        match self {
+            Mode::Kernel => 0b00,
+            Mode::User => 0b11,
+        }
+    }
+
+    fn from_bits(b: Word) -> Mode {
+        if b & 0b11 == 0b11 {
+            Mode::User
+        } else {
+            Mode::Kernel
+        }
+    }
+}
+
+/// The processor status word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Psw(pub Word);
+
+impl Psw {
+    /// A kernel-mode PSW at the given priority with clear condition codes.
+    pub fn kernel(priority: u8) -> Psw {
+        let mut p = Psw(0);
+        p.set_mode(Mode::Kernel);
+        p.set_priority(priority);
+        p
+    }
+
+    /// A user-mode PSW at priority 0 with clear condition codes.
+    pub fn user() -> Psw {
+        let mut p = Psw(0);
+        p.set_mode(Mode::User);
+        p
+    }
+
+    /// Current processor mode.
+    pub fn mode(self) -> Mode {
+        Mode::from_bits(self.0 >> 14)
+    }
+
+    /// Sets the current mode.
+    pub fn set_mode(&mut self, m: Mode) {
+        self.0 = (self.0 & !(0b11 << 14)) | (m.bits() << 14);
+    }
+
+    /// Previous processor mode (set by trap entry).
+    pub fn previous_mode(self) -> Mode {
+        Mode::from_bits(self.0 >> 12)
+    }
+
+    /// Sets the previous mode.
+    pub fn set_previous_mode(&mut self, m: Mode) {
+        self.0 = (self.0 & !(0b11 << 12)) | (m.bits() << 12);
+    }
+
+    /// Interrupt priority level (0–7).
+    pub fn priority(self) -> u8 {
+        ((self.0 >> 5) & 0b111) as u8
+    }
+
+    /// Sets the priority level (masked to 0–7).
+    pub fn set_priority(&mut self, p: u8) {
+        self.0 = (self.0 & !(0b111 << 5)) | (((p & 0b111) as Word) << 5);
+    }
+
+    /// The N (negative) condition code.
+    pub fn n(self) -> bool {
+        self.0 & 0b1000 != 0
+    }
+
+    /// The Z (zero) condition code.
+    pub fn z(self) -> bool {
+        self.0 & 0b0100 != 0
+    }
+
+    /// The V (overflow) condition code.
+    pub fn v(self) -> bool {
+        self.0 & 0b0010 != 0
+    }
+
+    /// The C (carry) condition code.
+    pub fn c(self) -> bool {
+        self.0 & 0b0001 != 0
+    }
+
+    /// Sets all four condition codes.
+    pub fn set_nzvc(&mut self, n: bool, z: bool, v: bool, c: bool) {
+        self.0 = (self.0 & !0b1111)
+            | ((n as Word) << 3)
+            | ((z as Word) << 2)
+            | ((v as Word) << 1)
+            | (c as Word);
+    }
+
+    /// Sets N and Z from a word value, clearing V; leaves C unchanged unless
+    /// given.
+    pub fn set_nz_w(&mut self, value: Word, v: bool, c: bool) {
+        self.set_nzvc(crate::types::is_neg_w(value), value == 0, v, c);
+    }
+
+    /// The four condition-code bits as a nibble (for save/restore).
+    pub fn cc_bits(self) -> Word {
+        self.0 & 0b1111
+    }
+
+    /// Restores the condition-code nibble.
+    pub fn set_cc_bits(&mut self, bits: Word) {
+        self.0 = (self.0 & !0b1111) | (bits & 0b1111);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_roundtrip() {
+        let mut p = Psw(0);
+        p.set_mode(Mode::User);
+        assert_eq!(p.mode(), Mode::User);
+        p.set_mode(Mode::Kernel);
+        assert_eq!(p.mode(), Mode::Kernel);
+    }
+
+    #[test]
+    fn previous_mode_is_separate() {
+        let mut p = Psw::user();
+        p.set_previous_mode(Mode::Kernel);
+        assert_eq!(p.mode(), Mode::User);
+        assert_eq!(p.previous_mode(), Mode::Kernel);
+    }
+
+    #[test]
+    fn priority_masked_to_three_bits() {
+        let mut p = Psw(0);
+        p.set_priority(7);
+        assert_eq!(p.priority(), 7);
+        p.set_priority(0b1111);
+        assert_eq!(p.priority(), 7);
+        p.set_priority(3);
+        assert_eq!(p.priority(), 3);
+    }
+
+    #[test]
+    fn condition_codes() {
+        let mut p = Psw(0);
+        p.set_nzvc(true, false, true, false);
+        assert!(p.n());
+        assert!(!p.z());
+        assert!(p.v());
+        assert!(!p.c());
+        assert_eq!(p.cc_bits(), 0b1010);
+        p.set_cc_bits(0b0101);
+        assert!(!p.n() && p.z() && !p.v() && p.c());
+    }
+
+    #[test]
+    fn set_nz_from_word() {
+        let mut p = Psw(0);
+        p.set_nz_w(0, false, true);
+        assert!(p.z() && !p.n() && p.c());
+        p.set_nz_w(0o100000, false, false);
+        assert!(p.n() && !p.z());
+    }
+
+    #[test]
+    fn kernel_constructor() {
+        let p = Psw::kernel(7);
+        assert_eq!(p.mode(), Mode::Kernel);
+        assert_eq!(p.priority(), 7);
+        assert_eq!(Psw::user().mode(), Mode::User);
+    }
+}

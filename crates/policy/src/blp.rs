@@ -1,0 +1,423 @@
+//! A Bell–LaPadula access-decision engine and secure state machine.
+//!
+//! This is the policy that the paper's *conventional* kernels (KSOS, KVM/370)
+//! enforce system-wide, and that the paper's multilevel file-server enforces
+//! locally. It implements:
+//!
+//! * the **ss-property** (simple security): a subject may observe an object
+//!   only if its clearance dominates the object's classification;
+//! * the **★-property**: a subject may alter an object only if the object's
+//!   classification dominates the subject's *current* level (and, for
+//!   simultaneous observe+alter, the levels must be equal);
+//! * the **ds-property**: every access must also be permitted by a
+//!   discretionary access matrix;
+//! * **trusted subjects**, which are exempt from the ★-property. The paper's
+//!   central complaint is that real systems need these exemptions; the engine
+//!   therefore *counts* every exercise of trust so experiments E5/E7 can
+//!   report how much policy-violating privilege each design requires.
+
+use crate::error::PolicyError;
+use crate::level::SecurityLevel;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Identifies a subject (process/user) within a [`BlpState`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubjectId(pub u32);
+
+/// Identifies an object (file/segment/device) within a [`BlpState`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub u32);
+
+/// The four Bell–LaPadula access modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccessMode {
+    /// Observe only (read).
+    Read,
+    /// Alter only, no observation (blind append).
+    Append,
+    /// Observe and alter.
+    Write,
+    /// Neither observe nor alter (execute-only).
+    Execute,
+}
+
+impl AccessMode {
+    /// True when the mode involves observing the object's contents.
+    pub fn observes(self) -> bool {
+        matches!(self, AccessMode::Read | AccessMode::Write)
+    }
+
+    /// True when the mode involves altering the object's contents.
+    pub fn alters(self) -> bool {
+        matches!(self, AccessMode::Append | AccessMode::Write)
+    }
+}
+
+/// A registered subject.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subject {
+    /// Display name (used in error messages and audit records).
+    pub name: String,
+    /// Maximum level the subject may ever operate at.
+    pub clearance: SecurityLevel,
+    /// The level the subject is currently operating at; must always be
+    /// dominated by `clearance`.
+    pub current: SecurityLevel,
+    /// Trusted subjects are exempt from the ★-property. Every exercise of
+    /// this exemption is recorded in [`BlpState::trust_exercises`].
+    pub trusted: bool,
+}
+
+/// A registered object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Object {
+    /// Display name.
+    pub name: String,
+    /// The object's classification.
+    pub level: SecurityLevel,
+}
+
+/// An audit record of a trusted subject exercising its ★-property exemption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrustExercise {
+    /// The trusted subject.
+    pub subject: SubjectId,
+    /// The object whose access required the exemption.
+    pub object: ObjectId,
+    /// The mode that would otherwise have been denied.
+    pub mode: AccessMode,
+}
+
+/// The protection state of a Bell–LaPadula system.
+#[derive(Debug, Clone, Default)]
+pub struct BlpState {
+    subjects: BTreeMap<SubjectId, Subject>,
+    objects: BTreeMap<ObjectId, Object>,
+    /// Discretionary access matrix: grants of (subject, object) → modes.
+    matrix: BTreeMap<(SubjectId, ObjectId), BTreeSet<AccessMode>>,
+    /// Current accesses (the `b` component of the BLP state).
+    current_accesses: BTreeSet<(SubjectId, ObjectId, AccessMode)>,
+    /// Audit trail of ★-property exemptions exercised by trusted subjects.
+    pub trust_exercises: Vec<TrustExercise>,
+    next_subject: u32,
+    next_object: u32,
+}
+
+/// The decision engine wrapping a [`BlpState`].
+///
+/// All mutating requests go through [`BlpEngine::request_access`] and
+/// friends, which enforce the three properties and keep the audit trail.
+#[derive(Debug, Clone, Default)]
+pub struct BlpEngine {
+    /// The protection state being mediated.
+    pub state: BlpState,
+}
+
+impl BlpEngine {
+    /// Creates an engine with an empty protection state.
+    pub fn new() -> Self {
+        BlpEngine::default()
+    }
+
+    /// Registers a subject; `current` starts equal to `clearance`'s glb with
+    /// itself (i.e. the clearance).
+    pub fn add_subject(&mut self, name: &str, clearance: SecurityLevel, trusted: bool) -> SubjectId {
+        let id = SubjectId(self.state.next_subject);
+        self.state.next_subject += 1;
+        self.state.subjects.insert(
+            id,
+            Subject {
+                name: name.to_string(),
+                clearance,
+                current: clearance,
+                trusted,
+            },
+        );
+        id
+    }
+
+    /// Registers an object at the given level.
+    pub fn add_object(&mut self, name: &str, level: SecurityLevel) -> ObjectId {
+        let id = ObjectId(self.state.next_object);
+        self.state.next_object += 1;
+        self.state.objects.insert(
+            id,
+            Object {
+                name: name.to_string(),
+                level,
+            },
+        );
+        id
+    }
+
+    /// Grants a discretionary access right.
+    pub fn grant(&mut self, s: SubjectId, o: ObjectId, mode: AccessMode) -> Result<(), PolicyError> {
+        self.subject(s)?;
+        self.object(o)?;
+        self.state.matrix.entry((s, o)).or_default().insert(mode);
+        Ok(())
+    }
+
+    /// Revokes a discretionary access right (and any current access in that
+    /// mode).
+    pub fn revoke(&mut self, s: SubjectId, o: ObjectId, mode: AccessMode) {
+        if let Some(modes) = self.state.matrix.get_mut(&(s, o)) {
+            modes.remove(&mode);
+        }
+        self.state.current_accesses.remove(&(s, o, mode));
+    }
+
+    /// Looks up a subject.
+    pub fn subject(&self, s: SubjectId) -> Result<&Subject, PolicyError> {
+        self.state
+            .subjects
+            .get(&s)
+            .ok_or_else(|| PolicyError::UnknownSubject(format!("{s:?}")))
+    }
+
+    /// Looks up an object.
+    pub fn object(&self, o: ObjectId) -> Result<&Object, PolicyError> {
+        self.state
+            .objects
+            .get(&o)
+            .ok_or_else(|| PolicyError::UnknownObject(format!("{o:?}")))
+    }
+
+    /// Lowers (or re-raises, up to clearance) a subject's current level.
+    ///
+    /// Raising above clearance is refused; BLP tranquility of *objects* is
+    /// preserved by providing no object-relabelling operation at all.
+    pub fn set_current_level(&mut self, s: SubjectId, level: SecurityLevel) -> Result<(), PolicyError> {
+        let subject = self
+            .state
+            .subjects
+            .get_mut(&s)
+            .ok_or_else(|| PolicyError::UnknownSubject(format!("{s:?}")))?;
+        if !subject.clearance.dominates(&level) {
+            return Err(PolicyError::ClearanceExceeded {
+                subject: subject.name.clone(),
+            });
+        }
+        subject.current = level;
+        Ok(())
+    }
+
+    /// Decides whether the access is permitted, *without* changing state.
+    ///
+    /// For a trusted subject this reports the verdict a real request would
+    /// get, but does not record an audit entry.
+    pub fn check_access(&self, s: SubjectId, o: ObjectId, mode: AccessMode) -> Result<(), PolicyError> {
+        self.decide(s, o, mode).map(|_| ())
+    }
+
+    /// Requests an access; on success the access is recorded as current.
+    ///
+    /// Trusted subjects are permitted ★-property-violating accesses; each
+    /// such permission is appended to the audit trail.
+    pub fn request_access(&mut self, s: SubjectId, o: ObjectId, mode: AccessMode) -> Result<(), PolicyError> {
+        let exercised_trust = self.decide(s, o, mode)?;
+        self.state.current_accesses.insert((s, o, mode));
+        if exercised_trust {
+            self.state.trust_exercises.push(TrustExercise {
+                subject: s,
+                object: o,
+                mode,
+            });
+        }
+        Ok(())
+    }
+
+    /// Releases a current access.
+    pub fn release_access(&mut self, s: SubjectId, o: ObjectId, mode: AccessMode) {
+        self.state.current_accesses.remove(&(s, o, mode));
+    }
+
+    /// Returns true when the access is currently held.
+    pub fn has_access(&self, s: SubjectId, o: ObjectId, mode: AccessMode) -> bool {
+        self.state.current_accesses.contains(&(s, o, mode))
+    }
+
+    /// Removes an object and all accesses/grants involving it.
+    pub fn remove_object(&mut self, o: ObjectId) -> Result<(), PolicyError> {
+        self.object(o)?;
+        self.state.objects.remove(&o);
+        self.state.matrix.retain(|(_, oo), _| *oo != o);
+        self.state.current_accesses.retain(|(_, oo, _)| *oo != o);
+        Ok(())
+    }
+
+    /// Number of ★-property exemptions exercised so far.
+    pub fn trust_exercise_count(&self) -> usize {
+        self.state.trust_exercises.len()
+    }
+
+    /// Core decision procedure. Returns `Ok(true)` when the access is only
+    /// permitted because the subject is trusted.
+    fn decide(&self, s: SubjectId, o: ObjectId, mode: AccessMode) -> Result<bool, PolicyError> {
+        let subject = self.subject(s)?;
+        let object = self.object(o)?;
+
+        // ds-property: the matrix must contain the grant.
+        let granted = self
+            .state
+            .matrix
+            .get(&(s, o))
+            .is_some_and(|modes| modes.contains(&mode));
+        if !granted {
+            return Err(PolicyError::DiscretionaryViolation {
+                subject: subject.name.clone(),
+                object: object.name.clone(),
+            });
+        }
+
+        // ss-property: observation requires clearance to dominate the object.
+        if mode.observes() && !subject.clearance.dominates(&object.level) {
+            return Err(PolicyError::SimpleSecurityViolation {
+                subject: subject.name.clone(),
+                object: object.name.clone(),
+            });
+        }
+
+        // ★-property, applied relative to the subject's *current* level:
+        //   append: object level must dominate current level;
+        //   write:  object level must equal current level;
+        //   read:   object level must be dominated by current level.
+        let star_ok = match mode {
+            AccessMode::Append => object.level.dominates(&subject.current),
+            AccessMode::Write => object.level == subject.current,
+            AccessMode::Read => subject.current.dominates(&object.level),
+            AccessMode::Execute => true,
+        };
+        if star_ok {
+            return Ok(false);
+        }
+        if subject.trusted {
+            return Ok(true);
+        }
+        Err(PolicyError::StarPropertyViolation {
+            subject: subject.name.clone(),
+            object: object.name.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::Classification;
+
+    fn secret() -> SecurityLevel {
+        SecurityLevel::plain(Classification::Secret)
+    }
+
+    fn unclass() -> SecurityLevel {
+        SecurityLevel::plain(Classification::Unclassified)
+    }
+
+    fn engine_with(sub_level: SecurityLevel, obj_level: SecurityLevel) -> (BlpEngine, SubjectId, ObjectId) {
+        let mut e = BlpEngine::new();
+        let s = e.add_subject("s", sub_level, false);
+        let o = e.add_object("o", obj_level);
+        for m in [AccessMode::Read, AccessMode::Append, AccessMode::Write, AccessMode::Execute] {
+            e.grant(s, o, m).unwrap();
+        }
+        (e, s, o)
+    }
+
+    #[test]
+    fn read_down_allowed() {
+        let (mut e, s, o) = engine_with(secret(), unclass());
+        assert!(e.request_access(s, o, AccessMode::Read).is_ok());
+        assert!(e.has_access(s, o, AccessMode::Read));
+    }
+
+    #[test]
+    fn read_up_denied_by_ss_property() {
+        let (mut e, s, o) = engine_with(unclass(), secret());
+        let err = e.request_access(s, o, AccessMode::Read).unwrap_err();
+        assert!(matches!(err, PolicyError::SimpleSecurityViolation { .. }));
+    }
+
+    #[test]
+    fn write_down_denied_by_star_property() {
+        let (mut e, s, o) = engine_with(secret(), unclass());
+        let err = e.request_access(s, o, AccessMode::Write).unwrap_err();
+        assert!(matches!(err, PolicyError::StarPropertyViolation { .. }));
+        // But lowering the current level makes the write legal.
+        e.set_current_level(s, unclass()).unwrap();
+        assert!(e.request_access(s, o, AccessMode::Write).is_ok());
+    }
+
+    #[test]
+    fn append_up_allowed() {
+        let (mut e, s, o) = engine_with(unclass(), secret());
+        assert!(e.request_access(s, o, AccessMode::Append).is_ok());
+    }
+
+    #[test]
+    fn ds_property_checked_first() {
+        let mut e = BlpEngine::new();
+        let s = e.add_subject("s", secret(), false);
+        let o = e.add_object("o", unclass());
+        let err = e.request_access(s, o, AccessMode::Read).unwrap_err();
+        assert!(matches!(err, PolicyError::DiscretionaryViolation { .. }));
+    }
+
+    #[test]
+    fn trusted_subject_may_violate_star_and_is_audited() {
+        let mut e = BlpEngine::new();
+        let s = e.add_subject("spooler", secret(), true);
+        let o = e.add_object("spoolfile", unclass());
+        e.grant(s, o, AccessMode::Write).unwrap();
+        assert!(e.request_access(s, o, AccessMode::Write).is_ok());
+        assert_eq!(e.trust_exercise_count(), 1);
+        assert_eq!(e.state.trust_exercises[0].mode, AccessMode::Write);
+    }
+
+    #[test]
+    fn trusted_subject_still_bound_by_ss_property() {
+        let mut e = BlpEngine::new();
+        let s = e.add_subject("t", unclass(), true);
+        let o = e.add_object("o", secret());
+        e.grant(s, o, AccessMode::Read).unwrap();
+        assert!(matches!(
+            e.request_access(s, o, AccessMode::Read),
+            Err(PolicyError::SimpleSecurityViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn clearance_bounds_current_level() {
+        let mut e = BlpEngine::new();
+        let s = e.add_subject("s", unclass(), false);
+        assert!(matches!(
+            e.set_current_level(s, secret()),
+            Err(PolicyError::ClearanceExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn remove_object_clears_state() {
+        let (mut e, s, o) = engine_with(secret(), unclass());
+        e.request_access(s, o, AccessMode::Read).unwrap();
+        e.remove_object(o).unwrap();
+        assert!(!e.has_access(s, o, AccessMode::Read));
+        assert!(e.object(o).is_err());
+    }
+
+    #[test]
+    fn revoke_removes_grant_and_access() {
+        let (mut e, s, o) = engine_with(secret(), unclass());
+        e.request_access(s, o, AccessMode::Read).unwrap();
+        e.revoke(s, o, AccessMode::Read);
+        assert!(!e.has_access(s, o, AccessMode::Read));
+        assert!(e.request_access(s, o, AccessMode::Read).is_err());
+    }
+
+    #[test]
+    fn execute_ignores_star_property() {
+        let (mut e, s, o) = engine_with(secret(), unclass());
+        assert!(e.request_access(s, o, AccessMode::Execute).is_ok());
+        assert_eq!(e.trust_exercise_count(), 0);
+    }
+}

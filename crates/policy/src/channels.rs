@@ -1,0 +1,268 @@
+//! Channel-topology policies: which colours may communicate, and how.
+//!
+//! The paper's key observation about the SNFE is that "the crucial issue here
+//! is not *whether* red and black can communicate, but *what channels* are
+//! available for that communication." A [`ChannelPolicy`] is exactly that
+//! statement: a directed graph over colours whose edges are the *only*
+//! permitted information channels. The separation kernel is configured from
+//! such a policy, and the "cut the wires" verification argument (in
+//! `sep-model`) operates on it.
+
+use crate::error::PolicyError;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Identifies a colour (a regime / component / user) within a policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ColourId(pub u32);
+
+/// A directed communication-channel policy over a finite set of colours.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChannelPolicy {
+    names: Vec<String>,
+    edges: BTreeSet<(ColourId, ColourId)>,
+}
+
+impl ChannelPolicy {
+    /// An empty policy with no colours.
+    pub fn new() -> Self {
+        ChannelPolicy::default()
+    }
+
+    /// The *isolation* policy over `n` anonymous colours: no channels at all.
+    ///
+    /// This is the policy a separation kernel "with its wires cut" must be
+    /// shown to enforce.
+    pub fn isolation(n: u32) -> Self {
+        let mut p = ChannelPolicy::new();
+        for i in 0..n {
+            p.add_colour(&format!("colour{i}"));
+        }
+        p
+    }
+
+    /// Adds a named colour and returns its id.
+    pub fn add_colour(&mut self, name: &str) -> ColourId {
+        let id = ColourId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        id
+    }
+
+    /// Number of colours in the policy.
+    pub fn colour_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The name of a colour.
+    pub fn name(&self, c: ColourId) -> Result<&str, PolicyError> {
+        self.names
+            .get(c.0 as usize)
+            .map(String::as_str)
+            .ok_or_else(|| PolicyError::UnknownColour(format!("{c:?}")))
+    }
+
+    /// Looks up a colour by name.
+    pub fn colour_by_name(&self, name: &str) -> Option<ColourId> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| ColourId(i as u32))
+    }
+
+    /// Permits a unidirectional channel from `from` to `to`.
+    pub fn allow(&mut self, from: ColourId, to: ColourId) -> Result<(), PolicyError> {
+        self.name(from)?;
+        self.name(to)?;
+        self.edges.insert((from, to));
+        Ok(())
+    }
+
+    /// Permits channels in both directions between `a` and `b`.
+    pub fn allow_bidirectional(&mut self, a: ColourId, b: ColourId) -> Result<(), PolicyError> {
+        self.allow(a, b)?;
+        self.allow(b, a)
+    }
+
+    /// Returns true when a direct channel from `from` to `to` is permitted.
+    pub fn is_allowed(&self, from: ColourId, to: ColourId) -> bool {
+        self.edges.contains(&(from, to))
+    }
+
+    /// Checks a requested channel, returning a descriptive error when
+    /// forbidden.
+    pub fn check(&self, from: ColourId, to: ColourId) -> Result<(), PolicyError> {
+        if self.is_allowed(from, to) {
+            Ok(())
+        } else {
+            Err(PolicyError::ChannelForbidden {
+                from: self.name(from).unwrap_or("?").to_string(),
+                to: self.name(to).unwrap_or("?").to_string(),
+            })
+        }
+    }
+
+    /// All permitted direct edges.
+    pub fn edges(&self) -> impl Iterator<Item = (ColourId, ColourId)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Returns true when information may reach `to` from `from` through any
+    /// sequence of permitted channels (transitive reachability).
+    ///
+    /// The SNFE's security argument is about *direct* channels (red→black
+    /// must go via crypto or censor); reachability answers the complementary
+    /// question of where information can ultimately flow.
+    pub fn reachable(&self, from: ColourId, to: ColourId) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::from([from]);
+        while let Some(c) = queue.pop_front() {
+            for &(s, d) in &self.edges {
+                if s == c && seen.insert(d) {
+                    if d == to {
+                        return true;
+                    }
+                    queue.push_back(d);
+                }
+            }
+        }
+        false
+    }
+
+    /// Partitions the colours into connected components, ignoring edge
+    /// direction. Two colours in different components are *isolated*: no
+    /// sequence of channels connects them at all.
+    pub fn isolation_classes(&self) -> Vec<BTreeSet<ColourId>> {
+        let mut parent: BTreeMap<ColourId, ColourId> =
+            (0..self.names.len() as u32).map(|i| (ColourId(i), ColourId(i))).collect();
+
+        fn find(parent: &mut BTreeMap<ColourId, ColourId>, c: ColourId) -> ColourId {
+            let p = parent[&c];
+            if p == c {
+                c
+            } else {
+                let root = find(parent, p);
+                parent.insert(c, root);
+                root
+            }
+        }
+
+        for &(a, b) in &self.edges {
+            let ra = find(&mut parent, a);
+            let rb = find(&mut parent, b);
+            if ra != rb {
+                parent.insert(ra, rb);
+            }
+        }
+        let mut classes: BTreeMap<ColourId, BTreeSet<ColourId>> = BTreeMap::new();
+        for i in 0..self.names.len() as u32 {
+            let root = find(&mut parent, ColourId(i));
+            classes.entry(root).or_default().insert(ColourId(i));
+        }
+        classes.into_values().collect()
+    }
+
+    /// Returns true when the policy permits no channels at all.
+    pub fn is_isolation(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The canonical SNFE policy of the paper's figure: host ↔ red,
+    /// red ↔ crypto ↔ black (payload path), red ↔ censor ↔ black (cleartext
+    /// bypass), black ↔ network. Returns the policy together with the colour
+    /// ids in the order `[host, red, crypto, censor, black, network]`.
+    pub fn snfe() -> (Self, [ColourId; 6]) {
+        let mut p = ChannelPolicy::new();
+        let host = p.add_colour("host");
+        let red = p.add_colour("red");
+        let crypto = p.add_colour("crypto");
+        let censor = p.add_colour("censor");
+        let black = p.add_colour("black");
+        let network = p.add_colour("network");
+        p.allow_bidirectional(host, red).unwrap();
+        p.allow_bidirectional(red, crypto).unwrap();
+        p.allow_bidirectional(crypto, black).unwrap();
+        p.allow_bidirectional(red, censor).unwrap();
+        p.allow_bidirectional(censor, black).unwrap();
+        p.allow_bidirectional(black, network).unwrap();
+        (p, [host, red, crypto, censor, black, network])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolation_policy_has_no_edges() {
+        let p = ChannelPolicy::isolation(4);
+        assert_eq!(p.colour_count(), 4);
+        assert!(p.is_isolation());
+        assert_eq!(p.isolation_classes().len(), 4);
+    }
+
+    #[test]
+    fn direct_channel_checks() {
+        let mut p = ChannelPolicy::new();
+        let a = p.add_colour("a");
+        let b = p.add_colour("b");
+        p.allow(a, b).unwrap();
+        assert!(p.is_allowed(a, b));
+        assert!(!p.is_allowed(b, a));
+        assert!(p.check(a, b).is_ok());
+        assert!(matches!(p.check(b, a), Err(PolicyError::ChannelForbidden { .. })));
+    }
+
+    #[test]
+    fn reachability_is_transitive() {
+        let mut p = ChannelPolicy::new();
+        let a = p.add_colour("a");
+        let b = p.add_colour("b");
+        let c = p.add_colour("c");
+        p.allow(a, b).unwrap();
+        p.allow(b, c).unwrap();
+        assert!(p.reachable(a, c));
+        assert!(!p.reachable(c, a));
+        assert!(p.reachable(a, a));
+    }
+
+    #[test]
+    fn snfe_topology_matches_figure() {
+        let (p, [host, red, crypto, censor, black, network]) = ChannelPolicy::snfe();
+        // No direct red -> black edge: all red/black communication is via
+        // crypto or censor.
+        assert!(!p.is_allowed(red, black));
+        assert!(!p.is_allowed(black, red));
+        assert!(p.is_allowed(red, crypto));
+        assert!(p.is_allowed(red, censor));
+        assert!(p.is_allowed(crypto, black));
+        assert!(p.is_allowed(censor, black));
+        assert!(p.is_allowed(host, red));
+        assert!(p.is_allowed(black, network));
+        // But information *can* reach the network from the host.
+        assert!(p.reachable(host, network));
+    }
+
+    #[test]
+    fn isolation_classes_merge_connected_colours() {
+        let mut p = ChannelPolicy::new();
+        let a = p.add_colour("a");
+        let b = p.add_colour("b");
+        let _c = p.add_colour("c");
+        p.allow(a, b).unwrap();
+        let classes = p.isolation_classes();
+        assert_eq!(classes.len(), 2);
+        assert!(classes.iter().any(|cl| cl.len() == 2));
+    }
+
+    #[test]
+    fn colour_lookup() {
+        let mut p = ChannelPolicy::new();
+        let a = p.add_colour("alpha");
+        assert_eq!(p.colour_by_name("alpha"), Some(a));
+        assert_eq!(p.colour_by_name("beta"), None);
+        assert_eq!(p.name(a).unwrap(), "alpha");
+        assert!(p.name(ColourId(99)).is_err());
+    }
+}

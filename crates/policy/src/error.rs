@@ -1,0 +1,93 @@
+//! Error type shared by the policy engines.
+
+use core::fmt;
+
+/// Reasons a policy engine may reject a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyError {
+    /// The simple-security (ss-) property forbids the access: the subject's
+    /// clearance does not dominate the object's classification.
+    SimpleSecurityViolation {
+        /// Human-readable description of the subject involved.
+        subject: String,
+        /// Human-readable description of the object involved.
+        object: String,
+    },
+    /// The ★-property forbids the access: information could flow downwards
+    /// in the lattice (e.g. writing an object the subject's current level
+    /// does not precede).
+    StarPropertyViolation {
+        /// Human-readable description of the subject involved.
+        subject: String,
+        /// Human-readable description of the object involved.
+        object: String,
+    },
+    /// The discretionary (ds-) property forbids the access: the access
+    /// matrix contains no grant for this (subject, object, mode) triple.
+    DiscretionaryViolation {
+        /// Human-readable description of the subject involved.
+        subject: String,
+        /// Human-readable description of the object involved.
+        object: String,
+    },
+    /// The named subject does not exist.
+    UnknownSubject(String),
+    /// The named object does not exist.
+    UnknownObject(String),
+    /// An object with this name already exists.
+    DuplicateObject(String),
+    /// A subject with this name already exists.
+    DuplicateSubject(String),
+    /// A subject attempted to raise its current level above its clearance.
+    ClearanceExceeded {
+        /// Human-readable description of the subject involved.
+        subject: String,
+    },
+    /// The request requires privileges of a trusted subject, and the subject
+    /// is not marked trusted.
+    NotTrusted {
+        /// Human-readable description of the subject involved.
+        subject: String,
+    },
+    /// A channel-policy request referenced a colour outside the policy.
+    UnknownColour(String),
+    /// The requested communication edge is not part of the channel policy.
+    ChannelForbidden {
+        /// The sending colour.
+        from: String,
+        /// The receiving colour.
+        to: String,
+    },
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::SimpleSecurityViolation { subject, object } => {
+                write!(f, "ss-property violation: {subject} may not observe {object}")
+            }
+            PolicyError::StarPropertyViolation { subject, object } => {
+                write!(f, "*-property violation: {subject} may not alter {object}")
+            }
+            PolicyError::DiscretionaryViolation { subject, object } => {
+                write!(f, "ds-property violation: {subject} holds no grant for {object}")
+            }
+            PolicyError::UnknownSubject(s) => write!(f, "unknown subject: {s}"),
+            PolicyError::UnknownObject(o) => write!(f, "unknown object: {o}"),
+            PolicyError::DuplicateObject(o) => write!(f, "object already exists: {o}"),
+            PolicyError::DuplicateSubject(s) => write!(f, "subject already exists: {s}"),
+            PolicyError::ClearanceExceeded { subject } => {
+                write!(f, "{subject} attempted to exceed its clearance")
+            }
+            PolicyError::NotTrusted { subject } => {
+                write!(f, "{subject} is not a trusted subject")
+            }
+            PolicyError::UnknownColour(c) => write!(f, "unknown colour: {c}"),
+            PolicyError::ChannelForbidden { from, to } => {
+                write!(f, "channel policy forbids {from} -> {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}

@@ -1,0 +1,172 @@
+//! A general security-lattice abstraction.
+//!
+//! Information-flow policies (Denning-style certification in `sep-flow`, the
+//! Bell–LaPadula engine in [`crate::blp`]) are parameterised over a lattice of
+//! security classes. The paper's verification baseline — Information Flow
+//! Analysis — is "a syntactic technique concerned only with the security
+//! classifications ('colours') of variables", and those classifications live
+//! in a lattice.
+
+use core::fmt::Debug;
+
+/// A bounded lattice of security classes.
+///
+/// Laws (checked by property tests for every implementation in this crate):
+///
+/// * `le` is a partial order (reflexive, antisymmetric, transitive);
+/// * `lub`/`glb` are commutative, associative, idempotent, and are
+///   respectively the least upper bound and greatest lower bound of their
+///   arguments under `le`;
+/// * `bottom() ≤ x ≤ top()` for every `x`.
+pub trait Lattice: Clone + Eq + Debug {
+    /// Returns true when `self` is dominated by (may flow to) `other`.
+    fn le(&self, other: &Self) -> bool;
+
+    /// Least upper bound (join) of the two classes.
+    fn lub(&self, other: &Self) -> Self;
+
+    /// Greatest lower bound (meet) of the two classes.
+    fn glb(&self, other: &Self) -> Self;
+
+    /// The least element of the lattice.
+    fn bottom() -> Self;
+
+    /// The greatest element of the lattice.
+    fn top() -> Self;
+
+    /// Returns true when the two classes are incomparable under `le`.
+    fn incomparable(&self, other: &Self) -> bool {
+        !self.le(other) && !other.le(self)
+    }
+}
+
+/// The two-point lattice used throughout the paper's informal discussion:
+/// `Low ≤ High`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TwoPoint {
+    /// Public / unclassified information.
+    Low,
+    /// Sensitive information; may not flow to `Low`.
+    High,
+}
+
+impl Lattice for TwoPoint {
+    fn le(&self, other: &Self) -> bool {
+        !(matches!(self, TwoPoint::High) && matches!(other, TwoPoint::Low))
+    }
+
+    fn lub(&self, other: &Self) -> Self {
+        if matches!(self, TwoPoint::High) || matches!(other, TwoPoint::High) {
+            TwoPoint::High
+        } else {
+            TwoPoint::Low
+        }
+    }
+
+    fn glb(&self, other: &Self) -> Self {
+        if matches!(self, TwoPoint::Low) || matches!(other, TwoPoint::Low) {
+            TwoPoint::Low
+        } else {
+            TwoPoint::High
+        }
+    }
+
+    fn bottom() -> Self {
+        TwoPoint::Low
+    }
+
+    fn top() -> Self {
+        TwoPoint::High
+    }
+}
+
+/// A subset lattice over a universe of 64 elements, ordered by inclusion.
+///
+/// This is the lattice of category sets; it also demonstrates that the flow
+/// analyses in `sep-flow` are generic in the lattice, not tied to the
+/// military hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Subset64(pub u64);
+
+impl Lattice for Subset64 {
+    fn le(&self, other: &Self) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    fn lub(&self, other: &Self) -> Self {
+        Subset64(self.0 | other.0)
+    }
+
+    fn glb(&self, other: &Self) -> Self {
+        Subset64(self.0 & other.0)
+    }
+
+    fn bottom() -> Self {
+        Subset64(0)
+    }
+
+    fn top() -> Self {
+        Subset64(u64::MAX)
+    }
+}
+
+/// Folds `lub` over an iterator of lattice elements, starting from bottom.
+pub fn lub_all<L: Lattice, I: IntoIterator<Item = L>>(items: I) -> L {
+    items
+        .into_iter()
+        .fold(L::bottom(), |acc, item| acc.lub(&item))
+}
+
+/// Folds `glb` over an iterator of lattice elements, starting from top.
+pub fn glb_all<L: Lattice, I: IntoIterator<Item = L>>(items: I) -> L {
+    items.into_iter().fold(L::top(), |acc, item| acc.glb(&item))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_point_order() {
+        assert!(TwoPoint::Low.le(&TwoPoint::High));
+        assert!(!TwoPoint::High.le(&TwoPoint::Low));
+        assert!(TwoPoint::Low.le(&TwoPoint::Low));
+        assert!(TwoPoint::High.le(&TwoPoint::High));
+    }
+
+    #[test]
+    fn two_point_bounds() {
+        assert_eq!(TwoPoint::bottom(), TwoPoint::Low);
+        assert_eq!(TwoPoint::top(), TwoPoint::High);
+    }
+
+    #[test]
+    fn two_point_lub_glb() {
+        assert_eq!(TwoPoint::Low.lub(&TwoPoint::High), TwoPoint::High);
+        assert_eq!(TwoPoint::Low.glb(&TwoPoint::High), TwoPoint::Low);
+        assert_eq!(TwoPoint::High.lub(&TwoPoint::High), TwoPoint::High);
+        assert_eq!(TwoPoint::Low.glb(&TwoPoint::Low), TwoPoint::Low);
+    }
+
+    #[test]
+    fn subset_inclusion() {
+        let a = Subset64(0b0101);
+        let b = Subset64(0b0111);
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+        assert!(a.incomparable(&Subset64(0b1010)));
+    }
+
+    #[test]
+    fn lub_all_folds() {
+        let sets = [Subset64(0b001), Subset64(0b010), Subset64(0b100)];
+        assert_eq!(lub_all(sets), Subset64(0b111));
+        assert_eq!(glb_all([Subset64(0b011), Subset64(0b110)]), Subset64(0b010));
+    }
+
+    #[test]
+    fn glb_all_empty_is_top() {
+        assert_eq!(glb_all::<Subset64, _>([]), Subset64::top());
+        assert_eq!(lub_all::<Subset64, _>([]), Subset64::bottom());
+    }
+}

@@ -1,0 +1,272 @@
+//! Military security levels: hierarchical classifications × category sets.
+//!
+//! A [`SecurityLevel`] pairs a totally-ordered [`Classification`] with a
+//! [`CategorySet`] (compartments / caveats). Level `a` *dominates* level `b`
+//! exactly when `a`'s classification is at least `b`'s and `a`'s categories
+//! include `b`'s. This is the lattice in which the Bell–LaPadula properties
+//! and the multilevel file-server of the paper are expressed.
+
+use crate::lattice::Lattice;
+use core::fmt;
+
+/// Hierarchical classification levels, in increasing order of sensitivity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Classification {
+    /// Publicly releasable.
+    Unclassified,
+    /// Limited distribution.
+    Confidential,
+    /// Serious damage if disclosed.
+    Secret,
+    /// Exceptionally grave damage if disclosed.
+    TopSecret,
+}
+
+impl Classification {
+    /// All classifications in increasing order.
+    pub const ALL: [Classification; 4] = [
+        Classification::Unclassified,
+        Classification::Confidential,
+        Classification::Secret,
+        Classification::TopSecret,
+    ];
+
+    /// Numeric rank of this classification (0 = least sensitive).
+    pub fn rank(self) -> u8 {
+        match self {
+            Classification::Unclassified => 0,
+            Classification::Confidential => 1,
+            Classification::Secret => 2,
+            Classification::TopSecret => 3,
+        }
+    }
+
+    /// The classification with the given rank, if any.
+    pub fn from_rank(rank: u8) -> Option<Self> {
+        Classification::ALL.get(rank as usize).copied()
+    }
+}
+
+impl fmt::Display for Classification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Classification::Unclassified => "UNCLASSIFIED",
+            Classification::Confidential => "CONFIDENTIAL",
+            Classification::Secret => "SECRET",
+            Classification::TopSecret => "TOP SECRET",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A set of up to 64 need-to-know categories (compartments), as a bitset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CategorySet(pub u64);
+
+impl CategorySet {
+    /// The empty category set.
+    pub const EMPTY: CategorySet = CategorySet(0);
+
+    /// Builds a set from category indices (each must be `< 64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is 64 or greater.
+    pub fn from_indices(indices: &[u8]) -> Self {
+        let mut bits = 0u64;
+        for &i in indices {
+            assert!(i < 64, "category index out of range: {i}");
+            bits |= 1 << i;
+        }
+        CategorySet(bits)
+    }
+
+    /// Returns true when this set contains every category of `other`.
+    pub fn contains_all(self, other: CategorySet) -> bool {
+        other.0 & !self.0 == 0
+    }
+
+    /// Returns true when the category with index `i` is in the set.
+    pub fn contains(self, i: u8) -> bool {
+        i < 64 && self.0 & (1 << i) != 0
+    }
+
+    /// Union of the two sets.
+    pub fn union(self, other: CategorySet) -> CategorySet {
+        CategorySet(self.0 | other.0)
+    }
+
+    /// Intersection of the two sets.
+    pub fn intersection(self, other: CategorySet) -> CategorySet {
+        CategorySet(self.0 & other.0)
+    }
+
+    /// Number of categories in the set.
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Returns true when the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// A full security level: classification plus category set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SecurityLevel {
+    /// The hierarchical component.
+    pub class: Classification,
+    /// The non-hierarchical (need-to-know) component.
+    pub categories: CategorySet,
+}
+
+impl SecurityLevel {
+    /// Convenience constructor.
+    pub fn new(class: Classification, categories: CategorySet) -> Self {
+        SecurityLevel { class, categories }
+    }
+
+    /// A level with no categories.
+    pub fn plain(class: Classification) -> Self {
+        SecurityLevel {
+            class,
+            categories: CategorySet::EMPTY,
+        }
+    }
+
+    /// The lowest level: UNCLASSIFIED with no categories.
+    pub fn unclassified() -> Self {
+        SecurityLevel::plain(Classification::Unclassified)
+    }
+
+    /// Returns true when `self` dominates `other` (information may flow from
+    /// `other` to `self`).
+    pub fn dominates(&self, other: &SecurityLevel) -> bool {
+        self.class >= other.class && self.categories.contains_all(other.categories)
+    }
+}
+
+impl Lattice for SecurityLevel {
+    fn le(&self, other: &Self) -> bool {
+        other.dominates(self)
+    }
+
+    fn lub(&self, other: &Self) -> Self {
+        SecurityLevel {
+            class: self.class.max(other.class),
+            categories: self.categories.union(other.categories),
+        }
+    }
+
+    fn glb(&self, other: &Self) -> Self {
+        SecurityLevel {
+            class: self.class.min(other.class),
+            categories: self.categories.intersection(other.categories),
+        }
+    }
+
+    fn bottom() -> Self {
+        SecurityLevel::plain(Classification::Unclassified)
+    }
+
+    fn top() -> Self {
+        SecurityLevel {
+            class: Classification::TopSecret,
+            categories: CategorySet(u64::MAX),
+        }
+    }
+}
+
+impl fmt::Display for SecurityLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.class)?;
+        if !self.categories.is_empty() {
+            write!(f, " {{")?;
+            let mut first = true;
+            for i in 0..64u8 {
+                if self.categories.contains(i) {
+                    if !first {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "C{i}")?;
+                    first = false;
+                }
+            }
+            write!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secret_ab() -> SecurityLevel {
+        SecurityLevel::new(Classification::Secret, CategorySet::from_indices(&[0, 1]))
+    }
+
+    fn confidential_a() -> SecurityLevel {
+        SecurityLevel::new(Classification::Confidential, CategorySet::from_indices(&[0]))
+    }
+
+    #[test]
+    fn dominance_requires_both_components() {
+        assert!(secret_ab().dominates(&confidential_a()));
+        assert!(!confidential_a().dominates(&secret_ab()));
+        // Higher classification but missing category: incomparable.
+        let ts_c = SecurityLevel::new(Classification::TopSecret, CategorySet::from_indices(&[2]));
+        assert!(!ts_c.dominates(&confidential_a()));
+        assert!(!confidential_a().dominates(&ts_c));
+        assert!(ts_c.incomparable(&confidential_a()));
+    }
+
+    #[test]
+    fn lub_is_upper_bound() {
+        let join = secret_ab().lub(&confidential_a());
+        assert!(join.dominates(&secret_ab()));
+        assert!(join.dominates(&confidential_a()));
+        assert_eq!(join.class, Classification::Secret);
+    }
+
+    #[test]
+    fn glb_is_lower_bound() {
+        let meet = secret_ab().glb(&confidential_a());
+        assert!(secret_ab().dominates(&meet));
+        assert!(confidential_a().dominates(&meet));
+        assert_eq!(meet.categories, CategorySet::from_indices(&[0]));
+    }
+
+    #[test]
+    fn classification_ranks_roundtrip() {
+        for class in Classification::ALL {
+            assert_eq!(Classification::from_rank(class.rank()), Some(class));
+        }
+        assert_eq!(Classification::from_rank(4), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SecurityLevel::plain(Classification::Secret).to_string(), "SECRET");
+        assert_eq!(secret_ab().to_string(), "SECRET {C0,C1}");
+    }
+
+    #[test]
+    fn category_set_operations() {
+        let a = CategorySet::from_indices(&[1, 3]);
+        let b = CategorySet::from_indices(&[3, 5]);
+        assert_eq!(a.union(b), CategorySet::from_indices(&[1, 3, 5]));
+        assert_eq!(a.intersection(b), CategorySet::from_indices(&[3]));
+        assert_eq!(a.len(), 2);
+        assert!(a.contains(3));
+        assert!(!a.contains(5));
+        assert!(!a.contains(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "category index out of range")]
+    fn category_index_bound_checked() {
+        CategorySet::from_indices(&[64]);
+    }
+}

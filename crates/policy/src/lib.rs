@@ -1,0 +1,31 @@
+//! Security policy substrate for the separation-kernel reproduction.
+//!
+//! Rushby's paper argues that policy enforcement is *not* the concern of a
+//! separation kernel: it belongs to the trusted components that run on top of
+//! it. This crate provides the policy machinery those components use:
+//!
+//! * [`lattice`] — a general security-lattice abstraction with several
+//!   instances (two-point Low/High, subset lattices, the military
+//!   level × category lattice).
+//! * [`level`] — hierarchical classifications and category sets forming the
+//!   classic military security lattice.
+//! * [`blp`] — a Bell–LaPadula access-decision engine and state machine
+//!   (ss-property, ★-property, ds-property), including the *trusted subject*
+//!   escape hatch whose cost the paper's arguments quantify.
+//! * [`channels`] — channel-topology policies: which colours (regimes) may
+//!   communicate, used both by the separation kernel configuration and by the
+//!   "cut the wires" verification argument.
+
+#![forbid(unsafe_code)]
+
+pub mod blp;
+pub mod channels;
+pub mod error;
+pub mod lattice;
+pub mod level;
+
+pub use blp::{AccessMode, BlpEngine, BlpState, ObjectId, SubjectId};
+pub use channels::{ChannelPolicy, ColourId};
+pub use error::PolicyError;
+pub use lattice::Lattice;
+pub use level::{CategorySet, Classification, SecurityLevel};

@@ -1,0 +1,98 @@
+//! Property tests: every lattice implementation satisfies the lattice laws.
+
+use proptest::prelude::*;
+use sep_policy::lattice::{Lattice, Subset64, TwoPoint};
+use sep_policy::level::{CategorySet, Classification, SecurityLevel};
+
+fn arb_level() -> impl Strategy<Value = SecurityLevel> {
+    (0u8..4, any::<u64>()).prop_map(|(rank, cats)| {
+        SecurityLevel::new(Classification::from_rank(rank).unwrap(), CategorySet(cats))
+    })
+}
+
+fn arb_subset() -> impl Strategy<Value = Subset64> {
+    any::<u64>().prop_map(Subset64)
+}
+
+fn arb_two_point() -> impl Strategy<Value = TwoPoint> {
+    prop_oneof![Just(TwoPoint::Low), Just(TwoPoint::High)]
+}
+
+macro_rules! lattice_laws {
+    ($modname:ident, $strat:expr) => {
+        mod $modname {
+            use super::*;
+
+            proptest! {
+                #[test]
+                fn le_reflexive(a in $strat) {
+                    prop_assert!(Lattice::le(&a, &a));
+                }
+
+                #[test]
+                fn le_antisymmetric(a in $strat, b in $strat) {
+                    if Lattice::le(&a, &b) && Lattice::le(&b, &a) {
+                        prop_assert_eq!(a, b);
+                    }
+                }
+
+                #[test]
+                fn le_transitive(a in $strat, b in $strat, c in $strat) {
+                    if Lattice::le(&a, &b) && Lattice::le(&b, &c) {
+                        prop_assert!(Lattice::le(&a, &c));
+                    }
+                }
+
+                #[test]
+                fn lub_is_least_upper_bound(a in $strat, b in $strat, c in $strat) {
+                    let j = a.lub(&b);
+                    prop_assert!(Lattice::le(&a, &j));
+                    prop_assert!(Lattice::le(&b, &j));
+                    if Lattice::le(&a, &c) && Lattice::le(&b, &c) {
+                        prop_assert!(Lattice::le(&j, &c));
+                    }
+                }
+
+                #[test]
+                fn glb_is_greatest_lower_bound(a in $strat, b in $strat, c in $strat) {
+                    let m = a.glb(&b);
+                    prop_assert!(Lattice::le(&m, &a));
+                    prop_assert!(Lattice::le(&m, &b));
+                    if Lattice::le(&c, &a) && Lattice::le(&c, &b) {
+                        prop_assert!(Lattice::le(&c, &m));
+                    }
+                }
+
+                #[test]
+                fn lub_commutative_idempotent(a in $strat, b in $strat) {
+                    prop_assert_eq!(a.lub(&b), b.lub(&a));
+                    prop_assert_eq!(a.lub(&a), a);
+                    prop_assert_eq!(a.glb(&b), b.glb(&a));
+                    prop_assert_eq!(a.glb(&a), a);
+                }
+
+                #[test]
+                fn lub_associative(a in $strat, b in $strat, c in $strat) {
+                    prop_assert_eq!(a.lub(&b).lub(&c), a.lub(&b.lub(&c)));
+                    prop_assert_eq!(a.glb(&b).glb(&c), a.glb(&b.glb(&c)));
+                }
+
+                #[test]
+                fn bounds(a in $strat) {
+                    prop_assert!(Lattice::le(&Lattice::bottom(), &a));
+                    prop_assert!(Lattice::le(&a, &Lattice::top()));
+                }
+
+                #[test]
+                fn absorption(a in $strat, b in $strat) {
+                    prop_assert_eq!(a.lub(&a.glb(&b)), a);
+                    prop_assert_eq!(a.glb(&a.lub(&b)), a);
+                }
+            }
+        }
+    };
+}
+
+lattice_laws!(security_level, arb_level());
+lattice_laws!(subset64, arb_subset());
+lattice_laws!(two_point, arb_two_point());

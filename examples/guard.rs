@@ -1,0 +1,81 @@
+//! The ACCAT Guard: two-way message exchange between a LOW and a HIGH
+//! system, with a Security Watch Officer reviewing every downgrade.
+//!
+//! ```sh
+//! cargo run --example guard
+//! ```
+
+use sep_components::guard::{AuditEntry, DirtyWordOfficer, Guard};
+use sep_components::util::{Sink, Source};
+use sep_core::spec::SystemSpec;
+use sep_core::traced::Traced;
+
+fn main() {
+    let mut spec = SystemSpec::new();
+
+    let low_msgs = vec![
+        b"REQUEST: status of operation GARDEN".to_vec(),
+        b"REQUEST: weather for sector 7".to_vec(),
+    ];
+    let high_msgs = vec![
+        b"GARDEN proceeding on schedule".to_vec(),
+        b"forecast: rain, visibility poor".to_vec(),
+        b"NOFORN asset list follows".to_vec(),
+    ];
+
+    let low = spec.add("low-system", Box::new(Source::new("low-system", low_msgs)));
+    let high = spec.add("high-system", Box::new(Source::new("high-system", high_msgs)));
+    let guard = spec.add(
+        "guard",
+        Box::new(Guard::new(Box::new(DirtyWordOfficer::new(&["NOFORN", "SECRET"])))),
+    );
+    let (high_sink, _h_log) = Traced::new(Box::new(Sink::new("high-inbox")));
+    let high_inbox = spec.add("high-inbox", high_sink);
+    let (low_sink, low_log) = Traced::new(Box::new(Sink::new("low-inbox")));
+    let low_inbox = spec.add("low-inbox", low_sink);
+
+    spec.connect(low, "out", guard, "low.in", 8);
+    spec.connect(high, "out", guard, "high.in", 8);
+    spec.connect(guard, "high.out", high_inbox, "in", 8);
+    spec.connect(guard, "low.out", low_inbox, "in", 8);
+
+    // Run the same design on the separation kernel.
+    let n = spec.len() as u64;
+    let mut kernel = spec.build_kernel().expect("boots");
+    kernel.run(40 * n);
+
+    println!("the LOW system received:");
+    for frame in low_log.borrow().get("in/rx").cloned().unwrap_or_default() {
+        println!("  {:?}", String::from_utf8_lossy(&frame));
+    }
+
+    // Pull the guard's audit log out of its regime.
+    let guard_record = &mut kernel.regimes[2];
+    let native = guard_record.native.as_mut().expect("guard is native");
+    let rc = native
+        .as_any()
+        .downcast_mut::<sep_components::component::RegimeComponent>()
+        .expect("regime component");
+    let g = rc
+        .component_mut()
+        .as_any()
+        .downcast_mut::<Guard>()
+        .expect("guard component");
+    println!("\nguard audit log:");
+    for entry in &g.audit {
+        match entry {
+            AuditEntry::PassedUp(len) => println!("  LOW->HIGH passed ({len} bytes)"),
+            AuditEntry::Released(m) => {
+                println!("  HIGH->LOW RELEASED: {:?}", String::from_utf8_lossy(m))
+            }
+            AuditEntry::Denied(m) => {
+                println!("  HIGH->LOW DENIED:   {:?}", String::from_utf8_lossy(m))
+            }
+        }
+    }
+    println!(
+        "\npassed up: {}, released: {}, denied: {}",
+        g.passed_up, g.released, g.denied
+    );
+    assert_eq!(g.denied, 1, "the NOFORN message was withheld");
+}

@@ -1,0 +1,103 @@
+//! The Secure Network Front End: the paper's worked design, end to end.
+//!
+//! Prints the topology (the paper's figure), runs honest traffic, then runs
+//! a malicious red component against each censor policy and reports the
+//! covert bandwidth it achieved over the cleartext bypass.
+//!
+//! ```sh
+//! cargo run --example snfe
+//! ```
+
+use sep_components::snfe::{
+    build_snfe_network, decode_exfiltration, CensorPolicy, ExfilMode, Header, MaliciousRed,
+    RedComponent, HEADER_LEN,
+};
+use sep_covert::channel::score_transfer;
+use sep_policy::channels::ChannelPolicy;
+
+const KEY: [u32; 4] = [0xAAAA, 0xBBBB, 0xCCCC, 0xDDDD];
+
+fn network_frames(snfe: &sep_components::snfe::SnfeNet) -> Vec<Vec<u8>> {
+    snfe.network
+        .traces
+        .trace("network")
+        .iter()
+        .filter(|e| e.starts_with("recv in "))
+        .map(|e| {
+            let hex = e.rsplit(' ').next().unwrap();
+            (0..hex.len())
+                .step_by(2)
+                .map(|i| u8::from_str_radix(&hex[i..i + 2], 16).unwrap())
+                .collect()
+        })
+        .collect()
+}
+
+fn main() {
+    // The topology — exactly the paper's figure, as a channel policy.
+    let (policy, [host, red, crypto, censor, black, network]) = ChannelPolicy::snfe();
+    println!("SNFE channel policy (the paper's figure):");
+    for (a, b) in policy.edges() {
+        println!("  {} -> {}", policy.name(a).unwrap(), policy.name(b).unwrap());
+    }
+    println!(
+        "  red -> black direct? {}   host can reach network? {}\n",
+        policy.is_allowed(red, black),
+        policy.reachable(host, network)
+    );
+    let _ = (crypto, censor);
+
+    // Honest traffic.
+    let frames: Vec<Vec<u8>> = (0..10)
+        .map(|i| format!("host datagram {i}: meet at the usual place").into_bytes())
+        .collect();
+    let mut snfe = build_snfe_network(
+        Box::new(RedComponent::new(1)),
+        CensorPolicy::strict(),
+        KEY,
+        frames,
+    );
+    snfe.network.run(100);
+    let net = network_frames(&snfe);
+    println!("honest run: {} frames reached the network, all encrypted", net.len());
+    let any_cleartext = net
+        .iter()
+        .any(|f| f.windows(9).any(|w| w == b"datagram "));
+    println!("  cleartext visible on the network: {any_cleartext}\n");
+
+    // Malicious red vs the censor dial (experiment E4 in miniature).
+    let secret = b"THE-CODEWORD-IS-SWORDFISH";
+    println!("malicious red exfiltrating {} bytes via the bypass pad byte:", secret.len());
+    println!("  {:<22} {:>8} {:>10} {:>12}", "censor policy", "headers", "bit-err", "bits/round");
+    for (name, policy) in [
+        ("off (no censor)", CensorPolicy::off()),
+        ("format checks", CensorPolicy::format_only()),
+        ("format+canonical", CensorPolicy::canonical()),
+        ("strict (+rate limit)", CensorPolicy::strict()),
+    ] {
+        let rounds = 300u64;
+        let mut snfe = build_snfe_network(
+            Box::new(MaliciousRed::new(ExfilMode::PadByte, secret.to_vec())),
+            policy,
+            KEY,
+            (0..secret.len())
+                .map(|i| format!("cover traffic {i}").into_bytes())
+                .collect(),
+        );
+        snfe.network.run(rounds);
+        let headers: Vec<Header> = network_frames(&snfe)
+            .iter()
+            .filter_map(|f| Header::decode(&f[..HEADER_LEN]))
+            .collect();
+        let recovered = decode_exfiltration(ExfilMode::PadByte, &headers);
+        let score = score_transfer(secret, &recovered, rounds);
+        println!(
+            "  {:<22} {:>8} {:>9.1}% {:>12.4}",
+            name,
+            headers.len(),
+            score.error_rate * 100.0,
+            score.bits_per_round
+        );
+    }
+    println!("\nthe censor dial reduces the bypass's covert bandwidth, as the paper claims");
+}

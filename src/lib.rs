@@ -1,0 +1,9 @@
+//! Umbrella package for the separation-kernel reproduction workspace.
+//!
+//! This root crate exists to host the repository-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); the substance lives in the
+//! `sep-*` workspace crates, re-exported here via [`sep_core`].
+
+#![forbid(unsafe_code)]
+
+pub use sep_core::*;

@@ -1,0 +1,181 @@
+//! End-to-end multilevel service: auth + file-server + printer-server
+//! composed on the separation kernel, exercised through user terminals.
+
+use sep_components::auth::AuthServer;
+use sep_components::fileserver::{request as fsreq, FileServer, FsClient};
+use sep_components::printserver::PrintServer;
+use sep_components::proto::{MsgReader, Status};
+use sep_components::util::{Sink, Source};
+use sep_core::spec::SystemSpec;
+use sep_core::traced::{PortLog, Traced};
+use sep_policy::level::{Classification, SecurityLevel};
+
+fn secret() -> SecurityLevel {
+    SecurityLevel::plain(Classification::Secret)
+}
+
+fn unclass() -> SecurityLevel {
+    SecurityLevel::plain(Classification::Unclassified)
+}
+
+/// The full MLS service: two user terminals (scripted sources), the auth
+/// server, the file server, the print server, and the physical printer
+/// (sink). Returns the kernel plus the printer-paper log and the users'
+/// response logs.
+fn build_system() -> (SystemSpec, PortLog, Vec<PortLog>) {
+    let mut spec = SystemSpec::new();
+
+    // Scripted user sessions: spool a file, then print it.
+    let low_script = [fsreq::create("spool/low-report", unclass()),
+        fsreq::write("spool/low-report", unclass(), b"low body"),
+        PrintServer::submit_request("spool/low-report", unclass())];
+    let high_script = [
+        fsreq::create("spool/high-report", secret()),
+        fsreq::write("spool/high-report", secret(), b"high body"),
+        fsreq::read("spool/low-report", unclass()), // read down: fine
+        PrintServer::submit_request("spool/high-report", secret())];
+
+    // Users talk to the FS on their dedicated lines and to the print
+    // server on others; the scripted Source just emits frames in order, so
+    // each user gets one source per service line.
+    let low_fs = spec.add("low-fs-line", Box::new(Source::new("low-fs-line", low_script[..2].to_vec())));
+    let high_fs = spec.add(
+        "high-fs-line",
+        Box::new(Source::new("high-fs-line", high_script[..3].to_vec())),
+    );
+    let low_ps = spec.add(
+        "low-ps-line",
+        Box::new(Source::new("low-ps-line", vec![low_script[2].clone()])),
+    );
+    let high_ps = spec.add(
+        "high-ps-line",
+        Box::new(Source::new("high-ps-line", vec![high_script[3].clone()])),
+    );
+
+    let fs = FileServer::new(vec![
+        FsClient {
+            name: "low".into(),
+            level: unclass(),
+            special_delete: false,
+        },
+        FsClient {
+            name: "high".into(),
+            level: secret(),
+            special_delete: false,
+        },
+        FsClient {
+            name: "printer".into(),
+            level: SecurityLevel::plain(Classification::TopSecret),
+            special_delete: true,
+        },
+    ]);
+    let (fs_traced, _fs_log) = Traced::new(Box::new(fs));
+    let fs_id = spec.add("file-server", fs_traced);
+
+    let (ps_traced, _ps_log) = Traced::new(Box::new(PrintServer::new(2)));
+    let ps_id = spec.add("print-server", ps_traced);
+
+    let (paper_traced, paper_log) = Traced::new(Box::new(Sink::new("paper")));
+    let paper = spec.add("paper", paper_traced);
+
+    let (low_rsp_traced, low_rsp_log) = Traced::new(Box::new(Sink::new("low-rsp")));
+    let low_rsp = spec.add("low-rsp", low_rsp_traced);
+    let (high_rsp_traced, high_rsp_log) = Traced::new(Box::new(Sink::new("high-rsp")));
+    let high_rsp = spec.add("high-rsp", high_rsp_traced);
+
+    // Dedicated lines, as the idealized design prescribes.
+    spec.connect(low_fs, "out", fs_id, "c0.req", 16);
+    spec.connect(high_fs, "out", fs_id, "c1.req", 16);
+    spec.connect(fs_id, "c0.rsp", low_rsp, "in", 16);
+    spec.connect(fs_id, "c1.rsp", high_rsp, "in", 16);
+    spec.connect(low_ps, "out", ps_id, "c0.submit", 16);
+    spec.connect(high_ps, "out", ps_id, "c1.submit", 16);
+    spec.connect(ps_id, "fs.req", fs_id, "c2.req", 16);
+    spec.connect(fs_id, "c2.rsp", ps_id, "fs.rsp", 16);
+    spec.connect(ps_id, "paper", paper, "in", 32);
+    (spec, paper_log, vec![low_rsp_log, high_rsp_log])
+}
+
+#[test]
+fn mls_print_pipeline_on_the_kernel() {
+    let (spec, paper_log, _user_logs) = build_system();
+    let n = spec.len() as u64;
+    let mut kernel = spec.build_kernel().unwrap();
+    kernel.run(120 * n);
+
+    let paper: Vec<u8> = paper_log
+        .borrow()
+        .get("in/rx")
+        .cloned()
+        .unwrap_or_default()
+        .concat();
+    let text = String::from_utf8(paper).unwrap();
+    // Both jobs printed with correct banners, never interleaved.
+    assert!(text.contains("CLASSIFICATION: UNCLASSIFIED"));
+    assert!(text.contains("low body"));
+    assert!(text.contains("CLASSIFICATION: SECRET"));
+    assert!(text.contains("high body"));
+    let low_pos = text.find("low body").unwrap();
+    let low_end = text[low_pos..].find("END OF JOB").unwrap() + low_pos;
+    let high_pos = text.find("high body").unwrap();
+    assert!(high_pos > low_end || high_pos + 9 < low_pos);
+}
+
+#[test]
+fn mls_policy_enforced_across_the_pipeline() {
+    let (spec, _paper, user_logs) = build_system();
+    let n = spec.len() as u64;
+    let mut kernel = spec.build_kernel().unwrap();
+    kernel.run(120 * n);
+
+    // The high user's read-down succeeded: third response carries data.
+    let high_rsps = user_logs[1].borrow().get("in/rx").cloned().unwrap_or_default();
+    assert_eq!(high_rsps.len(), 3);
+    let (status, payload) = fsreq::decode(&high_rsps[2]);
+    assert_eq!(status, Status::Ok);
+    let mut r = MsgReader::new(payload);
+    assert_eq!(r.bytes().unwrap(), b"low body");
+}
+
+#[test]
+fn mls_same_results_on_distributed_substrate() {
+    let (spec, paper_log, _logs) = build_system();
+    let mut net = spec.build_network();
+    net.run(160);
+    let paper: Vec<u8> = paper_log
+        .borrow()
+        .get("in/rx")
+        .cloned()
+        .unwrap_or_default()
+        .concat();
+    let text = String::from_utf8(paper).unwrap();
+    assert!(text.contains("low body") && text.contains("high body"));
+}
+
+#[test]
+fn auth_component_integrates() {
+    // Terminal logs in and a server resolves the token, across the kernel.
+    let mut spec = SystemSpec::new();
+    let term = spec.add(
+        "terminal",
+        Box::new(Source::new(
+            "terminal",
+            vec![AuthServer::login_request("alice", "wonderland")],
+        )),
+    );
+    let mut auth = AuthServer::new(1);
+    auth.add_user("alice", "wonderland", secret());
+    let auth_id = spec.add("auth", Box::new(auth));
+    let (rsp_traced, rsp_log) = Traced::new(Box::new(Sink::new("rsp")));
+    let rsp = spec.add("rsp", rsp_traced);
+    spec.connect(term, "out", auth_id, "t0.req", 4);
+    spec.connect(auth_id, "t0.rsp", rsp, "in", 4);
+    let mut kernel = spec.build_kernel().unwrap();
+    kernel.run(40);
+    let rsps = rsp_log.borrow().get("in/rx").cloned().unwrap_or_default();
+    assert_eq!(rsps.len(), 1);
+    let mut r = MsgReader::new(&rsps[0]);
+    assert_eq!(r.u8().unwrap(), Status::Ok.code());
+    let _token = r.u32().unwrap();
+    assert_eq!(r.u8().unwrap(), Classification::Secret.rank());
+}

@@ -1,0 +1,107 @@
+//! Cross-crate verification experiments in test form: the SWAP verdict
+//! matrix (E3) and the wire-cutting argument (E9).
+
+use sep_flow::swap::{ifa_verdict_for_all_register_classes, SwapMachine};
+use sep_model::check::SeparabilityChecker;
+use sep_model::cut::{check_isolation, cut, verify_channels_exhaustive, CutVerificationError};
+use sep_model::objects::ObjectSystem;
+
+#[test]
+fn e3_swap_verdict_matrix() {
+    // IFA: every classification of the shared register file fails.
+    let verdicts = ifa_verdict_for_all_register_classes();
+    assert_eq!(verdicts.len(), 4);
+    for (class, violations) in &verdicts {
+        assert!(!violations.is_empty(), "IFA certified SWAP under {class:?}?!");
+    }
+    // Proof of Separability: the same semantics is verified, exhaustively.
+    let machine = SwapMachine::new(3);
+    let report = SeparabilityChecker::new().check(&machine, &machine.abstractions());
+    assert!(report.is_separable(), "{report}");
+    // The contrast is the experiment: syntactic rejection, semantic proof.
+}
+
+/// The SNFE's channel structure as a shared-object system: red and black
+/// sharing exactly two objects — the crypto path and the bypass.
+fn snfe_object_system() -> (ObjectSystem, Vec<sep_model::objects::ObjRef>) {
+    let mut sys = ObjectSystem::new(4);
+    let red = sys.add_colour("red");
+    let black = sys.add_colour("black");
+    let red_state = sys.add_object("red_state", 0);
+    let crypto_path = sys.add_object("crypto_path", 0);
+    let bypass = sys.add_object("bypass", 0);
+    let black_state = sys.add_object("black_state", 0);
+    // Red: compute, place payload on crypto path, header on bypass.
+    sys.add_op(red, "compute", vec![red_state], vec![red_state], |v| vec![v[0] + 1]);
+    sys.add_op(red, "send_payload", vec![red_state], vec![crypto_path], |v| vec![v[0]]);
+    sys.add_op(red, "send_header", vec![red_state], vec![bypass], |v| vec![v[0] & 1]);
+    // Black: read both, accumulate.
+    sys.add_op(black, "recv", vec![crypto_path, bypass, black_state], vec![black_state], |v| {
+        vec![v[0] + v[1] + v[2]]
+    });
+    (sys, vec![crypto_path, bypass])
+}
+
+#[test]
+fn e9_cutting_declared_channels_proves_their_exclusivity() {
+    let (sys, channels) = snfe_object_system();
+    // Uncut: red and black visibly share objects.
+    assert!(check_isolation(&sys).is_err());
+    // Cut the two declared channels: isolation, statically and by PoS.
+    let report = verify_channels_exhaustive(&sys, &channels).expect("channels are exclusive");
+    assert!(report.is_separable());
+}
+
+#[test]
+fn e9_hidden_channel_is_exposed() {
+    let (mut sys, channels) = snfe_object_system();
+    // A developer "optimization": red and black share a scratch cell.
+    let scratch = sys.add_object("shared_scratch", 0);
+    sys.add_op(0, "stash", vec![sys.object_by_name("red_state").unwrap()], vec![scratch], |v| {
+        vec![v[0]]
+    });
+    sys.add_op(1, "peek", vec![scratch, sys.object_by_name("black_state").unwrap()],
+        vec![sys.object_by_name("black_state").unwrap()], |v| vec![v[0] + v[1]]);
+    match verify_channels_exhaustive(&sys, &channels) {
+        Err(CutVerificationError::SharedObjects(ws)) => {
+            assert!(ws.iter().any(|w| w.object == "shared_scratch"));
+        }
+        other => panic!("hidden channel missed: {other:?}"),
+    }
+}
+
+#[test]
+fn e9_cut_system_keeps_local_behaviour() {
+    // Cutting only aliases channel references; each side's own computation
+    // is untouched.
+    let (sys, channels) = snfe_object_system();
+    let cut_sys = cut(&sys, &channels);
+    assert_eq!(cut_sys.system.programs[0].len(), sys.programs[0].len());
+    assert_eq!(cut_sys.system.programs[1].len(), sys.programs[1].len());
+    // Two referencing colours per channel → four aliases.
+    assert_eq!(cut_sys.aliases.len(), 4);
+}
+
+#[test]
+fn ifa_and_pos_agree_on_straightline_mls_programs() {
+    // For ordinary (non-interpretive) programs the two techniques agree;
+    // the divergence is specifically about kernels. Upward flow: both OK.
+    use sep_flow::{certify, parse};
+    use sep_policy::lattice::TwoPoint;
+    use std::collections::HashMap;
+
+    let program = parse(
+        "var l : low; var h : high;
+         h := l + 1;
+         l := l * 2;",
+    )
+    .unwrap();
+    let classes = HashMap::from([
+        ("low".to_string(), TwoPoint::Low),
+        ("high".to_string(), TwoPoint::High),
+    ]);
+    assert!(certify(&program, &classes).unwrap().is_empty());
+
+    let leaky = parse("var l : low; var h : high; l := h;").unwrap();
+    assert_eq!(certify(&leaky, &classes).unwrap().len(), 1);
+}
