@@ -126,7 +126,11 @@ fn run(secret: &[u8], quantum: Option<u64>, fixed_slot: bool) -> (f64, f64) {
     k.run(rounds);
     let samples = {
         let low = k.regimes[1].native.as_mut().unwrap();
-        low.as_any().downcast_ref::<LowObserver>().unwrap().samples.clone()
+        low.as_any()
+            .downcast_ref::<LowObserver>()
+            .unwrap()
+            .samples
+            .clone()
     };
     if samples.len() < 4 {
         return (0.5, 0.0);
@@ -152,7 +156,12 @@ fn main() {
     println!("this — operation *selection* is constrained, operation *timing* is not.\n");
 
     let secret = b"TIMING";
-    header(&["scheduling", "bit error", "covert bits/round", "channel state"]);
+    header(&[
+        "scheduling",
+        "bit error",
+        "covert bits/round",
+        "channel state",
+    ]);
     for (name, quantum, fixed) in [
         ("SUE voluntary yield (paper-faithful)", None, false),
         ("preemption quantum = 8", Some(8), false),

@@ -6,10 +6,11 @@
 //! measure our two kernels' *mechanism*: source lines, system-call kinds,
 //! and — dynamically — the mediation work per application operation.
 
-use sep_bench::{header, row};
+use sep_bench::{header, row, timed_instr};
 use sep_kernel::config::DeviceSpec;
 use sep_kernel::conventional::{ConvAction, ConvIo, ConvProcess, ConventionalKernel};
 use sep_kernel::kernel::SeparationKernel;
+use sep_obs::RunReport;
 use sep_policy::level::{Classification, SecurityLevel};
 
 /// Counts non-empty, non-comment source lines, excluding test modules.
@@ -123,10 +124,14 @@ buf:    .blkw 4
         sep_kernel::config::RegimeSpec::assembly("r1", &receiver(1)),
     ])
     .with_channel(0, 1, 4)
-    .with_channel(2, 3, 4);
+    .with_channel(2, 3, 4)
+    .with_trace(256);
     let _ = DeviceSpec::Serial; // devices exist; this workload needs none
     let mut k = SeparationKernel::boot(cfg).unwrap();
-    k.run(4000);
+    let ((), sep_timing) = timed_instr(|| {
+        k.run(4000);
+        ((), k.machine.instructions)
+    });
     let app_ops = k.stats.messages_sent;
     let kernel_touches = k.stats.syscalls.iter().sum::<u64>() + k.stats.swaps;
 
@@ -146,7 +151,13 @@ buf:    .blkw 4
     conv.run(60);
     let conv_app_ops = 4 * 50 * 4; // processes × cycles × ops per cycle
 
-    header(&["kernel", "app operations", "kernel interventions", "policy checks", "per app-op"]);
+    header(&[
+        "kernel",
+        "app operations",
+        "kernel interventions",
+        "policy checks",
+        "per app-op",
+    ]);
     row(&[
         "separation".into(),
         app_ops.to_string(),
@@ -168,5 +179,23 @@ buf:    .blkw 4
          policy checks (vs {:.2} per application operation on the conventional\n\
          kernel), and its per-operation intervention is a constant-cost copy/switch.",
         conv.stats.mediations as f64 / conv_app_ops as f64
+    );
+
+    // Machine-readable run report: the same evidence, diffable across runs.
+    // Everything except the `wall` section is deterministic.
+    let trace = k.machine.obs.disable_tracing();
+    let out = "BENCH_obs_e1_kernel_size.json";
+    RunReport::new("e1_kernel_size")
+        .param("steps", 4000u64)
+        .param("conv_rounds", 60u64)
+        .param("instructions", sep_timing.instructions)
+        .run_with_trace("separation", &k.machine.obs.metrics, trace.as_ref(), 32)
+        .run("conventional", &conv.obs.metrics)
+        .wall_ms("separation", sep_timing.ms)
+        .write_to(out)
+        .expect("write run report");
+    println!(
+        "\nwrote {out} ({} instructions retired; wall clock kept apart)",
+        sep_timing.instructions
     );
 }

@@ -24,14 +24,23 @@ fn main() {
                 n.to_string(),
                 report.states.to_string(),
                 report.total_checks().to_string(),
-                if report.is_separable() { "SEPARABLE".into() } else { "VIOLATED".to_string() },
+                if report.is_separable() {
+                    "SEPARABLE".into()
+                } else {
+                    "VIOLATED".to_string()
+                },
                 format!("{ms:.0}"),
             ]);
         }
     }
 
     println!("\n## mutant detection (two-regime register workload)\n");
-    header(&["mutation", "verdict", "violated conditions", "example witness"]);
+    header(&[
+        "mutation",
+        "verdict",
+        "violated conditions",
+        "example witness",
+    ]);
     for mutation in [
         Mutation::None,
         Mutation::SkipR3Save,
@@ -54,8 +63,16 @@ fn main() {
             .unwrap_or_else(|| "-".into());
         row(&[
             format!("{mutation:?}"),
-            if report.is_separable() { "SEPARABLE".into() } else { "VIOLATED".to_string() },
-            if conditions.is_empty() { "-".into() } else { conditions.join(",") },
+            if report.is_separable() {
+                "SEPARABLE".into()
+            } else {
+                "VIOLATED".to_string()
+            },
+            if conditions.is_empty() {
+                "-".into()
+            } else {
+                conditions.join(",")
+            },
             witness,
         ]);
     }

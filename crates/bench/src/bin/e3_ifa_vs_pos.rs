@@ -16,9 +16,16 @@ fn main() {
     for (class, violations) in ifa_verdict_for_all_register_classes() {
         row(&[
             format!("{class:?}"),
-            if violations.is_empty() { "certified".into() } else { "REJECTED".to_string() },
+            if violations.is_empty() {
+                "certified".into()
+            } else {
+                "REJECTED".to_string()
+            },
             violations.len().to_string(),
-            violations.first().map(|v| v.to_string()).unwrap_or_default(),
+            violations
+                .first()
+                .map(|v| v.to_string())
+                .unwrap_or_default(),
         ]);
     }
 
@@ -29,7 +36,11 @@ fn main() {
     row(&[
         report.states.to_string(),
         report.total_checks().to_string(),
-        if report.is_separable() { "SEPARABLE".into() } else { "VIOLATED".to_string() },
+        if report.is_separable() {
+            "SEPARABLE".into()
+        } else {
+            "VIOLATED".to_string()
+        },
     ]);
 
     println!("\n## agreement on ordinary (non-interpretive) programs\n");
@@ -38,12 +49,36 @@ fn main() {
         ("high".to_string(), TwoPoint::High),
     ]);
     let suite = [
-        ("upward assignment", "var l : low; var h : high; h := l + 1;", true),
-        ("downward assignment", "var l : low; var h : high; l := h;", false),
-        ("implicit via if", "var l : low; var h : high; if h = 0 then l := 1; end", false),
-        ("implicit via while", "var l : low; var h : high; while h > 0 do l := l + 1; h := h - 1; end", false),
-        ("guarded at level", "var h : high; var g : high; if g = 0 then h := 1; end", true),
-        ("array index leak", "var a : low[4]; var h : high; a[h] := 0;", false),
+        (
+            "upward assignment",
+            "var l : low; var h : high; h := l + 1;",
+            true,
+        ),
+        (
+            "downward assignment",
+            "var l : low; var h : high; l := h;",
+            false,
+        ),
+        (
+            "implicit via if",
+            "var l : low; var h : high; if h = 0 then l := 1; end",
+            false,
+        ),
+        (
+            "implicit via while",
+            "var l : low; var h : high; while h > 0 do l := l + 1; h := h - 1; end",
+            false,
+        ),
+        (
+            "guarded at level",
+            "var h : high; var g : high; if g = 0 then h := 1; end",
+            true,
+        ),
+        (
+            "array index leak",
+            "var a : low[4]; var h : high; a[h] := 0;",
+            false,
+        ),
         ("constant flows", "var l : low; l := 42;", true),
     ];
     header(&["program", "IFA verdict", "expected"]);
@@ -54,8 +89,16 @@ fn main() {
         assert_eq!(ok, expect_ok, "{name}");
         row(&[
             name.into(),
-            if ok { "certified".into() } else { "REJECTED".to_string() },
-            if expect_ok { "certified".into() } else { "REJECTED".to_string() },
+            if ok {
+                "certified".into()
+            } else {
+                "REJECTED".to_string()
+            },
+            if expect_ok {
+                "certified".into()
+            } else {
+                "REJECTED".to_string()
+            },
         ]);
     }
 

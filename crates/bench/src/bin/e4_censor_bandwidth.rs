@@ -6,13 +6,16 @@
 //! unverified code on the network side). Bandwidth is what the accomplice
 //! actually recovers, discounted by the bit error rate.
 
-use sep_bench::{header, row};
+use sep_bench::{header, row, timed_instr};
 use sep_components::component::TestIo;
-use sep_components::Component;
 use sep_components::snfe::{
     decode_exfiltration, Censor, CensorPolicy, ExfilMode, Header, MaliciousRed,
 };
+use sep_components::util::{Sink, Source};
+use sep_components::Component;
+use sep_core::SystemSpec;
 use sep_covert::channel::score_transfer;
+use sep_obs::RunReport;
 
 /// One host frame per round, one censor round per red round.
 fn run(mode: ExfilMode, policy: CensorPolicy, secret: &[u8]) -> (u64, usize, f64, f64) {
@@ -40,7 +43,12 @@ fn run(mode: ExfilMode, policy: CensorPolicy, secret: &[u8]) -> (u64, usize, f64
     }
     let recovered = decode_exfiltration(mode, &survivors);
     let score = score_transfer(secret, &recovered, rounds);
-    (rounds, survivors.len(), score.error_rate, score.bits_per_round)
+    (
+        rounds,
+        survivors.len(),
+        score.error_rate,
+        score.bits_per_round,
+    )
 }
 
 fn main() {
@@ -62,7 +70,13 @@ fn main() {
         ("header bursts (1 bit/packet)", ExfilMode::ExtraHeaders),
     ] {
         println!("## encoding: {mode_name}\n");
-        header(&["censor policy", "rounds", "headers passed", "bit error", "covert bits/round"]);
+        header(&[
+            "censor policy",
+            "rounds",
+            "headers passed",
+            "bit error",
+            "covert bits/round",
+        ]);
         for (policy_name, policy) in policies {
             let (rounds, passed, err, bw) = run(mode, policy, secret);
             row(&[
@@ -80,4 +94,71 @@ fn main() {
     println!("measured shape: format checks stop raw cleartext; canonicalization");
     println!("kills the free pad channel; rate limiting throttles what survives in");
     println!("semantic fields and timing.");
+
+    // The same SNFE pipeline hosted on both substrates, instrumented: the
+    // kernel run attributes channel traffic per regime, the network run
+    // counts wire traffic per node.
+    println!("\n## hosted realizations (observability report)\n");
+    let secret = b"OPERATION-SWORDFISH-AT-DAWN";
+    let rounds = (secret.len() * 8 + 16) as u64;
+    let cover: Vec<Vec<u8>> = (0..rounds)
+        .map(|r| format!("cover traffic {r}").into_bytes())
+        .collect();
+    let make_spec = || {
+        let mut spec = SystemSpec::new();
+        let host = spec.add("host", Box::new(Source::new("host", cover.clone())));
+        let red = spec.add(
+            "red",
+            Box::new(MaliciousRed::new(ExfilMode::PadByte, secret.to_vec())),
+        );
+        let censor = spec.add("censor", Box::new(Censor::new(CensorPolicy::canonical())));
+        let tap = spec.add("tap", Box::new(Sink::new("tap")));
+        spec.connect(host, "out", red, "host.in", 16);
+        spec.connect(red, "bypass.out", censor, "red.in", 16);
+        spec.connect(censor, "black.out", tap, "in", 16);
+        spec
+    };
+
+    let steps = rounds * 8;
+    let mut k = make_spec().build_kernel().expect("kernel realization");
+    k.machine.obs.enable_tracing(256);
+    let ((), timing) = timed_instr(|| {
+        k.run(steps);
+        ((), k.machine.instructions)
+    });
+    let mut net = make_spec().build_network();
+    net.run(rounds + 4);
+
+    header(&["substrate", "messages", "bytes moved", "mediations"]);
+    row(&[
+        "separation kernel".into(),
+        k.machine.obs.metrics.totals.messages.to_string(),
+        k.machine.obs.metrics.totals.channel_bytes.to_string(),
+        k.machine.obs.metrics.totals.policy_mediations.to_string(),
+    ]);
+    row(&[
+        "distributed network".into(),
+        net.obs.metrics.totals.wire_messages.to_string(),
+        net.obs.metrics.totals.wire_bytes.to_string(),
+        net.obs.metrics.totals.policy_mediations.to_string(),
+    ]);
+
+    let trace = k.machine.obs.disable_tracing();
+    let out = "BENCH_obs_e4_censor_bandwidth.json";
+    RunReport::new("e4_censor_bandwidth")
+        .param("mode", "pad-byte")
+        .param("policy", "canonical")
+        .param("steps", steps)
+        .param("rounds", rounds)
+        .run_with_trace("kernel", &k.machine.obs.metrics, trace.as_ref(), 24)
+        .run("network", &net.obs.metrics)
+        .wall_ms("kernel", timing.ms)
+        .write_to(out)
+        .expect("write run report");
+    // Native regimes retire no machine instructions; the switch count is
+    // the kernel-side cost figure here.
+    println!(
+        "\nwrote {out} ({} context switches)",
+        k.machine.obs.metrics.totals.switches
+    );
 }

@@ -2,17 +2,25 @@
 //! trusted-process count on each design.
 
 use sep_bench::{header, row};
-use sep_components::guard::{ApproveAll, DenyAll, DirtyWordOfficer, Guard, ScriptedOfficer, WatchOfficer};
+use sep_components::guard::{
+    ApproveAll, DenyAll, DirtyWordOfficer, Guard, ScriptedOfficer, WatchOfficer,
+};
 use sep_components::util::{Sink, Source};
 use sep_core::spec::SystemSpec;
 use sep_core::traced::Traced;
 use sep_kernel::conventional::{ConvAction, ConvIo, ConvProcess, ConventionalKernel};
 use sep_policy::level::{Classification, SecurityLevel};
 
-fn run_guard(officer: Box<dyn WatchOfficer>, low_n: usize, high_n: usize) -> (u64, u64, u64, usize) {
+fn run_guard(
+    officer: Box<dyn WatchOfficer>,
+    low_n: usize,
+    high_n: usize,
+) -> (u64, u64, u64, usize) {
     let mut spec = SystemSpec::new();
     let low_msgs: Vec<Vec<u8>> = (0..low_n).map(|i| format!("up {i}").into_bytes()).collect();
-    let high_msgs: Vec<Vec<u8>> = (0..high_n).map(|i| format!("down {i}").into_bytes()).collect();
+    let high_msgs: Vec<Vec<u8>> = (0..high_n)
+        .map(|i| format!("down {i}").into_bytes())
+        .collect();
     let low = spec.add("low", Box::new(Source::new("low", low_msgs)));
     let high = spec.add("high", Box::new(Source::new("high", high_msgs)));
     let guard = spec.add("guard", Box::new(Guard::new(officer)));
@@ -69,12 +77,26 @@ fn main() {
     println!("# E5: the ACCAT Guard\n");
 
     println!("## separation design: flow by direction and officer\n");
-    header(&["officer", "LOW→HIGH passed", "HIGH→LOW released", "denied", "unapproved leaks"]);
+    header(&[
+        "officer",
+        "LOW→HIGH passed",
+        "HIGH→LOW released",
+        "denied",
+        "unapproved leaks",
+    ]);
     for (name, officer) in [
         ("deny all", Box::new(DenyAll) as Box<dyn WatchOfficer>),
         ("approve all", Box::new(ApproveAll)),
-        ("dirty words", Box::new(DirtyWordOfficer::new(&["down 3", "down 7"]))),
-        ("scripted 50/50", Box::new(ScriptedOfficer::new(&[true, false, true, false, true, false, true, false, true, false]))),
+        (
+            "dirty words",
+            Box::new(DirtyWordOfficer::new(&["down 3", "down 7"])),
+        ),
+        (
+            "scripted 50/50",
+            Box::new(ScriptedOfficer::new(&[
+                true, false, true, false, true, false, true, false, true, false,
+            ])),
+        ),
     ] {
         let (up, released, denied, leaked) = run_guard(officer, 10, 10);
         let unapproved = leaked as u64 - released.min(leaked as u64);
@@ -105,7 +127,11 @@ fn main() {
     );
     conv.run(12);
 
-    header(&["design", "kernel policy exceptions", "who checks message content?"]);
+    header(&[
+        "design",
+        "kernel policy exceptions",
+        "who checks message content?",
+    ]);
     row(&[
         "separation kernel + Guard component".into(),
         "0 (the kernel has no policy to except)".into(),

@@ -19,10 +19,18 @@ fn snfe_spec(frames: usize) -> (SystemSpec, Vec<PortLog>) {
     let host_frames: Vec<Vec<u8>> = (0..frames)
         .map(|i| format!("payload {i}").into_bytes())
         .collect();
-    let host = add(&mut spec, "host", Box::new(Source::new("host", host_frames)));
+    let host = add(
+        &mut spec,
+        "host",
+        Box::new(Source::new("host", host_frames)),
+    );
     let red = add(&mut spec, "red", Box::new(RedComponent::new(1)));
     let crypto = add(&mut spec, "crypto", Box::new(CryptoBox::new([5, 6, 7, 8])));
-    let censor = add(&mut spec, "censor", Box::new(Censor::new(CensorPolicy::canonical())));
+    let censor = add(
+        &mut spec,
+        "censor",
+        Box::new(Censor::new(CensorPolicy::canonical())),
+    );
     let black = add(&mut spec, "black", Box::new(BlackComponent::new()));
     let net = add(&mut spec, "network", Box::new(Sink::new("network")));
     spec.connect(host, "out", red, "host.in", 64);
@@ -37,7 +45,15 @@ fn snfe_spec(frames: usize) -> (SystemSpec, Vec<PortLog>) {
 fn main() {
     println!("# E6: indistinguishability of the two substrates\n");
 
-    header(&["frames", "streams compared", "divergent streams", "net frames", "kernel steps/msg", "dist ms", "kernel ms"]);
+    header(&[
+        "frames",
+        "streams compared",
+        "divergent streams",
+        "net frames",
+        "kernel steps/msg",
+        "dist ms",
+        "kernel ms",
+    ]);
     for frames in [4usize, 16, 64] {
         let rounds = (frames as u64 + 30) * 2;
 
@@ -64,7 +80,11 @@ fn main() {
                 divergent += 1;
             }
         }
-        let net_frames = logs_a[5].borrow().get("in/rx").map(|v| v.len()).unwrap_or(0);
+        let net_frames = logs_a[5]
+            .borrow()
+            .get("in/rx")
+            .map(|v| v.len())
+            .unwrap_or(0);
         let steps_per_msg = kernel.stats.steps as f64 / kernel.stats.messages_sent.max(1) as f64;
         let _ = net.round();
         row(&[

@@ -103,10 +103,17 @@ fn separation_run() -> (usize, usize, usize, u64) {
         for j in 0..2 {
             let name = format!("spool/u{u}-{j}");
             script.push(fsreq::create(&name, level));
-            script.push(fsreq::write(&name, level, format!("user {u} job {j}").as_bytes()));
+            script.push(fsreq::write(
+                &name,
+                level,
+                format!("user {u} job {j}").as_bytes(),
+            ));
             submits.push(PrintServer::submit_request(&name, level));
         }
-        user_ids.push(spec.add(&format!("user{u}"), Box::new(Source::new(&format!("user{u}"), script))));
+        user_ids.push(spec.add(
+            &format!("user{u}"),
+            Box::new(Source::new(&format!("user{u}"), script)),
+        ));
         submit_ids.push(spec.add(
             &format!("user{u}-print"),
             Box::new(Source::new(&format!("user{u}-print"), submits)),
@@ -143,7 +150,11 @@ fn separation_run() -> (usize, usize, usize, u64) {
         .downcast_mut::<sep_core::traced::Traced>()
         .map(|t| t as &mut dyn sep_components::Component);
     let _ = fs_ref;
-    let paper_frames = paper_log.borrow().get("in/rx").map(|v| v.len()).unwrap_or(0);
+    let paper_frames = paper_log
+        .borrow()
+        .get("in/rx")
+        .map(|v| v.len())
+        .unwrap_or(0);
     // Each job produces banner + body + trailer = 3 frames.
     (JOBS, 0, paper_frames / 3, 0)
 }

@@ -2,12 +2,13 @@
 //! storm, isolation of interrupt traffic, the misrouting mutant, and the
 //! DMA threat.
 
-use sep_bench::{header, row, timed};
+use sep_bench::{header, row, timed, timed_instr};
 use sep_kernel::config::{DeviceSpec, KernelConfig, Mutation, RegimeSpec};
 use sep_kernel::kernel::SeparationKernel;
 use sep_kernel::verify::KernelSystem;
-use sep_model::check::SeparabilityChecker;
 use sep_machine::asm::assemble;
+use sep_model::check::SeparabilityChecker;
+use sep_obs::RunReport;
 
 /// A regime that counts clock interrupts through its vector table.
 const CLOCKED: &str = "
@@ -35,21 +36,43 @@ counter: .word 0
 fn main() {
     println!("# E8: interrupts, latency, isolation, and the DMA threat\n");
 
-    // Latency and throughput under different clock rates.
+    // Latency and throughput under different clock rates. Each sweep point
+    // becomes one run in the observability report; the fastest clock also
+    // carries an event trace so interrupt fielding/delivery is visible.
     println!("## interrupt delivery under load\n");
-    header(&["clock period", "steps", "fielded", "delivered", "handler runs", "bystander progress"]);
+    let mut report = RunReport::new("e8_interrupts").param("steps", 3000u64);
+    header(&[
+        "clock period",
+        "steps",
+        "fielded",
+        "delivered",
+        "handler runs",
+        "bystander progress",
+    ]);
     for period in [4u32, 8, 16, 64] {
-        let cfg = KernelConfig::new(vec![
+        let mut cfg = KernelConfig::new(vec![
             RegimeSpec::assembly("clocked", CLOCKED).with_device(DeviceSpec::Clock { period }),
             RegimeSpec::assembly("bystander", BYSTANDER),
         ]);
+        if period == 4 {
+            cfg = cfg.with_trace(128);
+        }
         let mut k = SeparationKernel::boot(cfg).unwrap();
         let steps = 3000u64;
-        k.run(steps);
+        let ((), timing) = timed_instr(|| {
+            k.run(steps);
+            ((), k.machine.instructions)
+        });
         let ticks_addr = assemble(CLOCKED).unwrap().symbol("ticks").unwrap();
-        let ticks = k.machine.mem.read_word(k.regimes[0].partition_base + ticks_addr as u32);
+        let ticks = k
+            .machine
+            .mem
+            .read_word(k.regimes[0].partition_base + ticks_addr as u32);
         let counter_addr = assemble(BYSTANDER).unwrap().symbol("counter").unwrap();
-        let counter = k.machine.mem.read_word(k.regimes[1].partition_base + counter_addr as u32);
+        let counter = k
+            .machine
+            .mem
+            .read_word(k.regimes[1].partition_base + counter_addr as u32);
         row(&[
             period.to_string(),
             steps.to_string(),
@@ -58,6 +81,11 @@ fn main() {
             ticks.to_string(),
             counter.to_string(),
         ]);
+        let name = format!("clock_period_{period}");
+        let trace = k.machine.obs.disable_tracing();
+        report = report
+            .run_with_trace(&name, &k.machine.obs.metrics, trace.as_ref(), 24)
+            .wall_ms(&name, timing.ms);
     }
 
     // Interrupt isolation under Proof of Separability, correct vs misrouted.
@@ -75,9 +103,13 @@ start:  INC R1
         BR start
 ";
     header(&["routing", "states", "checks", "verdict", "ms"]);
-    for (name, mutation) in [("correct", Mutation::None), ("misrouted", Mutation::MisrouteInterrupts)] {
+    for (name, mutation) in [
+        ("correct", Mutation::None),
+        ("misrouted", Mutation::MisrouteInterrupts),
+    ] {
         let mut cfg = KernelConfig::new(vec![
-            RegimeSpec::assembly("owner", clocked_yielding).with_device(DeviceSpec::Clock { period: 3 }),
+            RegimeSpec::assembly("owner", clocked_yielding)
+                .with_device(DeviceSpec::Clock { period: 3 }),
             RegimeSpec::assembly("bystander", bystander_bounded),
         ]);
         cfg.mutation = mutation;
@@ -88,7 +120,11 @@ start:  INC R1
             name.into(),
             report.states.to_string(),
             report.total_checks().to_string(),
-            if report.is_separable() { "SEPARABLE".into() } else { "VIOLATED".to_string() },
+            if report.is_separable() {
+                "SEPARABLE".into()
+            } else {
+                "VIOLATED".to_string()
+            },
             format!("{ms:.0}"),
         ]);
     }
@@ -129,9 +165,10 @@ start:  INC R1
     }
 
     // Kernel-level refusal at generation time.
-    let refused = SeparationKernel::boot(KernelConfig::new(vec![
-        RegimeSpec::assembly("r", "HALT").with_device(DeviceSpec::DmaDisk),
-    ]));
+    let refused =
+        SeparationKernel::boot(KernelConfig::new(vec![
+            RegimeSpec::assembly("r", "HALT").with_device(DeviceSpec::DmaDisk)
+        ]));
     println!(
         "\nseparation kernel with a DMA device: {}\n",
         match refused {
@@ -146,4 +183,8 @@ start:  INC R1
     println!("excluded.\" Measured: delivery tracks device rate without disturbing the");
     println!("bystander; PoS verifies correct routing and catches misrouting; DMA");
     println!("demonstrably bypasses the MMU and is refused at system generation.");
+
+    let out = "BENCH_obs_e8_interrupts.json";
+    report.write_to(out).expect("write run report");
+    println!("\nwrote {out} (one run per clock period; period-4 carries the trace)");
 }

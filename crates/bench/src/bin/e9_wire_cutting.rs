@@ -10,15 +10,27 @@ use sep_model::objects::{ObjRef, ObjectSystem};
 fn chain(n: usize, hidden_channel: bool) -> (ObjectSystem, Vec<ObjRef>) {
     let mut sys = ObjectSystem::new(3);
     let colours: Vec<usize> = (0..n).map(|i| sys.add_colour(&format!("c{i}"))).collect();
-    let privates: Vec<ObjRef> = (0..n).map(|i| sys.add_object(&format!("p{i}"), 0)).collect();
+    let privates: Vec<ObjRef> = (0..n)
+        .map(|i| sys.add_object(&format!("p{i}"), 0))
+        .collect();
     let mut channels = Vec::new();
     for i in 0..n - 1 {
         let x = sys.add_object(&format!("x{i}"), 0);
         channels.push(x);
-        sys.add_op(colours[i], &format!("work{i}"), vec![privates[i]], vec![privates[i]], |v| {
-            vec![v[0] + 1]
-        });
-        sys.add_op(colours[i], &format!("send{i}"), vec![privates[i]], vec![x], |v| vec![v[0]]);
+        sys.add_op(
+            colours[i],
+            &format!("work{i}"),
+            vec![privates[i]],
+            vec![privates[i]],
+            |v| vec![v[0] + 1],
+        );
+        sys.add_op(
+            colours[i],
+            &format!("send{i}"),
+            vec![privates[i]],
+            vec![x],
+            |v| vec![v[0]],
+        );
         sys.add_op(
             colours[i + 1],
             &format!("recv{i}"),
@@ -29,7 +41,9 @@ fn chain(n: usize, hidden_channel: bool) -> (ObjectSystem, Vec<ObjRef>) {
     }
     if hidden_channel {
         let sneaky = sys.add_object("sneaky", 0);
-        sys.add_op(colours[0], "stash", vec![privates[0]], vec![sneaky], |v| vec![v[0]]);
+        sys.add_op(colours[0], "stash", vec![privates[0]], vec![sneaky], |v| {
+            vec![v[0]]
+        });
         sys.add_op(
             colours[n - 1],
             "peek",
@@ -45,7 +59,14 @@ fn main() {
     println!("# E9: the wire-cutting argument\n");
 
     println!("## honest systems: declared channels are provably the only channels\n");
-    header(&["colours", "objects", "channels cut", "verdict", "states", "ms"]);
+    header(&[
+        "colours",
+        "objects",
+        "channels cut",
+        "verdict",
+        "states",
+        "ms",
+    ]);
     for n in [2usize, 3, 4] {
         let (mut sys, channels) = chain(n, false);
         sys.state_limit = 500_000;
@@ -60,7 +81,14 @@ fn main() {
                 report.states.to_string(),
                 format!("{ms:.0}"),
             ]),
-            Err(e) => row(&[n.to_string(), "-".into(), "-".into(), format!("FAILED: {e}"), "-".into(), "-".into()]),
+            Err(e) => row(&[
+                n.to_string(),
+                "-".into(),
+                "-".into(),
+                format!("FAILED: {e}"),
+                "-".into(),
+                "-".into(),
+            ]),
         }
     }
 

@@ -17,7 +17,14 @@ pub fn row(cells: &[String]) {
 /// Prints a table header with separator.
 pub fn header(cells: &[&str]) {
     println!("| {} |", cells.join(" | "));
-    println!("|{}|", cells.iter().map(|c| "-".repeat(c.len() + 2)).collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cells
+            .iter()
+            .map(|c| "-".repeat(c.len() + 2))
+            .collect::<Vec<_>>()
+            .join("|")
+    );
 }
 
 /// Times a closure, returning (result, milliseconds).
@@ -25,6 +32,27 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
     let out = f();
     (out, start.elapsed().as_secs_f64() * 1000.0)
+}
+
+/// One timing measurement: wall-clock milliseconds (machine-dependent,
+/// reporting only) plus the deterministic instruction count the workload
+/// retired (identical on every machine and every run).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Timing {
+    /// Wall-clock milliseconds.
+    pub ms: f64,
+    /// Machine instructions retired during the closure.
+    pub instructions: u64,
+}
+
+/// Times a closure that also reports how many machine instructions it
+/// retired. Wall clock answers "how fast here"; the instruction count is
+/// the reproducible cost that belongs in a deterministic report.
+pub fn timed_instr<T>(f: impl FnOnce() -> (T, u64)) -> (T, Timing) {
+    let start = Instant::now();
+    let (out, instructions) = f();
+    let ms = start.elapsed().as_secs_f64() * 1000.0;
+    (out, Timing { ms, instructions })
 }
 
 /// The standard register workload used by the verification experiments:

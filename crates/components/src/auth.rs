@@ -14,9 +14,9 @@
 
 use crate::component::{Component, ComponentIo};
 use crate::proto::{MsgReader, MsgWriter, Status};
-use sep_policy::level::SecurityLevel;
 #[cfg(test)]
 use sep_policy::level::Classification;
+use sep_policy::level::SecurityLevel;
 use std::any::Any;
 
 /// Iterations of the toy password hash.
@@ -181,8 +181,16 @@ mod tests {
 
     fn server() -> AuthServer {
         let mut a = AuthServer::new(2);
-        a.add_user("alice", "wonderland", SecurityLevel::plain(Classification::Secret));
-        a.add_user("bob", "builder", SecurityLevel::plain(Classification::Unclassified));
+        a.add_user(
+            "alice",
+            "wonderland",
+            SecurityLevel::plain(Classification::Secret),
+        );
+        a.add_user(
+            "bob",
+            "builder",
+            SecurityLevel::plain(Classification::Unclassified),
+        );
         a
     }
 

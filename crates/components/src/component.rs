@@ -243,7 +243,10 @@ impl TestIo {
 
     /// Queues a frame for the component.
     pub fn push(&mut self, port: &str, msg: &[u8]) {
-        self.inbox.entry(port.to_string()).or_default().push_back(msg.to_vec());
+        self.inbox
+            .entry(port.to_string())
+            .or_default()
+            .push_back(msg.to_vec());
     }
 
     /// Everything the component sent on a port.
@@ -271,7 +274,10 @@ impl ComponentIo for TestIo {
     }
 
     fn send(&mut self, port: &str, msg: &[u8]) -> bool {
-        self.outbox.entry(port.to_string()).or_default().push(msg.to_vec());
+        self.outbox
+            .entry(port.to_string())
+            .or_default()
+            .push(msg.to_vec());
         true
     }
 
@@ -364,12 +370,9 @@ mod tests {
                 },
             ],
         );
-        let cfg = KernelConfig::new(vec![
-            RegimeSpec::native("a", a),
-            RegimeSpec::native("b", b),
-        ])
-        .with_channel(0, 1, 8)
-        .with_channel(1, 0, 8);
+        let cfg = KernelConfig::new(vec![RegimeSpec::native("a", a), RegimeSpec::native("b", b)])
+            .with_channel(0, 1, 8)
+            .with_channel(1, 0, 8);
         let mut k = SeparationKernel::boot(cfg).unwrap();
         // Seed: put a frame on channel 1 (towards component a).
         k.channels[1].restore_queue(vec![b"x".to_vec()]);

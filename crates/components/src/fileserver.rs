@@ -136,7 +136,11 @@ impl FileServer {
                 let blind = !me.level.dominates(&level);
                 let key = (name.clone(), level.class.rank());
                 if self.files.contains_key(&key) {
-                    return if blind { Ok(Vec::new()) } else { Err(Status::Full) };
+                    return if blind {
+                        Ok(Vec::new())
+                    } else {
+                        Err(Status::Full)
+                    };
                 }
                 self.files.insert(
                     key,
@@ -191,8 +195,8 @@ impl FileServer {
             op::DELETE => {
                 let (name, level) = read_name_level(&mut r)?;
                 r.finish().map_err(|_| Status::Bad)?;
-                let permitted = level == me.level
-                    || (me.special_delete && name.starts_with("spool/"));
+                let permitted =
+                    level == me.level || (me.special_delete && name.starts_with("spool/"));
                 if !permitted {
                     return Err(Status::Denied);
                 }
@@ -363,7 +367,10 @@ mod tests {
     #[test]
     fn create_write_read_roundtrip() {
         let mut fs = server();
-        assert_eq!(one_round(&mut fs, 0, request::create("memo", unclass())).0, Status::Ok);
+        assert_eq!(
+            one_round(&mut fs, 0, request::create("memo", unclass())).0,
+            Status::Ok
+        );
         assert_eq!(
             one_round(&mut fs, 0, request::write("memo", unclass(), b"hello")).0,
             Status::Ok
@@ -378,7 +385,11 @@ mod tests {
     fn read_up_is_denied() {
         let mut fs = server();
         one_round(&mut fs, 1, request::create("plans", secret()));
-        one_round(&mut fs, 1, request::write("plans", secret(), b"attack at dawn"));
+        one_round(
+            &mut fs,
+            1,
+            request::write("plans", secret(), b"attack at dawn"),
+        );
         let (status, _) = one_round(&mut fs, 0, request::read("plans", secret()));
         assert_eq!(status, Status::Denied);
         assert!(fs.denials > 0);
@@ -454,7 +465,10 @@ mod tests {
     fn same_name_different_levels_coexist() {
         let mut fs = server();
         one_round(&mut fs, 0, request::create("report", unclass()));
-        assert_eq!(one_round(&mut fs, 1, request::create("report", secret())).0, Status::Ok);
+        assert_eq!(
+            one_round(&mut fs, 1, request::create("report", secret())).0,
+            Status::Ok
+        );
         assert_eq!(fs.file_count(), 2);
     }
 
@@ -500,6 +514,9 @@ mod tests {
     fn create_duplicate_is_refused() {
         let mut fs = server();
         one_round(&mut fs, 0, request::create("x", unclass()));
-        assert_eq!(one_round(&mut fs, 0, request::create("x", unclass())).0, Status::Full);
+        assert_eq!(
+            one_round(&mut fs, 0, request::create("x", unclass())).0,
+            Status::Full
+        );
     }
 }

@@ -253,7 +253,10 @@ mod tests {
         let mut io = TestIo::new();
         io.push("high.in", b"classified answer");
         io.run(&mut g, 3);
-        assert!(io.sent("low.out").is_empty(), "nothing leaks without approval");
+        assert!(
+            io.sent("low.out").is_empty(),
+            "nothing leaks without approval"
+        );
         assert_eq!(g.denied, 1);
         assert!(matches!(g.audit.last(), Some(AuditEntry::Denied(_))));
     }

@@ -212,7 +212,11 @@ mod tests {
 
         /// One round of both components with frame shuttling; returns the
         /// paper output produced this round.
-        fn round(&mut self, submits: &mut Vec<(usize, Vec<u8>)>, carry: &mut Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        fn round(
+            &mut self,
+            submits: &mut Vec<(usize, Vec<u8>)>,
+            carry: &mut Vec<Vec<u8>>,
+        ) -> Vec<Vec<u8>> {
             let mut ps_io = TestIo::new();
             for (client, frame) in submits.drain(..) {
                 ps_io.push(&format!("c{client}.submit"), &frame);
@@ -237,8 +241,14 @@ mod tests {
         // 2 the high user.
         let client = if level == unclass() { 1 } else { 2 };
         let mut io = TestIo::new();
-        io.push(&format!("c{client}.req"), &crate::fileserver::request::create(name, level));
-        io.push(&format!("c{client}.req"), &crate::fileserver::request::write(name, level, body));
+        io.push(
+            &format!("c{client}.req"),
+            &crate::fileserver::request::create(name, level),
+        );
+        io.push(
+            &format!("c{client}.req"),
+            &crate::fileserver::request::write(name, level, body),
+        );
         io.run(fs, 1);
         let responses = io.take_sent(&format!("c{client}.rsp"));
         assert!(responses.iter().all(|r| r[0] == Status::Ok.code()));
@@ -291,7 +301,10 @@ mod tests {
     #[test]
     fn missing_spool_file_reports_not_found() {
         let mut rig = Rig::new();
-        let mut submits = vec![(0usize, PrintServer::submit_request("spool/ghost", unclass()))];
+        let mut submits = vec![(
+            0usize,
+            PrintServer::submit_request("spool/ghost", unclass()),
+        )];
         let mut carry: Vec<Vec<u8>> = Vec::new();
         let mut ps_status = Vec::new();
         for _ in 0..6 {

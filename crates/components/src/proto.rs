@@ -226,7 +226,13 @@ mod tests {
 
     #[test]
     fn status_codes_roundtrip() {
-        for s in [Status::Ok, Status::Denied, Status::NotFound, Status::Bad, Status::Full] {
+        for s in [
+            Status::Ok,
+            Status::Denied,
+            Status::NotFound,
+            Status::Bad,
+            Status::Full,
+        ] {
             assert_eq!(Status::from_code(s.code()), Some(s));
         }
         assert_eq!(Status::from_code(99), None);

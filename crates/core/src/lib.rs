@@ -24,4 +24,9 @@ pub use sep_flow as flow;
 pub use sep_kernel as kernel;
 pub use sep_machine as machine;
 pub use sep_model as model;
+pub use sep_obs as obs;
 pub use sep_policy as policy;
+
+/// The workspace's one deterministic PRNG, re-exported so embedders need no
+/// external `rand`: seeded runs reproduce exactly.
+pub use sep_model::rng::SplitMix64;

@@ -49,7 +49,14 @@ impl SystemSpec {
     }
 
     /// Adds a dedicated unidirectional link.
-    pub fn connect(&mut self, from: CompId, from_port: &str, to: CompId, to_port: &str, capacity: usize) {
+    pub fn connect(
+        &mut self,
+        from: CompId,
+        from_port: &str,
+        to: CompId,
+        to_port: &str,
+        capacity: usize,
+    ) {
         assert!(from != to, "no self-links");
         self.links.push(Link {
             from,
@@ -118,7 +125,14 @@ impl SystemSpec {
             .map(|(_, c)| net.add_node(NodeAdapter::new(c.boxed_clone())))
             .collect();
         for l in &self.links {
-            net.connect(ids[l.from.0], &l.from_port, ids[l.to.0], &l.to_port, l.capacity, 1);
+            net.connect(
+                ids[l.from.0],
+                &l.from_port,
+                ids[l.to.0],
+                &l.to_port,
+                l.capacity,
+                1,
+            );
         }
         net
     }
@@ -143,9 +157,10 @@ impl SystemSpec {
                     });
                 }
             }
-            config
-                .regimes
-                .push(RegimeSpec::native(name, RegimeComponent::new(component.boxed_clone(), bindings)));
+            config.regimes.push(RegimeSpec::native(
+                name,
+                RegimeComponent::new(component.boxed_clone(), bindings),
+            ));
         }
         for l in &self.links {
             config = config.with_channel(l.from.0, l.to.0, l.capacity);
@@ -191,7 +206,10 @@ mod tests {
         let b = spec.add("red", Box::new(Sink::new("red")));
         spec.connect(a, "out", b, "in", 1);
         let (policy, _) = sep_policy::channels::ChannelPolicy::snfe();
-        assert!(spec.check_policy(&policy).unwrap_err().contains("not in the policy"));
+        assert!(spec
+            .check_policy(&policy)
+            .unwrap_err()
+            .contains("not in the policy"));
     }
 
     #[test]
@@ -209,7 +227,11 @@ mod tests {
         let spec = pipeline_spec(vec![b"one".to_vec(), b"two".to_vec()]);
         let mut net = spec.build_network();
         net.run(6);
-        assert!(net.traces.trace("sink").iter().any(|e| e.contains("recv in")));
+        assert!(net
+            .traces
+            .trace("sink")
+            .iter()
+            .any(|e| e.contains("recv in")));
     }
 
     #[test]

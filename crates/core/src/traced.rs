@@ -43,10 +43,7 @@ impl Component for Traced {
     }
 
     fn step(&mut self, io: &mut dyn ComponentIo) {
-        let mut tio = TracedIo {
-            io,
-            log: &self.log,
-        };
+        let mut tio = TracedIo { io, log: &self.log };
         self.inner.step(&mut tio);
     }
 
@@ -105,7 +102,11 @@ pub fn logs_equal(a: &PortLog, b: &PortLog) -> Result<(), String> {
         let xa = a.get(key).unwrap_or(&empty);
         let xb = b.get(key).unwrap_or(&empty);
         if xa != xb {
-            let idx = xa.iter().zip(xb.iter()).position(|(x, y)| x != y).unwrap_or_else(|| xa.len().min(xb.len()));
+            let idx = xa
+                .iter()
+                .zip(xb.iter())
+                .position(|(x, y)| x != y)
+                .unwrap_or_else(|| xa.len().min(xb.len()));
             return Err(format!(
                 "stream {key} diverges at frame {idx} ({} vs {} frames)",
                 xa.len(),

@@ -3,6 +3,7 @@
 use crate::node::{Node, NodeIo, SendError};
 use crate::wire::Wire;
 use sep_model::trace::TraceSet;
+use sep_obs::{ObsEvent, Recorder};
 
 /// Identifies a node within a [`Network`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -16,6 +17,9 @@ pub struct Network {
     /// Per-node observation traces: every receive and send, in order. Used
     /// for the indistinguishability experiments.
     pub traces: TraceSet<String>,
+    /// Observability recorder: wire traffic counters, timestamped by round
+    /// number. Nodes are registered as the recorder's "regimes".
+    pub obs: Recorder,
 }
 
 impl Default for Network {
@@ -32,11 +36,15 @@ impl Network {
             wires: Vec::new(),
             round: 0,
             traces: TraceSet::new(),
+            obs: Recorder::disabled(),
         }
     }
 
     /// Adds a node.
     pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        self.obs
+            .metrics
+            .register_regime(self.nodes.len(), node.name());
         self.nodes.push(node);
         NodeId(self.nodes.len() - 1)
     }
@@ -72,8 +80,9 @@ impl Network {
             "port {to_port} of node {} already wired",
             self.nodes[to.0].name()
         );
-        self.wires
-            .push(Wire::new(from.0, from_port, to.0, to_port, capacity, latency));
+        self.wires.push(Wire::new(
+            from.0, from_port, to.0, to_port, capacity, latency,
+        ));
     }
 
     /// The current round number.
@@ -85,16 +94,19 @@ impl Network {
     pub fn run_round(&mut self) {
         let round = self.round;
         for idx in 0..self.nodes.len() {
-            // Split borrows: the node and the wires.
-            let (node, wires) = {
-                let Network { nodes, wires, .. } = self;
-                (&mut nodes[idx], wires)
+            // Split borrows: the node, the wires, and the recorder.
+            let (node, wires, obs) = {
+                let Network {
+                    nodes, wires, obs, ..
+                } = self;
+                (&mut nodes[idx], wires, obs)
             };
             let name = node.name().to_string();
             let mut io = RoundIo {
                 node: idx,
                 round,
                 wires,
+                obs,
                 events: Vec::new(),
             };
             node.step(&mut io);
@@ -122,6 +134,7 @@ struct RoundIo<'a> {
     node: usize,
     round: u64,
     wires: &'a mut [Wire],
+    obs: &'a mut Recorder,
     events: Vec<String>,
 }
 
@@ -133,6 +146,18 @@ impl NodeIo for RoundIo<'_> {
             .iter_mut()
             .find(|w| w.to_node == self.node && w.to_port == port)?;
         let msg = wire.pop_deliverable(round)?;
+        self.obs.metrics.regime_mut(self.node).messages_received += 1;
+        self.obs
+            .metrics
+            .regime_mut(self.node)
+            .channel_bytes_received += msg.len() as u64;
+        self.obs.emit(
+            round,
+            ObsEvent::WireRecv {
+                node: self.node as u16,
+                bytes: msg.len() as u32,
+            },
+        );
         self.events.push(format!("recv {port} {}", hex(&msg)));
         Some(msg)
     }
@@ -147,6 +172,17 @@ impl NodeIo for RoundIo<'_> {
         if !wire.has_room() {
             return Err(SendError::WireFull(port.to_string()));
         }
+        self.obs.metrics.totals.wire_messages += 1;
+        self.obs.metrics.totals.wire_bytes += msg.len() as u64;
+        self.obs.metrics.regime_mut(self.node).messages_sent += 1;
+        self.obs.metrics.regime_mut(self.node).channel_bytes_sent += msg.len() as u64;
+        self.obs.emit(
+            round,
+            ObsEvent::WireSend {
+                node: self.node as u16,
+                bytes: msg.len() as u32,
+            },
+        );
         self.events.push(format!("send {port} {}", hex(&msg)));
         wire.push(round, msg);
         Ok(())
@@ -205,8 +241,16 @@ mod tests {
         net.connect(b, "out", a, "in", 8, 1);
         net.run(6);
         // Both greetings circulate; traces record sends and receives.
-        assert!(net.traces.trace("a").iter().any(|e| e.starts_with("recv in")));
-        assert!(net.traces.trace("b").iter().any(|e| e.starts_with("recv in")));
+        assert!(net
+            .traces
+            .trace("a")
+            .iter()
+            .any(|e| e.starts_with("recv in")));
+        assert!(net
+            .traces
+            .trace("b")
+            .iter()
+            .any(|e| e.starts_with("recv in")));
     }
 
     #[test]

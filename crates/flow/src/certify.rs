@@ -89,10 +89,12 @@ pub fn certify<L: Lattice>(
     // Bind each variable to its class.
     let mut var_class: HashMap<&str, L> = HashMap::new();
     for d in &program.decls {
-        let class = classes.get(&d.class).ok_or_else(|| CertifyError::UnknownClass {
-            name: d.name.clone(),
-            class: d.class.clone(),
-        })?;
+        let class = classes
+            .get(&d.class)
+            .ok_or_else(|| CertifyError::UnknownClass {
+                name: d.name.clone(),
+                class: d.class.clone(),
+            })?;
         var_class.insert(&d.name, class.clone());
     }
     let mut violations = Vec::new();
@@ -120,10 +122,11 @@ fn lookup<'a, L: Lattice>(
     name: &str,
     line: usize,
 ) -> Result<&'a L, CertifyError> {
-    vars.get(name).ok_or_else(|| CertifyError::UndeclaredVariable {
-        line,
-        name: name.to_string(),
-    })
+    vars.get(name)
+        .ok_or_else(|| CertifyError::UndeclaredVariable {
+            line,
+            name: name.to_string(),
+        })
 }
 
 fn certify_block<L: Lattice>(
@@ -288,8 +291,11 @@ mod tests {
 
     #[test]
     fn unknown_class_is_an_error() {
-        let e = certify(&parse("var x : mystery; x := 1;").unwrap(), &two_point_classes())
-            .unwrap_err();
+        let e = certify(
+            &parse("var x : mystery; x := 1;").unwrap(),
+            &two_point_classes(),
+        )
+        .unwrap_err();
         assert!(matches!(e, CertifyError::UnknownClass { .. }));
     }
 

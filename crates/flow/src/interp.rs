@@ -90,12 +90,15 @@ fn eval(expr: &Expr, env: &Env) -> Result<i64, InterpError> {
             let idx = eval(i, env)?;
             match env.get(a) {
                 Some(Value::Array(items)) => *items
-                    .get(usize::try_from(idx).ok().filter(|&i| i < items.len()).ok_or(
-                        InterpError::OutOfBounds {
-                            name: a.clone(),
-                            index: idx,
-                        },
-                    )?)
+                    .get(
+                        usize::try_from(idx)
+                            .ok()
+                            .filter(|&i| i < items.len())
+                            .ok_or(InterpError::OutOfBounds {
+                                name: a.clone(),
+                                index: idx,
+                            })?,
+                    )
                     .ok_or(InterpError::OutOfBounds {
                         name: a.clone(),
                         index: idx,
@@ -149,7 +152,9 @@ fn exec_block(body: &[Stmt], env: &mut Env, fuel: &mut u64) -> Result<(), Interp
                 let v = eval(expr, env)?;
                 match env.get_mut(target) {
                     Some(Value::Scalar(slot)) => *slot = v,
-                    Some(Value::Array(_)) => return Err(InterpError::ShapeMismatch(target.clone())),
+                    Some(Value::Array(_)) => {
+                        return Err(InterpError::ShapeMismatch(target.clone()))
+                    }
                     None => return Err(InterpError::Undeclared(target.clone())),
                 }
             }
@@ -172,7 +177,9 @@ fn exec_block(body: &[Stmt], env: &mut Env, fuel: &mut u64) -> Result<(), Interp
                             })?;
                         items[i] = v;
                     }
-                    Some(Value::Scalar(_)) => return Err(InterpError::ShapeMismatch(target.clone())),
+                    Some(Value::Scalar(_)) => {
+                        return Err(InterpError::ShapeMismatch(target.clone()))
+                    }
                     None => return Err(InterpError::Undeclared(target.clone())),
                 }
             }
@@ -229,30 +236,24 @@ mod tests {
 
     #[test]
     fn while_loop_sums() {
-        let env = run(
-            "var s : low; var i : low;
+        let env = run("var s : low; var i : low;
              i := 1;
-             while i <= 10 do s := s + i; i := i + 1; end",
-        );
+             while i <= 10 do s := s + i; i := i + 1; end");
         assert_eq!(scalar(&env, "s"), 55);
     }
 
     #[test]
     fn if_else_branches() {
-        let env = run(
-            "var x : low; var y : low;
+        let env = run("var x : low; var y : low;
              x := 5;
-             if x > 3 then y := 1; else y := 2; end",
-        );
+             if x > 3 then y := 1; else y := 2; end");
         assert_eq!(scalar(&env, "y"), 1);
     }
 
     #[test]
     fn arrays_read_and_write() {
-        let env = run(
-            "var a : low[4]; var i : low;
-             while i < 4 do a[i] := i * i; i := i + 1; end",
-        );
+        let env = run("var a : low[4]; var i : low;
+             while i < 4 do a[i] := i * i; i := i + 1; end");
         match env.get("a") {
             Some(Value::Array(v)) => assert_eq!(v, &vec![0, 1, 4, 9]),
             other => panic!("{other:?}"),
@@ -271,7 +272,10 @@ mod tests {
     fn divide_by_zero_is_reported() {
         let p = parse("var x : low; x := 1 / 0;").unwrap();
         let mut env = initial_env(&p);
-        assert_eq!(run_program(&p, &mut env, 100), Err(InterpError::DivideByZero));
+        assert_eq!(
+            run_program(&p, &mut env, 100),
+            Err(InterpError::DivideByZero)
+        );
     }
 
     #[test]
@@ -283,10 +287,8 @@ mod tests {
 
     #[test]
     fn logic_operators() {
-        let env = run(
-            "var x : low; var y : low;
-             x := (1 and 2) + (0 or 3) + not 0;",
-        );
+        let env = run("var x : low; var y : low;
+             x := (1 and 2) + (0 or 3) + not 0;");
         // (true)=1, (true)=1, not 0 = 1.
         assert_eq!(scalar(&env, "x"), 3);
     }

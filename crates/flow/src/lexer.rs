@@ -248,8 +248,15 @@ mod tests {
     #[test]
     fn lexes_comparisons() {
         let toks = lex("a <= b <> c >= d < e > f = g").unwrap();
-        let ops: Vec<&Tok> = toks.iter().map(|t| &t.kind).filter(|k| !matches!(k, Tok::Ident(_))).collect();
-        assert_eq!(ops, vec![&Tok::Le, &Tok::Ne, &Tok::Ge, &Tok::Lt, &Tok::Gt, &Tok::Eq]);
+        let ops: Vec<&Tok> = toks
+            .iter()
+            .map(|t| &t.kind)
+            .filter(|k| !matches!(k, Tok::Ident(_)))
+            .collect();
+        assert_eq!(
+            ops,
+            vec![&Tok::Le, &Tok::Ne, &Tok::Ge, &Tok::Lt, &Tok::Gt, &Tok::Eq]
+        );
     }
 
     #[test]

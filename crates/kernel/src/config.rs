@@ -162,6 +162,10 @@ pub struct KernelConfig {
     pub allow_dma: bool,
     /// Deliberate sabotage for the verification experiments.
     pub mutation: Mutation,
+    /// Event-trace ring capacity. `None` (the default) leaves tracing off;
+    /// counters are collected either way. Traces are not modelled state, so
+    /// this knob cannot affect a verification verdict.
+    pub trace: Option<usize>,
 }
 
 impl KernelConfig {
@@ -176,6 +180,13 @@ impl KernelConfig {
     /// Adds a channel, builder-style.
     pub fn with_channel(mut self, from: usize, to: usize, capacity: usize) -> KernelConfig {
         self.channels.push(ChannelSpec { from, to, capacity });
+        self
+    }
+
+    /// Enables event tracing into a ring of `capacity` events,
+    /// builder-style.
+    pub fn with_trace(mut self, capacity: usize) -> KernelConfig {
+        self.trace = Some(capacity);
         self
     }
 
@@ -201,7 +212,14 @@ mod tests {
         .with_channel(0, 1, 4);
         assert_eq!(cfg.regimes.len(), 2);
         assert_eq!(cfg.regimes[0].devices, vec![DeviceSpec::Serial]);
-        assert_eq!(cfg.channels, vec![ChannelSpec { from: 0, to: 1, capacity: 4 }]);
+        assert_eq!(
+            cfg.channels,
+            vec![ChannelSpec {
+                from: 0,
+                to: 1,
+                capacity: 4
+            }]
+        );
         assert!(!cfg.channels_cut);
         assert!(cfg.cut_channels().channels_cut);
     }

@@ -13,6 +13,7 @@
 //! policy exceptions (trusted-process ★-violations) required, and the size
 //! of the mechanism.
 
+use sep_obs::{ObsEvent, Recorder};
 use sep_policy::blp::{AccessMode, BlpEngine, ObjectId, SubjectId};
 use sep_policy::error::PolicyError;
 use sep_policy::level::SecurityLevel;
@@ -102,6 +103,10 @@ pub struct ConventionalKernel {
     current: usize,
     /// Mediation statistics.
     pub stats: ConvStats,
+    /// Observability recorder; every policy decision is a
+    /// [`ObsEvent::PolicyMediation`]. The separation kernel's recorder
+    /// stays at zero mediations — that contrast is the paper's point.
+    pub obs: Recorder,
 }
 
 impl Default for ConventionalKernel {
@@ -120,6 +125,7 @@ impl ConventionalKernel {
             processes: Vec::new(),
             current: 0,
             stats: ConvStats::default(),
+            obs: Recorder::disabled(),
         }
     }
 
@@ -133,6 +139,9 @@ impl ConventionalKernel {
     ) -> ProcessId {
         let name = process.name().to_string();
         let subject = self.engine.add_subject(&name, clearance, trusted);
+        self.obs
+            .metrics
+            .register_regime(self.processes.len(), &name);
         self.processes.push(ProcessRecord {
             subject,
             process,
@@ -177,10 +186,8 @@ impl ConventionalKernel {
                 continue;
             }
             self.current = idx;
-            let mut process = std::mem::replace(
-                &mut self.processes[idx].process,
-                Box::new(NullProcess),
-            );
+            let mut process =
+                std::mem::replace(&mut self.processes[idx].process, Box::new(NullProcess));
             let action = {
                 let mut io = Mediator { kernel: self, idx };
                 process.step(&mut io)
@@ -206,7 +213,27 @@ impl ConventionalKernel {
 
     /// Mediated access shared by the syscall paths: checks the policy (with
     /// the trusted-process escape hatch) and bumps the counters.
-    fn mediate(&mut self, subject: SubjectId, obj: ObjectId, mode: AccessMode) -> Result<(), PolicyError> {
+    /// Observability bookkeeping for one policy decision. Timestamped by
+    /// the mediation ordinal — the conventional kernel has no instruction
+    /// counter, but the ordinal is just as deterministic.
+    fn note_mediation(&mut self, subject: usize, allowed: bool) {
+        self.obs.metrics.totals.policy_mediations += 1;
+        let ts = self.stats.mediations;
+        self.obs.emit(
+            ts,
+            ObsEvent::PolicyMediation {
+                subject: subject as u16,
+                allowed,
+            },
+        );
+    }
+
+    fn mediate(
+        &mut self,
+        subject: SubjectId,
+        obj: ObjectId,
+        mode: AccessMode,
+    ) -> Result<(), PolicyError> {
         self.stats.mediations += 1;
         // The discretionary matrix is permissive in this reproduction: the
         // experiments concern the mandatory policy, so every subject holds
@@ -218,10 +245,12 @@ impl ConventionalKernel {
                 let exercised = self.engine.trust_exercise_count() - before;
                 self.stats.trust_exemptions += exercised as u64;
                 self.engine.release_access(subject, obj, mode);
+                self.note_mediation(self.current, true);
                 Ok(())
             }
             Err(e) => {
                 self.stats.denials += 1;
+                self.note_mediation(self.current, false);
                 Err(e)
             }
         }
@@ -270,12 +299,14 @@ impl ConvIo for Mediator<'_> {
                 self.kernel.stats.trust_exemptions += 1;
             } else {
                 self.kernel.stats.denials += 1;
+                self.kernel.note_mediation(self.idx, false);
                 return Err(PolicyError::StarPropertyViolation {
                     subject: self.kernel.engine.subject(subject)?.name.clone(),
                     object: name.to_string(),
                 });
             }
         }
+        self.kernel.note_mediation(self.idx, true);
         let id = self.kernel.engine.add_object(name, level);
         self.kernel.contents.insert(id, Vec::new());
         self.kernel.names.insert(id, name.to_string());
@@ -329,13 +360,20 @@ impl ConvIo for Mediator<'_> {
             Err(_) => return Vec::new(),
         };
         let mut out = Vec::new();
+        let mut decisions = Vec::new();
         for (&id, name) in &self.kernel.names {
             self.kernel.stats.mediations += 1;
+            let mut visible = false;
             if let Ok(o) = self.kernel.engine.object(id) {
                 if clearance.dominates(&o.level) {
+                    visible = true;
                     out.push((id, name.clone(), o.level));
                 }
             }
+            decisions.push(visible);
+        }
+        for visible in decisions {
+            self.kernel.note_mediation(self.idx, visible);
         }
         out
     }
@@ -344,7 +382,9 @@ impl ConvIo for Mediator<'_> {
         self.kernel.stats.syscalls += 1;
         self.kernel.stats.mediations += 1;
         let subject = self.subject();
-        self.kernel.engine.set_current_level(subject, level)
+        let result = self.kernel.engine.set_current_level(subject, level);
+        self.kernel.note_mediation(self.idx, result.is_ok());
+        result
     }
 }
 

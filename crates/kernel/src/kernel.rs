@@ -34,6 +34,7 @@ use sep_machine::mem::IO_BASE;
 use sep_machine::mmu::{Access, SegmentDescriptor};
 use sep_machine::psw::{Mode, Psw};
 use sep_machine::types::{PhysAddr, Word};
+use sep_obs::ObsEvent;
 
 /// Physical base of the first partition (below it is reserved for nothing —
 /// the kernel itself lives outside the machine).
@@ -90,11 +91,18 @@ impl core::fmt::Display for KernelError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             KernelError::NoRegimes => write!(f, "no regimes configured"),
-            KernelError::TooManyRegimes(n) => write!(f, "{n} regimes exceeds the maximum of {MAX_REGIMES}"),
+            KernelError::TooManyRegimes(n) => {
+                write!(f, "{n} regimes exceeds the maximum of {MAX_REGIMES}")
+            }
             KernelError::Assembly { regime, error } => write!(f, "regime {regime}: {error}"),
-            KernelError::ProgramTooLarge { regime } => write!(f, "regime {regime}: program exceeds partition"),
+            KernelError::ProgramTooLarge { regime } => {
+                write!(f, "regime {regime}: program exceeds partition")
+            }
             KernelError::DmaExcluded { regime } => {
-                write!(f, "regime {regime}: DMA devices are excluded from the system")
+                write!(
+                    f,
+                    "regime {regime}: DMA devices are excluded from the system"
+                )
             }
             KernelError::DeviceWindowOverflow { regime } => {
                 write!(f, "regime {regime}: devices exceed the I/O window")
@@ -376,6 +384,24 @@ impl SeparationKernel {
             slot_idle_left: 0,
             device_owner,
         };
+        // Name the observability slots so reports read "red"/"black", not
+        // "regime0"/"regime1"; the machine itself never learns regimes.
+        for i in 0..kernel.regimes.len() {
+            let name = kernel.regimes[i].name.clone();
+            kernel.machine.obs.metrics.register_regime(i, &name);
+        }
+        for idx in 0..kernel.machine.devices.len() {
+            let name = kernel
+                .machine
+                .devices
+                .get_mut(idx)
+                .map(|d| d.name().to_string())
+                .unwrap_or_default();
+            kernel.machine.obs.metrics.register_device(idx, &name);
+        }
+        if let Some(capacity) = config.trace {
+            kernel.machine.obs.enable_tracing(capacity);
+        }
         kernel.load_context(0);
         Ok(kernel)
     }
@@ -453,10 +479,22 @@ impl SeparationKernel {
                 Mutation::MisrouteInterrupts => (owner + 1) % self.regimes.len(),
                 _ => owner,
             };
-            let binding_vector = self.regimes[self.device_owner[device].0].devices
-                [slot_base / 2]
-                .vector;
+            let binding_vector =
+                self.regimes[self.device_owner[device].0].devices[slot_base / 2].vector;
             let slot = slot_base + usize::from(request.vector != binding_vector);
+            let obs = &mut self.machine.obs;
+            obs.metrics.totals.interrupts_fielded += 1;
+            obs.metrics.regime_mut(owner).interrupts_fielded += 1;
+            obs.metrics.device_mut(device).interrupts += 1;
+            let ts = self.machine.instructions;
+            self.machine.obs.emit(
+                ts,
+                ObsEvent::InterruptFielded {
+                    regime: owner as u16,
+                    device: device as u16,
+                    vector: request.vector,
+                },
+            );
             let rec = &mut self.regimes[owner];
             rec.pending_irqs.push_back((slot, request));
             if rec.status == RegimeStatus::Waiting {
@@ -531,12 +569,28 @@ impl SeparationKernel {
     }
 
     /// Vectors a pending interrupt into the regime's handler.
-    fn deliver_interrupt(&mut self, r: usize, slot: usize, request: InterruptRequest) -> KernelEvent {
+    fn deliver_interrupt(
+        &mut self,
+        r: usize,
+        slot: usize,
+        request: InterruptRequest,
+    ) -> KernelEvent {
         let table = VEC_BASE + 4 * slot as Word;
         let base = self.regimes[r].partition_base;
         let handler = self.machine.mem.read_word(base + table as u32);
         let entry_cc = self.machine.mem.read_word(base + table as u32 + 2);
         self.stats.interrupts_delivered += 1;
+        let obs = &mut self.machine.obs;
+        obs.metrics.totals.interrupts_delivered += 1;
+        obs.metrics.regime_mut(r).interrupts_delivered += 1;
+        let ts = self.machine.instructions;
+        self.machine.obs.emit(
+            ts,
+            ObsEvent::InterruptDelivered {
+                regime: r as u16,
+                vector: request.vector,
+            },
+        );
         if handler == 0 {
             // Unhandled: discarded, as the kernel has nowhere to put it.
             return KernelEvent::DeliveredInterrupt {
@@ -553,7 +607,8 @@ impl SeparationKernel {
             k.write_word_v(sp, v)?;
             Ok(sp)
         };
-        let result = push(&mut self.machine, sp0, cc).and_then(|sp| push(&mut self.machine, sp, pc));
+        let result =
+            push(&mut self.machine, sp0, cc).and_then(|sp| push(&mut self.machine, sp, pc));
         match result {
             Ok(sp) => {
                 self.machine.cpu.set_reg(6, sp);
@@ -609,6 +664,8 @@ impl SeparationKernel {
     fn fault(&mut self, r: usize, trap: Trap) -> KernelEvent {
         self.regimes[r].status = RegimeStatus::Faulted(trap);
         self.stats.faults += 1;
+        self.machine.obs.metrics.totals.faults += 1;
+        self.machine.obs.metrics.regime_mut(r).faults += 1;
         if let Some(next) = self.next_runnable() {
             self.switch_to(next);
         }
@@ -620,6 +677,15 @@ impl SeparationKernel {
         if (n as usize) < self.stats.syscalls.len() {
             self.stats.syscalls[n as usize] += 1;
         }
+        self.machine.obs.metrics.regime_mut(r).syscalls += 1;
+        let ts = self.machine.instructions;
+        self.machine.obs.emit(
+            ts,
+            ObsEvent::Syscall {
+                regime: r as u16,
+                number: n,
+            },
+        );
         match n {
             0 => {
                 // SWAP: voluntary yield.
@@ -700,11 +766,55 @@ impl SeparationKernel {
         if status == ChannelStatus::Ok {
             self.stats.messages_sent += 1;
             self.stats.bytes_copied += len as u64;
+            self.note_channel_send(r, chan, len);
         }
         status
     }
 
-    fn do_recv(&mut self, r: usize, chan: usize, buf: Word, maxlen: usize) -> (ChannelStatus, usize) {
+    /// Observability bookkeeping for an accepted SEND.
+    fn note_channel_send(&mut self, r: usize, chan: usize, len: usize) {
+        let obs = &mut self.machine.obs;
+        obs.metrics.totals.messages += 1;
+        obs.metrics.totals.channel_bytes += len as u64;
+        let counters = obs.metrics.regime_mut(r);
+        counters.messages_sent += 1;
+        counters.channel_bytes_sent += len as u64;
+        let ts = self.machine.instructions;
+        self.machine.obs.emit(
+            ts,
+            ObsEvent::ChannelSend {
+                channel: chan as u16,
+                from: r as u16,
+                bytes: len as u32,
+            },
+        );
+    }
+
+    /// Observability bookkeeping for a delivered RECV.
+    fn note_channel_recv(&mut self, r: usize, chan: usize, len: usize) {
+        let obs = &mut self.machine.obs;
+        obs.metrics.totals.channel_bytes += len as u64;
+        let counters = obs.metrics.regime_mut(r);
+        counters.messages_received += 1;
+        counters.channel_bytes_received += len as u64;
+        let ts = self.machine.instructions;
+        self.machine.obs.emit(
+            ts,
+            ObsEvent::ChannelRecv {
+                channel: chan as u16,
+                to: r as u16,
+                bytes: len as u32,
+            },
+        );
+    }
+
+    fn do_recv(
+        &mut self,
+        r: usize,
+        chan: usize,
+        buf: Word,
+        maxlen: usize,
+    ) -> (ChannelStatus, usize) {
         let me = self.regimes[r].logical_id;
         let Some(channel) = self.channels.get_mut(chan) else {
             return (ChannelStatus::Invalid, 0);
@@ -713,11 +823,16 @@ impl SeparationKernel {
             Ok(mut msg) => {
                 msg.truncate(maxlen);
                 for (i, b) in msg.iter().enumerate() {
-                    if self.machine.write_byte_v(buf.wrapping_add(i as Word), *b).is_err() {
+                    if self
+                        .machine
+                        .write_byte_v(buf.wrapping_add(i as Word), *b)
+                        .is_err()
+                    {
                         return (ChannelStatus::Invalid, 0);
                     }
                 }
                 self.stats.bytes_copied += msg.len() as u64;
+                self.note_channel_recv(r, chan, msg.len());
                 (ChannelStatus::Ok, msg.len())
             }
             Err(status) => (status, 0),
@@ -744,10 +859,24 @@ impl SeparationKernel {
         if self.mutation == Mutation::ScratchInPartition {
             // Sabotage: the kernel "borrows" a word of regime 0's partition.
             let scratch = self.regimes[0].partition_base + 0o76;
-            self.machine.mem.write_word(scratch, self.regimes[from].save.pc);
+            self.machine
+                .mem
+                .write_word(scratch, self.regimes[from].save.pc);
         }
         self.load_context(next);
         self.stats.swaps += 1;
+        let obs = &mut self.machine.obs;
+        obs.metrics.totals.switches += 1;
+        obs.metrics.regime_mut(from).switches_out += 1;
+        obs.metrics.regime_mut(next).switches_in += 1;
+        let ts = self.machine.instructions;
+        self.machine.obs.emit(
+            ts,
+            ObsEvent::ContextSwitch {
+                from: from as u16,
+                to: next as u16,
+            },
+        );
         if let Some(q) = self.quantum {
             self.quantum_left = q;
         }
@@ -765,6 +894,7 @@ impl SeparationKernel {
     /// Loads a regime's context and programs the MMU for its partition.
     fn load_context(&mut self, r: usize) {
         self.current = r;
+        self.machine.obs.set_context(r as u16);
         let save = self.regimes[r].save;
         let mut regs = save.r;
         if self.mutation == Mutation::SkipR3Save {
@@ -790,10 +920,13 @@ impl SeparationKernel {
         self.machine.mmu.set_segment(
             Mode::User,
             0,
-            SegmentDescriptor::mapping(self.regimes[r].partition_base, PARTITION_SIZE, Access::ReadWrite),
+            SegmentDescriptor::mapping(
+                self.regimes[r].partition_base,
+                PARTITION_SIZE,
+                Access::ReadWrite,
+            ),
         );
-        let window_used: u32 = self
-            .regimes[r]
+        let window_used: u32 = self.regimes[r]
             .devices
             .iter()
             .map(|b| b.reg_len.div_ceil(64) * 64)
@@ -802,7 +935,11 @@ impl SeparationKernel {
             self.machine.mmu.set_segment(
                 Mode::User,
                 7,
-                SegmentDescriptor::mapping(self.regimes[r].window_base, window_used, Access::ReadWrite),
+                SegmentDescriptor::mapping(
+                    self.regimes[r].window_base,
+                    window_used,
+                    Access::ReadWrite,
+                ),
             );
         }
         if self.mutation == Mutation::OverlapPartitions {
@@ -825,9 +962,13 @@ impl SeparationKernel {
     // ------------------------------------------------------------------
 
     fn native_step(&mut self, r: usize) -> KernelEvent {
+        self.machine.obs.native_step();
         let mut native = self.regimes[r].native.take().expect("native regime");
         let action = {
-            let mut io = KernelIo { kernel: self, regime: r };
+            let mut io = KernelIo {
+                kernel: self,
+                regime: r,
+            };
             native.step(&mut io)
         };
         self.regimes[r].native = Some(native);
@@ -940,7 +1081,11 @@ impl SeparationKernel {
             }
             // Two independent fingerprints of the partition make an
             // accidental collision vanishingly unlikely.
-            v.push(self.machine.mem.fingerprint(rec.partition_base, PARTITION_SIZE));
+            v.push(
+                self.machine
+                    .mem
+                    .fingerprint(rec.partition_base, PARTITION_SIZE),
+            );
             v.push(
                 self.machine
                     .mem
@@ -996,6 +1141,8 @@ impl RegimeIo for KernelIo<'_> {
         if status == ChannelStatus::Ok {
             self.kernel.stats.messages_sent += 1;
             self.kernel.stats.bytes_copied += msg.len() as u64;
+            self.kernel
+                .note_channel_send(self.regime, channel, msg.len());
         }
         status
     }
@@ -1007,6 +1154,8 @@ impl RegimeIo for KernelIo<'_> {
         };
         let msg = ch.recv(me)?;
         self.kernel.stats.bytes_copied += msg.len() as u64;
+        self.kernel
+            .note_channel_recv(self.regime, channel, msg.len());
         Ok(msg)
     }
 
@@ -1056,7 +1205,10 @@ impl RegimeIo for KernelIo<'_> {
             return false;
         }
         let base = self.kernel.regimes[self.regime].partition_base;
-        self.kernel.machine.mem.write_byte(base + vaddr as u32, value);
+        self.kernel
+            .machine
+            .mem
+            .write_byte(base + vaddr as u32, value);
         true
     }
 
@@ -1068,4 +1220,3 @@ impl RegimeIo for KernelIo<'_> {
             .collect()
     }
 }
-

@@ -1,10 +1,10 @@
 //! Per-regime state and the native-regime interface.
 
 use crate::channel::ChannelStatus;
+use core::any::Any;
 use sep_machine::dev::InterruptRequest;
 use sep_machine::exec::Trap;
 use sep_machine::types::{PhysAddr, Word};
-use core::any::Any;
 
 /// Virtual address of a regime's interrupt vector table (inside its own
 /// partition). Slot `k` occupies two words at `VEC_BASE + 4k`: the handler

@@ -115,7 +115,10 @@ impl KernelSystem {
             "verified configurations must cut their channels first \
              (KernelConfig::cut_channels) — that is the wire-cutting argument"
         );
-        assert!(config.quantum.is_none(), "verified configurations have no quantum");
+        assert!(
+            config.quantum.is_none(),
+            "verified configurations have no quantum"
+        );
         assert!(!config.allow_dma, "verified configurations exclude DMA");
         assert!(
             config
@@ -236,7 +239,11 @@ impl Finite for KernelSystem {
             &self.inputs,
             self.state_limit,
         );
-        assert!(!truncated, "kernel state space exceeded limit {}", self.state_limit);
+        assert!(
+            !truncated,
+            "kernel state space exceeded limit {}",
+            self.state_limit
+        );
         states
     }
 
@@ -304,6 +311,9 @@ impl RegimeAbstraction {
             fixed_slot: false,
             allow_dma: false,
             mutation: crate::config::Mutation::None,
+            // Abstract machines never trace: their job is state equality,
+            // and traces are not modelled state anyway.
+            trace: None,
         };
         let template = SeparationKernel::boot(sub)?;
         Ok(RegimeAbstraction {
@@ -315,7 +325,11 @@ impl RegimeAbstraction {
 
     /// Projects regime `r`'s view out of a kernel (`r` is an index into
     /// `kernel.regimes`).
-    fn project(kernel: &SeparationKernel, r: usize, visible_channels: &[usize]) -> RegimeProjection {
+    fn project(
+        kernel: &SeparationKernel,
+        r: usize,
+        visible_channels: &[usize],
+    ) -> RegimeProjection {
         let rec = &kernel.regimes[r];
         let context = if kernel.current() == r {
             SaveArea {
@@ -407,7 +421,12 @@ impl Abstraction<KernelSystem> for RegimeAbstraction {
         *op
     }
 
-    fn apply_abstract(&self, _sys: &KernelSystem, _aop: &KStep, a: &RegimeProjection) -> RegimeProjection {
+    fn apply_abstract(
+        &self,
+        _sys: &KernelSystem,
+        _aop: &KStep,
+        a: &RegimeProjection,
+    ) -> RegimeProjection {
         let mut k = self.impose(a);
         let _ = k.exec_phase();
         // The sub-configuration keeps the full channel list, so the visible

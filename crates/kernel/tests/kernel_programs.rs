@@ -70,7 +70,9 @@ loop:   MOV #0o5252, (R1)+
     let after: Vec<u8> = k.machine.mem.range(victim_base + 0o1000, 0o1000).to_vec();
     assert_eq!(before, after);
     assert_eq!(
-        k.machine.mem.read_word(k.regimes[0].partition_base + 0o1000),
+        k.machine
+            .mem
+            .read_word(k.regimes[0].partition_base + 0o1000),
         0o5252
     );
 }
@@ -87,7 +89,10 @@ fn out_of_partition_access_faults_and_system_continues() {
     ]);
     let mut k = SeparationKernel::boot(cfg).unwrap();
     k.run(100);
-    assert!(matches!(k.regimes[0].status, RegimeStatus::Faulted(Trap::Mmu(_))));
+    assert!(matches!(
+        k.regimes[0].status,
+        RegimeStatus::Faulted(Trap::Mmu(_))
+    ));
     // The worker keeps running.
     assert!(partition_word(&k, 1, COUNTER_A, "counter") > 5);
 }
@@ -155,7 +160,10 @@ buf:    .blkw 8
     let buf = assemble(receiver).unwrap().symbol("buf").unwrap();
     let base = k.regimes[1].partition_base + buf as u32;
     assert_eq!(k.machine.mem.range(base, 4), &[1, 2, 3, 4]);
-    assert!(matches!(k.regimes[1].status, RegimeStatus::Faulted(Trap::Halt)));
+    assert!(matches!(
+        k.regimes[1].status,
+        RegimeStatus::Faulted(Trap::Halt)
+    ));
 }
 
 #[test]
@@ -199,8 +207,9 @@ wait:   BIT #0o200, 4(R4)   ; XCSR
         SOB R3, next
         HALT
 ";
-    let cfg = KernelConfig::new(vec![RegimeSpec::assembly("echo", echo)
-        .with_device(DeviceSpec::Serial)]);
+    let cfg = KernelConfig::new(vec![
+        RegimeSpec::assembly("echo", echo).with_device(DeviceSpec::Serial)
+    ]);
     let mut k = SeparationKernel::boot(cfg).unwrap();
     k.host_send_serial(0, b"hi");
     k.run(400);
@@ -223,8 +232,9 @@ handler: INC ticks
         RTI
 ticks:  .word 0
 ";
-    let cfg = KernelConfig::new(vec![RegimeSpec::assembly("clocked", clocked)
-        .with_device(DeviceSpec::Clock { period: 10 })]);
+    let cfg = KernelConfig::new(vec![
+        RegimeSpec::assembly("clocked", clocked).with_device(DeviceSpec::Clock { period: 10 })
+    ]);
     let mut k = SeparationKernel::boot(cfg).unwrap();
     k.run(300);
     let ticks = partition_word(&k, 0, clocked, "ticks");
@@ -248,12 +258,16 @@ start:  MOV #0o160000, R4
 handler: RTI
 awake:  .word 0
 ";
-    let cfg = KernelConfig::new(vec![RegimeSpec::assembly("sleeper", sleeper)
-        .with_device(DeviceSpec::Clock { period: 20 })]);
+    let cfg = KernelConfig::new(vec![
+        RegimeSpec::assembly("sleeper", sleeper).with_device(DeviceSpec::Clock { period: 20 })
+    ]);
     let mut k = SeparationKernel::boot(cfg).unwrap();
     k.run(200);
     assert_eq!(partition_word(&k, 0, sleeper, "awake"), 1);
-    assert!(k.stats.idle_steps > 0, "the kernel idled while the regime slept");
+    assert!(
+        k.stats.idle_steps > 0,
+        "the kernel idled while the regime slept"
+    );
 }
 
 #[test]
@@ -350,7 +364,10 @@ saw_carry: INC leaked
         BR loop
 leaked: .word 0
 ";
-    for (mutation, expect_leak) in [(Mutation::None, false), (Mutation::LeakConditionCodes, true)] {
+    for (mutation, expect_leak) in [
+        (Mutation::None, false),
+        (Mutation::LeakConditionCodes, true),
+    ] {
         let mut cfg = KernelConfig::new(vec![
             RegimeSpec::assembly("setter", setter),
             RegimeSpec::assembly("reader", reader),
@@ -373,7 +390,10 @@ fn emt_is_a_fault_not_a_service() {
     ]);
     let mut k = SeparationKernel::boot(cfg).unwrap();
     k.run(100);
-    assert!(matches!(k.regimes[0].status, RegimeStatus::Faulted(Trap::Emt(1))));
+    assert!(matches!(
+        k.regimes[0].status,
+        RegimeStatus::Faulted(Trap::Emt(1))
+    ));
     assert!(partition_word(&k, 1, COUNTER_A, "counter") > 5);
 }
 

@@ -71,7 +71,11 @@ fn correct_kernel_is_separable_registers() {
     let sys = KernelSystem::new(register_workload()).unwrap();
     let report = SeparabilityChecker::new().check(&sys, &sys.abstractions());
     assert!(report.is_separable(), "{report}");
-    assert!(report.states > 4, "explored a real state space: {}", report.states);
+    assert!(
+        report.states > 4,
+        "explored a real state space: {}",
+        report.states
+    );
 }
 
 #[test]
@@ -91,8 +95,14 @@ fn skipped_register_restore_is_caught() {
     // The incoming regime's view changes during the outgoing regime's swap:
     // condition 2 (and condition 1 for the abstract mismatch).
     assert!(
-        report.violations_of(Condition::OpInvisibleToInactive).count() > 0
-            || report.violations_of(Condition::OpRespectsAbstraction).count() > 0,
+        report
+            .violations_of(Condition::OpInvisibleToInactive)
+            .count()
+            > 0
+            || report
+                .violations_of(Condition::OpRespectsAbstraction)
+                .count()
+                > 0,
         "{report}"
     );
 }
@@ -115,10 +125,7 @@ fn kernel_scratch_in_partition_is_caught() {
     assert!(!report.is_separable(), "{report}");
     // The kernel wrote into regime 0's partition while switching.
     assert!(
-        report
-            .violations
-            .iter()
-            .any(|v| v.colour == "0"),
+        report.violations.iter().any(|v| v.colour == "0"),
         "{report}"
     );
 }
@@ -135,7 +142,10 @@ start:  INC counter
         BR start
 counter: .word 0
 ";
-    let b_counter = sep_machine::asm::assemble(b_src).unwrap().symbol("counter").unwrap();
+    let b_counter = sep_machine::asm::assemble(b_src)
+        .unwrap()
+        .symbol("counter")
+        .unwrap();
     let prober = format!(
         "
 loop:   MOV @#{}, R1
@@ -153,7 +163,10 @@ loop:   MOV @#{}, R1
     let report = SeparabilityChecker::new().check(&sys, &sys.abstractions());
     assert!(!report.is_separable(), "{report}");
     assert!(
-        report.violations_of(Condition::OpRespectsAbstraction).count() > 0,
+        report
+            .violations_of(Condition::OpRespectsAbstraction)
+            .count()
+            > 0,
         "the probe's own op is unpredictable from its view: {report}"
     );
 }
@@ -169,7 +182,10 @@ loop:   MOV @#0o20006, R1
 ";
     let cfg = KernelConfig::new(vec![
         RegimeSpec::assembly("prober", prober),
-        RegimeSpec::assembly("worker", "start: INC R1\n BIC #0o177774, R1\n TRAP 0\n BR start"),
+        RegimeSpec::assembly(
+            "worker",
+            "start: INC R1\n BIC #0o177774, R1\n TRAP 0\n BR start",
+        ),
     ]);
     let sys = KernelSystem::new(cfg).unwrap();
     let report = SeparabilityChecker::new().check(&sys, &sys.abstractions());
@@ -209,8 +225,14 @@ start:  INC R1
     // The bystander's view changes with the owner's device activity: the
     // input-stage conditions (3) or the op-stage invisibility (2) fail.
     assert!(
-        report.violations_of(Condition::InputDependsOnlyOnView).count() > 0
-            || report.violations_of(Condition::OpInvisibleToInactive).count() > 0,
+        report
+            .violations_of(Condition::InputDependsOnlyOnView)
+            .count()
+            > 0
+            || report
+                .violations_of(Condition::OpInvisibleToInactive)
+                .count()
+                > 0,
         "{report}"
     );
 }
@@ -267,7 +289,9 @@ yield:  TRAP 0
         RegimeSpec::assembly("red", consumer).with_device(DeviceSpec::Serial),
         RegimeSpec::assembly("black", consumer).with_device(DeviceSpec::Serial),
     ]);
-    let sys = KernelSystem::new(cfg).unwrap().with_input_bytes(&[0x41, 0x42]);
+    let sys = KernelSystem::new(cfg)
+        .unwrap()
+        .with_input_bytes(&[0x41, 0x42]);
     let abstractions = sys.abstractions();
     let initial = sys.initial();
     let report = SampledChecker::new(7, 24, 96).check(&sys, &abstractions, &[initial], &sys.inputs);

@@ -96,7 +96,11 @@ enum Expr {
 
 #[derive(Debug, Clone)]
 enum Arg {
-    Operand { mode: u8, reg: u8, extra: Option<Expr> },
+    Operand {
+        mode: u8,
+        reg: u8,
+        extra: Option<Expr>,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -191,7 +195,9 @@ fn parse_expr(tok: &str, line: usize) -> Result<Expr, AsmError> {
             Some(i) => {
                 let (b, rest) = tok.split_at(i);
                 let n = parse_number(rest)
-                    .or_else(|| parse_number(&rest[1..]).map(|v| if rest.starts_with('-') { -v } else { v }))
+                    .or_else(|| {
+                        parse_number(&rest[1..]).map(|v| if rest.starts_with('-') { -v } else { v })
+                    })
                     .ok_or_else(|| err(line, format!("bad addend in expression: {tok}")))?;
                 (b.trim(), n)
             }
@@ -201,7 +207,10 @@ fn parse_expr(tok: &str, line: usize) -> Result<Expr, AsmError> {
     if base == "." {
         return Ok(Expr::Here(addend));
     }
-    if !base.is_empty() && base.chars().all(is_sym_char) && !base.chars().next().unwrap().is_ascii_digit() {
+    if !base.is_empty()
+        && base.chars().all(is_sym_char)
+        && !base.chars().next().unwrap().is_ascii_digit()
+    {
         return Ok(Expr::Sym(base.to_string(), addend));
     }
     Err(err(line, format!("cannot parse expression: {tok}")))
@@ -251,7 +260,8 @@ fn parse_operand(tok: &str, line: usize) -> Result<Arg, AsmError> {
             let reg_part = rest[open + 1..]
                 .strip_suffix(')')
                 .ok_or_else(|| err(line, format!("missing ')': {t}")))?;
-            let r = parse_reg(reg_part).ok_or_else(|| err(line, format!("bad register: {reg_part}")))?;
+            let r = parse_reg(reg_part)
+                .ok_or_else(|| err(line, format!("bad register: {reg_part}")))?;
             return Ok(Arg::Operand {
                 mode: 7,
                 reg: r,
@@ -302,7 +312,8 @@ fn parse_operand(tok: &str, line: usize) -> Result<Arg, AsmError> {
         let reg_part = t[open + 1..]
             .strip_suffix(')')
             .ok_or_else(|| err(line, format!("missing ')': {t}")))?;
-        let r = parse_reg(reg_part).ok_or_else(|| err(line, format!("bad register: {reg_part}")))?;
+        let r =
+            parse_reg(reg_part).ok_or_else(|| err(line, format!("bad register: {reg_part}")))?;
         return Ok(Arg::Operand {
             mode: 6,
             reg: r,
@@ -577,7 +588,13 @@ impl Assembler {
         })
     }
 
-    fn encode(&self, mnemonic: &str, args: &[Arg], addr: Word, line: usize) -> Result<Vec<Word>, AsmError> {
+    fn encode(
+        &self,
+        mnemonic: &str,
+        args: &[Arg],
+        addr: Word,
+        line: usize,
+    ) -> Result<Vec<Word>, AsmError> {
         let mut out = Vec::with_capacity(3);
         let mut extras: Vec<(Expr, usize)> = Vec::new();
 
@@ -593,7 +610,11 @@ impl Assembler {
             }
         };
 
-        let double = |op: Word, out: &mut Vec<Word>, extras: &mut Vec<(Expr, usize)>, args: &[Arg]| -> Result<(), AsmError> {
+        let double = |op: Word,
+                      out: &mut Vec<Word>,
+                      extras: &mut Vec<(Expr, usize)>,
+                      args: &[Arg]|
+         -> Result<(), AsmError> {
             if args.len() != 2 {
                 return Err(err(line, "expected two operands"));
             }
@@ -626,8 +647,8 @@ impl Assembler {
             "ADD" => double(0o060000, &mut out, &mut extras, args)?,
             "SUB" => double(0o160000, &mut out, &mut extras, args)?,
             "CLR" | "CLRB" | "COM" | "COMB" | "INC" | "INCB" | "DEC" | "DECB" | "NEG" | "NEGB"
-            | "ADC" | "ADCB" | "SBC" | "SBCB" | "TST" | "TSTB" | "ROR" | "RORB" | "ROL" | "ROLB"
-            | "ASR" | "ASRB" | "ASL" | "ASLB" | "SWAB" | "SXT" | "JMP" => {
+            | "ADC" | "ADCB" | "SBC" | "SBCB" | "TST" | "TSTB" | "ROR" | "RORB" | "ROL"
+            | "ROLB" | "ASR" | "ASRB" | "ASL" | "ASLB" | "SWAB" | "SXT" | "JMP" => {
                 if args.len() != 1 {
                     return Err(err(line, "expected one operand"));
                 }
@@ -754,7 +775,11 @@ impl Assembler {
                 if !(0..=255).contains(&n) {
                     return Err(err(line, "trap number out of range"));
                 }
-                let base = if mnemonic == "EMT" { 0o104000 } else { 0o104400 };
+                let base = if mnemonic == "EMT" {
+                    0o104000
+                } else {
+                    0o104400
+                };
                 out.push(base | n as Word);
             }
             "HALT" => out.push(0o000000),
@@ -822,7 +847,11 @@ impl Assembler {
 }
 
 /// Computes an instruction's size in bytes and returns the parsed operands.
-fn instr_size_and_args(mnemonic: &str, args: &[String], line: usize) -> Result<(Word, Vec<Arg>), AsmError> {
+fn instr_size_and_args(
+    mnemonic: &str,
+    args: &[String],
+    line: usize,
+) -> Result<(Word, Vec<Arg>), AsmError> {
     let parsed: Vec<Arg> = args
         .iter()
         .map(|a| parse_operand(a, line))
@@ -832,8 +861,24 @@ fn instr_size_and_args(mnemonic: &str, args: &[String], line: usize) -> Result<(
     // extension.
     let branchlike = matches!(
         mnemonic,
-        "BR" | "BNE" | "BEQ" | "BGE" | "BLT" | "BGT" | "BLE" | "BPL" | "BMI" | "BHI" | "BLOS"
-            | "BVC" | "BVS" | "BCC" | "BCS" | "SOB" | "EMT" | "TRAP" | "RTS"
+        "BR" | "BNE"
+            | "BEQ"
+            | "BGE"
+            | "BLT"
+            | "BGT"
+            | "BLE"
+            | "BPL"
+            | "BMI"
+            | "BHI"
+            | "BLOS"
+            | "BVC"
+            | "BVS"
+            | "BCC"
+            | "BCS"
+            | "SOB"
+            | "EMT"
+            | "TRAP"
+            | "RTS"
     );
     let size = if branchlike {
         2
@@ -971,7 +1016,10 @@ sub:    RTS PC
 
     #[test]
     fn blkw_bounds_are_checked() {
-        assert!(assemble(".blkw -1").unwrap_err().message.contains("out of range"));
+        assert!(assemble(".blkw -1")
+            .unwrap_err()
+            .message
+            .contains("out of range"));
         assert!(assemble(".blkw 99999").is_err());
         assert_eq!(assemble(".blkw 3").unwrap().words, vec![0, 0, 0]);
     }

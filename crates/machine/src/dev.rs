@@ -205,10 +205,7 @@ impl DeviceSet {
 
     /// Typed access to a device by index.
     pub fn downcast_mut<T: Device + 'static>(&mut self, index: usize) -> Option<&mut T> {
-        self.devices
-            .get_mut(index)?
-            .as_any()
-            .downcast_mut::<T>()
+        self.devices.get_mut(index)?.as_any().downcast_mut::<T>()
     }
 
     /// Ticks every device.
@@ -288,7 +285,9 @@ mod tests {
         let mut set = DeviceSet::new();
         let a = set.attach(serial_at(0o777560, 0o60));
         set.downcast_mut::<SerialLine>(a).unwrap().host_send(b"x");
-        set.downcast_mut::<SerialLine>(a).unwrap().set_rx_interrupt(true);
+        set.downcast_mut::<SerialLine>(a)
+            .unwrap()
+            .set_rx_interrupt(true);
         set.tick_all();
         assert!(set.highest_pending(3).is_some());
         assert!(set.highest_pending(4).is_none());
@@ -299,7 +298,9 @@ mod tests {
     fn clone_preserves_device_state() {
         let mut set = DeviceSet::new();
         let a = set.attach(serial_at(0o777560, 0o60));
-        set.downcast_mut::<SerialLine>(a).unwrap().host_send(b"hello");
+        set.downcast_mut::<SerialLine>(a)
+            .unwrap()
+            .host_send(b"hello");
         let mut copy = set.clone();
         assert_eq!(copy.snapshots(), set.snapshots());
         // Mutating the copy does not affect the original.

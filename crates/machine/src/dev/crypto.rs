@@ -44,7 +44,8 @@ pub fn xtea_encrypt(block: [u32; 2], key: [u32; 4]) -> [u32; 2] {
     let mut sum: u32 = 0;
     for _ in 0..ROUNDS {
         v0 = v0.wrapping_add(
-            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1)) ^ (sum.wrapping_add(key[(sum & 3) as usize])),
+            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1))
+                ^ (sum.wrapping_add(key[(sum & 3) as usize])),
         );
         sum = sum.wrapping_add(DELTA);
         v1 = v1.wrapping_add(
@@ -66,7 +67,8 @@ pub fn xtea_decrypt(block: [u32; 2], key: [u32; 4]) -> [u32; 2] {
         );
         sum = sum.wrapping_sub(DELTA);
         v0 = v0.wrapping_sub(
-            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1)) ^ (sum.wrapping_add(key[(sum & 3) as usize])),
+            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1))
+                ^ (sum.wrapping_add(key[(sum & 3) as usize])),
         );
     }
     [v0, v1]
@@ -225,7 +227,14 @@ impl Device for CryptoUnit {
         v.extend_from_slice(&self.key);
         v.extend_from_slice(&self.input);
         v.extend_from_slice(&self.output);
-        v.extend_from_slice(&[self.done as Word, self.ie as Word, self.irq as Word, bf, be, bd]);
+        v.extend_from_slice(&[
+            self.done as Word,
+            self.ie as Word,
+            self.irq as Word,
+            bf,
+            be,
+            bd,
+        ]);
         v
     }
 

@@ -130,8 +130,9 @@ impl Device for DmaDisk {
                         self.write_back = Some(sector);
                     } else {
                         // Disk → memory: push the sector at physical addr.
-                        let data =
-                            self.storage[sector * SECTOR_SIZE..sector * SECTOR_SIZE + len as usize].to_vec();
+                        let data = self.storage
+                            [sector * SECTOR_SIZE..sector * SECTOR_SIZE + len as usize]
+                            .to_vec();
                         self.pending_op = Some(DmaOp::WriteMem {
                             addr: self.phys_addr(),
                             data,
@@ -177,7 +178,11 @@ impl Device for DmaDisk {
             wf,
             ws,
         ];
-        v.extend(self.storage.chunks(2).map(|c| u16::from_le_bytes([c[0], c[1]])));
+        v.extend(
+            self.storage
+                .chunks(2)
+                .map(|c| u16::from_le_bytes([c[0], c[1]])),
+        );
         v
     }
 

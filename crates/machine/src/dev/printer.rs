@@ -85,11 +85,10 @@ impl Device for LinePrinter {
                     self.irq = true;
                 }
             }
-            2
-                if self.ready => {
-                    self.ready = false;
-                    self.shift = Some(((value & 0o377) as u8, PRINT_DELAY));
-                }
+            2 if self.ready => {
+                self.ready = false;
+                self.shift = Some(((value & 0o377) as u8, PRINT_DELAY));
+            }
             _ => {}
         }
     }
@@ -127,7 +126,14 @@ impl Device for LinePrinter {
             Some((ch, d)) => (1, ch as Word, d as Word),
             None => (0, 0, 0),
         };
-        vec![self.ready as Word, self.ie as Word, self.irq as Word, sf, sc, sd]
+        vec![
+            self.ready as Word,
+            self.ie as Word,
+            self.irq as Word,
+            sf,
+            sc,
+            sd,
+        ]
     }
 
     fn restore(&mut self, snapshot: &[Word]) {

@@ -147,12 +147,11 @@ impl Device for SerialLine {
                     self.tx_irq = true;
                 }
             }
-            6
-                if self.tx_ready => {
-                    self.tx_ready = false;
-                    self.tx_shift = Some(((value & 0o377) as u8, TX_DELAY));
-                }
-                // Writes while busy are lost, as on the hardware.
+            6 if self.tx_ready => {
+                self.tx_ready = false;
+                self.tx_shift = Some(((value & 0o377) as u8, TX_DELAY));
+            }
+            // Writes while busy are lost, as on the hardware.
             _ => {}
         }
     }

@@ -103,7 +103,11 @@ pub fn disassemble_at(words: &[Word], idx: usize, addr: Word) -> (Listing, usize
                 UnOp::Swab => "SWAB",
                 UnOp::Sxt => "SXT",
             };
-            let mnem = if byte { format!("{stem}B") } else { stem.to_string() };
+            let mnem = if byte {
+                format!("{stem}B")
+            } else {
+                stem.to_string()
+            };
             let d = operand(dst, &mut used);
             format!("{mnem} {d}")
         }
@@ -213,7 +217,10 @@ mod tests {
 
     fn dis(src: &str) -> Vec<String> {
         let prog = assemble(src).unwrap();
-        disassemble(&prog.words, 0).into_iter().map(|l| l.text).collect()
+        disassemble(&prog.words, 0)
+            .into_iter()
+            .map(|l| l.text)
+            .collect()
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::isa::{decode, BinOp, BranchCond, Instr, Operand, UnOp};
 use crate::mem::Memory;
 use crate::mmu::{Mmu, MmuAbort};
 use crate::types::{is_neg_b, is_neg_w, sign_extend_byte, PhysAddr, Word, SIGN_W};
+use sep_obs::{ObsEvent, Recorder, TrapKind, NO_CONTEXT};
 
 /// A condition that transfers control to the kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -87,6 +88,10 @@ pub struct Machine {
     pub steps: u64,
     /// Instructions retired.
     pub instructions: u64,
+    /// Observability recorder. Counters are always on; event tracing is
+    /// off unless the embedder enables it. Not part of machine state: the
+    /// verification adapter's state vector never reads it.
+    pub obs: Recorder,
 }
 
 /// Where an operand lives after addressing-mode resolution.
@@ -113,6 +118,7 @@ impl Machine {
             allow_dma: false,
             steps: 0,
             instructions: 0,
+            obs: Recorder::disabled(),
         }
     }
 
@@ -139,6 +145,14 @@ impl Machine {
         let dma_ops = self.devices.collect_dma();
         for (device, op) in dma_ops {
             if !self.allow_dma {
+                self.obs.metrics.device_mut(device).dma_blocked += 1;
+                let ts = self.instructions;
+                self.obs.emit(
+                    ts,
+                    ObsEvent::DmaBlocked {
+                        device: device as u16,
+                    },
+                );
                 return Some(Event::DmaBlocked { device });
             }
             match op {
@@ -148,8 +162,7 @@ impl Machine {
                     }
                 }
                 DmaOp::ReadMem { addr, len } => {
-                    let data: Vec<u8> =
-                        (0..len).map(|i| self.mem.read_byte(addr + i)).collect();
+                    let data: Vec<u8> = (0..len).map(|i| self.mem.read_byte(addr + i)).collect();
                     if let Some(d) = self.devices.get_mut(device) {
                         d.dma_complete(data);
                     }
@@ -165,9 +178,44 @@ impl Machine {
         if let Some((device, request)) = self.devices.highest_pending(self.cpu.psw.priority()) {
             return Event::Interrupt { device, request };
         }
-        match self.execute_one() {
+        let event = match self.execute_one() {
             Ok(ev) => ev,
             Err(t) => Event::Trap(t),
+        };
+        if let Event::Trap(trap) = &event {
+            self.note_trap(*trap);
+        }
+        event
+    }
+
+    /// Records a trap in the observability registry: totals, per-context
+    /// attribution, and (with tracing on) a trap event plus MMU detail.
+    fn note_trap(&mut self, trap: Trap) {
+        self.obs.metrics.totals.traps += 1;
+        let ctx = self.obs.context();
+        if ctx != NO_CONTEXT {
+            self.obs.metrics.regime_mut(ctx as usize).traps += 1;
+        }
+        let ts = self.instructions;
+        self.obs.emit(
+            ts,
+            ObsEvent::Trap {
+                regime: ctx,
+                kind: trap_kind(trap),
+            },
+        );
+        if let Trap::Mmu(abort) = trap {
+            if ctx != NO_CONTEXT {
+                self.obs.metrics.regime_mut(ctx as usize).mmu_faults += 1;
+            }
+            self.obs.emit(
+                ts,
+                ObsEvent::MmuFault {
+                    regime: ctx,
+                    vaddr: abort.vaddr,
+                    write: abort.write,
+                },
+            );
         }
     }
 
@@ -292,6 +340,7 @@ impl Machine {
         let word = self.fetch_word()?;
         let instr = decode(word).ok_or(Trap::Illegal { word })?;
         self.instructions += 1;
+        self.obs.instruction_retired();
         match instr {
             Instr::Double { op, byte, src, dst } => self.exec_double(op, byte, src, dst)?,
             Instr::Single { op, byte, dst } => self.exec_single(op, byte, dst)?,
@@ -353,7 +402,11 @@ impl Machine {
             }
             Instr::CondCode { set, mask } => {
                 let bits = self.cpu.psw.cc_bits();
-                let new = if set { bits | mask as Word } else { bits & !(mask as Word) };
+                let new = if set {
+                    bits | mask as Word
+                } else {
+                    bits & !(mask as Word)
+                };
                 self.cpu.psw.set_cc_bits(new);
             }
         }
@@ -445,7 +498,13 @@ impl Machine {
         }
     }
 
-    fn exec_double(&mut self, op: BinOp, byte: bool, src: Operand, dst: Operand) -> Result<(), Trap> {
+    fn exec_double(
+        &mut self,
+        op: BinOp,
+        byte: bool,
+        src: Operand,
+        dst: Operand,
+    ) -> Result<(), Trap> {
         if byte {
             return self.exec_double_b(op, src, dst);
         }
@@ -580,7 +639,9 @@ impl Machine {
             UnOp::Neg => {
                 let r = (self.read_place_w(dp)? as i16).wrapping_neg() as Word;
                 self.write_place_w(dp, r)?;
-                self.cpu.psw.set_nzvc(is_neg_w(r), r == 0, r == SIGN_W, r != 0);
+                self.cpu
+                    .psw
+                    .set_nzvc(is_neg_w(r), r == 0, r == SIGN_W, r != 0);
             }
             UnOp::Adc => {
                 let d = self.read_place_w(dp)?;
@@ -681,7 +742,9 @@ impl Machine {
             UnOp::Neg => {
                 let r = (self.read_place_b(dp)? as i8).wrapping_neg() as u8;
                 self.write_place_b(dp, r)?;
-                self.cpu.psw.set_nzvc(is_neg_b(r), r == 0, r == 0o200, r != 0);
+                self.cpu
+                    .psw
+                    .set_nzvc(is_neg_b(r), r == 0, r == 0o200, r != 0);
             }
             UnOp::Tst => {
                 let d = self.read_place_b(dp)?;
@@ -760,7 +823,10 @@ impl Machine {
             BranchCond::Bcs => p.c(),
         };
         if take {
-            self.cpu.pc = self.cpu.pc.wrapping_add((offset as i16 as Word).wrapping_mul(2));
+            self.cpu.pc = self
+                .cpu
+                .pc
+                .wrapping_add((offset as i16 as Word).wrapping_mul(2));
         }
     }
 
@@ -795,7 +861,7 @@ impl Machine {
         }
         let q = dividend / s;
         let rem = dividend % s;
-        if !( -(1 << 15)..(1 << 15)).contains(&q) {
+        if !(-(1 << 15)..(1 << 15)).contains(&q) {
             self.cpu.psw.set_nzvc(q < 0, false, true, false);
             return Ok(());
         }
@@ -824,5 +890,20 @@ impl Machine {
         let v_flag = (r < 0) != (v < 0);
         self.cpu.psw.set_nzvc(r < 0, r == 0, v_flag, c);
         Ok(())
+    }
+}
+
+/// The observability classification of a [`Trap`].
+fn trap_kind(trap: Trap) -> TrapKind {
+    match trap {
+        Trap::Mmu(_) => TrapKind::Mmu,
+        Trap::OddAddress { .. } => TrapKind::OddAddress,
+        Trap::BusError { .. } => TrapKind::BusError,
+        Trap::Illegal { .. } => TrapKind::Illegal,
+        Trap::Emt(_) => TrapKind::Emt,
+        Trap::TrapInstr(_) => TrapKind::TrapInstr,
+        Trap::Bpt => TrapKind::Bpt,
+        Trap::Iot => TrapKind::Iot,
+        Trap::Halt => TrapKind::Halt,
     }
 }

@@ -445,10 +445,7 @@ mod tests {
         ));
         assert!(matches!(
             decode(0o060001).unwrap(),
-            Instr::Double {
-                op: BinOp::Add,
-                ..
-            }
+            Instr::Double { op: BinOp::Add, .. }
         ));
     }
 
@@ -472,17 +469,11 @@ mod tests {
         ));
         assert!(matches!(
             decode(0o005201).unwrap(),
-            Instr::Single {
-                op: UnOp::Inc,
-                ..
-            }
+            Instr::Single { op: UnOp::Inc, .. }
         ));
         assert!(matches!(
             decode(0o000301).unwrap(),
-            Instr::Single {
-                op: UnOp::Swab,
-                ..
-            }
+            Instr::Single { op: UnOp::Swab, .. }
         ));
     }
 
@@ -540,12 +531,18 @@ mod tests {
         // NOP.
         assert!(matches!(
             decode(0o000240).unwrap(),
-            Instr::CondCode { set: false, mask: 0 }
+            Instr::CondCode {
+                set: false,
+                mask: 0
+            }
         ));
         // CLC.
         assert!(matches!(
             decode(0o000241).unwrap(),
-            Instr::CondCode { set: false, mask: 1 }
+            Instr::CondCode {
+                set: false,
+                mask: 1
+            }
         ));
         // SEZ.
         assert!(matches!(
@@ -556,10 +553,22 @@ mod tests {
 
     #[test]
     fn decode_eis() {
-        assert!(matches!(decode(0o070001).unwrap(), Instr::Mul { reg: 0, .. }));
-        assert!(matches!(decode(0o071001).unwrap(), Instr::Div { reg: 0, .. }));
-        assert!(matches!(decode(0o072001).unwrap(), Instr::Ash { reg: 0, .. }));
-        assert!(matches!(decode(0o074001).unwrap(), Instr::Xor { reg: 0, .. }));
+        assert!(matches!(
+            decode(0o070001).unwrap(),
+            Instr::Mul { reg: 0, .. }
+        ));
+        assert!(matches!(
+            decode(0o071001).unwrap(),
+            Instr::Div { reg: 0, .. }
+        ));
+        assert!(matches!(
+            decode(0o072001).unwrap(),
+            Instr::Ash { reg: 0, .. }
+        ));
+        assert!(matches!(
+            decode(0o074001).unwrap(),
+            Instr::Xor { reg: 0, .. }
+        ));
     }
 
     #[test]

@@ -36,8 +36,8 @@ pub mod types;
 
 pub use asm::{assemble, AsmError};
 pub use cpu::Cpu;
-pub use disasm::{disassemble, Listing};
 pub use dev::{Device, DeviceSet, InterruptRequest};
+pub use disasm::{disassemble, Listing};
 pub use exec::{Event, Machine, Trap};
 pub use mem::{Memory, IO_BASE, PHYS_SIZE};
 pub use mmu::{Access, Mmu, MmuAbort, SegmentDescriptor};

@@ -78,7 +78,9 @@ impl Memory {
 
     /// Reads `len` words starting at `addr` (must be even).
     pub fn dump_words(&self, addr: PhysAddr, len: usize) -> Vec<Word> {
-        (0..len).map(|i| self.read_word(addr + 2 * i as u32)).collect()
+        (0..len)
+            .map(|i| self.read_word(addr + 2 * i as u32))
+            .collect()
     }
 
     /// A 64-bit FNV-1a fingerprint of a physical range, used by state

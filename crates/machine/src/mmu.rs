@@ -50,8 +50,16 @@ impl SegmentDescriptor {
     /// Panics when `base` or `len` is not 64-byte aligned, or when `len`
     /// exceeds the 8 KiB segment size.
     pub fn mapping(base: PhysAddr, len: u32, access: Access) -> SegmentDescriptor {
-        assert_eq!(base % BLOCK, 0, "segment base {base:#o} not 64-byte aligned");
-        assert_eq!(len % BLOCK, 0, "segment length {len:#o} not 64-byte aligned");
+        assert_eq!(
+            base % BLOCK,
+            0,
+            "segment base {base:#o} not 64-byte aligned"
+        );
+        assert_eq!(
+            len % BLOCK,
+            0,
+            "segment length {len:#o} not 64-byte aligned"
+        );
         assert!(len <= SEGMENT_SIZE, "segment length {len:#o} exceeds 8 KiB");
         SegmentDescriptor {
             base_blocks: (base / BLOCK) as u16,

@@ -3,7 +3,7 @@
 use sep_machine::dev::clock::{LineClock, LKS_IE};
 use sep_machine::dev::dma::{DmaDisk, CSR_GO};
 use sep_machine::dev::serial::SerialLine;
-use sep_machine::mmu::{Access, AbortReason, SegmentDescriptor};
+use sep_machine::mmu::{AbortReason, Access, SegmentDescriptor};
 use sep_machine::psw::Mode;
 use sep_machine::{assemble, Device, Event, Machine, Trap};
 
@@ -181,7 +181,10 @@ fn illegal_instruction_traps() {
 fn odd_pc_traps() {
     let mut m = machine_with("NOP");
     m.cpu.pc = 1;
-    assert!(matches!(run(&mut m), Event::Trap(Trap::OddAddress { vaddr: 1 })));
+    assert!(matches!(
+        run(&mut m),
+        Event::Trap(Trap::OddAddress { vaddr: 1 })
+    ));
 }
 
 #[test]
@@ -250,7 +253,9 @@ fn clock_interrupt_surfaces_to_kernel() {
 loop:   BR loop
 ",
     );
-    let clk = m.devices.attach(Box::new(LineClock::new(0o777546, 0o100, 3)));
+    let clk = m
+        .devices
+        .attach(Box::new(LineClock::new(0o777546, 0o100, 3)));
     m.devices
         .downcast_mut::<LineClock>(clk)
         .unwrap()
@@ -268,7 +273,9 @@ loop:   BR loop
 #[test]
 fn cpu_priority_masks_interrupts() {
     let mut m = machine_with("loop: BR loop");
-    let clk = m.devices.attach(Box::new(LineClock::new(0o777546, 0o100, 1)));
+    let clk = m
+        .devices
+        .attach(Box::new(LineClock::new(0o777546, 0o100, 1)));
     m.devices
         .downcast_mut::<LineClock>(clk)
         .unwrap()
@@ -435,7 +442,10 @@ fn bus_error_on_unmapped_io() {
 
 #[test]
 fn emt_bpt_iot_surface_distinct_traps() {
-    assert_eq!(run(&mut machine_with("EMT 0o42")), Event::Trap(Trap::Emt(0o42)));
+    assert_eq!(
+        run(&mut machine_with("EMT 0o42")),
+        Event::Trap(Trap::Emt(0o42))
+    );
     assert_eq!(run(&mut machine_with("BPT")), Event::Trap(Trap::Bpt));
     assert_eq!(run(&mut machine_with("IOT")), Event::Trap(Trap::Iot));
 }

@@ -128,7 +128,11 @@ pub struct Violation {
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} violated for colour {}: {}", self.condition, self.colour, self.witness)
+        write!(
+            f,
+            "{} violated for colour {}: {}",
+            self.condition, self.colour, self.witness
+        )
     }
 }
 
@@ -171,7 +175,11 @@ impl fmt::Display for CheckReport {
         writeln!(
             f,
             "Proof of Separability: {} over {} states, {} ops, {} inputs ({} checks)",
-            if self.is_separable() { "SEPARABLE" } else { "VIOLATED" },
+            if self.is_separable() {
+                "SEPARABLE"
+            } else {
+                "VIOLATED"
+            },
             self.states,
             self.ops,
             self.inputs,
@@ -254,16 +262,50 @@ impl SeparabilityChecker {
             let phis: Vec<A::AState> = states.iter().map(|s| a.phi(sys, s)).collect();
             let colours: Vec<S::Colour> = states.iter().map(|s| sys.colour(s)).collect();
 
-            self.check_ops(sys, a, &states, &phis, &colours, &ops, &c, &colour_str, &mut report);
-            self.check_inputs(sys, a, &states, &phis, &inputs, &c, &colour_str, &mut report);
+            self.check_ops(
+                sys,
+                a,
+                &states,
+                &phis,
+                &colours,
+                &ops,
+                &c,
+                &colour_str,
+                &mut report,
+            );
+            self.check_inputs(
+                sys,
+                a,
+                &states,
+                &phis,
+                &inputs,
+                &c,
+                &colour_str,
+                &mut report,
+            );
             self.check_outputs(sys, a, &states, &phis, &c, &colour_str, &mut report);
-            self.check_next_op(sys, a, &states, &phis, &colours, &c, &colour_str, &mut report);
+            self.check_next_op(
+                sys,
+                a,
+                &states,
+                &phis,
+                &colours,
+                &c,
+                &colour_str,
+                &mut report,
+            );
         }
         report
     }
 
     /// Records a violation unless the per-condition cap is reached.
-    fn record(&self, report: &mut CheckReport, condition: Condition, colour: &str, witness: String) {
+    fn record(
+        &self,
+        report: &mut CheckReport,
+        condition: Condition,
+        colour: &str,
+        witness: String,
+    ) {
         if report.violations_of(condition).count() < self.max_violations_per_condition {
             report.violations.push(Violation {
                 condition,
@@ -375,10 +417,7 @@ impl SeparabilityChecker {
         {
             let mut seen: Vec<(usize, &S::View)> = Vec::new();
             for view in views.iter() {
-                let rep = seen
-                    .iter()
-                    .find(|(_, v)| *v == view)
-                    .map(|(idx, _)| *idx);
+                let rep = seen.iter().find(|(_, v)| *v == view).map(|(idx, _)| *idx);
                 match rep {
                     Some(r) => input_reps.push(r),
                     None => {

@@ -72,7 +72,10 @@ pub fn cut(sys: &ObjectSystem, channels: &[ObjRef]) -> CutSystem {
             }
         }
     }
-    CutSystem { system: out, aliases }
+    CutSystem {
+        system: out,
+        aliases,
+    }
 }
 
 /// Static isolation check: succeeds when no object is referenced by the
@@ -86,7 +89,10 @@ pub fn check_isolation(sys: &ObjectSystem) -> Result<(), Vec<InterferenceWitness
         if referencing.len() > 1 {
             witnesses.push(InterferenceWitness {
                 object: obj.name.clone(),
-                colours: referencing.iter().map(|&c| sys.colours[c].clone()).collect(),
+                colours: referencing
+                    .iter()
+                    .map(|&c| sys.colours[c].clone())
+                    .collect(),
             });
         }
     }

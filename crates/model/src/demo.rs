@@ -329,7 +329,10 @@ mod tests {
         let expected = [
             (Leak::OpReadsForeign, Condition::OpRespectsAbstraction),
             (Leak::OpWritesForeign, Condition::OpInvisibleToInactive),
-            (Leak::InputReadsForeignState, Condition::InputDependsOnlyOnView),
+            (
+                Leak::InputReadsForeignState,
+                Condition::InputDependsOnlyOnView,
+            ),
             (
                 Leak::InputReadsForeignComponent,
                 Condition::InputDependsOnlyOnOwnComponent,

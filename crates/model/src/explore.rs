@@ -94,12 +94,21 @@ impl SampledChecker {
     }
 
     /// Runs the sampled check.
-    pub fn check<S, A>(&self, sys: &S, abstractions: &[A], initial: &[S::State], inputs: &[S::Input]) -> CheckReport
+    pub fn check<S, A>(
+        &self,
+        sys: &S,
+        abstractions: &[A],
+        initial: &[S::State],
+        inputs: &[S::Input],
+    ) -> CheckReport
     where
         S: Projected,
         A: Abstraction<S>,
     {
-        assert!(!initial.is_empty(), "sampled check needs at least one initial state");
+        assert!(
+            !initial.is_empty(),
+            "sampled check needs at least one initial state"
+        );
         assert!(!inputs.is_empty(), "sampled check needs at least one input");
         let mut rng = SplitMix64::new(self.seed);
         let mut report = CheckReport::default();

@@ -241,10 +241,7 @@ impl Projected for ObjectSystem {
     }
 
     fn extract_output(&self, c: &u8, o: &Vec<Value>) -> Vec<Value> {
-        self.footprint(*c as usize)
-            .iter()
-            .map(|r| o[r.0])
-            .collect()
+        self.footprint(*c as usize).iter().map(|r| o[r.0]).collect()
     }
 }
 
@@ -298,7 +295,12 @@ impl Abstraction<ObjectSystem> for FootprintAbstraction {
         *op
     }
 
-    fn apply_abstract(&self, sys: &ObjectSystem, _aop: &StepOp, a: &(Vec<Value>, u8)) -> (Vec<Value>, u8) {
+    fn apply_abstract(
+        &self,
+        sys: &ObjectSystem,
+        _aop: &StepOp,
+        a: &(Vec<Value>, u8),
+    ) -> (Vec<Value>, u8) {
         // Reconstruct a concrete-shaped scratch state holding only this
         // colour's footprint, run the colour's own step on it, and project
         // back. This is the abstract machine the paper requires: it is

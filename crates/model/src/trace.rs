@@ -60,7 +60,10 @@ impl<T: Clone + PartialEq + Debug> TraceSet<T> {
 
     /// Appends an observation for `colour`.
     pub fn record(&mut self, colour: &str, event: T) {
-        self.traces.entry(colour.to_string()).or_default().push(event);
+        self.traces
+            .entry(colour.to_string())
+            .or_default()
+            .push(event);
     }
 
     /// The trace of one colour (empty if it observed nothing).
@@ -126,8 +129,12 @@ pub fn first_divergence<T: PartialEq + Debug>(a: &[T], b: &[T]) -> Option<(usize
     }
     match a.len().cmp(&b.len()) {
         core::cmp::Ordering::Equal => None,
-        core::cmp::Ordering::Less => Some((a.len(), "<absent>".to_string(), format!("{:?}", b[a.len()]))),
-        core::cmp::Ordering::Greater => Some((b.len(), format!("{:?}", a[b.len()]), "<absent>".to_string())),
+        core::cmp::Ordering::Less => {
+            Some((a.len(), "<absent>".to_string(), format!("{:?}", b[a.len()])))
+        }
+        core::cmp::Ordering::Greater => {
+            Some((b.len(), format!("{:?}", a[b.len()]), "<absent>".to_string()))
+        }
     }
 }
 

@@ -1,0 +1,243 @@
+//! Structured kernel events.
+//!
+//! Events are small, `Copy`, and carry indices rather than names: the hot
+//! paths that emit them must not allocate. Names are resolved at report
+//! time through the [`crate::metrics::Metrics`] registry.
+
+use core::fmt;
+
+/// The class of a trap, mirrored from the machine's trap enum so this crate
+/// stays dependency-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrapKind {
+    /// Memory-management abort (the MMU said no).
+    Mmu,
+    /// Word access to an odd address.
+    OddAddress,
+    /// Bus timeout (no device at an I/O-page address).
+    BusError,
+    /// Reserved or unimplemented instruction.
+    Illegal,
+    /// EMT instruction.
+    Emt,
+    /// TRAP instruction — the kernel-call vehicle.
+    TrapInstr,
+    /// Breakpoint.
+    Bpt,
+    /// I/O trap instruction.
+    Iot,
+    /// HALT in user mode.
+    Halt,
+}
+
+impl TrapKind {
+    /// Stable lowercase label used in traces and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrapKind::Mmu => "mmu",
+            TrapKind::OddAddress => "odd-address",
+            TrapKind::BusError => "bus-error",
+            TrapKind::Illegal => "illegal",
+            TrapKind::Emt => "emt",
+            TrapKind::TrapInstr => "trap",
+            TrapKind::Bpt => "bpt",
+            TrapKind::Iot => "iot",
+            TrapKind::Halt => "halt",
+        }
+    }
+}
+
+/// One observable thing the system did.
+///
+/// `regime`, `device`, `channel`, and `node` are indices into the owning
+/// configuration; `u16::MAX` (from [`crate::recorder::Recorder`]'s default
+/// context) means "no regime established yet" (boot-time activity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObsEvent {
+    /// Control passed between regimes.
+    ContextSwitch {
+        /// Outgoing regime.
+        from: u16,
+        /// Incoming regime.
+        to: u16,
+    },
+    /// A trap transferred control to the kernel.
+    Trap {
+        /// The trapping regime.
+        regime: u16,
+        /// What kind of trap.
+        kind: TrapKind,
+    },
+    /// A kernel call was serviced.
+    Syscall {
+        /// The calling regime.
+        regime: u16,
+        /// The TRAP operand.
+        number: u8,
+    },
+    /// A device interrupt was fielded by the kernel (acknowledged and
+    /// queued for the owning regime).
+    InterruptFielded {
+        /// The regime the interrupt was queued for.
+        regime: u16,
+        /// Machine device index.
+        device: u16,
+        /// The interrupt vector.
+        vector: u16,
+    },
+    /// A queued interrupt was delivered into a regime's handler.
+    InterruptDelivered {
+        /// The receiving regime.
+        regime: u16,
+        /// The interrupt vector.
+        vector: u16,
+    },
+    /// The kernel accepted a message onto a channel.
+    ChannelSend {
+        /// Channel index.
+        channel: u16,
+        /// Sending regime.
+        from: u16,
+        /// Message bytes copied out of the sender's partition.
+        bytes: u32,
+    },
+    /// The kernel delivered a message from a channel.
+    ChannelRecv {
+        /// Channel index.
+        channel: u16,
+        /// Receiving regime.
+        to: u16,
+        /// Message bytes copied into the receiver's partition.
+        bytes: u32,
+    },
+    /// The MMU refused a reference (detail for a `Trap { kind: Mmu }`).
+    MmuFault {
+        /// The faulting regime.
+        regime: u16,
+        /// The offending virtual address.
+        vaddr: u16,
+        /// Whether the reference was a write.
+        write: bool,
+    },
+    /// A DMA attempt was refused (DMA is excluded from the system).
+    DmaBlocked {
+        /// The offending device index.
+        device: u16,
+    },
+    /// The conventional baseline kernel evaluated a policy decision.
+    PolicyMediation {
+        /// The mediated subject (process index).
+        subject: u16,
+        /// Whether the access was allowed.
+        allowed: bool,
+    },
+    /// A node pushed a message onto a dedicated wire.
+    WireSend {
+        /// Sending node index.
+        node: u16,
+        /// Message bytes.
+        bytes: u32,
+    },
+    /// A node popped a message off a dedicated wire.
+    WireRecv {
+        /// Receiving node index.
+        node: u16,
+        /// Message bytes.
+        bytes: u32,
+    },
+}
+
+impl ObsEvent {
+    /// Stable lowercase label of the event class, used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ObsEvent::ContextSwitch { .. } => "context-switch",
+            ObsEvent::Trap { .. } => "trap",
+            ObsEvent::Syscall { .. } => "syscall",
+            ObsEvent::InterruptFielded { .. } => "interrupt-fielded",
+            ObsEvent::InterruptDelivered { .. } => "interrupt-delivered",
+            ObsEvent::ChannelSend { .. } => "channel-send",
+            ObsEvent::ChannelRecv { .. } => "channel-recv",
+            ObsEvent::MmuFault { .. } => "mmu-fault",
+            ObsEvent::DmaBlocked { .. } => "dma-blocked",
+            ObsEvent::PolicyMediation { .. } => "policy-mediation",
+            ObsEvent::WireSend { .. } => "wire-send",
+            ObsEvent::WireRecv { .. } => "wire-recv",
+        }
+    }
+}
+
+impl fmt::Display for ObsEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ObsEvent::ContextSwitch { from, to } => write!(f, "context-switch {from}->{to}"),
+            ObsEvent::Trap { regime, kind } => write!(f, "trap r{regime} {}", kind.label()),
+            ObsEvent::Syscall { regime, number } => write!(f, "syscall r{regime} #{number}"),
+            ObsEvent::InterruptFielded {
+                regime,
+                device,
+                vector,
+            } => {
+                write!(f, "interrupt-fielded r{regime} dev{device} vec{vector:o}")
+            }
+            ObsEvent::InterruptDelivered { regime, vector } => {
+                write!(f, "interrupt-delivered r{regime} vec{vector:o}")
+            }
+            ObsEvent::ChannelSend {
+                channel,
+                from,
+                bytes,
+            } => {
+                write!(f, "channel-send ch{channel} r{from} {bytes}B")
+            }
+            ObsEvent::ChannelRecv { channel, to, bytes } => {
+                write!(f, "channel-recv ch{channel} r{to} {bytes}B")
+            }
+            ObsEvent::MmuFault {
+                regime,
+                vaddr,
+                write,
+            } => {
+                write!(
+                    f,
+                    "mmu-fault r{regime} va{vaddr:o} {}",
+                    if write { "w" } else { "r" }
+                )
+            }
+            ObsEvent::DmaBlocked { device } => write!(f, "dma-blocked dev{device}"),
+            ObsEvent::PolicyMediation { subject, allowed } => {
+                write!(
+                    f,
+                    "policy-mediation s{subject} {}",
+                    if allowed { "allow" } else { "deny" }
+                )
+            }
+            ObsEvent::WireSend { node, bytes } => write!(f, "wire-send n{node} {bytes}B"),
+            ObsEvent::WireRecv { node, bytes } => write!(f, "wire-recv n{node} {bytes}B"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(
+            ObsEvent::ContextSwitch { from: 0, to: 1 }.label(),
+            "context-switch"
+        );
+        assert_eq!(TrapKind::TrapInstr.label(), "trap");
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let e = ObsEvent::ChannelSend {
+            channel: 2,
+            from: 0,
+            bytes: 4,
+        };
+        assert_eq!(e.to_string(), "channel-send ch2 r0 4B");
+    }
+}

@@ -1,0 +1,236 @@
+//! A dependency-free JSON writer.
+//!
+//! The run reports must be machine-readable without dragging serde into an
+//! offline-built workspace, so this is the minimal value tree plus a
+//! deterministic serializer: object members keep insertion order, numbers
+//! render via Rust's shortest-roundtrip formatting, and strings are escaped
+//! per RFC 8259. Writing only — the reports are produced here and parsed
+//! elsewhere.
+
+use core::fmt::Write;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (most counters).
+    Int(u64),
+    /// A float (timings, rates). NaN/infinite values render as `null`.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; members serialize in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Adds a member to an object, builder-style.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` is not an object.
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(members) => members.push((key.to_string(), value.into())),
+            _ => panic!("field() on a non-object"),
+        }
+        self
+    }
+
+    /// Serializes compactly (no whitespace).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes with two-space indentation.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (nl, pad, pad_in) = match indent {
+            Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
+            None => ("", String::new(), String::new()),
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Float(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    item.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::Int(n)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::Int(n as u64)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(n: u32) -> Json {
+        Json::Int(n as u64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Float(x)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_object_in_insertion_order() {
+        let j = Json::obj().field("b", 1u64).field("a", "x");
+        assert_eq!(j.to_compact(), r#"{"b":1,"a":"x"}"#);
+    }
+
+    #[test]
+    fn strings_escape_controls_and_quotes() {
+        let j = Json::Str("a\"b\\c\nd\u{1}".into());
+        assert_eq!(j.to_compact(), r#""a\"b\\c\nd\u0001""#);
+    }
+
+    #[test]
+    fn nested_pretty_round_trips_shape() {
+        let j = Json::obj()
+            .field("xs", vec![1u64, 2, 3])
+            .field("o", Json::obj().field("k", Json::Null));
+        let pretty = j.to_pretty();
+        assert!(pretty.contains("\"xs\": [\n"));
+        assert!(pretty.ends_with("}\n"));
+        // Compact form of the same tree.
+        assert_eq!(j.to_compact(), r#"{"xs":[1,2,3],"o":{"k":null}}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(Json::Float(f64::NAN).to_compact(), "null");
+        assert_eq!(Json::Float(1.5).to_compact(), "1.5");
+    }
+
+    #[test]
+    fn empty_containers_stay_compact_when_pretty() {
+        let j = Json::obj()
+            .field("a", Json::Arr(vec![]))
+            .field("o", Json::obj());
+        assert_eq!(j.to_compact(), r#"{"a":[],"o":{}}"#);
+    }
+}

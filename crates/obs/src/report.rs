@@ -1,0 +1,256 @@
+//! Machine-readable run reports (`BENCH_obs_*.json`).
+//!
+//! A [`RunReport`] is what an experiment binary emits next to its Markdown
+//! tables: the experiment name, its parameters, the metrics of every run,
+//! and (optionally) a trace summary. Reports built without wall-clock
+//! timing are **deterministic**: two identical runs serialize to identical
+//! bytes, which is what makes an EXPERIMENTS.md row reproducible evidence
+//! rather than an anecdote. Wall-clock timing, when attached, is kept in a
+//! separate `wall` section so consumers can diff everything else across
+//! machines.
+//!
+//! Report schema (`sep-obs/v1`):
+//!
+//! ```json
+//! {
+//!   "schema": "sep-obs/v1",
+//!   "experiment": "e1_kernel_size",
+//!   "params": { "...": "..." },
+//!   "runs": [
+//!     {
+//!       "name": "separation",
+//!       "totals": { "instructions": 0, "traps": 0, "switches": 0, ... },
+//!       "regimes": [ { "name": "r0", "instructions": 0, ... } ],
+//!       "devices": [ { "name": "r0-tty0", "interrupts": 0, ... } ],
+//!       "trace": { "capacity": 0, "recorded": 0, "dropped": 0, "events": [...] }
+//!     }
+//!   ],
+//!   "wall": { "separation_ms": 1.25 }
+//! }
+//! ```
+
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::sink::TraceBuffer;
+use std::io;
+use std::path::Path;
+
+/// The schema identifier written into every report.
+pub const SCHEMA: &str = "sep-obs/v1";
+
+/// A run report under construction.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    experiment: String,
+    params: Vec<(String, Json)>,
+    runs: Vec<(String, Json)>,
+    wall: Vec<(String, f64)>,
+}
+
+impl RunReport {
+    /// A report for the named experiment.
+    pub fn new(experiment: &str) -> RunReport {
+        RunReport {
+            experiment: experiment.to_string(),
+            ..RunReport::default()
+        }
+    }
+
+    /// Attaches an experiment parameter.
+    pub fn param(mut self, key: &str, value: impl Into<Json>) -> RunReport {
+        self.params.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Attaches one named run's metrics (no trace).
+    pub fn run(self, name: &str, metrics: &Metrics) -> RunReport {
+        self.run_with_trace(name, metrics, None, 0)
+    }
+
+    /// Attaches one named run's metrics plus a trace summary keeping at
+    /// most `keep_events` rendered events.
+    pub fn run_with_trace(
+        mut self,
+        name: &str,
+        metrics: &Metrics,
+        trace: Option<&TraceBuffer>,
+        keep_events: usize,
+    ) -> RunReport {
+        let mut run = Json::obj().field("name", name);
+        run = match run {
+            Json::Obj(mut members) => {
+                if let Json::Obj(metric_members) = metrics_json(metrics) {
+                    members.extend(metric_members);
+                }
+                Json::Obj(members)
+            }
+            other => other,
+        };
+        if let Some(t) = trace {
+            run = run.field("trace", trace_json(t, keep_events));
+        }
+        self.runs.push((name.to_string(), run));
+        self
+    }
+
+    /// Attaches a wall-clock timing (kept apart from the deterministic
+    /// sections).
+    pub fn wall_ms(mut self, name: &str, ms: f64) -> RunReport {
+        self.wall.push((name.to_string(), ms));
+        self
+    }
+
+    /// The report as a JSON value. Deterministic given identical inputs.
+    pub fn to_json(&self) -> Json {
+        let mut report = Json::obj()
+            .field("schema", SCHEMA)
+            .field("experiment", self.experiment.as_str())
+            .field("params", Json::Obj(self.params.clone()))
+            .field(
+                "runs",
+                Json::Arr(self.runs.iter().map(|(_, j)| j.clone()).collect()),
+            );
+        if !self.wall.is_empty() {
+            report = report.field(
+                "wall",
+                Json::Obj(
+                    self.wall
+                        .iter()
+                        .map(|(k, v)| (format!("{k}_ms"), Json::Float(*v)))
+                        .collect(),
+                ),
+            );
+        }
+        report
+    }
+
+    /// The pretty-printed report.
+    pub fn render(&self) -> String {
+        self.to_json().to_pretty()
+    }
+
+    /// Writes the report to `path`.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+}
+
+/// A [`Metrics`] registry as the `totals`/`regimes`/`devices` JSON members.
+pub fn metrics_json(m: &Metrics) -> Json {
+    let t = &m.totals;
+    let totals = Json::obj()
+        .field("instructions", t.instructions)
+        .field("traps", t.traps)
+        .field("switches", t.switches)
+        .field("interrupts_fielded", t.interrupts_fielded)
+        .field("interrupts_delivered", t.interrupts_delivered)
+        .field("messages", t.messages)
+        .field("channel_bytes", t.channel_bytes)
+        .field("faults", t.faults)
+        .field("policy_mediations", t.policy_mediations)
+        .field("wire_messages", t.wire_messages)
+        .field("wire_bytes", t.wire_bytes);
+    let regimes = Json::Arr(
+        m.regimes()
+            .iter()
+            .map(|(name, c)| {
+                Json::obj()
+                    .field("name", name.as_str())
+                    .field("instructions", c.instructions)
+                    .field("native_steps", c.native_steps)
+                    .field("traps", c.traps)
+                    .field("syscalls", c.syscalls)
+                    .field("mmu_faults", c.mmu_faults)
+                    .field("switches_in", c.switches_in)
+                    .field("switches_out", c.switches_out)
+                    .field("interrupts_fielded", c.interrupts_fielded)
+                    .field("interrupts_delivered", c.interrupts_delivered)
+                    .field("faults", c.faults)
+                    .field("messages_sent", c.messages_sent)
+                    .field("messages_received", c.messages_received)
+                    .field("channel_bytes_sent", c.channel_bytes_sent)
+                    .field("channel_bytes_received", c.channel_bytes_received)
+            })
+            .collect(),
+    );
+    let devices = Json::Arr(
+        m.devices()
+            .iter()
+            .map(|(name, c)| {
+                Json::obj()
+                    .field("name", name.as_str())
+                    .field("interrupts", c.interrupts)
+                    .field("dma_blocked", c.dma_blocked)
+            })
+            .collect(),
+    );
+    Json::obj()
+        .field("totals", totals)
+        .field("regimes", regimes)
+        .field("devices", devices)
+}
+
+/// A trace as JSON: counts always, plus up to `keep_events` rendered
+/// events (oldest first of the retained window).
+pub fn trace_json(t: &TraceBuffer, keep_events: usize) -> Json {
+    let events: Vec<Json> = t
+        .events()
+        .into_iter()
+        .take(keep_events)
+        .map(|e| {
+            Json::obj()
+                .field("ts", e.ts)
+                .field("kind", e.event.label())
+                .field("event", e.event.to_string())
+        })
+        .collect();
+    Json::obj()
+        .field("capacity", t.capacity())
+        .field("recorded", t.recorded())
+        .field("dropped", t.dropped())
+        .field("events", Json::Arr(events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ObsEvent;
+    use crate::sink::EventSink;
+
+    #[test]
+    fn report_is_deterministic_for_identical_inputs() {
+        let build = || {
+            let mut m = Metrics::new();
+            m.register_regime(0, "red");
+            m.regime_mut(0).instructions = 42;
+            m.totals.instructions = 42;
+            RunReport::new("e0")
+                .param("n", 2u64)
+                .run("separation", &m)
+                .render()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn schema_and_sections_present() {
+        let m = Metrics::new();
+        let s = RunReport::new("e9").run("a", &m).wall_ms("a", 1.5).render();
+        assert!(s.contains("\"schema\": \"sep-obs/v1\""));
+        assert!(s.contains("\"experiment\": \"e9\""));
+        assert!(s.contains("\"totals\""));
+        assert!(s.contains("\"a_ms\""));
+    }
+
+    #[test]
+    fn trace_summary_counts_and_limits_events() {
+        let mut t = TraceBuffer::new(4);
+        for i in 0..6u64 {
+            t.record(i, ObsEvent::DmaBlocked { device: 0 });
+        }
+        let j = trace_json(&t, 2).to_compact();
+        assert!(j.contains("\"recorded\":6"));
+        assert!(j.contains("\"dropped\":2"));
+        assert_eq!(j.matches("\"kind\"").count(), 2);
+    }
+}

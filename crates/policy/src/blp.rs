@@ -121,7 +121,12 @@ impl BlpEngine {
 
     /// Registers a subject; `current` starts equal to `clearance`'s glb with
     /// itself (i.e. the clearance).
-    pub fn add_subject(&mut self, name: &str, clearance: SecurityLevel, trusted: bool) -> SubjectId {
+    pub fn add_subject(
+        &mut self,
+        name: &str,
+        clearance: SecurityLevel,
+        trusted: bool,
+    ) -> SubjectId {
         let id = SubjectId(self.state.next_subject);
         self.state.next_subject += 1;
         self.state.subjects.insert(
@@ -151,7 +156,12 @@ impl BlpEngine {
     }
 
     /// Grants a discretionary access right.
-    pub fn grant(&mut self, s: SubjectId, o: ObjectId, mode: AccessMode) -> Result<(), PolicyError> {
+    pub fn grant(
+        &mut self,
+        s: SubjectId,
+        o: ObjectId,
+        mode: AccessMode,
+    ) -> Result<(), PolicyError> {
         self.subject(s)?;
         self.object(o)?;
         self.state.matrix.entry((s, o)).or_default().insert(mode);
@@ -187,7 +197,11 @@ impl BlpEngine {
     ///
     /// Raising above clearance is refused; BLP tranquility of *objects* is
     /// preserved by providing no object-relabelling operation at all.
-    pub fn set_current_level(&mut self, s: SubjectId, level: SecurityLevel) -> Result<(), PolicyError> {
+    pub fn set_current_level(
+        &mut self,
+        s: SubjectId,
+        level: SecurityLevel,
+    ) -> Result<(), PolicyError> {
         let subject = self
             .state
             .subjects
@@ -206,7 +220,12 @@ impl BlpEngine {
     ///
     /// For a trusted subject this reports the verdict a real request would
     /// get, but does not record an audit entry.
-    pub fn check_access(&self, s: SubjectId, o: ObjectId, mode: AccessMode) -> Result<(), PolicyError> {
+    pub fn check_access(
+        &self,
+        s: SubjectId,
+        o: ObjectId,
+        mode: AccessMode,
+    ) -> Result<(), PolicyError> {
         self.decide(s, o, mode).map(|_| ())
     }
 
@@ -214,7 +233,12 @@ impl BlpEngine {
     ///
     /// Trusted subjects are permitted ★-property-violating accesses; each
     /// such permission is appended to the audit trail.
-    pub fn request_access(&mut self, s: SubjectId, o: ObjectId, mode: AccessMode) -> Result<(), PolicyError> {
+    pub fn request_access(
+        &mut self,
+        s: SubjectId,
+        o: ObjectId,
+        mode: AccessMode,
+    ) -> Result<(), PolicyError> {
         let exercised_trust = self.decide(s, o, mode)?;
         self.state.current_accesses.insert((s, o, mode));
         if exercised_trust {
@@ -314,11 +338,19 @@ mod tests {
         SecurityLevel::plain(Classification::Unclassified)
     }
 
-    fn engine_with(sub_level: SecurityLevel, obj_level: SecurityLevel) -> (BlpEngine, SubjectId, ObjectId) {
+    fn engine_with(
+        sub_level: SecurityLevel,
+        obj_level: SecurityLevel,
+    ) -> (BlpEngine, SubjectId, ObjectId) {
         let mut e = BlpEngine::new();
         let s = e.add_subject("s", sub_level, false);
         let o = e.add_object("o", obj_level);
-        for m in [AccessMode::Read, AccessMode::Append, AccessMode::Write, AccessMode::Execute] {
+        for m in [
+            AccessMode::Read,
+            AccessMode::Append,
+            AccessMode::Write,
+            AccessMode::Execute,
+        ] {
             e.grant(s, o, m).unwrap();
         }
         (e, s, o)

@@ -134,8 +134,9 @@ impl ChannelPolicy {
     /// direction. Two colours in different components are *isolated*: no
     /// sequence of channels connects them at all.
     pub fn isolation_classes(&self) -> Vec<BTreeSet<ColourId>> {
-        let mut parent: BTreeMap<ColourId, ColourId> =
-            (0..self.names.len() as u32).map(|i| (ColourId(i), ColourId(i))).collect();
+        let mut parent: BTreeMap<ColourId, ColourId> = (0..self.names.len() as u32)
+            .map(|i| (ColourId(i), ColourId(i)))
+            .collect();
 
         fn find(parent: &mut BTreeMap<ColourId, ColourId>, c: ColourId) -> ColourId {
             let p = parent[&c];
@@ -211,7 +212,10 @@ mod tests {
         assert!(p.is_allowed(a, b));
         assert!(!p.is_allowed(b, a));
         assert!(p.check(a, b).is_ok());
-        assert!(matches!(p.check(b, a), Err(PolicyError::ChannelForbidden { .. })));
+        assert!(matches!(
+            p.check(b, a),
+            Err(PolicyError::ChannelForbidden { .. })
+        ));
     }
 
     #[test]

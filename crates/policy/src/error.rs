@@ -64,13 +64,19 @@ impl fmt::Display for PolicyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PolicyError::SimpleSecurityViolation { subject, object } => {
-                write!(f, "ss-property violation: {subject} may not observe {object}")
+                write!(
+                    f,
+                    "ss-property violation: {subject} may not observe {object}"
+                )
             }
             PolicyError::StarPropertyViolation { subject, object } => {
                 write!(f, "*-property violation: {subject} may not alter {object}")
             }
             PolicyError::DiscretionaryViolation { subject, object } => {
-                write!(f, "ds-property violation: {subject} holds no grant for {object}")
+                write!(
+                    f,
+                    "ds-property violation: {subject} holds no grant for {object}"
+                )
             }
             PolicyError::UnknownSubject(s) => write!(f, "unknown subject: {s}"),
             PolicyError::UnknownObject(o) => write!(f, "unknown object: {o}"),

@@ -208,7 +208,10 @@ mod tests {
     }
 
     fn confidential_a() -> SecurityLevel {
-        SecurityLevel::new(Classification::Confidential, CategorySet::from_indices(&[0]))
+        SecurityLevel::new(
+            Classification::Confidential,
+            CategorySet::from_indices(&[0]),
+        )
     }
 
     #[test]
@@ -248,7 +251,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(SecurityLevel::plain(Classification::Secret).to_string(), "SECRET");
+        assert_eq!(
+            SecurityLevel::plain(Classification::Secret).to_string(),
+            "SECRET"
+        );
         assert_eq!(secret_ab().to_string(), "SECRET {C0,C1}");
     }
 

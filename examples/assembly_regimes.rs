@@ -116,7 +116,10 @@ fn main() {
     kernel.host_send_serial(0, b"hello from the host, via three regimes");
     kernel.run(6000);
     let out = kernel.host_take_serial_output(2);
-    println!("\nhost sent:     {:?}", "hello from the host, via three regimes");
+    println!(
+        "\nhost sent:     {:?}",
+        "hello from the host, via three regimes"
+    );
     println!("network heard: {:?}", String::from_utf8_lossy(&out));
     assert_eq!(out, b"HELLO FROM THE HOST, VIA THREE REGIMES");
     println!(

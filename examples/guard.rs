@@ -24,10 +24,15 @@ fn main() {
     ];
 
     let low = spec.add("low-system", Box::new(Source::new("low-system", low_msgs)));
-    let high = spec.add("high-system", Box::new(Source::new("high-system", high_msgs)));
+    let high = spec.add(
+        "high-system",
+        Box::new(Source::new("high-system", high_msgs)),
+    );
     let guard = spec.add(
         "guard",
-        Box::new(Guard::new(Box::new(DirtyWordOfficer::new(&["NOFORN", "SECRET"])))),
+        Box::new(Guard::new(Box::new(DirtyWordOfficer::new(&[
+            "NOFORN", "SECRET",
+        ])))),
     );
     let (high_sink, _h_log) = Traced::new(Box::new(Sink::new("high-inbox")));
     let high_inbox = spec.add("high-inbox", high_sink);

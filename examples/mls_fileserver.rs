@@ -34,7 +34,10 @@ fn main() {
     ];
 
     let low = spec.add("low-user", Box::new(Source::new("low-user", low_session)));
-    let high = spec.add("high-user", Box::new(Source::new("high-user", high_session)));
+    let high = spec.add(
+        "high-user",
+        Box::new(Source::new("high-user", high_session)),
+    );
     let print_line = spec.add(
         "print-line",
         Box::new(Source::new(
@@ -44,8 +47,16 @@ fn main() {
     );
 
     let fs = FileServer::new(vec![
-        FsClient { name: "low".into(), level: unclass, special_delete: false },
-        FsClient { name: "high".into(), level: secret, special_delete: false },
+        FsClient {
+            name: "low".into(),
+            level: unclass,
+            special_delete: false,
+        },
+        FsClient {
+            name: "high".into(),
+            level: secret,
+            special_delete: false,
+        },
         FsClient {
             name: "printer".into(),
             level: SecurityLevel::plain(Classification::TopSecret),
@@ -82,8 +93,20 @@ fn main() {
             .map(|f| Status::from_code(f[0]).unwrap_or(Status::Bad))
             .collect()
     };
-    let low_statuses = decode(low_rsp_log.borrow().get("in/rx").cloned().unwrap_or_default());
-    let high_statuses = decode(high_rsp_log.borrow().get("in/rx").cloned().unwrap_or_default());
+    let low_statuses = decode(
+        low_rsp_log
+            .borrow()
+            .get("in/rx")
+            .cloned()
+            .unwrap_or_default(),
+    );
+    let high_statuses = decode(
+        high_rsp_log
+            .borrow()
+            .get("in/rx")
+            .cloned()
+            .unwrap_or_default(),
+    );
 
     println!("low user request outcomes:  {low_statuses:?}");
     println!("high user request outcomes: {high_statuses:?}");

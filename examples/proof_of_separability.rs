@@ -45,7 +45,10 @@ fn main() {
         ("correct kernel", Mutation::None),
         ("mutant: skip R3 restore", Mutation::SkipR3Save),
         ("mutant: leak condition codes", Mutation::LeakConditionCodes),
-        ("mutant: kernel scratch in partition", Mutation::ScratchInPartition),
+        (
+            "mutant: kernel scratch in partition",
+            Mutation::ScratchInPartition,
+        ),
     ] {
         let mut config = workload();
         config.mutation = mutation;
@@ -54,7 +57,11 @@ fn main() {
         println!("{label}:");
         println!(
             "  {} over {} states ({} checks)",
-            if report.is_separable() { "SEPARABLE" } else { "VIOLATED" },
+            if report.is_separable() {
+                "SEPARABLE"
+            } else {
+                "VIOLATED"
+            },
             report.states,
             report.total_checks()
         );
@@ -83,7 +90,11 @@ fn main() {
     let report = SeparabilityChecker::new().check(&machine, &machine.abstractions());
     println!(
         "\nProof of Separability on the SWAP semantics: {} over {} states",
-        if report.is_separable() { "SEPARABLE" } else { "VIOLATED" },
+        if report.is_separable() {
+            "SEPARABLE"
+        } else {
+            "VIOLATED"
+        },
         report.states
     );
     println!("\nIFA rejects the manifestly-secure SWAP under every labelling;");

@@ -38,7 +38,11 @@ fn main() {
     let (policy, [host, red, crypto, censor, black, network]) = ChannelPolicy::snfe();
     println!("SNFE channel policy (the paper's figure):");
     for (a, b) in policy.edges() {
-        println!("  {} -> {}", policy.name(a).unwrap(), policy.name(b).unwrap());
+        println!(
+            "  {} -> {}",
+            policy.name(a).unwrap(),
+            policy.name(b).unwrap()
+        );
     }
     println!(
         "  red -> black direct? {}   host can reach network? {}\n",
@@ -59,16 +63,23 @@ fn main() {
     );
     snfe.network.run(100);
     let net = network_frames(&snfe);
-    println!("honest run: {} frames reached the network, all encrypted", net.len());
-    let any_cleartext = net
-        .iter()
-        .any(|f| f.windows(9).any(|w| w == b"datagram "));
+    println!(
+        "honest run: {} frames reached the network, all encrypted",
+        net.len()
+    );
+    let any_cleartext = net.iter().any(|f| f.windows(9).any(|w| w == b"datagram "));
     println!("  cleartext visible on the network: {any_cleartext}\n");
 
     // Malicious red vs the censor dial (experiment E4 in miniature).
     let secret = b"THE-CODEWORD-IS-SWORDFISH";
-    println!("malicious red exfiltrating {} bytes via the bypass pad byte:", secret.len());
-    println!("  {:<22} {:>8} {:>10} {:>12}", "censor policy", "headers", "bit-err", "bits/round");
+    println!(
+        "malicious red exfiltrating {} bytes via the bypass pad byte:",
+        secret.len()
+    );
+    println!(
+        "  {:<22} {:>8} {:>10} {:>12}",
+        "censor policy", "headers", "bit-err", "bits/round"
+    );
     for (name, policy) in [
         ("off (no censor)", CensorPolicy::off()),
         ("format checks", CensorPolicy::format_only()),

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything here must pass offline, from a clean
+# checkout, with no network access. CI runs exactly this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> build (release)"
+cargo build --release --workspace
+
+echo "==> test"
+cargo test -q --workspace
+
+echo "==> clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> rustfmt (check only)"
+cargo fmt --all --check
+
+echo "verify: OK"

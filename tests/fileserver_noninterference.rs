@@ -82,9 +82,9 @@ fn low_observations(high_seq: &[HighReq]) -> Vec<Vec<u8>> {
         fsreq::list(),
         fsreq::read("lfile", unclass()),
         fsreq::create("lfile", unclass()),
-        fsreq::create("hfile", secret()),          // blind create-up collision probe
+        fsreq::create("hfile", secret()), // blind create-up collision probe
         fsreq::write("hfile", secret(), b"probe"), // blind write-up existence probe
-        fsreq::append("hfile", secret(), b"p2"),   // blind append-up existence probe
+        fsreq::append("hfile", secret(), b"p2"), // blind append-up existence probe
         fsreq::list(),
     ];
     let mut low_out = Vec::new();
@@ -131,13 +131,11 @@ fn high_view_does_change_with_high_behaviour() {
     // Sanity: the probe is sensitive — HIGH's own responses differ between
     // behaviours, so an identical-LOW result is not vacuous.
     let run_high = |seq: &[HighReq; 3]| -> Vec<Vec<u8>> {
-        let mut fs = FileServer::new(vec![
-            FsClient {
-                name: "high".into(),
-                level: secret(),
-                special_delete: false,
-            },
-        ]);
+        let mut fs = FileServer::new(vec![FsClient {
+            name: "high".into(),
+            level: secret(),
+            special_delete: false,
+        }]);
         let mut out = Vec::new();
         for r in seq {
             let mut io = TestIo::new();

@@ -17,10 +17,18 @@ fn traced_snfe(host_frames: Vec<Vec<u8>>) -> (SystemSpec, Vec<PortLog>) {
         logs.push(log);
         spec.add(name, traced)
     };
-    let host = add(&mut spec, "host", Box::new(Source::new("host", host_frames)));
+    let host = add(
+        &mut spec,
+        "host",
+        Box::new(Source::new("host", host_frames)),
+    );
     let red = add(&mut spec, "red", Box::new(RedComponent::new(1)));
     let crypto = add(&mut spec, "crypto", Box::new(CryptoBox::new([9, 8, 7, 6])));
-    let censor = add(&mut spec, "censor", Box::new(Censor::new(CensorPolicy::canonical())));
+    let censor = add(
+        &mut spec,
+        "censor",
+        Box::new(Censor::new(CensorPolicy::canonical())),
+    );
     let black = add(&mut spec, "black", Box::new(BlackComponent::new()));
     let net = add(&mut spec, "network", Box::new(Sink::new("network")));
 
@@ -59,7 +67,11 @@ fn snfe_observations_identical_on_both_substrates() {
         );
     }
     // And traffic actually flowed.
-    let net_rx = logs_a[5].borrow().get("in/rx").map(|v| v.len()).unwrap_or(0);
+    let net_rx = logs_a[5]
+        .borrow()
+        .get("in/rx")
+        .map(|v| v.len())
+        .unwrap_or(0);
     assert_eq!(net_rx, 6, "all six frames reached the network");
 }
 
@@ -84,7 +96,11 @@ fn tampered_kernel_is_distinguished() {
         let red = add(&mut spec, "red", Box::new(RedComponent::new(1)));
         let crypto = add(&mut spec, "crypto", Box::new(CryptoBox::new([9, 8, 7, 6])));
         // Sabotage: a different censor policy on the kernel realization.
-        let censor = add(&mut spec, "censor", Box::new(Censor::new(CensorPolicy::off())));
+        let censor = add(
+            &mut spec,
+            "censor",
+            Box::new(Censor::new(CensorPolicy::off())),
+        );
         let black = add(&mut spec, "black", Box::new(BlackComponent::new()));
         let net_ = add(&mut spec, "network", Box::new(Sink::new("network")));
         spec.connect(host, "out", red, "host.in", 32);

@@ -26,19 +26,25 @@ fn build_system() -> (SystemSpec, PortLog, Vec<PortLog>) {
     let mut spec = SystemSpec::new();
 
     // Scripted user sessions: spool a file, then print it.
-    let low_script = [fsreq::create("spool/low-report", unclass()),
+    let low_script = [
+        fsreq::create("spool/low-report", unclass()),
         fsreq::write("spool/low-report", unclass(), b"low body"),
-        PrintServer::submit_request("spool/low-report", unclass())];
+        PrintServer::submit_request("spool/low-report", unclass()),
+    ];
     let high_script = [
         fsreq::create("spool/high-report", secret()),
         fsreq::write("spool/high-report", secret(), b"high body"),
         fsreq::read("spool/low-report", unclass()), // read down: fine
-        PrintServer::submit_request("spool/high-report", secret())];
+        PrintServer::submit_request("spool/high-report", secret()),
+    ];
 
     // Users talk to the FS on their dedicated lines and to the print
     // server on others; the scripted Source just emits frames in order, so
     // each user gets one source per service line.
-    let low_fs = spec.add("low-fs-line", Box::new(Source::new("low-fs-line", low_script[..2].to_vec())));
+    let low_fs = spec.add(
+        "low-fs-line",
+        Box::new(Source::new("low-fs-line", low_script[..2].to_vec())),
+    );
     let high_fs = spec.add(
         "high-fs-line",
         Box::new(Source::new("high-fs-line", high_script[..3].to_vec())),
@@ -129,7 +135,11 @@ fn mls_policy_enforced_across_the_pipeline() {
     kernel.run(120 * n);
 
     // The high user's read-down succeeded: third response carries data.
-    let high_rsps = user_logs[1].borrow().get("in/rx").cloned().unwrap_or_default();
+    let high_rsps = user_logs[1]
+        .borrow()
+        .get("in/rx")
+        .cloned()
+        .unwrap_or_default();
     assert_eq!(high_rsps.len(), 3);
     let (status, payload) = fsreq::decode(&high_rsps[2]);
     assert_eq!(status, Status::Ok);

@@ -1,0 +1,141 @@
+//! Observability is evidence, not state: identical runs produce
+//! byte-identical reports, and instrumentation can neither perturb the
+//! machine nor change a verification verdict.
+
+use sep_kernel::config::{KernelConfig, RegimeSpec};
+use sep_kernel::kernel::SeparationKernel;
+use sep_kernel::verify::KernelSystem;
+use sep_model::check::SeparabilityChecker;
+use sep_obs::RunReport;
+
+const SENDER: &str = "
+start:  MOV #0, R0
+        MOV #msg, R1
+        MOV #4, R2
+        TRAP 1
+        TRAP 0
+        BR start
+msg:    .byte 1, 2, 3, 4
+        .even
+";
+
+const RECEIVER: &str = "
+start:  MOV #0, R0
+        MOV #buf, R1
+        MOV #8, R2
+        TRAP 2
+        TRAP 0
+        BR start
+buf:    .blkw 4
+";
+
+fn channel_workload() -> KernelConfig {
+    KernelConfig::new(vec![
+        RegimeSpec::assembly("tx", SENDER),
+        RegimeSpec::assembly("rx", RECEIVER),
+    ])
+    .with_channel(0, 1, 4)
+}
+
+fn run_report(steps: u64) -> String {
+    let mut k = SeparationKernel::boot(channel_workload().with_trace(64)).unwrap();
+    k.run(steps);
+    let trace = k.machine.obs.disable_tracing();
+    RunReport::new("observability_test")
+        .param("steps", steps)
+        .run_with_trace("kernel", &k.machine.obs.metrics, trace.as_ref(), 16)
+        .render()
+}
+
+#[test]
+fn identical_runs_render_byte_identical_reports() {
+    let a = run_report(1500);
+    let b = run_report(1500);
+    assert_eq!(a, b);
+    // And the report is not trivially empty: it carries real traffic.
+    assert!(a.contains("\"schema\": \"sep-obs/v1\""));
+    assert!(a.contains("\"tx\""));
+    assert!(a.contains("\"rx\""));
+}
+
+#[test]
+fn tracing_does_not_perturb_execution() {
+    // The recorder hangs off the machine but is not machine state: a traced
+    // run and an untraced run retire the same instructions, take the same
+    // traps, and move the same bytes.
+    let run = |cfg: KernelConfig| {
+        let mut k = SeparationKernel::boot(cfg).unwrap();
+        k.run(2000);
+        (
+            k.machine.instructions,
+            k.stats.swaps,
+            k.stats.messages_sent,
+            k.machine.obs.metrics.totals.channel_bytes,
+        )
+    };
+    let untraced = run(channel_workload());
+    let traced = run(channel_workload().with_trace(8));
+    assert_eq!(untraced, traced);
+}
+
+#[test]
+fn tracing_does_not_change_the_separability_verdict() {
+    // Instrumentation lives outside the state vector the Proof of
+    // Separability quantifies over, so enabling it cannot flip a verdict.
+    let workload = || {
+        KernelConfig::new(vec![
+            RegimeSpec::assembly(
+                "a",
+                "start: INC R1\n BIC #0o177774, R1\n TRAP 0\n BR start\n",
+            ),
+            RegimeSpec::assembly(
+                "b",
+                "start: INC R2\n BIC #0o177774, R2\n TRAP 0\n BR start\n",
+            ),
+        ])
+    };
+    let verdict = |cfg: KernelConfig| {
+        let sys = KernelSystem::new(cfg).unwrap();
+        let abstractions = sys.abstractions();
+        let report = SeparabilityChecker::new().check(&sys, &abstractions);
+        (report.is_separable(), report.states, report.total_checks())
+    };
+    let plain = verdict(workload());
+    let traced = verdict(workload().with_trace(32));
+    assert!(plain.0, "baseline workload must verify");
+    assert_eq!(plain, traced);
+}
+
+#[test]
+fn metrics_agree_with_kernel_stats() {
+    // Two books, one truth: the kernel's own stats and the observability
+    // counters are maintained independently and must agree.
+    let mut k = SeparationKernel::boot(channel_workload()).unwrap();
+    k.run(3000);
+    let totals = &k.machine.obs.metrics.totals;
+    assert_eq!(totals.switches, k.stats.swaps);
+    assert_eq!(totals.instructions, k.machine.instructions);
+    let sent: u64 = k
+        .machine
+        .obs
+        .metrics
+        .regimes()
+        .iter()
+        .map(|(_, c)| c.messages_sent)
+        .sum();
+    assert_eq!(sent, k.stats.messages_sent);
+    assert!(
+        totals.messages > 0,
+        "workload must actually exchange messages"
+    );
+    // Per-regime attribution covers the whole machine run.
+    let per_regime: u64 = k
+        .machine
+        .obs
+        .metrics
+        .regimes()
+        .iter()
+        .map(|(_, c)| c.instructions)
+        .sum();
+    assert_eq!(per_regime, k.machine.instructions);
+}

@@ -19,7 +19,12 @@ fn host_frames(n: usize) -> Vec<Vec<u8>> {
 }
 
 /// Runs an SNFE and returns the frames the network saw.
-fn run_snfe(red: Box<dyn sep_components::Component>, policy: CensorPolicy, n: usize, rounds: u64) -> Vec<Vec<u8>> {
+fn run_snfe(
+    red: Box<dyn sep_components::Component>,
+    policy: CensorPolicy,
+    n: usize,
+    rounds: u64,
+) -> Vec<Vec<u8>> {
     let mut snfe = build_snfe_network(red, policy, KEY, host_frames(n));
     snfe.network.run(rounds);
     // Recover the sink's received frames from its trace.
@@ -40,12 +45,19 @@ fn run_snfe(red: Box<dyn sep_components::Component>, policy: CensorPolicy, n: us
 
 #[test]
 fn cleartext_never_reaches_the_network_with_honest_red() {
-    let frames = run_snfe(Box::new(RedComponent::new(1)), CensorPolicy::strict(), 8, 80);
+    let frames = run_snfe(
+        Box::new(RedComponent::new(1)),
+        CensorPolicy::strict(),
+        8,
+        80,
+    );
     assert!(!frames.is_empty());
     for f in &frames {
         let body = &f[HEADER_LEN + 2..];
         assert!(
-            !body.windows(8).any(|w| b"ordinary host traffic".windows(8).any(|s| s == w)),
+            !body
+                .windows(8)
+                .any(|w| b"ordinary host traffic".windows(8).any(|s| s == w)),
             "cleartext fragment on the network"
         );
     }
@@ -68,7 +80,10 @@ fn pad_channel_bandwidth_collapses_under_canonicalization() {
         results.push(score_transfer(secret, &recovered, rounds));
     }
     let (open, closed) = (&results[0], &results[1]);
-    assert!(open.error_rate < 0.01, "pad channel is clean when unchecked: {open:?}");
+    assert!(
+        open.error_rate < 0.01,
+        "pad channel is clean when unchecked: {open:?}"
+    );
     assert!(
         closed.bits_per_round < open.bits_per_round / 10.0,
         "canonicalization collapses the channel: {open:?} vs {closed:?}"

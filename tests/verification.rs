@@ -12,7 +12,10 @@ fn e3_swap_verdict_matrix() {
     let verdicts = ifa_verdict_for_all_register_classes();
     assert_eq!(verdicts.len(), 4);
     for (class, violations) in &verdicts {
-        assert!(!violations.is_empty(), "IFA certified SWAP under {class:?}?!");
+        assert!(
+            !violations.is_empty(),
+            "IFA certified SWAP under {class:?}?!"
+        );
     }
     // Proof of Separability: the same semantics is verified, exhaustively.
     let machine = SwapMachine::new(3);
@@ -32,13 +35,27 @@ fn snfe_object_system() -> (ObjectSystem, Vec<sep_model::objects::ObjRef>) {
     let bypass = sys.add_object("bypass", 0);
     let black_state = sys.add_object("black_state", 0);
     // Red: compute, place payload on crypto path, header on bypass.
-    sys.add_op(red, "compute", vec![red_state], vec![red_state], |v| vec![v[0] + 1]);
-    sys.add_op(red, "send_payload", vec![red_state], vec![crypto_path], |v| vec![v[0]]);
-    sys.add_op(red, "send_header", vec![red_state], vec![bypass], |v| vec![v[0] & 1]);
-    // Black: read both, accumulate.
-    sys.add_op(black, "recv", vec![crypto_path, bypass, black_state], vec![black_state], |v| {
-        vec![v[0] + v[1] + v[2]]
+    sys.add_op(red, "compute", vec![red_state], vec![red_state], |v| {
+        vec![v[0] + 1]
     });
+    sys.add_op(
+        red,
+        "send_payload",
+        vec![red_state],
+        vec![crypto_path],
+        |v| vec![v[0]],
+    );
+    sys.add_op(red, "send_header", vec![red_state], vec![bypass], |v| {
+        vec![v[0] & 1]
+    });
+    // Black: read both, accumulate.
+    sys.add_op(
+        black,
+        "recv",
+        vec![crypto_path, bypass, black_state],
+        vec![black_state],
+        |v| vec![v[0] + v[1] + v[2]],
+    );
     (sys, vec![crypto_path, bypass])
 }
 
@@ -57,11 +74,20 @@ fn e9_hidden_channel_is_exposed() {
     let (mut sys, channels) = snfe_object_system();
     // A developer "optimization": red and black share a scratch cell.
     let scratch = sys.add_object("shared_scratch", 0);
-    sys.add_op(0, "stash", vec![sys.object_by_name("red_state").unwrap()], vec![scratch], |v| {
-        vec![v[0]]
-    });
-    sys.add_op(1, "peek", vec![scratch, sys.object_by_name("black_state").unwrap()],
-        vec![sys.object_by_name("black_state").unwrap()], |v| vec![v[0] + v[1]]);
+    sys.add_op(
+        0,
+        "stash",
+        vec![sys.object_by_name("red_state").unwrap()],
+        vec![scratch],
+        |v| vec![v[0]],
+    );
+    sys.add_op(
+        1,
+        "peek",
+        vec![scratch, sys.object_by_name("black_state").unwrap()],
+        vec![sys.object_by_name("black_state").unwrap()],
+        |v| vec![v[0] + v[1]],
+    );
     match verify_channels_exhaustive(&sys, &channels) {
         Err(CutVerificationError::SharedObjects(ws)) => {
             assert!(ws.iter().any(|w| w.object == "shared_scratch"));
