@@ -7,6 +7,9 @@
 #![forbid(unsafe_code)]
 
 use sep_kernel::config::{KernelConfig, RegimeSpec};
+use sep_model::check::{CheckReport, Condition};
+use sep_model::parallel::ExploreStats;
+use sep_obs::json::Json;
 use std::time::Instant;
 
 /// Prints a Markdown-ish table row.
@@ -103,6 +106,59 @@ counter: .word 0
         })
         .collect();
     KernelConfig::new(regimes)
+}
+
+/// A checker run as deterministic JSON for a `BENCH_obs_*.json` report:
+/// the state/op/input counts, per-condition check counters, verdict, the
+/// violated conditions, and (for sharded runs) the exploration statistics
+/// including per-shard ownership and spill counters. Contains no
+/// wall-clock values, so identical runs serialize to identical bytes.
+pub fn checker_run_json(report: &CheckReport, stats: Option<&ExploreStats>) -> Json {
+    let mut j = Json::obj()
+        .field("states", report.states)
+        .field("ops", report.ops)
+        .field("inputs", report.inputs)
+        .field(
+            "checks",
+            Json::Arr(report.checks.iter().map(|&c| Json::from(c)).collect()),
+        )
+        .field("total_checks", report.total_checks())
+        .field("separable", report.is_separable())
+        .field(
+            "violated_conditions",
+            Json::Arr(
+                Condition::ALL
+                    .iter()
+                    .filter(|&&c| report.violations_of(c).next().is_some())
+                    .map(|c| Json::from(u64::from(c.number())))
+                    .collect(),
+            ),
+        )
+        .field("violations", report.violations.len());
+    if let Some(s) = stats {
+        j = j
+            .field("shards", s.shards)
+            .field("levels", s.levels)
+            .field("max_frontier", s.max_frontier)
+            .field("truncated", s.truncated)
+            .field(
+                "per_shard",
+                Json::Arr(
+                    s.per_shard
+                        .iter()
+                        .map(|sh| {
+                            Json::obj()
+                                .field("owned", sh.owned)
+                                .field("expanded", sh.expanded)
+                                .field("routed", sh.routed)
+                                .field("spilled", sh.spilled)
+                                .field("spill_runs", sh.spill_runs)
+                        })
+                        .collect(),
+                ),
+            );
+    }
+    j
 }
 
 #[cfg(test)]

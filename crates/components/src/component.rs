@@ -26,7 +26,10 @@ pub trait ComponentIo {
 }
 
 /// A trusted (or untrusted) component of the secure-system design.
-pub trait Component {
+///
+/// `Send + Sync` so components can ride inside cloned kernel states that
+/// the parallel separability checker distributes across worker threads.
+pub trait Component: Send + Sync {
     /// Display name.
     fn name(&self) -> &str;
 

@@ -28,7 +28,7 @@ pub enum Decision {
 }
 
 /// The Security Watch Officer interface.
-pub trait WatchOfficer {
+pub trait WatchOfficer: Send + Sync {
     /// Reviews one message proposed for declassification.
     fn review(&mut self, message: &[u8]) -> Decision;
 

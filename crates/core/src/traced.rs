@@ -1,7 +1,7 @@
 //! Observation tracing for components.
 //!
 //! [`Traced`] wraps any component and records every frame it receives and
-//! sends, per port. The log is shared through an `Rc` handle so the host
+//! sends, per port. The log is shared through an [`Arc`] handle so the host
 //! can read it after the system (network or kernel) has consumed the
 //! component. Cloning a traced component (as the kernel's verification
 //! machinery does) shares the log; tracing is a measurement instrument, not
@@ -9,13 +9,35 @@
 
 use sep_components::component::{Component, ComponentIo};
 use std::any::Any;
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// A shared per-port observation log: key `"port/dir"` (dir = `rx`/`tx`),
 /// value the ordered frames.
-pub type PortLog = Rc<RefCell<BTreeMap<String, Vec<Vec<u8>>>>>;
+///
+/// Internally an `Arc<Mutex<..>>` (rather than `Rc<RefCell<..>>`) so that
+/// traced components remain `Send + Sync` and can ride inside kernel states
+/// handled by the parallel separability checker. The `borrow`/`borrow_mut`
+/// accessors keep the original single-threaded call-site idiom.
+#[derive(Clone, Default)]
+pub struct PortLog(Arc<Mutex<BTreeMap<String, Vec<Vec<u8>>>>>);
+
+impl PortLog {
+    /// An empty shared log.
+    pub fn new() -> PortLog {
+        PortLog::default()
+    }
+
+    /// Locks the log for reading.
+    pub fn borrow(&self) -> MutexGuard<'_, BTreeMap<String, Vec<Vec<u8>>>> {
+        self.0.lock().expect("port log lock poisoned")
+    }
+
+    /// Locks the log for writing.
+    pub fn borrow_mut(&self) -> MutexGuard<'_, BTreeMap<String, Vec<Vec<u8>>>> {
+        self.0.lock().expect("port log lock poisoned")
+    }
+}
 
 /// A tracing wrapper around a component.
 pub struct Traced {
@@ -26,7 +48,7 @@ pub struct Traced {
 impl Traced {
     /// Wraps `inner`, returning the wrapper and the shared log handle.
     pub fn new(inner: Box<dyn Component>) -> (Box<Traced>, PortLog) {
-        let log: PortLog = Rc::new(RefCell::new(BTreeMap::new()));
+        let log = PortLog::new();
         (
             Box::new(Traced {
                 inner,

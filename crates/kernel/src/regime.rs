@@ -182,7 +182,7 @@ pub trait RegimeIo {
 /// assembly is out of scope (see DESIGN.md, substitution 3); they are
 /// confined to the [`RegimeIo`] interface, which exposes exactly what the
 /// MMU would.
-pub trait NativeRegime {
+pub trait NativeRegime: Send + Sync {
     /// Executes one step; the returned action plays the role of the
     /// instruction stream's TRAP/WAIT.
     fn step(&mut self, io: &mut dyn RegimeIo) -> NativeAction;

@@ -28,6 +28,8 @@ use sep_machine::dev::InterruptRequest;
 use sep_machine::psw::{Mode, Psw};
 use sep_machine::types::Word;
 use sep_model::abstraction::Abstraction;
+use sep_model::check::{CheckReport, SeparabilityChecker};
+use sep_model::parallel::{ExploreStats, ParallelSeparabilityChecker, SpillConfig};
 use sep_model::system::{Finite, Projected, SharedSystem};
 use std::hash::{Hash, Hasher};
 
@@ -256,6 +258,75 @@ impl Finite for KernelSystem {
     }
 }
 
+/// Which Proof of Separability checker to run over a [`KernelSystem`].
+///
+/// Every selection produces an *identical* [`CheckReport`] — same check
+/// counts, same violations in the same order — which the differential test
+/// suite (`crates/model/tests/differential_checker.rs`) pins for every
+/// workload, mutation, and shard count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckerSelect {
+    /// The single-threaded reference checker.
+    Sequential,
+    /// The frontier-sharded parallel checker with `shards` worker threads.
+    Sharded {
+        /// Worker/owner thread pairs.
+        shards: usize,
+    },
+    /// Sharded, with the seen-set spilling to disk during exploration.
+    ShardedSpill {
+        /// Worker/owner thread pairs.
+        shards: usize,
+        /// Resident states per shard before a flush to disk.
+        max_resident: usize,
+    },
+}
+
+impl KernelSystem {
+    /// Runs the Proof of Separability with the selected checker.
+    pub fn check_with(&self, sel: &CheckerSelect) -> CheckReport {
+        self.check_with_stats(sel).0
+    }
+
+    /// Like [`KernelSystem::check_with`], additionally returning the
+    /// exploration statistics (frontier depth, per-shard ownership, spill
+    /// counters) when a sharded checker ran.
+    pub fn check_with_stats(&self, sel: &CheckerSelect) -> (CheckReport, Option<ExploreStats>) {
+        let abstractions = self.abstractions();
+        match sel {
+            CheckerSelect::Sequential => {
+                (SeparabilityChecker::new().check(self, &abstractions), None)
+            }
+            CheckerSelect::Sharded { shards } => {
+                self.run_sharded(ParallelSeparabilityChecker::new(*shards), &abstractions)
+            }
+            CheckerSelect::ShardedSpill {
+                shards,
+                max_resident,
+            } => self.run_sharded(
+                ParallelSeparabilityChecker::new(*shards)
+                    .with_spill(SpillConfig::new(*max_resident)),
+                &abstractions,
+            ),
+        }
+    }
+
+    fn run_sharded(
+        &self,
+        checker: ParallelSeparabilityChecker,
+        abstractions: &[RegimeAbstraction],
+    ) -> (CheckReport, Option<ExploreStats>) {
+        let (report, stats) =
+            checker.check_explored(self, abstractions, &[self.initial()], self.state_limit);
+        assert!(
+            !stats.truncated,
+            "kernel state space exceeded limit {}",
+            self.state_limit
+        );
+        (report, Some(stats))
+    }
+}
+
 /// A regime's view of the concrete machine: exactly the contents of its
 /// private abstract machine.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -433,6 +504,81 @@ impl Abstraction<KernelSystem> for RegimeAbstraction {
         // indices carry over unchanged.
         RegimeAbstraction::project(&k, 0, &self.visible_channels)
     }
+
+    /// In-place `Φ^c(s1) = Φ^c(s2)`: compares every component the
+    /// projection would capture — status, context, partition bytes, device
+    /// snapshots, pending interrupts, visible channel queues — without
+    /// cloning the 8 KiB partition into a [`RegimeProjection`]. Agrees
+    /// exactly with `phi(s1) == phi(s2)` (pinned by a test below); the
+    /// parallel checker leans on this for conditions 2–4, materialising
+    /// views only when it needs a violation witness.
+    fn phi_eq(&self, _sys: &KernelSystem, s1: &KernelState, s2: &KernelState) -> bool {
+        let (k1, k2) = (&s1.kernel, &s2.kernel);
+        let r = self.regime;
+        let (r1, r2) = (&k1.regimes[r], &k2.regimes[r]);
+        if r1.status != r2.status {
+            return false;
+        }
+        let c1 = if k1.current() == r {
+            SaveArea {
+                r: k1.machine.cpu.r,
+                sp: k1.machine.cpu.sp_of(Mode::User),
+                pc: k1.machine.cpu.pc,
+                cc: k1.machine.cpu.psw.cc_bits(),
+            }
+        } else {
+            r1.save
+        };
+        let c2 = if k2.current() == r {
+            SaveArea {
+                r: k2.machine.cpu.r,
+                sp: k2.machine.cpu.sp_of(Mode::User),
+                pc: k2.machine.cpu.pc,
+                cc: k2.machine.cpu.psw.cc_bits(),
+            }
+        } else {
+            r2.save
+        };
+        if c1 != c2 {
+            return false;
+        }
+        if k1.machine.mem.range(r1.partition_base, PARTITION_SIZE)
+            != k2.machine.mem.range(r2.partition_base, PARTITION_SIZE)
+        {
+            return false;
+        }
+        if r1.devices.len() != r2.devices.len() {
+            return false;
+        }
+        for (b1, b2) in r1.devices.iter().zip(&r2.devices) {
+            let d1 = k1
+                .machine
+                .devices
+                .get(b1.machine_index)
+                .map(|d| d.snapshot())
+                .unwrap_or_default();
+            let d2 = k2
+                .machine
+                .devices
+                .get(b2.machine_index)
+                .map(|d| d.snapshot())
+                .unwrap_or_default();
+            if d1 != d2 {
+                return false;
+            }
+        }
+        if !r1.pending_irqs.iter().eq(r2.pending_irqs.iter()) {
+            return false;
+        }
+        for &i in &self.visible_channels {
+            let q1 = k1.channels.get(i).map(|c| c.queue());
+            let q2 = k2.channels.get(i).map(|c| c.queue());
+            if q1 != q2 {
+                return false;
+            }
+        }
+        true
+    }
 }
 
 #[cfg(test)]
@@ -472,6 +618,71 @@ counter: .word 0
             let imposed = a.impose(&phi);
             let back = RegimeAbstraction::project(&imposed, 0, &a.visible_channels);
             assert_eq!(back, phi);
+        }
+    }
+
+    /// Like [`two_counters`] but with the counters masked down to three
+    /// bits, so the reachable state space is small enough to enumerate.
+    /// (`two_counters` itself runs its counters through the full word
+    /// range — fine for single-state tests, hopeless for exploration.)
+    fn two_bounded_counters() -> KernelConfig {
+        let prog = "
+start:  INC R1
+        BIC #0o177770, R1
+        MOV #3, R3
+        TRAP 0          ; SWAP
+        BR start
+";
+        let prog2 = "
+start:  ADD #2, R1
+        BIC #0o177770, R1
+        MOV #5, R3
+        TRAP 0
+        BR start
+";
+        KernelConfig::new(vec![
+            RegimeSpec::assembly("red", prog),
+            RegimeSpec::assembly("black", prog2),
+        ])
+    }
+
+    #[test]
+    fn phi_eq_agrees_with_materialised_phi() {
+        // The in-place override must agree with `phi(s1) == phi(s2)` on
+        // every pair of reachable states — the parallel checker's
+        // correctness rests on this equivalence.
+        let sys = KernelSystem::new(two_bounded_counters()).unwrap();
+        let states = sys.states();
+        for a in &sys.abstractions() {
+            let phis: Vec<RegimeProjection> = states.iter().map(|s| a.phi(&sys, s)).collect();
+            for (i, s1) in states.iter().enumerate() {
+                for (j, s2) in states.iter().enumerate() {
+                    assert_eq!(
+                        a.phi_eq(&sys, s1, s2),
+                        phis[i] == phis[j],
+                        "phi_eq diverges from phi at pair ({i}, {j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checker_selection_is_report_identical() {
+        let sys = KernelSystem::new(two_bounded_counters()).unwrap();
+        let (seq, no_stats) = sys.check_with_stats(&CheckerSelect::Sequential);
+        assert!(no_stats.is_none());
+        for sel in [
+            CheckerSelect::Sharded { shards: 2 },
+            CheckerSelect::ShardedSpill {
+                shards: 2,
+                max_resident: 8,
+            },
+        ] {
+            let (par, stats) = sys.check_with_stats(&sel);
+            assert_eq!(seq, par, "selection {sel:?}");
+            let stats = stats.expect("sharded runs report stats");
+            assert_eq!(stats.states, seq.states);
         }
     }
 

@@ -54,7 +54,12 @@ pub enum DmaOp {
 }
 
 /// A memory-mapped peripheral.
-pub trait Device {
+///
+/// `Send + Sync` because device state rides inside cloned kernels that the
+/// parallel separability checker moves across worker threads; devices are
+/// plain data and every implementation in this workspace satisfies the
+/// bounds structurally.
+pub trait Device: Send + Sync {
     /// Display name.
     fn name(&self) -> &str;
 

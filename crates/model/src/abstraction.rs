@@ -38,6 +38,20 @@ pub trait Abstraction<S: SharedSystem> {
 
     /// Applies an abstract operation on the abstract machine.
     fn apply_abstract(&self, sys: &S, aop: &Self::AOp, a: &Self::AState) -> Self::AState;
+
+    /// Whether two concrete states project to the same abstract state:
+    /// `Φ^c(s1) = Φ^c(s2)`.
+    ///
+    /// The default materialises both views and compares them. Abstractions
+    /// whose views are expensive to build (the kernel's
+    /// `RegimeProjection` clones an 8 KiB partition) can override this with
+    /// an in-place comparison; any override **must** agree exactly with
+    /// `self.phi(sys, s1) == self.phi(sys, s2)` — the parallel checker
+    /// relies on that agreement to stay verdict-identical to the
+    /// sequential one, and only materialises views when it needs a witness.
+    fn phi_eq(&self, sys: &S, s1: &S::State, s2: &S::State) -> bool {
+        self.phi(sys, s1) == self.phi(sys, s2)
+    }
 }
 
 /// A convenient closure-based [`Abstraction`] for systems whose abstract

@@ -137,7 +137,13 @@ impl fmt::Display for Violation {
 }
 
 /// The result of a Proof of Separability run.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq`/`Eq` compare every field — state/op/input counts, the six
+/// per-condition check counters, and the violation list including witness
+/// text and order. The differential test harness uses this to assert that
+/// the parallel checker's merged report is *identical* to the sequential
+/// checker's, not merely verdict-equivalent.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CheckReport {
     /// Number of individual checks evaluated, per condition (index 0 ↔
     /// condition 1).

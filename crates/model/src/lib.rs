@@ -14,6 +14,9 @@
 //!   producing counterexamples that name the violated condition.
 //! * [`explore`] — reachable-state enumeration and statistical (sampled)
 //!   checking for systems too large to enumerate.
+//! * [`parallel`] — the frontier-sharded parallel checker: report-identical
+//!   to [`check`]'s sequential checker for every shard count (proved by the
+//!   differential test suite), with an optional disk-backed seen-set spill.
 //! * [`objects`] / [`cut`] — shared-object systems and the paper's "cut the
 //!   wires" argument: alias each permitted channel object into two private
 //!   ends, then prove the cut system enforces *isolation*; it follows that
@@ -32,6 +35,7 @@ pub mod cut;
 pub mod demo;
 pub mod explore;
 pub mod objects;
+pub mod parallel;
 pub mod rng;
 pub mod system;
 pub mod trace;
@@ -41,5 +45,8 @@ pub use check::{CheckReport, Condition, SeparabilityChecker, Violation};
 pub use cut::{CutSystem, InterferenceWitness};
 pub use explore::{reachable_states, SampledChecker};
 pub use objects::{ObjRef, ObjectSystem, OpDecl, Value};
+pub use parallel::{
+    par_reachable_states, ExploreStats, ParallelSeparabilityChecker, ShardStats, SpillConfig,
+};
 pub use system::{Finite, Projected, SharedSystem};
 pub use trace::{first_divergence, ColourTrace, TraceSet};

@@ -1,0 +1,1010 @@
+//! A parallel, frontier-sharded Proof of Separability checker.
+//!
+//! [`ParallelSeparabilityChecker`] produces a [`CheckReport`] **identical**
+//! to [`crate::check::SeparabilityChecker`]'s — same states, same
+//! per-condition check counts, same violations in the same order with the
+//! same witness text — for every shard count. Determinism is engineered,
+//! not hoped for:
+//!
+//! * **Exploration** is level-synchronised BFS. The frontier is sharded by
+//!   state hash across N expander threads; successors are routed over
+//!   channels to the N *owner* threads of their own hash shard (each state
+//!   has exactly one owning seen-shard, so no two threads ever disagree
+//!   about whether it is new). Every successor carries a `(parent, input)`
+//!   tag, and the merge replays survivors in tag order — exactly the
+//!   discovery order of the sequential [`crate::explore::reachable_states`],
+//!   including its truncation rule (checked before each parent expands).
+//! * **Condition checking** fans each phase out over worker threads that
+//!   emit violation *candidates* keyed by their position in the sequential
+//!   checker's encounter order `(abstraction, phase, major, minor)`. The
+//!   merge sorts candidates by key and replays them through the global
+//!   per-condition cap, reproducing the sequential violation list bit for
+//!   bit. Check counts are order-independent sums.
+//!
+//! The parallel checker is also *algorithmically* cheaper than the
+//! sequential one: each `(state, op)` successor and each `(state, input)`
+//! consumption is computed once and shared across all N abstractions (the
+//! sequential checker recomputes them per colour), and condition 2/3/4
+//! comparisons use [`Abstraction::phi_eq`] —
+//! an in-place view comparison that skips materialising the abstract state
+//! except when a violation needs a witness. On the kernel's workloads this
+//! is what makes verification of an N-regime system scale like the state
+//! space instead of N × the state space.
+//!
+//! An optional disk-backed seen-set spill ([`SpillConfig`]) bounds resident
+//! memory during exploration: each owner shard flushes its resident set as
+//! a sorted run of 128-bit state fingerprints. Membership against spilled
+//! runs is probabilistic only in the cryptographic sense (a collision of
+//! two independent 64-bit hashes); it is off by default and exercised by
+//! the differential suite.
+
+use crate::abstraction::Abstraction;
+use crate::check::{CheckReport, Condition, Violation};
+use crate::system::{Finite, Projected, SharedSystem};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::ops::Range;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+
+/// `(parent position in frontier, input index)`: the discovery tag that
+/// totally orders a level's successor candidates into sequential BFS order.
+type Tag = (usize, usize);
+
+/// `(abstraction, phase, major, minor)`: a candidate violation's position
+/// in the sequential checker's encounter order. Phases: 0 = conditions 1/2
+/// (major = state, minor = op), 1 = condition 3 (state, input), 2 =
+/// condition 4 (input, state), 3 = condition 5 (state), 4 = condition 6
+/// (state).
+type Key = (usize, u8, usize, usize);
+
+/// Deterministic shard ownership: state → shard by hash.
+fn shard_of<T: Hash>(value: &T, shards: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    value.hash(&mut h);
+    (h.finish() % shards as u64) as usize
+}
+
+/// A 128-bit fingerprint (two independently-seeded 64-bit hashes) used by
+/// the disk spill.
+fn fingerprint<T: Hash>(value: &T) -> u128 {
+    let mut h1 = DefaultHasher::new();
+    value.hash(&mut h1);
+    let mut h2 = DefaultHasher::new();
+    h2.write_u64(0x9E37_79B9_7F4A_7C15);
+    value.hash(&mut h2);
+    ((h1.finish() as u128) << 64) | h2.finish() as u128
+}
+
+/// Configuration of the optional disk-backed seen-set spill.
+#[derive(Debug, Clone)]
+pub struct SpillConfig {
+    /// Resident states per shard before a flush to disk.
+    pub max_resident: usize,
+    /// Directory for run files; the system temp dir when `None`. Each
+    /// checker run creates (and on drop removes) its own subdirectory.
+    pub dir: Option<PathBuf>,
+}
+
+impl SpillConfig {
+    /// Spills each shard after `max_resident` resident states.
+    pub fn new(max_resident: usize) -> SpillConfig {
+        SpillConfig {
+            max_resident,
+            dir: None,
+        }
+    }
+}
+
+/// Per-shard exploration counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// States this shard owns in the seen-set (committed discoveries).
+    pub owned: usize,
+    /// Frontier states this shard expanded.
+    pub expanded: usize,
+    /// Successor candidates routed to this shard for dedup.
+    pub routed: usize,
+    /// Fingerprints flushed to disk runs.
+    pub spilled: u64,
+    /// Number of disk runs written.
+    pub spill_runs: u64,
+}
+
+/// Aggregate exploration statistics from a parallel BFS.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Number of shards (worker/owner thread pairs).
+    pub shards: usize,
+    /// Total states discovered.
+    pub states: usize,
+    /// BFS levels processed.
+    pub levels: usize,
+    /// Widest frontier seen.
+    pub max_frontier: usize,
+    /// Whether exploration hit the state limit.
+    pub truncated: bool,
+    /// Per-shard counters, indexed by shard.
+    pub per_shard: Vec<ShardStats>,
+}
+
+/// One hash-shard of the seen-set: a resident `HashSet` plus, when
+/// spilling, sorted on-disk runs of state fingerprints.
+struct SeenShard<T> {
+    resident: HashSet<T>,
+    max_resident: usize,
+    run_dir: Option<PathBuf>,
+    runs: Vec<PathBuf>,
+    spilled: u64,
+}
+
+impl<T: Eq + Hash> SeenShard<T> {
+    fn new(spill: Option<&SpillConfig>, shard: usize) -> SeenShard<T> {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let run_dir = spill.map(|s| {
+            let base = s.dir.clone().unwrap_or_else(std::env::temp_dir);
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            base.join(format!("sep-pos-spill-{}-{n}-{shard}", std::process::id()))
+        });
+        SeenShard {
+            resident: HashSet::new(),
+            max_resident: spill.map(|s| s.max_resident.max(1)).unwrap_or(usize::MAX),
+            run_dir,
+            runs: Vec::new(),
+            spilled: 0,
+        }
+    }
+
+    fn insert(&mut self, value: T) {
+        self.resident.insert(value);
+        if self.resident.len() >= self.max_resident {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        let dir = self
+            .run_dir
+            .clone()
+            .expect("spill flush requires a run dir");
+        std::fs::create_dir_all(&dir).expect("create spill dir");
+        let mut fps: Vec<u128> = self.resident.iter().map(fingerprint).collect();
+        fps.sort_unstable();
+        fps.dedup();
+        let path = dir.join(format!("run-{:04}.fp", self.runs.len()));
+        let mut buf = Vec::with_capacity(fps.len() * 16);
+        for fp in &fps {
+            buf.extend_from_slice(&fp.to_le_bytes());
+        }
+        std::fs::write(&path, buf).expect("write spill run");
+        self.spilled += fps.len() as u64;
+        self.runs.push(path);
+        self.resident.clear();
+    }
+
+    fn contains(&self, value: &T) -> bool {
+        if self.resident.contains(value) {
+            return true;
+        }
+        if self.runs.is_empty() {
+            return false;
+        }
+        let fp = fingerprint(value);
+        self.runs
+            .iter()
+            .any(|run| read_run(run).binary_search(&fp).is_ok())
+    }
+
+    /// Drops candidates already recorded in this shard (resident or on any
+    /// disk run), preserving order. Each run file is read once per call,
+    /// not once per candidate.
+    fn retain_novel(&self, cands: &mut Vec<(Tag, T)>) {
+        cands.retain(|(_, s)| !self.resident.contains(s));
+        if self.runs.is_empty() || cands.is_empty() {
+            return;
+        }
+        let fps: Vec<u128> = cands.iter().map(|(_, s)| fingerprint(s)).collect();
+        let mut dead = vec![false; cands.len()];
+        for run in &self.runs {
+            let sorted = read_run(run);
+            for (i, fp) in fps.iter().enumerate() {
+                if !dead[i] && sorted.binary_search(fp).is_ok() {
+                    dead[i] = true;
+                }
+            }
+        }
+        let mut i = 0;
+        cands.retain(|_| {
+            let keep = !dead[i];
+            i += 1;
+            keep
+        });
+    }
+}
+
+impl<T> Drop for SeenShard<T> {
+    fn drop(&mut self) {
+        if let Some(dir) = &self.run_dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
+fn read_run(path: &PathBuf) -> Vec<u128> {
+    let bytes = std::fs::read(path).expect("read spill run");
+    bytes
+        .chunks_exact(16)
+        .map(|c| u128::from_le_bytes(c.try_into().expect("16-byte chunk")))
+        .collect()
+}
+
+/// Keeps the first (minimum-tag) occurrence of each distinct state, then
+/// drops everything the owning shard has already seen.
+fn dedup_candidates<T: Eq + Hash>(shard: &SeenShard<T>, mut cands: Vec<(Tag, T)>) -> Vec<(Tag, T)> {
+    cands.sort_by_key(|(tag, _)| *tag);
+    let mut keep = vec![true; cands.len()];
+    {
+        let mut firsts: HashSet<&T> = HashSet::with_capacity(cands.len());
+        for (i, (_, s)) in cands.iter().enumerate() {
+            if !firsts.insert(s) {
+                keep[i] = false;
+            }
+        }
+    }
+    let mut i = 0;
+    cands.retain(|_| {
+        let k = keep[i];
+        i += 1;
+        k
+    });
+    shard.retain_novel(&mut cands);
+    cands
+}
+
+/// Expands one frontier level on `shards` worker threads, routing each
+/// successor over a channel to its owner shard. Returns per-owner candidate
+/// lists (arrival order; the dedup pass re-sorts by tag).
+fn expand_level<S>(
+    sys: &S,
+    frontier: &[S::State],
+    assign: &[usize],
+    inputs: &[S::Input],
+    shards: usize,
+) -> Vec<Vec<(Tag, S::State)>>
+where
+    S: SharedSystem + Sync,
+    S::State: Send + Sync,
+    S::Input: Sync,
+{
+    let mut senders = Vec::with_capacity(shards);
+    let mut receivers = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = mpsc::channel::<(Tag, S::State)>();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    std::thread::scope(|scope| {
+        let owners: Vec<_> = receivers
+            .into_iter()
+            .map(|rx| scope.spawn(move || rx.into_iter().collect::<Vec<(Tag, S::State)>>()))
+            .collect();
+        for w in 0..shards {
+            let senders = senders.clone();
+            scope.spawn(move || {
+                for (p, s) in frontier.iter().enumerate() {
+                    if assign[p] != w {
+                        continue;
+                    }
+                    for (i_idx, i) in inputs.iter().enumerate() {
+                        let (_, next) = sys.step(s, i);
+                        let owner = shard_of(&next, shards);
+                        let _ = senders[owner].send(((p, i_idx), next));
+                    }
+                }
+            });
+        }
+        drop(senders);
+        owners
+            .into_iter()
+            .map(|h| h.join().expect("owner thread panicked"))
+            .collect()
+    })
+}
+
+/// Parallel frontier-sharded BFS with the exact discovery order and
+/// truncation semantics of [`crate::explore::reachable_states`].
+fn explore<S>(
+    sys: &S,
+    initial: &[S::State],
+    inputs: &[S::Input],
+    limit: usize,
+    shards: usize,
+    spill: Option<&SpillConfig>,
+) -> (Vec<S::State>, ExploreStats)
+where
+    S: SharedSystem + Sync,
+    S::State: Send + Sync,
+    S::Input: Sync,
+{
+    let shards = shards.max(1);
+    let mut seen: Vec<SeenShard<S::State>> =
+        (0..shards).map(|j| SeenShard::new(spill, j)).collect();
+    let mut stats = ExploreStats {
+        shards,
+        per_shard: vec![ShardStats::default(); shards],
+        ..ExploreStats::default()
+    };
+    let mut order: Vec<S::State> = Vec::new();
+
+    // Initial states are always admitted; the limit applies when a state
+    // is taken up for expansion, exactly as in the sequential explorer.
+    for s in initial {
+        let owner = shard_of(s, shards);
+        if !seen[owner].contains(s) {
+            seen[owner].insert(s.clone());
+            stats.per_shard[owner].owned += 1;
+            order.push(s.clone());
+        }
+    }
+
+    let mut cursor = 0usize;
+    while cursor < order.len() {
+        if order.len() >= limit {
+            // Unexpanded states remain: the sequential explorer would stop
+            // at its next pop.
+            stats.truncated = true;
+            break;
+        }
+        stats.levels += 1;
+        let level = cursor..order.len();
+        let width = level.len();
+        stats.max_frontier = stats.max_frontier.max(width);
+
+        let assign: Vec<usize> = order[level.clone()]
+            .iter()
+            .map(|s| shard_of(s, shards))
+            .collect();
+        for &w in &assign {
+            stats.per_shard[w].expanded += 1;
+        }
+
+        // Expand. Tiny levels (a chain-shaped state space, or fewer
+        // successors than threads) run inline: same candidates, same tags,
+        // no spawn cost.
+        let frontier = &order[level];
+        let threaded = shards > 1 && width * inputs.len() >= shards * 8;
+        let routed: Vec<Vec<(Tag, S::State)>> = if threaded {
+            expand_level(sys, frontier, &assign, inputs, shards)
+        } else {
+            let mut per_owner: Vec<Vec<(Tag, S::State)>> = vec![Vec::new(); shards];
+            for (p, s) in frontier.iter().enumerate() {
+                for (i_idx, i) in inputs.iter().enumerate() {
+                    let (_, next) = sys.step(s, i);
+                    per_owner[shard_of(&next, shards)].push(((p, i_idx), next));
+                }
+            }
+            per_owner
+        };
+        for (owner, cands) in routed.iter().enumerate() {
+            stats.per_shard[owner].routed += cands.len();
+        }
+
+        // Dedup against each owner's shard of the seen-set.
+        let novels: Vec<Vec<(Tag, S::State)>> = if threaded {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = routed
+                    .into_iter()
+                    .zip(seen.iter())
+                    .map(|(cands, shard)| scope.spawn(move || dedup_candidates(shard, cands)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("dedup thread panicked"))
+                    .collect()
+            })
+        } else {
+            routed
+                .into_iter()
+                .zip(seen.iter())
+                .map(|(cands, shard)| dedup_candidates(shard, cands))
+                .collect()
+        };
+
+        // Deterministic merge: commit survivors in (parent, input) order,
+        // re-applying the sequential truncation rule before each parent.
+        let mut novel: Vec<(Tag, S::State)> = novels.into_iter().flatten().collect();
+        novel.sort_by_key(|(tag, _)| *tag);
+        let mut it = novel.into_iter().peekable();
+        for p in 0..width {
+            if order.len() >= limit {
+                stats.truncated = true;
+                stats.states = order.len();
+                for (shard, st) in seen.iter().zip(stats.per_shard.iter_mut()) {
+                    st.spilled = shard.spilled;
+                    st.spill_runs = shard.runs.len() as u64;
+                }
+                return (order, stats);
+            }
+            cursor += 1;
+            while it.peek().is_some_and(|(tag, _)| tag.0 == p) {
+                let (_, s) = it.next().expect("peeked");
+                let owner = shard_of(&s, shards);
+                seen[owner].insert(s.clone());
+                stats.per_shard[owner].owned += 1;
+                order.push(s);
+            }
+        }
+    }
+    stats.states = order.len();
+    for (shard, st) in seen.iter().zip(stats.per_shard.iter_mut()) {
+        st.spilled = shard.spilled;
+        st.spill_runs = shard.runs.len() as u64;
+    }
+    (order, stats)
+}
+
+/// The parallel analogue of [`crate::explore::reachable_states`]: same
+/// returned state order and truncation flag for every `shards` value.
+pub fn par_reachable_states<S>(
+    sys: &S,
+    initial: &[S::State],
+    inputs: &[S::Input],
+    limit: usize,
+    shards: usize,
+) -> (Vec<S::State>, bool)
+where
+    S: SharedSystem + Sync,
+    S::State: Send + Sync,
+    S::Input: Sync,
+{
+    let (order, stats) = explore(sys, initial, inputs, limit, shards, None);
+    (order, stats.truncated)
+}
+
+/// Bounded, order-preserving buffer of violation candidates: per condition,
+/// the `cap` candidates with the smallest keys a worker has seen. The
+/// global merge replays the union through the global cap, so a worker never
+/// needs more than `cap` survivors per condition regardless of its
+/// iteration order.
+struct CapBuf {
+    cap: usize,
+    per: [Vec<(Key, Violation)>; 6],
+}
+
+impl CapBuf {
+    fn new(cap: usize) -> CapBuf {
+        CapBuf {
+            cap,
+            per: Default::default(),
+        }
+    }
+
+    fn push(&mut self, condition: Condition, key: Key, colour: &str, witness: String) {
+        let v = &mut self.per[condition.index()];
+        if v.len() >= self.cap {
+            match v.last() {
+                Some((last, _)) if key > *last => return,
+                _ => {}
+            }
+        }
+        let pos = v.partition_point(|(k, _)| *k < key);
+        v.insert(
+            pos,
+            (
+                key,
+                Violation {
+                    condition,
+                    colour: colour.to_string(),
+                    witness,
+                },
+            ),
+        );
+        v.truncate(self.cap);
+    }
+
+    fn drain(self) -> Vec<(Key, Violation)> {
+        self.per.into_iter().flatten().collect()
+    }
+}
+
+/// Evenly-sized contiguous chunk ranges.
+fn chunk_ranges(len: usize, workers: usize) -> Vec<Range<usize>> {
+    let workers = workers.clamp(1, len.max(1));
+    let base = len / workers;
+    let extra = len % workers;
+    let mut out = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let size = base + usize::from(w < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Runs `f` over chunk ranges of `0..len` on up to `workers` scoped
+/// threads, returning results in chunk order (deterministic).
+fn par_chunks<R, F>(workers: usize, len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let ranges = chunk_ranges(len, workers);
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(f).collect();
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| scope.spawn(move || f(r)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("checker worker panicked"))
+            .collect()
+    })
+}
+
+/// The parallel Proof of Separability checker.
+///
+/// Report-identical to [`crate::check::SeparabilityChecker`] for every
+/// shard count (see the `differential_checker` test suite), and faster:
+/// work is sharded across threads, and per-`(state, op)` successors are
+/// shared across abstractions instead of recomputed per colour.
+#[derive(Debug, Clone)]
+pub struct ParallelSeparabilityChecker {
+    /// Worker/owner thread pairs (1 = single-threaded, still using the
+    /// sharded data path).
+    pub shards: usize,
+    /// Stop recording violations of a condition after this many (checking
+    /// continues, counting only). Must match the sequential checker's cap
+    /// for differential comparisons.
+    pub max_violations_per_condition: usize,
+    /// Optional disk-backed seen-set spill for exploration.
+    pub spill: Option<SpillConfig>,
+}
+
+impl ParallelSeparabilityChecker {
+    /// A checker with `shards` workers and the default violation cap.
+    pub fn new(shards: usize) -> ParallelSeparabilityChecker {
+        ParallelSeparabilityChecker {
+            shards: shards.max(1),
+            max_violations_per_condition: 3,
+            spill: None,
+        }
+    }
+
+    /// Enables the disk-backed seen-set spill during exploration.
+    pub fn with_spill(mut self, spill: SpillConfig) -> ParallelSeparabilityChecker {
+        self.spill = Some(spill);
+        self
+    }
+
+    /// Checks all six conditions over the system's own (finite) state set,
+    /// like [`SeparabilityChecker::check`](crate::check::SeparabilityChecker::check).
+    pub fn check<S, A>(&self, sys: &S, abstractions: &[A]) -> CheckReport
+    where
+        S: Finite + Projected + Sync,
+        S::State: Send + Sync,
+        S::Colour: Send + Sync,
+        S::Input: Sync,
+        S::Op: Sync,
+        A: Abstraction<S> + Sync,
+        A::AState: Send + Sync,
+    {
+        let states = sys.states();
+        let inputs = sys.inputs();
+        let ops = sys.ops();
+        self.check_states(sys, abstractions, &states, &inputs, &ops)
+    }
+
+    /// Explores reachable states with the parallel sharded BFS, then checks
+    /// the six conditions over them. Returns the report plus exploration
+    /// statistics (frontier depth, per-shard ownership, spill counters).
+    ///
+    /// The caller decides what truncation means for it; the report covers
+    /// whatever prefix was explored, exactly like the sequential checker
+    /// run over a truncated `reachable_states` result.
+    pub fn check_explored<S, A>(
+        &self,
+        sys: &S,
+        abstractions: &[A],
+        initial: &[S::State],
+        limit: usize,
+    ) -> (CheckReport, ExploreStats)
+    where
+        S: Finite + Projected + Sync,
+        S::State: Send + Sync,
+        S::Colour: Send + Sync,
+        S::Input: Sync,
+        S::Op: Sync,
+        A: Abstraction<S> + Sync,
+        A::AState: Send + Sync,
+    {
+        let inputs = sys.inputs();
+        let (states, stats) = explore(
+            sys,
+            initial,
+            &inputs,
+            limit,
+            self.shards,
+            self.spill.as_ref(),
+        );
+        let ops = sys.ops();
+        let report = self.check_states(sys, abstractions, &states, &inputs, &ops);
+        (report, stats)
+    }
+
+    /// The six conditions over an explicit state list. Violation candidates
+    /// from every worker carry sequential-encounter-order keys; the final
+    /// sort-and-replay reproduces the sequential checker's violation list
+    /// exactly.
+    fn check_states<S, A>(
+        &self,
+        sys: &S,
+        abstractions: &[A],
+        states: &[S::State],
+        inputs: &[S::Input],
+        ops: &[S::Op],
+    ) -> CheckReport
+    where
+        S: Projected + Sync,
+        S::State: Send + Sync,
+        S::Colour: Send + Sync,
+        S::Input: Sync,
+        S::Op: Sync,
+        A: Abstraction<S> + Sync,
+        A::AState: Send + Sync,
+    {
+        let cap = self.max_violations_per_condition;
+        let shards = self.shards.max(1);
+        let mut report = CheckReport {
+            states: states.len(),
+            ops: ops.len(),
+            inputs: inputs.len(),
+            ..CheckReport::default()
+        };
+
+        let colours_of: Vec<S::Colour> = par_chunks(shards, states.len(), |r| {
+            states[r].iter().map(|s| sys.colour(s)).collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        let a_colours: Vec<S::Colour> = abstractions.iter().map(|a| a.colour()).collect();
+        let colour_strs: Vec<String> = a_colours.iter().map(|c| format!("{c:?}")).collect();
+
+        // Input-consumption successors, one per (state, input), shared by
+        // every abstraction across conditions 3 and 4. The sequential
+        // checker recomputes these per colour; on systems where `consume`
+        // clones real machine state this — together with the shared
+        // (state, op) successors below — is the bulk of the parallel
+        // checker's algorithmic advantage. Costs `inputs.len()` extra
+        // resident copies of the state list.
+        let mids: Vec<S::State> = par_chunks(shards, states.len(), |r| {
+            let mut out = Vec::with_capacity(r.len() * inputs.len());
+            for s in &states[r] {
+                for i in inputs {
+                    out.push(sys.consume(s, i));
+                }
+            }
+            out
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        let mid = |s_idx: usize, i_idx: usize| &mids[s_idx * inputs.len() + i_idx];
+
+        let mut cands: Vec<(Key, Violation)> = Vec::new();
+
+        // Conditions 1 and 2, all abstractions at once: each (state, op)
+        // successor is computed once and shared across the N colours.
+        let partials = par_chunks(shards, states.len(), |range| {
+            let mut checks = [0u64; 6];
+            let mut buf = CapBuf::new(cap);
+            for idx in range {
+                let s = &states[idx];
+                let mut phi_cache: Vec<Option<A::AState>> = vec![None; abstractions.len()];
+                for (op_idx, op) in ops.iter().enumerate() {
+                    let after = sys.apply(op, s);
+                    for (a_idx, a) in abstractions.iter().enumerate() {
+                        if colours_of[idx] == a_colours[a_idx] {
+                            checks[Condition::OpRespectsAbstraction.index()] += 1;
+                            let phi_s = phi_cache[a_idx].get_or_insert_with(|| a.phi(sys, s));
+                            let phi_after = a.phi(sys, &after);
+                            let abstract_after = a.apply_abstract(sys, &a.abop(sys, op), phi_s);
+                            if phi_after != abstract_after {
+                                buf.push(
+                                    Condition::OpRespectsAbstraction,
+                                    (a_idx, 0, idx, op_idx),
+                                    &colour_strs[a_idx],
+                                    format!(
+                                        "state {s:?}, op {op:?}: Φ(op(s)) = {phi_after:?} but ABOP(op)(Φ(s)) = {abstract_after:?}"
+                                    ),
+                                );
+                            }
+                        } else {
+                            checks[Condition::OpInvisibleToInactive.index()] += 1;
+                            if !a.phi_eq(sys, &after, s) {
+                                let phi_after = a.phi(sys, &after);
+                                let phi_s = a.phi(sys, s);
+                                buf.push(
+                                    Condition::OpInvisibleToInactive,
+                                    (a_idx, 0, idx, op_idx),
+                                    &colour_strs[a_idx],
+                                    format!(
+                                        "state {s:?} (active colour {:?}), op {op:?}: view changed from {:?} to {phi_after:?}",
+                                        colours_of[idx], phi_s
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            (checks, buf)
+        });
+        for (checks, buf) in partials {
+            for (i, c) in checks.iter().enumerate() {
+                report.checks[i] += c;
+            }
+            cands.extend(buf.drain());
+        }
+
+        for (a_idx, a) in abstractions.iter().enumerate() {
+            let c = &a_colours[a_idx];
+            let colour_str = &colour_strs[a_idx];
+
+            let phis: Vec<A::AState> = par_chunks(shards, states.len(), |r| {
+                states[r].iter().map(|s| a.phi(sys, s)).collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+
+            // View groups in first-index order — the same representative
+            // construction as the sequential checker.
+            let mut reps: HashMap<&A::AState, usize> = HashMap::new();
+            let mut members: Vec<(usize, usize)> = Vec::new();
+            for (idx, phi) in phis.iter().enumerate() {
+                let rep = *reps.entry(phi).or_insert(idx);
+                if rep != idx {
+                    members.push((idx, rep));
+                }
+            }
+
+            // Condition 3.
+            let partials = par_chunks(shards, members.len(), |range| {
+                let mut checks = 0u64;
+                let mut buf = CapBuf::new(cap);
+                for m in range {
+                    let (idx, rep) = members[m];
+                    for (i_idx, i) in inputs.iter().enumerate() {
+                        checks += 1;
+                        let via_s_state = mid(idx, i_idx);
+                        let via_rep_state = mid(rep, i_idx);
+                        if !a.phi_eq(sys, via_s_state, via_rep_state) {
+                            let via_s = a.phi(sys, via_s_state);
+                            let via_rep = a.phi(sys, via_rep_state);
+                            buf.push(
+                                Condition::InputDependsOnlyOnView,
+                                (a_idx, 1, idx, i_idx),
+                                colour_str,
+                                format!(
+                                    "states {:?} and {:?} share view {:?} but input {i:?} yields views {via_s:?} vs {via_rep:?}",
+                                    states[idx], states[rep], phis[idx]
+                                ),
+                            );
+                        }
+                    }
+                }
+                (checks, buf)
+            });
+            for (checks, buf) in partials {
+                report.checks[Condition::InputDependsOnlyOnView.index()] += checks;
+                cands.extend(buf.drain());
+            }
+
+            // Condition 4: input groups by EXTRACT(c, i), the sequential
+            // checker's exact (order-sensitive) representative choice.
+            let views: Vec<S::View> = inputs.iter().map(|i| sys.extract_input(c, i)).collect();
+            let mut input_reps: Vec<usize> = Vec::with_capacity(inputs.len());
+            {
+                let mut seen_views: Vec<(usize, &S::View)> = Vec::new();
+                for view in views.iter() {
+                    let rep = seen_views
+                        .iter()
+                        .find(|(_, v)| *v == view)
+                        .map(|(idx, _)| *idx);
+                    match rep {
+                        Some(r) => input_reps.push(r),
+                        None => {
+                            seen_views.push((input_reps.len(), view));
+                            input_reps.push(input_reps.len());
+                        }
+                    }
+                }
+            }
+            let imembers: Vec<(usize, usize)> = input_reps
+                .iter()
+                .enumerate()
+                .filter(|(i, r)| **r != *i)
+                .map(|(i, r)| (i, *r))
+                .collect();
+            if !imembers.is_empty() {
+                let partials = par_chunks(shards, states.len(), |range| {
+                    let mut checks = 0u64;
+                    let mut buf = CapBuf::new(cap);
+                    for s_idx in range {
+                        let s = &states[s_idx];
+                        for &(i_idx, rep) in &imembers {
+                            checks += 1;
+                            let via_i_state = mid(s_idx, i_idx);
+                            let via_rep_state = mid(s_idx, rep);
+                            if !a.phi_eq(sys, via_i_state, via_rep_state) {
+                                let via_i = a.phi(sys, via_i_state);
+                                let via_rep = a.phi(sys, via_rep_state);
+                                buf.push(
+                                    Condition::InputDependsOnlyOnOwnComponent,
+                                    (a_idx, 2, i_idx, s_idx),
+                                    colour_str,
+                                    format!(
+                                        "inputs {:?} and {:?} agree on colour's component but state {s:?} yields views {via_i:?} vs {via_rep:?}",
+                                        inputs[i_idx], inputs[rep]
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                    (checks, buf)
+                });
+                for (checks, buf) in partials {
+                    report.checks[Condition::InputDependsOnlyOnOwnComponent.index()] += checks;
+                    cands.extend(buf.drain());
+                }
+            }
+
+            // Condition 5 (same view groups as condition 3).
+            let partials = par_chunks(shards, members.len(), |range| {
+                let mut checks = 0u64;
+                let mut buf = CapBuf::new(cap);
+                let mut out_reps: HashMap<usize, S::View> = HashMap::new();
+                for m in range {
+                    let (idx, rep) = members[m];
+                    checks += 1;
+                    let out_s = sys.extract_output(c, &sys.output(&states[idx]));
+                    let out_rep = out_reps
+                        .entry(rep)
+                        .or_insert_with(|| sys.extract_output(c, &sys.output(&states[rep])));
+                    if out_s != *out_rep {
+                        buf.push(
+                            Condition::OutputDependsOnlyOnView,
+                            (a_idx, 3, idx, 0),
+                            colour_str,
+                            format!(
+                                "states {:?} and {:?} share view {:?} but outputs project to {out_s:?} vs {out_rep:?}",
+                                states[idx], states[rep], phis[idx]
+                            ),
+                        );
+                    }
+                }
+                (checks, buf)
+            });
+            for (checks, buf) in partials {
+                report.checks[Condition::OutputDependsOnlyOnView.index()] += checks;
+                cands.extend(buf.drain());
+            }
+
+            // Condition 6: colour-filtered view groups.
+            let mut reps6: HashMap<&A::AState, usize> = HashMap::new();
+            let mut members6: Vec<(usize, usize)> = Vec::new();
+            for (idx, phi) in phis.iter().enumerate() {
+                if &colours_of[idx] != c {
+                    continue;
+                }
+                let rep = *reps6.entry(phi).or_insert(idx);
+                if rep != idx {
+                    members6.push((idx, rep));
+                }
+            }
+            let partials = par_chunks(shards, members6.len(), |range| {
+                let mut checks = 0u64;
+                let mut buf = CapBuf::new(cap);
+                for m in range {
+                    let (idx, rep) = members6[m];
+                    checks += 1;
+                    let op_s = sys.next_op(&states[idx]);
+                    let op_rep = sys.next_op(&states[rep]);
+                    if op_s != op_rep {
+                        buf.push(
+                            Condition::NextOpDependsOnlyOnView,
+                            (a_idx, 4, idx, 0),
+                            colour_str,
+                            format!(
+                                "states {:?} and {:?} share view {:?} but NEXTOP differs: {op_s:?} vs {op_rep:?}",
+                                states[idx], states[rep], phis[idx]
+                            ),
+                        );
+                    }
+                }
+                (checks, buf)
+            });
+            for (checks, buf) in partials {
+                report.checks[Condition::NextOpDependsOnlyOnView.index()] += checks;
+                cands.extend(buf.drain());
+            }
+        }
+
+        // Deterministic merge: replay every worker's candidates in
+        // sequential encounter order through the global per-condition cap.
+        cands.sort_by_key(|(key, _)| *key);
+        for (_key, v) in cands {
+            if report.violations_of(v.condition).count() < cap {
+                report.violations.push(v);
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::SeparabilityChecker;
+    use crate::demo::{DemoMachine, Leak};
+    use crate::explore::reachable_states;
+    use crate::system::Finite;
+
+    #[test]
+    fn parallel_matches_sequential_on_demo() {
+        for leak in [Leak::None, Leak::OpWritesForeign, Leak::OutputReadsForeign] {
+            let m = DemoMachine::leaky(4, leak);
+            let seq = SeparabilityChecker::new().check(&m, &m.abstractions());
+            for shards in [1, 2, 4] {
+                let par = ParallelSeparabilityChecker::new(shards).check(&m, &m.abstractions());
+                assert_eq!(seq, par, "leak {leak:?}, shards {shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_reachable_matches_sequential_order_and_truncation() {
+        let m = DemoMachine::secure(4);
+        let inputs = m.inputs();
+        let (full, t) = reachable_states(&m, &[m.initial()], &inputs, 100_000);
+        assert!(!t);
+        for shards in [1, 2, 4, 8] {
+            let (par, t) = par_reachable_states(&m, &[m.initial()], &inputs, 100_000, shards);
+            assert!(!t);
+            assert_eq!(full, par, "shards {shards}");
+            // Limit boundaries mirror the sequential flag exactly.
+            for limit in [0, 1, full.len() - 1, full.len(), full.len() + 1] {
+                let (s_seq, t_seq) = reachable_states(&m, &[m.initial()], &inputs, limit);
+                let (s_par, t_par) =
+                    par_reachable_states(&m, &[m.initial()], &inputs, limit, shards);
+                assert_eq!(s_seq, s_par, "limit {limit}, shards {shards}");
+                assert_eq!(t_seq, t_par, "limit {limit}, shards {shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn spill_preserves_the_report_and_counts_runs() {
+        let m = DemoMachine::secure(4);
+        let plain = ParallelSeparabilityChecker::new(2);
+        let (rep_plain, st_plain) =
+            plain.check_explored(&m, &m.abstractions(), &[m.initial()], 100_000);
+        let spilly = ParallelSeparabilityChecker::new(2).with_spill(SpillConfig::new(4));
+        let (rep_spill, stats) =
+            spilly.check_explored(&m, &m.abstractions(), &[m.initial()], 100_000);
+        assert_eq!(rep_plain, rep_spill);
+        assert!(rep_spill.is_separable());
+        assert!(!stats.truncated);
+        assert_eq!(st_plain.states, stats.states);
+        let spilled: u64 = stats.per_shard.iter().map(|s| s.spilled).sum();
+        assert!(spilled > 0, "spill must actually engage: {stats:?}");
+    }
+}

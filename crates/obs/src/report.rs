@@ -93,10 +93,37 @@ impl RunReport {
         self
     }
 
+    /// Attaches one named run whose body is caller-supplied JSON, for
+    /// experiments whose unit of record is not a [`Metrics`] registry (the
+    /// E2 checker runs record states, check counts, and shard statistics).
+    /// A `name` field is injected first; non-object bodies are wrapped
+    /// under a `value` field.
+    pub fn run_custom(mut self, name: &str, body: Json) -> RunReport {
+        let run = match body {
+            Json::Obj(members) => match Json::obj().field("name", name) {
+                Json::Obj(mut m) => {
+                    m.extend(members);
+                    Json::Obj(m)
+                }
+                other => other,
+            },
+            other => Json::obj().field("name", name).field("value", other),
+        };
+        self.runs.push((name.to_string(), run));
+        self
+    }
+
     /// Attaches a wall-clock timing (kept apart from the deterministic
-    /// sections).
-    pub fn wall_ms(mut self, name: &str, ms: f64) -> RunReport {
-        self.wall.push((name.to_string(), ms));
+    /// sections). The key is rendered with an `_ms` suffix.
+    pub fn wall_ms(self, name: &str, ms: f64) -> RunReport {
+        self.wall(&format!("{name}_ms"), ms)
+    }
+
+    /// Attaches a wall-clock entry under exactly `key` (no suffix), for
+    /// derived quantities like speedups or per-shard states/sec that are
+    /// machine-dependent but not milliseconds.
+    pub fn wall(mut self, key: &str, value: f64) -> RunReport {
+        self.wall.push((key.to_string(), value));
         self
     }
 
@@ -116,7 +143,7 @@ impl RunReport {
                 Json::Obj(
                     self.wall
                         .iter()
-                        .map(|(k, v)| (format!("{k}_ms"), Json::Float(*v)))
+                        .map(|(k, v)| (k.clone(), Json::Float(*v)))
                         .collect(),
                 ),
             );

@@ -10,6 +10,10 @@ cargo build --release --workspace
 echo "==> test"
 cargo test -q --workspace
 
+echo "==> differential checker suite (release: parallel vs sequential)"
+cargo test --release -q -p sep-model --test differential_checker \
+  --test explore_determinism
+
 echo "==> clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 

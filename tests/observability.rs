@@ -2,9 +2,10 @@
 //! byte-identical reports, and instrumentation can neither perturb the
 //! machine nor change a verification verdict.
 
+use sep_bench::{checker_run_json, memory_workload};
 use sep_kernel::config::{KernelConfig, RegimeSpec};
 use sep_kernel::kernel::SeparationKernel;
-use sep_kernel::verify::KernelSystem;
+use sep_kernel::verify::{CheckerSelect, KernelSystem};
 use sep_model::check::SeparabilityChecker;
 use sep_obs::RunReport;
 
@@ -104,6 +105,42 @@ fn tracing_does_not_change_the_separability_verdict() {
     let traced = verdict(workload().with_trace(32));
     assert!(plain.0, "baseline workload must verify");
     assert_eq!(plain, traced);
+
+    // The frontier-sharded checker is no more perturbable than the
+    // sequential one: with the recorder attached its report still equals
+    // the untraced sequential report.
+    let sharded = |cfg: KernelConfig| {
+        let sys = KernelSystem::new(cfg).unwrap();
+        sys.check_with(&CheckerSelect::Sharded { shards: 4 })
+    };
+    let seq_plain = {
+        let sys = KernelSystem::new(workload()).unwrap();
+        sys.check_with(&CheckerSelect::Sequential)
+    };
+    assert_eq!(seq_plain, sharded(workload()));
+    assert_eq!(seq_plain, sharded(workload().with_trace(32)));
+}
+
+#[test]
+fn sharded_checker_reports_are_byte_identical_across_runs() {
+    // The deterministic sections of an E2-style run report — counts,
+    // verdicts, per-shard ownership — must not vary run to run or depend
+    // on scheduler interleaving. (Wall-clock timing is exactly what the
+    // `wall` section exists to segregate, so none is attached here.)
+    let render = || {
+        let sys = KernelSystem::new(memory_workload(2)).unwrap();
+        let (report, stats) = sys.check_with_stats(&CheckerSelect::Sharded { shards: 4 });
+        let stats = stats.expect("sharded runs report stats");
+        RunReport::new("e2_pos_verify_test")
+            .param("shards", 4u64)
+            .run_custom("memory_2", checker_run_json(&report, Some(&stats)))
+            .render()
+    };
+    let a = render();
+    assert_eq!(a, render());
+    assert_eq!(a, render());
+    assert!(a.contains("\"per_shard\""));
+    assert!(a.contains("\"separable\": true"));
 }
 
 #[test]
