@@ -1,18 +1,22 @@
-//! A1 (ablation) — the scheduling timing channel.
+//! A1 (ablation) — scheduling and backpressure as covert channels.
 //!
 //! The six conditions of Proof of Separability constrain *what* each regime
 //! can see, not *when* it runs: with the SUE's voluntary yielding, a regime
 //! can modulate how long it holds the CPU and another regime can read that
-//! off its own clock device. This experiment measures that residual channel
-//! and shows the trade-off of the preemption-quantum extension: it throttles
-//! the channel at the cost of departing from the SUE's "no scheduling"
-//! minimalism.
+//! off its own clock device. Part one measures that residual channel under
+//! every `SchedPolicy` the kernel now offers. Part two measures the dual
+//! resource channel: a bounded channel's queue depth, as seen by its
+//! *sender*, is modulated by how fast the receiver drains — the
+//! `DepthPolicy` knob decides how much of that the sender may observe.
 
 use sep_bench::{header, row};
 use sep_covert::channel::score_transfer;
-use sep_kernel::config::{DeviceSpec, KernelConfig, RegimeSpec};
+use sep_kernel::config::{
+    ChannelSpec, DepthPolicy, DeviceSpec, KernelConfig, RegimeSpec, SchedPolicy,
+};
 use sep_kernel::kernel::SeparationKernel;
 use sep_kernel::regime::{NativeAction, NativeRegime, RegimeIo};
+use sep_obs::{Json, RunReport};
 use std::any::Any;
 
 /// HIGH: per secret bit (one clock window each), either hogs the CPU
@@ -108,19 +112,42 @@ impl NativeRegime for LowObserver {
     }
 }
 
-/// Runs the pair and decodes HIGH's bits from LOW's turn counts.
-fn run(secret: &[u8], quantum: Option<u64>, fixed_slot: bool) -> (f64, f64) {
+/// Threshold decode of per-window samples back into bytes, scored against
+/// the secret. The threshold is the midpoint of the observed range (robust
+/// when one symbol cluster dominates); `invert` selects which side of it
+/// reads as bit 1.
+fn decode_and_score(secret: &[u8], samples: &[u32], rounds: u64, invert: bool) -> (f64, f64) {
+    if samples.len() < 4 {
+        return (0.5, 0.0);
+    }
+    let lo = u64::from(*samples.iter().min().unwrap());
+    let hi = u64::from(*samples.iter().max().unwrap());
+    let bits: Vec<u8> = samples
+        .iter()
+        .map(|&s| u8::from((u64::from(s) * 2 < lo + hi) ^ invert))
+        .collect();
+    let recovered: Vec<u8> = bits
+        .chunks(8)
+        .filter(|c| c.len() == 8)
+        .map(|c| c.iter().enumerate().fold(0u8, |a, (i, b)| a | (b << i)))
+        .collect();
+    let score = score_transfer(secret, &recovered, rounds);
+    (score.error_rate, score.bits_per_round)
+}
+
+/// Runs the CPU-hogging pair under a scheduling policy and decodes HIGH's
+/// bits from LOW's turn counts.
+fn run_sched(secret: &[u8], sched: SchedPolicy) -> (f64, f64) {
     let clock_period = 40u32;
-    let mut cfg = KernelConfig::new(vec![
+    let cfg = KernelConfig::new(vec![
         RegimeSpec::native("high", HighSender::new(secret)).with_device(DeviceSpec::Clock {
             period: clock_period,
         }),
         RegimeSpec::native("low", LowObserver::new()).with_device(DeviceSpec::Clock {
             period: clock_period,
         }),
-    ]);
-    cfg.quantum = quantum;
-    cfg.fixed_slot = fixed_slot;
+    ])
+    .with_sched(sched);
     let mut k = SeparationKernel::boot(cfg).unwrap();
     let rounds = (secret.len() * 8) as u64 * 90;
     k.run(rounds);
@@ -132,61 +159,296 @@ fn run(secret: &[u8], quantum: Option<u64>, fixed_slot: bool) -> (f64, f64) {
             .samples
             .clone()
     };
-    if samples.len() < 4 {
-        return (0.5, 0.0);
+    // Below-median turn count per window = HIGH ran long = bit 1.
+    decode_and_score(secret, &samples, rounds, false)
+}
+
+/// HIGH as *receiver*: per secret bit (clock-paced), either drains its
+/// inbound channel completely each turn (bit 0) or lets it back up,
+/// draining one message every other turn (bit 1).
+#[derive(Clone)]
+struct ThrottlingReceiver {
+    secret: Vec<u8>,
+    bit: usize,
+    parity: bool,
+}
+
+impl ThrottlingReceiver {
+    fn new(secret: &[u8]) -> Box<ThrottlingReceiver> {
+        Box::new(ThrottlingReceiver {
+            secret: secret.to_vec(),
+            bit: 0,
+            parity: false,
+        })
     }
-    // Decode: below-median turn count per window = HIGH ran long = bit 1.
-    let mut sorted = samples.clone();
-    sorted.sort_unstable();
-    let median = sorted[sorted.len() / 2];
-    let bits: Vec<u8> = samples.iter().map(|&s| u8::from(s < median)).collect();
-    let recovered: Vec<u8> = bits
-        .chunks(8)
-        .filter(|c| c.len() == 8)
-        .map(|c| c.iter().enumerate().fold(0u8, |a, (i, b)| a | (b << i)))
-        .collect();
-    let score = score_transfer(secret, &recovered, rounds);
-    (score.error_rate, score.bits_per_round)
+
+    fn current_bit(&self) -> u8 {
+        let byte = self.secret.get(self.bit / 8).copied().unwrap_or(0);
+        (byte >> (self.bit % 8)) & 1
+    }
+}
+
+impl NativeRegime for ThrottlingReceiver {
+    fn step(&mut self, io: &mut dyn RegimeIo) -> NativeAction {
+        if let Some(lks) = io.read_device(0, 0) {
+            if lks & 0o200 != 0 {
+                io.write_device(0, 0, 0);
+                self.bit += 1;
+                // Window boundary: start the new bit from an empty queue so
+                // depth encodes this window's drain rate, not history.
+                while io.recv(0).is_ok() {}
+            }
+        }
+        self.parity = !self.parity;
+        if self.current_bit() == 1 {
+            // Slow drain: one message every other turn, so the queue sits
+            // several messages deep — without ever filling.
+            if self.parity {
+                let _ = io.recv(0);
+            }
+        } else {
+            // Fast drain: empty the queue.
+            while io.recv(0).is_ok() {}
+        }
+        NativeAction::Swap
+    }
+
+    fn boxed_clone(&self) -> Box<dyn NativeRegime> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// LOW as *sender*: feeds the channel one message per turn and reads back
+/// whatever depth its `DepthPolicy` lets it see, one sample per window of
+/// its own clock.
+#[derive(Clone)]
+struct DepthProbingSender {
+    samples: Vec<u32>,
+}
+
+impl DepthProbingSender {
+    fn new() -> Box<DepthProbingSender> {
+        Box::new(DepthProbingSender {
+            samples: Vec::new(),
+        })
+    }
+}
+
+impl NativeRegime for DepthProbingSender {
+    fn step(&mut self, io: &mut dyn RegimeIo) -> NativeAction {
+        let _ = io.send(0, &[0o252]);
+        if let Some(lks) = io.read_device(0, 0) {
+            if lks & 0o200 != 0 {
+                io.write_device(0, 0, 0);
+                let depth = io.poll(0).unwrap_or(0);
+                self.samples.push(depth as u32);
+            }
+        }
+        NativeAction::Swap
+    }
+
+    fn boxed_clone(&self) -> Box<dyn NativeRegime> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Runs the backpressure pair (LOW sends to HIGH, HIGH modulates its drain
+/// rate) and decodes HIGH's bits from LOW's depth samples.
+fn run_depth(secret: &[u8], depth: DepthPolicy) -> (f64, f64) {
+    let clock_period = 40u32;
+    let mut cfg = KernelConfig::new(vec![
+        RegimeSpec::native("high", ThrottlingReceiver::new(secret)).with_device(
+            DeviceSpec::Clock {
+                period: clock_period,
+            },
+        ),
+        RegimeSpec::native("low", DepthProbingSender::new()).with_device(DeviceSpec::Clock {
+            period: clock_period,
+        }),
+    ]);
+    // Capacity high enough that slow-drain windows back up without filling:
+    // the fullness boundary itself is never signalled.
+    cfg.channels
+        .push(ChannelSpec::new(1, 0, 32).with_depth(depth));
+    let mut k = SeparationKernel::boot(cfg).unwrap();
+    let rounds = (secret.len() * 8) as u64 * 90;
+    k.run(rounds);
+    let samples = {
+        let low = k.regimes[1].native.as_mut().unwrap();
+        low.as_any()
+            .downcast_ref::<DepthProbingSender>()
+            .unwrap()
+            .samples
+            .clone()
+    };
+    // Above-threshold depth per window = HIGH drained slowly = bit 1.
+    decode_and_score(secret, &samples, rounds, true)
+}
+
+fn channel_state(err: f64) -> &'static str {
+    if err < 0.25 {
+        "OPEN"
+    } else if err < 0.45 {
+        "degraded"
+    } else {
+        "closed (noise)"
+    }
 }
 
 fn main() {
-    println!("# A1 (ablation): the scheduling timing channel\n");
+    println!("# A1 (ablation): scheduling and backpressure covert channels\n");
     println!("HIGH modulates its CPU-burst length per secret bit; LOW counts its own");
     println!("turns between ticks of its private clock. The six conditions permit");
     println!("this — operation *selection* is constrained, operation *timing* is not.\n");
 
     let secret = b"TIMING";
+    let scheds: Vec<(&str, SchedPolicy)> = vec![
+        (
+            "SUE voluntary yield (paper-faithful)",
+            SchedPolicy::RoundRobin,
+        ),
+        (
+            "static cyclic table [0,1] (cooperative)",
+            SchedPolicy::StaticCyclic { table: vec![0, 1] },
+        ),
+        (
+            "preemption quantum = 8",
+            SchedPolicy::FixedTimeSlice {
+                quantum: 8,
+                padded: false,
+            },
+        ),
+        (
+            "preemption quantum = 4",
+            SchedPolicy::FixedTimeSlice {
+                quantum: 4,
+                padded: false,
+            },
+        ),
+        (
+            "lottery quantum = 8, seed 7",
+            SchedPolicy::Lottery {
+                quantum: 8,
+                seed: 7,
+            },
+        ),
+        (
+            "fixed time slots (quantum = 8, padded)",
+            SchedPolicy::FixedTimeSlice {
+                quantum: 8,
+                padded: true,
+            },
+        ),
+    ];
     header(&[
         "scheduling",
         "bit error",
         "covert bits/round",
         "channel state",
     ]);
-    for (name, quantum, fixed) in [
-        ("SUE voluntary yield (paper-faithful)", None, false),
-        ("preemption quantum = 8", Some(8), false),
-        ("preemption quantum = 4", Some(4), false),
-        ("fixed time slots (quantum = 8, padded)", Some(8), true),
-    ] {
-        let (err, bw) = run(secret, quantum, fixed);
+    let mut sched_rows: Vec<Json> = Vec::new();
+    for (name, sched) in &scheds {
+        let (err, bw) = run_sched(secret, sched.clone());
         row(&[
-            name.into(),
+            (*name).into(),
             format!("{:.1}%", err * 100.0),
             format!("{bw:.5}"),
-            if err < 0.25 {
-                "OPEN".into()
-            } else if err < 0.45 {
-                "degraded".to_string()
-            } else {
-                "closed (noise)".into()
-            },
+            channel_state(err).into(),
         ]);
+        sched_rows.push(
+            Json::obj()
+                .field("config", *name)
+                .field("policy", sched.name())
+                .field("verifiable", sched.verifiable())
+                .field("bit_error", err)
+                .field("bits_per_round", bw)
+                .field("state", channel_state(err)),
+        );
     }
 
     println!("\nthe trade-off: the paper's kernel \"performs no scheduling functions\"");
     println!("and accepts this channel (\"denial of service is not a security problem\"");
     println!("— and neither, for the SUE's fixed single function, is scheduling");
     println!("leakage); adding preemption closes it at the cost of a scheduler in the");
-    println!("TCB. Proof of Separability is silent either way — as the paper's model");
-    println!("intends; see [31] for the extension that is not.");
+    println!("TCB — and of verifiability: only the cooperative policies pass Proof of");
+    println!("Separability. Lottery randomizes the rotation but its quantum still");
+    println!("bounds HIGH's bursts; see [31] for the model extension that covers");
+    println!("timing outright.\n");
+
+    println!("## backpressure: the queue-depth channel\n");
+    println!("LOW sends on a bounded channel; HIGH (the receiver) modulates its drain");
+    println!("rate per secret bit. What LOW's POLL shows is the DepthPolicy knob:\n");
+
+    let depths: Vec<(&str, DepthPolicy)> = vec![
+        ("live depth (poll sees the queue)", DepthPolicy::Live),
+        (
+            "quantized to multiples of 8",
+            DepthPolicy::Quantized { step: 8 },
+        ),
+        (
+            "sticky full-bit, latched at slot boundaries",
+            DepthPolicy::Sticky,
+        ),
+    ];
+    header(&[
+        "sender's depth view",
+        "bit error",
+        "covert bits/round",
+        "channel state",
+    ]);
+    let mut depth_rows: Vec<Json> = Vec::new();
+    let mut live_bw = 0.0;
+    let mut sticky_bw = 0.0;
+    for (name, depth) in &depths {
+        let (err, bw) = run_depth(secret, *depth);
+        match depth {
+            DepthPolicy::Live => live_bw = bw,
+            DepthPolicy::Sticky => sticky_bw = bw,
+            DepthPolicy::Quantized { .. } => {}
+        }
+        row(&[
+            (*name).into(),
+            format!("{:.1}%", err * 100.0),
+            format!("{bw:.5}"),
+            channel_state(err).into(),
+        ]);
+        depth_rows.push(
+            Json::obj()
+                .field("config", *name)
+                .field("bit_error", err)
+                .field("bits_per_round", bw)
+                .field("state", channel_state(err)),
+        );
+    }
+    assert!(
+        sticky_bw < live_bw,
+        "sticky bit must carry measurably less than the live counter \
+         (sticky {sticky_bw} vs live {live_bw})"
+    );
+
+    println!("\nthe live counter hands the sender a free high-resolution channel; the");
+    println!("sticky bit reduces its whole view of the receiver's draining to one");
+    println!("stale Full/NotFull bit per slot, latched at the sender's own slot");
+    println!("boundaries — so mid-slot drains are invisible and the depth-magnitude");
+    println!("channel above measures as noise. Quantization sits between: it survives");
+    println!("only when the modulation crosses a step boundary.");
+
+    let out = "BENCH_obs_a1_scheduler.json";
+    RunReport::new("a1_scheduler_channel")
+        .param("secret_bits", (secret.len() * 8) as u64)
+        .param("rounds_per_bit", 90u64)
+        .param("clock_period", 40u64)
+        .run_custom("scheduler_timing_channel", Json::Arr(sched_rows))
+        .run_custom("backpressure_depth_channel", Json::Arr(depth_rows))
+        .write_to(out)
+        .expect("write run report");
+    println!("\nwrote {out}");
 }

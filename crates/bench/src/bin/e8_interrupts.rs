@@ -46,6 +46,7 @@ fn main() {
         "steps",
         "fielded",
         "delivered",
+        "discarded",
         "handler runs",
         "bystander progress",
     ]);
@@ -78,6 +79,7 @@ fn main() {
             steps.to_string(),
             k.stats.interrupts_fielded.to_string(),
             k.stats.interrupts_delivered.to_string(),
+            k.stats.interrupts_discarded.to_string(),
             ticks.to_string(),
             counter.to_string(),
         ]);
@@ -86,6 +88,37 @@ fn main() {
         report = report
             .run_with_trace(&name, &k.machine.obs.metrics, trace.as_ref(), 24)
             .wall_ms(&name, timing.ms);
+    }
+
+    // The same clocked regime with an empty vector slot: every fielded
+    // interrupt is discarded, none delivered, and the books say so.
+    {
+        let unhandled = "
+start:  MOV #0o160000, R4
+        MOV #0o100, (R4)    ; clock interrupt enable, no handler installed
+loop:   BR loop
+";
+        let cfg = KernelConfig::new(vec![
+            RegimeSpec::assembly("deaf", unhandled).with_device(DeviceSpec::Clock { period: 16 }),
+            RegimeSpec::assembly("bystander", BYSTANDER),
+        ]);
+        let mut k = SeparationKernel::boot(cfg).unwrap();
+        k.run(3000);
+        let counter_addr = assemble(BYSTANDER).unwrap().symbol("counter").unwrap();
+        let counter = k
+            .machine
+            .mem
+            .read_word(k.regimes[1].partition_base + counter_addr as u32);
+        row(&[
+            "16 (no handler)".into(),
+            "3000".into(),
+            k.stats.interrupts_fielded.to_string(),
+            k.stats.interrupts_delivered.to_string(),
+            k.stats.interrupts_discarded.to_string(),
+            "0".into(),
+            counter.to_string(),
+        ]);
+        report = report.run("clock_period_16_no_handler", &k.machine.obs.metrics);
     }
 
     // Interrupt isolation under Proof of Separability, correct vs misrouted.

@@ -5,7 +5,7 @@
 //! unidirectional, statically configured, and bounded; the kernel copies
 //! message bytes between partitions so no memory is ever shared.
 
-use crate::config::ChannelSpec;
+use crate::config::{ChannelSpec, DepthPolicy};
 use std::collections::VecDeque;
 
 /// Maximum message size in bytes.
@@ -46,6 +46,11 @@ pub struct Channel {
     /// feed the queue but nothing ever drains it, and receives always
     /// report empty.
     pub cut: bool,
+    /// The sticky Full/NotFull bit under [`DepthPolicy::Sticky`]: latched
+    /// from the live queue at the sender's slot boundaries (the kernel
+    /// calls [`Channel::latch`] on context switches in and out of the
+    /// sender), constant `false` under the other policies.
+    pub latched_full: bool,
     queue: VecDeque<Vec<u8>>,
 }
 
@@ -55,7 +60,18 @@ impl Channel {
         Channel {
             spec,
             cut,
+            latched_full: false,
             queue: VecDeque::new(),
+        }
+    }
+
+    /// Re-latches the sticky Full/NotFull bit from the live queue. The
+    /// kernel calls this at the sender's slot boundaries only, so between
+    /// boundaries the sender's whole view of the receiver's draining is
+    /// one stale bit. No-op under the other depth policies.
+    pub fn latch(&mut self) {
+        if self.spec.depth == DepthPolicy::Sticky {
+            self.latched_full = self.queue.len() >= self.spec.capacity;
         }
     }
 
@@ -64,11 +80,39 @@ impl Channel {
         if sender != self.spec.from || msg.len() > MAX_MSG {
             return ChannelStatus::Invalid;
         }
+        if self.spec.depth == DepthPolicy::Sticky {
+            // The sender's feedback is the latched bit, nothing fresher. A
+            // send against a stale NotFull bit that meets a physically full
+            // queue is accepted-and-dropped (a lossy wire), so the status
+            // cannot leak mid-slot drains either.
+            if self.latched_full {
+                return ChannelStatus::Full;
+            }
+            if self.queue.len() < self.spec.capacity {
+                self.queue.push_back(msg);
+            }
+            return ChannelStatus::Ok;
+        }
         if self.queue.len() >= self.spec.capacity {
             return ChannelStatus::Full;
         }
         self.queue.push_back(msg);
         ChannelStatus::Ok
+    }
+
+    /// The head message for regime `receiver` without consuming it, so the
+    /// kernel can stage a copy and only dequeue once it has fully landed.
+    pub fn peek(&self, receiver: usize) -> Result<&[u8], ChannelStatus> {
+        if receiver != self.spec.to {
+            return Err(ChannelStatus::Invalid);
+        }
+        if self.cut {
+            return Err(ChannelStatus::Empty);
+        }
+        self.queue
+            .front()
+            .map(Vec::as_slice)
+            .ok_or(ChannelStatus::Empty)
     }
 
     /// Attempts to dequeue a message for regime `receiver`.
@@ -82,11 +126,25 @@ impl Channel {
         self.queue.pop_front().ok_or(ChannelStatus::Empty)
     }
 
-    /// Queue length as observable by regime `who` (senders and receivers
-    /// see the queue; others see nothing).
+    /// Queue depth as observable by regime `who`. The receiver always sees
+    /// the live length (draining is its own action); the *sender* sees
+    /// whatever its [`DepthPolicy`] allows. Third parties see nothing.
     pub fn poll(&self, who: usize) -> Option<usize> {
         if who == self.spec.from {
-            Some(self.queue.len())
+            Some(match self.spec.depth {
+                DepthPolicy::Live => self.queue.len(),
+                DepthPolicy::Quantized { step } => {
+                    let step = step.max(1);
+                    self.queue.len().div_ceil(step) * step
+                }
+                DepthPolicy::Sticky => {
+                    if self.latched_full {
+                        self.spec.capacity
+                    } else {
+                        0
+                    }
+                }
+            })
         } else if who == self.spec.to {
             Some(if self.cut { 0 } else { self.queue.len() })
         } else {
@@ -111,14 +169,7 @@ mod tests {
     use super::*;
 
     fn chan(capacity: usize, cut: bool) -> Channel {
-        Channel::new(
-            ChannelSpec {
-                from: 0,
-                to: 1,
-                capacity,
-            },
-            cut,
-        )
+        Channel::new(ChannelSpec::new(0, 1, capacity), cut)
     }
 
     #[test]
@@ -169,5 +220,44 @@ mod tests {
     fn third_parties_cannot_poll() {
         let c = chan(2, false);
         assert_eq!(c.poll(2), None);
+    }
+
+    #[test]
+    fn quantized_depth_rounds_up_for_the_sender_only() {
+        let spec = ChannelSpec::new(0, 1, 8).with_depth(DepthPolicy::Quantized { step: 4 });
+        let mut c = Channel::new(spec, false);
+        assert_eq!(c.poll(0), Some(0));
+        c.send(0, vec![1]);
+        assert_eq!(c.poll(0), Some(4), "1 message reads as 4 to the sender");
+        assert_eq!(c.poll(1), Some(1), "the receiver still sees the truth");
+        for _ in 0..4 {
+            c.send(0, vec![2]);
+        }
+        assert_eq!(c.poll(0), Some(8));
+    }
+
+    #[test]
+    fn sticky_bit_hides_mid_slot_drains() {
+        let spec = ChannelSpec::new(0, 1, 2).with_depth(DepthPolicy::Sticky);
+        let mut c = Channel::new(spec, false);
+        // Fill the queue; the sender's bit stays NotFull until a boundary.
+        assert_eq!(c.send(0, vec![1]), ChannelStatus::Ok);
+        assert_eq!(c.send(0, vec![2]), ChannelStatus::Ok);
+        assert_eq!(c.poll(0), Some(0), "bit not latched yet");
+        // Overfull send against the stale bit: accepted-and-dropped.
+        assert_eq!(c.send(0, vec![3]), ChannelStatus::Ok);
+        assert_eq!(c.queue().len(), 2, "the overflow message was dropped");
+        // Slot boundary: the bit latches Full.
+        c.latch();
+        assert_eq!(c.poll(0), Some(2));
+        assert_eq!(c.send(0, vec![4]), ChannelStatus::Full);
+        // The receiver drains mid-slot; the sender's view is unchanged
+        // until the next boundary.
+        assert_eq!(c.recv(1), Ok(vec![1]));
+        assert_eq!(c.poll(0), Some(2), "drain invisible before the boundary");
+        assert_eq!(c.send(0, vec![5]), ChannelStatus::Full);
+        c.latch();
+        assert_eq!(c.poll(0), Some(0));
+        assert_eq!(c.send(0, vec![6]), ChannelStatus::Ok);
     }
 }

@@ -6,6 +6,7 @@
 //! makes the kernel small and its verification tractable.
 
 use crate::regime::NativeRegime;
+use crate::sched::{FixedTimeSlice, Lottery, RoundRobin, Scheduler, StaticCyclic};
 use sep_machine::types::Word;
 
 /// How a regime's program is supplied.
@@ -106,6 +107,30 @@ impl RegimeSpec {
     }
 }
 
+/// What a channel's *sender* learns about queue depth — the backpressure
+/// policy. Bounded queues need backpressure, but the live depth doubles as
+/// a covert channel: the receiver modulates its drain rate and the sender
+/// reads it off `POLL`. The coarser policies trade feedback resolution for
+/// bandwidth (ablation A1 measures the trade).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DepthPolicy {
+    /// The sender polls the live queue length (full resolution; the
+    /// pre-policy behaviour).
+    #[default]
+    Live,
+    /// The sender sees the depth rounded up to a multiple of `step`.
+    Quantized {
+        /// Quantization step in messages.
+        step: usize,
+    },
+    /// The sender sees only a Full/NotFull bit, latched at its own slot
+    /// boundaries (context switches in and out of the sender). Mid-slot
+    /// drains are invisible; a send against a stale NotFull bit that meets
+    /// a physically full queue is accepted-and-dropped, like a lossy wire,
+    /// so send statuses leak nothing either.
+    Sticky,
+}
+
 /// A statically configured unidirectional channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChannelSpec {
@@ -115,6 +140,26 @@ pub struct ChannelSpec {
     pub to: usize,
     /// Maximum queued messages.
     pub capacity: usize,
+    /// What the sender learns about queue depth.
+    pub depth: DepthPolicy,
+}
+
+impl ChannelSpec {
+    /// A channel with the default live-depth backpressure.
+    pub fn new(from: usize, to: usize, capacity: usize) -> ChannelSpec {
+        ChannelSpec {
+            from,
+            to,
+            capacity,
+            depth: DepthPolicy::Live,
+        }
+    }
+
+    /// Sets the backpressure policy, builder-style.
+    pub fn with_depth(mut self, depth: DepthPolicy) -> ChannelSpec {
+        self.depth = depth;
+        self
+    }
 }
 
 /// Deliberate kernel sabotage, for experiment E2: each mutation introduces
@@ -140,6 +185,69 @@ pub enum Mutation {
     ScratchInPartition,
 }
 
+/// The scheduling policy of a configuration. See [`crate::sched`] for the
+/// policies and for which of them the verification adapter accepts.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// Voluntary round-robin — the SUE's policy and the default.
+    #[default]
+    RoundRobin,
+    /// Preemptive time slices, optionally padded (fixed slots).
+    FixedTimeSlice {
+        /// Steps per slice.
+        quantum: u64,
+        /// Pad early-yielded slots to full length.
+        padded: bool,
+    },
+    /// Seeded lottery scheduling (deterministic, preemptive).
+    Lottery {
+        /// Steps per slice.
+        quantum: u64,
+        /// SplitMix64 seed.
+        seed: u64,
+    },
+    /// Cooperative MILS-style cyclic table of regime indices.
+    StaticCyclic {
+        /// The rotation table.
+        table: Vec<usize>,
+    },
+}
+
+impl SchedPolicy {
+    /// Instantiates the scheduler for this policy.
+    pub fn build(&self) -> Box<dyn Scheduler> {
+        match self {
+            SchedPolicy::RoundRobin => Box::new(RoundRobin),
+            SchedPolicy::FixedTimeSlice { quantum, padded } => Box::new(FixedTimeSlice {
+                quantum: *quantum,
+                padded: *padded,
+            }),
+            SchedPolicy::Lottery { quantum, seed } => Box::new(Lottery::new(*quantum, *seed)),
+            SchedPolicy::StaticCyclic { table } => Box::new(StaticCyclic::new(table.clone())),
+        }
+    }
+
+    /// Whether the Proof of Separability adapter accepts this policy
+    /// (preemptive policies cannot satisfy condition 1 — see
+    /// [`crate::sched`]).
+    pub fn verifiable(&self) -> bool {
+        matches!(
+            self,
+            SchedPolicy::RoundRobin | SchedPolicy::StaticCyclic { .. }
+        )
+    }
+
+    /// Stable lowercase policy name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedPolicy::RoundRobin => "round-robin",
+            SchedPolicy::FixedTimeSlice { .. } => "fixed-time-slice",
+            SchedPolicy::Lottery { .. } => "lottery",
+            SchedPolicy::StaticCyclic { .. } => "static-cyclic",
+        }
+    }
+}
+
 /// The complete static configuration of a separation-kernel system.
 #[derive(Debug, Clone, Default)]
 pub struct KernelConfig {
@@ -150,8 +258,11 @@ pub struct KernelConfig {
     /// When set, cut channels (the wire-cutting argument): `SEND` feeds a
     /// private never-drained stub, `RECV` always reports empty.
     pub channels_cut: bool,
-    /// Optional preemption quantum in steps (an extension beyond the SUE;
-    /// must be `None` for verified configurations).
+    /// The scheduling policy. The legacy `quantum`/`fixed_slot` knobs below
+    /// are absorbed into it at boot (see [`KernelConfig::effective_sched`]).
+    pub sched: SchedPolicy,
+    /// Optional preemption quantum in steps (legacy knob; equivalent to
+    /// `SchedPolicy::FixedTimeSlice` and normalized into `sched` at boot).
     pub quantum: Option<u64>,
     /// With `quantum`, pad every slot to its full length: a regime that
     /// yields early donates the remainder to *nobody* (the kernel idles).
@@ -177,10 +288,29 @@ impl KernelConfig {
         }
     }
 
-    /// Adds a channel, builder-style.
+    /// Adds a channel with the default live-depth backpressure,
+    /// builder-style.
     pub fn with_channel(mut self, from: usize, to: usize, capacity: usize) -> KernelConfig {
-        self.channels.push(ChannelSpec { from, to, capacity });
+        self.channels.push(ChannelSpec::new(from, to, capacity));
         self
+    }
+
+    /// Sets the scheduling policy, builder-style.
+    pub fn with_sched(mut self, sched: SchedPolicy) -> KernelConfig {
+        self.sched = sched;
+        self
+    }
+
+    /// The scheduling policy with the legacy `quantum`/`fixed_slot` knobs
+    /// folded in: a quantum on the default policy means fixed time slices.
+    pub fn effective_sched(&self) -> SchedPolicy {
+        match (&self.sched, self.quantum) {
+            (SchedPolicy::RoundRobin, Some(q)) => SchedPolicy::FixedTimeSlice {
+                quantum: q,
+                padded: self.fixed_slot,
+            },
+            _ => self.sched.clone(),
+        }
     }
 
     /// Enables event tracing into a ring of `capacity` events,
@@ -212,14 +342,7 @@ mod tests {
         .with_channel(0, 1, 4);
         assert_eq!(cfg.regimes.len(), 2);
         assert_eq!(cfg.regimes[0].devices, vec![DeviceSpec::Serial]);
-        assert_eq!(
-            cfg.channels,
-            vec![ChannelSpec {
-                from: 0,
-                to: 1,
-                capacity: 4
-            }]
-        );
+        assert_eq!(cfg.channels, vec![ChannelSpec::new(0, 1, 4)]);
         assert!(!cfg.channels_cut);
         assert!(cfg.cut_channels().channels_cut);
     }

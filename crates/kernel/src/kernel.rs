@@ -22,6 +22,7 @@ use crate::regime::{
     DeviceBinding, NativeAction, RegimeIo, RegimeRecord, RegimeStatus, SaveArea, DEV_WINDOW,
     PARTITION_SIZE, VEC_BASE,
 };
+use crate::sched::Scheduler;
 use sep_machine::asm::{assemble, AsmError};
 use sep_machine::dev::clock::LineClock;
 use sep_machine::dev::crypto::CryptoUnit;
@@ -85,6 +86,9 @@ pub enum KernelError {
         /// Index in the channel list.
         channel: usize,
     },
+    /// A static-cyclic schedule table is empty or names a regime that does
+    /// not exist.
+    BadSchedTable,
 }
 
 impl core::fmt::Display for KernelError {
@@ -110,6 +114,9 @@ impl core::fmt::Display for KernelError {
             KernelError::BadChannelEndpoint { channel } => {
                 write!(f, "channel {channel}: endpoint out of range")
             }
+            KernelError::BadSchedTable => {
+                write!(f, "static-cyclic table is empty or names a missing regime")
+            }
         }
     }
 }
@@ -131,9 +138,17 @@ pub enum KernelEvent {
         /// Incoming regime.
         to: usize,
     },
-    /// A pending interrupt was delivered (or discarded if unhandled).
+    /// A pending interrupt was delivered into the regime's handler.
     DeliveredInterrupt {
         /// The receiving regime.
+        regime: usize,
+        /// The device's vector.
+        vector: Word,
+    },
+    /// A pending interrupt was discarded: the owner's vector slot holds no
+    /// handler (PC 0), so the kernel has nowhere to put it.
+    DiscardedInterrupt {
+        /// The regime whose vector slot was empty.
         regime: usize,
         /// The device's vector.
         vector: Word,
@@ -182,6 +197,8 @@ pub struct KernelStats {
     pub interrupts_fielded: u64,
     /// Interrupts delivered to regimes.
     pub interrupts_delivered: u64,
+    /// Interrupts discarded (fielded, but the owner had no handler).
+    pub interrupts_discarded: u64,
     /// Regime faults.
     pub faults: u64,
     /// Idle steps.
@@ -201,8 +218,9 @@ pub struct SeparationKernel {
     pub stats: KernelStats,
     current: usize,
     mutation: Mutation,
-    quantum: Option<u64>,
-    fixed_slot: bool,
+    /// The scheduling policy (built from `KernelConfig::effective_sched`).
+    sched: Box<dyn Scheduler>,
+    /// Steps left in the current slice (0 under sliceless policies).
     quantum_left: u64,
     /// Remaining idle padding of an early-yielded fixed slot.
     slot_idle_left: u64,
@@ -371,6 +389,14 @@ impl SeparationKernel {
             .map(|spec| Channel::new(*spec, config.channels_cut))
             .collect();
 
+        let sched = config.effective_sched();
+        if let crate::config::SchedPolicy::StaticCyclic { table } = &sched {
+            if table.is_empty() || table.iter().any(|&r| r >= config.regimes.len()) {
+                return Err(KernelError::BadSchedTable);
+            }
+        }
+        let sched = sched.build();
+        let quantum_left = sched.slice(0).unwrap_or(0);
         let mut kernel = SeparationKernel {
             machine,
             regimes,
@@ -378,9 +404,8 @@ impl SeparationKernel {
             stats: KernelStats::default(),
             current: 0,
             mutation: config.mutation,
-            quantum: config.quantum,
-            fixed_slot: config.fixed_slot,
-            quantum_left: config.quantum.unwrap_or(0),
+            sched,
+            quantum_left,
             slot_idle_left: 0,
             device_owner,
         };
@@ -416,10 +441,15 @@ impl SeparationKernel {
         self.mutation
     }
 
-    /// True when the configuration has a preemption quantum (an extension
-    /// beyond the SUE; refused by the verification adapter).
+    /// True when the scheduling policy preempts (an extension beyond the
+    /// SUE; refused by the verification adapter).
     pub fn has_quantum(&self) -> bool {
-        self.quantum.is_some()
+        self.sched.slice(self.current).is_some()
+    }
+
+    /// The active scheduling policy.
+    pub fn scheduler(&self) -> &dyn Scheduler {
+        self.sched.as_ref()
     }
 
     /// One full kernel step: consume phase then execute phase.
@@ -542,8 +572,9 @@ impl SeparationKernel {
             };
         }
 
-        // Preemption quantum (extension; disabled in verified configs).
-        if let Some(q) = self.quantum {
+        // Slice expiry (preemptive policies only; disabled in verified
+        // configs).
+        if let Some(q) = self.sched.slice(self.current) {
             if self.quantum_left == 0 {
                 self.quantum_left = q;
                 if let Some(next) = self.next_runnable() {
@@ -579,11 +610,30 @@ impl SeparationKernel {
         let base = self.regimes[r].partition_base;
         let handler = self.machine.mem.read_word(base + table as u32);
         let entry_cc = self.machine.mem.read_word(base + table as u32 + 2);
+        let ts = self.machine.instructions;
+        if handler == 0 {
+            // Unhandled: discarded, as the kernel has nowhere to put it.
+            // Counted apart from deliveries so E8 does not overcount.
+            self.stats.interrupts_discarded += 1;
+            let obs = &mut self.machine.obs;
+            obs.metrics.totals.interrupts_discarded += 1;
+            obs.metrics.regime_mut(r).interrupts_discarded += 1;
+            self.machine.obs.emit(
+                ts,
+                ObsEvent::InterruptDiscarded {
+                    regime: r as u16,
+                    vector: request.vector,
+                },
+            );
+            return KernelEvent::DiscardedInterrupt {
+                regime: r,
+                vector: request.vector,
+            };
+        }
         self.stats.interrupts_delivered += 1;
         let obs = &mut self.machine.obs;
         obs.metrics.totals.interrupts_delivered += 1;
         obs.metrics.regime_mut(r).interrupts_delivered += 1;
-        let ts = self.machine.instructions;
         self.machine.obs.emit(
             ts,
             ObsEvent::InterruptDelivered {
@@ -591,13 +641,6 @@ impl SeparationKernel {
                 vector: request.vector,
             },
         );
-        if handler == 0 {
-            // Unhandled: discarded, as the kernel has nowhere to put it.
-            return KernelEvent::DeliveredInterrupt {
-                regime: r,
-                vector: request.vector,
-            };
-        }
         // Hardware-style entry: push PSW (condition codes), push PC.
         let cc = self.machine.cpu.psw.cc_bits();
         let pc = self.machine.cpu.pc;
@@ -633,7 +676,7 @@ impl SeparationKernel {
             Event::Wait => {
                 if self.regimes[r].pending_irqs.is_empty() {
                     self.regimes[r].status = RegimeStatus::Waiting;
-                    if self.fixed_slot && self.quantum_left > 0 {
+                    if self.sched.padded() && self.quantum_left > 0 {
                         self.slot_idle_left = self.quantum_left;
                         return KernelEvent::Executed;
                     }
@@ -672,8 +715,9 @@ impl SeparationKernel {
         KernelEvent::Fault { regime: r, trap }
     }
 
-    /// Services a TRAP-instruction kernel call.
-    fn syscall(&mut self, r: usize, n: u8) -> KernelEvent {
+    /// Syscall accounting shared by machine-code TRAPs and native SWAPs:
+    /// the per-kind stat, the per-regime metric, and the trace event.
+    fn note_syscall(&mut self, r: usize, n: u8) {
         if (n as usize) < self.stats.syscalls.len() {
             self.stats.syscalls[n as usize] += 1;
         }
@@ -686,10 +730,15 @@ impl SeparationKernel {
                 number: n,
             },
         );
+    }
+
+    /// Services a TRAP-instruction kernel call.
+    fn syscall(&mut self, r: usize, n: u8) -> KernelEvent {
+        self.note_syscall(r, n);
         match n {
             0 => {
                 // SWAP: voluntary yield.
-                if self.fixed_slot && self.quantum_left > 0 {
+                if self.sched.padded() && self.quantum_left > 0 {
                     // Pad the slot: nobody gets the donated time.
                     self.slot_idle_left = self.quantum_left;
                     return KernelEvent::Syscall { regime: r, trap: 0 };
@@ -819,37 +868,45 @@ impl SeparationKernel {
         let Some(channel) = self.channels.get_mut(chan) else {
             return (ChannelStatus::Invalid, 0);
         };
-        match channel.recv(me) {
-            Ok(mut msg) => {
-                msg.truncate(maxlen);
-                for (i, b) in msg.iter().enumerate() {
-                    if self
-                        .machine
-                        .write_byte_v(buf.wrapping_add(i as Word), *b)
-                        .is_err()
-                    {
-                        return (ChannelStatus::Invalid, 0);
-                    }
-                }
-                self.stats.bytes_copied += msg.len() as u64;
-                self.note_channel_recv(r, chan, msg.len());
-                (ChannelStatus::Ok, msg.len())
+        // Stage the copy before consuming: the head message is only popped
+        // once every byte has landed, so a bad buffer leaves the queue
+        // intact and the message redeliverable.
+        let msg = match channel.peek(me) {
+            Ok(m) => {
+                let mut m = m.to_vec();
+                m.truncate(maxlen);
+                m
             }
-            Err(status) => (status, 0),
+            Err(status) => return (status, 0),
+        };
+        for (i, b) in msg.iter().enumerate() {
+            if self
+                .machine
+                .write_byte_v(buf.wrapping_add(i as Word), *b)
+                .is_err()
+            {
+                return (ChannelStatus::Invalid, 0);
+            }
         }
+        self.channels[chan]
+            .recv(me)
+            .expect("peeked message still queued");
+        self.stats.bytes_copied += msg.len() as u64;
+        self.note_channel_recv(r, chan, msg.len());
+        (ChannelStatus::Ok, msg.len())
     }
 
     // ------------------------------------------------------------------
     // Context switching.
     // ------------------------------------------------------------------
 
-    /// The next runnable regime after the current one, round-robin
-    /// (possibly the current regime itself); `None` when nobody is Ready.
-    fn next_runnable(&self) -> Option<usize> {
-        let n = self.regimes.len();
-        (1..=n)
-            .map(|k| (self.current + k) % n)
-            .find(|&i| self.regimes[i].status.runnable())
+    /// The next regime to run after the current one, per the scheduling
+    /// policy (possibly the current regime itself); `None` when nobody is
+    /// Ready.
+    fn next_runnable(&mut self) -> Option<usize> {
+        let runnable: Vec<bool> = self.regimes.iter().map(|r| r.status.runnable()).collect();
+        self.sched
+            .next(self.current, runnable.len(), &|i| runnable[i])
     }
 
     /// Saves the outgoing regime's context and loads the incoming one.
@@ -877,8 +934,20 @@ impl SeparationKernel {
                 to: next as u16,
             },
         );
-        if let Some(q) = self.quantum {
+        if let Some(q) = self.sched.slice(next) {
             self.quantum_left = q;
+        }
+        // Sticky-backpressure latch: a slot boundary of a channel's sender
+        // is the only moment its Full/NotFull bit may change. Latching on
+        // both edges (out of and into the sender's slot) keeps the bit
+        // fresh for the sender while quantizing its view of the receiver's
+        // drains to whole slots.
+        let from_logical = self.regimes[from].logical_id;
+        let next_logical = self.regimes[next].logical_id;
+        for ch in &mut self.channels {
+            if ch.spec.from == from_logical || ch.spec.from == next_logical {
+                ch.latch();
+            }
         }
     }
 
@@ -975,8 +1044,8 @@ impl SeparationKernel {
         match action {
             NativeAction::Continue => KernelEvent::NativeStep,
             NativeAction::Swap => {
-                self.stats.syscalls[0] += 1;
-                if self.fixed_slot && self.quantum_left > 0 {
+                self.note_syscall(r, 0);
+                if self.sched.padded() && self.quantum_left > 0 {
                     self.slot_idle_left = self.quantum_left;
                     return KernelEvent::NativeStep;
                 }
@@ -1054,6 +1123,7 @@ impl SeparationKernel {
         v.push(self.current as u64);
         v.push(self.quantum_left);
         v.push(self.slot_idle_left);
+        v.extend(self.sched.state_words());
         // Live CPU context.
         for r in self.machine.cpu.r {
             v.push(r as u64);
@@ -1080,19 +1150,14 @@ impl SeparationKernel {
                 v.push(req.vector as u64);
             }
             // Two independent fingerprints of the partition make an
-            // accidental collision vanishingly unlikely.
-            v.push(
-                self.machine
-                    .mem
-                    .fingerprint(rec.partition_base, PARTITION_SIZE),
-            );
-            v.push(
-                self.machine
-                    .mem
-                    .fingerprint(rec.partition_base, PARTITION_SIZE)
-                    .rotate_left(1)
-                    ^ fnv(rec.name.as_bytes()),
-            );
+            // accidental collision vanishingly unlikely; the second is
+            // derived from the first so the partition is hashed once.
+            let fp = self
+                .machine
+                .mem
+                .fingerprint(rec.partition_base, PARTITION_SIZE);
+            v.push(fp);
+            v.push(fp.rotate_left(1) ^ fnv(rec.name.as_bytes()));
             if let Some(n) = &rec.native {
                 v.push(fnv(&n.state_bytes()));
             }
@@ -1103,6 +1168,7 @@ impl SeparationKernel {
         }
         for ch in &self.channels {
             v.push(ch.queue().len() as u64);
+            v.push(ch.latched_full as u64);
             for msg in ch.queue() {
                 v.push(fnv(msg));
             }

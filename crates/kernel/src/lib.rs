@@ -31,6 +31,9 @@
 //!   escape hatch for components too large to write in assembly.
 //! * [`channel`] — kernel-mediated unidirectional message channels, with the
 //!   "cut" variant used by the wire-cutting verification argument.
+//! * [`sched`] — the scheduler layer: the [`sched::Scheduler`] trait and its
+//!   policies (round-robin, fixed time slices, lottery, static cyclic), of
+//!   which only the cooperative ones verify.
 //! * [`kernel`] — the kernel proper: boot, the consume/execute step cycle,
 //!   context switching, trap handling, interrupt forwarding.
 //! * [`verify`] — the Proof of Separability adapter: the kernel as a
@@ -46,10 +49,15 @@ pub mod config;
 pub mod conventional;
 pub mod kernel;
 pub mod regime;
+pub mod sched;
 pub mod verify;
 
 pub use channel::{Channel, ChannelStatus};
-pub use config::{ChannelSpec, DeviceSpec, KernelConfig, Mutation, ProgramSpec, RegimeSpec};
+pub use config::{
+    ChannelSpec, DepthPolicy, DeviceSpec, KernelConfig, Mutation, ProgramSpec, RegimeSpec,
+    SchedPolicy,
+};
 pub use kernel::{KernelError, KernelEvent, KernelStats, SeparationKernel};
 pub use regime::{NativeAction, NativeRegime, RegimeIo, RegimeStatus};
+pub use sched::Scheduler;
 pub use verify::{KernelState, KernelSystem, RegimeAbstraction};

@@ -1,0 +1,359 @@
+//! The scheduler layer.
+//!
+//! Rushby's SUE "performs no scheduling functions" — control passes on
+//! voluntary SWAP in a fixed round-robin. That policy is now one instance
+//! of a [`Scheduler`] trait, so ablation A1 can compare it against the
+//! standard remedies for scheduling timing channels: preemptive time
+//! slices (optionally padded), lottery scheduling, and the MILS-style
+//! static cyclic table.
+//!
+//! The split of responsibilities is strict: the kernel owns the slice
+//! countdown (`quantum_left`) and the slot padding counter
+//! (`slot_idle_left`), because those interleave with trap handling; the
+//! scheduler owns the *policy* — how long a slice is, whether early yields
+//! pad, and who runs next. A policy with no internal state and no slice
+//! ([`RoundRobin`]) therefore reproduces the pre-trait kernel bit for bit.
+//!
+//! ## Which policies verify
+//!
+//! Proof of Separability condition 1 compares each regime against a
+//! private single-regime machine that executes an instruction on *every*
+//! step the regime is scheduled. A preemptive policy breaks that: at slice
+//! expiry the full system switches (or pads) without the regime executing,
+//! while its private machine — which has no other regime to switch to —
+//! executes. The views diverge on a correct kernel, so the verification
+//! adapter refuses preemptive policies ([`Scheduler::verifiable`] is
+//! false for [`FixedTimeSlice`] and [`Lottery`]). [`StaticCyclic`] is
+//! deliberately *cooperative* — the table is consulted only at voluntary
+//! yield points, never on a tick — which keeps it inside the SUE's
+//! semantics and lets it verify.
+
+use core::fmt;
+
+/// A scheduling policy. Implementations must be deterministic: given the
+/// same call sequence they make the same decisions (the PoS checker hashes
+/// their state via [`Scheduler::state_words`]).
+pub trait Scheduler: Send + Sync + fmt::Debug {
+    /// Steps in `incoming`'s time slice, or `None` for no preemption
+    /// (the regime runs until it yields, waits, or faults).
+    fn slice(&self, incoming: usize) -> Option<u64>;
+
+    /// Whether an early yield pads the slot out (the classic fixed-slot
+    /// countermeasure: donated time goes to nobody).
+    fn padded(&self) -> bool;
+
+    /// The next regime to run after `current`, among `n` regimes of which
+    /// `runnable(i)` says which may take the CPU. May return `current`
+    /// itself (a self-swap); `None` when nobody is runnable.
+    fn next(&mut self, current: usize, n: usize, runnable: &dyn Fn(usize) -> bool)
+        -> Option<usize>;
+
+    /// Object-safe clone (the kernel is cloneable for verification).
+    fn boxed_clone(&self) -> Box<dyn Scheduler>;
+
+    /// Internal state for the kernel's canonical state vector. Stateless
+    /// policies return nothing, keeping their vectors identical to the
+    /// pre-trait kernel's.
+    fn state_words(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Whether the Proof of Separability adapter accepts configurations
+    /// under this policy (see the module docs for why preemption cannot
+    /// verify).
+    fn verifiable(&self) -> bool;
+
+    /// Stable lowercase policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+impl Clone for Box<dyn Scheduler> {
+    fn clone(&self) -> Self {
+        self.boxed_clone()
+    }
+}
+
+/// The next runnable regime after `current` in index order, wrapping;
+/// possibly `current` itself. The SUE's only scheduling rule.
+fn round_robin_next(current: usize, n: usize, runnable: &dyn Fn(usize) -> bool) -> Option<usize> {
+    (1..=n).map(|k| (current + k) % n).find(|&i| runnable(i))
+}
+
+/// The SUE's policy: voluntary yields, fixed rotation, no slices.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin;
+
+impl Scheduler for RoundRobin {
+    fn slice(&self, _incoming: usize) -> Option<u64> {
+        None
+    }
+
+    fn padded(&self) -> bool {
+        false
+    }
+
+    fn next(
+        &mut self,
+        current: usize,
+        n: usize,
+        runnable: &dyn Fn(usize) -> bool,
+    ) -> Option<usize> {
+        round_robin_next(current, n, runnable)
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Scheduler> {
+        Box::new(self.clone())
+    }
+
+    fn verifiable(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Preemptive round-robin: every regime gets `quantum` steps, expiry
+/// rotates. With `padded`, an early yield idles the slot remainder instead
+/// of donating it — the fixed-slot countermeasure ablation A1 measures.
+#[derive(Debug, Clone)]
+pub struct FixedTimeSlice {
+    /// Steps per slice.
+    pub quantum: u64,
+    /// Pad early-yielded slots to full length.
+    pub padded: bool,
+}
+
+impl Scheduler for FixedTimeSlice {
+    fn slice(&self, _incoming: usize) -> Option<u64> {
+        Some(self.quantum)
+    }
+
+    fn padded(&self) -> bool {
+        self.padded
+    }
+
+    fn next(
+        &mut self,
+        current: usize,
+        n: usize,
+        runnable: &dyn Fn(usize) -> bool,
+    ) -> Option<usize> {
+        round_robin_next(current, n, runnable)
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Scheduler> {
+        Box::new(self.clone())
+    }
+
+    fn verifiable(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed-time-slice"
+    }
+}
+
+/// Preemptive lottery scheduling: slice expiry (or a yield) draws the next
+/// regime uniformly from the runnable set with a seeded SplitMix64 stream.
+/// Deterministic given the seed, but still preemptive — and its draw state
+/// is scheduler-private in a way no regime abstraction can own — so it is
+/// refused by the verification adapter.
+#[derive(Debug, Clone)]
+pub struct Lottery {
+    /// Steps per slice.
+    pub quantum: u64,
+    state: u64,
+}
+
+impl Lottery {
+    /// A lottery scheduler drawing from `seed`.
+    pub fn new(quantum: u64, seed: u64) -> Lottery {
+        Lottery {
+            quantum,
+            state: seed,
+        }
+    }
+
+    fn draw(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl Scheduler for Lottery {
+    fn slice(&self, _incoming: usize) -> Option<u64> {
+        Some(self.quantum)
+    }
+
+    fn padded(&self) -> bool {
+        false
+    }
+
+    fn next(
+        &mut self,
+        _current: usize,
+        n: usize,
+        runnable: &dyn Fn(usize) -> bool,
+    ) -> Option<usize> {
+        let tickets: Vec<usize> = (0..n).filter(|&i| runnable(i)).collect();
+        if tickets.is_empty() {
+            return None;
+        }
+        let winner = self.draw() as usize % tickets.len();
+        Some(tickets[winner])
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Scheduler> {
+        Box::new(self.clone())
+    }
+
+    fn state_words(&self) -> Vec<u64> {
+        vec![self.state]
+    }
+
+    fn verifiable(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> &'static str {
+        "lottery"
+    }
+}
+
+/// MILS-style static cyclic schedule, kept *cooperative*: a fixed table of
+/// regime indices consulted only at voluntary yield points. Each yield
+/// advances to the next table entry whose regime is runnable. No tick, no
+/// padding, no preemption — which is exactly what lets it verify under
+/// Proof of Separability while still fixing the rotation order offline.
+#[derive(Debug, Clone)]
+pub struct StaticCyclic {
+    /// The rotation table (regime indices, consulted cyclically).
+    pub table: Vec<usize>,
+    pos: usize,
+}
+
+impl StaticCyclic {
+    /// A cyclic scheduler over `table`. The kernel validates entries
+    /// against the regime count at boot.
+    pub fn new(table: Vec<usize>) -> StaticCyclic {
+        StaticCyclic { table, pos: 0 }
+    }
+}
+
+impl Scheduler for StaticCyclic {
+    fn slice(&self, _incoming: usize) -> Option<u64> {
+        None
+    }
+
+    fn padded(&self) -> bool {
+        false
+    }
+
+    fn next(
+        &mut self,
+        _current: usize,
+        n: usize,
+        runnable: &dyn Fn(usize) -> bool,
+    ) -> Option<usize> {
+        let len = self.table.len();
+        for k in 1..=len {
+            let idx = (self.pos + k) % len;
+            let r = self.table[idx];
+            if r < n && runnable(r) {
+                self.pos = idx;
+                return Some(r);
+            }
+        }
+        None
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Scheduler> {
+        Box::new(self.clone())
+    }
+
+    fn state_words(&self) -> Vec<u64> {
+        vec![self.pos as u64]
+    }
+
+    fn verifiable(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "static-cyclic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_runnable(_: usize) -> bool {
+        true
+    }
+
+    #[test]
+    fn round_robin_rotates_and_self_swaps() {
+        let mut rr = RoundRobin;
+        assert_eq!(rr.next(0, 3, &all_runnable), Some(1));
+        assert_eq!(rr.next(2, 3, &all_runnable), Some(0));
+        // A solo runnable regime is its own successor.
+        assert_eq!(rr.next(1, 3, &|i| i == 1), Some(1));
+        assert_eq!(rr.next(0, 3, &|_| false), None);
+        assert!(rr.slice(0).is_none());
+        assert!(rr.verifiable());
+    }
+
+    #[test]
+    fn lottery_is_deterministic_per_seed() {
+        let draw_sequence = |seed: u64| {
+            let mut l = Lottery::new(8, seed);
+            (0..32)
+                .map(|_| l.next(0, 4, &all_runnable).unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw_sequence(7), draw_sequence(7));
+        assert_ne!(draw_sequence(7), draw_sequence(8));
+        // Every regime wins sometimes.
+        let seq = draw_sequence(7);
+        for r in 0..4 {
+            assert!(seq.contains(&r), "regime {r} never drawn");
+        }
+        assert!(!Lottery::new(8, 7).verifiable());
+    }
+
+    #[test]
+    fn lottery_skips_unrunnable_regimes() {
+        let mut l = Lottery::new(4, 99);
+        for _ in 0..32 {
+            assert_eq!(l.next(0, 3, &|i| i == 2), Some(2));
+        }
+        assert_eq!(l.next(0, 3, &|_| false), None);
+    }
+
+    #[test]
+    fn static_cyclic_follows_the_table() {
+        let mut s = StaticCyclic::new(vec![0, 1, 0, 2]);
+        let order: Vec<usize> = (0..8)
+            .map(|_| s.next(0, 3, &all_runnable).unwrap())
+            .collect();
+        assert_eq!(order, vec![1, 0, 2, 0, 1, 0, 2, 0]);
+        assert!(s.verifiable());
+    }
+
+    #[test]
+    fn static_cyclic_skips_blocked_entries_without_losing_place() {
+        let mut s = StaticCyclic::new(vec![0, 1, 2]);
+        // Regime 1 blocked: the 1-entry is skipped, position lands on 2.
+        assert_eq!(s.next(0, 3, &|i| i != 1), Some(2));
+        // Everyone runnable again: rotation resumes from the 2-entry.
+        assert_eq!(s.next(2, 3, &all_runnable), Some(0));
+        assert_eq!(s.next(0, 3, &|_| false), None);
+    }
+}

@@ -118,8 +118,11 @@ impl KernelSystem {
              (KernelConfig::cut_channels) — that is the wire-cutting argument"
         );
         assert!(
-            config.quantum.is_none(),
-            "verified configurations have no quantum"
+            config.effective_sched().verifiable(),
+            "verified configurations need a cooperative scheduling policy \
+             (round-robin or static-cyclic): a preemptive policy switches \
+             or pads without the regime executing, while its single-regime \
+             abstract machine executes — condition 1 cannot hold"
         );
         assert!(!config.allow_dma, "verified configurations exclude DMA");
         assert!(
@@ -344,6 +347,9 @@ pub struct RegimeProjection {
     pub pending: Vec<(usize, InterruptRequest)>,
     /// Queues of the (cut) channels it is an endpoint of, in channel order.
     pub channels: Vec<Vec<Vec<u8>>>,
+    /// Sticky backpressure bits of those channels (constant `false` under
+    /// the live and quantized depth policies).
+    pub latches: Vec<bool>,
 }
 
 /// Φ^c and the abstract machine for one regime.
@@ -378,6 +384,9 @@ impl RegimeAbstraction {
             regimes: vec![spec],
             channels: config.channels.clone(),
             channels_cut: true,
+            // The single-regime machine always schedules its one regime;
+            // round-robin expresses that under every verifiable policy.
+            sched: crate::config::SchedPolicy::RoundRobin,
             quantum: None,
             fixed_slot: false,
             allow_dma: false,
@@ -434,6 +443,11 @@ impl RegimeAbstraction {
             .filter_map(|&i| kernel.channels.get(i))
             .map(|c| c.queue().iter().cloned().collect())
             .collect();
+        let latches = visible_channels
+            .iter()
+            .filter_map(|&i| kernel.channels.get(i))
+            .map(|c| c.latched_full)
+            .collect();
         RegimeProjection {
             status: rec.status,
             context,
@@ -441,6 +455,7 @@ impl RegimeAbstraction {
             devices,
             pending: rec.pending_irqs.iter().copied().collect(),
             channels,
+            latches,
         }
     }
 
@@ -471,6 +486,9 @@ impl RegimeAbstraction {
         k.regimes[0].pending_irqs = a.pending.iter().copied().collect();
         for (&idx, msgs) in self.visible_channels.iter().zip(&a.channels) {
             k.channels[idx].restore_queue(msgs.clone());
+        }
+        for (&idx, &latched) in self.visible_channels.iter().zip(&a.latches) {
+            k.channels[idx].latched_full = latched;
         }
         k
     }
@@ -574,6 +592,11 @@ impl Abstraction<KernelSystem> for RegimeAbstraction {
             let q1 = k1.channels.get(i).map(|c| c.queue());
             let q2 = k2.channels.get(i).map(|c| c.queue());
             if q1 != q2 {
+                return false;
+            }
+            let l1 = k1.channels.get(i).map(|c| c.latched_full);
+            let l2 = k2.channels.get(i).map(|c| c.latched_full);
+            if l1 != l2 {
                 return false;
             }
         }

@@ -92,6 +92,14 @@ pub enum ObsEvent {
         /// The interrupt vector.
         vector: u16,
     },
+    /// A queued interrupt was discarded because the owning regime's vector
+    /// slot holds no handler (PC 0).
+    InterruptDiscarded {
+        /// The regime whose vector slot was empty.
+        regime: u16,
+        /// The interrupt vector.
+        vector: u16,
+    },
     /// The kernel accepted a message onto a channel.
     ChannelSend {
         /// Channel index.
@@ -156,6 +164,7 @@ impl ObsEvent {
             ObsEvent::Syscall { .. } => "syscall",
             ObsEvent::InterruptFielded { .. } => "interrupt-fielded",
             ObsEvent::InterruptDelivered { .. } => "interrupt-delivered",
+            ObsEvent::InterruptDiscarded { .. } => "interrupt-discarded",
             ObsEvent::ChannelSend { .. } => "channel-send",
             ObsEvent::ChannelRecv { .. } => "channel-recv",
             ObsEvent::MmuFault { .. } => "mmu-fault",
@@ -182,6 +191,9 @@ impl fmt::Display for ObsEvent {
             }
             ObsEvent::InterruptDelivered { regime, vector } => {
                 write!(f, "interrupt-delivered r{regime} vec{vector:o}")
+            }
+            ObsEvent::InterruptDiscarded { regime, vector } => {
+                write!(f, "interrupt-discarded r{regime} vec{vector:o}")
             }
             ObsEvent::ChannelSend {
                 channel,

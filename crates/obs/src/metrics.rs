@@ -27,6 +27,8 @@ pub struct RegimeCounters {
     pub interrupts_fielded: u64,
     /// Interrupts delivered into this regime's handlers.
     pub interrupts_delivered: u64,
+    /// Interrupts discarded because this regime's vector slot was empty.
+    pub interrupts_discarded: u64,
     /// Times this regime faulted and was stopped.
     pub faults: u64,
     /// Messages this regime sent on channels.
@@ -61,6 +63,8 @@ pub struct Totals {
     pub interrupts_fielded: u64,
     /// Interrupts delivered.
     pub interrupts_delivered: u64,
+    /// Interrupts discarded (fielded, but the owner had no handler).
+    pub interrupts_discarded: u64,
     /// Channel messages accepted.
     pub messages: u64,
     /// Channel bytes copied between partitions.

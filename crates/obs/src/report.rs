@@ -171,6 +171,7 @@ pub fn metrics_json(m: &Metrics) -> Json {
         .field("switches", t.switches)
         .field("interrupts_fielded", t.interrupts_fielded)
         .field("interrupts_delivered", t.interrupts_delivered)
+        .field("interrupts_discarded", t.interrupts_discarded)
         .field("messages", t.messages)
         .field("channel_bytes", t.channel_bytes)
         .field("faults", t.faults)
@@ -192,6 +193,7 @@ pub fn metrics_json(m: &Metrics) -> Json {
                     .field("switches_out", c.switches_out)
                     .field("interrupts_fielded", c.interrupts_fielded)
                     .field("interrupts_delivered", c.interrupts_delivered)
+                    .field("interrupts_discarded", c.interrupts_discarded)
                     .field("faults", c.faults)
                     .field("messages_sent", c.messages_sent)
                     .field("messages_received", c.messages_received)

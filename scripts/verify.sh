@@ -14,6 +14,10 @@ echo "==> differential checker suite (release: parallel vs sequential)"
 cargo test --release -q -p sep-model --test differential_checker \
   --test explore_determinism
 
+echo "==> scheduler differential suite (release: policies vs the seed kernel)"
+cargo test --release -q -p sep-kernel --test sched_differential \
+  --test sched_edge_cases --test bugfix_regressions
+
 echo "==> clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 

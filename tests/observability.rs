@@ -60,6 +60,26 @@ fn identical_runs_render_byte_identical_reports() {
 }
 
 #[test]
+fn report_matches_the_pre_scheduler_refactor_golden() {
+    // `tests/golden/observability_roundrobin.json` was rendered before the
+    // scheduler layer existed. The default (round-robin) kernel must still
+    // produce it byte for byte — the only permitted difference is the
+    // `interrupts_discarded` counter this PR added to the schema, so those
+    // lines are filtered from the fresh report before comparing.
+    let golden = include_str!("golden/observability_roundrobin.json");
+    let fresh: String = run_report(1500)
+        .lines()
+        .filter(|l| !l.contains("\"interrupts_discarded\""))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert!(
+        !golden.contains("interrupts_discarded"),
+        "golden predates the field"
+    );
+    assert_eq!(golden, fresh);
+}
+
+#[test]
 fn tracing_does_not_perturb_execution() {
     // The recorder hangs off the machine but is not machine state: a traced
     // run and an untraced run retire the same instructions, take the same
