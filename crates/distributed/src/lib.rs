@@ -21,8 +21,10 @@
 
 pub mod network;
 pub mod node;
+pub mod retx;
 pub mod wire;
 
 pub use network::{Network, NodeId};
 pub use node::{Node, NodeIo, SendError};
-pub use wire::Wire;
+pub use retx::{RetxReceiver, RetxSender};
+pub use wire::{crc16, deframe, frame, Wire};

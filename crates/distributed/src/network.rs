@@ -85,6 +85,31 @@ impl Network {
         ));
     }
 
+    /// Like [`Network::connect`], but the wire misbehaves per the seeded
+    /// loss model (drops, duplicates, bit-flips, reorders).
+    #[allow(clippy::too_many_arguments)]
+    pub fn connect_lossy(
+        &mut self,
+        from: NodeId,
+        from_port: &str,
+        to: NodeId,
+        to_port: &str,
+        capacity: usize,
+        latency: u64,
+        loss: sep_fault::LossModel,
+    ) {
+        self.connect(from, from_port, to, to_port, capacity, latency);
+        self.wires
+            .last_mut()
+            .expect("wire just connected")
+            .set_loss(loss);
+    }
+
+    /// The wires, in connection order (loss counters live on them).
+    pub fn wires(&self) -> &[Wire] {
+        &self.wires
+    }
+
     /// The current round number.
     pub fn round(&self) -> u64 {
         self.round
@@ -190,6 +215,20 @@ impl NodeIo for RoundIo<'_> {
 
     fn round(&self) -> u64 {
         self.round
+    }
+
+    fn note_retransmit(&mut self, seq: u16) {
+        let round = self.round;
+        self.obs.metrics.totals.retransmissions += 1;
+        self.obs.metrics.regime_mut(self.node).retransmissions += 1;
+        self.obs.emit(
+            round,
+            ObsEvent::Retransmit {
+                node: self.node as u16,
+                seq,
+            },
+        );
+        self.events.push(format!("retx seq{seq}"));
     }
 }
 

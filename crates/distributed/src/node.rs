@@ -34,6 +34,12 @@ pub trait NodeIo {
 
     /// The current round number (every node's only clock).
     fn round(&self) -> u64;
+
+    /// Reports that a frame was sent *again* (retransmission protocols call
+    /// this next to the repeated `send`). Purely observational — executors
+    /// that keep books override it; the default is a no-op so plain nodes
+    /// and test harnesses need not care.
+    fn note_retransmit(&mut self, _seq: u16) {}
 }
 
 /// A component of the distributed system.

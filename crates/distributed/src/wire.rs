@@ -1,6 +1,46 @@
-//! Wires: dedicated, unidirectional communication lines.
+//! Wires: dedicated, unidirectional communication lines — optionally lossy,
+//! with CRC-16 framing so endpoints can tell a damaged frame from a good
+//! one.
 
+use sep_fault::{LossModel, WireFault};
 use std::collections::VecDeque;
+
+/// CRC-16/CCITT (poly 0x1021, init 0xFFFF) over a byte slice. Detects every
+/// single-bit error — which is exactly the damage a [`LossModel`] corrupt
+/// fault inflicts, so a corrupted frame can never pass the check.
+pub fn crc16(bytes: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &b in bytes {
+        crc ^= (b as u16) << 8;
+        for _ in 0..8 {
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ 0x1021
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+/// Wraps a payload in a CRC-16 frame (payload then checksum,
+/// little-endian).
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut f = payload.to_vec();
+    f.extend_from_slice(&crc16(payload).to_le_bytes());
+    f
+}
+
+/// Unwraps a CRC-16 frame, returning the payload only when the checksum
+/// verifies. `None` is the caller's signal to count and discard.
+pub fn deframe(framed: &[u8]) -> Option<Vec<u8>> {
+    if framed.len() < 2 {
+        return None;
+    }
+    let (payload, tail) = framed.split_at(framed.len() - 2);
+    let expected = u16::from_le_bytes([tail[0], tail[1]]);
+    (crc16(payload) == expected).then(|| payload.to_vec())
+}
 
 /// A unidirectional FIFO line between two node ports.
 #[derive(Debug, Clone)]
@@ -17,6 +57,15 @@ pub struct Wire {
     pub capacity: usize,
     /// Rounds between send and earliest delivery (≥ 1).
     pub latency: u64,
+    /// Frames this wire silently discarded.
+    pub dropped: u64,
+    /// Frames this wire delivered twice.
+    pub duplicated: u64,
+    /// Frames this wire delivered with a bit flipped.
+    pub corrupted: u64,
+    /// Frame pairs this wire swapped in flight.
+    pub reordered: u64,
+    loss: Option<LossModel>,
     queue: VecDeque<(u64, Vec<u8>)>, // (deliverable-at round, payload)
 }
 
@@ -39,8 +88,24 @@ impl Wire {
             to_port: to_port.to_string(),
             capacity,
             latency,
+            dropped: 0,
+            duplicated: 0,
+            corrupted: 0,
+            reordered: 0,
+            loss: None,
             queue: VecDeque::new(),
         }
+    }
+
+    /// Attaches a seeded loss model, builder-style.
+    pub fn with_loss(mut self, loss: LossModel) -> Wire {
+        self.set_loss(loss);
+        self
+    }
+
+    /// Attaches a seeded loss model to an already-built wire.
+    pub fn set_loss(&mut self, loss: LossModel) {
+        self.loss = Some(loss);
     }
 
     /// True when another message can be enqueued.
@@ -53,14 +118,57 @@ impl Wire {
         self.queue.len()
     }
 
-    /// Enqueues a message sent at `round`.
+    /// Enqueues a message sent at `round`. A lossy wire rolls the frame's
+    /// fate here: the *sender* still sees a successful send — that is what
+    /// makes the loss silent and retransmission necessary.
     ///
     /// # Panics
     ///
     /// Panics when the wire is full (callers check [`Wire::has_room`]).
     pub fn push(&mut self, round: u64, msg: Vec<u8>) {
         assert!(self.has_room(), "wire overflow");
-        self.queue.push_back((round + self.latency, msg));
+        let deliver_at = round + self.latency;
+        let fault = match self.loss.as_mut() {
+            Some(l) => l.decide(),
+            None => WireFault::None,
+        };
+        match fault {
+            WireFault::None => self.queue.push_back((deliver_at, msg)),
+            WireFault::Drop => self.dropped += 1,
+            WireFault::Duplicate => {
+                self.queue.push_back((deliver_at, msg.clone()));
+                // The copy rides only if the wire has room for it.
+                if self.has_room() {
+                    self.queue.push_back((deliver_at, msg));
+                    self.duplicated += 1;
+                }
+            }
+            WireFault::Corrupt => {
+                let mut msg = msg;
+                if !msg.is_empty() {
+                    let (byte, bit) = self
+                        .loss
+                        .as_mut()
+                        .expect("corrupt fault implies a loss model")
+                        .corrupt_pos(msg.len());
+                    msg[byte] ^= 1 << bit;
+                    self.corrupted += 1;
+                }
+                self.queue.push_back((deliver_at, msg));
+            }
+            WireFault::Reorder => {
+                self.queue.push_back((deliver_at, msg));
+                let n = self.queue.len();
+                if n >= 2 {
+                    // Swap payloads but keep each slot's delivery time, so
+                    // reordering never smuggles a frame past the latency.
+                    let last = self.queue[n - 1].1.clone();
+                    let prev = std::mem::replace(&mut self.queue[n - 2].1, last);
+                    self.queue[n - 1].1 = prev;
+                    self.reordered += 1;
+                }
+            }
+        }
     }
 
     /// Dequeues the next message deliverable at `round`, if any.
@@ -116,5 +224,105 @@ mod tests {
     #[should_panic(expected = "latency must be at least one round")]
     fn zero_latency_rejected() {
         Wire::new(0, "a", 1, "b", 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        // A zero-capacity wire could never carry anything and `has_room`
+        // would be constant false — constructing one is a config bug.
+        Wire::new(0, "a", 1, "b", 0, 1);
+    }
+
+    #[test]
+    fn same_round_pushes_deliver_in_push_order() {
+        let mut w = Wire::new(0, "out", 1, "in", 4, 3);
+        w.push(7, vec![1]);
+        w.push(7, vec![2]);
+        w.push(7, vec![3]);
+        // All three mature at the same round and come out FIFO.
+        assert_eq!(w.pop_deliverable(10), Some(vec![1]));
+        assert_eq!(w.pop_deliverable(10), Some(vec![2]));
+        assert_eq!(w.pop_deliverable(10), Some(vec![3]));
+        assert_eq!(w.pop_deliverable(10), None);
+    }
+
+    #[test]
+    fn delivery_at_exact_round_boundary() {
+        // Deliverable at exactly round + latency: one round earlier is too
+        // soon, the boundary round itself is not.
+        let mut w = Wire::new(0, "out", 1, "in", 2, 1);
+        w.push(5, vec![9]);
+        assert_eq!(w.pop_deliverable(5), None, "same round is too soon");
+        assert_eq!(w.pop_deliverable(6), Some(vec![9]), "boundary delivers");
+        w.push(u64::MAX - 1, vec![8]);
+        assert_eq!(w.pop_deliverable(u64::MAX), Some(vec![8]));
+    }
+
+    #[test]
+    fn lossless_wire_with_model_rates_zero_is_transparent() {
+        let mut w = Wire::new(0, "out", 1, "in", 8, 1).with_loss(LossModel::new(1));
+        for i in 0..8u8 {
+            w.push(0, vec![i]);
+        }
+        for i in 0..8u8 {
+            assert_eq!(w.pop_deliverable(1), Some(vec![i]));
+        }
+        assert_eq!(w.dropped + w.duplicated + w.corrupted + w.reordered, 0);
+    }
+
+    #[test]
+    fn dropping_wire_loses_frames_silently() {
+        let mut w =
+            Wire::new(0, "out", 1, "in", 1024, 1).with_loss(LossModel::new(42).with_drop(1000));
+        for _ in 0..64 {
+            w.push(0, vec![1]); // "succeeds" from the sender's view
+        }
+        assert_eq!(w.in_flight(), 0);
+        assert_eq!(w.dropped, 64);
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let mut w =
+            Wire::new(0, "out", 1, "in", 8, 1).with_loss(LossModel::new(3).with_corrupt(1000));
+        w.push(0, vec![0x55, 0xAA]);
+        let got = w.pop_deliverable(1).unwrap();
+        let diff: u32 = got
+            .iter()
+            .zip([0x55u8, 0xAA])
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff, 1, "exactly one bit flipped");
+        assert_eq!(w.corrupted, 1);
+    }
+
+    #[test]
+    fn reorder_swaps_payloads_not_delivery_times() {
+        // 100% reorder: each push swaps with the frame ahead of it.
+        let mut w =
+            Wire::new(0, "out", 1, "in", 8, 2).with_loss(LossModel::new(9).with_reorder(1000));
+        w.push(0, vec![1]); // nothing ahead: delivered as-is
+        w.push(0, vec![2]); // swaps with [1]
+        assert_eq!(w.reordered, 1);
+        assert_eq!(w.pop_deliverable(2), Some(vec![2]));
+        assert_eq!(w.pop_deliverable(2), Some(vec![1]));
+    }
+
+    #[test]
+    fn crc_roundtrip_and_rejection() {
+        let payload = b"separation".to_vec();
+        let f = frame(&payload);
+        assert_eq!(deframe(&f), Some(payload.clone()));
+        // Any single flipped bit — payload or checksum — is caught.
+        for byte in 0..f.len() {
+            for bit in 0..8 {
+                let mut bad = f.clone();
+                bad[byte] ^= 1 << bit;
+                assert_eq!(deframe(&bad), None, "flip at {byte}:{bit} accepted");
+            }
+        }
+        assert_eq!(deframe(&[0x12]), None, "truncated frame rejected");
+        assert_eq!(deframe(&frame(&[])), Some(vec![]), "empty payload frames");
     }
 }

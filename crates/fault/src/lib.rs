@@ -1,0 +1,27 @@
+//! Deterministic, seeded fault injection.
+//!
+//! Rushby's separation argument is only interesting if it survives
+//! misbehaviour: a regime that scribbles on itself, a device that glitches,
+//! a wire that drops frames. This crate supplies the *adversary* half of
+//! that argument — reproducible fault schedules — while the kernel and
+//! network supply the *containment* half (restart policies, `PeerDown`,
+//! CRC framing, retransmission).
+//!
+//! Everything here is driven by [`sep_model::rng::SplitMix64`], so an
+//! entire fault campaign is reproducible from a single `u64` seed. The
+//! experiment reports record that seed (`BENCH_obs_e9_fault_storm.json`),
+//! which turns any CI failure into a one-command repro.
+//!
+//! * [`plan`] — [`plan::FaultPlan`]: a schedule of kernel-side faults
+//!   (memory bit-flips inside a regime's partition, spurious or dropped
+//!   interrupts, serial line errors, outright regime faults).
+//! * [`loss`] — [`loss::LossModel`]: per-link wire misbehaviour
+//!   (drop/duplicate/reorder/corrupt) expressed in per-mille rates.
+
+#![forbid(unsafe_code)]
+
+pub mod loss;
+pub mod plan;
+
+pub use loss::{LossModel, WireFault};
+pub use plan::{FaultKind, FaultPlan, PlannedFault};

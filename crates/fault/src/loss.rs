@@ -1,0 +1,150 @@
+//! Seeded per-link wire misbehaviour.
+
+use sep_model::rng::SplitMix64;
+
+/// What a lossy wire does to one pushed frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFault {
+    /// Delivered intact.
+    None,
+    /// Silently discarded.
+    Drop,
+    /// Delivered twice (if the wire has room for the copy).
+    Duplicate,
+    /// Delivered with one bit flipped.
+    Corrupt,
+    /// Swapped with the frame ahead of it in flight.
+    Reorder,
+}
+
+/// A seeded loss model: independent per-mille rates for each misbehaviour,
+/// rolled once per pushed frame. Rates are cumulative and must sum to at
+/// most 1000; a roll past the sum delivers the frame intact.
+#[derive(Debug, Clone)]
+pub struct LossModel {
+    drop_pm: u16,
+    dup_pm: u16,
+    corrupt_pm: u16,
+    reorder_pm: u16,
+    rng: SplitMix64,
+}
+
+impl LossModel {
+    /// A lossless model seeded with `seed`; compose rates with the
+    /// builders.
+    pub fn new(seed: u64) -> LossModel {
+        LossModel {
+            drop_pm: 0,
+            dup_pm: 0,
+            corrupt_pm: 0,
+            reorder_pm: 0,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Sets the drop rate in per-mille, builder-style.
+    pub fn with_drop(mut self, pm: u16) -> LossModel {
+        self.drop_pm = pm;
+        self.check();
+        self
+    }
+
+    /// Sets the duplication rate in per-mille, builder-style.
+    pub fn with_duplicate(mut self, pm: u16) -> LossModel {
+        self.dup_pm = pm;
+        self.check();
+        self
+    }
+
+    /// Sets the corruption rate in per-mille, builder-style.
+    pub fn with_corrupt(mut self, pm: u16) -> LossModel {
+        self.corrupt_pm = pm;
+        self.check();
+        self
+    }
+
+    /// Sets the reorder rate in per-mille, builder-style.
+    pub fn with_reorder(mut self, pm: u16) -> LossModel {
+        self.reorder_pm = pm;
+        self.check();
+        self
+    }
+
+    fn check(&self) {
+        let sum = self.drop_pm as u32
+            + self.dup_pm as u32
+            + self.corrupt_pm as u32
+            + self.reorder_pm as u32;
+        assert!(sum <= 1000, "loss rates sum to {sum} > 1000 per-mille");
+    }
+
+    /// Rolls the fate of one pushed frame.
+    pub fn decide(&mut self) -> WireFault {
+        let roll = self.rng.below(1000) as u16;
+        if roll < self.drop_pm {
+            WireFault::Drop
+        } else if roll < self.drop_pm + self.dup_pm {
+            WireFault::Duplicate
+        } else if roll < self.drop_pm + self.dup_pm + self.corrupt_pm {
+            WireFault::Corrupt
+        } else if roll < self.drop_pm + self.dup_pm + self.corrupt_pm + self.reorder_pm {
+            WireFault::Reorder
+        } else {
+            WireFault::None
+        }
+    }
+
+    /// The position of the bit to flip in a frame of `len` bytes (used when
+    /// [`LossModel::decide`] returned [`WireFault::Corrupt`]).
+    pub fn corrupt_pos(&mut self, len: usize) -> (usize, u8) {
+        let byte = self.rng.below(len.max(1));
+        let bit = self.rng.below(8) as u8;
+        (byte, bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let roll = |seed| {
+            let mut m = LossModel::new(seed).with_drop(100).with_corrupt(100);
+            (0..64).map(|_| m.decide()).collect::<Vec<_>>()
+        };
+        assert_eq!(roll(1), roll(1));
+        assert_ne!(roll(1), roll(2));
+    }
+
+    #[test]
+    fn lossless_model_never_faults() {
+        let mut m = LossModel::new(5);
+        for _ in 0..256 {
+            assert_eq!(m.decide(), WireFault::None);
+        }
+    }
+
+    #[test]
+    fn rates_roughly_respected() {
+        let mut m = LossModel::new(11).with_drop(500);
+        let drops = (0..1000).filter(|_| m.decide() == WireFault::Drop).count();
+        assert!((300..700).contains(&drops), "drops = {drops}");
+    }
+
+    #[test]
+    #[should_panic(expected = "per-mille")]
+    fn oversubscribed_rates_rejected() {
+        let _ = LossModel::new(0).with_drop(600).with_duplicate(600);
+    }
+
+    #[test]
+    fn corrupt_pos_in_bounds() {
+        let mut m = LossModel::new(3);
+        for len in [1usize, 2, 7, 512] {
+            let (byte, bit) = m.corrupt_pos(len);
+            assert!(byte < len);
+            assert!(bit < 8);
+        }
+    }
+}

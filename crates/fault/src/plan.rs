@@ -1,0 +1,172 @@
+//! Seeded schedules of kernel-side faults.
+
+use sep_model::rng::SplitMix64;
+
+/// One kind of injectable fault. The kernel applies these through its
+/// injection API (`sep_kernel::fault`); each maps onto a physical
+/// misbehaviour the SUE's hardware could exhibit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The regime is stopped as if it had trapped (a crashed program).
+    RegimeFault,
+    /// One bit of the regime's partition flips (a memory glitch).
+    MemBitFlip {
+        /// Byte offset within the partition.
+        offset: u32,
+        /// Bit index 0–7.
+        bit: u8,
+    },
+    /// A spurious interrupt is queued for the regime (a noisy device).
+    SpuriousInterrupt,
+    /// The regime's oldest pending interrupt is silently dropped.
+    DropInterrupt,
+    /// A garbage byte arrives on the regime's serial line (line noise).
+    SerialError,
+}
+
+/// A fault scheduled for a specific kernel step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlannedFault {
+    /// The kernel step (stat `steps`) at which to inject.
+    pub step: u64,
+    /// The target regime index.
+    pub regime: usize,
+    /// What to inject.
+    pub kind: FaultKind,
+}
+
+/// A reproducible schedule of faults, generated from a single seed and
+/// drained in step order via [`FaultPlan::due`].
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: Vec<PlannedFault>,
+    cursor: usize,
+}
+
+impl FaultPlan {
+    /// An empty plan (injection off). Keeping the harness code identical
+    /// between fault-on and fault-off runs is what makes the differential
+    /// non-interference test honest.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            faults: Vec::new(),
+            cursor: 0,
+        }
+    }
+
+    /// Generates `count` faults against `targets`, uniformly over
+    /// `[0, steps)`, reproducible from `seed`. `partition_size` bounds the
+    /// bit-flip offsets.
+    pub fn generate(
+        seed: u64,
+        targets: &[usize],
+        steps: u64,
+        count: usize,
+        partition_size: u32,
+    ) -> FaultPlan {
+        assert!(!targets.is_empty(), "fault plan needs at least one target");
+        assert!(steps > 0, "fault plan needs a positive step horizon");
+        let mut rng = SplitMix64::new(seed);
+        let mut faults: Vec<PlannedFault> = (0..count)
+            .map(|_| {
+                let step = rng.below(steps as usize) as u64;
+                let regime = targets[rng.below(targets.len())];
+                let kind = match rng.below(5) {
+                    0 => FaultKind::RegimeFault,
+                    1 => FaultKind::MemBitFlip {
+                        offset: rng.below(partition_size as usize) as u32,
+                        bit: rng.below(8) as u8,
+                    },
+                    2 => FaultKind::SpuriousInterrupt,
+                    3 => FaultKind::DropInterrupt,
+                    _ => FaultKind::SerialError,
+                };
+                PlannedFault { step, regime, kind }
+            })
+            .collect();
+        faults.sort_by_key(|f| f.step);
+        FaultPlan {
+            seed,
+            faults,
+            cursor: 0,
+        }
+    }
+
+    /// The seed this plan was generated from (recorded in reports).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// All scheduled faults, in step order.
+    pub fn faults(&self) -> &[PlannedFault] {
+        &self.faults
+    }
+
+    /// Faults not yet drained by [`FaultPlan::due`].
+    pub fn remaining(&self) -> usize {
+        self.faults.len() - self.cursor
+    }
+
+    /// Drains every fault scheduled at or before `step`, in order.
+    pub fn due(&mut self, step: u64) -> Vec<PlannedFault> {
+        let start = self.cursor;
+        while self.cursor < self.faults.len() && self.faults[self.cursor].step <= step {
+            self.cursor += 1;
+        }
+        self.faults[start..self.cursor].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = FaultPlan::generate(42, &[0, 1], 1000, 16, 8192);
+        let b = FaultPlan::generate(42, &[0, 1], 1000, 16, 8192);
+        assert_eq!(a.faults(), b.faults());
+        let c = FaultPlan::generate(43, &[0, 1], 1000, 16, 8192);
+        assert_ne!(a.faults(), c.faults());
+    }
+
+    #[test]
+    fn due_drains_in_step_order() {
+        let mut p = FaultPlan::generate(7, &[0], 100, 10, 8192);
+        assert_eq!(p.remaining(), 10);
+        let mut seen = 0;
+        let mut last = 0;
+        for step in 0..100 {
+            for f in p.due(step) {
+                assert!(f.step <= step);
+                assert!(f.step >= last, "plan not sorted");
+                last = f.step;
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 10);
+        assert_eq!(p.remaining(), 0);
+        assert!(p.due(1000).is_empty());
+    }
+
+    #[test]
+    fn bit_flips_stay_inside_the_partition() {
+        let p = FaultPlan::generate(9, &[2], 50, 64, 128);
+        for f in p.faults() {
+            assert_eq!(f.regime, 2);
+            if let FaultKind::MemBitFlip { offset, bit } = f.kind {
+                assert!(offset < 128);
+                assert!(bit < 8);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let mut p = FaultPlan::none();
+        assert_eq!(p.remaining(), 0);
+        assert!(p.due(u64::MAX).is_empty());
+    }
+}

@@ -23,6 +23,12 @@ pub enum ChannelStatus {
     /// The channel does not exist or the caller is not its declared
     /// endpoint, or the buffer was invalid.
     Invalid,
+    /// Receive refused: the queue is empty *and* the sending regime is
+    /// permanently stopped (halted, or faulted past its restart budget).
+    /// Distinct from [`ChannelStatus::Empty`] so a receiver can tell
+    /// "nothing yet" from "nothing ever again". The kernel, not the
+    /// channel, makes this determination — only it knows regime status.
+    PeerDown,
 }
 
 impl ChannelStatus {
@@ -33,6 +39,7 @@ impl ChannelStatus {
             ChannelStatus::Full => 1,
             ChannelStatus::Empty => 2,
             ChannelStatus::Invalid => 3,
+            ChannelStatus::PeerDown => 4,
         }
     }
 }

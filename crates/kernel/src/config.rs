@@ -5,7 +5,7 @@
 //! them. There is no dynamic creation of anything — which is precisely what
 //! makes the kernel small and its verification tractable.
 
-use crate::regime::NativeRegime;
+use crate::regime::{FaultPolicy, NativeRegime};
 use crate::sched::{FixedTimeSlice, Lottery, RoundRobin, Scheduler, StaticCyclic};
 use sep_machine::types::Word;
 
@@ -77,6 +77,13 @@ pub struct RegimeSpec {
     /// adapter preserve the original identity here, so MYID answers
     /// identically on the abstract machine.
     pub logical: Option<usize>,
+    /// What the kernel does when this regime faults. The default parks it
+    /// forever; [`FaultPolicy::Restart`] re-images and resumes it.
+    pub fault_policy: FaultPolicy,
+    /// Instruction-budget watchdog: fault the regime after this many
+    /// instructions without a voluntary yield (a runaway becomes an
+    /// ordinary fault, recoverable under the fault policy).
+    pub watchdog: Option<u64>,
 }
 
 impl RegimeSpec {
@@ -87,6 +94,8 @@ impl RegimeSpec {
             program: ProgramSpec::Assembly(source.to_string()),
             devices: Vec::new(),
             logical: None,
+            fault_policy: FaultPolicy::Halt,
+            watchdog: None,
         }
     }
 
@@ -97,12 +106,26 @@ impl RegimeSpec {
             program: ProgramSpec::Native(regime),
             devices: Vec::new(),
             logical: None,
+            fault_policy: FaultPolicy::Halt,
+            watchdog: None,
         }
     }
 
     /// Adds a device, builder-style.
     pub fn with_device(mut self, d: DeviceSpec) -> RegimeSpec {
         self.devices.push(d);
+        self
+    }
+
+    /// Sets the fault policy, builder-style.
+    pub fn with_fault_policy(mut self, p: FaultPolicy) -> RegimeSpec {
+        self.fault_policy = p;
+        self
+    }
+
+    /// Arms the instruction-budget watchdog, builder-style.
+    pub fn with_watchdog(mut self, budget: u64) -> RegimeSpec {
+        self.watchdog = Some(budget);
         self
     }
 }

@@ -1,0 +1,117 @@
+//! Applying a [`sep_fault`] plan to a running kernel.
+//!
+//! The plan decides *what* goes wrong and *when* (deterministically, from a
+//! seed); this module is the thin adapter that turns each planned fault
+//! into the corresponding host-side injection call. Keeping the adapter in
+//! the kernel crate — rather than teaching `sep-fault` about kernels —
+//! leaves the plan generator free of any dependency on what it breaks.
+
+use crate::kernel::SeparationKernel;
+use sep_fault::{FaultKind, FaultPlan, PlannedFault};
+
+/// Injects one planned fault into the kernel. The victim index is reduced
+/// modulo the regime count so any plan applies to any kernel.
+pub fn apply(kernel: &mut SeparationKernel, fault: &PlannedFault) {
+    let r = fault.regime % kernel.regimes.len();
+    match fault.kind {
+        FaultKind::RegimeFault => {
+            kernel.inject_fault(r);
+        }
+        FaultKind::MemBitFlip { offset, bit } => kernel.inject_bit_flip(r, offset, bit),
+        FaultKind::SpuriousInterrupt => kernel.inject_spurious_interrupt(r),
+        FaultKind::DropInterrupt => {
+            kernel.inject_drop_interrupt(r);
+        }
+        FaultKind::SerialError => kernel.inject_serial_error(r),
+    }
+}
+
+/// Injects every fault due at the kernel's current step count, returning
+/// how many were applied. Call once per kernel step, before the step.
+pub fn apply_due(kernel: &mut SeparationKernel, plan: &mut FaultPlan) -> usize {
+    let due = plan.due(kernel.stats.steps);
+    for f in &due {
+        apply(kernel, f);
+    }
+    due.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{KernelConfig, RegimeSpec};
+    use crate::regime::RegimeStatus;
+    use sep_fault::FaultKind;
+
+    fn two_counters() -> KernelConfig {
+        KernelConfig::new(vec![
+            RegimeSpec::assembly("a", "start: INC R1\n TRAP 0\n BR start"),
+            RegimeSpec::assembly("b", "start: INC R2\n TRAP 0\n BR start"),
+        ])
+    }
+
+    #[test]
+    fn planned_regime_fault_stops_the_victim() {
+        let mut k = SeparationKernel::boot(two_counters()).unwrap();
+        k.run(10);
+        apply(
+            &mut k,
+            &PlannedFault {
+                step: 0,
+                regime: 1,
+                kind: FaultKind::RegimeFault,
+            },
+        );
+        assert!(matches!(k.regimes[1].status, RegimeStatus::Faulted(_)));
+        assert_eq!(k.regimes[0].status, RegimeStatus::Ready);
+    }
+
+    #[test]
+    fn bit_flip_lands_in_the_victims_partition_only() {
+        let mut k = SeparationKernel::boot(two_counters()).unwrap();
+        let before: Vec<u64> = k
+            .regimes
+            .iter()
+            .map(|r| {
+                k.machine
+                    .mem
+                    .fingerprint(r.partition_base, crate::regime::PARTITION_SIZE)
+            })
+            .collect();
+        apply(
+            &mut k,
+            &PlannedFault {
+                step: 0,
+                regime: 0,
+                kind: FaultKind::MemBitFlip {
+                    offset: 0o1234,
+                    bit: 3,
+                },
+            },
+        );
+        let after: Vec<u64> = k
+            .regimes
+            .iter()
+            .map(|r| {
+                k.machine
+                    .mem
+                    .fingerprint(r.partition_base, crate::regime::PARTITION_SIZE)
+            })
+            .collect();
+        assert_ne!(before[0], after[0], "victim partition changed");
+        assert_eq!(before[1], after[1], "bystander partition untouched");
+    }
+
+    #[test]
+    fn apply_due_drains_the_plan_deterministically() {
+        let mut plan = FaultPlan::generate(7, &[0, 1], 50, 8, crate::regime::PARTITION_SIZE);
+        let mut k = SeparationKernel::boot(two_counters()).unwrap();
+        let mut applied = 0;
+        for _ in 0..100 {
+            applied += apply_due(&mut k, &mut plan);
+            k.step();
+        }
+        assert_eq!(applied, 8, "every planned fault fired");
+        assert_eq!(plan.remaining(), 0);
+    }
+}

@@ -19,8 +19,8 @@
 use crate::channel::{Channel, ChannelStatus, MAX_MSG};
 use crate::config::{DeviceSpec, KernelConfig, Mutation, ProgramSpec};
 use crate::regime::{
-    DeviceBinding, NativeAction, RegimeIo, RegimeRecord, RegimeStatus, SaveArea, DEV_WINDOW,
-    PARTITION_SIZE, VEC_BASE,
+    DeviceBinding, FaultCause, FaultPolicy, NativeAction, RegimeIo, RegimeRecord, RegimeStatus,
+    SaveArea, DEV_WINDOW, PARTITION_SIZE, VEC_BASE,
 };
 use crate::sched::Scheduler;
 use sep_machine::asm::{assemble, AsmError};
@@ -160,12 +160,18 @@ pub enum KernelEvent {
         /// The TRAP operand.
         trap: u8,
     },
-    /// The current regime faulted and was stopped.
+    /// A regime faulted and was stopped (pending its fault policy).
     Fault {
         /// The faulting regime.
         regime: usize,
-        /// The trap.
-        trap: Trap,
+        /// Why it faulted.
+        cause: FaultCause,
+    },
+    /// A faulted regime was re-imaged from its boot image and resumed
+    /// (its [`FaultPolicy::Restart`] budget allowed it).
+    Restarted {
+        /// The restarted regime.
+        regime: usize,
     },
     /// No regime is runnable; device time still advances.
     Idle,
@@ -370,6 +376,16 @@ impl SeparationKernel {
                 ProgramSpec::Native(n) => native = Some(n.boxed_clone()),
             }
 
+            // Snapshot the freshly-imaged partition: this is what a
+            // `FaultPolicy::Restart` re-images from. Kept in an `Arc` so
+            // cloning a kernel (the checker does this constantly) shares it.
+            let boot_image =
+                std::sync::Arc::new(machine.mem.range(partition_base, PARTITION_SIZE).to_vec());
+            let native_boot = match spec.fault_policy {
+                FaultPolicy::Restart { .. } => native.as_ref().map(|n| n.boxed_clone()),
+                FaultPolicy::Halt => None,
+            };
+
             regimes.push(RegimeRecord {
                 name: spec.name.clone(),
                 logical_id: spec.logical.unwrap_or(i),
@@ -380,6 +396,13 @@ impl SeparationKernel {
                 devices: bindings,
                 pending_irqs: Default::default(),
                 native,
+                fault_policy: spec.fault_policy,
+                watchdog: spec.watchdog,
+                boot_image,
+                native_boot,
+                restarts_used: 0,
+                backoff_left: 0,
+                instr_since_yield: 0,
             });
         }
 
@@ -416,12 +439,17 @@ impl SeparationKernel {
             kernel.machine.obs.metrics.register_regime(i, &name);
         }
         for idx in 0..kernel.machine.devices.len() {
+            // Every index below `len` was just attached; a hole here is a
+            // kernel bug, and silently registering a nameless device would
+            // only bury it (satellite of the fault PR: no defaulted
+            // lookups on kernel paths).
             let name = kernel
                 .machine
                 .devices
                 .get_mut(idx)
-                .map(|d| d.name().to_string())
-                .unwrap_or_default();
+                .expect("attached device present")
+                .name()
+                .to_string();
             kernel.machine.obs.metrics.register_device(idx, &name);
         }
         if let Some(capacity) = config.trace {
@@ -549,6 +577,13 @@ impl SeparationKernel {
             self.stats.idle_steps += 1;
             return KernelEvent::Idle;
         }
+        // Fault recovery: a restart-pending regime scheduled into its slot
+        // spends kernel steps backing off (whole slots) and then one step
+        // being re-imaged. It consumes scheduler offers like any runnable
+        // regime, which is what keeps restarts slot-aligned.
+        if self.regimes[self.current].restart_pending() {
+            return self.restart_step(self.current);
+        }
         // Scheduling repair: if the current regime cannot run, pass control.
         if !self.regimes[self.current].status.runnable() {
             return match self.next_runnable() {
@@ -558,11 +593,10 @@ impl SeparationKernel {
                     KernelEvent::Swapped { from, to: next }
                 }
                 None => {
-                    if self
-                        .regimes
-                        .iter()
-                        .all(|r| !matches!(r.status, RegimeStatus::Ready | RegimeStatus::Waiting))
-                    {
+                    if self.regimes.iter().all(|r| {
+                        !matches!(r.status, RegimeStatus::Ready | RegimeStatus::Waiting)
+                            && !r.restart_pending()
+                    }) {
                         KernelEvent::AllStopped
                     } else {
                         self.stats.idle_steps += 1;
@@ -671,9 +705,21 @@ impl SeparationKernel {
         match event {
             Event::Ran => {
                 self.stats.instructions += 1;
+                // Instruction-budget watchdog: a regime that retires too
+                // many instructions without a voluntary yield is converted
+                // into an ordinary fault (recoverable under its policy).
+                // The counter only moves when a watchdog is armed, so
+                // watchdog-free configurations keep their state spaces.
+                if let Some(limit) = self.regimes[r].watchdog {
+                    self.regimes[r].instr_since_yield += 1;
+                    if self.regimes[r].instr_since_yield > limit {
+                        return self.fault_with(r, FaultCause::Watchdog);
+                    }
+                }
                 KernelEvent::Executed
             }
             Event::Wait => {
+                self.regimes[r].instr_since_yield = 0;
                 if self.regimes[r].pending_irqs.is_empty() {
                     self.regimes[r].status = RegimeStatus::Waiting;
                     if self.sched.padded() && self.quantum_left > 0 {
@@ -703,16 +749,144 @@ impl SeparationKernel {
         }
     }
 
-    /// Stops a faulting regime and passes control on.
+    /// Stops a faulting regime (machine-trap cause) and passes control on.
     fn fault(&mut self, r: usize, trap: Trap) -> KernelEvent {
-        self.regimes[r].status = RegimeStatus::Faulted(trap);
+        self.fault_with(r, FaultCause::Trap(trap))
+    }
+
+    /// Stops a faulting regime for any cause. Idempotent on regimes that
+    /// are already stopped (a fault injected into a Halted or Faulted
+    /// regime changes nothing — which also keeps the verifier's fault
+    /// operation from growing the state space unboundedly).
+    fn fault_with(&mut self, r: usize, cause: FaultCause) -> KernelEvent {
+        if !matches!(
+            self.regimes[r].status,
+            RegimeStatus::Ready | RegimeStatus::Waiting
+        ) {
+            return KernelEvent::Fault { regime: r, cause };
+        }
+        self.regimes[r].status = RegimeStatus::Faulted(cause);
+        self.regimes[r].instr_since_yield = 0;
+        if let FaultPolicy::Restart { backoff_slots, .. } = self.regimes[r].fault_policy {
+            if self.regimes[r].restart_pending() {
+                self.regimes[r].backoff_left = backoff_slots;
+            }
+        }
         self.stats.faults += 1;
         self.machine.obs.metrics.totals.faults += 1;
         self.machine.obs.metrics.regime_mut(r).faults += 1;
-        if let Some(next) = self.next_runnable() {
-            self.switch_to(next);
+        let ts = self.machine.instructions;
+        self.machine.obs.emit(
+            ts,
+            ObsEvent::Fault {
+                regime: r as u16,
+                cause: cause.class(),
+            },
+        );
+        // Containment: if the *current* regime faulted, pass control on.
+        // (A regime faulted from the host side keeps the CPU where it is.)
+        if r == self.current {
+            if let Some(next) = self.next_runnable() {
+                if next != r {
+                    self.switch_to(next);
+                }
+            }
         }
-        KernelEvent::Fault { regime: r, trap }
+        KernelEvent::Fault { regime: r, cause }
+    }
+
+    /// One scheduler offer spent on a restart-pending regime: burn one
+    /// backoff slot, or re-image the partition from its boot image and
+    /// resume it. Only called with `r == self.current`.
+    fn restart_step(&mut self, r: usize) -> KernelEvent {
+        if self.regimes[r].backoff_left > 0 {
+            // One whole scheduler offer per backoff slot: the decrement
+            // happens only when the scheduler actually offers this regime
+            // the CPU, then the slot is handed to whoever else is runnable.
+            self.regimes[r].backoff_left -= 1;
+            self.stats.idle_steps += 1;
+            if let Some(next) = self.next_runnable() {
+                if next != r {
+                    self.switch_to(next);
+                    return KernelEvent::Swapped { from: r, to: next };
+                }
+            }
+            return KernelEvent::Idle;
+        }
+        // Re-image: the partition reverts to its boot bytes, the save area
+        // to the boot context, and every queued interrupt is dropped — the
+        // regime restarts from the same state it first booted in.
+        let base = self.regimes[r].partition_base;
+        let image = self.regimes[r].boot_image.clone();
+        for (i, b) in image.iter().enumerate() {
+            self.machine.mem.write_byte(base + i as u32, *b);
+        }
+        let rec = &mut self.regimes[r];
+        rec.save = SaveArea::boot();
+        rec.pending_irqs.clear();
+        rec.instr_since_yield = 0;
+        rec.native = rec.native_boot.as_ref().map(|n| n.boxed_clone());
+        rec.restarts_used += 1;
+        rec.status = RegimeStatus::Ready;
+        self.machine.obs.metrics.totals.restarts += 1;
+        self.machine.obs.metrics.regime_mut(r).restarts += 1;
+        let ts = self.machine.instructions;
+        self.machine
+            .obs
+            .emit(ts, ObsEvent::Restart { regime: r as u16 });
+        self.load_context(r);
+        KernelEvent::Restarted { regime: r }
+    }
+
+    /// Injects a regime fault from outside the machine (fault-injection
+    /// harness). Identical to the regime trapping, except for the cause.
+    pub fn inject_fault(&mut self, r: usize) -> KernelEvent {
+        self.fault_with(r, FaultCause::Injected)
+    }
+
+    /// Flips one bit of a regime's partition (host-side memory fault).
+    /// The offset is reduced modulo the partition size, so any plan value
+    /// lands inside the victim's own partition — injected faults must
+    /// respect the same boundaries regimes do.
+    pub fn inject_bit_flip(&mut self, r: usize, offset: u32, bit: u8) {
+        let base = self.regimes[r].partition_base;
+        let addr = base + offset % PARTITION_SIZE;
+        let old = self.machine.mem.read_byte(addr);
+        self.machine.mem.write_byte(addr, old ^ (1 << (bit % 8)));
+    }
+
+    /// Queues a spurious interrupt for a regime (device fault). Uses the
+    /// regime's first device vector when it owns one, else a vector no
+    /// binding claims — either way the request is mediated exactly like a
+    /// real one, including waking a Waiting regime.
+    pub fn inject_spurious_interrupt(&mut self, r: usize) {
+        let (slot, vector) = match self.regimes[r].devices.first() {
+            Some(b) => (0, b.vector),
+            None => (0, 0o274),
+        };
+        let rec = &mut self.regimes[r];
+        rec.pending_irqs.push_back((
+            slot,
+            InterruptRequest {
+                vector,
+                priority: 4,
+            },
+        ));
+        if rec.status == RegimeStatus::Waiting {
+            rec.status = RegimeStatus::Ready;
+        }
+    }
+
+    /// Drops a regime's oldest pending interrupt (device fault: a lost
+    /// interrupt). Returns whether anything was queued to lose.
+    pub fn inject_drop_interrupt(&mut self, r: usize) -> bool {
+        self.regimes[r].pending_irqs.pop_front().is_some()
+    }
+
+    /// Feeds a garbage byte into a regime's first serial line (line
+    /// noise). A no-op for regimes without a serial device.
+    pub fn inject_serial_error(&mut self, r: usize) {
+        self.host_send_serial(r, &[0xFF]);
     }
 
     /// Syscall accounting shared by machine-code TRAPs and native SWAPs:
@@ -738,6 +912,7 @@ impl SeparationKernel {
         match n {
             0 => {
                 // SWAP: voluntary yield.
+                self.regimes[r].instr_since_yield = 0;
                 if self.sched.padded() && self.quantum_left > 0 {
                     // Pad the slot: nobody gets the donated time.
                     self.slot_idle_left = self.quantum_left;
@@ -772,14 +947,18 @@ impl SeparationKernel {
                 KernelEvent::Syscall { regime: r, trap: 2 }
             }
             3 => {
-                // POLL: R0 = channel → queued count (0o177777 if not ours).
+                // POLL: R0 = channel → queued count (0o177777 if not ours;
+                // 0o177776 for a receiver whose drained channel will never
+                // fill again because its sender is permanently down).
                 let chan = self.machine.cpu.reg(0) as usize;
-                let count = self
-                    .channels
-                    .get(chan)
-                    .and_then(|c| c.poll(self.regimes[r].logical_id))
-                    .map(|n| n as Word)
-                    .unwrap_or(0o177777);
+                let me = self.regimes[r].logical_id;
+                let count = match self.channels.get(chan).and_then(|c| c.poll(me)) {
+                    Some(0) if self.channels[chan].spec.to == me && self.sender_down(chan) => {
+                        0o177776
+                    }
+                    Some(n) => n as Word,
+                    None => 0o177777,
+                };
                 self.machine.cpu.set_reg(0, count);
                 KernelEvent::Syscall { regime: r, trap: 3 }
             }
@@ -857,6 +1036,27 @@ impl SeparationKernel {
         );
     }
 
+    /// True when an uncut channel's sender is permanently stopped: Halted,
+    /// or Faulted with no restart coming. Cut channels always report their
+    /// peer alive (the stub endpoint has no sender to be down), which is
+    /// what keeps verified single-regime sub-configurations unchanged.
+    fn sender_down(&self, chan: usize) -> bool {
+        let Some(ch) = self.channels.get(chan) else {
+            return false;
+        };
+        if ch.cut {
+            return false;
+        }
+        self.regimes
+            .iter()
+            .find(|r| r.logical_id == ch.spec.from)
+            .is_some_and(|r| match r.status {
+                RegimeStatus::Halted => true,
+                RegimeStatus::Faulted(_) => !r.restart_pending(),
+                RegimeStatus::Ready | RegimeStatus::Waiting => false,
+            })
+    }
+
     fn do_recv(
         &mut self,
         r: usize,
@@ -865,7 +1065,7 @@ impl SeparationKernel {
         maxlen: usize,
     ) -> (ChannelStatus, usize) {
         let me = self.regimes[r].logical_id;
-        let Some(channel) = self.channels.get_mut(chan) else {
+        let Some(channel) = self.channels.get(chan) else {
             return (ChannelStatus::Invalid, 0);
         };
         // Stage the copy before consuming: the head message is only popped
@@ -876,6 +1076,11 @@ impl SeparationKernel {
                 let mut m = m.to_vec();
                 m.truncate(maxlen);
                 m
+            }
+            // An empty queue whose sender is permanently down is reported
+            // apart from a transiently empty one: nothing will ever arrive.
+            Err(ChannelStatus::Empty) if self.sender_down(chan) => {
+                return (ChannelStatus::PeerDown, 0)
             }
             Err(status) => return (status, 0),
         };
@@ -904,7 +1109,13 @@ impl SeparationKernel {
     /// policy (possibly the current regime itself); `None` when nobody is
     /// Ready.
     fn next_runnable(&mut self) -> Option<usize> {
-        let runnable: Vec<bool> = self.regimes.iter().map(|r| r.status.runnable()).collect();
+        // Restart-pending regimes stay schedulable: their backoff is
+        // counted in scheduler offers, so they must keep receiving them.
+        let runnable: Vec<bool> = self
+            .regimes
+            .iter()
+            .map(|r| r.status.runnable() || r.restart_pending())
+            .collect();
         self.sched
             .next(self.current, runnable.len(), &|i| runnable[i])
     }
@@ -1044,6 +1255,7 @@ impl SeparationKernel {
         match action {
             NativeAction::Continue => KernelEvent::NativeStep,
             NativeAction::Swap => {
+                self.regimes[r].instr_since_yield = 0;
                 self.note_syscall(r, 0);
                 if self.sched.padded() && self.quantum_left > 0 {
                     self.slot_idle_left = self.quantum_left;
@@ -1136,8 +1348,13 @@ impl SeparationKernel {
                 RegimeStatus::Ready => 0,
                 RegimeStatus::Waiting => 1,
                 RegimeStatus::Halted => 2,
-                RegimeStatus::Faulted(_) => 3,
+                // Distinct causes are distinct states: a watchdog fault and
+                // a trap fault recover differently, so they must not alias.
+                RegimeStatus::Faulted(c) => 3 + (c.code() << 2),
             });
+            v.push(rec.restarts_used as u64);
+            v.push(rec.backoff_left as u64);
+            v.push(rec.instr_since_yield);
             for r in rec.save.r {
                 v.push(r as u64);
             }
@@ -1215,14 +1432,24 @@ impl RegimeIo for KernelIo<'_> {
 
     fn recv(&mut self, channel: usize) -> Result<Vec<u8>, ChannelStatus> {
         let me = self.kernel.regimes[self.regime].logical_id;
-        let Some(ch) = self.kernel.channels.get_mut(channel) else {
-            return Err(ChannelStatus::Invalid);
+        let result = match self.kernel.channels.get_mut(channel) {
+            Some(ch) => ch.recv(me),
+            None => Err(ChannelStatus::Invalid),
         };
-        let msg = ch.recv(me)?;
-        self.kernel.stats.bytes_copied += msg.len() as u64;
-        self.kernel
-            .note_channel_recv(self.regime, channel, msg.len());
-        Ok(msg)
+        match result {
+            Ok(msg) => {
+                self.kernel.stats.bytes_copied += msg.len() as u64;
+                self.kernel
+                    .note_channel_recv(self.regime, channel, msg.len());
+                Ok(msg)
+            }
+            // Native regimes get the same distinction machine-code ones do:
+            // empty-forever (sender permanently down) is not empty-for-now.
+            Err(ChannelStatus::Empty) if self.kernel.sender_down(channel) => {
+                Err(ChannelStatus::PeerDown)
+            }
+            Err(status) => Err(status),
+        }
     }
 
     fn poll(&self, channel: usize) -> Option<usize> {

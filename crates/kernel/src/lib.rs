@@ -35,7 +35,10 @@
 //!   policies (round-robin, fixed time slices, lottery, static cyclic), of
 //!   which only the cooperative ones verify.
 //! * [`kernel`] — the kernel proper: boot, the consume/execute step cycle,
-//!   context switching, trap handling, interrupt forwarding.
+//!   context switching, trap handling, interrupt forwarding, and fault
+//!   containment/recovery (per-regime [`regime::FaultPolicy`]).
+//! * [`fault`] — the adapter that applies a seeded `sep-fault` plan to a
+//!   running kernel (host-side fault injection).
 //! * [`verify`] — the Proof of Separability adapter: the kernel as a
 //!   [`sep_model::SharedSystem`], with one abstraction per regime whose
 //!   abstract machine is a *single-regime* copy of the same kernel.
@@ -47,6 +50,7 @@
 pub mod channel;
 pub mod config;
 pub mod conventional;
+pub mod fault;
 pub mod kernel;
 pub mod regime;
 pub mod sched;
@@ -58,6 +62,6 @@ pub use config::{
     SchedPolicy,
 };
 pub use kernel::{KernelError, KernelEvent, KernelStats, SeparationKernel};
-pub use regime::{NativeAction, NativeRegime, RegimeIo, RegimeStatus};
+pub use regime::{FaultCause, FaultPolicy, NativeAction, NativeRegime, RegimeIo, RegimeStatus};
 pub use sched::Scheduler;
 pub use verify::{KernelState, KernelSystem, RegimeAbstraction};

@@ -21,6 +21,56 @@ pub const PARTITION_SIZE: u32 = 8 * 1024;
 /// Initial user stack pointer (top of the partition).
 pub const INITIAL_SP: Word = (PARTITION_SIZE - 2) as Word;
 
+/// Why a regime faulted. Traps come from the machine; the watchdog and
+/// injection causes are kernel-side, so containment and recovery treat a
+/// runaway or deliberately injected failure exactly like a hardware trap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultCause {
+    /// A machine trap (MMU abort, illegal instruction, ...).
+    Trap(Trap),
+    /// The instruction-budget watchdog expired: the regime ran too long
+    /// without a voluntary yield.
+    Watchdog,
+    /// Injected by the host-side fault harness.
+    Injected,
+}
+
+impl FaultCause {
+    /// The coarse class for observability events: 0 = trap, 1 = watchdog,
+    /// 2 = injected.
+    pub fn class(&self) -> u8 {
+        match self {
+            FaultCause::Trap(_) => 0,
+            FaultCause::Watchdog => 1,
+            FaultCause::Injected => 2,
+        }
+    }
+
+    /// A canonical word for state vectors: distinct causes map to distinct
+    /// codes, so two kernels faulted for different reasons never hash as
+    /// the same state.
+    pub fn code(&self) -> u64 {
+        match self {
+            FaultCause::Watchdog => 1,
+            FaultCause::Injected => 2,
+            FaultCause::Trap(t) => {
+                let (variant, operand): (u64, u64) = match t {
+                    Trap::Mmu(_) => (0, 0),
+                    Trap::OddAddress { vaddr } => (1, *vaddr as u64),
+                    Trap::BusError { addr } => (2, *addr as u64),
+                    Trap::Illegal { word } => (3, *word as u64),
+                    Trap::Emt(n) => (4, *n as u64),
+                    Trap::TrapInstr(n) => (5, *n as u64),
+                    Trap::Bpt => (6, 0),
+                    Trap::Iot => (7, 0),
+                    Trap::Halt => (8, 0),
+                };
+                16 + (variant << 32 | operand)
+            }
+        }
+    }
+}
+
 /// A regime's scheduling status.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RegimeStatus {
@@ -28,8 +78,9 @@ pub enum RegimeStatus {
     Ready,
     /// Executed WAIT; becomes Ready when an interrupt is queued for it.
     Waiting,
-    /// Stopped by a fault (the trap is recorded).
-    Faulted(Trap),
+    /// Stopped by a fault (the cause is recorded). Whether the stop is
+    /// permanent depends on the regime's [`FaultPolicy`].
+    Faulted(FaultCause),
     /// Stopped voluntarily (native regimes only).
     Halted,
 }
@@ -39,6 +90,27 @@ impl RegimeStatus {
     pub fn runnable(self) -> bool {
         self == RegimeStatus::Ready
     }
+}
+
+/// What the kernel does with a faulted regime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FaultPolicy {
+    /// Park it in [`RegimeStatus::Faulted`] forever (the pre-recovery
+    /// behaviour, and the default).
+    #[default]
+    Halt,
+    /// Re-image the partition from its boot image and resume, up to
+    /// `budget` times, after `backoff_slots` whole scheduler slots. The
+    /// backoff is slot-aligned — recovery consumes entire slots, never a
+    /// fraction of one — so a restarting regime cannot modulate the timing
+    /// other regimes observe (the same argument that makes the sticky
+    /// channel latch safe).
+    Restart {
+        /// Maximum restarts before the regime is parked for good.
+        budget: u32,
+        /// Whole scheduler slots to sit out before re-imaging.
+        backoff_slots: u32,
+    },
 }
 
 /// The saved execution context of a regime — exactly what the SWAP
@@ -102,6 +174,39 @@ pub struct RegimeRecord {
     pub pending_irqs: std::collections::VecDeque<(usize, InterruptRequest)>,
     /// The native program, if this is a native regime.
     pub native: Option<Box<dyn NativeRegime>>,
+    /// What to do when this regime faults.
+    pub fault_policy: FaultPolicy,
+    /// Instruction-budget watchdog: fault the regime after this many
+    /// instructions without a voluntary yield. `None` disables it (and the
+    /// counter below then never moves, so watchdog-free configurations keep
+    /// their pre-watchdog state spaces).
+    pub watchdog: Option<u64>,
+    /// The partition's bytes as loaded at boot, shared (not duplicated) by
+    /// every clone of the kernel; what a restart re-images from.
+    pub boot_image: std::sync::Arc<Vec<u8>>,
+    /// A pristine copy of the native program for restarts (present only
+    /// when the policy is Restart and the regime is native).
+    pub native_boot: Option<Box<dyn NativeRegime>>,
+    /// Restarts consumed from the budget.
+    pub restarts_used: u32,
+    /// Scheduler slots still to sit out before re-imaging.
+    pub backoff_left: u32,
+    /// Instructions retired since the last voluntary yield (tracked only
+    /// when `watchdog` is set).
+    pub instr_since_yield: u64,
+}
+
+impl RegimeRecord {
+    /// True when this regime is faulted but will restart: it still takes
+    /// scheduler slots (to burn backoff and then re-image), unlike a
+    /// permanently parked regime.
+    pub fn restart_pending(&self) -> bool {
+        matches!(self.status, RegimeStatus::Faulted(_))
+            && match self.fault_policy {
+                FaultPolicy::Halt => false,
+                FaultPolicy::Restart { budget, .. } => self.restarts_used < budget,
+            }
+    }
 }
 
 impl Clone for RegimeRecord {
@@ -116,6 +221,13 @@ impl Clone for RegimeRecord {
             devices: self.devices.clone(),
             pending_irqs: self.pending_irqs.clone(),
             native: self.native.as_ref().map(|n| n.boxed_clone()),
+            fault_policy: self.fault_policy,
+            watchdog: self.watchdog,
+            boot_image: self.boot_image.clone(),
+            native_boot: self.native_boot.as_ref().map(|n| n.boxed_clone()),
+            restarts_used: self.restarts_used,
+            backoff_left: self.backoff_left,
+            instr_since_yield: self.instr_since_yield,
         }
     }
 }
@@ -216,6 +328,24 @@ mod tests {
         assert!(RegimeStatus::Ready.runnable());
         assert!(!RegimeStatus::Waiting.runnable());
         assert!(!RegimeStatus::Halted.runnable());
-        assert!(!RegimeStatus::Faulted(Trap::Halt).runnable());
+        assert!(!RegimeStatus::Faulted(FaultCause::Trap(Trap::Halt)).runnable());
+    }
+
+    #[test]
+    fn fault_cause_codes_are_distinct() {
+        let causes = [
+            FaultCause::Watchdog,
+            FaultCause::Injected,
+            FaultCause::Trap(Trap::Halt),
+            FaultCause::Trap(Trap::Emt(1)),
+            FaultCause::Trap(Trap::Emt(2)),
+            FaultCause::Trap(Trap::TrapInstr(1)),
+            FaultCause::Trap(Trap::OddAddress { vaddr: 3 }),
+        ];
+        for (i, a) in causes.iter().enumerate() {
+            for (j, b) in causes.iter().enumerate() {
+                assert_eq!(a.code() == b.code(), i == j, "{a:?} vs {b:?}");
+            }
+        }
     }
 }

@@ -92,9 +92,16 @@ impl core::fmt::Debug for KernelState {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct KInput(pub Vec<Option<u8>>);
 
-/// The single colour-generic operation: one execute phase.
+/// The colour-generic operations of the kernel system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct KStep;
+pub enum KOp {
+    /// One execute phase on behalf of the scheduled regime.
+    Step,
+    /// The scheduled regime faults (as if it had trapped or been hit by an
+    /// injected fault). Only in the op set when
+    /// [`KernelSystem::with_fault_ops`] enabled it.
+    Fault,
+}
 
 /// The kernel as a shared system over regime colours.
 pub struct KernelSystem {
@@ -105,6 +112,9 @@ pub struct KernelSystem {
     pub inputs: Vec<KInput>,
     /// Bound on reachable-state enumeration.
     pub state_limit: usize,
+    /// Whether [`KOp::Fault`] is in the op set and exploration additionally
+    /// starts from each per-regime pre-faulted initial state.
+    pub fault_ops: bool,
 }
 
 impl KernelSystem {
@@ -139,7 +149,33 @@ impl KernelSystem {
             config,
             inputs: vec![KInput(vec![None; n])],
             state_limit: 200_000,
+            fault_ops: false,
         })
+    }
+
+    /// Adds [`KOp::Fault`] to the op set, so the Proof of Separability
+    /// additionally quantifies over "the scheduled regime faults here" at
+    /// every reachable state, and seeds exploration with each per-regime
+    /// pre-faulted initial state so post-fault trajectories (backoff,
+    /// re-imaging, exhausted budgets) are themselves explored under `Step`.
+    pub fn with_fault_ops(mut self) -> KernelSystem {
+        self.fault_ops = true;
+        self
+    }
+
+    /// The initial states exploration starts from: the booted kernel, plus
+    /// (with fault ops) one variant per regime in which that regime has
+    /// already faulted.
+    pub fn initial_states(&self) -> Vec<KernelState> {
+        let mut states = vec![self.initial()];
+        if self.fault_ops {
+            for r in 0..self.config.regimes.len() {
+                let mut k = self.template.clone();
+                k.inject_fault(r);
+                states.push(KernelState::new(k));
+            }
+        }
+        states
     }
 
     /// Extends the input alphabet: for each regime and each byte, an input
@@ -175,7 +211,7 @@ impl SharedSystem for KernelSystem {
     type Input = KInput;
     type Output = Vec<Vec<Word>>;
     type Colour = usize;
-    type Op = KStep;
+    type Op = KOp;
 
     fn colours(&self) -> Vec<usize> {
         (0..self.config.regimes.len()).collect()
@@ -210,13 +246,24 @@ impl SharedSystem for KernelSystem {
         KernelState::new(kernel)
     }
 
-    fn next_op(&self, _s: &KernelState) -> KStep {
-        KStep
+    fn next_op(&self, _s: &KernelState) -> KOp {
+        // Constant, hence trivially a function of the current regime's own
+        // view (condition 6): regimes step; faults *happen to* them, so
+        // Fault is never the scheduled next op.
+        KOp::Step
     }
 
-    fn apply(&self, _op: &KStep, s: &KernelState) -> KernelState {
+    fn apply(&self, op: &KOp, s: &KernelState) -> KernelState {
         let mut kernel = s.kernel.clone();
-        let _ = kernel.exec_phase();
+        match op {
+            KOp::Step => {
+                let _ = kernel.exec_phase();
+            }
+            KOp::Fault => {
+                let current = kernel.current();
+                let _ = kernel.inject_fault(current);
+            }
+        }
         KernelState::new(kernel)
     }
 }
@@ -240,7 +287,7 @@ impl Finite for KernelSystem {
     fn states(&self) -> Vec<KernelState> {
         let (states, truncated) = sep_model::explore::reachable_states(
             self,
-            &[self.initial()],
+            &self.initial_states(),
             &self.inputs,
             self.state_limit,
         );
@@ -256,8 +303,12 @@ impl Finite for KernelSystem {
         self.inputs.clone()
     }
 
-    fn ops(&self) -> Vec<KStep> {
-        vec![KStep]
+    fn ops(&self) -> Vec<KOp> {
+        if self.fault_ops {
+            vec![KOp::Step, KOp::Fault]
+        } else {
+            vec![KOp::Step]
+        }
     }
 }
 
@@ -320,7 +371,7 @@ impl KernelSystem {
         abstractions: &[RegimeAbstraction],
     ) -> (CheckReport, Option<ExploreStats>) {
         let (report, stats) =
-            checker.check_explored(self, abstractions, &[self.initial()], self.state_limit);
+            checker.check_explored(self, abstractions, &self.initial_states(), self.state_limit);
         assert!(
             !stats.truncated,
             "kernel state space exceeded limit {}",
@@ -350,6 +401,15 @@ pub struct RegimeProjection {
     /// Sticky backpressure bits of those channels (constant `false` under
     /// the live and quantized depth policies).
     pub latches: Vec<bool>,
+    /// Restarts consumed from this regime's [`crate::regime::FaultPolicy`]
+    /// budget. Regime-local recovery state: it determines whether another
+    /// fault is survivable, so it is part of the regime's view.
+    pub restarts_used: u32,
+    /// Scheduler offers left before a pending restart re-images.
+    pub backoff_left: u32,
+    /// Instructions since the last voluntary yield (moves only under an
+    /// armed watchdog).
+    pub instr_since_yield: u64,
 }
 
 /// Φ^c and the abstract machine for one regime.
@@ -430,12 +490,15 @@ impl RegimeAbstraction {
             .devices
             .iter()
             .map(|b| {
+                // A binding's machine index is valid by construction; a
+                // stale one is a kernel bug that an empty default snapshot
+                // would mask as "two devices agree".
                 kernel
                     .machine
                     .devices
                     .get(b.machine_index)
-                    .map(|d| d.snapshot())
-                    .unwrap_or_default()
+                    .expect("bound device present")
+                    .snapshot()
             })
             .collect();
         let channels = visible_channels
@@ -456,6 +519,9 @@ impl RegimeAbstraction {
             pending: rec.pending_irqs.iter().copied().collect(),
             channels,
             latches,
+            restarts_used: rec.restarts_used,
+            backoff_left: rec.backoff_left,
+            instr_since_yield: rec.instr_since_yield,
         }
     }
 
@@ -482,6 +548,10 @@ impl RegimeAbstraction {
                 d.restore(snap);
             }
         }
+        // Fault-recovery state.
+        k.regimes[0].restarts_used = a.restarts_used;
+        k.regimes[0].backoff_left = a.backoff_left;
+        k.regimes[0].instr_since_yield = a.instr_since_yield;
         // Pending interrupts and channels.
         k.regimes[0].pending_irqs = a.pending.iter().copied().collect();
         for (&idx, msgs) in self.visible_channels.iter().zip(&a.channels) {
@@ -496,7 +566,7 @@ impl RegimeAbstraction {
 
 impl Abstraction<KernelSystem> for RegimeAbstraction {
     type AState = RegimeProjection;
-    type AOp = KStep;
+    type AOp = KOp;
 
     fn colour(&self) -> usize {
         self.regime
@@ -506,18 +576,27 @@ impl Abstraction<KernelSystem> for RegimeAbstraction {
         RegimeAbstraction::project(&s.kernel, self.regime, &self.visible_channels)
     }
 
-    fn abop(&self, _sys: &KernelSystem, op: &KStep) -> KStep {
+    fn abop(&self, _sys: &KernelSystem, op: &KOp) -> KOp {
         *op
     }
 
     fn apply_abstract(
         &self,
         _sys: &KernelSystem,
-        _aop: &KStep,
+        aop: &KOp,
         a: &RegimeProjection,
     ) -> RegimeProjection {
         let mut k = self.impose(a);
-        let _ = k.exec_phase();
+        match aop {
+            KOp::Step => {
+                let _ = k.exec_phase();
+            }
+            // On the private machine "the scheduled regime faults" is
+            // simply "my regime faults": same containment code, one regime.
+            KOp::Fault => {
+                let _ = k.inject_fault(0);
+            }
+        }
         // The sub-configuration keeps the full channel list, so the visible
         // indices carry over unchanged.
         RegimeAbstraction::project(&k, 0, &self.visible_channels)
@@ -535,6 +614,12 @@ impl Abstraction<KernelSystem> for RegimeAbstraction {
         let r = self.regime;
         let (r1, r2) = (&k1.regimes[r], &k2.regimes[r]);
         if r1.status != r2.status {
+            return false;
+        }
+        if r1.restarts_used != r2.restarts_used
+            || r1.backoff_left != r2.backoff_left
+            || r1.instr_since_yield != r2.instr_since_yield
+        {
             return false;
         }
         let c1 = if k1.current() == r {
@@ -569,18 +654,21 @@ impl Abstraction<KernelSystem> for RegimeAbstraction {
             return false;
         }
         for (b1, b2) in r1.devices.iter().zip(&r2.devices) {
+            // Same invariant as `project`: a binding always resolves, and
+            // defaulting both sides to empty would turn a kernel bug into a
+            // spurious equality.
             let d1 = k1
                 .machine
                 .devices
                 .get(b1.machine_index)
-                .map(|d| d.snapshot())
-                .unwrap_or_default();
+                .expect("bound device present")
+                .snapshot();
             let d2 = k2
                 .machine
                 .devices
                 .get(b2.machine_index)
-                .map(|d| d.snapshot())
-                .unwrap_or_default();
+                .expect("bound device present")
+                .snapshot();
             if d1 != d2 {
                 return false;
             }

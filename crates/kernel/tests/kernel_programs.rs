@@ -2,7 +2,7 @@
 
 use sep_kernel::config::{DeviceSpec, KernelConfig, Mutation, RegimeSpec};
 use sep_kernel::kernel::{KernelError, SeparationKernel};
-use sep_kernel::regime::RegimeStatus;
+use sep_kernel::regime::{FaultCause, RegimeStatus};
 use sep_machine::asm::assemble;
 use sep_machine::exec::Trap;
 
@@ -91,7 +91,7 @@ fn out_of_partition_access_faults_and_system_continues() {
     k.run(100);
     assert!(matches!(
         k.regimes[0].status,
-        RegimeStatus::Faulted(Trap::Mmu(_))
+        RegimeStatus::Faulted(FaultCause::Trap(Trap::Mmu(_)))
     ));
     // The worker keeps running.
     assert!(partition_word(&k, 1, COUNTER_A, "counter") > 5);
@@ -162,7 +162,7 @@ buf:    .blkw 8
     assert_eq!(k.machine.mem.range(base, 4), &[1, 2, 3, 4]);
     assert!(matches!(
         k.regimes[1].status,
-        RegimeStatus::Faulted(Trap::Halt)
+        RegimeStatus::Faulted(FaultCause::Trap(Trap::Halt))
     ));
 }
 
@@ -394,7 +394,7 @@ fn emt_is_a_fault_not_a_service() {
     k.run(100);
     assert!(matches!(
         k.regimes[0].status,
-        RegimeStatus::Faulted(Trap::Emt(1))
+        RegimeStatus::Faulted(FaultCause::Trap(Trap::Emt(1)))
     ));
     assert!(partition_word(&k, 1, COUNTER_A, "counter") > 5);
 }
@@ -409,7 +409,7 @@ fn unknown_trap_numbers_fault_the_regime() {
     k.run(100);
     assert!(matches!(
         k.regimes[0].status,
-        RegimeStatus::Faulted(Trap::TrapInstr(77))
+        RegimeStatus::Faulted(FaultCause::Trap(Trap::TrapInstr(77)))
     ));
 }
 

@@ -153,6 +153,25 @@ pub enum ObsEvent {
         /// Message bytes.
         bytes: u32,
     },
+    /// A regime faulted and was stopped (pending restart, if it has one).
+    Fault {
+        /// The faulting regime.
+        regime: u16,
+        /// Fault class: 0 = trap, 1 = watchdog, 2 = injected.
+        cause: u8,
+    },
+    /// A faulted regime was re-imaged from its boot image and resumed.
+    Restart {
+        /// The restarted regime.
+        regime: u16,
+    },
+    /// A node retransmitted an unacknowledged frame.
+    Retransmit {
+        /// The sending node.
+        node: u16,
+        /// The frame's sequence number.
+        seq: u16,
+    },
 }
 
 impl ObsEvent {
@@ -172,6 +191,9 @@ impl ObsEvent {
             ObsEvent::PolicyMediation { .. } => "policy-mediation",
             ObsEvent::WireSend { .. } => "wire-send",
             ObsEvent::WireRecv { .. } => "wire-recv",
+            ObsEvent::Fault { .. } => "fault",
+            ObsEvent::Restart { .. } => "restart",
+            ObsEvent::Retransmit { .. } => "retransmit",
         }
     }
 }
@@ -226,6 +248,16 @@ impl fmt::Display for ObsEvent {
             }
             ObsEvent::WireSend { node, bytes } => write!(f, "wire-send n{node} {bytes}B"),
             ObsEvent::WireRecv { node, bytes } => write!(f, "wire-recv n{node} {bytes}B"),
+            ObsEvent::Fault { regime, cause } => {
+                let kind = match cause {
+                    0 => "trap",
+                    1 => "watchdog",
+                    _ => "injected",
+                };
+                write!(f, "fault r{regime} {kind}")
+            }
+            ObsEvent::Restart { regime } => write!(f, "restart r{regime}"),
+            ObsEvent::Retransmit { node, seq } => write!(f, "retransmit n{node} seq{seq}"),
         }
     }
 }
@@ -241,6 +273,23 @@ mod tests {
             "context-switch"
         );
         assert_eq!(TrapKind::TrapInstr.label(), "trap");
+    }
+
+    #[test]
+    fn fault_events_render_their_class() {
+        assert_eq!(
+            ObsEvent::Fault {
+                regime: 1,
+                cause: 1
+            }
+            .to_string(),
+            "fault r1 watchdog"
+        );
+        assert_eq!(ObsEvent::Restart { regime: 1 }.label(), "restart");
+        assert_eq!(
+            ObsEvent::Retransmit { node: 0, seq: 7 }.to_string(),
+            "retransmit n0 seq7"
+        );
     }
 
     #[test]

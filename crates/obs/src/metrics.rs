@@ -31,6 +31,10 @@ pub struct RegimeCounters {
     pub interrupts_discarded: u64,
     /// Times this regime faulted and was stopped.
     pub faults: u64,
+    /// Times this regime was re-imaged from its boot image and resumed.
+    pub restarts: u64,
+    /// Frames this node retransmitted (distributed realization only).
+    pub retransmissions: u64,
     /// Messages this regime sent on channels.
     pub messages_sent: u64,
     /// Messages this regime received from channels.
@@ -71,6 +75,10 @@ pub struct Totals {
     pub channel_bytes: u64,
     /// Regime faults.
     pub faults: u64,
+    /// Regime restarts (re-imaged from boot after a fault).
+    pub restarts: u64,
+    /// Frame retransmissions (distributed realization only).
+    pub retransmissions: u64,
     /// Policy mediations (conventional baseline only — always zero for the
     /// separation kernel, which is the paper's point).
     pub policy_mediations: u64,

@@ -175,6 +175,8 @@ pub fn metrics_json(m: &Metrics) -> Json {
         .field("messages", t.messages)
         .field("channel_bytes", t.channel_bytes)
         .field("faults", t.faults)
+        .field("restarts", t.restarts)
+        .field("retransmissions", t.retransmissions)
         .field("policy_mediations", t.policy_mediations)
         .field("wire_messages", t.wire_messages)
         .field("wire_bytes", t.wire_bytes);
@@ -195,6 +197,8 @@ pub fn metrics_json(m: &Metrics) -> Json {
                     .field("interrupts_delivered", c.interrupts_delivered)
                     .field("interrupts_discarded", c.interrupts_discarded)
                     .field("faults", c.faults)
+                    .field("restarts", c.restarts)
+                    .field("retransmissions", c.retransmissions)
                     .field("messages_sent", c.messages_sent)
                     .field("messages_received", c.messages_received)
                     .field("channel_bytes_sent", c.channel_bytes_sent)

@@ -18,6 +18,13 @@ echo "==> scheduler differential suite (release: policies vs the seed kernel)"
 cargo test --release -q -p sep-kernel --test sched_differential \
   --test sched_edge_cases --test bugfix_regressions
 
+echo "==> fault-storm differential suite (release: containment, PoS with fault ops)"
+cargo test --release -q -p sep-kernel --test fault_differential
+
+echo "==> e9 fault storm bench (goodput under loss; seeds recorded in the report)"
+cargo run -q --release -p sep-bench --bin e9_fault_storm > /dev/null
+test -s BENCH_obs_e9_fault_storm.json
+
 echo "==> clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 

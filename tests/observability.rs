@@ -63,19 +63,23 @@ fn identical_runs_render_byte_identical_reports() {
 fn report_matches_the_pre_scheduler_refactor_golden() {
     // `tests/golden/observability_roundrobin.json` was rendered before the
     // scheduler layer existed. The default (round-robin) kernel must still
-    // produce it byte for byte — the only permitted difference is the
-    // `interrupts_discarded` counter this PR added to the schema, so those
-    // lines are filtered from the fresh report before comparing.
+    // produce it byte for byte — the only permitted differences are the
+    // counters later PRs added to the schema (`interrupts_discarded` from
+    // the scheduler PR, `restarts`/`retransmissions` from the fault PR), so
+    // those lines are filtered from the fresh report before comparing.
     let golden = include_str!("golden/observability_roundrobin.json");
     let fresh: String = run_report(1500)
         .lines()
-        .filter(|l| !l.contains("\"interrupts_discarded\""))
+        .filter(|l| {
+            !l.contains("\"interrupts_discarded\"")
+                && !l.contains("\"restarts\"")
+                && !l.contains("\"retransmissions\"")
+        })
         .map(|l| format!("{l}\n"))
         .collect();
-    assert!(
-        !golden.contains("interrupts_discarded"),
-        "golden predates the field"
-    );
+    for field in ["interrupts_discarded", "restarts", "retransmissions"] {
+        assert!(!golden.contains(field), "golden predates the {field} field");
+    }
     assert_eq!(golden, fresh);
 }
 
