@@ -141,6 +141,8 @@ pub fn checker_run_json(report: &CheckReport, stats: Option<&ExploreStats>) -> J
             .field("levels", s.levels)
             .field("max_frontier", s.max_frontier)
             .field("truncated", s.truncated)
+            .field("fp_states", s.fp_states)
+            .field("fp_bytes", s.fp_bytes)
             .field(
                 "per_shard",
                 Json::Arr(

@@ -29,6 +29,7 @@ use sep_machine::psw::{Mode, Psw};
 use sep_machine::types::Word;
 use sep_model::abstraction::Abstraction;
 use sep_model::check::{CheckReport, SeparabilityChecker};
+use sep_model::fp::Dedup;
 use sep_model::parallel::{ExploreStats, ParallelSeparabilityChecker, SpillConfig};
 use sep_model::system::{Finite, Projected, SharedSystem};
 use std::hash::{Hash, Hasher};
@@ -115,6 +116,11 @@ pub struct KernelSystem {
     /// Whether [`KOp::Fault`] is in the op set and exploration additionally
     /// starts from each per-regime pre-faulted initial state.
     pub fault_ops: bool,
+    /// Exploration seen-set policy: 128-bit fingerprints (default) or full
+    /// resident states. Both give the same exploration order and verdicts
+    /// (pinned by the hotpath differential suite); exact dedup trades
+    /// memory for immunity to fingerprint collisions.
+    pub dedup: Dedup,
 }
 
 impl KernelSystem {
@@ -150,7 +156,14 @@ impl KernelSystem {
             inputs: vec![KInput(vec![None; n])],
             state_limit: 200_000,
             fault_ops: false,
+            dedup: Dedup::default(),
         })
+    }
+
+    /// Selects the exploration seen-set policy (fingerprint vs exact).
+    pub fn with_dedup(mut self, dedup: Dedup) -> KernelSystem {
+        self.dedup = dedup;
+        self
     }
 
     /// Adds [`KOp::Fault`] to the op set, so the Proof of Separability
@@ -285,11 +298,12 @@ impl Projected for KernelSystem {
 
 impl Finite for KernelSystem {
     fn states(&self) -> Vec<KernelState> {
-        let (states, truncated) = sep_model::explore::reachable_states(
+        let (states, truncated) = sep_model::explore::reachable_states_with(
             self,
             &self.initial_states(),
             &self.inputs,
             self.state_limit,
+            self.dedup,
         );
         assert!(
             !truncated,
@@ -351,15 +365,17 @@ impl KernelSystem {
             CheckerSelect::Sequential => {
                 (SeparabilityChecker::new().check(self, &abstractions), None)
             }
-            CheckerSelect::Sharded { shards } => {
-                self.run_sharded(ParallelSeparabilityChecker::new(*shards), &abstractions)
-            }
+            CheckerSelect::Sharded { shards } => self.run_sharded(
+                ParallelSeparabilityChecker::new(*shards).with_dedup(self.dedup),
+                &abstractions,
+            ),
             CheckerSelect::ShardedSpill {
                 shards,
                 max_resident,
             } => self.run_sharded(
                 ParallelSeparabilityChecker::new(*shards)
-                    .with_spill(SpillConfig::new(*max_resident)),
+                    .with_spill(SpillConfig::new(*max_resident))
+                    .with_dedup(self.dedup),
                 &abstractions,
             ),
         }

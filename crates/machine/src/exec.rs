@@ -9,9 +9,10 @@
 
 use crate::cpu::Cpu;
 use crate::dev::{DeviceSet, DmaOp, InterruptRequest};
+use crate::hotpath::{Cached, DecodeCache, FetchWin, Tlb};
 use crate::isa::{decode, BinOp, BranchCond, Instr, Operand, UnOp};
-use crate::mem::Memory;
-use crate::mmu::{Mmu, MmuAbort};
+use crate::mem::{Memory, IO_BASE};
+use crate::mmu::{Access, Mmu, MmuAbort};
 use crate::types::{is_neg_b, is_neg_w, sign_extend_byte, PhysAddr, Word, SIGN_W};
 use sep_obs::{ObsEvent, Recorder, TrapKind, NO_CONTEXT};
 
@@ -72,7 +73,7 @@ pub enum Event {
 }
 
 /// The complete machine.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Machine {
     /// CPU registers and PSW.
     pub cpu: Cpu,
@@ -92,6 +93,39 @@ pub struct Machine {
     /// off unless the embedder enables it. Not part of machine state: the
     /// verification adapter's state vector never reads it.
     pub obs: Recorder,
+    /// Whether the fast-path caches are consulted. On by default; the
+    /// differential test suite runs both settings and pins them identical.
+    hotpath: bool,
+    /// Decoded-instruction cache (pure memo of `decode`; never invalidates).
+    icache: DecodeCache,
+    /// Software TLB, invalidated wholesale whenever the MMU generation
+    /// moves (every PAR/PDR load).
+    tlb: Tlb,
+    /// One-entry instruction-fetch window in front of the TLB.
+    win: FetchWin,
+}
+
+/// Cloning resets the fast-path caches: they memoize pure functions, so an
+/// empty cache is always a valid (and cheap) starting point, and a cloned
+/// machine — a verify-template snapshot or a `FaultPolicy::Restart`
+/// re-image source — must behave byte-identically to a fresh boot.
+impl Clone for Machine {
+    fn clone(&self) -> Machine {
+        Machine {
+            cpu: self.cpu,
+            mmu: self.mmu.clone(),
+            mem: self.mem.clone(),
+            devices: self.devices.clone(),
+            allow_dma: self.allow_dma,
+            steps: self.steps,
+            instructions: self.instructions,
+            obs: self.obs.clone(),
+            hotpath: self.hotpath,
+            icache: DecodeCache::new(),
+            tlb: Tlb::new(),
+            win: FetchWin::new(),
+        }
+    }
 }
 
 /// Where an operand lives after addressing-mode resolution.
@@ -119,7 +153,28 @@ impl Machine {
             steps: 0,
             instructions: 0,
             obs: Recorder::disabled(),
+            hotpath: true,
+            icache: DecodeCache::new(),
+            tlb: Tlb::new(),
+            win: FetchWin::new(),
         }
+    }
+
+    /// Enables or disables the fast-path caches (decode cache + software
+    /// TLB + batched stepping). Turning the fast path off also drops any
+    /// cached entries, so a subsequent re-enable starts cold.
+    pub fn set_hotpath(&mut self, on: bool) {
+        self.hotpath = on;
+        if !on {
+            self.icache = DecodeCache::new();
+            self.tlb = Tlb::new();
+            self.win = FetchWin::new();
+        }
+    }
+
+    /// Whether the fast-path caches are in use.
+    pub fn hotpath(&self) -> bool {
+        self.hotpath
     }
 
     /// Advances the machine one step: the tick phase (device time and DMA)
@@ -232,14 +287,82 @@ impl Machine {
         None
     }
 
+    /// Runs up to `n` steps, returning the number of steps taken and the
+    /// first non-[`Event::Ran`] event if one cut the batch short.
+    ///
+    /// Semantically identical to calling [`Machine::step`] `n` times and
+    /// stopping at the first non-`Ran` result — with devices attached (or
+    /// DMA allowed) it does exactly that, since device time must advance
+    /// step by step. A deviceless machine takes a batched loop instead:
+    /// the per-step device scan disappears and the per-instruction recorder
+    /// dispatch collapses into one bump at the end (the context cannot
+    /// change mid-batch — only the embedder switches context, between
+    /// calls), so instruction-count benches measure the engine rather than
+    /// the bookkeeping.
+    pub fn step_n(&mut self, n: u64) -> (u64, Option<Event>) {
+        if !self.devices.is_empty() || self.allow_dma {
+            for k in 1..=n {
+                let ev = self.step();
+                if ev != Event::Ran {
+                    return (k, Some(ev));
+                }
+            }
+            return (n, None);
+        }
+        let retired_before = self.instructions;
+        let mut taken = 0;
+        let mut outcome = None;
+        while taken < n {
+            self.steps += 1;
+            taken += 1;
+            match self.execute_inner(false) {
+                Ok(Event::Ran) => {}
+                Ok(ev) => {
+                    outcome = Some(ev);
+                    break;
+                }
+                Err(t) => {
+                    outcome = Some(Event::Trap(t));
+                    break;
+                }
+            }
+        }
+        let retired = self.instructions - retired_before;
+        if retired > 0 {
+            self.obs.instructions_retired(retired);
+        }
+        if let Some(Event::Trap(trap)) = &outcome {
+            self.note_trap(*trap);
+        }
+        (taken, outcome)
+    }
+
     // ------------------------------------------------------------------
     // Bus access (virtual, through the MMU, routed to RAM or devices).
     // ------------------------------------------------------------------
 
-    fn translate(&self, vaddr: Word, write: bool) -> Result<PhysAddr, Trap> {
-        self.mmu
-            .translate(vaddr, self.cpu.psw.mode(), write)
-            .map_err(Trap::Mmu)
+    fn translate(&mut self, vaddr: Word, write: bool) -> Result<PhysAddr, Trap> {
+        let mode = self.cpu.psw.mode();
+        if self.hotpath && self.mmu.enabled {
+            let generation = self.mmu.generation();
+            if self.tlb.stale(generation) {
+                self.tlb.reset(generation);
+                self.obs.metrics.hotpath.tlb_invalidations += 1;
+            }
+            let seg = (vaddr >> 13) as usize;
+            let offset = (vaddr & 0o17777) as u32;
+            if let Some(p) = self.tlb.lookup(mode, seg, offset, write) {
+                self.obs.metrics.hotpath.tlb_hits += 1;
+                return Ok(p);
+            }
+            self.obs.metrics.hotpath.tlb_misses += 1;
+            let p = self.mmu.translate(vaddr, mode, write).map_err(Trap::Mmu)?;
+            let d = self.mmu.segment(mode, seg);
+            self.tlb
+                .fill(mode, seg, d.base(), d.len(), d.access == Access::ReadWrite);
+            return Ok(p);
+        }
+        self.mmu.translate(vaddr, mode, write).map_err(Trap::Mmu)
     }
 
     /// Reads a word at a virtual address in the current mode.
@@ -331,16 +454,145 @@ impl Machine {
 
     fn fetch_word(&mut self) -> Result<Word, Trap> {
         let pc = self.cpu.pc;
+        if self.hotpath && self.mmu.enabled {
+            if let Some(p) = self
+                .win
+                .lookup(pc, self.mmu.generation(), self.cpu.psw.mode())
+            {
+                self.obs.metrics.hotpath.tlb_hits += 1;
+                self.cpu.pc = pc.wrapping_add(2);
+                return Ok(self.mem.read_word(p));
+            }
+        }
         let w = self.read_word_v(pc)?;
         self.cpu.pc = pc.wrapping_add(2);
+        if self.hotpath && self.mmu.enabled {
+            self.fill_fetch_window(pc);
+        }
         Ok(w)
     }
 
+    /// Caches the PC's segment as the fetch window. Called only after a
+    /// successful instruction-stream read, so the segment is known readable
+    /// under the current generation; the whole span must lie in RAM so the
+    /// window's direct memory read can never shadow a device register.
+    fn fill_fetch_window(&mut self, pc: Word) {
+        let mode = self.cpu.psw.mode();
+        let seg = pc >> 13;
+        let d = self.mmu.segment(mode, seg as usize);
+        let base = d.base();
+        let len = d.len();
+        if len > 0 && base + len <= IO_BASE {
+            let lo = seg << 13;
+            self.win.fill(
+                self.mmu.generation(),
+                mode,
+                lo,
+                ((seg as u32) << 13) + len,
+                base,
+            );
+        } else {
+            self.win.clear();
+        }
+    }
+
+    /// Reads an immediate operand (addressing mode 2 on the PC) through the
+    /// fetch window. The slow path advances the PC past the literal *before*
+    /// reading it — `resolve` increments first — so a trapping read must
+    /// leave the PC beyond the operand; this preserves that order.
+    #[inline]
+    fn read_imm(&mut self) -> Result<Word, Trap> {
+        let a = self.cpu.pc;
+        self.cpu.pc = a.wrapping_add(2);
+        if self.mmu.enabled {
+            if let Some(p) = self
+                .win
+                .lookup(a, self.mmu.generation(), self.cpu.psw.mode())
+            {
+                self.obs.metrics.hotpath.tlb_hits += 1;
+                return Ok(self.mem.read_word(p));
+            }
+        }
+        self.read_word_v(a)
+    }
+
     fn execute_one(&mut self) -> Result<Event, Trap> {
+        self.execute_inner(true)
+    }
+
+    /// Fetches, decodes (through the i-cache when the fast path is on), and
+    /// dispatches one instruction. With `count_obs` false the recorder bump
+    /// is skipped — [`Machine::step_n`] batches it after the loop.
+    ///
+    /// The hot path runs the specialized register-direct forms inline with
+    /// the same ALU helpers the generic dispatcher uses, so the two paths
+    /// cannot drift; everything else falls through to [`Machine::dispatch`].
+    fn execute_inner(&mut self, count_obs: bool) -> Result<Event, Trap> {
         let word = self.fetch_word()?;
-        let instr = decode(word).ok_or(Trap::Illegal { word })?;
+        if !self.hotpath {
+            let instr = decode(word).ok_or(Trap::Illegal { word })?;
+            self.instructions += 1;
+            if count_obs {
+                self.obs.instruction_retired();
+            }
+            return self.dispatch(word, instr);
+        }
+        let cached = match self.icache.get(word) {
+            Some(c) => {
+                self.obs.metrics.hotpath.icache_hits += 1;
+                c
+            }
+            None => {
+                self.obs.metrics.hotpath.icache_misses += 1;
+                let i = decode(word).ok_or(Trap::Illegal { word })?;
+                let c = Cached::specialize(i);
+                self.icache.fill(word, c);
+                c
+            }
+        };
         self.instructions += 1;
-        self.obs.instruction_retired();
+        if count_obs {
+            self.obs.instruction_retired();
+        }
+        match cached {
+            Cached::RegReg { op, src, dst } => {
+                let s = self.cpu.reg(src);
+                let d = self.cpu.reg(dst);
+                let (wb, (n, z, v, c)) = alu2_w(op, s, d, self.cpu.psw.c());
+                if let Some(r) = wb {
+                    self.cpu.set_reg(dst, r);
+                }
+                self.cpu.psw.set_nzvc(n, z, v, c);
+                Ok(Event::Ran)
+            }
+            Cached::ImmReg { op, dst } => {
+                let s = self.read_imm()?;
+                let d = self.cpu.reg(dst);
+                let (wb, (n, z, v, c)) = alu2_w(op, s, d, self.cpu.psw.c());
+                if let Some(r) = wb {
+                    self.cpu.set_reg(dst, r);
+                }
+                self.cpu.psw.set_nzvc(n, z, v, c);
+                Ok(Event::Ran)
+            }
+            Cached::OneReg { op, reg } => {
+                let d = self.cpu.reg(reg);
+                let (wb, (n, z, v, c)) = alu1_w(op, d, self.cpu.psw.n(), self.cpu.psw.c());
+                if let Some(r) = wb {
+                    self.cpu.set_reg(reg, r);
+                }
+                self.cpu.psw.set_nzvc(n, z, v, c);
+                Ok(Event::Ran)
+            }
+            Cached::Branch { cond, offset } => {
+                self.exec_branch(cond, offset);
+                Ok(Event::Ran)
+            }
+            Cached::Generic(instr) => self.dispatch(word, instr),
+        }
+    }
+
+    fn dispatch(&mut self, word: Word, instr: Instr) -> Result<Event, Trap> {
         match instr {
             Instr::Double { op, byte, src, dst } => self.exec_double(op, byte, src, dst)?,
             Instr::Single { op, byte, dst } => self.exec_single(op, byte, dst)?,
@@ -513,52 +765,18 @@ impl Machine {
             self.read_place_w(sp)?
         };
         let dp = self.resolve(dst, false)?;
-        let c = self.cpu.psw.c();
-        match op {
-            BinOp::Mov => {
-                self.write_place_w(dp, s)?;
-                self.cpu.psw.set_nz_w(s, false, c);
-            }
-            BinOp::Cmp => {
-                let d = self.read_place_w(dp)?;
-                let r = s.wrapping_sub(d);
-                let v = (is_neg_w(s) != is_neg_w(d)) && (is_neg_w(r) == is_neg_w(d));
-                let borrow = (s as u32) < (d as u32);
-                self.cpu.psw.set_nzvc(is_neg_w(r), r == 0, v, borrow);
-            }
-            BinOp::Bit => {
-                let d = self.read_place_w(dp)?;
-                let r = s & d;
-                self.cpu.psw.set_nz_w(r, false, c);
-            }
-            BinOp::Bic => {
-                let d = self.read_place_w(dp)?;
-                let r = d & !s;
-                self.write_place_w(dp, r)?;
-                self.cpu.psw.set_nz_w(r, false, c);
-            }
-            BinOp::Bis => {
-                let d = self.read_place_w(dp)?;
-                let r = d | s;
-                self.write_place_w(dp, r)?;
-                self.cpu.psw.set_nz_w(r, false, c);
-            }
-            BinOp::Add => {
-                let d = self.read_place_w(dp)?;
-                let (r, carry) = d.overflowing_add(s);
-                let v = (is_neg_w(s) == is_neg_w(d)) && (is_neg_w(r) != is_neg_w(d));
-                self.write_place_w(dp, r)?;
-                self.cpu.psw.set_nzvc(is_neg_w(r), r == 0, v, carry);
-            }
-            BinOp::Sub => {
-                let d = self.read_place_w(dp)?;
-                let r = d.wrapping_sub(s);
-                let v = (is_neg_w(s) != is_neg_w(d)) && (is_neg_w(r) == is_neg_w(s));
-                let borrow = (d as u32) < (s as u32);
-                self.write_place_w(dp, r)?;
-                self.cpu.psw.set_nzvc(is_neg_w(r), r == 0, v, borrow);
-            }
+        // MOV writes without reading its destination — significant when the
+        // destination is a memory operand with read side effects.
+        let d = if op == BinOp::Mov {
+            0
+        } else {
+            self.read_place_w(dp)?
+        };
+        let (wb, (n, z, v, c)) = alu2_w(op, s, d, self.cpu.psw.c());
+        if let Some(r) = wb {
+            self.write_place_w(dp, r)?;
         }
+        self.cpu.psw.set_nzvc(n, z, v, c);
         Ok(())
     }
 
@@ -613,104 +831,18 @@ impl Machine {
             return self.exec_single_b(op, dst);
         }
         let dp = self.resolve(dst, false)?;
-        let c = self.cpu.psw.c();
-        match op {
-            UnOp::Clr => {
-                self.write_place_w(dp, 0)?;
-                self.cpu.psw.set_nzvc(false, true, false, false);
-            }
-            UnOp::Com => {
-                let r = !self.read_place_w(dp)?;
-                self.write_place_w(dp, r)?;
-                self.cpu.psw.set_nzvc(is_neg_w(r), r == 0, false, true);
-            }
-            UnOp::Inc => {
-                let d = self.read_place_w(dp)?;
-                let r = d.wrapping_add(1);
-                self.write_place_w(dp, r)?;
-                self.cpu.psw.set_nzvc(is_neg_w(r), r == 0, d == 0o077777, c);
-            }
-            UnOp::Dec => {
-                let d = self.read_place_w(dp)?;
-                let r = d.wrapping_sub(1);
-                self.write_place_w(dp, r)?;
-                self.cpu.psw.set_nzvc(is_neg_w(r), r == 0, d == SIGN_W, c);
-            }
-            UnOp::Neg => {
-                let r = (self.read_place_w(dp)? as i16).wrapping_neg() as Word;
-                self.write_place_w(dp, r)?;
-                self.cpu
-                    .psw
-                    .set_nzvc(is_neg_w(r), r == 0, r == SIGN_W, r != 0);
-            }
-            UnOp::Adc => {
-                let d = self.read_place_w(dp)?;
-                let add = c as Word;
-                let r = d.wrapping_add(add);
-                self.write_place_w(dp, r)?;
-                self.cpu
-                    .psw
-                    .set_nzvc(is_neg_w(r), r == 0, d == 0o077777 && c, d == 0o177777 && c);
-            }
-            UnOp::Sbc => {
-                let d = self.read_place_w(dp)?;
-                let r = d.wrapping_sub(c as Word);
-                self.write_place_w(dp, r)?;
-                self.cpu
-                    .psw
-                    .set_nzvc(is_neg_w(r), r == 0, d == SIGN_W, !(d == 0 && c));
-            }
-            UnOp::Tst => {
-                let d = self.read_place_w(dp)?;
-                self.cpu.psw.set_nzvc(is_neg_w(d), d == 0, false, false);
-            }
-            UnOp::Ror => {
-                let d = self.read_place_w(dp)?;
-                let r = (d >> 1) | ((c as Word) << 15);
-                let new_c = d & 1 != 0;
-                self.write_place_w(dp, r)?;
-                let n = is_neg_w(r);
-                self.cpu.psw.set_nzvc(n, r == 0, n ^ new_c, new_c);
-            }
-            UnOp::Rol => {
-                let d = self.read_place_w(dp)?;
-                let r = (d << 1) | c as Word;
-                let new_c = is_neg_w(d);
-                self.write_place_w(dp, r)?;
-                let n = is_neg_w(r);
-                self.cpu.psw.set_nzvc(n, r == 0, n ^ new_c, new_c);
-            }
-            UnOp::Asr => {
-                let d = self.read_place_w(dp)?;
-                let r = ((d as i16) >> 1) as Word;
-                let new_c = d & 1 != 0;
-                self.write_place_w(dp, r)?;
-                let n = is_neg_w(r);
-                self.cpu.psw.set_nzvc(n, r == 0, n ^ new_c, new_c);
-            }
-            UnOp::Asl => {
-                let d = self.read_place_w(dp)?;
-                let r = d << 1;
-                let new_c = is_neg_w(d);
-                self.write_place_w(dp, r)?;
-                let n = is_neg_w(r);
-                self.cpu.psw.set_nzvc(n, r == 0, n ^ new_c, new_c);
-            }
-            UnOp::Swab => {
-                let d = self.read_place_w(dp)?;
-                let r = d.rotate_left(8);
-                self.write_place_w(dp, r)?;
-                let low = (r & 0xFF) as u8;
-                self.cpu.psw.set_nzvc(is_neg_b(low), low == 0, false, false);
-            }
-            UnOp::Sxt => {
-                let r = if self.cpu.psw.n() { 0o177777 } else { 0 };
-                self.write_place_w(dp, r)?;
-                let z = !self.cpu.psw.n();
-                let n = self.cpu.psw.n();
-                self.cpu.psw.set_nzvc(n, z, false, c);
-            }
+        // CLR and SXT write without reading — significant for memory
+        // operands with read side effects.
+        let d = if matches!(op, UnOp::Clr | UnOp::Sxt) {
+            0
+        } else {
+            self.read_place_w(dp)?
+        };
+        let (wb, (n, z, v, c)) = alu1_w(op, d, self.cpu.psw.n(), self.cpu.psw.c());
+        if let Some(r) = wb {
+            self.write_place_w(dp, r)?;
         }
+        self.cpu.psw.set_nzvc(n, z, v, c);
         Ok(())
     }
 
@@ -890,6 +1022,118 @@ impl Machine {
         let v_flag = (r < 0) != (v < 0);
         self.cpu.psw.set_nzvc(r < 0, r == 0, v_flag, c);
         Ok(())
+    }
+}
+
+/// Word-size double-operand ALU semantics, shared by the generic dispatcher
+/// and the specialized register-direct fast path so the two cannot drift.
+/// Returns the value to write back (`None` for the non-writing CMP/BIT) and
+/// the resulting condition codes. `d` is ignored for MOV — callers must not
+/// *read* a MOV destination, only write it.
+#[inline]
+fn alu2_w(op: BinOp, s: Word, d: Word, c: bool) -> (Option<Word>, (bool, bool, bool, bool)) {
+    match op {
+        BinOp::Mov => (Some(s), (is_neg_w(s), s == 0, false, c)),
+        BinOp::Cmp => {
+            let r = s.wrapping_sub(d);
+            let v = (is_neg_w(s) != is_neg_w(d)) && (is_neg_w(r) == is_neg_w(d));
+            let borrow = (s as u32) < (d as u32);
+            (None, (is_neg_w(r), r == 0, v, borrow))
+        }
+        BinOp::Bit => {
+            let r = s & d;
+            (None, (is_neg_w(r), r == 0, false, c))
+        }
+        BinOp::Bic => {
+            let r = d & !s;
+            (Some(r), (is_neg_w(r), r == 0, false, c))
+        }
+        BinOp::Bis => {
+            let r = d | s;
+            (Some(r), (is_neg_w(r), r == 0, false, c))
+        }
+        BinOp::Add => {
+            let (r, carry) = d.overflowing_add(s);
+            let v = (is_neg_w(s) == is_neg_w(d)) && (is_neg_w(r) != is_neg_w(d));
+            (Some(r), (is_neg_w(r), r == 0, v, carry))
+        }
+        BinOp::Sub => {
+            let r = d.wrapping_sub(s);
+            let v = (is_neg_w(s) != is_neg_w(d)) && (is_neg_w(r) == is_neg_w(s));
+            let borrow = (d as u32) < (s as u32);
+            (Some(r), (is_neg_w(r), r == 0, v, borrow))
+        }
+    }
+}
+
+/// Word-size single-operand ALU semantics, shared like [`alu2_w`]. `n_in`
+/// is the incoming N flag (SXT materializes it); `d` is ignored for CLR and
+/// SXT — callers must not *read* their destination, only write it.
+#[inline]
+fn alu1_w(op: UnOp, d: Word, n_in: bool, c: bool) -> (Option<Word>, (bool, bool, bool, bool)) {
+    match op {
+        UnOp::Clr => (Some(0), (false, true, false, false)),
+        UnOp::Com => {
+            let r = !d;
+            (Some(r), (is_neg_w(r), r == 0, false, true))
+        }
+        UnOp::Inc => {
+            let r = d.wrapping_add(1);
+            (Some(r), (is_neg_w(r), r == 0, d == 0o077777, c))
+        }
+        UnOp::Dec => {
+            let r = d.wrapping_sub(1);
+            (Some(r), (is_neg_w(r), r == 0, d == SIGN_W, c))
+        }
+        UnOp::Neg => {
+            let r = (d as i16).wrapping_neg() as Word;
+            (Some(r), (is_neg_w(r), r == 0, r == SIGN_W, r != 0))
+        }
+        UnOp::Adc => {
+            let r = d.wrapping_add(c as Word);
+            (
+                Some(r),
+                (is_neg_w(r), r == 0, d == 0o077777 && c, d == 0o177777 && c),
+            )
+        }
+        UnOp::Sbc => {
+            let r = d.wrapping_sub(c as Word);
+            (Some(r), (is_neg_w(r), r == 0, d == SIGN_W, !(d == 0 && c)))
+        }
+        UnOp::Tst => (None, (is_neg_w(d), d == 0, false, false)),
+        UnOp::Ror => {
+            let r = (d >> 1) | ((c as Word) << 15);
+            let new_c = d & 1 != 0;
+            let n = is_neg_w(r);
+            (Some(r), (n, r == 0, n ^ new_c, new_c))
+        }
+        UnOp::Rol => {
+            let r = (d << 1) | c as Word;
+            let new_c = is_neg_w(d);
+            let n = is_neg_w(r);
+            (Some(r), (n, r == 0, n ^ new_c, new_c))
+        }
+        UnOp::Asr => {
+            let r = ((d as i16) >> 1) as Word;
+            let new_c = d & 1 != 0;
+            let n = is_neg_w(r);
+            (Some(r), (n, r == 0, n ^ new_c, new_c))
+        }
+        UnOp::Asl => {
+            let r = d << 1;
+            let new_c = is_neg_w(d);
+            let n = is_neg_w(r);
+            (Some(r), (n, r == 0, n ^ new_c, new_c))
+        }
+        UnOp::Swab => {
+            let r = d.rotate_left(8);
+            let low = (r & 0xFF) as u8;
+            (Some(r), (is_neg_b(low), low == 0, false, false))
+        }
+        UnOp::Sxt => {
+            let r = if n_in { 0o177777 } else { 0 };
+            (Some(r), (n_in, !n_in, false, c))
+        }
     }
 }
 

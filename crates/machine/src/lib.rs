@@ -28,6 +28,7 @@ pub mod cpu;
 pub mod dev;
 pub mod disasm;
 pub mod exec;
+mod hotpath;
 pub mod isa;
 pub mod mem;
 pub mod mmu;

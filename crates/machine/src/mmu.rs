@@ -109,7 +109,7 @@ pub enum AbortReason {
 }
 
 /// The MMU: eight descriptors per mode plus an enable flag.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone)]
 pub struct Mmu {
     /// Whether relocation is enabled (SR0 bit 0). When disabled, virtual
     /// addresses map 1:1 into low memory, except that the top 8 KiB of
@@ -117,6 +117,33 @@ pub struct Mmu {
     pub enabled: bool,
     kernel: [SegmentDescriptor; 8],
     user: [SegmentDescriptor; 8],
+    /// Translation generation, bumped on every descriptor change. The
+    /// machine's software TLB tags its entries with this and treats any
+    /// mismatch as a whole-TLB invalidation, so a PAR/PDR load — which is
+    /// how every regime switch and partition re-image manifests — can never
+    /// leave a stale translation behind. Starts at 1 so a default-tagged
+    /// (zero) TLB entry can never match.
+    generation: u64,
+}
+
+/// Generation is bookkeeping for the TLB, not architectural state: two MMUs
+/// programmed identically translate identically regardless of how many
+/// descriptor loads it took to get there. Equality and hashing therefore
+/// ignore it, keeping `Machine` snapshots comparable across cache histories.
+impl PartialEq for Mmu {
+    fn eq(&self, other: &Mmu) -> bool {
+        self.enabled == other.enabled && self.kernel == other.kernel && self.user == other.user
+    }
+}
+
+impl Eq for Mmu {}
+
+impl std::hash::Hash for Mmu {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.enabled.hash(state);
+        self.kernel.hash(state);
+        self.user.hash(state);
+    }
 }
 
 impl Default for Mmu {
@@ -132,6 +159,7 @@ impl Mmu {
             enabled: false,
             kernel: Default::default(),
             user: Default::default(),
+            generation: 1,
         }
     }
 
@@ -141,6 +169,7 @@ impl Mmu {
             Mode::Kernel => self.kernel[index] = d,
             Mode::User => self.user[index] = d,
         }
+        self.generation += 1;
     }
 
     /// Reads back a segment descriptor.
@@ -157,6 +186,22 @@ impl Mmu {
             Mode::Kernel => self.kernel = Default::default(),
             Mode::User => self.user = Default::default(),
         }
+        self.generation += 1;
+    }
+
+    /// The current translation generation. Any change to any descriptor
+    /// changes this value; TLB entries tagged with an older generation are
+    /// stale by definition.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Explicitly invalidates all cached translations by bumping the
+    /// generation, for embedders that mutate mapping-relevant state outside
+    /// `set_segment`/`clear_mode`.
+    pub fn invalidate(&mut self) {
+        self.generation += 1;
     }
 
     /// Translates a virtual address, enforcing access and length checks.
@@ -281,5 +326,43 @@ mod tests {
     #[should_panic(expected = "not 64-byte aligned")]
     fn misaligned_base_panics() {
         SegmentDescriptor::mapping(0o40001, 0o100, Access::ReadWrite);
+    }
+
+    #[test]
+    fn generation_bumps_on_every_descriptor_change() {
+        let mut mmu = Mmu::new();
+        let g0 = mmu.generation();
+        mmu.set_segment(
+            Mode::User,
+            0,
+            SegmentDescriptor::mapping(0o40000, 0o20000, Access::ReadWrite),
+        );
+        let g1 = mmu.generation();
+        assert!(g1 > g0);
+        mmu.clear_mode(Mode::User);
+        let g2 = mmu.generation();
+        assert!(g2 > g1);
+        mmu.invalidate();
+        assert!(mmu.generation() > g2);
+    }
+
+    #[test]
+    fn equality_and_hash_ignore_generation() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let digest = |m: &Mmu| {
+            let mut h = DefaultHasher::new();
+            m.hash(&mut h);
+            h.finish()
+        };
+        let mut a = mapped_mmu();
+        let b = mapped_mmu();
+        // Redundant reloads move the generation but not the mapping.
+        let d = a.segment(Mode::User, 0);
+        a.set_segment(Mode::User, 0, d);
+        a.invalidate();
+        assert_ne!(a.generation(), b.generation());
+        assert_eq!(a, b);
+        assert_eq!(digest(&a), digest(&b));
     }
 }

@@ -1,0 +1,458 @@
+//! Differential suite for the fast-path execution engine.
+//!
+//! The decode cache and software TLB memoize pure functions, and `step_n`
+//! batches bookkeeping; none of it may be architecturally visible. Every
+//! test here runs the same workload with the caches on and off (or batched
+//! and unbatched) and pins the results identical — final CPU state, memory,
+//! step/instruction counters, observability metrics and trace. The TLB edge
+//! cases target exactly the places a stale or over-broad entry would show:
+//! PDR length boundaries, a write-protect flip mid-run, kernel/user segment
+//! aliasing, and I/O-page segments whose *contents* must never be cached.
+
+use sep_machine::dev::serial::SerialLine;
+use sep_machine::mmu::{AbortReason, Access, SegmentDescriptor};
+use sep_machine::psw::Mode;
+use sep_machine::{assemble, Event, Machine, Trap};
+use sep_obs::{Recorder, RunReport};
+
+/// Loads a program at physical/virtual 0 (MMU disabled), tracing enabled.
+fn machine_with(source: &str) -> Machine {
+    let prog = assemble(source).expect("assembly failed");
+    let mut m = Machine::new();
+    m.obs = Recorder::with_trace(256);
+    m.mem.load_words(0, &prog.words);
+    m.cpu.pc = prog.origin;
+    m.cpu.set_reg(6, 0o10000);
+    m
+}
+
+/// Everything two runs of the same program could disagree on: final event,
+/// registers, PSW, counters, a memory window, and the rendered
+/// observability report (which excludes the hot-path counters by design —
+/// so it must match across cache settings).
+fn observable(m: &mut Machine, event: Event) -> (Event, String, u64, u64, Vec<u16>, String) {
+    let trace = m.obs.disable_tracing();
+    let report = RunReport::new("hotpath_machine")
+        .run_with_trace("machine", &m.obs.metrics, trace.as_ref(), 32)
+        .render();
+    let regs: Vec<u16> = (0..8).map(|r| m.cpu.reg(r)).collect();
+    (
+        event,
+        format!("{:?} {:o}", regs, m.cpu.psw.cc_bits()),
+        m.steps,
+        m.instructions,
+        m.mem.dump_words(0, 64),
+        report,
+    )
+}
+
+const WORKLOADS: [&str; 4] = [
+    // Tight register loop: maximal decode-cache reuse.
+    "
+        CLR R0
+        MOV #100, R1
+loop:   ADD R1, R0
+        SOB R1, loop
+        HALT
+",
+    // Memory traffic through autoincrement: TLB on every access.
+    "
+        MOV #src, R1
+        MOV #dst, R2
+        MOV #4, R3
+loop:   MOV (R1)+, (R2)+
+        SOB R3, loop
+        HALT
+src:    .word 0o111, 0o222, 0o333, 0o444
+dst:    .blkw 4
+",
+    // Subroutines and the stack.
+    "
+        MOV #5, R0
+        JSR PC, double
+        JSR PC, double
+        JSR PC, double
+        HALT
+double: ADD R0, R0
+        RTS PC
+",
+    // Byte operations, sign extension, condition codes.
+    "
+        MOVB #-1, R0
+        MOVB #65, R1
+        CMP R0, R1
+        BLT less
+        MOV #0, R5
+        HALT
+less:   MOV #1, R5
+        HALT
+",
+];
+
+#[test]
+fn caches_on_and_off_execute_identically() {
+    for (i, src) in WORKLOADS.iter().enumerate() {
+        let mut fast = machine_with(src);
+        assert!(fast.hotpath(), "hotpath is the default");
+        let ev_fast = fast.run_until_event(10_000).expect("fast run halts").0;
+
+        let mut slow = machine_with(src);
+        slow.set_hotpath(false);
+        let ev_slow = slow.run_until_event(10_000).expect("slow run halts").0;
+
+        assert_eq!(
+            observable(&mut fast, ev_fast),
+            observable(&mut slow, ev_slow),
+            "workload {i}: caches changed the architecture"
+        );
+        if src.contains("loop:") {
+            assert!(
+                fast.obs.metrics.hotpath.icache_hits > 0,
+                "workload {i}: the fast run never hit its decode cache"
+            );
+        }
+        assert_eq!(
+            slow.obs.metrics.hotpath.icache_hits + slow.obs.metrics.hotpath.tlb_hits,
+            0,
+            "workload {i}: the slow run consulted a cache"
+        );
+    }
+}
+
+#[test]
+fn step_n_matches_step_loop() {
+    for (i, src) in WORKLOADS.iter().enumerate() {
+        let mut stepped = machine_with(src);
+        let ev_stepped = stepped
+            .run_until_event(10_000)
+            .expect("stepped run halts")
+            .0;
+
+        // Drive the batched engine in awkward batch sizes; the final
+        // non-Ran event cuts a batch short.
+        let mut batched = machine_with(src);
+        let ev_batched = loop {
+            let (taken, outcome) = batched.step_n(7);
+            assert!(taken <= 7);
+            if let Some(ev) = outcome {
+                break ev;
+            }
+            assert_eq!(taken, 7, "a full batch reports all steps taken");
+        };
+
+        assert_eq!(
+            observable(&mut stepped, ev_stepped),
+            observable(&mut batched, ev_batched),
+            "workload {i}: step_n diverged from the step loop"
+        );
+    }
+}
+
+#[test]
+fn step_n_with_devices_falls_back_to_per_step_semantics() {
+    // Device time must advance step by step; step_n with a device attached
+    // is exactly a step loop, including the transmitted output.
+    let src = "
+        MOV #0o177564, R4
+        MOV #msg, R1
+        MOV #2, R2
+next:   BIT #0o200, (R4)
+        BEQ next
+        MOVB (R1)+, 2(R4)
+        SOB R2, next
+        HALT
+msg:    .ascii \"OK\"
+";
+    let run = |batched: bool| {
+        let mut m = machine_with(src);
+        let tty = m
+            .devices
+            .attach(Box::new(SerialLine::new("tty", 0o777560, 0o60, 4)));
+        let ev = if batched {
+            loop {
+                let (_, outcome) = m.step_n(5);
+                if let Some(ev) = outcome {
+                    break ev;
+                }
+            }
+        } else {
+            m.run_until_event(10_000).expect("run halts").0
+        };
+        let out = m
+            .devices
+            .downcast_mut::<SerialLine>(tty)
+            .unwrap()
+            .host_take_output();
+        let obs = observable(&mut m, ev);
+        (obs, out)
+    };
+    assert_eq!(run(false), run(true));
+}
+
+// ---------------------------------------------------------------------------
+// Machine::clone regression: a clone must behave like a fresh boot.
+// ---------------------------------------------------------------------------
+
+/// A user-mode program under the MMU, as `FaultPolicy::Restart` re-imaging
+/// sees it: boot template cloned, run, cloned again mid-flight.
+fn mapped_machine() -> Machine {
+    let prog = assemble(
+        "
+start:  INC counter
+        BIC #0o177774, counter
+        MOV counter, R1
+        BR start
+counter: .word 0
+",
+    )
+    .unwrap();
+    let mut m = Machine::new();
+    m.obs = Recorder::with_trace(256);
+    m.mem.load_words(0o40000, &prog.words);
+    m.mmu.enabled = true;
+    m.mmu.set_segment(
+        Mode::User,
+        0,
+        SegmentDescriptor::mapping(0o40000, 0o20000, Access::ReadWrite),
+    );
+    m.cpu.psw.set_mode(Mode::User);
+    m.cpu.pc = 0;
+    m.cpu.set_reg(6, 0o17776);
+    m
+}
+
+#[test]
+fn cloned_machine_trace_is_byte_identical_to_fresh_boot() {
+    // Warm run: caches hot after 50 steps.
+    let mut warm = mapped_machine();
+    for _ in 0..50 {
+        assert_eq!(warm.step(), Event::Ran);
+    }
+    assert!(warm.obs.metrics.hotpath.tlb_hits > 0, "caches are warm");
+
+    // Clone the warm machine (caches reset by Clone) and a cold control
+    // that replays the same 50 steps from the template without ever
+    // warming anything (hotpath off).
+    let mut cloned = warm.clone();
+    let mut cold = mapped_machine();
+    cold.set_hotpath(false);
+    for _ in 0..50 {
+        assert_eq!(cold.step(), Event::Ran);
+    }
+
+    // The modelled state agrees at the fork point...
+    assert_eq!(cloned.cpu, cold.cpu);
+    assert_eq!(cloned.mmu, cold.mmu);
+    assert_eq!(
+        cloned.mem.dump_words(0o40000, 32),
+        cold.mem.dump_words(0o40000, 32)
+    );
+
+    // ...and stays in lockstep for the rest of the run: the clone must not
+    // remember (or miss) anything the fresh boot would not.
+    for step in 0..200 {
+        assert_eq!(cloned.step(), cold.step(), "step {step} after the clone");
+    }
+    let a = observable(&mut cloned, Event::Ran);
+    let b = observable(&mut cold, Event::Ran);
+    assert_eq!(a, b, "clone diverged from fresh boot");
+}
+
+#[test]
+fn clone_then_reimage_matches_a_never_run_template() {
+    // The restart pattern from sep-kernel: keep a boot template, run a
+    // working copy until it faults, then re-image from the template. The
+    // re-imaged copy must replay the template's exact trace even though the
+    // working copy left hot caches behind on the donor machine.
+    let template = mapped_machine();
+    let mut working = template.clone();
+    for _ in 0..137 {
+        working.step();
+    }
+    let mut reimaged = template.clone();
+    let mut pristine = mapped_machine();
+    for step in 0..300 {
+        assert_eq!(reimaged.step(), pristine.step(), "step {step}");
+        assert_eq!(reimaged.cpu, pristine.cpu, "step {step}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TLB edge cases.
+// ---------------------------------------------------------------------------
+
+/// A machine in user mode with segment 0 mapped RW to 0o40000, ready for
+/// hand-driven virtual accesses.
+fn tlb_harness(len: u32) -> Machine {
+    let mut m = Machine::new();
+    m.mmu.enabled = true;
+    m.mmu.set_segment(
+        Mode::User,
+        0,
+        SegmentDescriptor::mapping(0o40000, len, Access::ReadWrite),
+    );
+    m.cpu.psw.set_mode(Mode::User);
+    m
+}
+
+#[test]
+fn tlb_honours_pdr_length_boundary() {
+    // A short segment: 0o1000 bytes. Warm the TLB with in-bounds accesses,
+    // then probe the boundary — a careless TLB would honour the cached
+    // base for any offset in the segment.
+    let len = 0o1000;
+    let mut m = tlb_harness(len);
+    let last = (len - 2) as u16;
+
+    m.write_word_v(last, 0o1234)
+        .expect("last word is in bounds");
+    assert_eq!(m.read_word_v(last).unwrap(), 0o1234);
+    assert!(m.obs.metrics.hotpath.tlb_hits > 0, "TLB warmed");
+
+    // One word past the boundary: must abort even on a warm TLB.
+    for vaddr in [len as u16, (len + 2) as u16] {
+        match m.read_word_v(vaddr) {
+            Err(Trap::Mmu(abort)) => {
+                assert_eq!(
+                    abort.reason,
+                    AbortReason::LengthViolation,
+                    "vaddr {vaddr:o}"
+                );
+            }
+            other => panic!("expected length violation at {vaddr:o}, got {other:?}"),
+        }
+    }
+    // One byte under the boundary is still fine (byte access at len-1).
+    assert!(m.read_byte_v((len - 1) as u16).is_ok());
+    assert!(m.read_byte_v(len as u16).is_err());
+
+    // Differential: the same probes with the caches off agree.
+    let mut slow = tlb_harness(len);
+    slow.set_hotpath(false);
+    slow.write_word_v(last, 0o1234).unwrap();
+    assert_eq!(slow.read_word_v(last).unwrap(), 0o1234);
+    assert!(matches!(
+        slow.read_word_v(len as u16),
+        Err(Trap::Mmu(a)) if a.reason == AbortReason::LengthViolation
+    ));
+}
+
+#[test]
+fn write_protect_flip_mid_run_invalidates_the_tlb() {
+    let mut m = tlb_harness(0o20000);
+    // Warm the TLB with a *write* (caches the writable bit).
+    m.write_word_v(0o100, 0o42).unwrap();
+    assert_eq!(m.read_word_v(0o100).unwrap(), 0o42);
+
+    // Flip the segment read-only: the PDR load bumps the generation, so
+    // the cached writable entry must not survive.
+    m.mmu.set_segment(
+        Mode::User,
+        0,
+        SegmentDescriptor::mapping(0o40000, 0o20000, Access::ReadOnly),
+    );
+    match m.write_word_v(0o100, 0o43) {
+        Err(Trap::Mmu(abort)) => assert_eq!(abort.reason, AbortReason::ReadOnlyViolation),
+        other => panic!("stale TLB honoured a write to a read-only segment: {other:?}"),
+    }
+    // Reads still work, and the memory still holds the pre-flip value.
+    assert_eq!(m.read_word_v(0o100).unwrap(), 0o42);
+
+    // Flip back: writes work again.
+    m.mmu.set_segment(
+        Mode::User,
+        0,
+        SegmentDescriptor::mapping(0o40000, 0o20000, Access::ReadWrite),
+    );
+    m.write_word_v(0o100, 0o44).unwrap();
+    assert_eq!(m.read_word_v(0o100).unwrap(), 0o44);
+    assert!(
+        m.obs.metrics.hotpath.tlb_invalidations >= 2,
+        "each descriptor flip must invalidate: {:?}",
+        m.obs.metrics.hotpath
+    );
+}
+
+#[test]
+fn kernel_and_user_modes_do_not_share_tlb_entries() {
+    // The same virtual address maps to different frames in the two modes.
+    let mut m = Machine::new();
+    m.mmu.enabled = true;
+    m.mmu.set_segment(
+        Mode::Kernel,
+        0,
+        SegmentDescriptor::mapping(0o40000, 0o20000, Access::ReadWrite),
+    );
+    m.mmu.set_segment(
+        Mode::User,
+        0,
+        SegmentDescriptor::mapping(0o60000, 0o20000, Access::ReadWrite),
+    );
+    m.mem.write_word(0o40100, 0o1111);
+    m.mem.write_word(0o60100, 0o2222);
+
+    // Interleave the modes: each lookup must land in its own frame even
+    // with the other mode's entry warm in the TLB.
+    for round in 0..3 {
+        m.cpu.psw.set_mode(Mode::Kernel);
+        assert_eq!(m.read_word_v(0o100).unwrap(), 0o1111, "round {round}");
+        m.cpu.psw.set_mode(Mode::User);
+        assert_eq!(m.read_word_v(0o100).unwrap(), 0o2222, "round {round}");
+    }
+    // User writes stay in the user frame.
+    m.write_word_v(0o102, 0o3333).unwrap();
+    assert_eq!(m.mem.read_word(0o60102), 0o3333);
+    assert_eq!(m.mem.read_word(0o40102), 0);
+}
+
+#[test]
+fn io_page_segment_reads_the_device_not_a_cached_value() {
+    // Map user segment 0 straight onto the I/O page. The TLB may cache the
+    // *translation*, but every access must still reach the device: a TLB
+    // hit on an I/O address that returned stale register contents would be
+    // invisible to most programs and fatal to all of them.
+    const IO_BASE: u32 = (1 << 18) - 8 * 1024;
+    let mut m = Machine::new();
+    m.devices
+        .attach(Box::new(SerialLine::new("tty", 0o777560, 0o60, 4)));
+    m.mmu.enabled = true;
+    m.mmu.set_segment(
+        Mode::User,
+        0,
+        SegmentDescriptor::mapping(IO_BASE, 0o20000, Access::ReadWrite),
+    );
+    m.cpu.psw.set_mode(Mode::User);
+
+    // RCSR sits at physical 0o777560 → virtual offset 0o17560.
+    let rcsr = 0o17560;
+    let quiet = m.read_word_v(rcsr).unwrap();
+    assert_eq!(quiet & 0o200, 0, "no input pending yet");
+    // Now the host sends a byte; the device state changes under a warm TLB
+    // entry, and the next read must see it.
+    m.devices
+        .downcast_mut::<SerialLine>(0)
+        .unwrap()
+        .host_send(b"x");
+    m.devices.tick_all();
+    let ready = m.read_word_v(rcsr).unwrap();
+    assert_ne!(quiet, ready, "TLB hit returned a stale device register");
+    assert_ne!(ready & 0o200, 0, "RX done bit visible through the mapping");
+    assert!(m.obs.metrics.hotpath.tlb_hits > 0, "the path was cached");
+}
+
+#[test]
+fn mmu_disabled_compat_window_is_unaffected_by_hotpath() {
+    // With the MMU off the TLB never engages; the 0o160000.. I/O window
+    // must behave identically either way.
+    for hot in [true, false] {
+        let mut m = machine_with("MOV @#0o177560, R0\nHALT");
+        m.set_hotpath(hot);
+        // No device: bus error, same under both settings.
+        assert!(matches!(
+            m.run_until_event(100).unwrap().0,
+            Event::Trap(Trap::BusError { .. })
+        ));
+        assert_eq!(m.obs.metrics.hotpath.tlb_hits, 0, "hot={hot}");
+        assert_eq!(m.obs.metrics.hotpath.tlb_misses, 0, "hot={hot}");
+    }
+}

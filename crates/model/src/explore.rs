@@ -11,6 +11,7 @@
 
 use crate::abstraction::Abstraction;
 use crate::check::{CheckReport, Condition};
+use crate::fp::{fingerprint, Dedup};
 use crate::rng::SplitMix64;
 use crate::system::{Projected, SharedSystem};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -20,35 +21,77 @@ use std::collections::{HashMap, HashSet, VecDeque};
 /// by `limit` states.
 ///
 /// Returns the reachable set in discovery (BFS) order and a flag that is
-/// `true` when exploration was truncated by the limit.
+/// `true` when exploration was truncated by the limit. States are
+/// deduplicated by 128-bit fingerprint ([`Dedup::Fingerprint`]); use
+/// [`reachable_states_with`] to select exact dedup instead — the
+/// `explore_determinism` suite pins both to the identical order.
 pub fn reachable_states<S: SharedSystem>(
     sys: &S,
     initial: &[S::State],
     inputs: &[S::Input],
     limit: usize,
 ) -> (Vec<S::State>, bool) {
-    let mut seen: HashSet<S::State> = HashSet::new();
+    reachable_states_with(sys, initial, inputs, limit, Dedup::default())
+}
+
+/// [`reachable_states`] with an explicit seen-set policy.
+///
+/// Each discovered state is stored exactly once, in `order`; the queue
+/// holds indices into it and the seen-set holds fingerprints (mapped to
+/// the indices sharing them, so [`Dedup::Exact`] can confirm equality
+/// against the stored state without keeping a second copy).
+pub fn reachable_states_with<S: SharedSystem>(
+    sys: &S,
+    initial: &[S::State],
+    inputs: &[S::Input],
+    limit: usize,
+    dedup: Dedup,
+) -> (Vec<S::State>, bool) {
+    let mut seen: HashMap<u128, Vec<usize>> = HashMap::new();
     let mut order: Vec<S::State> = Vec::new();
-    let mut queue: VecDeque<S::State> = VecDeque::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
     for s in initial {
-        if seen.insert(s.clone()) {
-            order.push(s.clone());
-            queue.push_back(s.clone());
+        if let Some(idx) = admit(dedup, &mut seen, &mut order, s.clone()) {
+            queue.push_back(idx);
         }
     }
-    while let Some(s) = queue.pop_front() {
+    while let Some(at) = queue.pop_front() {
         if order.len() >= limit {
             return (order, true);
         }
         for i in inputs {
-            let (_, next) = sys.step(&s, i);
-            if seen.insert(next.clone()) {
-                order.push(next.clone());
-                queue.push_back(next);
+            let (_, next) = sys.step(&order[at], i);
+            if let Some(idx) = admit(dedup, &mut seen, &mut order, next) {
+                queue.push_back(idx);
             }
         }
     }
     (order, false)
+}
+
+/// Commits `next` to `order` if it is new under `dedup`, returning its
+/// index. The state is moved in, never cloned: successors come out of
+/// `step` by value, so discovery costs one state allocation total (the
+/// old seen/order/queue triplication cost three).
+fn admit<St: Clone + Eq + std::hash::Hash>(
+    dedup: Dedup,
+    seen: &mut HashMap<u128, Vec<usize>>,
+    order: &mut Vec<St>,
+    next: St,
+) -> Option<usize> {
+    let fp = fingerprint(&next);
+    let bucket = seen.entry(fp).or_default();
+    let novel = match dedup {
+        Dedup::Fingerprint => bucket.is_empty(),
+        Dedup::Exact => !bucket.iter().any(|&i| order[i] == next),
+    };
+    if !novel {
+        return None;
+    }
+    let idx = order.len();
+    bucket.push(idx);
+    order.push(next);
+    Some(idx)
 }
 
 /// A reproducible randomized checker for systems too large to enumerate.

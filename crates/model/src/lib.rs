@@ -34,6 +34,7 @@ pub mod check;
 pub mod cut;
 pub mod demo;
 pub mod explore;
+pub mod fp;
 pub mod objects;
 pub mod parallel;
 pub mod rng;
@@ -43,10 +44,12 @@ pub mod trace;
 pub use abstraction::Abstraction;
 pub use check::{CheckReport, Condition, SeparabilityChecker, Violation};
 pub use cut::{CutSystem, InterferenceWitness};
-pub use explore::{reachable_states, SampledChecker};
+pub use explore::{reachable_states, reachable_states_with, SampledChecker};
+pub use fp::{fingerprint, Dedup};
 pub use objects::{ObjRef, ObjectSystem, OpDecl, Value};
 pub use parallel::{
-    par_reachable_states, ExploreStats, ParallelSeparabilityChecker, ShardStats, SpillConfig,
+    par_reachable_states, par_reachable_states_with, ExploreStats, ParallelSeparabilityChecker,
+    ShardStats, SpillConfig,
 };
 pub use system::{Finite, Projected, SharedSystem};
 pub use trace::{first_divergence, ColourTrace, TraceSet};

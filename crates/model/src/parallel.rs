@@ -31,19 +31,22 @@
 //! is what makes verification of an N-regime system scale like the state
 //! space instead of N × the state space.
 //!
-//! An optional disk-backed seen-set spill ([`SpillConfig`]) bounds resident
-//! memory during exploration: each owner shard flushes its resident set as
-//! a sorted run of 128-bit state fingerprints. Membership against spilled
-//! runs is probabilistic only in the cryptographic sense (a collision of
-//! two independent 64-bit hashes); it is off by default and exercised by
-//! the differential suite.
+//! Seen-sets hold 128-bit state **fingerprints** by default
+//! ([`crate::fp::Dedup::Fingerprint`]): ownership routing, dedup, and the
+//! optional disk-backed spill ([`SpillConfig`]) all work on 16-byte keys
+//! computed once per successor, so exploration memory and spill I/O scale
+//! with key count rather than state size. Exact full-state dedup remains
+//! available via [`ParallelSeparabilityChecker::with_dedup`]; the
+//! differential suite pins both policies to identical reports. Fingerprint
+//! membership is probabilistic only in the cryptographic sense (a collision
+//! of two independently-seeded 64-bit hashes).
 
 use crate::abstraction::Abstraction;
 use crate::check::{CheckReport, Condition, Violation};
+use crate::fp::{fingerprint, Dedup};
 use crate::system::{Finite, Projected, SharedSystem};
-use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
-use std::hash::{Hash, Hasher};
+use std::hash::Hash;
 use std::ops::Range;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -53,6 +56,11 @@ use std::sync::mpsc;
 /// totally orders a level's successor candidates into sequential BFS order.
 type Tag = (usize, usize);
 
+/// A successor candidate in flight: discovery tag, the state's 128-bit
+/// fingerprint (computed once, at expansion, and reused for routing, dedup,
+/// and spill), and the state itself.
+type Cand<T> = (Tag, u128, T);
+
 /// `(abstraction, phase, major, minor)`: a candidate violation's position
 /// in the sequential checker's encounter order. Phases: 0 = conditions 1/2
 /// (major = state, minor = op), 1 = condition 3 (state, input), 2 =
@@ -60,22 +68,13 @@ type Tag = (usize, usize);
 /// (state).
 type Key = (usize, u8, usize, usize);
 
-/// Deterministic shard ownership: state → shard by hash.
-fn shard_of<T: Hash>(value: &T, shards: usize) -> usize {
-    let mut h = DefaultHasher::new();
-    value.hash(&mut h);
-    (h.finish() % shards as u64) as usize
-}
-
-/// A 128-bit fingerprint (two independently-seeded 64-bit hashes) used by
-/// the disk spill.
-fn fingerprint<T: Hash>(value: &T) -> u128 {
-    let mut h1 = DefaultHasher::new();
-    value.hash(&mut h1);
-    let mut h2 = DefaultHasher::new();
-    h2.write_u64(0x9E37_79B9_7F4A_7C15);
-    value.hash(&mut h2);
-    ((h1.finish() as u128) << 64) | h2.finish() as u128
+/// Deterministic shard ownership: fingerprint → shard. Equal states have
+/// equal fingerprints, so every distinct state has exactly one owner under
+/// either dedup policy — [`Dedup::Exact`] merely resolves same-fingerprint
+/// candidates by full comparison once they arrive.
+#[inline]
+fn shard_of(fp: u128, shards: usize) -> usize {
+    (fp % shards as u128) as usize
 }
 
 /// Configuration of the optional disk-backed seen-set spill.
@@ -126,14 +125,28 @@ pub struct ExploreStats {
     pub max_frontier: usize,
     /// Whether exploration hit the state limit.
     pub truncated: bool,
+    /// States tracked by 128-bit fingerprint (the whole state set under
+    /// [`Dedup::Fingerprint`], zero under [`Dedup::Exact`]).
+    pub fp_states: u64,
+    /// Seen-set key bytes under fingerprint dedup (16 per state) — the
+    /// footprint exact dedup would instead spend on whole resident states.
+    pub fp_bytes: u64,
     /// Per-shard counters, indexed by shard.
     pub per_shard: Vec<ShardStats>,
 }
 
-/// One hash-shard of the seen-set: a resident `HashSet` plus, when
-/// spilling, sorted on-disk runs of state fingerprints.
+/// One hash-shard of the seen-set plus, when spilling, sorted on-disk runs
+/// of state fingerprints.
+///
+/// Under [`Dedup::Fingerprint`] the resident set holds 16-byte keys — the
+/// default, and what lets exploration memory scale with key count rather
+/// than state size. Under [`Dedup::Exact`] it holds whole states, as the
+/// original checker did. Spilled runs are always fingerprints (membership
+/// against them was already probabilistic only in the cryptographic sense).
 struct SeenShard<T> {
-    resident: HashSet<T>,
+    dedup: Dedup,
+    resident_fp: HashSet<u128>,
+    resident_exact: HashSet<T>,
     max_resident: usize,
     run_dir: Option<PathBuf>,
     runs: Vec<PathBuf>,
@@ -141,7 +154,7 @@ struct SeenShard<T> {
 }
 
 impl<T: Eq + Hash> SeenShard<T> {
-    fn new(spill: Option<&SpillConfig>, shard: usize) -> SeenShard<T> {
+    fn new(dedup: Dedup, spill: Option<&SpillConfig>, shard: usize) -> SeenShard<T> {
         static COUNTER: AtomicU64 = AtomicU64::new(0);
         let run_dir = spill.map(|s| {
             let base = s.dir.clone().unwrap_or_else(std::env::temp_dir);
@@ -149,7 +162,9 @@ impl<T: Eq + Hash> SeenShard<T> {
             base.join(format!("sep-pos-spill-{}-{n}-{shard}", std::process::id()))
         });
         SeenShard {
-            resident: HashSet::new(),
+            dedup,
+            resident_fp: HashSet::new(),
+            resident_exact: HashSet::new(),
             max_resident: spill.map(|s| s.max_resident.max(1)).unwrap_or(usize::MAX),
             run_dir,
             runs: Vec::new(),
@@ -157,9 +172,23 @@ impl<T: Eq + Hash> SeenShard<T> {
         }
     }
 
-    fn insert(&mut self, value: T) {
-        self.resident.insert(value);
-        if self.resident.len() >= self.max_resident {
+    /// Records a state. Fingerprint mode never touches the state itself;
+    /// exact mode clones it into the resident set.
+    fn insert(&mut self, fp: u128, value: &T)
+    where
+        T: Clone,
+    {
+        let len = match self.dedup {
+            Dedup::Fingerprint => {
+                self.resident_fp.insert(fp);
+                self.resident_fp.len()
+            }
+            Dedup::Exact => {
+                self.resident_exact.insert(value.clone());
+                self.resident_exact.len()
+            }
+        };
+        if len >= self.max_resident {
             self.flush();
         }
     }
@@ -170,7 +199,14 @@ impl<T: Eq + Hash> SeenShard<T> {
             .clone()
             .expect("spill flush requires a run dir");
         std::fs::create_dir_all(&dir).expect("create spill dir");
-        let mut fps: Vec<u128> = self.resident.iter().map(fingerprint).collect();
+        let mut fps: Vec<u128> = match self.dedup {
+            Dedup::Fingerprint => self.resident_fp.drain().collect(),
+            Dedup::Exact => self
+                .resident_exact
+                .drain()
+                .map(|s| fingerprint(&s))
+                .collect(),
+        };
         fps.sort_unstable();
         fps.dedup();
         let path = dir.join(format!("run-{:04}.fp", self.runs.len()));
@@ -181,35 +217,46 @@ impl<T: Eq + Hash> SeenShard<T> {
         std::fs::write(&path, buf).expect("write spill run");
         self.spilled += fps.len() as u64;
         self.runs.push(path);
-        self.resident.clear();
     }
 
-    fn contains(&self, value: &T) -> bool {
-        if self.resident.contains(value) {
+    /// Resident seen-set keys (for the fingerprint-footprint statistics).
+    fn resident_len(&self) -> usize {
+        match self.dedup {
+            Dedup::Fingerprint => self.resident_fp.len(),
+            Dedup::Exact => self.resident_exact.len(),
+        }
+    }
+
+    fn contains(&self, fp: u128, value: &T) -> bool {
+        let resident = match self.dedup {
+            Dedup::Fingerprint => self.resident_fp.contains(&fp),
+            Dedup::Exact => self.resident_exact.contains(value),
+        };
+        if resident {
             return true;
         }
-        if self.runs.is_empty() {
-            return false;
-        }
-        let fp = fingerprint(value);
         self.runs
             .iter()
             .any(|run| read_run(run).binary_search(&fp).is_ok())
     }
 
     /// Drops candidates already recorded in this shard (resident or on any
-    /// disk run), preserving order. Each run file is read once per call,
-    /// not once per candidate.
-    fn retain_novel(&self, cands: &mut Vec<(Tag, T)>) {
-        cands.retain(|(_, s)| !self.resident.contains(s));
+    /// disk run), preserving order. Candidates arrive with their
+    /// fingerprints already computed, so runs are filtered without
+    /// re-hashing, and each run file is read once per call, not once per
+    /// candidate.
+    fn retain_novel(&self, cands: &mut Vec<Cand<T>>) {
+        match self.dedup {
+            Dedup::Fingerprint => cands.retain(|(_, fp, _)| !self.resident_fp.contains(fp)),
+            Dedup::Exact => cands.retain(|(_, _, s)| !self.resident_exact.contains(s)),
+        }
         if self.runs.is_empty() || cands.is_empty() {
             return;
         }
-        let fps: Vec<u128> = cands.iter().map(|(_, s)| fingerprint(s)).collect();
         let mut dead = vec![false; cands.len()];
         for run in &self.runs {
             let sorted = read_run(run);
-            for (i, fp) in fps.iter().enumerate() {
+            for (i, (_, fp, _)) in cands.iter().enumerate() {
                 if !dead[i] && sorted.binary_search(fp).is_ok() {
                     dead[i] = true;
                 }
@@ -241,15 +288,26 @@ fn read_run(path: &PathBuf) -> Vec<u128> {
 }
 
 /// Keeps the first (minimum-tag) occurrence of each distinct state, then
-/// drops everything the owning shard has already seen.
-fn dedup_candidates<T: Eq + Hash>(shard: &SeenShard<T>, mut cands: Vec<(Tag, T)>) -> Vec<(Tag, T)> {
-    cands.sort_by_key(|(tag, _)| *tag);
+/// drops everything the owning shard has already seen. "Distinct" follows
+/// the shard's dedup policy: by fingerprint or by full state equality.
+fn dedup_candidates<T: Eq + Hash>(shard: &SeenShard<T>, mut cands: Vec<Cand<T>>) -> Vec<Cand<T>> {
+    cands.sort_by_key(|(tag, _, _)| *tag);
     let mut keep = vec![true; cands.len()];
-    {
-        let mut firsts: HashSet<&T> = HashSet::with_capacity(cands.len());
-        for (i, (_, s)) in cands.iter().enumerate() {
-            if !firsts.insert(s) {
-                keep[i] = false;
+    match shard.dedup {
+        Dedup::Fingerprint => {
+            let mut firsts: HashSet<u128> = HashSet::with_capacity(cands.len());
+            for (i, (_, fp, _)) in cands.iter().enumerate() {
+                if !firsts.insert(*fp) {
+                    keep[i] = false;
+                }
+            }
+        }
+        Dedup::Exact => {
+            let mut firsts: HashSet<&T> = HashSet::with_capacity(cands.len());
+            for (i, (_, _, s)) in cands.iter().enumerate() {
+                if !firsts.insert(s) {
+                    keep[i] = false;
+                }
             }
         }
     }
@@ -272,7 +330,7 @@ fn expand_level<S>(
     assign: &[usize],
     inputs: &[S::Input],
     shards: usize,
-) -> Vec<Vec<(Tag, S::State)>>
+) -> Vec<Vec<Cand<S::State>>>
 where
     S: SharedSystem + Sync,
     S::State: Send + Sync,
@@ -281,14 +339,14 @@ where
     let mut senders = Vec::with_capacity(shards);
     let mut receivers = Vec::with_capacity(shards);
     for _ in 0..shards {
-        let (tx, rx) = mpsc::channel::<(Tag, S::State)>();
+        let (tx, rx) = mpsc::channel::<Cand<S::State>>();
         senders.push(tx);
         receivers.push(rx);
     }
     std::thread::scope(|scope| {
         let owners: Vec<_> = receivers
             .into_iter()
-            .map(|rx| scope.spawn(move || rx.into_iter().collect::<Vec<(Tag, S::State)>>()))
+            .map(|rx| scope.spawn(move || rx.into_iter().collect::<Vec<Cand<S::State>>>()))
             .collect();
         for w in 0..shards {
             let senders = senders.clone();
@@ -299,8 +357,9 @@ where
                     }
                     for (i_idx, i) in inputs.iter().enumerate() {
                         let (_, next) = sys.step(s, i);
-                        let owner = shard_of(&next, shards);
-                        let _ = senders[owner].send(((p, i_idx), next));
+                        let fp = fingerprint(&next);
+                        let owner = shard_of(fp, shards);
+                        let _ = senders[owner].send(((p, i_idx), fp, next));
                     }
                 }
             });
@@ -322,6 +381,7 @@ fn explore<S>(
     limit: usize,
     shards: usize,
     spill: Option<&SpillConfig>,
+    dedup: Dedup,
 ) -> (Vec<S::State>, ExploreStats)
 where
     S: SharedSystem + Sync,
@@ -329,8 +389,9 @@ where
     S::Input: Sync,
 {
     let shards = shards.max(1);
-    let mut seen: Vec<SeenShard<S::State>> =
-        (0..shards).map(|j| SeenShard::new(spill, j)).collect();
+    let mut seen: Vec<SeenShard<S::State>> = (0..shards)
+        .map(|j| SeenShard::new(dedup, spill, j))
+        .collect();
     let mut stats = ExploreStats {
         shards,
         per_shard: vec![ShardStats::default(); shards],
@@ -338,12 +399,30 @@ where
     };
     let mut order: Vec<S::State> = Vec::new();
 
+    let finish = |order: Vec<S::State>,
+                  mut stats: ExploreStats,
+                  seen: &[SeenShard<S::State>]|
+     -> (Vec<S::State>, ExploreStats) {
+        stats.states = order.len();
+        for (shard, st) in seen.iter().zip(stats.per_shard.iter_mut()) {
+            st.spilled = shard.spilled;
+            st.spill_runs = shard.runs.len() as u64;
+        }
+        if dedup == Dedup::Fingerprint {
+            stats.fp_states = order.len() as u64;
+            let resident: usize = seen.iter().map(|s| s.resident_len()).sum();
+            stats.fp_bytes = 16 * resident as u64;
+        }
+        (order, stats)
+    };
+
     // Initial states are always admitted; the limit applies when a state
     // is taken up for expansion, exactly as in the sequential explorer.
     for s in initial {
-        let owner = shard_of(s, shards);
-        if !seen[owner].contains(s) {
-            seen[owner].insert(s.clone());
+        let fp = fingerprint(s);
+        let owner = shard_of(fp, shards);
+        if !seen[owner].contains(fp, s) {
+            seen[owner].insert(fp, s);
             stats.per_shard[owner].owned += 1;
             order.push(s.clone());
         }
@@ -362,10 +441,10 @@ where
         let width = level.len();
         stats.max_frontier = stats.max_frontier.max(width);
 
-        let assign: Vec<usize> = order[level.clone()]
-            .iter()
-            .map(|s| shard_of(s, shards))
-            .collect();
+        // Round-robin expansion assignment: which worker *expands* a parent
+        // is pure load balancing (ownership of the successors is decided by
+        // their fingerprints), so no hash is needed here.
+        let assign: Vec<usize> = (0..width).map(|p| p % shards).collect();
         for &w in &assign {
             stats.per_shard[w].expanded += 1;
         }
@@ -375,14 +454,15 @@ where
         // no spawn cost.
         let frontier = &order[level];
         let threaded = shards > 1 && width * inputs.len() >= shards * 8;
-        let routed: Vec<Vec<(Tag, S::State)>> = if threaded {
+        let routed: Vec<Vec<Cand<S::State>>> = if threaded {
             expand_level(sys, frontier, &assign, inputs, shards)
         } else {
-            let mut per_owner: Vec<Vec<(Tag, S::State)>> = vec![Vec::new(); shards];
+            let mut per_owner: Vec<Vec<Cand<S::State>>> = vec![Vec::new(); shards];
             for (p, s) in frontier.iter().enumerate() {
                 for (i_idx, i) in inputs.iter().enumerate() {
                     let (_, next) = sys.step(s, i);
-                    per_owner[shard_of(&next, shards)].push(((p, i_idx), next));
+                    let fp = fingerprint(&next);
+                    per_owner[shard_of(fp, shards)].push(((p, i_idx), fp, next));
                 }
             }
             per_owner
@@ -392,7 +472,7 @@ where
         }
 
         // Dedup against each owner's shard of the seen-set.
-        let novels: Vec<Vec<(Tag, S::State)>> = if threaded {
+        let novels: Vec<Vec<Cand<S::State>>> = if threaded {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = routed
                     .into_iter()
@@ -414,35 +494,28 @@ where
 
         // Deterministic merge: commit survivors in (parent, input) order,
         // re-applying the sequential truncation rule before each parent.
-        let mut novel: Vec<(Tag, S::State)> = novels.into_iter().flatten().collect();
-        novel.sort_by_key(|(tag, _)| *tag);
+        // Each survivor is moved into `order`; under fingerprint dedup the
+        // seen-set keeps only its 16-byte key, so a discovered state is
+        // allocated exactly once.
+        let mut novel: Vec<Cand<S::State>> = novels.into_iter().flatten().collect();
+        novel.sort_by_key(|(tag, _, _)| *tag);
         let mut it = novel.into_iter().peekable();
         for p in 0..width {
             if order.len() >= limit {
                 stats.truncated = true;
-                stats.states = order.len();
-                for (shard, st) in seen.iter().zip(stats.per_shard.iter_mut()) {
-                    st.spilled = shard.spilled;
-                    st.spill_runs = shard.runs.len() as u64;
-                }
-                return (order, stats);
+                return finish(order, stats, &seen);
             }
             cursor += 1;
-            while it.peek().is_some_and(|(tag, _)| tag.0 == p) {
-                let (_, s) = it.next().expect("peeked");
-                let owner = shard_of(&s, shards);
-                seen[owner].insert(s.clone());
+            while it.peek().is_some_and(|(tag, _, _)| tag.0 == p) {
+                let (_, fp, s) = it.next().expect("peeked");
+                let owner = shard_of(fp, shards);
+                seen[owner].insert(fp, &s);
                 stats.per_shard[owner].owned += 1;
                 order.push(s);
             }
         }
     }
-    stats.states = order.len();
-    for (shard, st) in seen.iter().zip(stats.per_shard.iter_mut()) {
-        st.spilled = shard.spilled;
-        st.spill_runs = shard.runs.len() as u64;
-    }
-    (order, stats)
+    finish(order, stats, &seen)
 }
 
 /// The parallel analogue of [`crate::explore::reachable_states`]: same
@@ -459,7 +532,24 @@ where
     S::State: Send + Sync,
     S::Input: Sync,
 {
-    let (order, stats) = explore(sys, initial, inputs, limit, shards, None);
+    par_reachable_states_with(sys, initial, inputs, limit, shards, Dedup::default())
+}
+
+/// [`par_reachable_states`] with an explicit seen-set policy.
+pub fn par_reachable_states_with<S>(
+    sys: &S,
+    initial: &[S::State],
+    inputs: &[S::Input],
+    limit: usize,
+    shards: usize,
+    dedup: Dedup,
+) -> (Vec<S::State>, bool)
+where
+    S: SharedSystem + Sync,
+    S::State: Send + Sync,
+    S::Input: Sync,
+{
+    let (order, stats) = explore(sys, initial, inputs, limit, shards, None, dedup);
     (order, stats.truncated)
 }
 
@@ -565,6 +655,9 @@ pub struct ParallelSeparabilityChecker {
     pub max_violations_per_condition: usize,
     /// Optional disk-backed seen-set spill for exploration.
     pub spill: Option<SpillConfig>,
+    /// Seen-set policy during exploration: 16-byte fingerprints (default)
+    /// or full resident states.
+    pub dedup: Dedup,
 }
 
 impl ParallelSeparabilityChecker {
@@ -574,12 +667,19 @@ impl ParallelSeparabilityChecker {
             shards: shards.max(1),
             max_violations_per_condition: 3,
             spill: None,
+            dedup: Dedup::default(),
         }
     }
 
     /// Enables the disk-backed seen-set spill during exploration.
     pub fn with_spill(mut self, spill: SpillConfig) -> ParallelSeparabilityChecker {
         self.spill = Some(spill);
+        self
+    }
+
+    /// Selects the exploration seen-set policy.
+    pub fn with_dedup(mut self, dedup: Dedup) -> ParallelSeparabilityChecker {
+        self.dedup = dedup;
         self
     }
 
@@ -632,6 +732,7 @@ impl ParallelSeparabilityChecker {
             limit,
             self.shards,
             self.spill.as_ref(),
+            self.dedup,
         );
         let ops = sys.ops();
         let report = self.check_states(sys, abstractions, &states, &inputs, &ops);
@@ -988,6 +1089,44 @@ mod tests {
                 assert_eq!(s_seq, s_par, "limit {limit}, shards {shards}");
                 assert_eq!(t_seq, t_par, "limit {limit}, shards {shards}");
             }
+        }
+    }
+
+    #[test]
+    fn exact_dedup_matches_fingerprint_dedup() {
+        let m = DemoMachine::secure(4);
+        for shards in [1, 2, 4] {
+            let fp = ParallelSeparabilityChecker::new(shards);
+            let exact = ParallelSeparabilityChecker::new(shards).with_dedup(Dedup::Exact);
+            let (rep_fp, st_fp) = fp.check_explored(&m, &m.abstractions(), &[m.initial()], 100_000);
+            let (rep_ex, st_ex) =
+                exact.check_explored(&m, &m.abstractions(), &[m.initial()], 100_000);
+            assert_eq!(rep_fp, rep_ex, "shards {shards}");
+            assert_eq!(st_fp.states, st_ex.states);
+            // Fingerprint stats report the 16-byte-per-state footprint.
+            assert_eq!(st_fp.fp_states, st_fp.states as u64);
+            assert_eq!(st_fp.fp_bytes, 16 * st_fp.states as u64);
+            assert_eq!(st_ex.fp_states, 0);
+            assert_eq!(st_ex.fp_bytes, 0);
+        }
+    }
+
+    #[test]
+    fn exact_dedup_matches_sequential_order() {
+        let m = DemoMachine::secure(4);
+        let inputs = m.inputs();
+        let (seq, _) = reachable_states(&m, &[m.initial()], &inputs, 100_000);
+        for shards in [1, 4] {
+            let (par, t) = par_reachable_states_with(
+                &m,
+                &[m.initial()],
+                &inputs,
+                100_000,
+                shards,
+                Dedup::Exact,
+            );
+            assert!(!t);
+            assert_eq!(seq, par, "shards {shards}");
         }
     }
 

@@ -4,8 +4,9 @@
 //! and the parallel frontier-sharded explorer.
 
 use sep_model::demo::{DemoMachine, Leak};
-use sep_model::explore::{reachable_states, SampledChecker};
-use sep_model::parallel::par_reachable_states;
+use sep_model::explore::{reachable_states, reachable_states_with, SampledChecker};
+use sep_model::fp::Dedup;
+use sep_model::parallel::{par_reachable_states, par_reachable_states_with};
 use sep_model::system::Finite;
 
 #[test]
@@ -48,6 +49,47 @@ fn bfs_order_is_stable_across_runs() {
             a, p1,
             "parallel order diverges from sequential ({shards} shards)"
         );
+    }
+}
+
+#[test]
+fn fingerprint_and_exact_dedup_explore_in_the_same_order() {
+    // The triple-clone fix rebuilt the seen-set around fingerprints with
+    // exact dedup as a knob: both policies must produce the identical
+    // discovery order, sequentially and under every shard count — and at
+    // every truncation limit, since the cut point depends on the order.
+    for leak in [Leak::None, Leak::OpWritesForeign] {
+        let m = DemoMachine::leaky(4, leak);
+        let inputs = m.inputs();
+        let full = reachable_states(&m, &[m.initial()], &inputs, 100_000).0;
+        for limit in [100_000usize, full.len(), full.len() / 2, 1] {
+            let fp = reachable_states_with(&m, &[m.initial()], &inputs, limit, Dedup::Fingerprint);
+            let exact = reachable_states_with(&m, &[m.initial()], &inputs, limit, Dedup::Exact);
+            assert_eq!(fp, exact, "leak {leak:?}, limit {limit}: sequential");
+            for shards in [1, 2, 4] {
+                let pf = par_reachable_states_with(
+                    &m,
+                    &[m.initial()],
+                    &inputs,
+                    limit,
+                    shards,
+                    Dedup::Fingerprint,
+                );
+                let pe = par_reachable_states_with(
+                    &m,
+                    &[m.initial()],
+                    &inputs,
+                    limit,
+                    shards,
+                    Dedup::Exact,
+                );
+                assert_eq!(pf, pe, "leak {leak:?}, limit {limit}, shards {shards}");
+                assert_eq!(
+                    fp, pf,
+                    "leak {leak:?}, limit {limit}, shards {shards}: parallel vs sequential"
+                );
+            }
+        }
     }
 }
 

@@ -39,7 +39,7 @@ pub mod sink;
 
 pub use event::{ObsEvent, TrapKind};
 pub use json::Json;
-pub use metrics::{DeviceCounters, Metrics, RegimeCounters, Totals};
+pub use metrics::{DeviceCounters, HotPathCounters, Metrics, RegimeCounters, Totals};
 pub use recorder::{Recorder, NO_CONTEXT};
-pub use report::RunReport;
+pub use report::{hotpath_json, metrics_json, RunReport};
 pub use sink::{Disabled, EventSink, TimedEvent, TraceBuffer};

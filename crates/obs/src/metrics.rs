@@ -54,6 +54,35 @@ pub struct DeviceCounters {
     pub dma_blocked: u64,
 }
 
+/// Counters for the machine's fast-path caches and the checker's
+/// fingerprint dedup.
+///
+/// These measure *how* a result was computed, never *what* was computed:
+/// the decoded-instruction cache and the software TLB are semantically
+/// invisible, and fingerprint dedup commits the same states. They are
+/// therefore kept out of the default run-report serialization
+/// ([`crate::report::metrics_json`]) — a report must be byte-identical
+/// with the fast path on and off — and surfaced explicitly by the E10
+/// bench via [`crate::report::hotpath_json`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HotPathCounters {
+    /// Decoded-instruction cache hits.
+    pub icache_hits: u64,
+    /// Decoded-instruction cache misses (full decode performed).
+    pub icache_misses: u64,
+    /// Software-TLB hits (translation served without walking PAR/PDR).
+    pub tlb_hits: u64,
+    /// Software-TLB misses (full translate; entry refilled on success).
+    pub tlb_misses: u64,
+    /// Generation bumps that invalidated the whole TLB (PAR/PDR loads,
+    /// i.e. every regime switch and partition re-image).
+    pub tlb_invalidations: u64,
+    /// States the checker deduplicated by 128-bit fingerprint.
+    pub fp_states: u64,
+    /// Resident seen-set bytes under fingerprint dedup (16 per state).
+    pub fp_bytes: u64,
+}
+
 /// System-wide totals (also the cross-check for the per-regime tables).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Totals {
@@ -93,6 +122,9 @@ pub struct Totals {
 pub struct Metrics {
     /// System totals.
     pub totals: Totals,
+    /// Fast-path cache and fingerprint-dedup counters (excluded from the
+    /// default report serialization; see [`HotPathCounters`]).
+    pub hotpath: HotPathCounters,
     regimes: Vec<(String, RegimeCounters)>,
     devices: Vec<(String, DeviceCounters)>,
 }

@@ -108,6 +108,18 @@ impl Recorder {
         }
     }
 
+    /// `n` instructions retired in the current context, in one bump. The
+    /// machine's batched `step_n` uses this to amortize recorder dispatch:
+    /// the final counter values are identical to `n` calls of
+    /// [`Recorder::instruction_retired`] under an unchanged context.
+    #[inline]
+    pub fn instructions_retired(&mut self, n: u64) {
+        self.metrics.totals.instructions += n;
+        if self.ctx != NO_CONTEXT {
+            self.metrics.regime_mut(self.ctx as usize).instructions += n;
+        }
+    }
+
     /// One native-regime step in the current context.
     #[inline]
     pub fn native_step(&mut self) {
@@ -149,6 +161,19 @@ mod tests {
         assert_eq!(r.metrics.totals.instructions, 2);
         assert_eq!(r.metrics.regime(1).unwrap().instructions, 1);
         assert!(r.metrics.regime(0).unwrap().instructions == 0);
+    }
+
+    #[test]
+    fn batched_retirement_matches_per_instruction_bumps() {
+        let mut one_by_one = Recorder::disabled();
+        one_by_one.set_context(2);
+        for _ in 0..5 {
+            one_by_one.instruction_retired();
+        }
+        let mut batched = Recorder::disabled();
+        batched.set_context(2);
+        batched.instructions_retired(5);
+        assert_eq!(one_by_one.metrics, batched.metrics);
     }
 
     #[test]

@@ -223,6 +223,25 @@ pub fn metrics_json(m: &Metrics) -> Json {
         .field("devices", devices)
 }
 
+/// The fast-path cache and fingerprint-dedup counters as JSON.
+///
+/// Deliberately **not** part of [`metrics_json`]: hit/miss ratios describe
+/// how a run was computed, not what it computed, and folding them into the
+/// default serialization would break the pinned guarantee that run reports
+/// are byte-identical with the fast path on and off. The E10 bench attaches
+/// this explicitly where cache behaviour *is* the measurement.
+pub fn hotpath_json(m: &Metrics) -> Json {
+    let h = &m.hotpath;
+    Json::obj()
+        .field("icache_hits", h.icache_hits)
+        .field("icache_misses", h.icache_misses)
+        .field("tlb_hits", h.tlb_hits)
+        .field("tlb_misses", h.tlb_misses)
+        .field("tlb_invalidations", h.tlb_invalidations)
+        .field("fp_states", h.fp_states)
+        .field("fp_bytes", h.fp_bytes)
+}
+
 /// A trace as JSON: counts always, plus up to `keep_events` rendered
 /// events (oldest first of the retained window).
 pub fn trace_json(t: &TraceBuffer, keep_events: usize) -> Json {
@@ -273,6 +292,19 @@ mod tests {
         assert!(s.contains("\"experiment\": \"e9\""));
         assert!(s.contains("\"totals\""));
         assert!(s.contains("\"a_ms\""));
+    }
+
+    #[test]
+    fn hotpath_counters_stay_out_of_the_default_report() {
+        let mut with = Metrics::new();
+        with.hotpath.icache_hits = 1_000;
+        with.hotpath.tlb_hits = 2_000;
+        let without = Metrics::new();
+        let render = |m: &Metrics| RunReport::new("e10").run("run", m).render();
+        assert_eq!(render(&with), render(&without));
+        let j = hotpath_json(&with).to_compact();
+        assert!(j.contains("\"icache_hits\":1000"));
+        assert!(j.contains("\"tlb_hits\":2000"));
     }
 
     #[test]
