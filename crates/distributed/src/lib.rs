@@ -27,4 +27,4 @@ pub mod wire;
 pub use network::{Network, NodeId};
 pub use node::{Node, NodeIo, SendError};
 pub use retx::{RetxReceiver, RetxSender};
-pub use wire::{crc16, deframe, frame, Wire};
+pub use wire::{crc16, deframe, frame, Wire, WireOverflow};

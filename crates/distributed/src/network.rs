@@ -14,6 +14,7 @@ pub struct Network {
     nodes: Vec<Box<dyn Node>>,
     wires: Vec<Wire>,
     round: u64,
+    tracing: bool,
     /// Per-node observation traces: every receive and send, in order. Used
     /// for the indistinguishability experiments.
     pub traces: TraceSet<String>,
@@ -35,9 +36,20 @@ impl Network {
             nodes: Vec::new(),
             wires: Vec::new(),
             round: 0,
+            tracing: true,
             traces: TraceSet::new(),
             obs: Recorder::disabled(),
         }
+    }
+
+    /// Switches per-message observation traces on or off (on by default).
+    ///
+    /// Tracing formats every send and receive into a per-node string — the
+    /// right default for the indistinguishability and containment
+    /// experiments, but measurable overhead for fleet-scale load runs,
+    /// which turn it off. Counters in [`Network::obs`] stay on either way.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
     }
 
     /// Adds a node.
@@ -86,7 +98,9 @@ impl Network {
     }
 
     /// Like [`Network::connect`], but the wire misbehaves per the seeded
-    /// loss model (drops, duplicates, bit-flips, reorders).
+    /// loss model (drops, duplicates, bit-flips, reorders). The wire is
+    /// built with its loss model attached rather than patched after the
+    /// fact, so there is no window in which a lossy wire looks lossless.
     #[allow(clippy::too_many_arguments)]
     pub fn connect_lossy(
         &mut self,
@@ -99,10 +113,10 @@ impl Network {
         loss: sep_fault::LossModel,
     ) {
         self.connect(from, from_port, to, to_port, capacity, latency);
-        self.wires
-            .last_mut()
-            .expect("wire just connected")
-            .set_loss(loss);
+        // `connect` either pushed the wire or panicked on a config bug.
+        if let Some(w) = self.wires.last_mut() {
+            w.set_loss(loss);
+        }
     }
 
     /// The wires, in connection order (loss counters live on them).
@@ -132,6 +146,7 @@ impl Network {
                 round,
                 wires,
                 obs,
+                tracing: self.tracing,
                 events: Vec::new(),
             };
             node.step(&mut io);
@@ -160,6 +175,7 @@ struct RoundIo<'a> {
     round: u64,
     wires: &'a mut [Wire],
     obs: &'a mut Recorder,
+    tracing: bool,
     events: Vec<String>,
 }
 
@@ -183,7 +199,9 @@ impl NodeIo for RoundIo<'_> {
                 bytes: msg.len() as u32,
             },
         );
-        self.events.push(format!("recv {port} {}", hex(&msg)));
+        if self.tracing {
+            self.events.push(format!("recv {port} {}", hex(&msg)));
+        }
         Some(msg)
     }
 
@@ -194,22 +212,24 @@ impl NodeIo for RoundIo<'_> {
             .iter_mut()
             .find(|w| w.from_node == self.node && w.from_port == port)
             .ok_or_else(|| SendError::NoSuchPort(port.to_string()))?;
-        if !wire.has_room() {
-            return Err(SendError::WireFull(port.to_string()));
-        }
+        let bytes = msg.len() as u64;
+        let traced = self.tracing.then(|| format!("send {port} {}", hex(&msg)));
+        wire.push(round, msg)
+            .map_err(|_| SendError::WireFull(port.to_string()))?;
         self.obs.metrics.totals.wire_messages += 1;
-        self.obs.metrics.totals.wire_bytes += msg.len() as u64;
+        self.obs.metrics.totals.wire_bytes += bytes;
         self.obs.metrics.regime_mut(self.node).messages_sent += 1;
-        self.obs.metrics.regime_mut(self.node).channel_bytes_sent += msg.len() as u64;
+        self.obs.metrics.regime_mut(self.node).channel_bytes_sent += bytes;
         self.obs.emit(
             round,
             ObsEvent::WireSend {
                 node: self.node as u16,
-                bytes: msg.len() as u32,
+                bytes: bytes as u32,
             },
         );
-        self.events.push(format!("send {port} {}", hex(&msg)));
-        wire.push(round, msg);
+        if let Some(ev) = traced {
+            self.events.push(ev);
+        }
         Ok(())
     }
 
@@ -228,7 +248,9 @@ impl NodeIo for RoundIo<'_> {
                 seq,
             },
         );
-        self.events.push(format!("retx seq{seq}"));
+        if self.tracing {
+            self.events.push(format!("retx seq{seq}"));
+        }
     }
 }
 
@@ -359,6 +381,27 @@ mod tests {
         assert_eq!(net.round(), 0);
         net.run(5);
         assert_eq!(net.round(), 5);
+    }
+
+    #[test]
+    fn tracing_off_keeps_counters_but_records_no_events() {
+        let build = |tracing: bool| {
+            let mut net = Network::new();
+            net.set_tracing(tracing);
+            let a = net.add_node(Echo::new("a"));
+            let b = net.add_node(Echo::new("b"));
+            net.connect(a, "out", b, "in", 8, 1);
+            net.connect(b, "out", a, "in", 8, 1);
+            net.run(10);
+            net
+        };
+        let on = build(true);
+        let off = build(false);
+        assert!(off.traces.is_empty(), "gate left event strings behind");
+        assert!(!on.traces.is_empty());
+        // The counters are unaffected by the gate.
+        assert_eq!(on.obs.metrics, off.obs.metrics);
+        assert!(off.obs.metrics.totals.wire_messages > 0);
     }
 
     #[test]

@@ -1,5 +1,14 @@
 //! Nodes: the private, physically isolated machines of the distributed
 //! design.
+//!
+//! # Error contract
+//!
+//! Nothing in this interface panics. Every refusable operation reports
+//! through its type: a missing wire or exhausted capacity is a
+//! [`SendError`], an empty port is `None`. The only panics in the crate
+//! are boot-time configuration checks (zero-capacity wires, double-wired
+//! ports) — documented invariants that fire before any traffic flows,
+//! never on the hot path.
 
 /// Why a send was refused.
 #[derive(Debug, Clone, PartialEq, Eq)]

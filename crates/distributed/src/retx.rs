@@ -123,9 +123,13 @@ impl RetxSender {
             .map(|(&seq, _)| seq)
             .collect();
         for seq in expired {
-            let f = data_frame(seq, &self.inflight[&seq].payload);
+            // One lookup, no panic path: a seq collected above could only
+            // vanish if this loop removed it, and it never removes.
+            let Some(p) = self.inflight.get_mut(&seq) else {
+                continue;
+            };
+            let f = data_frame(seq, &p.payload);
             if io.send(data_port, f).is_ok() {
-                let p = self.inflight.get_mut(&seq).expect("expired frame present");
                 p.last_sent = now;
                 p.attempts += 1;
                 self.retransmissions += 1;
@@ -397,5 +401,207 @@ mod tests {
         assert!(!seq_before(0, 0xFFFF));
         assert!(!seq_before(5, 5));
         assert!(seq_before(5, 6));
+    }
+
+    /// A scripted [`NodeIo`] for protocol edge cases: incoming frames are
+    /// staged per port, outgoing frames and retransmit notes are recorded.
+    #[derive(Default)]
+    struct PortIo {
+        incoming: std::collections::BTreeMap<String, VecDeque<Vec<u8>>>,
+        sent: Vec<(String, Vec<u8>)>,
+        now: u64,
+        retx_notes: Vec<u16>,
+    }
+
+    impl PortIo {
+        fn stage(&mut self, port: &str, frame: Vec<u8>) {
+            self.incoming
+                .entry(port.to_string())
+                .or_default()
+                .push_back(frame);
+        }
+
+        fn acks_sent(&self) -> Vec<u16> {
+            self.sent
+                .iter()
+                .filter(|(port, _)| port == "ack")
+                .filter_map(|(_, raw)| deframe(raw))
+                .filter(|inner| inner.len() == 3 && inner[0] == FRAME_ACK)
+                .map(|inner| u16::from_le_bytes([inner[1], inner[2]]))
+                .collect()
+        }
+    }
+
+    impl NodeIo for PortIo {
+        fn recv(&mut self, port: &str) -> Option<Vec<u8>> {
+            self.incoming.get_mut(port)?.pop_front()
+        }
+        fn send(&mut self, port: &str, msg: Vec<u8>) -> Result<(), crate::node::SendError> {
+            self.sent.push((port.to_string(), msg));
+            Ok(())
+        }
+        fn round(&self) -> u64 {
+            self.now
+        }
+        fn note_retransmit(&mut self, seq: u16) {
+            self.retx_notes.push(seq);
+        }
+    }
+
+    #[test]
+    fn duplicate_after_reorder_delivers_once_and_acks_every_copy() {
+        // The duplicate-then-reorder edge: the wire duplicated frame 0 and
+        // a reorder pushed frame 1 ahead of both copies. The receiver must
+        // release each payload exactly once, in order, while still acking
+        // all three arrivals (an earlier ack may be what was lost).
+        let mut io = PortIo::default();
+        io.stage("data", data_frame(1, b"one"));
+        io.stage("data", data_frame(0, b"zero"));
+        io.stage("data", data_frame(0, b"zero"));
+        let mut rx = RetxReceiver::new();
+        let out = rx.poll(&mut io, "data", "ack");
+        assert_eq!(out, vec![b"zero".to_vec(), b"one".to_vec()]);
+        assert_eq!(rx.delivered, 2);
+        assert_eq!(rx.duplicates_ignored, 1);
+        assert_eq!(io.acks_sent(), vec![1, 0, 0]);
+        // A straggler copy of an already-released frame is also ignored —
+        // `seq_before` catches it even though the buffer has moved on.
+        io.stage("data", data_frame(1, b"one"));
+        assert!(rx.poll(&mut io, "data", "ack").is_empty());
+        assert_eq!(rx.delivered, 2);
+        assert_eq!(rx.duplicates_ignored, 2);
+    }
+
+    #[test]
+    fn duplicated_reordered_acks_never_double_count_retransmissions() {
+        // Both inflight frames are long expired when their acks finally
+        // arrive — duplicated and reordered by the wire. Acks drain before
+        // the expiry scan, so nothing retransmits and nothing is counted
+        // twice (`acked` bumps only on the first copy of each ack).
+        let mut io = PortIo::default();
+        let mut tx = RetxSender::new(4, 2);
+        tx.enqueue(b"a".to_vec());
+        tx.enqueue(b"b".to_vec());
+        tx.poll(&mut io, "data", "ack");
+        assert_eq!(tx.pending(), 2);
+        io.now = 10;
+        io.stage("ack", ack_frame(1));
+        io.stage("ack", ack_frame(0));
+        io.stage("ack", ack_frame(0));
+        tx.poll(&mut io, "data", "ack");
+        assert_eq!(tx.acked, 2);
+        assert_eq!(tx.pending(), 0);
+        assert_eq!(tx.retransmissions, 0);
+        assert!(io.retx_notes.is_empty(), "no frame was actually resent");
+    }
+
+    #[test]
+    fn expired_frame_retransmits_once_and_notes_once_per_resend() {
+        let mut io = PortIo::default();
+        let mut tx = RetxSender::new(4, 2);
+        tx.enqueue(b"a".to_vec());
+        tx.poll(&mut io, "data", "ack"); // fresh send at round 0
+        io.now = 2; // base timeout expired
+        tx.poll(&mut io, "data", "ack");
+        assert_eq!(tx.retransmissions, 1);
+        assert_eq!(io.retx_notes, vec![0]);
+        io.now = 3; // backoff doubled: not expired again yet
+        tx.poll(&mut io, "data", "ack");
+        assert_eq!(tx.retransmissions, 1, "backoff suppresses a re-resend");
+        io.now = 6; // 2 + (2 << 1) = 6: second expiry
+        tx.poll(&mut io, "data", "ack");
+        assert_eq!(tx.retransmissions, 2);
+        assert_eq!(io.retx_notes, vec![0, 0]);
+    }
+
+    /// A [`Source`] that mirrors its sender counters into a shared cell so
+    /// the test can compare them against the network's observability.
+    struct CountingSource {
+        tx: RetxSender,
+        fed: usize,
+        count: usize,
+        stats: Rc<RefCell<(u64, u64)>>, // (retransmissions, acked)
+    }
+
+    impl Node for CountingSource {
+        fn name(&self) -> &str {
+            "source"
+        }
+        fn step(&mut self, io: &mut dyn NodeIo) {
+            while self.fed < self.count && self.tx.pending() < 64 {
+                self.tx.enqueue(vec![self.fed as u8, (self.fed >> 8) as u8]);
+                self.fed += 1;
+            }
+            self.tx.poll(io, "data", "ack");
+            *self.stats.borrow_mut() = (self.tx.retransmissions, self.tx.acked);
+        }
+    }
+
+    /// A [`Sink`] that mirrors its receiver counters the same way.
+    struct CountingSink {
+        rx: RetxReceiver,
+        got: Rc<RefCell<Vec<Vec<u8>>>>,
+        stats: Rc<RefCell<(u64, u64)>>, // (delivered, duplicates_ignored)
+    }
+
+    impl Node for CountingSink {
+        fn name(&self) -> &str {
+            "sink"
+        }
+        fn step(&mut self, io: &mut dyn NodeIo) {
+            let msgs = self.rx.poll(io, "data", "ack");
+            self.got.borrow_mut().extend(msgs);
+            *self.stats.borrow_mut() = (self.rx.delivered, self.rx.duplicates_ignored);
+        }
+    }
+
+    #[test]
+    fn heavy_duplicate_reorder_loss_stays_exactly_once_with_agreeing_counters() {
+        // The regression for the duplicate-then-reorder interaction under a
+        // full LossModel: aggressive duplication and reordering on both
+        // wires plus drops on data. The stream must arrive complete, in
+        // order, exactly once, and the sender's own retransmission counter
+        // must agree with the network's observability totals — a double
+        // `note_retransmit` (or a missed one) breaks the equality.
+        let count = 50;
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let tx_stats = Rc::new(RefCell::new((0u64, 0u64)));
+        let rx_stats = Rc::new(RefCell::new((0u64, 0u64)));
+        let mut net = Network::new();
+        let src = net.add_node(Box::new(CountingSource {
+            tx: RetxSender::new(8, 4),
+            fed: 0,
+            count,
+            stats: Rc::clone(&tx_stats),
+        }));
+        let dst = net.add_node(Box::new(CountingSink {
+            rx: RetxReceiver::new(),
+            got: Rc::clone(&got),
+            stats: Rc::clone(&rx_stats),
+        }));
+        let data_loss = LossModel::new(0xD117)
+            .with_drop(150)
+            .with_duplicate(300)
+            .with_reorder(200);
+        let ack_loss = LossModel::new(0xD118).with_duplicate(300).with_reorder(200);
+        net.connect_lossy(src, "data", dst, "data", 16, 1, data_loss);
+        net.connect_lossy(dst, "ack", src, "ack", 16, 1, ack_loss);
+        net.run(4000);
+        assert_eq!(
+            got.borrow().clone(),
+            expected(count),
+            "exactly once, in order"
+        );
+        let (retx, acked) = *tx_stats.borrow();
+        let (delivered, dups_ignored) = *rx_stats.borrow();
+        assert_eq!(delivered, count as u64);
+        assert_eq!(acked, count as u64, "each sequence acked exactly once");
+        assert_eq!(
+            retx, net.obs.metrics.totals.retransmissions,
+            "sender counter and observability must agree on every resend"
+        );
+        let duplicated: u64 = net.wires().iter().map(|w| w.duplicated).sum();
+        assert!(duplicated > 0, "loss model never duplicated anything");
+        assert!(dups_ignored > 0, "receiver never saw a duplicate");
     }
 }

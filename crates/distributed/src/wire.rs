@@ -4,6 +4,22 @@
 
 use sep_fault::{LossModel, WireFault};
 use std::collections::VecDeque;
+use std::fmt;
+
+/// Typed error for pushing onto a wire that has no room. Senders that
+/// checked [`Wire::has_room`] first never see it; senders that race the
+/// capacity (none exist today — rounds are single-threaded) get an error
+/// instead of a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireOverflow;
+
+impl fmt::Display for WireOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire overflow")
+    }
+}
+
+impl std::error::Error for WireOverflow {}
 
 /// CRC-16/CCITT (poly 0x1021, init 0xFFFF) over a byte slice. Detects every
 /// single-bit error — which is exactly the damage a [`LossModel`] corrupt
@@ -122,15 +138,27 @@ impl Wire {
     /// fate here: the *sender* still sees a successful send — that is what
     /// makes the loss silent and retransmission necessary.
     ///
-    /// # Panics
-    ///
-    /// Panics when the wire is full (callers check [`Wire::has_room`]).
-    pub fn push(&mut self, round: u64, msg: Vec<u8>) {
-        assert!(self.has_room(), "wire overflow");
+    /// Returns [`WireOverflow`] when the wire is full; callers normally
+    /// check [`Wire::has_room`] first and translate the error into
+    /// back-pressure.
+    pub fn push(&mut self, round: u64, msg: Vec<u8>) -> Result<(), WireOverflow> {
+        if !self.has_room() {
+            return Err(WireOverflow);
+        }
         let deliver_at = round + self.latency;
-        let fault = match self.loss.as_mut() {
-            Some(l) => l.decide(),
-            None => WireFault::None,
+        // Roll the fate and flip the corrupt bit in one borrow of the loss
+        // model: a Corrupt fate can only come from a model, so the second
+        // lookup the old code `expect`ed on is gone by construction.
+        let (fault, corrupt_pos) = match self.loss.as_mut() {
+            Some(l) => {
+                let fault = l.decide();
+                let pos = match fault {
+                    WireFault::Corrupt if !msg.is_empty() => Some(l.corrupt_pos(msg.len())),
+                    _ => None,
+                };
+                (fault, pos)
+            }
+            None => (WireFault::None, None),
         };
         match fault {
             WireFault::None => self.queue.push_back((deliver_at, msg)),
@@ -145,12 +173,7 @@ impl Wire {
             }
             WireFault::Corrupt => {
                 let mut msg = msg;
-                if !msg.is_empty() {
-                    let (byte, bit) = self
-                        .loss
-                        .as_mut()
-                        .expect("corrupt fault implies a loss model")
-                        .corrupt_pos(msg.len());
+                if let Some((byte, bit)) = corrupt_pos {
                     msg[byte] ^= 1 << bit;
                     self.corrupted += 1;
                 }
@@ -169,6 +192,7 @@ impl Wire {
                 }
             }
         }
+        Ok(())
     }
 
     /// Dequeues the next message deliverable at `round`, if any.
@@ -187,7 +211,7 @@ mod tests {
     #[test]
     fn delivery_respects_latency() {
         let mut w = Wire::new(0, "out", 1, "in", 4, 2);
-        w.push(10, vec![1]);
+        w.push(10, vec![1]).unwrap();
         assert_eq!(w.pop_deliverable(10), None);
         assert_eq!(w.pop_deliverable(11), None);
         assert_eq!(w.pop_deliverable(12), Some(vec![1]));
@@ -197,8 +221,8 @@ mod tests {
     #[test]
     fn fifo_order_preserved() {
         let mut w = Wire::new(0, "out", 1, "in", 4, 1);
-        w.push(0, vec![1]);
-        w.push(0, vec![2]);
+        w.push(0, vec![1]).unwrap();
+        w.push(0, vec![2]).unwrap();
         assert_eq!(w.pop_deliverable(5), Some(vec![1]));
         assert_eq!(w.pop_deliverable(5), Some(vec![2]));
     }
@@ -206,18 +230,18 @@ mod tests {
     #[test]
     fn capacity_limits_in_flight() {
         let mut w = Wire::new(0, "out", 1, "in", 2, 1);
-        w.push(0, vec![1]);
-        w.push(0, vec![2]);
+        w.push(0, vec![1]).unwrap();
+        w.push(0, vec![2]).unwrap();
         assert!(!w.has_room());
         assert_eq!(w.in_flight(), 2);
     }
 
     #[test]
-    #[should_panic(expected = "wire overflow")]
-    fn overflow_panics() {
+    fn overflow_is_a_typed_error() {
         let mut w = Wire::new(0, "out", 1, "in", 1, 1);
-        w.push(0, vec![1]);
-        w.push(0, vec![2]);
+        w.push(0, vec![1]).unwrap();
+        assert_eq!(w.push(0, vec![2]), Err(WireOverflow));
+        assert_eq!(w.in_flight(), 1, "rejected frame not enqueued");
     }
 
     #[test]
@@ -237,9 +261,9 @@ mod tests {
     #[test]
     fn same_round_pushes_deliver_in_push_order() {
         let mut w = Wire::new(0, "out", 1, "in", 4, 3);
-        w.push(7, vec![1]);
-        w.push(7, vec![2]);
-        w.push(7, vec![3]);
+        w.push(7, vec![1]).unwrap();
+        w.push(7, vec![2]).unwrap();
+        w.push(7, vec![3]).unwrap();
         // All three mature at the same round and come out FIFO.
         assert_eq!(w.pop_deliverable(10), Some(vec![1]));
         assert_eq!(w.pop_deliverable(10), Some(vec![2]));
@@ -252,10 +276,10 @@ mod tests {
         // Deliverable at exactly round + latency: one round earlier is too
         // soon, the boundary round itself is not.
         let mut w = Wire::new(0, "out", 1, "in", 2, 1);
-        w.push(5, vec![9]);
+        w.push(5, vec![9]).unwrap();
         assert_eq!(w.pop_deliverable(5), None, "same round is too soon");
         assert_eq!(w.pop_deliverable(6), Some(vec![9]), "boundary delivers");
-        w.push(u64::MAX - 1, vec![8]);
+        w.push(u64::MAX - 1, vec![8]).unwrap();
         assert_eq!(w.pop_deliverable(u64::MAX), Some(vec![8]));
     }
 
@@ -263,7 +287,7 @@ mod tests {
     fn lossless_wire_with_model_rates_zero_is_transparent() {
         let mut w = Wire::new(0, "out", 1, "in", 8, 1).with_loss(LossModel::new(1));
         for i in 0..8u8 {
-            w.push(0, vec![i]);
+            w.push(0, vec![i]).unwrap();
         }
         for i in 0..8u8 {
             assert_eq!(w.pop_deliverable(1), Some(vec![i]));
@@ -276,7 +300,7 @@ mod tests {
         let mut w =
             Wire::new(0, "out", 1, "in", 1024, 1).with_loss(LossModel::new(42).with_drop(1000));
         for _ in 0..64 {
-            w.push(0, vec![1]); // "succeeds" from the sender's view
+            w.push(0, vec![1]).unwrap(); // "succeeds" from the sender's view
         }
         assert_eq!(w.in_flight(), 0);
         assert_eq!(w.dropped, 64);
@@ -286,7 +310,7 @@ mod tests {
     fn corruption_flips_exactly_one_bit() {
         let mut w =
             Wire::new(0, "out", 1, "in", 8, 1).with_loss(LossModel::new(3).with_corrupt(1000));
-        w.push(0, vec![0x55, 0xAA]);
+        w.push(0, vec![0x55, 0xAA]).unwrap();
         let got = w.pop_deliverable(1).unwrap();
         let diff: u32 = got
             .iter()
@@ -302,8 +326,8 @@ mod tests {
         // 100% reorder: each push swaps with the frame ahead of it.
         let mut w =
             Wire::new(0, "out", 1, "in", 8, 2).with_loss(LossModel::new(9).with_reorder(1000));
-        w.push(0, vec![1]); // nothing ahead: delivered as-is
-        w.push(0, vec![2]); // swaps with [1]
+        w.push(0, vec![1]).unwrap(); // nothing ahead: delivered as-is
+        w.push(0, vec![2]).unwrap(); // swaps with [1]
         assert_eq!(w.reordered, 1);
         assert_eq!(w.pop_deliverable(2), Some(vec![2]));
         assert_eq!(w.pop_deliverable(2), Some(vec![1]));

@@ -1,0 +1,342 @@
+//! The fleet: boot a topology, run rounds, aggregate a report.
+//!
+//! [`Fleet::build`] realizes a [`FleetTopology`]: it boots one
+//! [`KernelNode`] per spec, registers each with the deterministic round
+//! executor ([`Network`]), and strings the declared wires — adding the
+//! reverse ack wire for every reliable link. The fleet keeps a shared
+//! handle to every node so it can sample queue depths each round and pull
+//! component counters into the aggregated report at the end.
+//!
+//! The report ([`Fleet::report`]) is pure integer JSON — goodput, latency
+//! quantiles, per-channel saturation, per-node kernel counters, per-wire
+//! loss counters — so a fixed seed yields a byte-identical report, which is
+//! what makes fleet-level differential experiments (fault containment,
+//! loss sweeps) meaningful.
+
+use crate::loadgen::LoadGen;
+use crate::metrics::{ChannelGauge, LatencyHistogram};
+use crate::node::{KernelNode, SharedNode};
+use crate::topology::FleetTopology;
+use sep_components::{FileServer, Guard};
+use sep_distributed::{Network, NodeId};
+use sep_obs::Json;
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+/// Aggregated load-generator counters across the fleet.
+#[derive(Default)]
+pub struct LoadTotals {
+    /// Requests issued.
+    pub issued: u64,
+    /// Responses received.
+    pub completed: u64,
+    /// Policy denials.
+    pub denied: u64,
+    /// Non-Ok, non-Denied statuses.
+    pub errored: u64,
+    /// Local sends refused by channel back-pressure.
+    pub send_rejected: u64,
+    /// Merged issue-to-response latency.
+    pub hist: LatencyHistogram,
+}
+
+/// A booted, running fleet.
+pub struct Fleet {
+    net: Network,
+    nodes: Vec<Rc<RefCell<KernelNode>>>,
+    names: Vec<String>,
+    /// Per node, per kernel channel.
+    gauges: Vec<Vec<ChannelGauge>>,
+    /// Per node, per gateway queue.
+    gate_gauges: Vec<Vec<ChannelGauge>>,
+    rounds: u64,
+}
+
+impl Fleet {
+    /// Boots every node and wires the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics on topology bugs: link endpoints out of range, a node that
+    /// will not boot, double-wired ports.
+    pub fn build(top: FleetTopology) -> Fleet {
+        let FleetTopology {
+            nodes: specs,
+            links,
+        } = top;
+        let mut rin: Vec<BTreeSet<String>> = (0..specs.len()).map(|_| BTreeSet::new()).collect();
+        let mut rout: Vec<BTreeSet<String>> = (0..specs.len()).map(|_| BTreeSet::new()).collect();
+        for l in &links {
+            assert!(
+                l.from < specs.len() && l.to < specs.len(),
+                "link endpoint out of range"
+            );
+            if l.reliable {
+                rout[l.from].insert(l.from_port.clone());
+                rin[l.to].insert(l.to_port.clone());
+            }
+        }
+
+        let mut net = Network::new();
+        let mut nodes = Vec::new();
+        let mut names = Vec::new();
+        let mut gauges = Vec::new();
+        let mut gate_gauges = Vec::new();
+        for (i, spec) in specs.into_iter().enumerate() {
+            let node = KernelNode::from_spec(spec, &rin[i], &rout[i]);
+            let chg: Vec<ChannelGauge> = node
+                .channel_names()
+                .iter()
+                .zip(&node.kernel.channels)
+                .map(|(name, ch)| ChannelGauge::new(name, ch.spec.capacity))
+                .collect();
+            let gg: Vec<ChannelGauge> = node
+                .gateway_depths()
+                .iter()
+                .map(|(name, _)| ChannelGauge::new(name, 0))
+                .collect();
+            names.push(node.name().to_string());
+            let rc = Rc::new(RefCell::new(node));
+            net.add_node(Box::new(SharedNode::new(Rc::clone(&rc))));
+            nodes.push(rc);
+            gauges.push(chg);
+            gate_gauges.push(gg);
+        }
+        for l in &links {
+            match l.loss.clone() {
+                Some(m) => net.connect_lossy(
+                    NodeId(l.from),
+                    &l.from_port,
+                    NodeId(l.to),
+                    &l.to_port,
+                    l.capacity,
+                    l.latency,
+                    m,
+                ),
+                None => net.connect(
+                    NodeId(l.from),
+                    &l.from_port,
+                    NodeId(l.to),
+                    &l.to_port,
+                    l.capacity,
+                    l.latency,
+                ),
+            }
+            if l.reliable {
+                let from_ack = format!("{}.ack", l.from_port);
+                let to_ack = format!("{}.ack", l.to_port);
+                match l.ack_loss.clone() {
+                    Some(m) => net.connect_lossy(
+                        NodeId(l.to),
+                        &to_ack,
+                        NodeId(l.from),
+                        &from_ack,
+                        l.capacity,
+                        l.latency,
+                        m,
+                    ),
+                    None => net.connect(
+                        NodeId(l.to),
+                        &to_ack,
+                        NodeId(l.from),
+                        &from_ack,
+                        l.capacity,
+                        l.latency,
+                    ),
+                }
+            }
+        }
+        Fleet {
+            net,
+            nodes,
+            names,
+            gauges,
+            gate_gauges,
+            rounds: 0,
+        }
+    }
+
+    /// Toggles per-node event tracing on the network (counters stay on
+    /// regardless; large benches turn tracing off).
+    pub fn set_tracing(&mut self, on: bool) {
+        self.net.set_tracing(on);
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the fleet has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The underlying network (traces, wires, obs counters).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// A shared handle to node `i`.
+    pub fn node(&self, i: usize) -> Rc<RefCell<KernelNode>> {
+        Rc::clone(&self.nodes[i])
+    }
+
+    /// Node `i`'s kernel-channel gauges (parallel to its channel table).
+    pub fn channel_gauges(&self, i: usize) -> &[ChannelGauge] {
+        &self.gauges[i]
+    }
+
+    /// Node `i`'s gateway-queue gauges.
+    pub fn gateway_gauges(&self, i: usize) -> &[ChannelGauge] {
+        &self.gate_gauges[i]
+    }
+
+    /// Runs `n` rounds, sampling every queue once per round.
+    pub fn run_rounds(&mut self, n: u64) {
+        for _ in 0..n {
+            self.net.run_round();
+            self.rounds += 1;
+            self.sample();
+        }
+    }
+
+    fn sample(&mut self) {
+        for i in 0..self.nodes.len() {
+            let node = self.nodes[i].borrow();
+            for (j, g) in self.gauges[i].iter_mut().enumerate() {
+                g.observe(node.kernel.channels[j].queue().len());
+            }
+            for (g, (_, depth)) in self.gate_gauges[i].iter_mut().zip(node.gateway_depths()) {
+                g.observe(depth);
+            }
+        }
+    }
+
+    /// Applies `f` to every hosted component on every node.
+    pub fn for_each_component(
+        &mut self,
+        f: &mut dyn FnMut(&str, &mut dyn sep_components::Component),
+    ) {
+        for (i, rc) in self.nodes.iter().enumerate() {
+            let name = self.names[i].clone();
+            rc.borrow_mut().for_each_component(&mut |c| f(&name, c));
+        }
+    }
+
+    /// Aggregated load-generator counters.
+    pub fn loadgen_totals(&mut self) -> LoadTotals {
+        let mut t = LoadTotals::default();
+        self.for_each_component(&mut |_, c| {
+            if let Some(lg) = c.as_any().downcast_mut::<LoadGen>() {
+                t.issued += lg.issued;
+                t.completed += lg.completed;
+                t.denied += lg.denied;
+                t.errored += lg.errored;
+                t.send_rejected += lg.send_rejected;
+                t.hist.merge(&lg.hist);
+            }
+        });
+        t
+    }
+
+    /// Aggregated file-server counters: (requests served, denials).
+    pub fn fileserver_totals(&mut self) -> (u64, u64) {
+        let (mut served, mut denials) = (0, 0);
+        self.for_each_component(&mut |_, c| {
+            if let Some(fs) = c.as_any().downcast_mut::<FileServer>() {
+                served += fs.requests_served;
+                denials += fs.denials;
+            }
+        });
+        (served, denials)
+    }
+
+    /// Advisories sitting in Guard review queues right now.
+    pub fn guard_pending_total(&mut self) -> u64 {
+        let mut pending = 0;
+        self.for_each_component(&mut |_, c| {
+            if let Some(g) = c.as_any().downcast_mut::<Guard>() {
+                pending += g.pending_review() as u64;
+            }
+        });
+        pending
+    }
+
+    fn node_json(&self, i: usize) -> Json {
+        let node = self.nodes[i].borrow();
+        let totals = &node.kernel.machine.obs.metrics.totals;
+        let channels: Vec<Json> = self.gauges[i].iter().map(ChannelGauge::to_json).collect();
+        let gateway: Vec<Json> = self.gate_gauges[i]
+            .iter()
+            .map(ChannelGauge::to_json)
+            .collect();
+        Json::obj()
+            .field("name", self.names[i].as_str())
+            .field("steps", node.kernel.stats.steps)
+            .field("idle_steps", node.kernel.stats.idle_steps)
+            .field("messages_sent", node.kernel.stats.messages_sent)
+            .field("bytes_copied", node.kernel.stats.bytes_copied)
+            .field("faults", totals.faults)
+            .field("restarts", totals.restarts)
+            .field("channels", Json::Arr(channels))
+            .field("gateway", Json::Arr(gateway))
+    }
+
+    fn wires_json(&self) -> Json {
+        let items: Vec<Json> = self
+            .net
+            .wires()
+            .iter()
+            .map(|w| {
+                Json::obj()
+                    .field(
+                        "wire",
+                        format!(
+                            "{}:{} -> {}:{}",
+                            self.names[w.from_node], w.from_port, self.names[w.to_node], w.to_port
+                        ),
+                    )
+                    .field("dropped", w.dropped)
+                    .field("duplicated", w.duplicated)
+                    .field("corrupted", w.corrupted)
+                    .field("reordered", w.reordered)
+            })
+            .collect();
+        Json::Arr(items)
+    }
+
+    /// The aggregated fleet report: byte-identical for identical seeds.
+    pub fn report(&mut self) -> Json {
+        let lt = self.loadgen_totals();
+        let (fs_served, fs_denials) = self.fileserver_totals();
+        let guard_pending = self.guard_pending_total();
+        let rounds = self.rounds.max(1);
+        let nodes: Vec<Json> = (0..self.nodes.len()).map(|i| self.node_json(i)).collect();
+        let wt = &self.net.obs.metrics.totals;
+        Json::obj()
+            .field("rounds", self.rounds)
+            .field("nodes", self.nodes.len())
+            .field("issued", lt.issued)
+            .field("completed", lt.completed)
+            .field("denied", lt.denied)
+            .field("errored", lt.errored)
+            .field("send_rejected", lt.send_rejected)
+            .field("goodput_milli", lt.completed * 1000 / rounds)
+            .field("latency", lt.hist.to_json())
+            .field("fs_requests_served", fs_served)
+            .field("fs_denials", fs_denials)
+            .field("guard_pending", guard_pending)
+            .field("wire_messages", wt.wire_messages)
+            .field("wire_bytes", wt.wire_bytes)
+            .field("retransmissions", wt.retransmissions)
+            .field("wires", self.wires_json())
+            .field("node_detail", Json::Arr(nodes))
+    }
+}

@@ -1,0 +1,430 @@
+//! Seeded traffic generation: client populations as components.
+//!
+//! A [`LoadGen`] simulates a whole population of file-server and Guard
+//! clients behind one node — thousands to millions of users, each request
+//! attributed to a user drawn from a seeded [`SplitMix64`]. It is an
+//! ordinary [`Component`], so it runs inside a kernel regime like any
+//! trusted service and its traffic leaves the node through the gateway like
+//! anyone else's. Request latency is measured in rounds, from issue to the
+//! matching response, into a [`LatencyHistogram`].
+//!
+//! Two pacing modes ([`LoopMode`]):
+//!
+//! * **Open** — requests arrive at a fixed expected rate regardless of
+//!   responses (an arrival process; overload shows up as queue growth).
+//! * **Closed** — a window of outstanding requests; each response releases
+//!   the next (think-time-free closed loop; overload shows up as latency).
+//!
+//! A list of [`BurstPhase`]s scales either mode over time — the diurnal
+//! schedule of the experiment plan. Phases cycle, so a two-phase
+//! quiet/burst plan is a square wave.
+
+use crate::metrics::LatencyHistogram;
+use sep_components::component::{Component, ComponentIo};
+use sep_components::fileserver::request;
+use sep_components::proto::Status;
+use sep_model::rng::SplitMix64;
+use sep_policy::level::SecurityLevel;
+use std::any::Any;
+use std::collections::VecDeque;
+
+/// Request pacing.
+#[derive(Debug, Clone, Copy)]
+pub enum LoopMode {
+    /// Open loop: an expected `rate_milli`/1000 requests per round,
+    /// accumulated exactly (integer carry, no drift).
+    Open {
+        /// Requests per round, ×1000.
+        rate_milli: u64,
+    },
+    /// Closed loop: at most `window` requests outstanding.
+    Closed {
+        /// Outstanding-request window.
+        window: u64,
+    },
+}
+
+/// One phase of the burst schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstPhase {
+    /// Phase length in rounds.
+    pub rounds: u64,
+    /// Load level applied during the phase, ×1000 (1000 = nominal,
+    /// 0 = idle, 2000 = double).
+    pub level_pm: u64,
+}
+
+/// Workload mix in per-mille (must sum to 1000).
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadMix {
+    /// File reads.
+    pub read_pm: u64,
+    /// File creates/appends.
+    pub write_pm: u64,
+    /// Guard advisory round-trips.
+    pub guard_pm: u64,
+}
+
+impl WorkloadMix {
+    /// A read/write mix with no Guard traffic.
+    pub fn rw(read_pm: u64, write_pm: u64) -> WorkloadMix {
+        WorkloadMix {
+            read_pm,
+            write_pm,
+            guard_pm: 0,
+        }
+    }
+
+    fn validate(&self) {
+        assert_eq!(
+            self.read_pm + self.write_pm + self.guard_pm,
+            1000,
+            "workload mix must sum to 1000 per mille"
+        );
+    }
+}
+
+/// Configuration for one generator (one node's population).
+#[derive(Debug, Clone)]
+pub struct LoadGenCfg {
+    /// RNG seed (user draws, op draws).
+    pub seed: u64,
+    /// Population size: requests are attributed to users `0..users`.
+    pub users: u64,
+    /// Pacing mode.
+    pub mode: LoopMode,
+    /// Operation mix.
+    pub mix: WorkloadMix,
+    /// Burst schedule; empty = constant nominal load.
+    pub phases: Vec<BurstPhase>,
+    /// The session level every simulated user runs at.
+    pub level: SecurityLevel,
+}
+
+/// A seeded client population. Ports: `fs.req`/`fs.rsp` to a file server,
+/// `guard.req`/`guard.rsp` through a Guard (only used when the mix has
+/// Guard traffic).
+pub struct LoadGen {
+    name: String,
+    cfg: LoadGenCfg,
+    rng: SplitMix64,
+    carry_milli: u64,
+    created: u64,
+    fs_pending: VecDeque<u64>,
+    guard_pending: VecDeque<u64>,
+    /// Issue-to-response latency, in rounds.
+    pub hist: LatencyHistogram,
+    /// Requests issued onto the wire.
+    pub issued: u64,
+    /// Responses received.
+    pub completed: u64,
+    /// Responses carrying a policy denial.
+    pub denied: u64,
+    /// Responses carrying any non-Ok, non-Denied status.
+    pub errored: u64,
+    /// Sends refused by the local channel (node-side back-pressure).
+    pub send_rejected: u64,
+}
+
+impl LoadGen {
+    /// A generator named `name` (also its regime/trace name).
+    pub fn new(name: &str, cfg: LoadGenCfg) -> LoadGen {
+        cfg.mix.validate();
+        LoadGen {
+            name: name.to_string(),
+            rng: SplitMix64::new(cfg.seed),
+            cfg,
+            carry_milli: 0,
+            created: 0,
+            fs_pending: VecDeque::new(),
+            guard_pending: VecDeque::new(),
+            hist: LatencyHistogram::new(),
+            issued: 0,
+            completed: 0,
+            denied: 0,
+            errored: 0,
+            send_rejected: 0,
+        }
+    }
+
+    /// Requests currently outstanding.
+    pub fn outstanding(&self) -> u64 {
+        (self.fs_pending.len() + self.guard_pending.len()) as u64
+    }
+
+    /// The burst level in effect at `round` (phases cycle).
+    fn level_pm(&self, round: u64) -> u64 {
+        let total: u64 = self.cfg.phases.iter().map(|p| p.rounds).sum();
+        if total == 0 {
+            return 1000;
+        }
+        let mut r = round % total;
+        for p in &self.cfg.phases {
+            if r < p.rounds {
+                return p.level_pm;
+            }
+            r -= p.rounds;
+        }
+        1000
+    }
+
+    /// How many requests to issue this round.
+    fn quota(&mut self, round: u64) -> u64 {
+        let level = self.level_pm(round);
+        match self.cfg.mode {
+            LoopMode::Open { rate_milli } => {
+                self.carry_milli += rate_milli * level / 1000;
+                let n = self.carry_milli / 1000;
+                self.carry_milli %= 1000;
+                n
+            }
+            LoopMode::Closed { window } => {
+                let w = window * level / 1000;
+                w.saturating_sub(self.outstanding())
+            }
+        }
+    }
+
+    fn issue_one(&mut self, io: &mut dyn ComponentIo, round: u64) {
+        // Draws happen unconditionally so the request stream is a pure
+        // function of the seed, independent of transient back-pressure.
+        let uid = self.rng.below(self.cfg.users.max(1) as usize) as u64;
+        let roll = self.rng.below(1000) as u64;
+        let sub = self.rng.bool();
+        let mix = self.cfg.mix;
+        if roll < mix.guard_pm {
+            let msg = format!("advisory u{uid} n{}", self.issued);
+            if io.send("guard.req", msg.as_bytes()) {
+                self.guard_pending.push_back(round);
+                self.issued += 1;
+            } else {
+                self.send_rejected += 1;
+            }
+        } else if roll < mix.guard_pm + mix.write_pm || self.created == 0 {
+            // Writes alternate between creating a fresh file and appending
+            // user data to an existing one (first write must create).
+            let creating = sub || self.created == 0;
+            let frame = if creating {
+                let name = format!("{}/f{}", self.name, self.created);
+                request::create(&name, self.cfg.level)
+            } else {
+                let pick = self.rng.below(self.created as usize) as u64;
+                let name = format!("{}/f{pick}", self.name);
+                request::append(&name, self.cfg.level, &uid.to_le_bytes())
+            };
+            if io.send("fs.req", &frame) {
+                if creating {
+                    self.created += 1;
+                }
+                self.fs_pending.push_back(round);
+                self.issued += 1;
+            } else {
+                self.send_rejected += 1;
+            }
+        } else {
+            let pick = self.rng.below(self.created as usize) as u64;
+            let name = format!("{}/f{pick}", self.name);
+            let frame = request::read(&name, self.cfg.level);
+            if io.send("fs.req", &frame) {
+                self.fs_pending.push_back(round);
+                self.issued += 1;
+            } else {
+                self.send_rejected += 1;
+            }
+        }
+    }
+
+    fn complete(&mut self, round: u64, issued_at: u64, status: Option<Status>) {
+        self.hist.record(round.saturating_sub(issued_at));
+        self.completed += 1;
+        match status {
+            Some(Status::Ok) | None => {}
+            Some(Status::Denied) => self.denied += 1,
+            Some(_) => self.errored += 1,
+        }
+    }
+}
+
+impl Component for LoadGen {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn step(&mut self, io: &mut dyn ComponentIo) {
+        let round = io.round();
+        // Responses first: in closed loop they release this round's quota.
+        while let Some(rsp) = io.recv("fs.rsp") {
+            if let Some(t) = self.fs_pending.pop_front() {
+                let (status, _) = request::decode(&rsp);
+                self.complete(round, t, Some(status));
+            }
+        }
+        while io.recv("guard.rsp").is_some() {
+            if let Some(t) = self.guard_pending.pop_front() {
+                self.complete(round, t, None);
+            }
+        }
+        let quota = self.quota(round);
+        for _ in 0..quota {
+            self.issue_one(io, round);
+        }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Component> {
+        Box::new(LoadGen {
+            name: self.name.clone(),
+            cfg: self.cfg.clone(),
+            rng: self.rng.clone(),
+            carry_milli: self.carry_milli,
+            created: self.created,
+            fs_pending: self.fs_pending.clone(),
+            guard_pending: self.guard_pending.clone(),
+            hist: self.hist.clone(),
+            issued: self.issued,
+            completed: self.completed,
+            denied: self.denied,
+            errored: self.errored,
+            send_rejected: self.send_rejected,
+        })
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Echoes `in` to `out` — the trivially trusted high-side service behind a
+/// Guard in fleet topologies (every advisory comes straight back and must
+/// pass the watch officer's review on the way down).
+#[derive(Debug, Clone)]
+pub struct Reflector {
+    name: String,
+    /// Frames reflected.
+    pub reflected: u64,
+}
+
+impl Reflector {
+    /// A reflector named `name`.
+    pub fn new(name: &str) -> Reflector {
+        Reflector {
+            name: name.to_string(),
+            reflected: 0,
+        }
+    }
+}
+
+impl Component for Reflector {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn step(&mut self, io: &mut dyn ComponentIo) {
+        while let Some(m) = io.recv("in") {
+            io.send("out", &m);
+            self.reflected += 1;
+        }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Component> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sep_components::component::TestIo;
+    use sep_components::fileserver::op;
+
+    fn cfg(mode: LoopMode) -> LoadGenCfg {
+        LoadGenCfg {
+            seed: 7,
+            users: 1000,
+            mode,
+            mix: WorkloadMix::rw(600, 400),
+            phases: Vec::new(),
+            level: SecurityLevel::unclassified(),
+        }
+    }
+
+    #[test]
+    fn open_loop_rate_accumulates_exactly() {
+        let mut lg = LoadGen::new("lg", cfg(LoopMode::Open { rate_milli: 2500 }));
+        let mut io = TestIo::new();
+        io.run(&mut lg, 4);
+        // 2.5 requests/round for 4 rounds = exactly 10.
+        assert_eq!(lg.issued, 10);
+        assert_eq!(io.take_sent("fs.req").len(), 10);
+    }
+
+    #[test]
+    fn closed_loop_caps_outstanding_at_the_window() {
+        let mut lg = LoadGen::new("lg", cfg(LoopMode::Closed { window: 3 }));
+        let mut io = TestIo::new();
+        io.run(&mut lg, 5);
+        assert_eq!(lg.issued, 3, "no responses, so the window pins issuance");
+        assert_eq!(lg.outstanding(), 3);
+    }
+
+    #[test]
+    fn responses_release_the_window_and_land_in_the_histogram() {
+        let mut lg = LoadGen::new("lg", cfg(LoopMode::Closed { window: 2 }));
+        let mut io = TestIo::new();
+        io.run(&mut lg, 1);
+        assert_eq!(lg.issued, 2);
+        io.push("fs.rsp", &[Status::Ok.code()]);
+        io.push("fs.rsp", &[Status::Denied.code()]);
+        io.run(&mut lg, 1);
+        assert_eq!(lg.completed, 2);
+        assert_eq!(lg.denied, 1);
+        assert_eq!(lg.hist.count, 2);
+        assert_eq!(lg.issued, 4, "freed window refills");
+    }
+
+    #[test]
+    fn burst_phases_cycle_as_a_square_wave() {
+        let mut c = cfg(LoopMode::Open { rate_milli: 1000 });
+        c.phases = vec![
+            BurstPhase {
+                rounds: 2,
+                level_pm: 0,
+            },
+            BurstPhase {
+                rounds: 2,
+                level_pm: 2000,
+            },
+        ];
+        let mut lg = LoadGen::new("lg", c);
+        let mut io = TestIo::new();
+        io.run(&mut lg, 4);
+        // Rounds 0–1 idle, rounds 2–3 at 2 req/round.
+        assert_eq!(lg.issued, 4);
+        io.run(&mut lg, 4);
+        assert_eq!(lg.issued, 8, "the schedule repeats");
+    }
+
+    #[test]
+    fn first_fs_request_is_always_a_create() {
+        let mut lg = LoadGen::new("lg", cfg(LoopMode::Closed { window: 1 }));
+        let mut io = TestIo::new();
+        io.run(&mut lg, 1);
+        let sent = io.take_sent("fs.req");
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0][0], op::CREATE);
+    }
+
+    #[test]
+    fn same_seed_same_request_stream() {
+        let mk = || {
+            let mut lg = LoadGen::new("lg", cfg(LoopMode::Open { rate_milli: 3000 }));
+            let mut io = TestIo::new();
+            io.run(&mut lg, 20);
+            io.take_sent("fs.req")
+        };
+        assert_eq!(mk(), mk());
+    }
+}

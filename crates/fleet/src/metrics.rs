@@ -1,0 +1,237 @@
+//! Fleet-level metrics: integer latency histograms and saturation gauges.
+//!
+//! Everything here is integer arithmetic over deterministic counters, so an
+//! aggregated fleet report is byte-identical across runs with the same
+//! seeds — the property the determinism suite pins. Latencies are measured
+//! in **rounds** (the fleet's only clock); quantiles are exact bucket
+//! walks, not estimates.
+
+use sep_obs::Json;
+
+/// Histogram resolution: latencies ≥ this many rounds land in the overflow
+/// bucket (reported as the observed maximum).
+pub const HIST_BUCKETS: usize = 1024;
+
+/// A fixed-bucket latency histogram over round counts.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (for the mean).
+    pub total: u64,
+    /// Largest sample seen.
+    pub max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: vec![0; HIST_BUCKETS],
+            count: 0,
+            total: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, rounds: u64) {
+        let idx = (rounds as usize).min(HIST_BUCKETS - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.total += rounds;
+        self.max = self.max.max(rounds);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+    }
+
+    /// The per-mille quantile (`500` = p50, `990` = p99, `999` = p999):
+    /// the smallest latency with at least that fraction of samples at or
+    /// below it. Zero when empty; overflow-bucket hits report the maximum.
+    pub fn quantile_pm(&self, pm: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (self.count - 1) * pm / 1000;
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum > rank {
+                return if i == HIST_BUCKETS - 1 {
+                    self.max
+                } else {
+                    i as u64
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Mean latency ×1000 (integer milli-rounds, to stay byte-stable).
+    pub fn mean_milli(&self) -> u64 {
+        (self.total * 1000).checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The histogram's summary as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("count", self.count)
+            .field("p50", self.quantile_pm(500))
+            .field("p90", self.quantile_pm(900))
+            .field("p99", self.quantile_pm(990))
+            .field("p999", self.quantile_pm(999))
+            .field("max", self.max)
+            .field("mean_milli", self.mean_milli())
+    }
+}
+
+/// Queue-depth gauge for one kernel channel or gateway queue, sampled once
+/// per round by the fleet.
+#[derive(Debug, Clone)]
+pub struct ChannelGauge {
+    /// What is being gauged.
+    pub name: String,
+    /// Queue capacity; 0 means unbounded (gateway spools, ARQ queues).
+    pub capacity: usize,
+    /// Rounds sampled.
+    pub samples: u64,
+    /// Sum of observed depths.
+    pub depth_sum: u64,
+    /// Deepest observation.
+    pub max_depth: usize,
+    /// Samples at which the queue sat at capacity (saturation).
+    pub full_samples: u64,
+}
+
+impl ChannelGauge {
+    /// A fresh gauge.
+    pub fn new(name: &str, capacity: usize) -> ChannelGauge {
+        ChannelGauge {
+            name: name.to_string(),
+            capacity,
+            samples: 0,
+            depth_sum: 0,
+            max_depth: 0,
+            full_samples: 0,
+        }
+    }
+
+    /// Records one depth observation.
+    pub fn observe(&mut self, depth: usize) {
+        self.samples += 1;
+        self.depth_sum += depth as u64;
+        self.max_depth = self.max_depth.max(depth);
+        if self.capacity > 0 && depth >= self.capacity {
+            self.full_samples += 1;
+        }
+    }
+
+    /// Mean depth ×1000.
+    pub fn avg_depth_milli(&self) -> u64 {
+        (self.depth_sum * 1000)
+            .checked_div(self.samples)
+            .unwrap_or(0)
+    }
+
+    /// Fraction of samples at capacity, ×1000.
+    pub fn saturation_milli(&self) -> u64 {
+        (self.full_samples * 1000)
+            .checked_div(self.samples)
+            .unwrap_or(0)
+    }
+
+    /// The gauge as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("name", self.name.as_str())
+            .field("capacity", self.capacity)
+            .field("avg_depth_milli", self.avg_depth_milli())
+            .field("max_depth", self.max_depth)
+            .field("saturation_milli", self.saturation_milli())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_exact_on_known_data() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count, 100);
+        assert_eq!(h.quantile_pm(500), 50);
+        assert_eq!(h.quantile_pm(990), 99);
+        assert_eq!(h.quantile_pm(999), 99, "p999 of 100 samples is rank 99");
+        assert_eq!(h.quantile_pm(1000), 100);
+        assert_eq!(h.max, 100);
+        assert_eq!(h.mean_milli(), 50_500);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_pm(500), 0);
+        assert_eq!(h.mean_milli(), 0);
+        assert_eq!(h.to_json().to_compact(), h.clone().to_json().to_compact());
+    }
+
+    #[test]
+    fn overflow_bucket_reports_the_true_max() {
+        let mut h = LatencyHistogram::new();
+        h.record(5);
+        h.record(9999);
+        assert_eq!(h.max, 9999);
+        assert_eq!(h.quantile_pm(500), 5, "rank 0 of two samples");
+        assert_eq!(h.quantile_pm(1000), 9999, "overflow bucket reads as max");
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut both = LatencyHistogram::new();
+        for v in [3u64, 7, 7, 2000] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [1u64, 9, 4] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.to_json().to_compact(), both.to_json().to_compact());
+    }
+
+    #[test]
+    fn gauge_tracks_saturation_only_when_bounded() {
+        let mut g = ChannelGauge::new("ch", 4);
+        g.observe(2);
+        g.observe(4);
+        g.observe(4);
+        assert_eq!(g.saturation_milli(), 666);
+        assert_eq!(g.avg_depth_milli(), 3333);
+        assert_eq!(g.max_depth, 4);
+        let mut un = ChannelGauge::new("spool", 0);
+        un.observe(1000);
+        assert_eq!(un.saturation_milli(), 0, "unbounded queues never saturate");
+        assert_eq!(un.max_depth, 1000);
+    }
+}

@@ -1,0 +1,379 @@
+//! A separation kernel as one node of the distributed fleet.
+//!
+//! The paper's central observation is that the kernel *recreates* a
+//! distributed system on one machine; the fleet closes the loop and puts
+//! many such kernels back onto a (simulated) network. Each [`KernelNode`]
+//! boots a [`SeparationKernel`] whose regimes host [`Component`]s, plus one
+//! idle **uplink** regime that stands in for the node's network interface:
+//! every network-facing channel nominally begins or ends at the uplink, and
+//! the host-side gateway moves bytes between those channels and the node's
+//! wire ports with [`sep_kernel::Channel::host_push`] / `host_pop`.
+//!
+//! To a hosted component, remote traffic is therefore indistinguishable
+//! from a local neighbour: it arrives on an ordinary kernel channel with
+//! ordinary capacity back-pressure. The gateway is the only code that knows
+//! the wire exists — and on reliable links it runs the selective-repeat ARQ
+//! ([`RetxSender`]/[`RetxReceiver`]) so loss, duplication, and reordering
+//! are repaired before the kernel ever sees a frame.
+//!
+//! # Determinism
+//!
+//! A node's step is a pure function of its kernel state, its gateway state,
+//! and the frames the round delivers. Wire latency is ≥ 1, so nothing a
+//! node sends is visible to any other node in the same round — the order in
+//! which nodes step within a round is unobservable, and a whole fleet run
+//! is a deterministic function of its topology and seeds.
+
+use crate::topology::NodeSpec;
+use sep_components::component::{PortBinding, RegimeComponent};
+use sep_components::Component;
+use sep_distributed::{Node, NodeIo, RetxReceiver, RetxSender};
+use sep_fault::FaultPlan;
+use sep_kernel::config::{KernelConfig, RegimeSpec};
+use sep_kernel::fault;
+use sep_kernel::kernel::SeparationKernel;
+use sep_kernel::regime::{NativeAction, NativeRegime, RegimeIo};
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::{BTreeSet, VecDeque};
+use std::rc::Rc;
+
+/// ARQ window for reliable gateway links, in frames.
+pub const RETX_WINDOW: usize = 16;
+/// ARQ retransmit timeout for reliable gateway links, in rounds.
+pub const RETX_TIMEOUT: u64 = 4;
+/// Egress stops draining a kernel channel into the ARQ sender once this
+/// many frames are queued or in flight, so back-pressure reaches the
+/// sending component as channel-Full instead of unbounded gateway memory.
+const EGRESS_HIGH_WATER: usize = 4 * RETX_WINDOW;
+
+/// The idle uplink regime: the kernel-side endpoint of every gateway
+/// channel. It runs no logic — the host gateway is the thing actually
+/// feeding and draining its channels — but its existence keeps the channel
+/// table honest: every channel has two in-kernel endpoints, and components
+/// cannot tell a gateway channel from a local one.
+#[derive(Debug, Clone)]
+struct Uplink;
+
+impl NativeRegime for Uplink {
+    fn step(&mut self, _io: &mut dyn RegimeIo) -> NativeAction {
+        NativeAction::Swap
+    }
+
+    fn boxed_clone(&self) -> Box<dyn NativeRegime> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// One ingress gateway port: wire frames in, kernel channel out.
+struct GateIn {
+    port: String,
+    ack_port: String,
+    channel: usize,
+    rx: Option<RetxReceiver>,
+    /// Frames delivered by the wire/ARQ but not yet accepted by the
+    /// channel (which may be at capacity). Drained first, in order.
+    spool: VecDeque<Vec<u8>>,
+}
+
+/// One egress gateway port: kernel channel in, wire frames out.
+struct GateOut {
+    port: String,
+    ack_port: String,
+    channel: usize,
+    tx: Option<RetxSender>,
+    /// Unreliable egress only: the frame that met a full wire, retried
+    /// before the channel is drained further (FIFO order is preserved).
+    spool: VecDeque<Vec<u8>>,
+}
+
+/// A separation kernel node of the fleet.
+pub struct KernelNode {
+    name: String,
+    /// The hosted kernel (public: tests and metrics sample it directly).
+    pub kernel: SeparationKernel,
+    slots_per_round: u64,
+    plan: FaultPlan,
+    kill_at: Option<u64>,
+    inputs: Vec<GateIn>,
+    outputs: Vec<GateOut>,
+    channel_names: Vec<String>,
+}
+
+impl KernelNode {
+    /// Boots a node from its spec. `reliable_in` / `reliable_out` name the
+    /// node ports that carry an ARQ (the fleet builder derives them from
+    /// the link list).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the kernel refuses to boot (too many regimes, bad
+    /// channel endpoints) — a topology bug, caught before traffic flows.
+    pub fn from_spec(
+        spec: NodeSpec,
+        reliable_in: &BTreeSet<String>,
+        reliable_out: &BTreeSet<String>,
+    ) -> KernelNode {
+        let NodeSpec {
+            name,
+            components,
+            locals,
+            inputs,
+            outputs,
+            slots_per_round,
+            fault_plan,
+            kill_at,
+        } = spec;
+        let n = components.len();
+        let uplink = n;
+        let comp_names: Vec<String> = components
+            .iter()
+            .map(|c| c.component.name().to_string())
+            .collect();
+
+        // Channel table: locals first, then ingress, then egress.
+        let mut chan_specs: Vec<(usize, usize, usize)> = Vec::new();
+        let mut channel_names = Vec::new();
+        let mut bindings: Vec<Vec<PortBinding>> = (0..n).map(|_| Vec::new()).collect();
+        for l in &locals {
+            let idx = chan_specs.len();
+            chan_specs.push((l.from, l.to, l.capacity));
+            channel_names.push(format!(
+                "{}.{}->{}.{}",
+                comp_names[l.from], l.from_port, comp_names[l.to], l.to_port
+            ));
+            bindings[l.from].push(PortBinding::Send {
+                port: l.from_port.clone(),
+                channel: idx,
+            });
+            bindings[l.to].push(PortBinding::Recv {
+                port: l.to_port.clone(),
+                channel: idx,
+            });
+        }
+        let mut gates_in = Vec::new();
+        for g in &inputs {
+            let idx = chan_specs.len();
+            chan_specs.push((uplink, g.component, g.capacity));
+            channel_names.push(format!("in:{}", g.net_port));
+            bindings[g.component].push(PortBinding::Recv {
+                port: g.comp_port.clone(),
+                channel: idx,
+            });
+            gates_in.push(GateIn {
+                port: g.net_port.clone(),
+                ack_port: format!("{}.ack", g.net_port),
+                channel: idx,
+                rx: reliable_in.contains(&g.net_port).then(RetxReceiver::new),
+                spool: VecDeque::new(),
+            });
+        }
+        let mut gates_out = Vec::new();
+        for g in &outputs {
+            let idx = chan_specs.len();
+            chan_specs.push((g.component, uplink, g.capacity));
+            channel_names.push(format!("out:{}", g.net_port));
+            bindings[g.component].push(PortBinding::Send {
+                port: g.comp_port.clone(),
+                channel: idx,
+            });
+            gates_out.push(GateOut {
+                port: g.net_port.clone(),
+                ack_port: format!("{}.ack", g.net_port),
+                channel: idx,
+                tx: reliable_out
+                    .contains(&g.net_port)
+                    .then(|| RetxSender::new(RETX_WINDOW, RETX_TIMEOUT)),
+                spool: VecDeque::new(),
+            });
+        }
+
+        let mut regs: Vec<RegimeSpec> = Vec::with_capacity(n + 1);
+        for (i, slot) in components.into_iter().enumerate() {
+            let mut r = RegimeSpec::native(
+                &comp_names[i],
+                RegimeComponent::new(slot.component, std::mem::take(&mut bindings[i])),
+            );
+            if let Some(p) = slot.fault_policy {
+                r = r.with_fault_policy(p);
+            }
+            if let Some(w) = slot.watchdog {
+                r = r.with_watchdog(w);
+            }
+            regs.push(r);
+        }
+        regs.push(RegimeSpec::native("uplink", Box::new(Uplink)));
+
+        let mut cfg = KernelConfig::new(regs);
+        for (from, to, cap) in chan_specs {
+            cfg = cfg.with_channel(from, to, cap);
+        }
+        let kernel = SeparationKernel::boot(cfg).expect("fleet node boot");
+        KernelNode {
+            name,
+            kernel,
+            slots_per_round: slots_per_round.unwrap_or(n as u64 + 1),
+            plan: fault_plan,
+            kill_at,
+            inputs: gates_in,
+            outputs: gates_out,
+            channel_names,
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Human-readable names for the kernel's channels, parallel to
+    /// `kernel.channels` (for saturation gauges).
+    pub fn channel_names(&self) -> &[String] {
+        &self.channel_names
+    }
+
+    /// Whether the node has crash-stopped as of `round`.
+    pub fn killed(&self, round: u64) -> bool {
+        self.kill_at.is_some_and(|k| round >= k)
+    }
+
+    /// Gateway queue depths, in a fixed order (ingress spools, then egress
+    /// ARQ/spool queues) — the node-edge half of the saturation picture.
+    pub fn gateway_depths(&self) -> Vec<(String, usize)> {
+        let mut out = Vec::new();
+        for g in &self.inputs {
+            out.push((format!("gw-in:{}", g.port), g.spool.len()));
+        }
+        for g in &self.outputs {
+            let depth = match &g.tx {
+                Some(tx) => tx.pending(),
+                None => g.spool.len(),
+            };
+            out.push((format!("gw-out:{}", g.port), depth));
+        }
+        out
+    }
+
+    /// Host-side access to the component hosted by regime `idx`, if that
+    /// regime is a [`RegimeComponent`].
+    pub fn component_mut(&mut self, idx: usize) -> Option<&mut dyn Component> {
+        self.kernel
+            .regimes
+            .get_mut(idx)?
+            .native
+            .as_mut()?
+            .as_any()
+            .downcast_mut::<RegimeComponent>()
+            .map(|rc| rc.component_mut())
+    }
+
+    /// Applies `f` to every hosted component (not the uplink).
+    pub fn for_each_component(&mut self, f: &mut dyn FnMut(&mut dyn Component)) {
+        for i in 0..self.kernel.regimes.len() {
+            if let Some(c) = self.component_mut(i) {
+                f(c);
+            }
+        }
+    }
+
+    /// One network round: ingress, kernel slots, egress.
+    pub fn step_io(&mut self, io: &mut dyn NodeIo) {
+        if self.killed(io.round()) {
+            // Crash-stop: the kernel freezes and the ports fall silent. The
+            // node does not even drain its incoming wires — frames pile up
+            // against the wire capacity exactly as they would against a
+            // dead network interface.
+            return;
+        }
+
+        // Ingress: wire (through the ARQ where present) → spool → channel.
+        for g in &mut self.inputs {
+            match &mut g.rx {
+                Some(rx) => {
+                    for m in rx.poll(io, &g.port, &g.ack_port) {
+                        g.spool.push_back(m);
+                    }
+                }
+                None => {
+                    while let Some(m) = io.recv(&g.port) {
+                        g.spool.push_back(m);
+                    }
+                }
+            }
+            while let Some(m) = g.spool.front() {
+                if self.kernel.channels[g.channel].host_push(m.clone()) {
+                    g.spool.pop_front();
+                } else {
+                    break; // Channel at capacity: back-pressure holds here.
+                }
+            }
+        }
+
+        // The node's compute slice for the round.
+        for _ in 0..self.slots_per_round {
+            fault::apply_due(&mut self.kernel, &mut self.plan);
+            self.kernel.step();
+        }
+
+        // Egress: channel → (ARQ or direct) → wire.
+        for g in &mut self.outputs {
+            match &mut g.tx {
+                Some(tx) => {
+                    while tx.pending() < EGRESS_HIGH_WATER {
+                        let Some(m) = self.kernel.channels[g.channel].host_pop() else {
+                            break;
+                        };
+                        tx.enqueue(m);
+                    }
+                    tx.poll(io, &g.port, &g.ack_port);
+                }
+                None => {
+                    while let Some(m) = g.spool.front() {
+                        if io.send(&g.port, m.clone()).is_ok() {
+                            g.spool.pop_front();
+                        } else {
+                            break;
+                        }
+                    }
+                    if g.spool.is_empty() {
+                        while let Some(m) = self.kernel.channels[g.channel].host_pop() {
+                            if io.send(&g.port, m.clone()).is_err() {
+                                g.spool.push_back(m);
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Shares a [`KernelNode`] between the network executor (which owns its
+/// nodes) and the fleet (which keeps handles for sampling and reporting).
+pub struct SharedNode {
+    name: String,
+    inner: Rc<RefCell<KernelNode>>,
+}
+
+impl SharedNode {
+    /// Wraps a shared node handle.
+    pub fn new(inner: Rc<RefCell<KernelNode>>) -> SharedNode {
+        let name = inner.borrow().name().to_string();
+        SharedNode { name, inner }
+    }
+}
+
+impl Node for SharedNode {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn step(&mut self, io: &mut dyn NodeIo) {
+        self.inner.borrow_mut().step_io(io);
+    }
+}

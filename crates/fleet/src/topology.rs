@@ -1,0 +1,271 @@
+//! Declarative fleet topologies.
+//!
+//! A [`FleetTopology`] is the blueprint the [`crate::Fleet`] builder
+//! realizes: a list of [`NodeSpec`]s (which components run on which kernel
+//! node, how they are channelled together locally, and which channels face
+//! the network) and a list of [`LinkSpec`]s (which node ports are wired to
+//! which, with what capacity, latency, loss model, and reliability). The
+//! blueprint is pure data — nothing here touches a kernel or a wire — so a
+//! topology can be built twice from the same seeds and must produce
+//! byte-identical fleets.
+
+use sep_components::Component;
+use sep_fault::{FaultPlan, LossModel};
+use sep_kernel::FaultPolicy;
+
+/// A component hosted on a node, with its regime-level protection knobs.
+pub struct ComponentSlot {
+    /// The component itself.
+    pub component: Box<dyn Component>,
+    /// Fault policy for the hosting regime (`None` keeps the kernel
+    /// default, halt-on-fault).
+    pub fault_policy: Option<FaultPolicy>,
+    /// Instruction-budget watchdog for the hosting regime.
+    pub watchdog: Option<u64>,
+}
+
+/// A kernel channel between two components on the *same* node.
+pub struct LocalChannel {
+    /// Sending component index (order of [`NodeSpec::component`] calls).
+    pub from: usize,
+    /// Sending component's port name.
+    pub from_port: String,
+    /// Receiving component index.
+    pub to: usize,
+    /// Receiving component's port name.
+    pub to_port: String,
+    /// Channel capacity in messages.
+    pub capacity: usize,
+}
+
+/// A kernel channel that faces the network through the node's gateway.
+pub struct GatewayPort {
+    /// The node-level port name (what [`LinkSpec`]s refer to).
+    pub net_port: String,
+    /// The component the traffic belongs to.
+    pub component: usize,
+    /// The component's port name for this traffic.
+    pub comp_port: String,
+    /// Backing channel capacity in messages.
+    pub capacity: usize,
+}
+
+/// One kernel node of the fleet: components, local plumbing, gateway ports.
+pub struct NodeSpec {
+    /// Display name (also the node's trace colour on the network).
+    pub name: String,
+    /// Hosted components, in regime order.
+    pub components: Vec<ComponentSlot>,
+    /// Node-local channels.
+    pub locals: Vec<LocalChannel>,
+    /// Network-facing ingress channels.
+    pub inputs: Vec<GatewayPort>,
+    /// Network-facing egress channels.
+    pub outputs: Vec<GatewayPort>,
+    /// Kernel steps per network round (`None` = one full rotation: one
+    /// slot per component plus the uplink regime).
+    pub slots_per_round: Option<u64>,
+    /// Planned faults injected into this node's kernel as steps elapse.
+    pub fault_plan: FaultPlan,
+    /// Round at which the whole node goes permanently silent (crash-stop:
+    /// the kernel freezes and every port stops sending and receiving).
+    pub kill_at: Option<u64>,
+}
+
+impl NodeSpec {
+    /// An empty node with a name.
+    pub fn new(name: &str) -> NodeSpec {
+        NodeSpec {
+            name: name.to_string(),
+            components: Vec::new(),
+            locals: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            slots_per_round: None,
+            fault_plan: FaultPlan::none(),
+            kill_at: None,
+        }
+    }
+
+    /// Hosts a component; returns `self` (the component's index is the
+    /// order of these calls, starting at 0).
+    pub fn component(self, c: Box<dyn Component>) -> NodeSpec {
+        self.component_with(c, None, None)
+    }
+
+    /// Hosts a component with an explicit fault policy and/or watchdog.
+    pub fn component_with(
+        mut self,
+        c: Box<dyn Component>,
+        fault_policy: Option<FaultPolicy>,
+        watchdog: Option<u64>,
+    ) -> NodeSpec {
+        self.components.push(ComponentSlot {
+            component: c,
+            fault_policy,
+            watchdog,
+        });
+        self
+    }
+
+    /// Channels component `from`'s `from_port` to component `to`'s
+    /// `to_port` on this node.
+    pub fn local(
+        mut self,
+        from: usize,
+        from_port: &str,
+        to: usize,
+        to_port: &str,
+        capacity: usize,
+    ) -> NodeSpec {
+        self.locals.push(LocalChannel {
+            from,
+            from_port: from_port.to_string(),
+            to,
+            to_port: to_port.to_string(),
+            capacity,
+        });
+        self
+    }
+
+    /// Declares a network-facing ingress: frames arriving on node port
+    /// `net_port` feed component `component`'s `comp_port`.
+    pub fn input(mut self, net_port: &str, component: usize, comp_port: &str) -> NodeSpec {
+        self.inputs.push(GatewayPort {
+            net_port: net_port.to_string(),
+            component,
+            comp_port: comp_port.to_string(),
+            capacity: 32,
+        });
+        self
+    }
+
+    /// Declares a network-facing egress: frames component `component`
+    /// sends on `comp_port` leave the node on port `net_port`.
+    pub fn output(mut self, component: usize, comp_port: &str, net_port: &str) -> NodeSpec {
+        self.outputs.push(GatewayPort {
+            net_port: net_port.to_string(),
+            component,
+            comp_port: comp_port.to_string(),
+            capacity: 32,
+        });
+        self
+    }
+
+    /// Overrides the kernel steps executed per network round.
+    pub fn slots_per_round(mut self, n: u64) -> NodeSpec {
+        self.slots_per_round = Some(n);
+        self
+    }
+
+    /// Attaches a planned fault schedule to this node's kernel.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> NodeSpec {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Crash-stops the whole node at the given round.
+    pub fn kill_at(mut self, round: u64) -> NodeSpec {
+        self.kill_at = Some(round);
+        self
+    }
+}
+
+/// A directed wire between two nodes' ports.
+#[derive(Clone)]
+pub struct LinkSpec {
+    /// Sending node index (order of [`FleetTopology::node`] calls).
+    pub from: usize,
+    /// Sending node's port.
+    pub from_port: String,
+    /// Receiving node index.
+    pub to: usize,
+    /// Receiving node's port.
+    pub to_port: String,
+    /// Wire capacity in frames.
+    pub capacity: usize,
+    /// Wire latency in rounds (≥ 1).
+    pub latency: u64,
+    /// Seeded misbehaviour for the data wire.
+    pub loss: Option<LossModel>,
+    /// Seeded misbehaviour for the reverse ack wire (reliable links only).
+    pub ack_loss: Option<LossModel>,
+    /// Run selective-repeat ARQ over this link. Adds a reverse ack wire
+    /// (`<port>.ack` on both ends) and a retransmitting sender/receiver
+    /// pair in the two gateways.
+    pub reliable: bool,
+}
+
+impl LinkSpec {
+    /// A lossless, unreliable wire with default capacity 32 and latency 1.
+    pub fn new(from: usize, from_port: &str, to: usize, to_port: &str) -> LinkSpec {
+        LinkSpec {
+            from,
+            from_port: from_port.to_string(),
+            to,
+            to_port: to_port.to_string(),
+            capacity: 32,
+            latency: 1,
+            loss: None,
+            ack_loss: None,
+            reliable: false,
+        }
+    }
+
+    /// Sets the wire capacity.
+    pub fn capacity(mut self, n: usize) -> LinkSpec {
+        self.capacity = n;
+        self
+    }
+
+    /// Sets the wire latency.
+    pub fn latency(mut self, n: u64) -> LinkSpec {
+        self.latency = n;
+        self
+    }
+
+    /// Attaches a loss model to the data wire.
+    pub fn loss(mut self, m: LossModel) -> LinkSpec {
+        self.loss = Some(m);
+        self
+    }
+
+    /// Attaches a loss model to the ack wire.
+    pub fn ack_loss(mut self, m: LossModel) -> LinkSpec {
+        self.ack_loss = Some(m);
+        self
+    }
+
+    /// Makes the link reliable (selective-repeat ARQ end to end).
+    pub fn reliable(mut self) -> LinkSpec {
+        self.reliable = true;
+        self
+    }
+}
+
+/// The whole fleet blueprint.
+#[derive(Default)]
+pub struct FleetTopology {
+    /// The nodes, in boot order.
+    pub nodes: Vec<NodeSpec>,
+    /// The wires.
+    pub links: Vec<LinkSpec>,
+}
+
+impl FleetTopology {
+    /// An empty topology.
+    pub fn new() -> FleetTopology {
+        FleetTopology::default()
+    }
+
+    /// Adds a node; returns its index for [`LinkSpec`]s.
+    pub fn node(&mut self, spec: NodeSpec) -> usize {
+        self.nodes.push(spec);
+        self.nodes.len() - 1
+    }
+
+    /// Adds a wire.
+    pub fn link(&mut self, spec: LinkSpec) {
+        self.links.push(spec);
+    }
+}

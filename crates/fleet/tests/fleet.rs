@@ -1,0 +1,378 @@
+//! Fleet suite: determinism, fault containment at fleet scale, and
+//! ARQ/loss interaction under load.
+//!
+//! Three pinned properties:
+//!
+//! 1. **Determinism** — the same topology and seeds yield a byte-identical
+//!    aggregated report and equivalent per-node traces.
+//! 2. **Containment** — crash-stopping one file-server node leaves every
+//!    bystander node's trace byte-identical to the healthy run; only the
+//!    victim's own clients see anything.
+//! 3. **Exactly-once** — reliable gateway links repair drop/duplicate/
+//!    reorder storms: after the burst drains, every issued request was
+//!    served exactly once and answered exactly once.
+
+use sep_components::guard::ApproveAll;
+use sep_components::{FileServer, FsClient, Guard};
+use sep_fault::LossModel;
+use sep_fleet::{
+    BurstPhase, Fleet, FleetTopology, LinkSpec, LoadGen, LoadGenCfg, LoopMode, NodeSpec, Reflector,
+    WorkloadMix,
+};
+use sep_policy::SecurityLevel;
+
+fn lossy(seed: u64, pm: u16) -> LossModel {
+    LossModel::new(seed)
+        .with_drop(pm)
+        .with_duplicate(pm)
+        .with_reorder(pm)
+}
+
+fn fs_node(name: &str, clients: usize) -> NodeSpec {
+    let fs_clients = (0..clients)
+        .map(|i| FsClient {
+            name: format!("c{i}"),
+            level: SecurityLevel::unclassified(),
+            special_delete: false,
+        })
+        .collect();
+    let mut spec = NodeSpec::new(name).component(Box::new(FileServer::new(fs_clients)));
+    for i in 0..clients {
+        spec = spec
+            .input(&format!("c{i}.req"), 0, &format!("c{i}.req"))
+            .output(0, &format!("c{i}.rsp"), &format!("c{i}.rsp"));
+    }
+    spec
+}
+
+fn lg_node(name: &str, cfg: LoadGenCfg) -> NodeSpec {
+    NodeSpec::new(name)
+        .component(Box::new(LoadGen::new(name, cfg)))
+        .output(0, "fs.req", "fs.req")
+        .input("fs.rsp", 0, "fs.rsp")
+}
+
+fn burst_then_idle(burst: u64) -> Vec<BurstPhase> {
+    vec![
+        BurstPhase {
+            rounds: burst,
+            level_pm: 1000,
+        },
+        BurstPhase {
+            rounds: 1_000_000,
+            level_pm: 0,
+        },
+    ]
+}
+
+/// One load generator talking to one file server over reliable lossy links.
+fn pair_fleet(loss_pm: u16) -> Fleet {
+    let mut top = FleetTopology::new();
+    let cfg = LoadGenCfg {
+        seed: 0xA11CE,
+        users: 5_000,
+        mode: LoopMode::Closed { window: 4 },
+        mix: WorkloadMix::rw(600, 400),
+        phases: burst_then_idle(120),
+        level: SecurityLevel::unclassified(),
+    };
+    let lg = top.node(lg_node("lg0", cfg));
+    let fs = top.node(fs_node("fs0", 1));
+    top.link(
+        LinkSpec::new(lg, "fs.req", fs, "c0.req")
+            .reliable()
+            .loss(lossy(0x51, loss_pm))
+            .ack_loss(lossy(0x52, loss_pm)),
+    );
+    top.link(
+        LinkSpec::new(fs, "c0.rsp", lg, "fs.rsp")
+            .reliable()
+            .loss(lossy(0x53, loss_pm))
+            .ack_loss(lossy(0x54, loss_pm)),
+    );
+    Fleet::build(top)
+}
+
+#[test]
+fn reliable_links_deliver_exactly_once_under_heavy_loss() {
+    let mut fleet = pair_fleet(150);
+    fleet.set_tracing(false);
+    fleet.run_rounds(600);
+    let lt = fleet.loadgen_totals();
+    let (served, denials) = fleet.fileserver_totals();
+    assert!(lt.issued > 50, "burst phase generated load: {}", lt.issued);
+    assert_eq!(
+        lt.completed, lt.issued,
+        "every request answered after the drain"
+    );
+    assert_eq!(served, lt.issued, "each request served exactly once");
+    assert_eq!(denials, 0);
+    assert_eq!(lt.denied, 0);
+    assert_eq!(lt.errored, 0, "ARQ order preserved create-before-use");
+    // The wires really misbehaved and the ARQ really repaired them.
+    assert!(
+        fleet.network().wires().iter().any(|w| w.dropped > 0),
+        "the loss model dropped frames"
+    );
+    assert!(
+        fleet.network().obs.metrics.totals.retransmissions > 0,
+        "the gateways retransmitted"
+    );
+}
+
+#[test]
+fn lossless_pair_round_trips_with_flat_latency() {
+    let mut top = FleetTopology::new();
+    let cfg = LoadGenCfg {
+        seed: 3,
+        users: 100,
+        mode: LoopMode::Closed { window: 2 },
+        mix: WorkloadMix::rw(500, 500),
+        phases: burst_then_idle(50),
+        level: SecurityLevel::unclassified(),
+    };
+    let lg = top.node(lg_node("lg0", cfg));
+    let fs = top.node(fs_node("fs0", 1));
+    top.link(LinkSpec::new(lg, "fs.req", fs, "c0.req"));
+    top.link(LinkSpec::new(fs, "c0.rsp", lg, "fs.rsp"));
+    let mut fleet = Fleet::build(top);
+    fleet.run_rounds(120);
+    let lt = fleet.loadgen_totals();
+    assert!(lt.issued > 20, "closed loop at RTT 3: {}", lt.issued);
+    assert_eq!(lt.completed, lt.issued);
+    assert!(
+        lt.hist.quantile_pm(500) >= 2,
+        "a round trip crosses two latency-1 wires: p50 = {}",
+        lt.hist.quantile_pm(500)
+    );
+    assert_eq!(
+        lt.hist.quantile_pm(500),
+        lt.hist.quantile_pm(999),
+        "no loss, closed loop: latency is flat"
+    );
+}
+
+#[test]
+fn same_seed_gives_a_byte_identical_report_and_traces() {
+    let mut a = pair_fleet(200);
+    let mut b = pair_fleet(200);
+    a.run_rounds(400);
+    b.run_rounds(400);
+    assert_eq!(
+        a.report().to_pretty(),
+        b.report().to_pretty(),
+        "aggregated reports must be byte-identical under a fixed seed"
+    );
+    assert!(
+        a.network().traces.equivalent(&b.network().traces).is_ok(),
+        "per-node traces must agree event for event"
+    );
+}
+
+#[test]
+fn different_seed_changes_the_report() {
+    let mut a = pair_fleet(200);
+    let mut top = FleetTopology::new();
+    let cfg = LoadGenCfg {
+        seed: 0xB0B,
+        users: 5_000,
+        mode: LoopMode::Closed { window: 4 },
+        mix: WorkloadMix::rw(600, 400),
+        phases: burst_then_idle(120),
+        level: SecurityLevel::unclassified(),
+    };
+    let lg = top.node(lg_node("lg0", cfg));
+    let fs = top.node(fs_node("fs0", 1));
+    top.link(
+        LinkSpec::new(lg, "fs.req", fs, "c0.req")
+            .reliable()
+            .loss(lossy(0x51, 200))
+            .ack_loss(lossy(0x52, 200)),
+    );
+    top.link(
+        LinkSpec::new(fs, "c0.rsp", lg, "fs.rsp")
+            .reliable()
+            .loss(lossy(0x53, 200))
+            .ack_loss(lossy(0x54, 200)),
+    );
+    let mut b = Fleet::build(top);
+    a.run_rounds(200);
+    b.run_rounds(200);
+    assert_ne!(
+        a.report().to_pretty(),
+        b.report().to_pretty(),
+        "the seed is load-bearing, not decorative"
+    );
+}
+
+/// Two independent client/server pairs; `kill_fs1` crash-stops the second
+/// file server mid-run.
+fn quad_fleet(kill_fs1: bool) -> Fleet {
+    let mut top = FleetTopology::new();
+    let cfg = |seed| LoadGenCfg {
+        seed,
+        users: 2_000,
+        mode: LoopMode::Closed { window: 3 },
+        mix: WorkloadMix::rw(500, 500),
+        phases: Vec::new(),
+        level: SecurityLevel::unclassified(),
+    };
+    let lg0 = top.node(lg_node("lg0", cfg(0xC0)));
+    let lg1 = top.node(lg_node("lg1", cfg(0xC1)));
+    let fs0 = top.node(fs_node("fs0", 1));
+    let mut fs1_spec = fs_node("fs1", 1);
+    if kill_fs1 {
+        fs1_spec = fs1_spec.kill_at(60);
+    }
+    let fs1 = top.node(fs1_spec);
+    for (lg, fs, s) in [(lg0, fs0, 0x60u64), (lg1, fs1, 0x70)] {
+        top.link(
+            LinkSpec::new(lg, "fs.req", fs, "c0.req")
+                .reliable()
+                .loss(lossy(s, 100))
+                .ack_loss(lossy(s + 1, 100)),
+        );
+        top.link(
+            LinkSpec::new(fs, "c0.rsp", lg, "fs.rsp")
+                .reliable()
+                .loss(lossy(s + 2, 100))
+                .ack_loss(lossy(s + 3, 100)),
+        );
+    }
+    Fleet::build(top)
+}
+
+fn lg_completed(fleet: &Fleet, node: usize) -> u64 {
+    let rc = fleet.node(node);
+    let mut n = rc.borrow_mut();
+    let lg = n
+        .component_mut(0)
+        .expect("node hosts a component")
+        .as_any()
+        .downcast_mut::<LoadGen>()
+        .expect("node 0 hosts the load generator");
+    lg.completed
+}
+
+#[test]
+fn killing_one_file_server_leaves_bystander_traces_byte_identical() {
+    let mut healthy = quad_fleet(false);
+    let mut killed = quad_fleet(true);
+    healthy.run_rounds(240);
+    killed.run_rounds(240);
+
+    // Bystanders: the other pair's client and server never notice.
+    for name in ["lg0", "fs0"] {
+        assert_eq!(
+            healthy.network().traces.trace(name),
+            killed.network().traces.trace(name),
+            "bystander {name} diverged after an unrelated node died"
+        );
+    }
+    // The victim's own client very much notices.
+    assert_ne!(
+        healthy.network().traces.trace("lg1"),
+        killed.network().traces.trace("lg1"),
+        "the kill must be visible to the victim's client"
+    );
+    assert!(
+        lg_completed(&killed, 1) < lg_completed(&healthy, 1),
+        "the victim's client lost throughput"
+    );
+    assert_eq!(
+        lg_completed(&killed, 0),
+        lg_completed(&healthy, 0),
+        "the bystander client lost nothing"
+    );
+    // The killed kernel froze at the kill round.
+    let frozen = killed.node(3).borrow().kernel.stats.steps;
+    let running = healthy.node(3).borrow().kernel.stats.steps;
+    assert!(
+        frozen < running,
+        "crash-stop froze the kernel: {frozen} vs {running} steps"
+    );
+}
+
+#[test]
+fn guard_round_trips_pay_the_review_pipeline() {
+    let mut top = FleetTopology::new();
+    let cfg = LoadGenCfg {
+        seed: 9,
+        users: 100,
+        mode: LoopMode::Closed { window: 3 },
+        mix: WorkloadMix {
+            read_pm: 0,
+            write_pm: 0,
+            guard_pm: 1000,
+        },
+        phases: Vec::new(),
+        level: SecurityLevel::unclassified(),
+    };
+    let lg = top.node(
+        NodeSpec::new("lg0")
+            .component(Box::new(LoadGen::new("lg0", cfg)))
+            .output(0, "guard.req", "guard.req")
+            .input("guard.rsp", 0, "guard.rsp"),
+    );
+    let g = top.node(
+        NodeSpec::new("guard0")
+            .component(Box::new(Guard::new(Box::new(ApproveAll))))
+            .component(Box::new(Reflector::new("reflector")))
+            .local(0, "high.out", 1, "in", 8)
+            .local(1, "out", 0, "high.in", 8)
+            .input("low.in", 0, "low.in")
+            .output(0, "low.out", "low.out"),
+    );
+    top.link(LinkSpec::new(lg, "guard.req", g, "low.in"));
+    top.link(LinkSpec::new(g, "low.out", lg, "guard.rsp"));
+    let mut fleet = Fleet::build(top);
+    fleet.run_rounds(120);
+    let lt = fleet.loadgen_totals();
+    assert!(lt.completed > 20, "advisories flowed: {}", lt.completed);
+    assert!(
+        lt.hist.quantile_pm(500) >= 3,
+        "an advisory crosses two wires plus the reflector hop and the \
+         officer's review: p50 = {}",
+        lt.hist.quantile_pm(500)
+    );
+}
+
+#[test]
+fn open_loop_overload_shows_up_as_saturation_and_rejections() {
+    let mut top = FleetTopology::new();
+    let cfg = LoadGenCfg {
+        seed: 17,
+        users: 1_000,
+        mode: LoopMode::Open { rate_milli: 4_000 },
+        mix: WorkloadMix::rw(500, 500),
+        phases: Vec::new(),
+        level: SecurityLevel::unclassified(),
+    };
+    let lg = top.node(lg_node("lg0", cfg));
+    let fs = top.node(fs_node("fs0", 1));
+    // A capacity-2 unreliable wire carries at most 2 frames per round:
+    // half the offered load. The backlog must be visible somewhere.
+    top.link(LinkSpec::new(lg, "fs.req", fs, "c0.req").capacity(2));
+    top.link(LinkSpec::new(fs, "c0.rsp", lg, "fs.rsp").capacity(2));
+    let mut fleet = Fleet::build(top);
+    fleet.set_tracing(false);
+    fleet.run_rounds(200);
+    let lt = fleet.loadgen_totals();
+    assert!(
+        lt.send_rejected > 0,
+        "back-pressure reached the generator's own channel"
+    );
+    let out_gauge = fleet
+        .channel_gauges(lg)
+        .iter()
+        .find(|g| g.name == "out:fs.req")
+        .expect("egress channel gauge exists");
+    assert!(
+        out_gauge.saturation_milli() > 0,
+        "the egress channel pinned at capacity"
+    );
+    assert!(
+        lt.completed > 0,
+        "the system still made progress under overload"
+    );
+}

@@ -169,6 +169,29 @@ impl Channel {
     pub fn restore_queue(&mut self, msgs: Vec<Vec<u8>>) {
         self.queue = msgs.into();
     }
+
+    /// Host-side enqueue: the distributed realization's "network
+    /// interface" feeding a channel whose nominal sender is the node's
+    /// uplink regime. Capacity and message-size limits apply exactly as
+    /// for a regime sender — the gateway gets no extra buffering — but
+    /// endpoint validation does not: the host *is* the wire. A cut
+    /// channel refuses, as it does for everyone.
+    pub fn host_push(&mut self, msg: Vec<u8>) -> bool {
+        if self.cut || msg.len() > MAX_MSG || self.queue.len() >= self.spec.capacity {
+            return false;
+        }
+        self.queue.push_back(msg);
+        true
+    }
+
+    /// Host-side drain: the mirror of [`Channel::host_push`] for channels
+    /// carrying traffic out of the node toward the wire.
+    pub fn host_pop(&mut self) -> Option<Vec<u8>> {
+        if self.cut {
+            return None;
+        }
+        self.queue.pop_front()
+    }
 }
 
 #[cfg(test)]
@@ -266,5 +289,30 @@ mod tests {
         c.latch();
         assert_eq!(c.poll(0), Some(0));
         assert_eq!(c.send(0, vec![6]), ChannelStatus::Ok);
+    }
+
+    #[test]
+    fn host_push_respects_capacity_and_size_but_not_endpoints() {
+        let mut c = chan(2, false);
+        assert!(c.host_push(vec![1]));
+        assert!(c.host_push(vec![2]));
+        assert!(!c.host_push(vec![3]), "capacity still binds the host");
+        assert!(!c.host_push(vec![0; MAX_MSG + 1]), "size still binds");
+        // The receiver drains what the host pushed, like any message.
+        assert_eq!(c.recv(1), Ok(vec![1]));
+        assert!(c.host_push(vec![0; MAX_MSG]), "exactly MAX_MSG fits");
+    }
+
+    #[test]
+    fn host_pop_drains_fifo_and_cut_channel_refuses_both_ways() {
+        let mut c = chan(4, false);
+        assert_eq!(c.send(0, vec![7]), ChannelStatus::Ok);
+        assert_eq!(c.send(0, vec![8]), ChannelStatus::Ok);
+        assert_eq!(c.host_pop(), Some(vec![7]));
+        assert_eq!(c.host_pop(), Some(vec![8]));
+        assert_eq!(c.host_pop(), None);
+        let mut cut = chan(4, true);
+        assert!(!cut.host_push(vec![1]), "a cut wire carries nothing");
+        assert_eq!(cut.host_pop(), None);
     }
 }

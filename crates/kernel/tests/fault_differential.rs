@@ -120,6 +120,108 @@ pollw:  .word 0
     );
 }
 
+/// Multi-hop propagation: sender → relay → receiver, and the relay dies.
+/// The hop *behind* the dead regime must surface `PeerDown` to the
+/// receiver within a bounded number of steps — first draining whatever the
+/// relay forwarded before it died, because buffered data is still good
+/// data. The sender ahead of the dead relay is merely back-pressured,
+/// never faulted.
+#[test]
+fn peer_down_propagates_across_a_multi_hop_chain() {
+    // tx feeds the relay on channel 0 forever (Full results are ignored —
+    // after the relay dies this hop simply back-pressures).
+    let tx = "
+start:  MOV #0, R0
+        MOV #msg, R1
+        MOV #2, R2
+        TRAP 1          ; SEND channel 0
+        TRAP 0
+        BR start
+msg:    .word 0o1234
+";
+    // The relay forwards one word per slot from channel 0 to channel 1.
+    let relay = "
+start:  TRAP 0
+loop:   MOV #0, R0
+        MOV #buf, R1
+        MOV #2, R2
+        TRAP 2          ; RECV channel 0
+        TST R0
+        BNE wait        ; nothing yet: yield and retry
+        MOV #1, R0
+        MOV #buf, R1
+        MOV #2, R2
+        TRAP 1          ; SEND channel 1
+wait:   TRAP 0
+        BR loop
+buf:    .blkw 1
+";
+    // The receiver polls channel 1 every slot, draining one message per
+    // iteration, and halts the moment it sees the sender-down sentinel.
+    let rx = "
+start:  TRAP 0
+loop:   MOV #1, R0
+        TRAP 3          ; POLL channel 1
+        MOV R0, pollw
+        CMP R0, #0o177776
+        BEQ done
+        MOV #1, R0
+        MOV #buf, R1
+        MOV #2, R2
+        TRAP 2          ; RECV channel 1 (drain so the sentinel can surface)
+        TRAP 0
+        BR loop
+done:   HALT
+pollw:  .word 0
+buf:    .blkw 1
+";
+    let cfg = KernelConfig::new(vec![
+        RegimeSpec::assembly("tx", tx),
+        RegimeSpec::assembly("relay", relay),
+        RegimeSpec::assembly("rx", rx),
+    ])
+    .with_channel(0, 1, 4)
+    .with_channel(1, 2, 4);
+    let mut k = SeparationKernel::boot(cfg).unwrap();
+    // Let traffic flow end to end first: the second hop must have carried
+    // real messages, or "drain then sentinel" would be vacuous.
+    k.run(60);
+    assert!(
+        k.stats.messages_sent >= 2,
+        "chain never carried traffic before the kill"
+    );
+    assert!(matches!(k.regimes[2].status, RegimeStatus::Ready));
+    // Kill the relay. Halt policy: no restart pending, so it is dead.
+    k.inject_fault(1);
+    assert!(matches!(
+        k.regimes[1].status,
+        RegimeStatus::Faulted(FaultCause::Injected)
+    ));
+    // Bounded propagation: the receiver drains the in-flight remainder
+    // (≤ 4 messages) and must observe the sentinel within a fixed step
+    // budget — each of its slots polls once and drains at most one.
+    let mut steps = 0u32;
+    while partition_word(&k, 2, rx, "pollw") != 0o177776 {
+        assert!(steps < 300, "sentinel did not propagate within the bound");
+        k.step();
+        steps += 1;
+    }
+    // The receiver branched to its HALT on the sentinel: it is done, not
+    // spinning on a channel that can never speak again.
+    k.run(20);
+    assert!(
+        !matches!(k.regimes[2].status, RegimeStatus::Ready),
+        "receiver kept running past the sentinel"
+    );
+    // Containment: the hop ahead of the dead relay is back-pressured, not
+    // poisoned — the sender is still runnable.
+    assert!(
+        matches!(k.regimes[0].status, RegimeStatus::Ready),
+        "upstream sender must stay alive (got {:?})",
+        k.regimes[0].status
+    );
+}
+
 // ---------------------------------------------------------------------------
 // Tentpole: bystander non-interference under a fault storm.
 // ---------------------------------------------------------------------------

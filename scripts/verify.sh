@@ -33,6 +33,13 @@ echo "==> e10 hot-path bench (asserts >=2x warm instruction throughput)"
 cargo run -q --release -p sep-bench --bin e10_hotpath > /dev/null
 test -s BENCH_obs_e10_hotpath.json
 
+echo "==> fleet suite (release: determinism, containment, loss, saturation)"
+cargo test --release -q -p sep-fleet --test fleet
+
+echo "==> e11 fleet bench (16 nodes, 100k clients; asserts byte-determinism)"
+cargo run -q --release -p sep-bench --bin e11_fleet > /dev/null
+test -s BENCH_obs_e11_fleet.json
+
 echo "==> clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
