@@ -6,7 +6,7 @@
 
 #![forbid(unsafe_code)]
 
-use sep_kernel::config::{KernelConfig, RegimeSpec};
+use sep_kernel::config::{DeviceSpec, KernelConfig, RegimeSpec};
 use sep_model::check::{CheckReport, Condition};
 use sep_model::parallel::ExploreStats;
 use sep_obs::json::Json;
@@ -108,6 +108,31 @@ counter: .word 0
     KernelConfig::new(regimes)
 }
 
+/// `n` interchangeable regimes for the state-space-reduction experiments:
+/// identical pure-yield programs, each owning a serial line with a
+/// one-byte receive queue fed by the host. Every regime image is the same,
+/// so the configuration is symmetric under every rotation; the bounded
+/// queue keeps the host-input state space small enough to enumerate; and
+/// with no registers or counters in the program, rotated states genuinely
+/// recur — the symmetry reduction's best case, which E2 measures.
+///
+/// Pair with `with_input_bytes(&[1])` on the verification adapter: the
+/// single byte value keeps the alphabet closed under rotation.
+pub fn symmetric_workload(n: usize) -> KernelConfig {
+    let prog = "
+start:  TRAP 0
+        BR start
+";
+    KernelConfig::new(
+        (0..n)
+            .map(|i| {
+                RegimeSpec::assembly(&format!("peer{i}"), prog)
+                    .with_device(DeviceSpec::SerialRx { capacity: 1 })
+            })
+            .collect(),
+    )
+}
+
 /// A checker run as deterministic JSON for a `BENCH_obs_*.json` report:
 /// the state/op/input counts, per-condition check counters, verdict, the
 /// violated conditions, and (for sharded runs) the exploration statistics
@@ -143,6 +168,15 @@ pub fn checker_run_json(report: &CheckReport, stats: Option<&ExploreStats>) -> J
             .field("truncated", s.truncated)
             .field("fp_states", s.fp_states)
             .field("fp_bytes", s.fp_bytes)
+            .field(
+                "reduction",
+                Json::obj()
+                    .field("canon", s.reduction.canon)
+                    .field("ample", s.reduction.ample)
+                    .field("ample_skips", s.reduction.ample_skips)
+                    .field("bloom_negatives", s.reduction.bloom_negatives)
+                    .field("bloom_false_positives", s.reduction.bloom_false_positives),
+            )
             .field(
                 "per_shard",
                 Json::Arr(

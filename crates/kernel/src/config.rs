@@ -47,6 +47,14 @@ impl core::fmt::Debug for ProgramSpec {
 pub enum DeviceSpec {
     /// A DL11-style serial line.
     Serial,
+    /// A serial line whose receive queue holds at most `capacity` bytes —
+    /// a line with little or no buffering, where overruns fall on the
+    /// floor. Verification workloads use a capacity of 1 to keep the
+    /// host-input state space small.
+    SerialRx {
+        /// Receive-queue bound in bytes.
+        capacity: usize,
+    },
     /// A line-time clock with the given period in machine steps.
     Clock {
         /// Steps between monitor-bit assertions.

@@ -319,6 +319,10 @@ impl SeparationKernel {
                         vector,
                         4,
                     )),
+                    DeviceSpec::SerialRx { capacity } => Box::new(
+                        SerialLine::new(&format!("{}-tty{}", spec.name, slot_pos), base, vector, 4)
+                            .with_rx_capacity(*capacity),
+                    ),
                     DeviceSpec::Clock { period } => Box::new(LineClock::new(base, vector, *period)),
                     DeviceSpec::Printer => Box::new(LinePrinter::new(base, vector)),
                     DeviceSpec::Crypto => Box::new(CryptoUnit::new(base, vector)),
@@ -818,9 +822,7 @@ impl SeparationKernel {
         // regime restarts from the same state it first booted in.
         let base = self.regimes[r].partition_base;
         let image = self.regimes[r].boot_image.clone();
-        for (i, b) in image.iter().enumerate() {
-            self.machine.mem.write_byte(base + i as u32, *b);
-        }
+        self.machine.mem.write_range(base, &image);
         let rec = &mut self.regimes[r];
         rec.save = SaveArea::boot();
         rec.pending_irqs.clear();
@@ -1193,9 +1195,15 @@ impl SeparationKernel {
             psw.set_cc_bits(save.cc);
         }
         self.machine.cpu.psw = psw;
+        self.program_user_mmu(r);
+    }
 
-        // Program the user address space: segment 0 = partition, segment 7
-        // = device window.
+    /// Programs the user address space for regime `r`: segment 0 =
+    /// partition, segment 7 = device window (plus the `OverlapPartitions`
+    /// sabotage segment when that mutation is active). Factored out of
+    /// [`Self::load_context`] so content rotation can remap without
+    /// touching the live CPU context.
+    fn program_user_mmu(&mut self, r: usize) {
         self.machine.mmu.clear_mode(Mode::User);
         self.machine.mmu.set_segment(
             Mode::User,
@@ -1328,6 +1336,126 @@ impl SeparationKernel {
         })
     }
 
+    /// Rotates the *movable* per-regime contents `k` slots forward: slot
+    /// `i`'s program state (status, save area, restart accounting, pending
+    /// interrupts, partition bytes, device state) moves to slot
+    /// `(i + k) % n`. Slot identity — name, logical id, partition base,
+    /// device bindings, boot image, fault policy — stays put: the rotation
+    /// permutes regime *contents* across the fixed slot structure, which is
+    /// exactly the symmetry the canonical fingerprint quotients by.
+    ///
+    /// The running regime's live CPU context is untouched (that regime
+    /// simply now occupies slot `(current + k) % n`), including its save
+    /// area's possibly-stale bytes; only the MMU is reprogrammed so virtual
+    /// addresses follow the contents to the new partition. Device state
+    /// moves via [`Device::snapshot`]/[`Device::restore`] between the
+    /// corresponding (identically-shaped) slots.
+    ///
+    /// Callers are responsible for only rotating configurations where the
+    /// rotation is an automorphism (see `KernelSystem::valid_rotations` in
+    /// `verify`); the helper itself just permutes.
+    pub fn rotate_regime_contents(&mut self, k: usize) {
+        let n = self.regimes.len();
+        if n == 0 || k.is_multiple_of(n) {
+            return;
+        }
+        let k = k % n;
+        // Capture movable record state and partition bytes of every slot.
+        // Pending interrupts are captured with slot-relative vector
+        // *offsets* (vector − the owning device's base vector): absolute
+        // vectors are slot identity and must be re-derived at the
+        // destination slot.
+        let movable: Vec<_> = self
+            .regimes
+            .iter()
+            .map(|rec| {
+                let pending: Vec<(usize, Word, u8)> = rec
+                    .pending_irqs
+                    .iter()
+                    .map(|(slot, req)| {
+                        let base = rec.devices[*slot].vector;
+                        (*slot, req.vector - base, req.priority)
+                    })
+                    .collect();
+                (
+                    rec.status,
+                    rec.save,
+                    rec.restarts_used,
+                    rec.backoff_left,
+                    rec.instr_since_yield,
+                    pending,
+                )
+            })
+            .collect();
+        let partitions: Vec<Vec<u8>> = self
+            .regimes
+            .iter()
+            .map(|rec| {
+                self.machine
+                    .mem
+                    .range(rec.partition_base, PARTITION_SIZE)
+                    .to_vec()
+            })
+            .collect();
+        let device_states: Vec<Vec<Vec<Word>>> = self
+            .regimes
+            .iter()
+            .map(|rec| {
+                rec.devices
+                    .iter()
+                    .map(|b| {
+                        self.machine
+                            .devices
+                            .get(b.machine_index)
+                            .expect("bound device present")
+                            .snapshot()
+                    })
+                    .collect()
+            })
+            .collect();
+        for i in 0..n {
+            let j = (i + k) % n;
+            let (status, save, restarts_used, backoff_left, instr_since_yield, pending_irqs) =
+                movable[i].clone();
+            let base = self.regimes[j].partition_base;
+            self.machine.mem.write_range(base, &partitions[i]);
+            let dests: Vec<usize> = self.regimes[j]
+                .devices
+                .iter()
+                .map(|b| b.machine_index)
+                .collect();
+            assert_eq!(
+                dests.len(),
+                device_states[i].len(),
+                "rotation requires identically-shaped device lists"
+            );
+            for (dev_idx, snap) in dests.into_iter().zip(&device_states[i]) {
+                self.machine
+                    .devices
+                    .get_mut(dev_idx)
+                    .expect("bound device present")
+                    .restore(snap);
+            }
+            let rec = &mut self.regimes[j];
+            rec.status = status;
+            rec.save = save;
+            rec.restarts_used = restarts_used;
+            rec.backoff_left = backoff_left;
+            rec.instr_since_yield = instr_since_yield;
+            rec.pending_irqs = pending_irqs
+                .into_iter()
+                .map(|(slot, offset, priority)| {
+                    let vector = rec.devices[slot].vector + offset;
+                    (slot, InterruptRequest { vector, priority })
+                })
+                .collect();
+        }
+        let new_current = (self.current + k) % n;
+        self.current = new_current;
+        self.machine.obs.set_context(new_current as u16);
+        self.program_user_mmu(new_current);
+    }
+
     /// A canonical vector of the kernel's model-relevant state, used for
     /// state equality and hashing in the verification adapter.
     pub fn state_vector(&self) -> Vec<u64> {
@@ -1382,6 +1510,88 @@ impl SeparationKernel {
         for snap in self.machine.devices.snapshots() {
             let bytes: Vec<u8> = snap.iter().flat_map(|w| w.to_le_bytes()).collect();
             v.push(fnv(&bytes));
+        }
+        for ch in &self.channels {
+            v.push(ch.queue().len() as u64);
+            v.push(ch.latched_full as u64);
+            for msg in ch.queue() {
+                v.push(fnv(msg));
+            }
+        }
+        v
+    }
+
+    /// The state vector this kernel would have after
+    /// [`Self::rotate_regime_contents`]`(k)`, with every slot-identity
+    /// component (the regime *name* salt of [`Self::state_vector`])
+    /// removed — the keying the symmetry reduction minimizes over.
+    ///
+    /// Name-freedom matters twice: identically-imaged regimes differ only
+    /// by name, so a name salt would make every orbit trivial; and each
+    /// partition is hashed exactly once via `Memory::fingerprint` (the
+    /// single-hash-per-partition path of the state vector), so
+    /// canonicalization costs one extra hash of the small control vector
+    /// per rotation, not a re-hash of memory.
+    pub fn symmetry_vector(&self, k: usize) -> Vec<u64> {
+        let n = self.regimes.len();
+        let k = if n == 0 { 0 } else { k % n };
+        let mut v = Vec::new();
+        v.push(((self.current + k) % n.max(1)) as u64);
+        v.push(self.quantum_left);
+        v.push(self.slot_idle_left);
+        v.extend(self.sched.state_words());
+        // Live CPU context travels with the running regime; a rotation
+        // leaves it untouched.
+        for r in self.machine.cpu.r {
+            v.push(r as u64);
+        }
+        v.push(self.machine.cpu.sp_of(Mode::User) as u64);
+        v.push(self.machine.cpu.pc as u64);
+        v.push(self.machine.cpu.psw.0 as u64);
+        for j in 0..n {
+            // The record whose movable contents occupy slot j post-rotation.
+            let rec = &self.regimes[(j + n - k) % n];
+            v.push(match rec.status {
+                RegimeStatus::Ready => 0,
+                RegimeStatus::Waiting => 1,
+                RegimeStatus::Halted => 2,
+                RegimeStatus::Faulted(c) => 3 + (c.code() << 2),
+            });
+            v.push(rec.restarts_used as u64);
+            v.push(rec.backoff_left as u64);
+            v.push(rec.instr_since_yield);
+            for r in rec.save.r {
+                v.push(r as u64);
+            }
+            v.push(rec.save.sp as u64);
+            v.push(rec.save.pc as u64);
+            v.push(rec.save.cc as u64);
+            v.push(rec.pending_irqs.len() as u64);
+            // Vectors are slot identity (assigned per device at boot); emit
+            // the offset within the owning device's vector block instead so
+            // the encoding is rotation-invariant. Delivery itself is already
+            // slot-relative (the handler table is indexed by device slot).
+            for (slot, req) in &rec.pending_irqs {
+                v.push(*slot as u64);
+                v.push((req.vector - rec.devices[*slot].vector) as u64);
+            }
+            v.push(
+                self.machine
+                    .mem
+                    .fingerprint(rec.partition_base, PARTITION_SIZE),
+            );
+            if let Some(nat) = &rec.native {
+                v.push(fnv(&nat.state_bytes()));
+            }
+            // Device state moves with the regime contents; emit it in slot
+            // order rather than machine attach order.
+            for b in &rec.devices {
+                if let Some(d) = self.machine.devices.get(b.machine_index) {
+                    let bytes: Vec<u8> =
+                        d.snapshot().iter().flat_map(|w| w.to_le_bytes()).collect();
+                    v.push(fnv(&bytes));
+                }
+            }
         }
         for ch in &self.channels {
             v.push(ch.queue().len() as u64);

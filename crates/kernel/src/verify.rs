@@ -21,15 +21,16 @@
 //! wire-cutting argument), no preemption quantum (the SUE has none), no DMA,
 //! and machine-code regimes only.
 
-use crate::config::KernelConfig;
+use crate::config::{KernelConfig, Mutation, ProgramSpec, RegimeSpec, SchedPolicy};
 use crate::kernel::{KernelError, SeparationKernel};
 use crate::regime::{RegimeStatus, SaveArea, PARTITION_SIZE};
 use sep_machine::dev::InterruptRequest;
 use sep_machine::psw::{Mode, Psw};
 use sep_machine::types::Word;
 use sep_model::abstraction::Abstraction;
+use sep_model::canon::{Ample, Reduction, ReductionStats};
 use sep_model::check::{CheckReport, SeparabilityChecker};
-use sep_model::fp::Dedup;
+use sep_model::fp::{fingerprint, Dedup};
 use sep_model::parallel::{ExploreStats, ParallelSeparabilityChecker, SpillConfig};
 use sep_model::system::{Finite, Projected, SharedSystem};
 use std::hash::{Hash, Hasher};
@@ -121,6 +122,17 @@ pub struct KernelSystem {
     /// (pinned by the hotpath differential suite); exact dedup trades
     /// memory for immunity to fingerprint collisions.
     pub dedup: Dedup,
+    /// Regime-symmetry reduction: when the configuration is rotation
+    /// symmetric (see [`KernelSystem::valid_rotations`]), explore orbit
+    /// representatives only — states equal up to a cyclic relabelling of
+    /// identical-image regimes collapse to one canonical fingerprint.
+    pub symmetry: bool,
+    /// Partial-order reduction: at each state, defer serial-byte inputs
+    /// whose footprint is independent of the scheduled regime's step (see
+    /// [`KernelSystem::ample_of`]), exploring an ample subset of the input
+    /// alphabet. Conditions are still checked over the *full* alphabet at
+    /// every explored state.
+    pub por: bool,
 }
 
 impl KernelSystem {
@@ -157,12 +169,28 @@ impl KernelSystem {
             state_limit: 200_000,
             fault_ops: false,
             dedup: Dedup::default(),
+            symmetry: false,
+            por: false,
         })
     }
 
     /// Selects the exploration seen-set policy (fingerprint vs exact).
     pub fn with_dedup(mut self, dedup: Dedup) -> KernelSystem {
         self.dedup = dedup;
+        self
+    }
+
+    /// Toggles the regime-symmetry reduction. Safe to enable
+    /// unconditionally: when [`KernelSystem::valid_rotations`] is empty the
+    /// knob is inert and exploration is unreduced.
+    pub fn with_symmetry(mut self, on: bool) -> KernelSystem {
+        self.symmetry = on;
+        self
+    }
+
+    /// Toggles the partial-order (ample-set) reduction.
+    pub fn with_por(mut self, on: bool) -> KernelSystem {
+        self.por = on;
         self
     }
 
@@ -217,6 +245,264 @@ impl KernelSystem {
             .map(|r| RegimeAbstraction::new(&self.config, r).expect("sub-configuration boots"))
             .collect()
     }
+}
+
+/// The set of regimes and channels a transition can read or write, as
+/// bitmasks over configuration indices. Two transitions with disjoint
+/// footprints commute — *because* the kernel is a separation kernel:
+/// regimes own their partitions, devices, and (cut) channel ends
+/// exclusively, so the only coupling between a step and an input delivery
+/// is through the resources both name. The separability being verified is
+/// itself what justifies the independence relation the partial-order
+/// reduction leans on; the reduction differential suite pins the circle
+/// closed empirically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Footprint {
+    /// Bitmask of regime indices touched.
+    pub regimes: u32,
+    /// Bitmask of channel indices touched.
+    pub channels: u32,
+}
+
+impl Footprint {
+    /// Whether two footprints share any regime or channel.
+    pub fn overlaps(&self, other: &Footprint) -> bool {
+        self.regimes & other.regimes != 0 || self.channels & other.channels != 0
+    }
+}
+
+impl KernelSystem {
+    /// The footprint of an input: the regimes whose serial lines it feeds.
+    /// Inputs never touch channels.
+    pub fn input_footprint(&self, i: &KInput) -> Footprint {
+        let mut regimes = 0u32;
+        for (r, b) in i.0.iter().enumerate() {
+            if b.is_some() {
+                regimes |= 1 << r;
+            }
+        }
+        Footprint {
+            regimes,
+            channels: 0,
+        }
+    }
+
+    /// The footprint of the execute phase at `s`: the scheduled regime
+    /// (its registers, partition, devices, pending queue) plus the cut
+    /// channels it sends on — a cut channel's queue is written by its
+    /// sender alone.
+    pub fn step_footprint(&self, s: &KernelState) -> Footprint {
+        let current = s.kernel.current();
+        let logical = self.config.regimes[current].logical.unwrap_or(current);
+        let mut channels = 0u32;
+        for (c, ch) in self.config.channels.iter().enumerate() {
+            if ch.from == logical {
+                channels |= 1 << c;
+            }
+        }
+        Footprint {
+            regimes: 1 << current,
+            channels,
+        }
+    }
+
+    /// The rotations `k` under which this configuration is symmetric: every
+    /// regime's *image* (program, devices, fault policy, watchdog) equals
+    /// the image `k` slots ahead, and nothing in the configuration pins a
+    /// slot identity. Rotations — not arbitrary permutations — because the
+    /// round-robin scheduler distinguishes regime *order*: only a cyclic
+    /// relabelling maps "the regime after r" onto "the regime after
+    /// rot(r)".
+    ///
+    /// Requirements, each of which otherwise breaks the automorphism:
+    /// * at least two regimes and no channels (channel endpoints name
+    ///   slots);
+    /// * effective round-robin scheduling (a static-cyclic table names
+    ///   slots);
+    /// * no [`Mutation::ScratchInPartition`] (it pins slot 0 as scratch);
+    /// * assembly programs only, pairwise equal under the rotation, with no
+    ///   `TRAP 4` (MYID answers the slot identity) and no `logical`
+    ///   override;
+    /// * the input alphabet closed under the rotation, so every explored
+    ///   trajectory's relabelling is again a trajectory.
+    pub fn valid_rotations(&self) -> Vec<usize> {
+        let n = self.config.regimes.len();
+        if n < 2
+            || !self.config.channels.is_empty()
+            || !matches!(self.config.effective_sched(), SchedPolicy::RoundRobin)
+            || self.config.mutation == Mutation::ScratchInPartition
+        {
+            return Vec::new();
+        }
+        (1..n)
+            .filter(|&k| {
+                (0..n).all(|i| {
+                    rotation_equal(&self.config.regimes[i], &self.config.regimes[(i + k) % n])
+                }) && self.inputs_closed_under(k)
+            })
+            .collect()
+    }
+
+    /// Whether rotating every input vector by `k` lands back in the
+    /// alphabet (`w[(i+k) % n] = v[i]`).
+    fn inputs_closed_under(&self, k: usize) -> bool {
+        let n = self.config.regimes.len();
+        self.inputs.iter().all(|v| {
+            let mut w = vec![None; n];
+            for (i, b) in v.0.iter().enumerate() {
+                w[(i + k) % n] = *b;
+            }
+            self.inputs.contains(&KInput(w))
+        })
+    }
+
+    /// The ample input set at `s`: the indices of inputs that are *not*
+    /// deferrable. An input is deferrable when it feeds only regimes
+    /// independent of the scheduled regime's step — disjoint
+    /// [`Footprint`]s, every fed regime `Ready` (so the delivery cannot
+    /// flip a status the scheduler is about to read), and every fed regime
+    /// actually schedulable (so the deferred delivery is eventually
+    /// explored from a later state). The null input is never deferrable,
+    /// so the ample set is never empty and exploration never stalls.
+    pub fn ample_of(&self, s: &KernelState, inputs: &[KInput]) -> Ample {
+        let step = self.step_footprint(s);
+        let mut keep = Vec::new();
+        let mut deferred = false;
+        for (idx, i) in inputs.iter().enumerate() {
+            if self.deferrable(s, i, &step) {
+                deferred = true;
+            } else {
+                keep.push(idx);
+            }
+        }
+        if deferred {
+            Ample::Subset(keep)
+        } else {
+            Ample::All
+        }
+    }
+
+    fn deferrable(&self, s: &KernelState, i: &KInput, step: &Footprint) -> bool {
+        let fp = self.input_footprint(i);
+        if fp.regimes == 0 || fp.overlaps(step) {
+            return false;
+        }
+        (0..self.config.regimes.len())
+            .filter(|r| fp.regimes & (1 << r) != 0)
+            .all(|r| s.kernel.regimes[r].status == RegimeStatus::Ready && self.schedulable(r))
+    }
+
+    /// Whether the scheduler can ever offer regime `r` a slot.
+    fn schedulable(&self, r: usize) -> bool {
+        match self.config.effective_sched() {
+            SchedPolicy::RoundRobin => true,
+            SchedPolicy::StaticCyclic { table } => table.contains(&r),
+            // `new` rejects preemptive policies outright.
+            _ => false,
+        }
+    }
+
+    /// Builds the [`Reduction`] the knobs select and hands it to `f`.
+    /// Scoped because the reduction borrows its closures.
+    fn with_reduction<R>(&self, f: impl FnOnce(&Reduction<'_, KernelSystem>) -> R) -> R {
+        let rotations = if self.symmetry {
+            self.valid_rotations()
+        } else {
+            Vec::new()
+        };
+        let canon_fn = |s: &KernelState| canon_key(&rotations, s);
+        let ample_fn = |s: &KernelState, inputs: &[KInput]| self.ample_of(s, inputs);
+        let mut reduction: Reduction<'_, KernelSystem> = Reduction::none();
+        if !rotations.is_empty() {
+            reduction.canon = Some(&canon_fn);
+        }
+        if self.por {
+            reduction.ample = Some(&ample_fn);
+        }
+        f(&reduction)
+    }
+
+    /// Enumerates the (possibly reduced) reachable state space with the
+    /// sequential explorer, returning the states and the reduction
+    /// counters.
+    pub fn explore_sequential(&self) -> (Vec<KernelState>, ReductionStats) {
+        self.with_reduction(|red| {
+            let (states, truncated, stats) = sep_model::explore::reachable_states_reduced(
+                self,
+                &self.initial_states(),
+                &self.inputs,
+                self.state_limit,
+                self.dedup,
+                red,
+            );
+            assert!(
+                !truncated,
+                "kernel state space exceeded limit {}",
+                self.state_limit
+            );
+            (states, stats)
+        })
+    }
+
+    /// Like [`KernelSystem::explore_sequential`] with the sharded explorer;
+    /// the returned [`ExploreStats`] carry the reduction counters.
+    pub fn explore_sharded(&self, shards: usize) -> (Vec<KernelState>, ExploreStats) {
+        self.with_reduction(|red| {
+            let (states, stats) = sep_model::parallel::par_reachable_states_reduced(
+                self,
+                &self.initial_states(),
+                &self.inputs,
+                self.state_limit,
+                shards,
+                self.dedup,
+                red,
+            );
+            assert!(
+                !stats.truncated,
+                "kernel state space exceeded limit {}",
+                self.state_limit
+            );
+            (states, stats)
+        })
+    }
+}
+
+/// Whether regime image `a` may be relabelled as `b` under a rotation:
+/// identical assembly source (that never asks MYID), identical devices,
+/// fault policy and watchdog, and no logical-identity override.
+fn rotation_equal(a: &RegimeSpec, b: &RegimeSpec) -> bool {
+    let (ProgramSpec::Assembly(sa), ProgramSpec::Assembly(sb)) = (&a.program, &b.program) else {
+        return false;
+    };
+    sa == sb
+        && !source_asks_identity(sa)
+        && a.logical.is_none()
+        && b.logical.is_none()
+        && a.devices == b.devices
+        && a.fault_policy == b.fault_policy
+        && a.watchdog == b.watchdog
+}
+
+/// Conservative scan for `TRAP 4` (MYID): any TRAP line mentioning a `4`
+/// disqualifies the program from symmetry, comments included.
+fn source_asks_identity(src: &str) -> bool {
+    src.lines().any(|line| {
+        let line = line.trim();
+        line.contains("TRAP") && line.split(';').next().unwrap_or("").contains('4')
+    })
+}
+
+/// The canonical orbit fingerprint of a state: the minimum, over the
+/// identity and every valid rotation `k`, of the fingerprint of the
+/// kernel's rotation-invariant [`SeparationKernel::symmetry_vector`].
+/// States equal up to a valid rotation share this key, so the explorers'
+/// seen-sets collapse each orbit to its first-discovered member.
+pub fn canon_key(rotations: &[usize], s: &KernelState) -> u128 {
+    let mut best = fingerprint(&s.kernel.symmetry_vector(0));
+    for &k in rotations {
+        best = best.min(fingerprint(&s.kernel.symmetry_vector(k)));
+    }
+    best
 }
 
 impl SharedSystem for KernelSystem {
@@ -298,19 +584,10 @@ impl Projected for KernelSystem {
 
 impl Finite for KernelSystem {
     fn states(&self) -> Vec<KernelState> {
-        let (states, truncated) = sep_model::explore::reachable_states_with(
-            self,
-            &self.initial_states(),
-            &self.inputs,
-            self.state_limit,
-            self.dedup,
-        );
-        assert!(
-            !truncated,
-            "kernel state space exceeded limit {}",
-            self.state_limit
-        );
-        states
+        // The sequential checker enumerates through here, so the symmetry
+        // and partial-order knobs reduce it exactly as they reduce the
+        // sharded checker.
+        self.explore_sequential().0
     }
 
     fn inputs(&self) -> Vec<KInput> {
@@ -386,8 +663,15 @@ impl KernelSystem {
         checker: ParallelSeparabilityChecker,
         abstractions: &[RegimeAbstraction],
     ) -> (CheckReport, Option<ExploreStats>) {
-        let (report, stats) =
-            checker.check_explored(self, abstractions, &self.initial_states(), self.state_limit);
+        let (report, stats) = self.with_reduction(|red| {
+            checker.check_explored_reduced(
+                self,
+                abstractions,
+                &self.initial_states(),
+                self.state_limit,
+                red,
+            )
+        });
         assert!(
             !stats.truncated,
             "kernel state space exceeded limit {}",

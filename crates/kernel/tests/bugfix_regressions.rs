@@ -7,12 +7,19 @@
 //!   as delivered, overcounting E8;
 //! * a native regime's SWAP used to bump only `stats.syscalls[0]`,
 //!   skipping the per-regime metric and the trace event machine-code SWAP
-//!   gets.
+//!   gets;
+//! * the symmetry reduction's canonical key must be computed from the
+//!   name-free single-hash-per-partition path: hashing regime names (or
+//!   re-hashing partitions per rotation candidate) would stop
+//!   rotated-but-equal states from colliding in the seen-set and the
+//!   reduction would silently prune nothing.
 
 use sep_kernel::channel::ChannelStatus;
 use sep_kernel::config::{ChannelSpec, DeviceSpec, KernelConfig, RegimeSpec};
 use sep_kernel::kernel::{KernelEvent, SeparationKernel};
 use sep_kernel::regime::{NativeAction, NativeRegime, RegimeIo};
+use sep_kernel::verify::{canon_key, KernelState, KernelSystem};
+use sep_model::system::{Finite, SharedSystem};
 
 /// RECV into a buffer that runs off the end of the partition: the copy
 /// faults mid-message. The queue must keep the message so a later RECV
@@ -158,4 +165,114 @@ fn native_swap_accounts_like_machine_code_swap() {
         .filter(|e| e.event.label() == "syscall")
         .count() as u64;
     assert_eq!(syscall_events, k.stats.syscalls[0], "trace shows each SWAP");
+}
+
+/// `n` interchangeable pure-yield regimes named by `tag` — the symmetric
+/// configuration the reduction tests rotate.
+fn symmetric_config(n: usize, tag: &str) -> KernelConfig {
+    let prog = "
+start:  TRAP 0
+        BR start
+";
+    KernelConfig::new(
+        (0..n)
+            .map(|i| {
+                RegimeSpec::assembly(&format!("{tag}{i}"), prog)
+                    .with_device(DeviceSpec::SerialRx { capacity: 1 })
+            })
+            .collect(),
+    )
+}
+
+/// The symmetric system with symmetry canonicalization enabled.
+fn symmetric_system(n: usize, tag: &str) -> KernelSystem {
+    KernelSystem::new(symmetric_config(n, tag))
+        .unwrap()
+        .with_input_bytes(&[1])
+        .with_symmetry(true)
+}
+
+/// The seen-set collision regression: drive the symmetric system to a
+/// state with per-regime variation, rotate the regime contents, and the
+/// canonical keys of the two permuted-but-equal states must collide. The
+/// keys must also *distinguish* states outside each other's orbits, or the
+/// reduction would be collapsing the space unsoundly.
+#[test]
+fn rotated_states_collide_in_the_seen_set() {
+    let sys = symmetric_system(3, "peer");
+    let rotations = sys.valid_rotations();
+    assert_eq!(rotations, vec![1, 2], "all rotations must be valid");
+    let inputs = sys.inputs();
+    // Feed regime 1 a byte, then step a few times: the pending byte makes
+    // the regimes' device states differ, so rotation genuinely permutes.
+    let mut s = sys.initial();
+    let feed = inputs
+        .iter()
+        .find(|i| i.0[1].is_some())
+        .expect("input alphabet feeds regime 1");
+    let (_, next) = sys.step(&s, feed);
+    s = next;
+    let base_key = canon_key(&rotations, &s);
+    for k in 1..3 {
+        let mut rotated = s.kernel.clone();
+        rotated.rotate_regime_contents(k);
+        let rs = KernelState::new(rotated);
+        assert_ne!(s, rs, "rotation by {k} must move the asymmetric state");
+        assert_eq!(
+            canon_key(&rotations, &rs),
+            base_key,
+            "rotation by {k} must collide in the seen-set"
+        );
+    }
+    // A genuinely different state (one more step) must not collide.
+    let (_, stepped) = sys.step(&s, &inputs[0]);
+    assert_ne!(
+        canon_key(&rotations, &stepped),
+        base_key,
+        "canonical keys must still separate distinct orbits"
+    );
+}
+
+/// The audit behind the collision property: the canonical key is name-free
+/// (two systems differing only in regime names agree on every key along a
+/// trajectory), because the key reuses the single-hash-per-partition
+/// fingerprint path rather than any name-bearing state vector.
+#[test]
+fn canonical_keys_ignore_regime_names() {
+    let a = symmetric_system(3, "peer");
+    let b = symmetric_system(3, "other");
+    let rot_a = a.valid_rotations();
+    let rot_b = b.valid_rotations();
+    assert_eq!(rot_a, rot_b);
+    let inputs = a.inputs();
+    let (mut sa, mut sb) = (a.initial(), b.initial());
+    for step in 0..12 {
+        assert_eq!(
+            canon_key(&rot_a, &sa),
+            canon_key(&rot_b, &sb),
+            "keys diverged at step {step}: the canonical key sees names"
+        );
+        let input = &inputs[step % inputs.len()];
+        sa = a.step(&sa, input).1;
+        sb = b.step(&sb, input).1;
+    }
+}
+
+/// Symmetry halves (or better) the explored space on the symmetric
+/// workload — the regression that the canonicalization actually engages
+/// end to end through the explorer, not just in `canon_key`.
+#[test]
+fn symmetry_reduces_the_symmetric_exploration() {
+    let plain = KernelSystem::new(symmetric_config(3, "peer"))
+        .unwrap()
+        .with_input_bytes(&[1]);
+    let (full, _) = plain.explore_sequential();
+    let (reduced, stats) = symmetric_system(3, "peer").explore_sequential();
+    assert!(stats.canon, "canon not engaged");
+    assert!(
+        reduced.len() * 2 <= full.len(),
+        "symmetry barely pruned: {} of {}",
+        reduced.len(),
+        full.len()
+    );
 }

@@ -32,6 +32,7 @@ pub struct SerialLine {
     vector: Word,
     priority: u8,
     // Receiver.
+    rx_capacity: usize,
     rx_queue: VecDeque<u8>,
     rbuf: u8,
     rx_done: bool,
@@ -57,6 +58,7 @@ impl SerialLine {
             base,
             vector,
             priority,
+            rx_capacity: RX_CAPACITY,
             rx_queue: VecDeque::new(),
             rbuf: 0,
             rx_done: false,
@@ -71,10 +73,19 @@ impl SerialLine {
         }
     }
 
-    /// Host side: queue bytes for the CPU to receive. Bytes beyond
-    /// [`RX_CAPACITY`] are dropped (and counted in the return value).
+    /// Shrinks the receive queue to `capacity` bytes (the default is
+    /// [`RX_CAPACITY`]), builder-style. A tightly bounded queue models a
+    /// line with no buffering — extra bytes fall on the floor — and keeps
+    /// exhaustively explored state spaces small.
+    pub fn with_rx_capacity(mut self, capacity: usize) -> SerialLine {
+        self.rx_capacity = capacity.min(RX_CAPACITY);
+        self
+    }
+
+    /// Host side: queue bytes for the CPU to receive. Bytes beyond the
+    /// receive capacity are dropped (and counted in the return value).
     pub fn host_send(&mut self, bytes: &[u8]) -> usize {
-        let room = RX_CAPACITY.saturating_sub(self.rx_queue.len());
+        let room = self.rx_capacity.saturating_sub(self.rx_queue.len());
         let take = bytes.len().min(room);
         self.rx_queue.extend(bytes[..take].iter().copied());
         bytes.len() - take

@@ -99,6 +99,12 @@ impl Memory {
     pub fn range(&self, start: PhysAddr, len: u32) -> &[u8] {
         &self.bytes[start as usize..(start + len) as usize]
     }
+
+    /// Overwrites a physical range with `bytes` (bulk re-imaging: restarts,
+    /// partition-content rotation in the symmetry layer).
+    pub fn write_range(&mut self, start: PhysAddr, bytes: &[u8]) {
+        self.bytes[start as usize..start as usize + bytes.len()].copy_from_slice(bytes);
+    }
 }
 
 #[cfg(test)]

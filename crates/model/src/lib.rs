@@ -14,6 +14,10 @@
 //!   producing counterexamples that name the violated condition.
 //! * [`explore`] — reachable-state enumeration and statistical (sampled)
 //!   checking for systems too large to enumerate.
+//! * [`canon`] — state-space reduction hooks: symmetry canonicalization
+//!   (orbit-representative fingerprints), partial-order ample sets, and
+//!   Bloom pre-filter accounting, all injected into both explorers as
+//!   closures and pinned sound by the reduction differential suite.
 //! * [`parallel`] — the frontier-sharded parallel checker: report-identical
 //!   to [`check`]'s sequential checker for every shard count (proved by the
 //!   differential test suite), with an optional disk-backed seen-set spill.
@@ -30,6 +34,7 @@
 #![forbid(unsafe_code)]
 
 pub mod abstraction;
+pub mod canon;
 pub mod check;
 pub mod cut;
 pub mod demo;
@@ -42,14 +47,17 @@ pub mod system;
 pub mod trace;
 
 pub use abstraction::Abstraction;
+pub use canon::{Ample, Reduction, ReductionStats};
 pub use check::{CheckReport, Condition, SeparabilityChecker, Violation};
 pub use cut::{CutSystem, InterferenceWitness};
-pub use explore::{reachable_states, reachable_states_with, SampledChecker};
-pub use fp::{fingerprint, Dedup};
+pub use explore::{
+    reachable_states, reachable_states_reduced, reachable_states_with, SampledChecker,
+};
+pub use fp::{fingerprint, Bloom, BloomParams, Dedup};
 pub use objects::{ObjRef, ObjectSystem, OpDecl, Value};
 pub use parallel::{
-    par_reachable_states, par_reachable_states_with, ExploreStats, ParallelSeparabilityChecker,
-    ShardStats, SpillConfig,
+    par_reachable_states, par_reachable_states_reduced, par_reachable_states_with, ExploreStats,
+    ParallelSeparabilityChecker, ShardStats, SpillConfig,
 };
 pub use system::{Finite, Projected, SharedSystem};
 pub use trace::{first_divergence, ColourTrace, TraceSet};

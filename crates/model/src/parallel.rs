@@ -42,8 +42,9 @@
 //! of two independently-seeded 64-bit hashes).
 
 use crate::abstraction::Abstraction;
+use crate::canon::{Reduction, ReductionStats};
 use crate::check::{CheckReport, Condition, Violation};
-use crate::fp::{fingerprint, Dedup};
+use crate::fp::{fingerprint, Bloom, Dedup};
 use crate::system::{Finite, Projected, SharedSystem};
 use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
@@ -131,6 +132,11 @@ pub struct ExploreStats {
     /// Seen-set key bytes under fingerprint dedup (16 per state) — the
     /// footprint exact dedup would instead spend on whole resident states.
     pub fp_bytes: u64,
+    /// State-space reduction counters (symmetry, ample sets, Bloom). The
+    /// sums are shard-count-invariant: within a level each distinct key is
+    /// examined exactly once, by its owner shard, against a Bloom filter
+    /// frozen at the level boundary.
+    pub reduction: ReductionStats,
     /// Per-shard counters, indexed by shard.
     pub per_shard: Vec<ShardStats>,
 }
@@ -179,13 +185,13 @@ impl<T: Eq + Hash> SeenShard<T> {
         T: Clone,
     {
         let len = match self.dedup {
-            Dedup::Fingerprint => {
-                self.resident_fp.insert(fp);
-                self.resident_fp.len()
-            }
             Dedup::Exact => {
                 self.resident_exact.insert(value.clone());
                 self.resident_exact.len()
+            }
+            _ => {
+                self.resident_fp.insert(fp);
+                self.resident_fp.len()
             }
         };
         if len >= self.max_resident {
@@ -200,12 +206,12 @@ impl<T: Eq + Hash> SeenShard<T> {
             .expect("spill flush requires a run dir");
         std::fs::create_dir_all(&dir).expect("create spill dir");
         let mut fps: Vec<u128> = match self.dedup {
-            Dedup::Fingerprint => self.resident_fp.drain().collect(),
             Dedup::Exact => self
                 .resident_exact
                 .drain()
                 .map(|s| fingerprint(&s))
                 .collect(),
+            _ => self.resident_fp.drain().collect(),
         };
         fps.sort_unstable();
         fps.dedup();
@@ -222,15 +228,15 @@ impl<T: Eq + Hash> SeenShard<T> {
     /// Resident seen-set keys (for the fingerprint-footprint statistics).
     fn resident_len(&self) -> usize {
         match self.dedup {
-            Dedup::Fingerprint => self.resident_fp.len(),
             Dedup::Exact => self.resident_exact.len(),
+            _ => self.resident_fp.len(),
         }
     }
 
     fn contains(&self, fp: u128, value: &T) -> bool {
         let resident = match self.dedup {
-            Dedup::Fingerprint => self.resident_fp.contains(&fp),
             Dedup::Exact => self.resident_exact.contains(value),
+            _ => self.resident_fp.contains(&fp),
         };
         if resident {
             return true;
@@ -247,8 +253,8 @@ impl<T: Eq + Hash> SeenShard<T> {
     /// candidate.
     fn retain_novel(&self, cands: &mut Vec<Cand<T>>) {
         match self.dedup {
-            Dedup::Fingerprint => cands.retain(|(_, fp, _)| !self.resident_fp.contains(fp)),
             Dedup::Exact => cands.retain(|(_, _, s)| !self.resident_exact.contains(s)),
+            _ => cands.retain(|(_, fp, _)| !self.resident_fp.contains(fp)),
         }
         if self.runs.is_empty() || cands.is_empty() {
             return;
@@ -290,22 +296,33 @@ fn read_run(path: &PathBuf) -> Vec<u128> {
 /// Keeps the first (minimum-tag) occurrence of each distinct state, then
 /// drops everything the owning shard has already seen. "Distinct" follows
 /// the shard's dedup policy: by fingerprint or by full state equality.
-fn dedup_candidates<T: Eq + Hash>(shard: &SeenShard<T>, mut cands: Vec<Cand<T>>) -> Vec<Cand<T>> {
+///
+/// When a Bloom pre-filter is supplied (read-only during this per-level
+/// pass; it is grown only at the single-threaded merge), a "definitely
+/// absent" answer skips the precise probe — including any disk-run reads —
+/// and the candidate is novel by construction, since every committed key
+/// was inserted into the filter. Returns the novel candidates plus the
+/// (shard-count-invariant) Bloom negative / false-positive counts.
+fn dedup_candidates<T: Eq + Hash>(
+    shard: &SeenShard<T>,
+    bloom: Option<&Bloom>,
+    mut cands: Vec<Cand<T>>,
+) -> (Vec<Cand<T>>, u64, u64) {
     cands.sort_by_key(|(tag, _, _)| *tag);
     let mut keep = vec![true; cands.len()];
     match shard.dedup {
-        Dedup::Fingerprint => {
-            let mut firsts: HashSet<u128> = HashSet::with_capacity(cands.len());
-            for (i, (_, fp, _)) in cands.iter().enumerate() {
-                if !firsts.insert(*fp) {
-                    keep[i] = false;
-                }
-            }
-        }
         Dedup::Exact => {
             let mut firsts: HashSet<&T> = HashSet::with_capacity(cands.len());
             for (i, (_, _, s)) in cands.iter().enumerate() {
                 if !firsts.insert(s) {
+                    keep[i] = false;
+                }
+            }
+        }
+        _ => {
+            let mut firsts: HashSet<u128> = HashSet::with_capacity(cands.len());
+            for (i, (_, fp, _)) in cands.iter().enumerate() {
+                if !firsts.insert(*fp) {
                     keep[i] = false;
                 }
             }
@@ -317,18 +334,56 @@ fn dedup_candidates<T: Eq + Hash>(shard: &SeenShard<T>, mut cands: Vec<Cand<T>>)
         i += 1;
         k
     });
-    shard.retain_novel(&mut cands);
-    cands
+    let Some(filter) = bloom else {
+        shard.retain_novel(&mut cands);
+        return (cands, 0, 0);
+    };
+    let mut sure: Vec<Cand<T>> = Vec::new();
+    let mut maybe: Vec<Cand<T>> = Vec::new();
+    for c in cands {
+        if filter.may_contain(c.1) {
+            maybe.push(c);
+        } else {
+            sure.push(c);
+        }
+    }
+    let negatives = sure.len() as u64;
+    shard.retain_novel(&mut maybe);
+    let false_positives = maybe.len() as u64;
+    // Both halves are tag-sorted; merge them back into tag order.
+    let mut out = Vec::with_capacity(sure.len() + maybe.len());
+    let (mut a, mut b) = (sure.into_iter().peekable(), maybe.into_iter().peekable());
+    loop {
+        match (a.peek(), b.peek()) {
+            (Some(x), Some(y)) => {
+                if x.0 <= y.0 {
+                    out.push(a.next().expect("peeked"));
+                } else {
+                    out.push(b.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => out.push(a.next().expect("peeked")),
+            (None, Some(_)) => out.push(b.next().expect("peeked")),
+            (None, None) => break,
+        }
+    }
+    (out, negatives, false_positives)
 }
 
 /// Expands one frontier level on `shards` worker threads, routing each
 /// successor over a channel to its owner shard. Returns per-owner candidate
 /// lists (arrival order; the dedup pass re-sorts by tag).
+///
+/// `expands` (when present) lists the ample input indices per frontier
+/// state; candidates keep their *original* input index as the tag, so the
+/// merged order stays a subsequence of the unreduced discovery order.
 fn expand_level<S>(
     sys: &S,
     frontier: &[S::State],
     assign: &[usize],
     inputs: &[S::Input],
+    expands: Option<&[Vec<usize>]>,
+    reduction: &Reduction<S>,
     shards: usize,
 ) -> Vec<Vec<Cand<S::State>>>
 where
@@ -351,15 +406,30 @@ where
         for w in 0..shards {
             let senders = senders.clone();
             scope.spawn(move || {
+                let emit = |p: usize, i_idx: usize, s: &S::State| {
+                    let (_, next) = sys.step(s, &inputs[i_idx]);
+                    let key = match reduction.canon {
+                        Some(canon) => canon(&next),
+                        None => fingerprint(&next),
+                    };
+                    let owner = shard_of(key, shards);
+                    let _ = senders[owner].send(((p, i_idx), key, next));
+                };
                 for (p, s) in frontier.iter().enumerate() {
                     if assign[p] != w {
                         continue;
                     }
-                    for (i_idx, i) in inputs.iter().enumerate() {
-                        let (_, next) = sys.step(s, i);
-                        let fp = fingerprint(&next);
-                        let owner = shard_of(fp, shards);
-                        let _ = senders[owner].send(((p, i_idx), fp, next));
+                    match expands {
+                        Some(lists) => {
+                            for &i_idx in &lists[p] {
+                                emit(p, i_idx, s);
+                            }
+                        }
+                        None => {
+                            for i_idx in 0..inputs.len() {
+                                emit(p, i_idx, s);
+                            }
+                        }
                     }
                 }
             });
@@ -373,7 +443,9 @@ where
 }
 
 /// Parallel frontier-sharded BFS with the exact discovery order and
-/// truncation semantics of [`crate::explore::reachable_states`].
+/// truncation semantics of [`crate::explore::reachable_states`], threaded
+/// through the state-space reduction hooks.
+#[allow(clippy::too_many_arguments)]
 fn explore<S>(
     sys: &S,
     initial: &[S::State],
@@ -382,6 +454,7 @@ fn explore<S>(
     shards: usize,
     spill: Option<&SpillConfig>,
     dedup: Dedup,
+    reduction: &Reduction<S>,
 ) -> (Vec<S::State>, ExploreStats)
 where
     S: SharedSystem + Sync,
@@ -389,12 +462,30 @@ where
     S::Input: Sync,
 {
     let shards = shards.max(1);
+    // Orbit representatives cannot be compared for exact equality (two
+    // distinct states of one orbit must dedup against each other), so a
+    // canon hook forces fingerprint-keyed seen-sets.
+    let dedup = if reduction.canon.is_some() && dedup == Dedup::Exact {
+        Dedup::Fingerprint
+    } else {
+        dedup
+    };
+    let key_of = |s: &S::State| match reduction.canon {
+        Some(canon) => canon(s),
+        None => fingerprint(s),
+    };
+    let mut bloom = dedup.bloom_params().map(Bloom::new);
     let mut seen: Vec<SeenShard<S::State>> = (0..shards)
         .map(|j| SeenShard::new(dedup, spill, j))
         .collect();
     let mut stats = ExploreStats {
         shards,
         per_shard: vec![ShardStats::default(); shards],
+        reduction: ReductionStats {
+            canon: reduction.canon.is_some(),
+            ample: reduction.ample.is_some(),
+            ..ReductionStats::default()
+        },
         ..ExploreStats::default()
     };
     let mut order: Vec<S::State> = Vec::new();
@@ -408,7 +499,7 @@ where
             st.spilled = shard.spilled;
             st.spill_runs = shard.runs.len() as u64;
         }
-        if dedup == Dedup::Fingerprint {
+        if dedup.keyed_by_fingerprint() {
             stats.fp_states = order.len() as u64;
             let resident: usize = seen.iter().map(|s| s.resident_len()).sum();
             stats.fp_bytes = 16 * resident as u64;
@@ -419,10 +510,13 @@ where
     // Initial states are always admitted; the limit applies when a state
     // is taken up for expansion, exactly as in the sequential explorer.
     for s in initial {
-        let fp = fingerprint(s);
-        let owner = shard_of(fp, shards);
-        if !seen[owner].contains(fp, s) {
-            seen[owner].insert(fp, s);
+        let key = key_of(s);
+        let owner = shard_of(key, shards);
+        if !seen[owner].contains(key, s) {
+            seen[owner].insert(key, s);
+            if let Some(filter) = bloom.as_mut() {
+                filter.insert(key);
+            }
             stats.per_shard[owner].owned += 1;
             order.push(s.clone());
         }
@@ -449,20 +543,57 @@ where
             stats.per_shard[w].expanded += 1;
         }
 
+        let frontier = &order[level];
+
+        // Ample-set selection happens up front, single-threaded and in
+        // frontier order, so skip counters and expansion lists are
+        // identical for every shard count.
+        let expands: Option<Vec<Vec<usize>>> = reduction.ample.map(|ample| {
+            frontier
+                .iter()
+                .map(|s| ample(s, inputs).indices(inputs.len()))
+                .collect()
+        });
+        if let Some(lists) = &expands {
+            stats.reduction.ample_skips += lists
+                .iter()
+                .map(|l| (inputs.len() - l.len()) as u64)
+                .sum::<u64>();
+        }
+
         // Expand. Tiny levels (a chain-shaped state space, or fewer
         // successors than threads) run inline: same candidates, same tags,
         // no spawn cost.
-        let frontier = &order[level];
         let threaded = shards > 1 && width * inputs.len() >= shards * 8;
         let routed: Vec<Vec<Cand<S::State>>> = if threaded {
-            expand_level(sys, frontier, &assign, inputs, shards)
+            expand_level(
+                sys,
+                frontier,
+                &assign,
+                inputs,
+                expands.as_deref(),
+                reduction,
+                shards,
+            )
         } else {
             let mut per_owner: Vec<Vec<Cand<S::State>>> = vec![Vec::new(); shards];
+            let mut emit = |p: usize, i_idx: usize, s: &S::State| {
+                let (_, next) = sys.step(s, &inputs[i_idx]);
+                let key = key_of(&next);
+                per_owner[shard_of(key, shards)].push(((p, i_idx), key, next));
+            };
             for (p, s) in frontier.iter().enumerate() {
-                for (i_idx, i) in inputs.iter().enumerate() {
-                    let (_, next) = sys.step(s, i);
-                    let fp = fingerprint(&next);
-                    per_owner[shard_of(fp, shards)].push(((p, i_idx), fp, next));
+                match &expands {
+                    Some(lists) => {
+                        for &i_idx in &lists[p] {
+                            emit(p, i_idx, s);
+                        }
+                    }
+                    None => {
+                        for i_idx in 0..inputs.len() {
+                            emit(p, i_idx, s);
+                        }
+                    }
                 }
             }
             per_owner
@@ -471,13 +602,22 @@ where
             stats.per_shard[owner].routed += cands.len();
         }
 
-        // Dedup against each owner's shard of the seen-set.
-        let novels: Vec<Vec<Cand<S::State>>> = if threaded {
+        // Dedup against each owner's shard of the seen-set. The Bloom
+        // filter is read-only here (grown only at the merge below), so the
+        // negative/false-positive tallies are level-deterministic and
+        // shard-count-invariant.
+        let bloom_ref = bloom.as_ref();
+        // (surviving candidates, bloom negatives, bloom false positives)
+        // per owner shard.
+        type Deduped<T> = Vec<(Vec<Cand<T>>, u64, u64)>;
+        let deduped: Deduped<S::State> = if threaded {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = routed
                     .into_iter()
                     .zip(seen.iter())
-                    .map(|(cands, shard)| scope.spawn(move || dedup_candidates(shard, cands)))
+                    .map(|(cands, shard)| {
+                        scope.spawn(move || dedup_candidates(shard, bloom_ref, cands))
+                    })
                     .collect();
                 handles
                     .into_iter()
@@ -488,9 +628,15 @@ where
             routed
                 .into_iter()
                 .zip(seen.iter())
-                .map(|(cands, shard)| dedup_candidates(shard, cands))
+                .map(|(cands, shard)| dedup_candidates(shard, bloom_ref, cands))
                 .collect()
         };
+        let mut novels: Vec<Vec<Cand<S::State>>> = Vec::with_capacity(deduped.len());
+        for (cands, negatives, false_positives) in deduped {
+            stats.reduction.bloom_negatives += negatives;
+            stats.reduction.bloom_false_positives += false_positives;
+            novels.push(cands);
+        }
 
         // Deterministic merge: commit survivors in (parent, input) order,
         // re-applying the sequential truncation rule before each parent.
@@ -507,9 +653,12 @@ where
             }
             cursor += 1;
             while it.peek().is_some_and(|(tag, _, _)| tag.0 == p) {
-                let (_, fp, s) = it.next().expect("peeked");
-                let owner = shard_of(fp, shards);
-                seen[owner].insert(fp, &s);
+                let (_, key, s) = it.next().expect("peeked");
+                let owner = shard_of(key, shards);
+                seen[owner].insert(key, &s);
+                if let Some(filter) = bloom.as_mut() {
+                    filter.insert(key);
+                }
                 stats.per_shard[owner].owned += 1;
                 order.push(s);
             }
@@ -549,8 +698,41 @@ where
     S::State: Send + Sync,
     S::Input: Sync,
 {
-    let (order, stats) = explore(sys, initial, inputs, limit, shards, None, dedup);
+    let (order, stats) = explore(
+        sys,
+        initial,
+        inputs,
+        limit,
+        shards,
+        None,
+        dedup,
+        &Reduction::none(),
+    );
     (order, stats.truncated)
+}
+
+/// [`par_reachable_states_with`] threaded through the state-space
+/// reduction hooks of [`crate::canon`], returning the full exploration
+/// statistics (including [`ReductionStats`]).
+///
+/// With `Reduction::none()` and no Bloom dedup this returns exactly the
+/// states of [`par_reachable_states_with`]; the shard-invariance of the
+/// output and the stats projection is pinned by `explore_determinism`.
+pub fn par_reachable_states_reduced<S>(
+    sys: &S,
+    initial: &[S::State],
+    inputs: &[S::Input],
+    limit: usize,
+    shards: usize,
+    dedup: Dedup,
+    reduction: &Reduction<S>,
+) -> (Vec<S::State>, ExploreStats)
+where
+    S: SharedSystem + Sync,
+    S::State: Send + Sync,
+    S::Input: Sync,
+{
+    explore(sys, initial, inputs, limit, shards, None, dedup, reduction)
 }
 
 /// Bounded, order-preserving buffer of violation candidates: per condition,
@@ -724,6 +906,31 @@ impl ParallelSeparabilityChecker {
         A: Abstraction<S> + Sync,
         A::AState: Send + Sync,
     {
+        self.check_explored_reduced(sys, abstractions, initial, limit, &Reduction::none())
+    }
+
+    /// [`Self::check_explored`] threaded through the state-space reduction
+    /// hooks: exploration prunes by orbit key and ample sets, but every
+    /// explored state is still checked against the full input and op
+    /// alphabets — reductions shrink the state list, never the per-state
+    /// condition coverage.
+    pub fn check_explored_reduced<S, A>(
+        &self,
+        sys: &S,
+        abstractions: &[A],
+        initial: &[S::State],
+        limit: usize,
+        reduction: &Reduction<S>,
+    ) -> (CheckReport, ExploreStats)
+    where
+        S: Finite + Projected + Sync,
+        S::State: Send + Sync,
+        S::Colour: Send + Sync,
+        S::Input: Sync,
+        S::Op: Sync,
+        A: Abstraction<S> + Sync,
+        A::AState: Send + Sync,
+    {
         let inputs = sys.inputs();
         let (states, stats) = explore(
             sys,
@@ -733,6 +940,7 @@ impl ParallelSeparabilityChecker {
             self.shards,
             self.spill.as_ref(),
             self.dedup,
+            reduction,
         );
         let ops = sys.ops();
         let report = self.check_states(sys, abstractions, &states, &inputs, &ops);

@@ -1,13 +1,28 @@
 //! Determinism of the exploration layer: equal seeds give equal sampled
-//! reports, BFS discovery order is stable run to run, and the truncation
+//! reports, BFS discovery order is stable run to run, the truncation
 //! flag flips exactly at the state-limit boundary — in both the sequential
-//! and the parallel frontier-sharded explorer.
+//! and the parallel frontier-sharded explorer — and the state-space
+//! reductions (canon keys, ample sets, Bloom pre-filter) keep discovery
+//! order and the stats projection shard-count-invariant.
 
+use sep_bench::symmetric_workload;
+use sep_kernel::verify::KernelSystem;
+use sep_model::canon::{Ample, Reduction};
 use sep_model::demo::{DemoMachine, Leak};
-use sep_model::explore::{reachable_states, reachable_states_with, SampledChecker};
-use sep_model::fp::Dedup;
-use sep_model::parallel::{par_reachable_states, par_reachable_states_with};
+use sep_model::explore::{
+    reachable_states, reachable_states_reduced, reachable_states_with, SampledChecker,
+};
+use sep_model::fp::{fingerprint, BloomParams, Dedup};
+use sep_model::parallel::{
+    par_reachable_states, par_reachable_states_reduced, par_reachable_states_with, ExploreStats,
+};
 use sep_model::system::Finite;
+
+/// The shard-count-invariant projection of [`ExploreStats`]: everything
+/// except `shards` itself and the per-shard ownership split.
+fn projection(s: &ExploreStats) -> (usize, usize, usize, bool, sep_model::canon::ReductionStats) {
+    (s.states, s.levels, s.max_frontier, s.truncated, s.reduction)
+}
 
 #[test]
 fn sampled_checker_is_seed_deterministic() {
@@ -127,4 +142,141 @@ fn truncation_flips_exactly_at_the_limit() {
             assert_eq!(t_seq, t_par, "limit {limit}, shards {shards}");
         }
     }
+}
+
+#[test]
+fn benign_reductions_preserve_demo_order() {
+    // A canon hook that keys each state by its own fingerprint and an
+    // ample hook that always expands everything are semantic no-ops; the
+    // explorers must produce the unreduced discovery order with them
+    // installed, sequentially and at every shard count.
+    let m = DemoMachine::secure(4);
+    let inputs = m.inputs();
+    let baseline = reachable_states(&m, &[m.initial()], &inputs, 100_000).0;
+    let canon = |s: &<DemoMachine as sep_model::system::SharedSystem>::State| fingerprint(s);
+    let ample = |_: &_, _: &[_]| Ample::All;
+    let red = Reduction {
+        canon: Some(&canon),
+        ample: Some(&ample),
+    };
+    let (seq, truncated, stats) = reachable_states_reduced(
+        &m,
+        &[m.initial()],
+        &inputs,
+        100_000,
+        Dedup::Fingerprint,
+        &red,
+    );
+    assert!(!truncated);
+    assert_eq!(seq, baseline, "benign reduction changed sequential order");
+    assert!(stats.canon && stats.ample);
+    assert_eq!(stats.ample_skips, 0, "Ample::All must skip nothing");
+    for shards in [1, 2, 4, 8] {
+        let (par, pstats) = par_reachable_states_reduced(
+            &m,
+            &[m.initial()],
+            &inputs,
+            100_000,
+            shards,
+            Dedup::Fingerprint,
+            &red,
+        );
+        assert_eq!(par, baseline, "benign reduction changed order ({shards})");
+        assert_eq!(pstats.reduction.ample_skips, 0);
+    }
+}
+
+#[test]
+fn kernel_reductions_are_shard_invariant() {
+    // With symmetry + partial order genuinely pruning (the kernel's
+    // symmetric workload), the discovery order and the whole stats
+    // projection — state count, levels, widest frontier, truncation,
+    // reduction counters — must not depend on the shard count, and the
+    // sharded order must equal the sequential one.
+    let sys = KernelSystem::new(symmetric_workload(2))
+        .unwrap()
+        .with_input_bytes(&[1])
+        .with_symmetry(true)
+        .with_por(true);
+    let (seq, seq_stats) = sys.explore_sequential();
+    assert!(seq_stats.canon && seq_stats.ample);
+    assert!(seq_stats.ample_skips > 0, "ample never engaged");
+    let mut first: Option<(Vec<_>, _)> = None;
+    for shards in [1, 2, 4, 8] {
+        let (par, stats) = sys.explore_sharded(shards);
+        assert_eq!(par, seq, "reduced order diverged at {shards} shards");
+        assert_eq!(
+            stats.reduction, seq_stats,
+            "reduction counters diverged at {shards} shards"
+        );
+        match &first {
+            None => first = Some((par, projection(&stats))),
+            Some((forder, fproj)) => {
+                assert_eq!(&par, forder, "order varies with shard count");
+                assert_eq!(&projection(&stats), fproj, "stats vary with shard count");
+            }
+        }
+    }
+}
+
+#[test]
+fn bloom_counters_are_reproducible_and_order_preserving() {
+    // An undersized Bloom filter (64 bits for a ~100-state space) is
+    // guaranteed false positives; they must cost only precise probes —
+    // identical discovery order — and the counters must be identical run
+    // to run and shard count to shard count for a fixed seed.
+    let m = DemoMachine::secure(4);
+    let inputs = m.inputs();
+    let baseline = reachable_states(&m, &[m.initial()], &inputs, 100_000).0;
+    let tiny = Dedup::Bloom(BloomParams {
+        bits_log2: 6,
+        hashes: 2,
+        seed: 42,
+    });
+    let run = |shards: usize| {
+        par_reachable_states_reduced(
+            &m,
+            &[m.initial()],
+            &inputs,
+            100_000,
+            shards,
+            tiny,
+            &Reduction::none(),
+        )
+    };
+    let (order, stats) = run(2);
+    assert_eq!(order, baseline, "Bloom pre-filter changed discovery order");
+    assert!(
+        stats.reduction.bloom_false_positives > 0,
+        "undersized filter produced no false positives: {stats:?}"
+    );
+    let (order2, stats2) = run(2);
+    assert_eq!(order, order2, "Bloom run not reproducible");
+    assert_eq!(projection(&stats), projection(&stats2));
+    for shards in [1, 4, 8] {
+        let (o, s) = run(shards);
+        assert_eq!(o, baseline, "shards {shards}");
+        assert_eq!(
+            projection(&s),
+            projection(&stats),
+            "Bloom counters vary with shard count ({shards})"
+        );
+    }
+    // A different seed probes different bits: the order must still be the
+    // unreduced order (the filter is advisory), even though the
+    // false-positive pattern may differ.
+    let (order3, _) = par_reachable_states_reduced(
+        &m,
+        &[m.initial()],
+        &inputs,
+        100_000,
+        2,
+        Dedup::Bloom(BloomParams {
+            bits_log2: 6,
+            hashes: 2,
+            seed: 43,
+        }),
+        &Reduction::none(),
+    );
+    assert_eq!(order3, baseline, "order depends on the Bloom seed");
 }

@@ -7,12 +7,34 @@
 //! exploration behave lawfully on randomized systems.
 
 use proptest::prelude::*;
+use sep_bench::symmetric_workload;
+use sep_kernel::verify::{canon_key, KernelState, KernelSystem};
 use sep_model::check::SeparabilityChecker;
 use sep_model::cut::{check_isolation, cut};
 use sep_model::demo::{DemoMachine, Leak};
 use sep_model::explore::{reachable_states, SampledChecker};
 use sep_model::objects::{ObjRef, ObjectSystem};
 use sep_model::system::{Finite, SharedSystem};
+
+/// A symmetric kernel system with the reduction substrate wired up, plus
+/// the state reached by walking `choices` (each byte picks the next input).
+fn walk_symmetric(
+    n: usize,
+    choices: &[u8],
+) -> (KernelSystem, Vec<sep_kernel::verify::KInput>, KernelState) {
+    let sys = KernelSystem::new(symmetric_workload(n))
+        .unwrap()
+        .with_input_bytes(&[1])
+        .with_symmetry(true)
+        .with_por(true);
+    let inputs = sys.inputs();
+    let mut s = sys.initial();
+    for &c in choices {
+        let (_, next) = sys.step(&s, &inputs[c as usize % inputs.len()]);
+        s = next;
+    }
+    (sys, inputs, s)
+}
 
 /// Builds a two-colour object system: each colour owns `own` private
 /// counters; `shared` cross-colour channel objects connect them.
@@ -105,6 +127,70 @@ proptest! {
             &secure.inputs(),
         );
         prop_assert!(report.is_separable(), "{report}");
+    }
+
+    #[test]
+    fn canon_is_idempotent_and_rotation_invariant(
+        n in 2usize..4,
+        choices in proptest::collection::vec(any::<u8>(), 0..12),
+        rot_seed in any::<usize>(),
+    ) {
+        // The canonical key of a state must be (a) a pure function — two
+        // computations agree — and (b) invariant under every rotation the
+        // adapter declared valid: canon(rotate(s)) == canon(s). Together
+        // these make the orbit collapse of the symmetry reduction sound.
+        let (sys, _, s) = walk_symmetric(n, &choices);
+        let rotations = sys.valid_rotations();
+        prop_assert_eq!(rotations.len(), n - 1, "symmetric workload must rotate freely");
+        prop_assert_eq!(canon_key(&rotations, &s), canon_key(&rotations, &s));
+        let rot = 1 + rot_seed % (n - 1);
+        let mut rotated = s.kernel.clone();
+        rotated.rotate_regime_contents(rot);
+        let rs = KernelState::new(rotated);
+        prop_assert_eq!(
+            canon_key(&rotations, &rs),
+            canon_key(&rotations, &s),
+            "rotation by {} changed the canonical key", rot
+        );
+        // Rotating twice (composing group elements) stays in the orbit.
+        let mut twice = rs.kernel.clone();
+        twice.rotate_regime_contents(1 + (rot_seed / 7) % (n - 1));
+        prop_assert_eq!(
+            canon_key(&rotations, &KernelState::new(twice)),
+            canon_key(&rotations, &s)
+        );
+    }
+
+    #[test]
+    fn ample_never_drops_a_non_deferrable_input(
+        n in 2usize..4,
+        choices in proptest::collection::vec(any::<u8>(), 0..12),
+    ) {
+        // The ample selector may defer an input only when the partial-order
+        // argument holds: the input has a footprint (it is not the null
+        // input), that footprint is disjoint from the step's (they
+        // commute), and the deferral can be made up later. Everything else
+        // must be kept, with its original alphabet index.
+        let (sys, inputs, s) = walk_symmetric(n, &choices);
+        let keep = sys.ample_of(&s, &inputs).indices(inputs.len());
+        prop_assert!(!keep.is_empty(), "ample set must never be empty");
+        prop_assert!(keep.windows(2).all(|w| w[0] < w[1]), "indices not ascending: {:?}", keep);
+        prop_assert!(keep.iter().all(|&i| i < inputs.len()), "index out of range: {:?}", keep);
+        let step = sys.step_footprint(&s);
+        for (i, input) in inputs.iter().enumerate() {
+            if keep.contains(&i) {
+                continue;
+            }
+            let fp = sys.input_footprint(input);
+            prop_assert!(
+                fp.regimes != 0,
+                "dropped the null input (index {})", i
+            );
+            prop_assert!(
+                !fp.overlaps(&step),
+                "dropped input {} whose footprint overlaps the step's", i
+            );
+        }
     }
 
     #[test]

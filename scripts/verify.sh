@@ -14,6 +14,13 @@ echo "==> differential checker suite (release: parallel vs sequential)"
 cargo test --release -q -p sep-model --test differential_checker \
   --test explore_determinism
 
+echo "==> reduction differential suite (release: symmetry/POR/Bloom soundness)"
+cargo test --release -q -p sep-model --test reduction_differential
+
+echo "==> e2 PoS bench (reduction sweep >=10x; verdicts pinned across all combos)"
+cargo run -q --release -p sep-bench --bin e2_pos_verify > /dev/null
+test -s BENCH_obs_e2_pos_verify.json
+
 echo "==> scheduler differential suite (release: policies vs the seed kernel)"
 cargo test --release -q -p sep-kernel --test sched_differential \
   --test sched_edge_cases --test bugfix_regressions
