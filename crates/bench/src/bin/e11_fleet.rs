@@ -8,11 +8,15 @@
 //! goodput and tail latency the retransmission machinery buys back as the
 //! wires degrade.
 //!
-//! Determinism is asserted, not assumed: the 150‰ point is built and run
-//! twice and the two aggregated reports must be byte-identical. All
-//! numbers in `BENCH_obs_e11_fleet.json` are integer counters — goodput,
-//! p50/p99/p999 round-latency, per-channel saturation, per-wire loss — so
-//! the artifact diffs cleanly across machines.
+//! Determinism is asserted, not assumed: the 150‰ point is run at 1, 2,
+//! 4, and 8 workers and all four aggregated reports must be
+//! byte-identical — the parallel round executor is allowed to change
+//! wall-clock time and nothing else. On hosts with ≥ 4 cores the sweep
+//! also asserts the point of the exercise: ≥ 2× speedup at 4 workers.
+//! All numbers in `BENCH_obs_e11_fleet.json` are integer counters —
+//! goodput, p50/p99/p999 round-latency, per-channel saturation, per-wire
+//! loss — so the artifact diffs cleanly across machines; wall-clock
+//! timings live in a separate, machine-varying `workers` section.
 
 use sep_components::guard::ApproveAll;
 use sep_components::snfe::{BlackComponent, Censor, CensorPolicy, CryptoBox, RedComponent};
@@ -25,6 +29,7 @@ use sep_fleet::{
 };
 use sep_obs::{Json, RunReport};
 use sep_policy::SecurityLevel;
+use std::time::{Duration, Instant};
 
 /// Load-generator nodes (each fronts `USERS_PER_NODE` simulated clients).
 const LG_NODES: usize = 8;
@@ -38,6 +43,10 @@ const ROUNDS: u64 = 360;
 const WINDOW: u64 = 16;
 /// Base RNG seed for the whole fleet.
 const SEED: u64 = 0xE11_F1EE7;
+/// Kernel slots per node per round. Pinned (and generous) on every node
+/// so each worker bin carries the same compute and the per-round kernel
+/// work dominates the round-barrier synchronisation cost.
+const SLOTS: u64 = 64;
 
 fn lossy(seed: u64, pm: u16) -> Option<LossModel> {
     (pm > 0).then(|| {
@@ -74,6 +83,7 @@ fn lg_spec(i: usize) -> NodeSpec {
         level: SecurityLevel::unclassified(),
     };
     NodeSpec::new(&name)
+        .slots_per_round(SLOTS)
         .component(Box::new(LoadGen::new(&name, cfg)))
         .output(0, "fs.req", "fs.req")
         .input("fs.rsp", 0, "fs.rsp")
@@ -89,8 +99,9 @@ fn fs_spec(i: usize, clients: usize) -> NodeSpec {
             special_delete: false,
         })
         .collect();
-    let mut spec =
-        NodeSpec::new(&format!("fs{i}")).component(Box::new(FileServer::new(fs_clients)));
+    let mut spec = NodeSpec::new(&format!("fs{i}"))
+        .slots_per_round(SLOTS)
+        .component(Box::new(FileServer::new(fs_clients)));
     for c in 0..clients {
         spec = spec
             .input(&format!("c{c}.req"), 0, &format!("c{c}.req"))
@@ -101,7 +112,7 @@ fn fs_spec(i: usize, clients: usize) -> NodeSpec {
 
 /// A Guard node hosting `pairs` guard/reflector pairs, one per client.
 fn guard_spec(i: usize, pairs: usize) -> NodeSpec {
-    let mut spec = NodeSpec::new(&format!("guard{i}"));
+    let mut spec = NodeSpec::new(&format!("guard{i}")).slots_per_round(SLOTS);
     for j in 0..pairs {
         spec = spec
             .component(Box::new(Guard::new(Box::new(ApproveAll))))
@@ -124,6 +135,7 @@ fn snfe_red_spec() -> NodeSpec {
         .map(|i| format!("host frame {i} for the black side").into_bytes())
         .collect();
     NodeSpec::new("snfe-red")
+        .slots_per_round(SLOTS)
         .component(Box::new(Source::new("host", frames)))
         .component(Box::new(RedComponent::new(1)))
         .component(Box::new(CryptoBox::new([0xE1, 0x1F, 0x1E, 0xE7])))
@@ -138,6 +150,7 @@ fn snfe_red_spec() -> NodeSpec {
 /// The SNFE network side: black reassembly → sink.
 fn snfe_black_spec() -> NodeSpec {
     NodeSpec::new("snfe-black")
+        .slots_per_round(SLOTS)
         .component(Box::new(BlackComponent::new()))
         .component(Box::new(Sink::new("network")))
         .local(0, "net.out", 1, "in", 16)
@@ -235,12 +248,16 @@ fn build_fleet(loss_pm: u16) -> Fleet {
     Fleet::build(top)
 }
 
-/// Runs one sweep point and returns (aggregated report, stdout row data).
-fn sweep_point(loss_pm: u16) -> (Json, String) {
+/// Runs one sweep point at `workers` workers and returns (aggregated
+/// report, stdout row data, wall-clock of the run itself).
+fn sweep_point(loss_pm: u16, workers: usize) -> (Json, String, Duration) {
     let mut fleet = build_fleet(loss_pm);
     assert_eq!(fleet.len(), 16, "the fleet is sixteen nodes");
     fleet.set_tracing(false);
+    fleet.set_workers(workers);
+    let start = Instant::now();
     fleet.run_rounds(ROUNDS);
+    let wall = start.elapsed();
     let lt = fleet.loadgen_totals();
     let (served, _) = fleet.fileserver_totals();
     assert!(lt.issued > 1_000, "the fleet carried load: {}", lt.issued);
@@ -259,25 +276,79 @@ fn sweep_point(loss_pm: u16) -> (Json, String) {
         lt.hist.quantile_pm(999),
         fleet.network().obs.metrics.totals.retransmissions,
     );
-    (fleet.report(), row)
+    (fleet.report(), row, wall)
+}
+
+/// Median-of-three wall clock for one (loss, workers) point.
+fn timed_wall(loss_pm: u16, workers: usize) -> Duration {
+    let mut walls: Vec<Duration> = (0..3).map(|_| sweep_point(loss_pm, workers).2).collect();
+    walls.sort();
+    walls[1]
 }
 
 fn main() {
     println!(
-        "E11: 16-node kernel fleet, {} simulated clients, loss sweep",
+        "E11: 16-node kernel fleet, {} simulated clients, loss x workers sweep",
         LG_NODES as u64 * USERS_PER_NODE
     );
 
     // Determinism gate: the aggregated report is a pure function of the
-    // topology and seeds, byte for byte.
-    let (a, _) = sweep_point(150);
-    let (b, _) = sweep_point(150);
-    assert_eq!(
-        a.to_compact(),
-        b.to_compact(),
-        "same seed must produce a byte-identical fleet report"
-    );
-    println!("determinism: 150pm point reproduced byte-identically");
+    // topology and seeds, byte for byte — at every worker count. Workers
+    // are allowed to change wall-clock time and nothing else.
+    let (seq, _, _) = sweep_point(150, 1);
+    for workers in [2usize, 4, 8] {
+        let (par, _, _) = sweep_point(150, workers);
+        assert_eq!(
+            seq.to_compact(),
+            par.to_compact(),
+            "{workers}-worker run must reproduce the sequential report byte for byte"
+        );
+    }
+    println!("determinism: 150pm point byte-identical at 1/2/4/8 workers");
+
+    // Speedup gate: on a ≥4-core host the 4-worker run must be at least
+    // 2x faster than sequential. Retried once — a single noisy run on a
+    // shared box should not fail the bench.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut workers_json = Json::obj();
+    let seq_wall = timed_wall(150, 1);
+    for workers in [2usize, 4, 8] {
+        let wall = timed_wall(150, workers);
+        let speedup_milli = seq_wall.as_nanos() * 1000 / wall.as_nanos().max(1);
+        println!(
+            "workers {workers}: wall {:>6}us (seq {:>6}us, speedup {}.{:03}x)",
+            wall.as_micros(),
+            seq_wall.as_micros(),
+            speedup_milli / 1000,
+            speedup_milli % 1000
+        );
+        workers_json = workers_json.field(
+            &format!("w{workers}"),
+            Json::obj()
+                .field("wall_us", wall.as_micros() as u64)
+                .field("speedup_milli", speedup_milli as u64),
+        );
+        if workers == 4 && cores >= 4 {
+            let ok = speedup_milli >= 2000 || {
+                let retry = timed_wall(150, 4);
+                seq_wall.as_nanos() * 1000 / retry.as_nanos().max(1) >= 2000
+            };
+            assert!(
+                ok,
+                "4 workers on a {cores}-core host must run the 16-node fleet >=2x faster \
+                 than sequential (got {}.{:03}x)",
+                speedup_milli / 1000,
+                speedup_milli % 1000
+            );
+            println!("speedup gate: >=2x at 4 workers holds");
+        }
+    }
+    if cores < 4 {
+        println!("speedup gate: skipped ({cores} core(s) available, need >=4)");
+    }
+    workers_json = workers_json
+        .field("cores", cores as u64)
+        .field("seq_wall_us", seq_wall.as_micros() as u64);
 
     let mut report = RunReport::new("e11_fleet")
         .param("nodes", 16u64)
@@ -289,12 +360,17 @@ fn main() {
         .param(
             "loss_sweep_pm",
             Json::Arr(vec![0u64.into(), 150u64.into(), 300u64.into()]),
+        )
+        .param(
+            "workers_sweep",
+            Json::Arr(vec![1u64.into(), 2u64.into(), 4u64.into(), 8u64.into()]),
         );
     for loss_pm in [0u16, 150, 300] {
-        let (json, row) = sweep_point(loss_pm);
+        let (json, row, _) = sweep_point(loss_pm, 4);
         println!("{row}");
         report = report.run_custom(&format!("loss{loss_pm}"), json);
     }
+    report = report.run_custom("workers", workers_json);
     report
         .write_to("BENCH_obs_e11_fleet.json")
         .expect("write e11 report");

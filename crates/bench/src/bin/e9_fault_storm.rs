@@ -27,8 +27,7 @@ use sep_kernel::kernel::SeparationKernel;
 use sep_kernel::regime::{FaultPolicy, PARTITION_SIZE};
 use sep_machine::asm::assemble;
 use sep_obs::RunReport;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 const STORM_SEED: u64 = 0xD15EA5E;
 const LOSS_SEED: u64 = 0x10AD;
@@ -107,7 +106,7 @@ impl Node for Source {
 
 struct Sink {
     rx: RetxReceiver,
-    got: Rc<RefCell<Vec<Vec<u8>>>>,
+    got: Arc<Mutex<Vec<Vec<u8>>>>,
 }
 
 impl Node for Sink {
@@ -116,7 +115,7 @@ impl Node for Sink {
     }
     fn step(&mut self, io: &mut dyn NodeIo) {
         let msgs = self.rx.poll(io, "data", "ack");
-        self.got.borrow_mut().extend(msgs);
+        self.got.lock().expect("sink lock").extend(msgs);
     }
 }
 
@@ -143,7 +142,7 @@ fn loss_run(rate: u16, count: usize, max_rounds: u64) -> LossPoint {
         .with_reorder(other);
     let ack_loss = LossModel::new(ACK_LOSS_SEED ^ rate as u64).with_drop(rate / 2);
 
-    let got = Rc::new(RefCell::new(Vec::new()));
+    let got = Arc::new(Mutex::new(Vec::new()));
     let mut net = Network::new();
     let src = net.add_node(Box::new(Source {
         tx: RetxSender::new(16, 4),
@@ -152,17 +151,17 @@ fn loss_run(rate: u16, count: usize, max_rounds: u64) -> LossPoint {
     }));
     let dst = net.add_node(Box::new(Sink {
         rx: RetxReceiver::new(),
-        got: Rc::clone(&got),
+        got: Arc::clone(&got),
     }));
     net.connect_lossy(src, "data", dst, "data", 32, 1, data_loss);
     net.connect_lossy(dst, "ack", src, "ack", 32, 1, ack_loss);
 
     let mut rounds = 0u64;
-    while got.borrow().len() < count && rounds < max_rounds {
+    while got.lock().expect("sink lock").len() < count && rounds < max_rounds {
         net.run_round();
         rounds += 1;
     }
-    let delivered = got.borrow().clone();
+    let delivered = got.lock().expect("sink lock").clone();
     // The guard property: nothing corrupt was ever believed. Every
     // delivered payload must match its expected bytes exactly.
     let complete = delivered.len() == count

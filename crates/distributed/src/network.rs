@@ -1,9 +1,36 @@
-//! The network executor: deterministic rounds over nodes and wires.
+//! The network executor: deterministic rounds over nodes and wires,
+//! sequentially or on a worker pool.
+//!
+//! # The staged round
+//!
+//! A round has two phases. In the **step phase** every node executes once
+//! against a [`StagedIo`]: receives pop the node's incoming wires (a wire
+//! has exactly one consumer, so receiving nodes touch disjoint state),
+//! while sends are *staged* — admitted against the wire's start-of-round
+//! occupancy plus what the node itself already staged this round, and
+//! buffered instead of pushed. In the **commit phase** the staged frames
+//! are applied to the wires (each wire has exactly one sender, so per-wire
+//! FIFO order is simply that sender's send order), and each node's
+//! buffered observability — counter deltas, events, trace strings — is
+//! committed in node-index order, exactly the order a sequential executor
+//! emits it in.
+//!
+//! Because wire latency is ≥ 1, nothing a node sends in a round is
+//! deliverable to any node in the same round; and because send admission
+//! never looks at what a *receiver* popped this round, no node's step
+//! depends on any other node's step within the round. The step phase is
+//! therefore embarrassingly parallel: [`Network::set_workers`] runs it on
+//! a pool with a round barrier, and every output — wire state, traces,
+//! counters, events, reports built from them — is byte-identical at any
+//! worker count, including one.
 
 use crate::node::{Node, NodeIo, SendError};
 use crate::wire::Wire;
 use sep_model::trace::TraceSet;
 use sep_obs::{ObsEvent, Recorder};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
 
 /// Identifies a node within a [`Network`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -15,6 +42,7 @@ pub struct Network {
     wires: Vec<Wire>,
     round: u64,
     tracing: bool,
+    workers: usize,
     /// Per-node observation traces: every receive and send, in order. Used
     /// for the indistinguishability experiments.
     pub traces: TraceSet<String>,
@@ -37,6 +65,7 @@ impl Network {
             wires: Vec::new(),
             round: 0,
             tracing: true,
+            workers: 1,
             traces: TraceSet::new(),
             obs: Recorder::disabled(),
         }
@@ -50,6 +79,20 @@ impl Network {
     /// which turn it off. Counters in [`Network::obs`] stay on either way.
     pub fn set_tracing(&mut self, on: bool) {
         self.tracing = on;
+    }
+
+    /// Sets the step-phase worker count used by [`Network::run`] /
+    /// [`Network::run_with`] (default 1 = run on the calling thread).
+    ///
+    /// Workers change wall-clock time and nothing else: the staged round
+    /// makes every observable output byte-identical at any worker count.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// The configured step-phase worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// Adds a node.
@@ -129,38 +172,34 @@ impl Network {
         self.round
     }
 
-    /// Runs one round: every node steps once, in insertion order.
+    /// Runs one round on the calling thread: step phase in node-index
+    /// order, then commit. (The worker pool engages only in
+    /// [`Network::run`]; a single round is always sequential.)
     pub fn run_round(&mut self) {
-        let round = self.round;
-        for idx in 0..self.nodes.len() {
-            // Split borrows: the node, the wires, and the recorder.
-            let (node, wires, obs) = {
-                let Network {
-                    nodes, wires, obs, ..
-                } = self;
-                (&mut nodes[idx], wires, obs)
-            };
-            let name = node.name().to_string();
-            let mut io = RoundIo {
-                node: idx,
-                round,
-                wires,
-                obs,
-                tracing: self.tracing,
-                events: Vec::new(),
-            };
-            node.step(&mut io);
-            for ev in io.events {
-                self.traces.record(&name, ev);
-            }
-        }
-        self.round += 1;
+        let plan = self.plan();
+        self.round_sequential(&plan);
     }
 
-    /// Runs `n` rounds.
+    /// Runs `n` rounds, on the worker pool when one is configured.
     pub fn run(&mut self, n: u64) {
-        for _ in 0..n {
-            self.run_round();
+        self.run_with(n, &mut |_| {});
+    }
+
+    /// Runs `n` rounds, invoking `after_round` with the just-completed
+    /// round count after each commit. The callback runs on the calling
+    /// thread while any workers are parked between barriers, so it may
+    /// freely inspect state shared with the nodes (the fleet layer samples
+    /// its queue-depth gauges here).
+    pub fn run_with(&mut self, n: u64, after_round: &mut dyn FnMut(u64)) {
+        let workers = self.workers.min(self.nodes.len());
+        if workers <= 1 {
+            let plan = self.plan();
+            for _ in 0..n {
+                self.round_sequential(&plan);
+                after_round(self.round);
+            }
+        } else {
+            self.run_pool(n, workers, after_round);
         }
     }
 
@@ -168,68 +207,329 @@ impl Network {
     pub fn in_flight(&self) -> usize {
         self.wires.iter().map(Wire::in_flight).sum()
     }
+
+    /// Routing derived from the wire list once per run: which wires each
+    /// node reads, and each node's outgoing ports (wire, name, capacity).
+    fn plan(&self) -> Plan {
+        let mut outs = vec![Vec::new(); self.nodes.len()];
+        for (i, w) in self.wires.iter().enumerate() {
+            outs[w.from_node].push((i, w.from_port.clone(), w.capacity));
+        }
+        Plan { outs }
+    }
+
+    /// One staged round on the calling thread.
+    fn round_sequential(&mut self, plan: &Plan) {
+        let round = self.round;
+        let keep_events = self.obs.tracing();
+        let tracing = self.tracing;
+        let start_len: Vec<usize> = self.wires.iter().map(Wire::in_flight).collect();
+        let mut outs: Vec<StepOut> = Vec::with_capacity(self.nodes.len());
+        {
+            let Network { nodes, wires, .. } = self;
+            for (idx, node) in nodes.iter_mut().enumerate() {
+                let ins: Vec<&mut Wire> = wires.iter_mut().filter(|w| w.to_node == idx).collect();
+                let occ = plan.outs[idx]
+                    .iter()
+                    .map(|&(w, _, _)| start_len[w])
+                    .collect();
+                let mut io = StagedIo {
+                    node: idx,
+                    round,
+                    ins,
+                    outs: &plan.outs[idx],
+                    occ,
+                    keep_events,
+                    tracing,
+                    out: StepOut::default(),
+                };
+                node.step(&mut io);
+                outs.push(io.out);
+            }
+        }
+        for (idx, mut out) in outs.into_iter().enumerate() {
+            for (w, msg) in out.staged.drain(..) {
+                commit_push(&mut self.wires[w], round, msg);
+            }
+            let name = if out.trace.is_empty() {
+                String::new()
+            } else {
+                self.nodes[idx].name().to_string()
+            };
+            self.apply_obs(round, idx, out, &name);
+        }
+        self.round += 1;
+    }
+
+    /// Commits one node's buffered observability: counter deltas, obs
+    /// events, trace strings. Caller guarantees node-index order.
+    fn apply_obs(&mut self, round: u64, idx: usize, out: StepOut, name: &str) {
+        let m = &mut self.obs.metrics;
+        m.totals.wire_messages += out.sent;
+        m.totals.wire_bytes += out.bytes_sent;
+        m.totals.retransmissions += out.retransmissions;
+        let r = m.regime_mut(idx);
+        r.messages_sent += out.sent;
+        r.channel_bytes_sent += out.bytes_sent;
+        r.messages_received += out.received;
+        r.channel_bytes_received += out.bytes_received;
+        r.retransmissions += out.retransmissions;
+        self.obs.absorb(round, out.events);
+        for ev in out.trace {
+            self.traces.record(name, ev);
+        }
+    }
+
+    /// `n` staged rounds with the step phase on `workers` threads.
+    ///
+    /// Nodes are binned by `index % workers` and *moved* to their worker;
+    /// a wire moves to the worker of its receiving node, making every
+    /// receive a plain owned-state pop. The only cross-worker traffic is
+    /// the staged-frame mailbox per wire (single producer: the sender's
+    /// worker), the atomically-published start-of-round occupancy per
+    /// wire, and the per-node [`StepOut`] the main thread merges between
+    /// the two barriers of each round.
+    fn run_pool(&mut self, n: u64, workers: usize, after_round: &mut dyn FnMut(u64)) {
+        let plan = self.plan();
+        let keep_events = self.obs.tracing();
+        let tracing = self.tracing;
+        let round0 = self.round;
+        let num_nodes = self.nodes.len();
+        let num_wires = self.wires.len();
+        let names: Vec<String> = self.nodes.iter().map(|nd| nd.name().to_string()).collect();
+        // Start-of-round occupancy per wire, re-published by the owning
+        // worker at each commit; barrier-separated from every reader.
+        let lens: Vec<AtomicUsize> = self
+            .wires
+            .iter()
+            .map(|w| AtomicUsize::new(w.in_flight()))
+            .collect();
+        // Staged-frame mailbox per wire. A wire has exactly one sender, so
+        // each mailbox has one producer per round — the lock is for the
+        // receiving worker draining it at commit.
+        let staging: Vec<Mutex<Vec<Vec<u8>>>> =
+            (0..num_wires).map(|_| Mutex::new(Vec::new())).collect();
+        let mailbox: Vec<Mutex<Option<StepOut>>> =
+            (0..num_nodes).map(|_| Mutex::new(None)).collect();
+        // A panicking node poisons the run: everyone keeps meeting the
+        // barriers (no deadlock), skips the work, and the panic is
+        // re-raised on the calling thread once the pool drains.
+        let poisoned = AtomicBool::new(false);
+        let poison_msg: Mutex<Option<String>> = Mutex::new(None);
+        let barrier = Barrier::new(workers + 1);
+
+        let mut node_bins: Vec<Vec<(usize, Box<dyn Node>)>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (i, node) in std::mem::take(&mut self.nodes).into_iter().enumerate() {
+            node_bins[i % workers].push((i, node));
+        }
+        let mut wire_bins: Vec<Vec<(usize, Wire)>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, w) in std::mem::take(&mut self.wires).into_iter().enumerate() {
+            wire_bins[w.to_node % workers].push((i, w));
+        }
+
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(workers);
+            for (mut bin_nodes, mut bin_wires) in node_bins.into_iter().zip(wire_bins) {
+                let (plan, lens, staging, mailbox, poisoned, poison_msg, barrier) = (
+                    &plan,
+                    &lens,
+                    &staging,
+                    &mailbox,
+                    &poisoned,
+                    &poison_msg,
+                    &barrier,
+                );
+                handles.push(s.spawn(move || {
+                    for r in 0..n {
+                        let round = round0 + r;
+                        if !poisoned.load(Ordering::Acquire) {
+                            for (idx, node) in bin_nodes.iter_mut() {
+                                let idx = *idx;
+                                let ins: Vec<&mut Wire> = bin_wires
+                                    .iter_mut()
+                                    .filter(|(_, w)| w.to_node == idx)
+                                    .map(|(_, w)| w)
+                                    .collect();
+                                let occ: Vec<usize> = plan.outs[idx]
+                                    .iter()
+                                    .map(|&(w, _, _)| lens[w].load(Ordering::Acquire))
+                                    .collect();
+                                let mut io = StagedIo {
+                                    node: idx,
+                                    round,
+                                    ins,
+                                    outs: &plan.outs[idx],
+                                    occ,
+                                    keep_events,
+                                    tracing,
+                                    out: StepOut::default(),
+                                };
+                                let stepped = catch_unwind(AssertUnwindSafe(|| node.step(&mut io)));
+                                if let Err(p) = stepped {
+                                    let mut slot = poison_msg.lock().expect("poison message lock");
+                                    if slot.is_none() {
+                                        *slot = Some(panic_text(p));
+                                    }
+                                    poisoned.store(true, Ordering::Release);
+                                    break;
+                                }
+                                for (w, msg) in io.out.staged.drain(..) {
+                                    staging[w].lock().expect("wire staging lock").push(msg);
+                                }
+                                *mailbox[idx].lock().expect("step mailbox lock") = Some(io.out);
+                            }
+                        }
+                        barrier.wait();
+                        // The main thread is merging StepOuts now; workers
+                        // commit the wires they own.
+                        if !poisoned.load(Ordering::Acquire) {
+                            for (wi, wire) in bin_wires.iter_mut() {
+                                let frames = std::mem::take(
+                                    &mut *staging[*wi].lock().expect("wire staging lock"),
+                                );
+                                for msg in frames {
+                                    commit_push(wire, round, msg);
+                                }
+                                lens[*wi].store(wire.in_flight(), Ordering::Release);
+                            }
+                        }
+                        barrier.wait();
+                    }
+                    (bin_nodes, bin_wires)
+                }));
+            }
+
+            for r in 0..n {
+                barrier.wait();
+                let round = round0 + r;
+                if !poisoned.load(Ordering::Acquire) {
+                    for (idx, slot) in mailbox.iter().enumerate() {
+                        if let Some(out) = slot.lock().expect("step mailbox lock").take() {
+                            self.apply_obs(round, idx, out, &names[idx]);
+                        }
+                    }
+                    self.round += 1;
+                    after_round(self.round);
+                }
+                barrier.wait();
+            }
+
+            let mut nodes_back: Vec<Option<Box<dyn Node>>> = (0..num_nodes).map(|_| None).collect();
+            let mut wires_back: Vec<Option<Wire>> = (0..num_wires).map(|_| None).collect();
+            for h in handles {
+                let (bn, bw) = h.join().expect("network worker thread");
+                for (i, nd) in bn {
+                    nodes_back[i] = Some(nd);
+                }
+                for (i, w) in bw {
+                    wires_back[i] = Some(w);
+                }
+            }
+            self.nodes = nodes_back
+                .into_iter()
+                .map(|o| o.expect("every node returned by its worker"))
+                .collect();
+            self.wires = wires_back
+                .into_iter()
+                .map(|o| o.expect("every wire returned by its worker"))
+                .collect();
+        });
+
+        let poison = poison_msg.lock().expect("poison message lock").take();
+        if let Some(msg) = poison {
+            panic!("node step panicked in worker: {msg}");
+        }
+    }
 }
 
-struct RoundIo<'a> {
+/// Per-node outgoing-port routing, derived from the wire list once per run
+/// (in-wires need no plan: both executors hand a node its in-wires as
+/// exclusive `&mut` borrows).
+struct Plan {
+    /// Outgoing ports per node: (wire index, port name, capacity).
+    outs: Vec<Vec<(usize, String, usize)>>,
+}
+
+/// Everything one node's step produced, buffered worker-locally during the
+/// step phase and committed at the round barrier in node-index order.
+#[derive(Default)]
+struct StepOut {
+    /// Admitted sends in call order: (wire index, frame).
+    staged: Vec<(usize, Vec<u8>)>,
+    /// Observability events in emission order (kept only while the
+    /// recorder traces — a disabled recorder would drop them anyway).
+    events: Vec<ObsEvent>,
+    /// Per-node trace strings.
+    trace: Vec<String>,
+    sent: u64,
+    bytes_sent: u64,
+    received: u64,
+    bytes_received: u64,
+    retransmissions: u64,
+}
+
+/// The I/O context a stepping node sees: exclusive access to its incoming
+/// wires, staged sends on its outgoing ports, and worker-local buffers for
+/// everything observable. Send admission is against `start-of-round
+/// occupancy + own staged count`, so it cannot depend on what any other
+/// node did this round.
+struct StagedIo<'a> {
     node: usize,
     round: u64,
-    wires: &'a mut [Wire],
-    obs: &'a mut Recorder,
+    ins: Vec<&'a mut Wire>,
+    outs: &'a [(usize, String, usize)],
+    /// Occupancy per out-port: start-of-round length plus frames this node
+    /// staged so far (parallel to `outs`).
+    occ: Vec<usize>,
+    keep_events: bool,
     tracing: bool,
-    events: Vec<String>,
+    out: StepOut,
 }
 
-impl NodeIo for RoundIo<'_> {
+impl NodeIo for StagedIo<'_> {
     fn recv(&mut self, port: &str) -> Option<Vec<u8>> {
         let round = self.round;
-        let wire = self
-            .wires
-            .iter_mut()
-            .find(|w| w.to_node == self.node && w.to_port == port)?;
+        let wire = self.ins.iter_mut().find(|w| w.to_port == port)?;
         let msg = wire.pop_deliverable(round)?;
-        self.obs.metrics.regime_mut(self.node).messages_received += 1;
-        self.obs
-            .metrics
-            .regime_mut(self.node)
-            .channel_bytes_received += msg.len() as u64;
-        self.obs.emit(
-            round,
-            ObsEvent::WireRecv {
+        self.out.received += 1;
+        self.out.bytes_received += msg.len() as u64;
+        if self.keep_events {
+            self.out.events.push(ObsEvent::WireRecv {
                 node: self.node as u16,
                 bytes: msg.len() as u32,
-            },
-        );
+            });
+        }
         if self.tracing {
-            self.events.push(format!("recv {port} {}", hex(&msg)));
+            self.out.trace.push(format!("recv {port} {}", hex(&msg)));
         }
         Some(msg)
     }
 
     fn send(&mut self, port: &str, msg: Vec<u8>) -> Result<(), SendError> {
-        let round = self.round;
-        let wire = self
-            .wires
-            .iter_mut()
-            .find(|w| w.from_node == self.node && w.from_port == port)
+        let slot = self
+            .outs
+            .iter()
+            .position(|(_, p, _)| p == port)
             .ok_or_else(|| SendError::NoSuchPort(port.to_string()))?;
+        let (wire, _, capacity) = &self.outs[slot];
+        if self.occ[slot] >= *capacity {
+            return Err(SendError::WireFull(port.to_string()));
+        }
+        self.occ[slot] += 1;
         let bytes = msg.len() as u64;
-        let traced = self.tracing.then(|| format!("send {port} {}", hex(&msg)));
-        wire.push(round, msg)
-            .map_err(|_| SendError::WireFull(port.to_string()))?;
-        self.obs.metrics.totals.wire_messages += 1;
-        self.obs.metrics.totals.wire_bytes += bytes;
-        self.obs.metrics.regime_mut(self.node).messages_sent += 1;
-        self.obs.metrics.regime_mut(self.node).channel_bytes_sent += bytes;
-        self.obs.emit(
-            round,
-            ObsEvent::WireSend {
+        self.out.sent += 1;
+        self.out.bytes_sent += bytes;
+        if self.keep_events {
+            self.out.events.push(ObsEvent::WireSend {
                 node: self.node as u16,
                 bytes: bytes as u32,
-            },
-        );
-        if let Some(ev) = traced {
-            self.events.push(ev);
+            });
         }
+        if self.tracing {
+            self.out.trace.push(format!("send {port} {}", hex(&msg)));
+        }
+        self.out.staged.push((*wire, msg));
         Ok(())
     }
 
@@ -238,19 +538,37 @@ impl NodeIo for RoundIo<'_> {
     }
 
     fn note_retransmit(&mut self, seq: u16) {
-        let round = self.round;
-        self.obs.metrics.totals.retransmissions += 1;
-        self.obs.metrics.regime_mut(self.node).retransmissions += 1;
-        self.obs.emit(
-            round,
-            ObsEvent::Retransmit {
+        self.out.retransmissions += 1;
+        if self.keep_events {
+            self.out.events.push(ObsEvent::Retransmit {
                 node: self.node as u16,
                 seq,
-            },
-        );
-        if self.tracing {
-            self.events.push(format!("retx seq{seq}"));
+            });
         }
+        if self.tracing {
+            self.out.trace.push(format!("retx seq{seq}"));
+        }
+    }
+}
+
+/// Applies one staged frame to its wire. Admission already checked the
+/// start-of-round occupancy and pops only shrink the queue, so the only
+/// way this can still overflow is a loss-model *duplicate* that rode along
+/// earlier in the same commit; the excess frame is charged to the wire as
+/// a drop — over-capacity loss, never a panic.
+fn commit_push(wire: &mut Wire, round: u64, msg: Vec<u8>) {
+    if wire.push(round, msg).is_err() {
+        wire.dropped += 1;
+    }
+}
+
+fn panic_text(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -418,5 +736,144 @@ mod tests {
         let n1 = build();
         let n2 = build();
         assert!(n1.traces.equivalent(&n2.traces).is_ok());
+    }
+
+    /// A four-node ring with capacity pressure and one lossy wire: the
+    /// parallel executor must reproduce the sequential one byte for byte —
+    /// traces, counters, wire loss books, in-flight totals, round count.
+    fn contended_ring(workers: usize) -> Network {
+        let mut net = Network::new();
+        net.obs.enable_tracing(4096);
+        let ids: Vec<NodeId> = ["a", "b", "c", "d"]
+            .iter()
+            .map(|n| net.add_node(Echo::new(n)))
+            .collect();
+        for i in 0..ids.len() {
+            let next = ids[(i + 1) % ids.len()];
+            if i == 1 {
+                // One misbehaving hop exercises loss-fate rolls at commit.
+                net.connect_lossy(
+                    ids[i],
+                    "out",
+                    next,
+                    "in",
+                    2,
+                    1,
+                    sep_fault::LossModel::new(7)
+                        .with_drop(120)
+                        .with_duplicate(200)
+                        .with_reorder(150),
+                );
+            } else {
+                net.connect(ids[i], "out", next, "in", 2, 1);
+            }
+        }
+        net.set_workers(workers);
+        net.run(25);
+        net
+    }
+
+    #[test]
+    fn worker_pool_matches_sequential_byte_for_byte() {
+        let seq = contended_ring(1);
+        for workers in [2, 3, 4, 8] {
+            let par = contended_ring(workers);
+            assert!(
+                seq.traces.equivalent(&par.traces).is_ok(),
+                "traces diverged at {workers} workers"
+            );
+            assert_eq!(seq.obs.metrics, par.obs.metrics, "{workers} workers");
+            assert_eq!(
+                seq.obs.trace().map(|t| t.events().to_vec()),
+                par.obs.trace().map(|t| t.events().to_vec()),
+                "obs event streams diverged at {workers} workers"
+            );
+            assert_eq!(seq.in_flight(), par.in_flight());
+            assert_eq!(seq.round(), par.round());
+            for (ws, wp) in seq.wires().iter().zip(par.wires()) {
+                assert_eq!(
+                    (ws.dropped, ws.duplicated, ws.corrupted, ws.reordered),
+                    (wp.dropped, wp.duplicated, wp.corrupted, wp.reordered),
+                    "loss books diverged at {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn worker_pool_survives_more_workers_than_nodes() {
+        let mut net = Network::new();
+        let a = net.add_node(Echo::new("a"));
+        let b = net.add_node(Echo::new("b"));
+        net.connect(a, "out", b, "in", 8, 1);
+        net.connect(b, "out", a, "in", 8, 1);
+        net.set_workers(64);
+        net.run(10);
+        assert_eq!(net.round(), 10);
+        assert!(!net.traces.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "node step panicked in worker: boom at round 3")]
+    fn worker_panic_is_reraised_not_deadlocked() {
+        struct Grenade;
+        impl Node for Grenade {
+            fn name(&self) -> &str {
+                "grenade"
+            }
+            fn step(&mut self, io: &mut dyn NodeIo) {
+                if io.round() == 3 {
+                    panic!("boom at round {}", io.round());
+                }
+            }
+        }
+        let mut net = Network::new();
+        net.add_node(Box::new(Grenade));
+        net.add_node(Echo::new("bystander"));
+        net.set_workers(2);
+        net.run(10);
+    }
+
+    /// Back-pressure admission is against start-of-round occupancy: a
+    /// receiver draining a full wire in the same round must not open room
+    /// for the sender until the *next* round, regardless of node order.
+    #[test]
+    fn same_round_drain_does_not_open_capacity() {
+        struct Pump;
+        impl Node for Pump {
+            fn name(&self) -> &str {
+                "pump"
+            }
+            fn step(&mut self, io: &mut dyn NodeIo) {
+                while io.send("out", vec![io.round() as u8]).is_ok() {}
+            }
+        }
+        struct Drain;
+        impl Node for Drain {
+            fn name(&self) -> &str {
+                "drain"
+            }
+            fn step(&mut self, io: &mut dyn NodeIo) {
+                while io.recv("in").is_some() {}
+            }
+        }
+        // Same wiring, both orders: pump-before-drain and drain-before-pump
+        // must count identical sends every round.
+        let run = |drain_first: bool| {
+            let mut net = Network::new();
+            let (p, d) = if drain_first {
+                let d = net.add_node(Box::new(Drain));
+                let p = net.add_node(Box::new(Pump));
+                (p, d)
+            } else {
+                let p = net.add_node(Box::new(Pump));
+                let d = net.add_node(Box::new(Drain));
+                (p, d)
+            };
+            net.connect(p, "out", d, "in", 2, 1);
+            net.run(6);
+            net.obs.metrics.totals.wire_messages
+        };
+        assert_eq!(run(false), run(true));
     }
 }

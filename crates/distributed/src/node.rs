@@ -52,7 +52,12 @@ pub trait NodeIo {
 }
 
 /// A component of the distributed system.
-pub trait Node {
+///
+/// `Send` because the round executor may step nodes on a worker pool
+/// ([`crate::Network::set_workers`]). A node's state is still exclusively
+/// owned — the bound lets a node *move* to a worker thread for the
+/// duration of a step phase, it never makes the state shared.
+pub trait Node: Send {
     /// Display name (also the trace colour).
     fn name(&self) -> &str;
 

@@ -233,8 +233,7 @@ mod tests {
     use crate::network::Network;
     use crate::node::Node;
     use sep_fault::LossModel;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     /// Sends `count` numbered payloads reliably.
     struct Source {
@@ -259,7 +258,7 @@ mod tests {
     /// Collects delivered payloads into a shared vector.
     struct Sink {
         rx: RetxReceiver,
-        got: Rc<RefCell<Vec<Vec<u8>>>>,
+        got: Arc<Mutex<Vec<Vec<u8>>>>,
     }
 
     impl Node for Sink {
@@ -268,7 +267,7 @@ mod tests {
         }
         fn step(&mut self, io: &mut dyn NodeIo) {
             let msgs = self.rx.poll(io, "data", "ack");
-            self.got.borrow_mut().extend(msgs);
+            self.got.lock().unwrap().extend(msgs);
         }
     }
 
@@ -277,7 +276,7 @@ mod tests {
         loss: Option<(LossModel, LossModel)>,
         rounds: u64,
     ) -> Vec<Vec<u8>> {
-        let got = Rc::new(RefCell::new(Vec::new()));
+        let got = Arc::new(Mutex::new(Vec::new()));
         let mut net = Network::new();
         let src = net.add_node(Box::new(Source {
             tx: RetxSender::new(8, 4),
@@ -286,7 +285,7 @@ mod tests {
         }));
         let dst = net.add_node(Box::new(Sink {
             rx: RetxReceiver::new(),
-            got: Rc::clone(&got),
+            got: Arc::clone(&got),
         }));
         match loss {
             Some((data_loss, ack_loss)) => {
@@ -299,7 +298,7 @@ mod tests {
             }
         }
         net.run(rounds);
-        let result = got.borrow().clone();
+        let result = got.lock().unwrap().clone();
         result
     }
 
@@ -330,7 +329,7 @@ mod tests {
 
     #[test]
     fn corrupt_frames_are_rejected_never_delivered() {
-        let got = Rc::new(RefCell::new(Vec::new()));
+        let got = Arc::new(Mutex::new(Vec::new()));
         let mut net = Network::new();
         let src = net.add_node(Box::new(Source {
             tx: RetxSender::new(8, 4),
@@ -339,7 +338,7 @@ mod tests {
         }));
         let dst = net.add_node(Box::new(Sink {
             rx: RetxReceiver::new(),
-            got: Rc::clone(&got),
+            got: Arc::clone(&got),
         }));
         net.connect_lossy(
             src,
@@ -354,7 +353,7 @@ mod tests {
         net.run(1000);
         // Every payload arrives intact: the corrupted copies were all
         // stopped at the CRC and made up with retransmissions.
-        assert_eq!(got.borrow().clone(), expected(30));
+        assert_eq!(got.lock().unwrap().clone(), expected(30));
         let corrupted: u64 = net.wires().iter().map(|w| w.corrupted).sum();
         assert!(corrupted > 0, "loss model never corrupted anything");
     }
@@ -367,7 +366,7 @@ mod tests {
             fed: 0,
             count: 20,
         }));
-        let got = Rc::new(RefCell::new(Vec::new()));
+        let got = Arc::new(Mutex::new(Vec::new()));
         let dst = net.add_node(Box::new(Sink {
             rx: RetxReceiver::new(),
             got,
@@ -520,7 +519,7 @@ mod tests {
         tx: RetxSender,
         fed: usize,
         count: usize,
-        stats: Rc<RefCell<(u64, u64)>>, // (retransmissions, acked)
+        stats: Arc<Mutex<(u64, u64)>>, // (retransmissions, acked)
     }
 
     impl Node for CountingSource {
@@ -533,15 +532,15 @@ mod tests {
                 self.fed += 1;
             }
             self.tx.poll(io, "data", "ack");
-            *self.stats.borrow_mut() = (self.tx.retransmissions, self.tx.acked);
+            *self.stats.lock().unwrap() = (self.tx.retransmissions, self.tx.acked);
         }
     }
 
     /// A [`Sink`] that mirrors its receiver counters the same way.
     struct CountingSink {
         rx: RetxReceiver,
-        got: Rc<RefCell<Vec<Vec<u8>>>>,
-        stats: Rc<RefCell<(u64, u64)>>, // (delivered, duplicates_ignored)
+        got: Arc<Mutex<Vec<Vec<u8>>>>,
+        stats: Arc<Mutex<(u64, u64)>>, // (delivered, duplicates_ignored)
     }
 
     impl Node for CountingSink {
@@ -550,8 +549,8 @@ mod tests {
         }
         fn step(&mut self, io: &mut dyn NodeIo) {
             let msgs = self.rx.poll(io, "data", "ack");
-            self.got.borrow_mut().extend(msgs);
-            *self.stats.borrow_mut() = (self.rx.delivered, self.rx.duplicates_ignored);
+            self.got.lock().unwrap().extend(msgs);
+            *self.stats.lock().unwrap() = (self.rx.delivered, self.rx.duplicates_ignored);
         }
     }
 
@@ -564,20 +563,20 @@ mod tests {
         // must agree with the network's observability totals — a double
         // `note_retransmit` (or a missed one) breaks the equality.
         let count = 50;
-        let got = Rc::new(RefCell::new(Vec::new()));
-        let tx_stats = Rc::new(RefCell::new((0u64, 0u64)));
-        let rx_stats = Rc::new(RefCell::new((0u64, 0u64)));
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let tx_stats = Arc::new(Mutex::new((0u64, 0u64)));
+        let rx_stats = Arc::new(Mutex::new((0u64, 0u64)));
         let mut net = Network::new();
         let src = net.add_node(Box::new(CountingSource {
             tx: RetxSender::new(8, 4),
             fed: 0,
             count,
-            stats: Rc::clone(&tx_stats),
+            stats: Arc::clone(&tx_stats),
         }));
         let dst = net.add_node(Box::new(CountingSink {
             rx: RetxReceiver::new(),
-            got: Rc::clone(&got),
-            stats: Rc::clone(&rx_stats),
+            got: Arc::clone(&got),
+            stats: Arc::clone(&rx_stats),
         }));
         let data_loss = LossModel::new(0xD117)
             .with_drop(150)
@@ -588,12 +587,12 @@ mod tests {
         net.connect_lossy(dst, "ack", src, "ack", 16, 1, ack_loss);
         net.run(4000);
         assert_eq!(
-            got.borrow().clone(),
+            got.lock().unwrap().clone(),
             expected(count),
             "exactly once, in order"
         );
-        let (retx, acked) = *tx_stats.borrow();
-        let (delivered, dups_ignored) = *rx_stats.borrow();
+        let (retx, acked) = *tx_stats.lock().unwrap();
+        let (delivered, dups_ignored) = *rx_stats.lock().unwrap();
         assert_eq!(delivered, count as u64);
         assert_eq!(acked, count as u64, "each sequence acked exactly once");
         assert_eq!(

@@ -7,9 +7,10 @@ use std::collections::VecDeque;
 use std::fmt;
 
 /// Typed error for pushing onto a wire that has no room. Senders that
-/// checked [`Wire::has_room`] first never see it; senders that race the
-/// capacity (none exist today — rounds are single-threaded) get an error
-/// instead of a panic.
+/// checked [`Wire::has_room`] first never see it; the round executor's
+/// commit phase translates it into an over-capacity drop (a loss-model
+/// duplicate can fill the last slot ahead of an admitted frame) instead of
+/// a panic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WireOverflow;
 

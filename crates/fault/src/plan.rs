@@ -109,6 +109,14 @@ impl FaultPlan {
         self.faults.len() - self.cursor
     }
 
+    /// The step at which the next undrained fault fires, if any. Batched
+    /// drivers use this to run fault-free stretches through a kernel's
+    /// `step_n` hot path and only re-check [`FaultPlan::due`] (which
+    /// allocates) at actual due points.
+    pub fn next_due(&self) -> Option<u64> {
+        self.faults.get(self.cursor).map(|f| f.step)
+    }
+
     /// Drains every fault scheduled at or before `step`, in order.
     pub fn due(&mut self, step: u64) -> Vec<PlannedFault> {
         let start = self.cursor;

@@ -20,9 +20,8 @@ use crate::topology::FleetTopology;
 use sep_components::{FileServer, Guard};
 use sep_distributed::{Network, NodeId};
 use sep_obs::Json;
-use std::cell::RefCell;
 use std::collections::BTreeSet;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Aggregated load-generator counters across the fleet.
 #[derive(Default)]
@@ -44,7 +43,7 @@ pub struct LoadTotals {
 /// A booted, running fleet.
 pub struct Fleet {
     net: Network,
-    nodes: Vec<Rc<RefCell<KernelNode>>>,
+    nodes: Vec<Arc<Mutex<KernelNode>>>,
     names: Vec<String>,
     /// Per node, per kernel channel.
     gauges: Vec<Vec<ChannelGauge>>,
@@ -58,13 +57,51 @@ impl Fleet {
     ///
     /// # Panics
     ///
-    /// Panics on topology bugs: link endpoints out of range, a node that
-    /// will not boot, double-wired ports.
+    /// Panics on topology bugs, each by name, before any node boots:
+    /// link endpoints out of range, self-links, duplicate declared gateway
+    /// ports, double-wired ports in either direction, undeclared link
+    /// ports, and ack-name collisions — a reliable link auto-wires
+    /// `"{port}.ack"` in both directions, and an explicitly declared port
+    /// with that name would silently share the ack wire (the gateway and
+    /// the ARQ stealing each other's frames). Also panics on a node that
+    /// will not boot.
     pub fn build(top: FleetTopology) -> Fleet {
         let FleetTopology {
             nodes: specs,
             links,
         } = top;
+
+        // Declared gateway ports, validated unique per node per direction.
+        let mut declared_in: Vec<BTreeSet<String>> =
+            (0..specs.len()).map(|_| BTreeSet::new()).collect();
+        let mut declared_out: Vec<BTreeSet<String>> =
+            (0..specs.len()).map(|_| BTreeSet::new()).collect();
+        for (i, spec) in specs.iter().enumerate() {
+            for g in &spec.inputs {
+                assert!(
+                    declared_in[i].insert(g.net_port.clone()),
+                    "duplicate ingress gateway port {} on node {}",
+                    g.net_port,
+                    spec.name
+                );
+            }
+            for g in &spec.outputs {
+                assert!(
+                    declared_out[i].insert(g.net_port.clone()),
+                    "duplicate egress gateway port {} on node {}",
+                    g.net_port,
+                    spec.name
+                );
+            }
+        }
+
+        // Wire-level endpoint claims, including the auto ack wires, so a
+        // collision panics here by name instead of surfacing (or not) from
+        // `Network::connect`, which only sees one direction at a time.
+        let mut wired_in: Vec<BTreeSet<String>> =
+            (0..specs.len()).map(|_| BTreeSet::new()).collect();
+        let mut wired_out: Vec<BTreeSet<String>> =
+            (0..specs.len()).map(|_| BTreeSet::new()).collect();
         let mut rin: Vec<BTreeSet<String>> = (0..specs.len()).map(|_| BTreeSet::new()).collect();
         let mut rout: Vec<BTreeSet<String>> = (0..specs.len()).map(|_| BTreeSet::new()).collect();
         for l in &links {
@@ -72,7 +109,70 @@ impl Fleet {
                 l.from < specs.len() && l.to < specs.len(),
                 "link endpoint out of range"
             );
+            assert!(
+                l.from != l.to,
+                "self-link: node {} wired to itself ({} -> {})",
+                specs[l.from].name,
+                l.from_port,
+                l.to_port
+            );
+            assert!(
+                declared_out[l.from].contains(&l.from_port),
+                "link source port {} is not a declared egress of node {}",
+                l.from_port,
+                specs[l.from].name
+            );
+            assert!(
+                declared_in[l.to].contains(&l.to_port),
+                "link target port {} is not a declared ingress of node {}",
+                l.to_port,
+                specs[l.to].name
+            );
+            assert!(
+                wired_out[l.from].insert(l.from_port.clone()),
+                "duplicate egress: port {} of node {} already wired",
+                l.from_port,
+                specs[l.from].name
+            );
+            assert!(
+                wired_in[l.to].insert(l.to_port.clone()),
+                "duplicate ingress: port {} of node {} already wired",
+                l.to_port,
+                specs[l.to].name
+            );
             if l.reliable {
+                let from_ack = format!("{}.ack", l.from_port);
+                let to_ack = format!("{}.ack", l.to_port);
+                assert!(
+                    !declared_in[l.from].contains(&from_ack),
+                    "ack-name collision: declared ingress port {} of node {} \
+                     shadows the auto ack path of reliable link {} -> {}",
+                    from_ack,
+                    specs[l.from].name,
+                    l.from_port,
+                    l.to_port
+                );
+                assert!(
+                    !declared_out[l.to].contains(&to_ack),
+                    "ack-name collision: declared egress port {} of node {} \
+                     shadows the auto ack path of reliable link {} -> {}",
+                    to_ack,
+                    specs[l.to].name,
+                    l.from_port,
+                    l.to_port
+                );
+                assert!(
+                    wired_out[l.to].insert(to_ack),
+                    "ack-name collision: auto ack egress {}.ack of node {} already wired",
+                    l.to_port,
+                    specs[l.to].name
+                );
+                assert!(
+                    wired_in[l.from].insert(from_ack),
+                    "ack-name collision: auto ack ingress {}.ack of node {} already wired",
+                    l.from_port,
+                    specs[l.from].name
+                );
                 rout[l.from].insert(l.from_port.clone());
                 rin[l.to].insert(l.to_port.clone());
             }
@@ -94,12 +194,12 @@ impl Fleet {
             let gg: Vec<ChannelGauge> = node
                 .gateway_depths()
                 .iter()
-                .map(|(name, _)| ChannelGauge::new(name, 0))
+                .map(|(name, _, bound)| ChannelGauge::new(name, *bound))
                 .collect();
             names.push(node.name().to_string());
-            let rc = Rc::new(RefCell::new(node));
-            net.add_node(Box::new(SharedNode::new(Rc::clone(&rc))));
-            nodes.push(rc);
+            let shared = Arc::new(Mutex::new(node));
+            net.add_node(Box::new(SharedNode::new(Arc::clone(&shared))));
+            nodes.push(shared);
             gauges.push(chg);
             gate_gauges.push(gg);
         }
@@ -184,8 +284,15 @@ impl Fleet {
     }
 
     /// A shared handle to node `i`.
-    pub fn node(&self, i: usize) -> Rc<RefCell<KernelNode>> {
-        Rc::clone(&self.nodes[i])
+    pub fn node(&self, i: usize) -> Arc<Mutex<KernelNode>> {
+        Arc::clone(&self.nodes[i])
+    }
+
+    /// Sets the step-phase worker count for [`Fleet::run_rounds`]
+    /// (default 1 = sequential). The report and traces are byte-identical
+    /// at any worker count — workers only change wall-clock time.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.net.set_workers(workers);
     }
 
     /// Node `i`'s kernel-channel gauges (parallel to its channel table).
@@ -198,25 +305,19 @@ impl Fleet {
         &self.gate_gauges[i]
     }
 
-    /// Runs `n` rounds, sampling every queue once per round.
+    /// Runs `n` rounds, sampling every queue once per round. With workers
+    /// configured ([`Fleet::set_workers`]) the step phase runs on the
+    /// pool; sampling happens in the executor's between-barriers callback,
+    /// where the node locks are guaranteed uncontended.
     pub fn run_rounds(&mut self, n: u64) {
-        for _ in 0..n {
-            self.net.run_round();
-            self.rounds += 1;
-            self.sample();
-        }
-    }
-
-    fn sample(&mut self) {
-        for i in 0..self.nodes.len() {
-            let node = self.nodes[i].borrow();
-            for (j, g) in self.gauges[i].iter_mut().enumerate() {
-                g.observe(node.kernel.channels[j].queue().len());
-            }
-            for (g, (_, depth)) in self.gate_gauges[i].iter_mut().zip(node.gateway_depths()) {
-                g.observe(depth);
-            }
-        }
+        let nodes = &self.nodes;
+        let gauges = &mut self.gauges;
+        let gate_gauges = &mut self.gate_gauges;
+        let rounds = &mut self.rounds;
+        self.net.run_with(n, &mut |_| {
+            *rounds += 1;
+            sample(nodes, gauges, gate_gauges);
+        });
     }
 
     /// Applies `f` to every hosted component on every node.
@@ -224,9 +325,12 @@ impl Fleet {
         &mut self,
         f: &mut dyn FnMut(&str, &mut dyn sep_components::Component),
     ) {
-        for (i, rc) in self.nodes.iter().enumerate() {
+        for (i, shared) in self.nodes.iter().enumerate() {
             let name = self.names[i].clone();
-            rc.borrow_mut().for_each_component(&mut |c| f(&name, c));
+            shared
+                .lock()
+                .expect("fleet node lock")
+                .for_each_component(&mut |c| f(&name, c));
         }
     }
 
@@ -270,7 +374,7 @@ impl Fleet {
     }
 
     fn node_json(&self, i: usize) -> Json {
-        let node = self.nodes[i].borrow();
+        let node = self.nodes[i].lock().expect("fleet node lock");
         let totals = &node.kernel.machine.obs.metrics.totals;
         let channels: Vec<Json> = self.gauges[i].iter().map(ChannelGauge::to_json).collect();
         let gateway: Vec<Json> = self.gate_gauges[i]
@@ -318,7 +422,13 @@ impl Fleet {
         let (fs_served, fs_denials) = self.fileserver_totals();
         let guard_pending = self.guard_pending_total();
         let rounds = self.rounds.max(1);
-        let nodes: Vec<Json> = (0..self.nodes.len()).map(|i| self.node_json(i)).collect();
+        // `node_detail` is sorted by node name, so a report is invariant
+        // under node *insertion* order: every other aggregate is
+        // commutative, traces are name-keyed, and the wire list follows
+        // link order.
+        let mut order: Vec<usize> = (0..self.nodes.len()).collect();
+        order.sort_by(|&a, &b| self.names[a].cmp(&self.names[b]));
+        let nodes: Vec<Json> = order.into_iter().map(|i| self.node_json(i)).collect();
         let wt = &self.net.obs.metrics.totals;
         Json::obj()
             .field("rounds", self.rounds)
@@ -338,5 +448,24 @@ impl Fleet {
             .field("retransmissions", wt.retransmissions)
             .field("wires", self.wires_json())
             .field("node_detail", Json::Arr(nodes))
+    }
+}
+
+/// One gauge sample of every queue on every node. Free function so
+/// [`Fleet::run_rounds`] can borrow the gauge tables mutably while the
+/// network (a disjoint field) drives the rounds.
+fn sample(
+    nodes: &[Arc<Mutex<KernelNode>>],
+    gauges: &mut [Vec<ChannelGauge>],
+    gate_gauges: &mut [Vec<ChannelGauge>],
+) {
+    for (i, shared) in nodes.iter().enumerate() {
+        let node = shared.lock().expect("fleet node lock");
+        for (j, g) in gauges[i].iter_mut().enumerate() {
+            g.observe(node.kernel.channels[j].queue().len());
+        }
+        for (g, (_, depth, _)) in gate_gauges[i].iter_mut().zip(node.gateway_depths()) {
+            g.observe(depth);
+        }
     }
 }

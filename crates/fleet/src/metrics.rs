@@ -8,14 +8,30 @@
 
 use sep_obs::Json;
 
-/// Histogram resolution: latencies ≥ this many rounds land in the overflow
-/// bucket (reported as the observed maximum).
+/// Histogram resolution: latencies below this many rounds get an exact
+/// bucket each; larger ones land in power-of-two overflow sub-buckets that
+/// report their smallest member.
 pub const HIST_BUCKETS: usize = 1024;
 
+/// Number of overflow sub-buckets: one per power of two a `u64` sample can
+/// start with (`floor(log2(x))` for `x ≥ 1024` is 10..=63, padded to 64 so
+/// the index is the log itself).
+const OVERFLOW_BUCKETS: usize = 64;
+
 /// A fixed-bucket latency histogram over round counts.
+///
+/// Samples `< HIST_BUCKETS` are exact. Larger samples go to the log₂
+/// sub-bucket for their leading bit, and each sub-bucket remembers its
+/// *smallest* member — so a quantile landing in overflow reports a value
+/// that really holds that rank's order, and stays monotone under
+/// [`LatencyHistogram::merge`]. (The old single overflow bucket reported
+/// the global max, so merging a histogram holding 1100 with one holding
+/// 9999 snapped p50 from 1100 to 9999.)
 #[derive(Debug, Clone)]
 pub struct LatencyHistogram {
     buckets: Vec<u64>,
+    /// Overflow sub-buckets: (samples, smallest sample) per leading bit.
+    overflow: Vec<(u64, u64)>,
     /// Samples recorded.
     pub count: u64,
     /// Sum of all samples (for the mean).
@@ -35,6 +51,7 @@ impl LatencyHistogram {
     pub fn new() -> LatencyHistogram {
         LatencyHistogram {
             buckets: vec![0; HIST_BUCKETS],
+            overflow: vec![(0, 0); OVERFLOW_BUCKETS],
             count: 0,
             total: 0,
             max: 0,
@@ -43,8 +60,14 @@ impl LatencyHistogram {
 
     /// Records one latency sample.
     pub fn record(&mut self, rounds: u64) {
-        let idx = (rounds as usize).min(HIST_BUCKETS - 1);
-        self.buckets[idx] += 1;
+        if (rounds as usize) < HIST_BUCKETS {
+            self.buckets[rounds as usize] += 1;
+        } else {
+            let k = 63 - rounds.leading_zeros() as usize;
+            let (n, min) = &mut self.overflow[k];
+            *min = if *n == 0 { rounds } else { (*min).min(rounds) };
+            *n += 1;
+        }
         self.count += 1;
         self.total += rounds;
         self.max = self.max.max(rounds);
@@ -55,6 +78,12 @@ impl LatencyHistogram {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
             *a += b;
         }
+        for (a, b) in self.overflow.iter_mut().zip(&other.overflow) {
+            if b.0 > 0 {
+                a.1 = if a.0 == 0 { b.1 } else { a.1.min(b.1) };
+                a.0 += b.0;
+            }
+        }
         self.count += other.count;
         self.total += other.total;
         self.max = self.max.max(other.max);
@@ -62,7 +91,9 @@ impl LatencyHistogram {
 
     /// The per-mille quantile (`500` = p50, `990` = p99, `999` = p999):
     /// the smallest latency with at least that fraction of samples at or
-    /// below it. Zero when empty; overflow-bucket hits report the maximum.
+    /// below it. Zero when empty. Overflow hits report their sub-bucket's
+    /// smallest sample — sub-bucket ranges are disjoint and ascending, so
+    /// quantiles stay monotone in `pm` and under merges.
     pub fn quantile_pm(&self, pm: u64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -72,19 +103,26 @@ impl LatencyHistogram {
         for (i, b) in self.buckets.iter().enumerate() {
             cum += b;
             if cum > rank {
-                return if i == HIST_BUCKETS - 1 {
-                    self.max
-                } else {
-                    i as u64
-                };
+                return i as u64;
+            }
+        }
+        for &(n, min) in &self.overflow {
+            cum += n;
+            if cum > rank {
+                return min;
             }
         }
         self.max
     }
 
     /// Mean latency ×1000 (integer milli-rounds, to stay byte-stable).
+    /// The product is taken in `u128`: `total * 1000` alone overflows
+    /// `u64` at fleet-scale sample volumes.
     pub fn mean_milli(&self) -> u64 {
-        (self.total * 1000).checked_div(self.count).unwrap_or(0)
+        if self.count == 0 {
+            return 0;
+        }
+        ((self.total as u128 * 1000) / self.count as u128) as u64
     }
 
     /// The histogram's summary as a JSON object.
@@ -201,6 +239,61 @@ mod tests {
         assert_eq!(h.max, 9999);
         assert_eq!(h.quantile_pm(500), 5, "rank 0 of two samples");
         assert_eq!(h.quantile_pm(1000), 9999, "overflow bucket reads as max");
+    }
+
+    #[test]
+    fn merged_overflow_quantiles_stay_monotone() {
+        // The regression: one histogram holds 1100, the other 9999 — both
+        // land beyond the dense range. p50 of the merge must stay at the
+        // smaller sample, not snap to the global max.
+        let mut a = LatencyHistogram::new();
+        a.record(1100);
+        let mut b = LatencyHistogram::new();
+        b.record(9999);
+        a.merge(&b);
+        assert_eq!(a.quantile_pm(500), 1100, "p50 is the smaller sample");
+        assert_eq!(a.quantile_pm(1000), 9999);
+        // Merge order must not matter either.
+        let mut c = LatencyHistogram::new();
+        c.record(9999);
+        let mut d = LatencyHistogram::new();
+        d.record(1100);
+        c.merge(&d);
+        assert_eq!(c.quantile_pm(500), 1100);
+        // And quantiles are monotone in pm across the overflow range.
+        let mut h = LatencyHistogram::new();
+        for v in [1100u64, 2048, 5000, 9999, 70000] {
+            h.record(v);
+        }
+        let mut prev = 0;
+        for pm in (0..=1000).step_by(50) {
+            let q = h.quantile_pm(pm);
+            assert!(q >= prev, "quantile regressed at pm={pm}: {q} < {prev}");
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn same_subbucket_merge_keeps_the_smaller_minimum() {
+        // 5000 and 9999 share a log2 sub-bucket: the merged minimum must
+        // be the smaller one regardless of merge direction.
+        let mut a = LatencyHistogram::new();
+        a.record(9999);
+        let mut b = LatencyHistogram::new();
+        b.record(5000);
+        a.merge(&b);
+        assert_eq!(a.quantile_pm(0), 5000);
+    }
+
+    #[test]
+    fn mean_survives_u64_overflow_of_total_times_1000() {
+        // 1000 samples of 6×10^13: total×1000 = 6×10^19 > u64::MAX, but
+        // the mean itself fits comfortably.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..1000 {
+            h.record(60_000_000_000_000);
+        }
+        assert_eq!(h.mean_milli(), 60_000_000_000_000_000);
     }
 
     #[test]

@@ -34,9 +34,8 @@ use sep_kernel::fault;
 use sep_kernel::kernel::SeparationKernel;
 use sep_kernel::regime::{NativeAction, NativeRegime, RegimeIo};
 use std::any::Any;
-use std::cell::RefCell;
 use std::collections::{BTreeSet, VecDeque};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// ARQ window for reliable gateway links, in frames.
 pub const RETX_WINDOW: usize = 16;
@@ -45,7 +44,9 @@ pub const RETX_TIMEOUT: u64 = 4;
 /// Egress stops draining a kernel channel into the ARQ sender once this
 /// many frames are queued or in flight, so back-pressure reaches the
 /// sending component as channel-Full instead of unbounded gateway memory.
-const EGRESS_HIGH_WATER: usize = 4 * RETX_WINDOW;
+/// Public because it is also the saturation bound the fleet's gateway
+/// gauges report against.
+pub const EGRESS_HIGH_WATER: usize = 4 * RETX_WINDOW;
 
 /// The idle uplink regime: the kernel-side endpoint of every gateway
 /// channel. It runs no logic — the host gateway is the thing actually
@@ -241,19 +242,24 @@ impl KernelNode {
         self.kill_at.is_some_and(|k| round >= k)
     }
 
-    /// Gateway queue depths, in a fixed order (ingress spools, then egress
-    /// ARQ/spool queues) — the node-edge half of the saturation picture.
-    pub fn gateway_depths(&self) -> Vec<(String, usize)> {
+    /// Gateway queue depths and saturation bounds, in a fixed order
+    /// (ingress spools, then egress ARQ/spool queues) — the node-edge half
+    /// of the saturation picture. The bound is [`EGRESS_HIGH_WATER`] for
+    /// ARQ egress queues — whose saturation is the signal that wire
+    /// back-pressure reached the producing component — and 0 (unbounded,
+    /// never saturates) for the spools, which hold at most what a single
+    /// round delivers.
+    pub fn gateway_depths(&self) -> Vec<(String, usize, usize)> {
         let mut out = Vec::new();
         for g in &self.inputs {
-            out.push((format!("gw-in:{}", g.port), g.spool.len()));
+            out.push((format!("gw-in:{}", g.port), g.spool.len(), 0));
         }
         for g in &self.outputs {
-            let depth = match &g.tx {
-                Some(tx) => tx.pending(),
-                None => g.spool.len(),
+            let (depth, bound) = match &g.tx {
+                Some(tx) => (tx.pending(), EGRESS_HIGH_WATER),
+                None => (g.spool.len(), 0),
             };
-            out.push((format!("gw-out:{}", g.port), depth));
+            out.push((format!("gw-out:{}", g.port), depth, bound));
         }
         out
     }
@@ -313,10 +319,22 @@ impl KernelNode {
             }
         }
 
-        // The node's compute slice for the round.
-        for _ in 0..self.slots_per_round {
+        // The node's compute slice for the round, batched through the
+        // kernel's `step_n` hot path between planned-fault due points:
+        // after `apply_due` drains everything at or before the current
+        // step, the stretch up to the next due point cannot fire a fault,
+        // so it runs without per-step plan checks. Byte-identical to the
+        // one-step-at-a-time loop by construction.
+        let mut left = self.slots_per_round;
+        while left > 0 {
             fault::apply_due(&mut self.kernel, &mut self.plan);
-            self.kernel.step();
+            let steps = self.kernel.stats.steps;
+            let chunk = match self.plan.next_due() {
+                Some(due) if due.saturating_sub(steps) < left => (due - steps).max(1),
+                _ => left,
+            };
+            self.kernel.step_n(chunk);
+            left -= chunk;
         }
 
         // Egress: channel → (ARQ or direct) → wire.
@@ -354,16 +372,19 @@ impl KernelNode {
 }
 
 /// Shares a [`KernelNode`] between the network executor (which owns its
-/// nodes) and the fleet (which keeps handles for sampling and reporting).
+/// nodes and may step them on worker threads) and the fleet (which keeps
+/// handles for sampling and reporting). The lock is uncontended by
+/// construction: workers hold it only inside the step phase, the fleet
+/// only in the between-barriers sampling callback and after runs.
 pub struct SharedNode {
     name: String,
-    inner: Rc<RefCell<KernelNode>>,
+    inner: Arc<Mutex<KernelNode>>,
 }
 
 impl SharedNode {
     /// Wraps a shared node handle.
-    pub fn new(inner: Rc<RefCell<KernelNode>>) -> SharedNode {
-        let name = inner.borrow().name().to_string();
+    pub fn new(inner: Arc<Mutex<KernelNode>>) -> SharedNode {
+        let name = inner.lock().expect("fleet node lock").name().to_string();
         SharedNode { name, inner }
     }
 }
@@ -374,6 +395,6 @@ impl Node for SharedNode {
     }
 
     fn step(&mut self, io: &mut dyn NodeIo) {
-        self.inner.borrow_mut().step_io(io);
+        self.inner.lock().expect("fleet node lock").step_io(io);
     }
 }

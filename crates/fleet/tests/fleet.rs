@@ -244,7 +244,7 @@ fn quad_fleet(kill_fs1: bool) -> Fleet {
 
 fn lg_completed(fleet: &Fleet, node: usize) -> u64 {
     let rc = fleet.node(node);
-    let mut n = rc.borrow_mut();
+    let mut n = rc.lock().expect("node lock");
     let lg = n
         .component_mut(0)
         .expect("node hosts a component")
@@ -285,8 +285,14 @@ fn killing_one_file_server_leaves_bystander_traces_byte_identical() {
         "the bystander client lost nothing"
     );
     // The killed kernel froze at the kill round.
-    let frozen = killed.node(3).borrow().kernel.stats.steps;
-    let running = healthy.node(3).borrow().kernel.stats.steps;
+    let frozen = killed.node(3).lock().expect("node lock").kernel.stats.steps;
+    let running = healthy
+        .node(3)
+        .lock()
+        .expect("node lock")
+        .kernel
+        .stats
+        .steps;
     assert!(
         frozen < running,
         "crash-stop froze the kernel: {frozen} vs {running} steps"

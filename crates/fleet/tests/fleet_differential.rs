@@ -1,0 +1,435 @@
+//! Fleet differential suite: the parallel round executor against the
+//! sequential one, plus regressions for the fleet-layer bugfix sweep.
+//!
+//! The contract under test mirrors `differential_checker`: for every
+//! workload — ARQ loss storms, crash-stop kills, seeded fault plans,
+//! open-loop saturation, the guard review pipeline — the aggregated
+//! report and the per-node traces must be **byte-identical** at 1, 2, 4,
+//! and 8 workers. Workers may only change wall-clock time.
+
+use sep_components::guard::ApproveAll;
+use sep_components::{FileServer, FsClient, Guard};
+use sep_fault::{FaultPlan, LossModel};
+use sep_fleet::{
+    BurstPhase, Fleet, FleetTopology, LinkSpec, LoadGen, LoadGenCfg, LoopMode, NodeSpec, Reflector,
+    WorkloadMix, EGRESS_HIGH_WATER,
+};
+use sep_kernel::regime::PARTITION_SIZE;
+use sep_kernel::FaultPolicy;
+use sep_policy::SecurityLevel;
+
+const WORKER_SWEEP: [usize; 3] = [2, 4, 8];
+
+fn lossy(seed: u64, pm: u16) -> LossModel {
+    LossModel::new(seed)
+        .with_drop(pm)
+        .with_duplicate(pm)
+        .with_reorder(pm)
+}
+
+fn fs_node(name: &str, clients: usize) -> NodeSpec {
+    let fs_clients = (0..clients)
+        .map(|i| FsClient {
+            name: format!("c{i}"),
+            level: SecurityLevel::unclassified(),
+            special_delete: false,
+        })
+        .collect();
+    let mut spec = NodeSpec::new(name).component(Box::new(FileServer::new(fs_clients)));
+    for i in 0..clients {
+        spec = spec
+            .input(&format!("c{i}.req"), 0, &format!("c{i}.req"))
+            .output(0, &format!("c{i}.rsp"), &format!("c{i}.rsp"));
+    }
+    spec
+}
+
+fn lg_node(name: &str, cfg: LoadGenCfg) -> NodeSpec {
+    NodeSpec::new(name)
+        .component(Box::new(LoadGen::new(name, cfg)))
+        .output(0, "fs.req", "fs.req")
+        .input("fs.rsp", 0, "fs.rsp")
+}
+
+fn closed_cfg(seed: u64, users: u64, window: u64) -> LoadGenCfg {
+    LoadGenCfg {
+        seed,
+        users,
+        mode: LoopMode::Closed { window },
+        mix: WorkloadMix::rw(600, 400),
+        phases: vec![
+            BurstPhase {
+                rounds: 100,
+                level_pm: 1000,
+            },
+            BurstPhase {
+                rounds: 1_000_000,
+                level_pm: 250,
+            },
+        ],
+        level: SecurityLevel::unclassified(),
+    }
+}
+
+/// Runs a freshly built fleet for `rounds` at `workers` with tracing on,
+/// returning it for inspection.
+fn run(mut fleet: Fleet, rounds: u64, workers: usize) -> Fleet {
+    fleet.set_workers(workers);
+    fleet.run_rounds(rounds);
+    fleet
+}
+
+/// The differential harness: builds the workload once per worker count and
+/// pins report bytes, trace equivalence, network counters, and wire loss
+/// books against the sequential run.
+fn assert_worker_invariant(label: &str, build: &dyn Fn() -> Fleet, rounds: u64) {
+    let mut seq = run(build(), rounds, 1);
+    let seq_report = seq.report().to_pretty();
+    for workers in WORKER_SWEEP {
+        let mut par = run(build(), rounds, workers);
+        assert_eq!(
+            seq_report,
+            par.report().to_pretty(),
+            "{label}: report diverged at {workers} workers"
+        );
+        assert!(
+            seq.network()
+                .traces
+                .equivalent(&par.network().traces)
+                .is_ok(),
+            "{label}: traces diverged at {workers} workers"
+        );
+        assert_eq!(
+            seq.network().obs.metrics,
+            par.network().obs.metrics,
+            "{label}: network counters diverged at {workers} workers"
+        );
+        for (ws, wp) in seq.network().wires().iter().zip(par.network().wires()) {
+            assert_eq!(
+                (ws.dropped, ws.duplicated, ws.corrupted, ws.reordered),
+                (wp.dropped, wp.duplicated, wp.corrupted, wp.reordered),
+                "{label}: wire loss books diverged at {workers} workers"
+            );
+        }
+    }
+}
+
+/// One load generator and one file server over reliable lossy links.
+fn pair_fleet(loss_pm: u16) -> Fleet {
+    let mut top = FleetTopology::new();
+    let lg = top.node(lg_node("lg0", closed_cfg(0xA11CE, 5_000, 4)));
+    let fs = top.node(fs_node("fs0", 1));
+    top.link(
+        LinkSpec::new(lg, "fs.req", fs, "c0.req")
+            .reliable()
+            .loss(lossy(0x51, loss_pm))
+            .ack_loss(lossy(0x52, loss_pm)),
+    );
+    top.link(
+        LinkSpec::new(fs, "c0.rsp", lg, "fs.rsp")
+            .reliable()
+            .loss(lossy(0x53, loss_pm))
+            .ack_loss(lossy(0x54, loss_pm)),
+    );
+    Fleet::build(top)
+}
+
+#[test]
+fn arq_loss_storm_is_worker_invariant() {
+    assert_worker_invariant("arq-loss", &|| pair_fleet(200), 300);
+}
+
+/// Two client/server pairs, the second server crash-stopped mid-run.
+fn quad_kill_fleet() -> Fleet {
+    let mut top = FleetTopology::new();
+    let lg0 = top.node(lg_node("lg0", closed_cfg(0xC0, 2_000, 3)));
+    let lg1 = top.node(lg_node("lg1", closed_cfg(0xC1, 2_000, 3)));
+    let fs0 = top.node(fs_node("fs0", 1));
+    let fs1 = top.node(fs_node("fs1", 1).kill_at(60));
+    for (lg, fs, s) in [(lg0, fs0, 0x60u64), (lg1, fs1, 0x70)] {
+        top.link(
+            LinkSpec::new(lg, "fs.req", fs, "c0.req")
+                .reliable()
+                .loss(lossy(s, 100))
+                .ack_loss(lossy(s + 1, 100)),
+        );
+        top.link(
+            LinkSpec::new(fs, "c0.rsp", lg, "fs.rsp")
+                .reliable()
+                .loss(lossy(s + 2, 100))
+                .ack_loss(lossy(s + 3, 100)),
+        );
+    }
+    Fleet::build(top)
+}
+
+#[test]
+fn crash_stop_kill_is_worker_invariant() {
+    assert_worker_invariant("quad-kill", &quad_kill_fleet, 240);
+}
+
+/// A pair whose file server runs under a seeded fault plan with a restart
+/// policy — recovery, re-imaging, and backoff all happen mid-round.
+fn faulted_fleet() -> Fleet {
+    let mut top = FleetTopology::new();
+    let lg = top.node(lg_node("lg0", closed_cfg(0xFA, 1_000, 3)));
+    let fs_clients = vec![FsClient {
+        name: "c0".to_string(),
+        level: SecurityLevel::unclassified(),
+        special_delete: false,
+    }];
+    let fs_spec = NodeSpec::new("fs0")
+        .component_with(
+            Box::new(FileServer::new(fs_clients)),
+            Some(FaultPolicy::Restart {
+                budget: 8,
+                backoff_slots: 2,
+            }),
+            None,
+        )
+        .input("c0.req", 0, "c0.req")
+        .output(0, "c0.rsp", "c0.rsp")
+        .fault_plan(FaultPlan::generate(0xFA117, &[0], 400, 12, PARTITION_SIZE));
+    let fs = top.node(fs_spec);
+    top.link(
+        LinkSpec::new(lg, "fs.req", fs, "c0.req")
+            .reliable()
+            .loss(lossy(0x91, 120))
+            .ack_loss(lossy(0x92, 120)),
+    );
+    top.link(
+        LinkSpec::new(fs, "c0.rsp", lg, "fs.rsp")
+            .reliable()
+            .loss(lossy(0x93, 120))
+            .ack_loss(lossy(0x94, 120)),
+    );
+    Fleet::build(top)
+}
+
+#[test]
+fn fault_plan_recovery_is_worker_invariant() {
+    assert_worker_invariant("fault-plan", &faulted_fleet, 200);
+}
+
+/// Open-loop overload into capacity-2 wires: admission control at the
+/// wire-capacity edge is exactly where a racy executor would diverge.
+fn saturated_fleet() -> Fleet {
+    let mut top = FleetTopology::new();
+    let cfg = LoadGenCfg {
+        seed: 17,
+        users: 1_000,
+        mode: LoopMode::Open { rate_milli: 4_000 },
+        mix: WorkloadMix::rw(500, 500),
+        phases: Vec::new(),
+        level: SecurityLevel::unclassified(),
+    };
+    let lg = top.node(lg_node("lg0", cfg));
+    let fs = top.node(fs_node("fs0", 1));
+    top.link(LinkSpec::new(lg, "fs.req", fs, "c0.req").capacity(2));
+    top.link(LinkSpec::new(fs, "c0.rsp", lg, "fs.rsp").capacity(2));
+    Fleet::build(top)
+}
+
+#[test]
+fn open_loop_saturation_is_worker_invariant() {
+    assert_worker_invariant("open-loop", &saturated_fleet, 200);
+}
+
+/// The guard review pipeline: multi-component node with local channels.
+fn guard_fleet() -> Fleet {
+    let mut top = FleetTopology::new();
+    let cfg = LoadGenCfg {
+        seed: 9,
+        users: 100,
+        mode: LoopMode::Closed { window: 3 },
+        mix: WorkloadMix {
+            read_pm: 0,
+            write_pm: 0,
+            guard_pm: 1000,
+        },
+        phases: Vec::new(),
+        level: SecurityLevel::unclassified(),
+    };
+    let lg = top.node(
+        NodeSpec::new("lg0")
+            .component(Box::new(LoadGen::new("lg0", cfg)))
+            .output(0, "guard.req", "guard.req")
+            .input("guard.rsp", 0, "guard.rsp"),
+    );
+    let g = top.node(
+        NodeSpec::new("guard0")
+            .component(Box::new(Guard::new(Box::new(ApproveAll))))
+            .component(Box::new(Reflector::new("reflector")))
+            .local(0, "high.out", 1, "in", 8)
+            .local(1, "out", 0, "high.in", 8)
+            .input("low.in", 0, "low.in")
+            .output(0, "low.out", "low.out"),
+    );
+    top.link(LinkSpec::new(lg, "guard.req", g, "low.in"));
+    top.link(LinkSpec::new(g, "low.out", lg, "guard.rsp"));
+    Fleet::build(top)
+}
+
+#[test]
+fn guard_pipeline_is_worker_invariant() {
+    assert_worker_invariant("guard", &guard_fleet, 120);
+}
+
+// ---------------------------------------------------------------------
+// Node-insertion-order determinism.
+// ---------------------------------------------------------------------
+
+/// The quad workload with its nodes declared in a different order. The
+/// logical topology is identical; only the node indices differ.
+fn quad_kill_fleet_permuted() -> Fleet {
+    let mut top = FleetTopology::new();
+    let fs1 = top.node(fs_node("fs1", 1).kill_at(60));
+    let fs0 = top.node(fs_node("fs0", 1));
+    let lg1 = top.node(lg_node("lg1", closed_cfg(0xC1, 2_000, 3)));
+    let lg0 = top.node(lg_node("lg0", closed_cfg(0xC0, 2_000, 3)));
+    for (lg, fs, s) in [(lg0, fs0, 0x60u64), (lg1, fs1, 0x70)] {
+        top.link(
+            LinkSpec::new(lg, "fs.req", fs, "c0.req")
+                .reliable()
+                .loss(lossy(s, 100))
+                .ack_loss(lossy(s + 1, 100)),
+        );
+        top.link(
+            LinkSpec::new(fs, "c0.rsp", lg, "fs.rsp")
+                .reliable()
+                .loss(lossy(s + 2, 100))
+                .ack_loss(lossy(s + 3, 100)),
+        );
+    }
+    Fleet::build(top)
+}
+
+#[test]
+fn permuted_node_insertion_order_yields_byte_identical_reports() {
+    // Within-round step order is unobservable (latency ≥ 1), `node_detail`
+    // is name-sorted, and every other aggregate commutes — so declaring
+    // the same nodes in a different order must not change a byte.
+    let mut a = quad_kill_fleet();
+    let mut b = quad_kill_fleet_permuted();
+    a.run_rounds(240);
+    b.run_rounds(240);
+    assert_eq!(a.report().to_pretty(), b.report().to_pretty());
+    assert!(
+        a.network().traces.equivalent(&b.network().traces).is_ok(),
+        "name-keyed traces must agree event for event"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Topology validation regressions (named panics, before any node boots).
+// ---------------------------------------------------------------------
+
+#[test]
+#[should_panic(expected = "ack-name collision")]
+fn declared_port_shadowing_an_auto_ack_panics() {
+    // lg0 declares an ingress literally named "fs.req.ack" — the same name
+    // the reliable link auto-wires for its ack path. Pre-fix this shared
+    // wire was built silently and the gateway stole ARQ ack frames.
+    let mut top = FleetTopology::new();
+    let lg = top.node(
+        NodeSpec::new("lg0")
+            .component(Box::new(LoadGen::new("lg0", closed_cfg(1, 100, 2))))
+            .output(0, "fs.req", "fs.req")
+            .input("fs.rsp", 0, "fs.rsp")
+            .input("fs.req.ack", 0, "odd"),
+    );
+    let fs = top.node(fs_node("fs0", 1));
+    top.link(LinkSpec::new(lg, "fs.req", fs, "c0.req").reliable());
+    top.link(LinkSpec::new(fs, "c0.rsp", lg, "fs.rsp"));
+    Fleet::build(top);
+}
+
+#[test]
+#[should_panic(expected = "self-link")]
+fn self_link_panics_by_name() {
+    let mut top = FleetTopology::new();
+    let lg = top.node(lg_node("lg0", closed_cfg(1, 100, 2)));
+    top.link(LinkSpec::new(lg, "fs.req", lg, "fs.rsp"));
+    Fleet::build(top);
+}
+
+#[test]
+#[should_panic(expected = "duplicate egress")]
+fn double_wired_egress_port_panics_by_name() {
+    let mut top = FleetTopology::new();
+    let lg = top.node(lg_node("lg0", closed_cfg(1, 100, 2)));
+    let fs0 = top.node(fs_node("fs0", 1));
+    let fs1 = top.node(fs_node("fs1", 1));
+    top.link(LinkSpec::new(lg, "fs.req", fs0, "c0.req"));
+    top.link(LinkSpec::new(lg, "fs.req", fs1, "c0.req"));
+    Fleet::build(top);
+}
+
+#[test]
+#[should_panic(expected = "duplicate ingress gateway port")]
+fn duplicate_declared_gateway_port_panics_by_name() {
+    let mut top = FleetTopology::new();
+    top.node(
+        NodeSpec::new("lg0")
+            .component(Box::new(LoadGen::new("lg0", closed_cfg(1, 100, 2))))
+            .input("fs.rsp", 0, "a")
+            .input("fs.rsp", 0, "b"),
+    );
+    Fleet::build(top);
+}
+
+#[test]
+#[should_panic(expected = "not a declared egress")]
+fn link_from_undeclared_port_panics_by_name() {
+    let mut top = FleetTopology::new();
+    let lg = top.node(lg_node("lg0", closed_cfg(1, 100, 2)));
+    let fs = top.node(fs_node("fs0", 1));
+    top.link(LinkSpec::new(lg, "no-such-port", fs, "c0.req"));
+    Fleet::build(top);
+}
+
+// ---------------------------------------------------------------------
+// Gateway gauge saturation regression.
+// ---------------------------------------------------------------------
+
+#[test]
+fn arq_gateway_saturation_is_reported_under_back_pressure() {
+    // The receiver is dead from round 0: the sender's ARQ queue fills to
+    // the high-water mark and stays there. Pre-fix the gateway gauges were
+    // built with capacity 0, so this (fully saturated) queue reported
+    // saturation_milli = 0 forever.
+    let mut top = FleetTopology::new();
+    let cfg = LoadGenCfg {
+        seed: 23,
+        users: 1_000,
+        mode: LoopMode::Open { rate_milli: 4_000 },
+        mix: WorkloadMix::rw(500, 500),
+        phases: Vec::new(),
+        level: SecurityLevel::unclassified(),
+    };
+    let lg = top.node(lg_node("lg0", cfg));
+    let fs = top.node(fs_node("fs0", 1).kill_at(0));
+    top.link(LinkSpec::new(lg, "fs.req", fs, "c0.req").reliable());
+    top.link(LinkSpec::new(fs, "c0.rsp", lg, "fs.rsp").reliable());
+    let mut fleet = Fleet::build(top);
+    fleet.set_tracing(false);
+    fleet.run_rounds(120);
+    let gauge = fleet
+        .gateway_gauges(lg)
+        .iter()
+        .find(|g| g.name == "gw-out:fs.req")
+        .expect("egress gateway gauge exists");
+    assert_eq!(
+        gauge.capacity, EGRESS_HIGH_WATER,
+        "the ARQ gauge carries the high-water bound"
+    );
+    assert_eq!(
+        gauge.max_depth, EGRESS_HIGH_WATER,
+        "the queue really filled"
+    );
+    assert!(
+        gauge.saturation_milli() > 500,
+        "a dead receiver must read as sustained gateway saturation, got {}",
+        gauge.saturation_milli()
+    );
+}

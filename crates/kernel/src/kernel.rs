@@ -497,6 +497,19 @@ impl SeparationKernel {
         (0..n).map(|_| self.step()).collect()
     }
 
+    /// Runs `n` steps without materializing an event list, returning the
+    /// last step's event. The fleet's round driver batches each node's
+    /// intra-round compute slice through here between planned-fault due
+    /// points; [`SeparationKernel::run`] allocates a `Vec` per call, which
+    /// this hot path avoids.
+    pub fn step_n(&mut self, n: u64) -> Option<KernelEvent> {
+        let mut last = None;
+        for _ in 0..n {
+            last = Some(self.step());
+        }
+        last
+    }
+
     /// Runs until [`KernelEvent::AllStopped`] or the step bound.
     pub fn run_until_stopped(&mut self, max_steps: u64) -> bool {
         for _ in 0..max_steps {

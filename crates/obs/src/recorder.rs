@@ -95,6 +95,20 @@ impl Recorder {
         }
     }
 
+    /// Commits a worker-buffered batch of events, all at one timestamp, in
+    /// buffer order. The parallel round executor collects each node's
+    /// events worker-locally during its step phase and commits the batches
+    /// at the round barrier in node-index order — this is that commit
+    /// path. With tracing disabled the batch is dropped, exactly as the
+    /// per-event [`Recorder::emit`] would have dropped each event.
+    pub fn absorb(&mut self, ts: u64, events: Vec<ObsEvent>) {
+        if let Some(trace) = &mut self.trace {
+            for ev in events {
+                trace.record(ts, ev);
+            }
+        }
+    }
+
     // --------------------------------------------------------------
     // Hot-path counter bumps (metrics only; no event construction).
     // --------------------------------------------------------------

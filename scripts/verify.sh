@@ -43,7 +43,12 @@ test -s BENCH_obs_e10_hotpath.json
 echo "==> fleet suite (release: determinism, containment, loss, saturation)"
 cargo test --release -q -p sep-fleet --test fleet
 
-echo "==> e11 fleet bench (16 nodes, 100k clients; asserts byte-determinism)"
+echo "==> fleet differential suite (release: 1/2/4/8 workers byte-identical)"
+cargo test --release -q -p sep-fleet --test fleet_differential
+cargo test --release -q -p sep-distributed
+
+echo "==> e11 fleet bench (16 nodes, 100k clients; workers sweep, byte-determinism,"
+echo "    >=2x speedup at 4 workers on >=4-core hosts)"
 cargo run -q --release -p sep-bench --bin e11_fleet > /dev/null
 test -s BENCH_obs_e11_fleet.json
 
