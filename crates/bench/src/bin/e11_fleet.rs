@@ -81,6 +81,7 @@ fn lg_spec(i: usize) -> NodeSpec {
             },
         ],
         level: SecurityLevel::unclassified(),
+        retry: None,
     };
     NodeSpec::new(&name)
         .slots_per_round(SLOTS)

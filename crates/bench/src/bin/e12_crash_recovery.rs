@@ -1,0 +1,490 @@
+//! E12 — crash-recovery: node reboot, ARQ epoch resync, exactly-once
+//! retry.
+//!
+//! Three isolated two-node islands share one fleet:
+//!
+//! * **victim** (`lg-a` ↔ `fs-a`) — a retrying client against a
+//!   dedup-window file server that crash-reboots on a seeded schedule,
+//!   losing all volatile state. This island carries the headline claim:
+//!   crash → reboot → epoch resync → goodput back within 10% of the
+//!   no-crash baseline.
+//! * **bystander** (`lg-b` ↔ `fs-b`) — lossy ARQ traffic with no crash.
+//!   Its traces must be byte-identical to the no-crash baseline run:
+//!   recovery is non-interfering.
+//! * **commit** (`lg-c` ↔ `fs-c`) — a retry timeout tighter than the
+//!   worst-case RTT under loss, so the server sees genuine duplicate
+//!   requests. Zero duplicate commits: every request executes exactly
+//!   once (`requests_served == issued`), duplicates are answered from
+//!   the dedup cache.
+//!
+//! The schedule sweep covers 30/60/90-round single outages, a seeded
+//! two-outage plan (`OutagePlan::generate`), and a 540-round blackout
+//! long enough to trip the ARQ give-up level (`PeerDown`) and prove it
+//! clears on resync. Two points re-run at 1/2/4/8 workers and assert
+//! byte-identical reports, equivalent traces, and equal wire loss books
+//! — the recovery path rides the staged executor unchanged. Results go
+//! to `BENCH_obs_e12_crash_recovery.json`.
+
+use sep_components::{FileServer, FsClient};
+use sep_fault::{LossModel, OutagePlan};
+use sep_fleet::{
+    BurstPhase, Fleet, FleetTopology, LinkSpec, LoadGen, LoadGenCfg, LoopMode, NodeSpec, RetryCfg,
+    WorkloadMix,
+};
+use sep_obs::{Json, RunReport};
+use sep_policy::SecurityLevel;
+
+/// Base RNG seed for the whole experiment.
+const SEED: u64 = 0xE12_C4A5;
+/// Rounds for the standard points (the blackout point runs longer).
+const ROUNDS: u64 = 560;
+/// Load stops here so every pending retry drains before the run ends.
+const LOAD_ROUNDS: u64 = 440;
+/// Progress checkpoints every this many rounds (for goodput windows).
+const CHECKPOINT: u64 = 10;
+/// Goodput must be back within 10% of baseline in this window after
+/// recovery: `[recover + 60, recover + 120)`.
+const RECOVERY_WINDOW: (u64, u64) = (60, 120);
+
+/// Node indices in build order.
+const LG_A: usize = 0;
+const FS_A: usize = 1;
+const LG_C: usize = 4;
+const FS_C: usize = 5;
+
+fn lossy(seed: u64, pm: u16) -> LossModel {
+    LossModel::new(seed)
+        .with_drop(pm / 3)
+        .with_duplicate(pm / 3)
+        .with_reorder(pm - 2 * (pm / 3))
+}
+
+fn lg_cfg(seed: u64, load_rounds: u64, retry: Option<RetryCfg>) -> LoadGenCfg {
+    LoadGenCfg {
+        seed,
+        users: 2_000,
+        mode: LoopMode::Closed { window: 4 },
+        mix: WorkloadMix::rw(300, 700),
+        phases: vec![
+            BurstPhase {
+                rounds: load_rounds,
+                level_pm: 1000,
+            },
+            BurstPhase {
+                rounds: 1_000_000,
+                level_pm: 0,
+            },
+        ],
+        level: SecurityLevel::unclassified(),
+        retry,
+    }
+}
+
+fn lg_node(name: &str, cfg: LoadGenCfg) -> NodeSpec {
+    NodeSpec::new(name)
+        .component(Box::new(LoadGen::new(name, cfg)))
+        .output(0, "fs.req", "fs.req")
+        .input("fs.rsp", 0, "fs.rsp")
+}
+
+fn fs_node(name: &str, dedup: usize) -> NodeSpec {
+    let clients = vec![FsClient {
+        name: "c0".to_string(),
+        level: SecurityLevel::unclassified(),
+        special_delete: false,
+    }];
+    NodeSpec::new(name)
+        .component(Box::new(FileServer::new(clients).with_dedup_window(dedup)))
+        .input("c0.req", 0, "c0.req")
+        .output(0, "c0.rsp", "c0.rsp")
+}
+
+fn island(top: &mut FleetTopology, lg: usize, fs: usize, seed: u64, loss_pm: u16) {
+    let mut req = LinkSpec::new(lg, "fs.req", fs, "c0.req").reliable();
+    let mut rsp = LinkSpec::new(fs, "c0.rsp", lg, "fs.rsp").reliable();
+    if loss_pm > 0 {
+        req = req
+            .loss(lossy(seed, loss_pm))
+            .ack_loss(lossy(seed ^ 0xACC, loss_pm));
+        rsp = rsp
+            .loss(lossy(seed ^ 0xF5, loss_pm))
+            .ack_loss(lossy(seed ^ 0xF5ACC, loss_pm));
+    }
+    top.link(req);
+    top.link(rsp);
+}
+
+/// The six-node, three-island fleet. `plan` schedules the victim server's
+/// outages; `None` is the no-crash baseline.
+fn build_fleet(plan: Option<OutagePlan>, load_rounds: u64) -> Fleet {
+    let mut top = FleetTopology::new();
+    // Victim island: patient retries, dedup server, the outage schedule.
+    let retry_a = Some(RetryCfg {
+        timeout: 24,
+        backoff_shift_cap: 3,
+    });
+    let lg_a = top.node(lg_node("lg-a", lg_cfg(SEED ^ 0xA, load_rounds, retry_a)));
+    let mut fs_a_spec = fs_node("fs-a", 256);
+    if let Some(p) = plan {
+        fs_a_spec = fs_a_spec.outage_plan(p);
+    }
+    let fs_a = top.node(fs_a_spec);
+    // Bystander island: lossy ARQ traffic, no retries, no crash.
+    let lg_b = top.node(lg_node("lg-b", lg_cfg(SEED ^ 0xB, load_rounds, None)));
+    let fs_b = top.node(fs_node("fs-b", 0));
+    // Commit island: a timeout tighter than the lossy worst-case RTT
+    // forces real duplicates at a healthy server.
+    let retry_c = Some(RetryCfg {
+        timeout: 6,
+        backoff_shift_cap: 3,
+    });
+    let lg_c = top.node(lg_node("lg-c", lg_cfg(SEED ^ 0xC, load_rounds, retry_c)));
+    let fs_c = top.node(fs_node("fs-c", 1024));
+
+    island(&mut top, lg_a, fs_a, SEED ^ 0x1A, 0);
+    island(&mut top, lg_b, fs_b, SEED ^ 0x1B, 120);
+    island(&mut top, lg_c, fs_c, SEED ^ 0x1C, 150);
+    Fleet::build(top)
+}
+
+/// Per-checkpoint observations of the victim island.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct Checkpoint {
+    round: u64,
+    completed_a: u64,
+    peers_down_a: u64,
+}
+
+struct PointRun {
+    fleet: Fleet,
+    checkpoints: Vec<Checkpoint>,
+}
+
+fn lg_counters(fleet: &Fleet, node: usize) -> (u64, u64, u64, u64) {
+    let rc = fleet.node(node);
+    let mut n = rc.lock().expect("node lock");
+    let lg = n
+        .component_mut(0)
+        .expect("component")
+        .as_any()
+        .downcast_mut::<LoadGen>()
+        .expect("load generator");
+    (lg.issued, lg.completed, lg.retried, lg.dup_responses)
+}
+
+fn fs_counters(fleet: &Fleet, node: usize) -> (u64, u64) {
+    let rc = fleet.node(node);
+    let mut n = rc.lock().expect("node lock");
+    let fs = n
+        .component_mut(0)
+        .expect("component")
+        .as_any()
+        .downcast_mut::<FileServer>()
+        .expect("file server");
+    (fs.requests_served, fs.duplicates_replayed)
+}
+
+/// Runs one schedule at `workers`, checkpointing the victim island every
+/// `CHECKPOINT` rounds.
+fn run_point(plan: Option<OutagePlan>, rounds: u64, load_rounds: u64, workers: usize) -> PointRun {
+    let mut fleet = build_fleet(plan, load_rounds);
+    assert_eq!(fleet.len(), 6, "three two-node islands");
+    fleet.set_workers(workers);
+    let mut checkpoints = Vec::new();
+    let mut at = 0;
+    while at < rounds {
+        let step = CHECKPOINT.min(rounds - at);
+        fleet.run_rounds(step);
+        at += step;
+        let (_, completed_a, _, _) = lg_counters(&fleet, LG_A);
+        let peers_down_a = fleet.node(LG_A).lock().expect("node lock").peers_down();
+        checkpoints.push(Checkpoint {
+            round: at,
+            completed_a,
+            peers_down_a,
+        });
+    }
+    PointRun { fleet, checkpoints }
+}
+
+/// Completions on the victim island over `[from, to)` (checkpoint-aligned).
+fn window_completions(cps: &[Checkpoint], from: u64, to: u64) -> u64 {
+    let get = |round: u64| {
+        if round == 0 {
+            return 0;
+        }
+        cps.iter()
+            .find(|c| c.round == round)
+            .unwrap_or_else(|| panic!("no checkpoint at round {round}"))
+            .completed_a
+    };
+    get(to) - get(from)
+}
+
+/// The client-side exactly-once and zero-duplicate-commit gates, common
+/// to every point.
+fn assert_exactly_once(label: &str, run: &mut PointRun) {
+    let (issued_a, completed_a, retried_a, _) = lg_counters(&run.fleet, LG_A);
+    assert!(issued_a > 200, "{label}: victim island carried load");
+    assert_eq!(
+        completed_a, issued_a,
+        "{label}: every victim-island request completed exactly once"
+    );
+    let (issued_c, completed_c, retried_c, _) = lg_counters(&run.fleet, LG_C);
+    let (served_c, dups_c) = fs_counters(&run.fleet, FS_C);
+    assert_eq!(
+        completed_c, issued_c,
+        "{label}: every commit-island request completed exactly once"
+    );
+    assert!(retried_c > 0, "{label}: the tight timeout forced retries");
+    assert!(
+        dups_c > 0,
+        "{label}: duplicates reached the server and were replayed from cache"
+    );
+    assert_eq!(
+        served_c, issued_c,
+        "{label}: zero duplicate commits — retries replay the cached \
+         response, never the operation"
+    );
+    let _ = retried_a;
+}
+
+/// The worker-invariance gate: byte-identical report, equivalent traces,
+/// equal wire loss books at 2/4/8 workers.
+fn assert_worker_invariant(label: &str, plan: &OutagePlan, rounds: u64, load_rounds: u64) {
+    let mut seq = run_point(Some(plan.clone()), rounds, load_rounds, 1);
+    let seq_report = seq.fleet.report().to_compact();
+    for workers in [2usize, 4, 8] {
+        let mut par = run_point(Some(plan.clone()), rounds, load_rounds, workers);
+        assert_eq!(
+            seq_report,
+            par.fleet.report().to_compact(),
+            "{label}: report diverged at {workers} workers"
+        );
+        assert_eq!(
+            seq.checkpoints, par.checkpoints,
+            "{label}: recovery timeline diverged at {workers} workers"
+        );
+        assert!(
+            seq.fleet
+                .network()
+                .traces
+                .equivalent(&par.fleet.network().traces)
+                .is_ok(),
+            "{label}: traces diverged at {workers} workers"
+        );
+        for (ws, wp) in seq
+            .fleet
+            .network()
+            .wires()
+            .iter()
+            .zip(par.fleet.network().wires())
+        {
+            assert_eq!(
+                (ws.dropped, ws.duplicated, ws.corrupted, ws.reordered),
+                (wp.dropped, wp.duplicated, wp.corrupted, wp.reordered),
+                "{label}: wire loss books diverged at {workers} workers"
+            );
+        }
+    }
+    println!("{label}: byte-identical at 1/2/4/8 workers");
+}
+
+fn main() {
+    println!("E12: crash-recovery fleet — reboot, epoch resync, exactly-once retry");
+
+    // The no-crash baseline: bystander traces and the goodput yardstick.
+    let mut baseline = run_point(None, ROUNDS, LOAD_ROUNDS, 4);
+    assert_exactly_once("baseline", &mut baseline);
+    assert_eq!(baseline.fleet.reboots_total(), 0);
+
+    // Worker-invariance on a single-outage point and on the seeded
+    // two-outage plan: the recovery path rides the staged executor.
+    assert_worker_invariant("down60", &OutagePlan::single(140, 60), ROUNDS, LOAD_ROUNDS);
+    let double = OutagePlan::generate(SEED ^ 0xD0, 400, 2, 24, 48);
+    assert_worker_invariant("double", &double, ROUNDS, LOAD_ROUNDS);
+
+    let mut report = RunReport::new("e12_crash_recovery")
+        .param("nodes", 6u64)
+        .param("rounds", ROUNDS)
+        .param("load_rounds", LOAD_ROUNDS)
+        .param("seed", SEED)
+        .param("checkpoint_rounds", CHECKPOINT)
+        .param(
+            "workers_sweep",
+            Json::Arr(vec![1u64.into(), 2u64.into(), 4u64.into(), 8u64.into()]),
+        );
+
+    // ---- Single-outage sweep: goodput recovery against the baseline.
+    for down in [30u64, 60, 90] {
+        let label = format!("down{down}");
+        let crash = 140;
+        let recover = crash + down;
+        let mut run = run_point(
+            Some(OutagePlan::single(crash, down)),
+            ROUNDS,
+            LOAD_ROUNDS,
+            4,
+        );
+        assert_exactly_once(&label, &mut run);
+        assert_eq!(run.fleet.reboots_total(), 1, "{label}: one reboot");
+        assert_eq!(run.fleet.downtime_total(), down, "{label}: downtime book");
+
+        // Bystander non-interference: byte-identical traces vs no-crash.
+        for name in ["lg-b", "fs-b"] {
+            assert_eq!(
+                baseline.fleet.network().traces.trace(name),
+                run.fleet.network().traces.trace(name),
+                "{label}: bystander {name} diverged from the no-crash run"
+            );
+        }
+        assert_ne!(
+            baseline.fleet.network().traces.trace("lg-a"),
+            run.fleet.network().traces.trace("lg-a"),
+            "{label}: the crash must be visible to the victim's client"
+        );
+
+        // The epoch machinery engaged on the victim island.
+        let (resyncs, ttr) = {
+            let rc = run.fleet.node(LG_A);
+            let n = rc.lock().expect("node lock");
+            let rc2 = run.fleet.node(FS_A);
+            let v = rc2.lock().expect("node lock");
+            assert!(
+                v.stale_epochs() > 0,
+                "{label}: pre-crash frames dropped as stale"
+            );
+            assert_eq!(v.reboots, 1);
+            assert_eq!(v.time_to_recover.len(), 1, "{label}: recovery measured");
+            (n.resyncs(), v.time_to_recover.clone())
+        };
+        assert!(resyncs > 0, "{label}: the client resynced epochs");
+
+        // Goodput back within 10% of baseline inside the window.
+        let (w0, w1) = (recover + RECOVERY_WINDOW.0, recover + RECOVERY_WINDOW.1);
+        let base = window_completions(&baseline.checkpoints, w0, w1);
+        let got = window_completions(&run.checkpoints, w0, w1);
+        assert!(
+            got * 10 >= base * 9,
+            "{label}: goodput in [{w0},{w1}) must be within 10% of the \
+             no-crash baseline: {got} vs {base}"
+        );
+        let during = window_completions(&run.checkpoints, crash, recover.min(crash + down));
+        println!(
+            "{label}: crash@{crash} +{down}  completions during outage {during}, \
+             window [{w0},{w1}) {got}/{base} (baseline), time-to-recover {ttr:?}"
+        );
+
+        let lt = run.fleet.loadgen_totals();
+        report = report.run_custom(
+            &label,
+            Json::obj()
+                .field("crash", crash)
+                .field("down_rounds", down)
+                .field("retried", lt.retried)
+                .field("dup_responses", lt.dup_responses)
+                .field("resyncs", resyncs)
+                .field(
+                    "time_to_recover",
+                    Json::Arr(ttr.iter().map(|&r| r.into()).collect()),
+                )
+                .field("window_completions", got)
+                .field("baseline_completions", base)
+                .field("recovery_ratio_pm", got * 1000 / base.max(1))
+                .field("report", run.fleet.report()),
+        );
+    }
+
+    // ---- Seeded two-outage plan.
+    {
+        let mut run = run_point(Some(double.clone()), ROUNDS, LOAD_ROUNDS, 4);
+        assert_exactly_once("double", &mut run);
+        assert_eq!(
+            run.fleet.reboots_total(),
+            2,
+            "double: both scheduled outages rebooted"
+        );
+        assert_eq!(run.fleet.downtime_total(), double.total_down());
+        for name in ["lg-b", "fs-b"] {
+            assert_eq!(
+                baseline.fleet.network().traces.trace(name),
+                run.fleet.network().traces.trace(name),
+                "double: bystander {name} diverged from the no-crash run"
+            );
+        }
+        let outages: Vec<Json> = double
+            .outages()
+            .iter()
+            .map(|o| {
+                Json::obj()
+                    .field("crash", o.crash)
+                    .field("recover", o.recover)
+            })
+            .collect();
+        println!(
+            "double: seeded plan {:?}, downtime {} rounds, both recovered",
+            double.outages(),
+            double.total_down()
+        );
+        report = report.run_custom(
+            "double",
+            Json::obj()
+                .field("plan_seed", double.seed())
+                .field("outages", Json::Arr(outages))
+                .field("report", run.fleet.report()),
+        );
+    }
+
+    // ---- Blackout: long enough to trip the ARQ give-up level, which
+    // must clear on resync. With RETX_TIMEOUT = 4 and the backoff shift
+    // capped at 5, the 8th retransmission of a frame sent just before
+    // the crash lands 4+8+16+32+64+128+128+128 = 508 rounds later — so
+    // the outage must out-last that.
+    {
+        let (crash, down) = (60, 540);
+        let rounds = 880;
+        let mut run = run_point(Some(OutagePlan::single(crash, down)), rounds, 300, 4);
+        let (issued_a, completed_a, retried_a, _) = lg_counters(&run.fleet, LG_A);
+        assert!(issued_a > 100, "blackout: load before the crash");
+        assert_eq!(
+            completed_a, issued_a,
+            "blackout: every request eventually completed"
+        );
+        assert!(retried_a > 0, "blackout: crash-lost requests were retried");
+        let peak_peers_down = run
+            .checkpoints
+            .iter()
+            .map(|c| c.peers_down_a)
+            .max()
+            .unwrap_or(0);
+        assert!(
+            peak_peers_down > 0,
+            "blackout: a 540-round outage must trip the ARQ give-up level"
+        );
+        assert_eq!(
+            run.checkpoints.last().expect("checkpoints").peers_down_a,
+            0,
+            "blackout: PeerDown clears on resync"
+        );
+        assert_eq!(run.fleet.reboots_total(), 1);
+        println!(
+            "blackout: crash@{crash} +{down}  PeerDown observed then cleared, \
+             {completed_a}/{issued_a} completed"
+        );
+        report = report.run_custom(
+            "blackout",
+            Json::obj()
+                .field("crash", crash)
+                .field("down_rounds", down)
+                .field("peak_peers_down", peak_peers_down)
+                .field("retried", retried_a)
+                .field("report", run.fleet.report()),
+        );
+    }
+
+    report = report.run_custom("baseline", baseline.fleet.report());
+    report
+        .write_to("BENCH_obs_e12_crash_recovery.json")
+        .expect("write e12 report");
+    println!("wrote BENCH_obs_e12_crash_recovery.json");
+}

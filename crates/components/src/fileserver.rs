@@ -26,7 +26,7 @@ use crate::component::{Component, ComponentIo};
 use crate::proto::{MsgReader, MsgWriter, Status};
 use sep_policy::level::SecurityLevel;
 use std::any::Any;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Request opcodes.
 pub mod op {
@@ -42,6 +42,11 @@ pub mod op {
     pub const DELETE: u8 = 4;
     /// `LIST` — enumerate files the client may observe.
     pub const LIST: u8 = 5;
+    /// `TAGGED id:u64le inner-request` — an idempotent envelope: the
+    /// response repeats the envelope, and a server with a dedup window
+    /// replays the cached response for a repeated id instead of
+    /// re-executing (exactly-once under client retry).
+    pub const TAGGED: u8 = 6;
 }
 
 /// A registered client of the file server.
@@ -67,12 +72,20 @@ struct FileRecord {
 pub struct FileServer {
     clients: Vec<FsClient>,
     files: BTreeMap<(String, u8), FileRecord>, // key includes the level rank
+    /// Cached responses for recently seen tagged request ids, per client
+    /// (bounded by `dedup_window`, FIFO eviction).
+    recent: BTreeMap<(usize, u64), Vec<u8>>,
+    recent_order: VecDeque<(usize, u64)>,
+    dedup_window: usize,
     /// Audit log of special-service exercises, host-inspectable.
     pub audit: Vec<String>,
-    /// Requests served (for the experiment harnesses).
+    /// Requests *executed* (a replayed duplicate does not count — the
+    /// exactly-once argument is `requests_served == unique ids seen`).
     pub requests_served: u64,
     /// Requests denied by policy.
     pub denials: u64,
+    /// Tagged duplicates answered from the dedup cache, not re-executed.
+    pub duplicates_replayed: u64,
 }
 
 impl FileServer {
@@ -81,10 +94,24 @@ impl FileServer {
         FileServer {
             clients,
             files: BTreeMap::new(),
+            recent: BTreeMap::new(),
+            recent_order: VecDeque::new(),
+            dedup_window: 0,
             audit: Vec::new(),
             requests_served: 0,
             denials: 0,
+            duplicates_replayed: 0,
         }
+    }
+
+    /// Enables the bounded dedup window: the last `n` tagged responses per
+    /// server are cached and replayed for repeated ids. The bound is the
+    /// honesty of the exactly-once claim — a duplicate arriving after its
+    /// id has been evicted re-executes, so clients must retire (stop
+    /// retrying) well within `n` fresh requests.
+    pub fn with_dedup_window(mut self, n: usize) -> FileServer {
+        self.dedup_window = n;
+        self
     }
 
     /// Host-side: the contents of a file, if it exists.
@@ -98,6 +125,33 @@ impl FileServer {
     /// Host-side: number of files stored.
     pub fn file_count(&self) -> usize {
         self.files.len()
+    }
+
+    /// Handles one frame, unwrapping a [`op::TAGGED`] envelope: repeated
+    /// ids inside the dedup window replay the cached response verbatim —
+    /// the request is *not* re-executed.
+    fn handle_framed(&mut self, client: usize, frame: &[u8]) -> Vec<u8> {
+        if frame.len() < 9 || frame[0] != op::TAGGED {
+            return self.handle(client, frame);
+        }
+        let id = u64::from_le_bytes(frame[1..9].try_into().expect("8 id bytes"));
+        if let Some(cached) = self.recent.get(&(client, id)) {
+            self.duplicates_replayed += 1;
+            return cached.clone();
+        }
+        let inner = self.handle(client, &frame[9..]);
+        let mut out = Vec::with_capacity(9 + inner.len());
+        out.extend_from_slice(&frame[..9]);
+        out.extend_from_slice(&inner);
+        if self.dedup_window > 0 {
+            self.recent.insert((client, id), out.clone());
+            self.recent_order.push_back((client, id));
+            if self.recent_order.len() > self.dedup_window {
+                let oldest = self.recent_order.pop_front().expect("non-empty window");
+                self.recent.remove(&oldest);
+            }
+        }
+        out
     }
 
     fn handle(&mut self, client: usize, frame: &[u8]) -> Vec<u8> {
@@ -249,7 +303,7 @@ impl Component for FileServer {
             let req_port = format!("c{client}.req");
             let rsp_port = format!("c{client}.rsp");
             while let Some(frame) = io.recv(&req_port) {
-                let rsp = self.handle(client, &frame);
+                let rsp = self.handle_framed(client, &frame);
                 io.send(&rsp_port, &rsp);
             }
         }
@@ -307,6 +361,25 @@ pub mod request {
     /// Encodes `LIST`.
     pub fn list() -> Vec<u8> {
         MsgWriter::with_op(op::LIST).finish()
+    }
+
+    /// Wraps a request in an idempotent [`op::TAGGED`] envelope.
+    pub fn tagged(id: u64, inner: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(9 + inner.len());
+        out.push(op::TAGGED);
+        out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(inner);
+        out
+    }
+
+    /// Splits a [`op::TAGGED`] envelope (request or response) into the id
+    /// and the inner frame.
+    pub fn untag(frame: &[u8]) -> Option<(u64, &[u8])> {
+        if frame.len() < 9 || frame[0] != op::TAGGED {
+            return None;
+        }
+        let id = u64::from_le_bytes(frame[1..9].try_into().ok()?);
+        Some((id, &frame[9..]))
     }
 
     /// Decodes a response's status byte and payload.
@@ -518,5 +591,101 @@ mod tests {
             one_round(&mut fs, 0, request::create("x", unclass())).0,
             Status::Full
         );
+    }
+
+    #[test]
+    fn tagged_duplicate_replays_without_reexecuting() {
+        let mut fs = server().with_dedup_window(8);
+        let req = request::tagged(42, &request::create("once", unclass()));
+        let mut io = TestIo::new();
+        io.push("c0.req", &req);
+        io.push("c0.req", &req); // a client retry of the same id
+        io.run(&mut fs, 1);
+        let rsps = io.take_sent("c0.rsp");
+        assert_eq!(rsps.len(), 2, "every copy gets a response");
+        assert_eq!(rsps[0], rsps[1], "the duplicate is the cached response");
+        let (id, inner) = request::untag(&rsps[0]).expect("tagged response");
+        assert_eq!(id, 42);
+        assert_eq!(request::decode(inner).0, Status::Ok);
+        // Executed once: one file, one serve, one replay — no Full error
+        // from a re-executed create.
+        assert_eq!(fs.file_count(), 1);
+        assert_eq!(fs.requests_served, 1);
+        assert_eq!(fs.duplicates_replayed, 1);
+    }
+
+    #[test]
+    fn tagged_append_duplicate_commits_once() {
+        let mut fs = server().with_dedup_window(8);
+        one_round(&mut fs, 0, request::create("log", unclass()));
+        let req = request::tagged(7, &request::append("log", unclass(), b"entry"));
+        let mut io = TestIo::new();
+        io.push("c0.req", &req);
+        io.push("c0.req", &req);
+        io.push("c0.req", &req);
+        io.run(&mut fs, 1);
+        assert_eq!(
+            fs.host_file("log", unclass()).unwrap(),
+            b"entry",
+            "a retried append must not double-commit"
+        );
+        assert_eq!(fs.duplicates_replayed, 2);
+    }
+
+    #[test]
+    fn dedup_window_is_bounded_fifo() {
+        let mut fs = server().with_dedup_window(2);
+        let mut io = TestIo::new();
+        for id in 0..3u64 {
+            let name = format!("f{id}");
+            io.push(
+                "c0.req",
+                &request::tagged(id, &request::create(&name, unclass())),
+            );
+        }
+        io.run(&mut fs, 1);
+        // Id 0 has been evicted (window 2): a late duplicate re-executes
+        // and sees the honest Full error instead of the cached Ok.
+        io.push(
+            "c0.req",
+            &request::tagged(0, &request::create("f0", unclass())),
+        );
+        io.run(&mut fs, 1);
+        let rsps = io.take_sent("c0.rsp");
+        let (_, inner) = request::untag(rsps.last().unwrap()).unwrap();
+        assert_eq!(request::decode(inner).0, Status::Full);
+        assert_eq!(fs.duplicates_replayed, 0);
+    }
+
+    #[test]
+    fn tagged_without_dedup_window_executes_every_copy() {
+        let mut fs = server();
+        let req = request::tagged(1, &request::create("x", unclass()));
+        let mut io = TestIo::new();
+        io.push("c0.req", &req);
+        io.push("c0.req", &req);
+        io.run(&mut fs, 1);
+        assert_eq!(fs.requests_served, 2, "no window, no dedup");
+        assert_eq!(fs.duplicates_replayed, 0);
+    }
+
+    #[test]
+    fn dedup_cache_is_per_client() {
+        // Client ids are independent spaces: the same id from two clients
+        // must not collide in the cache.
+        let mut fs = server().with_dedup_window(8);
+        let mut io = TestIo::new();
+        io.push(
+            "c0.req",
+            &request::tagged(9, &request::create("a", unclass())),
+        );
+        io.push(
+            "c1.req",
+            &request::tagged(9, &request::create("b", secret())),
+        );
+        io.run(&mut fs, 1);
+        assert_eq!(fs.requests_served, 2);
+        assert_eq!(fs.duplicates_replayed, 0);
+        assert_eq!(fs.file_count(), 2);
     }
 }

@@ -26,5 +26,5 @@ pub mod wire;
 
 pub use network::{Network, NodeId};
 pub use node::{Node, NodeIo, SendError};
-pub use retx::{RetxReceiver, RetxSender};
+pub use retx::{RetxReceiver, RetxSender, GIVE_UP_ATTEMPTS, MAX_BACKOFF_SHIFT};
 pub use wire::{crc16, deframe, frame, Wire, WireOverflow};

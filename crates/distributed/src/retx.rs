@@ -1,4 +1,4 @@
-//! Ack/retransmit protocol for lossy wires.
+//! Ack/retransmit protocol for lossy wires, with crash-recovery epochs.
 //!
 //! A [`RetxSender`] and [`RetxReceiver`] pair turn a wire that drops,
 //! duplicates, corrupts, and reorders frames into a reliable in-order
@@ -12,11 +12,47 @@
 //!   out-of-order arrivals, and releases payloads strictly in order;
 //! * the sender keeps a window of unacked frames and retransmits each when
 //!   its timeout expires, doubling the timeout per attempt (exponential
-//!   backoff in rounds) so a congested or dead link is not flooded.
+//!   backoff in rounds, the shift capped at [`MAX_BACKOFF_SHIFT`]) so a
+//!   congested or dead link is not flooded.
 //!
 //! Sequence numbers wrap; ordering comparisons use the usual serial-number
 //! arithmetic, sound while fewer than 2^15 frames are in flight — the
 //! window is bounded far below that.
+//!
+//! # Epochs and reboot
+//!
+//! A selective-repeat ARQ is only sound while both endpoints remember the
+//! conversation. A rebooted endpoint restarts its sequence space at zero,
+//! and without further protection a stale frame or ack from *before* the
+//! reboot could be mistaken for a fresh one — a replayed delivery or a
+//! mis-ack. The protocol closes this with two epoch bytes:
+//!
+//! * every receiver has a **boot epoch** — a counter bumped on each reboot
+//!   (the one word an endpoint keeps in non-volatile storage, the same
+//!   trick as clock-derived TCP initial sequence numbers). Data frames
+//!   carry the boot epoch the sender believes; a mismatch means the frame
+//!   predates the receiver's current incarnation, so it is dropped unacked
+//!   and answered with a [`FRAME_RESYNC`] advertising the true boot epoch;
+//! * every sender stamps frames with a **session epoch**, bumped every
+//!   time the sender restarts its sequence space (its own reboot, or a
+//!   resync forced by the receiver's). Acks echo the session epoch; an ack
+//!   from a previous session is counted and dropped, never matched against
+//!   the new session's in-flight frames.
+//!
+//! On resync the sender re-queues everything in flight at the front of the
+//! queue, in order: the new receiver incarnation has lost all prior state,
+//! so redelivery is exactly what the application needs — end-to-end
+//! duplicate suppression is the business of the layer above (request IDs),
+//! not the link. Epochs use the same serial-number arithmetic as sequence
+//! numbers, sound while fewer than 128 reboots happen within one frame's
+//! lifetime on the wire.
+//!
+//! A sender whose peer has gone silent backs off until some frame has
+//! climbed [`GIVE_UP_ATTEMPTS`] rungs of the retransmit ladder (whether or
+//! not the wire accepted each attempt — a dead peer's wire fills up and
+//! stays full), then reports [`RetxSender::peer_down`] —
+//! a *level*, not an edge: it clears on the first ack or resync, so a
+//! recovered peer turns the light off by itself.
 
 use crate::node::NodeIo;
 use crate::wire::{deframe, frame};
@@ -26,27 +62,54 @@ use std::collections::{BTreeMap, VecDeque};
 pub const FRAME_DATA: u8 = 0;
 /// Frame kind byte: acknowledgement.
 pub const FRAME_ACK: u8 = 1;
+/// Frame kind byte: epoch resync (receiver advertises its boot epoch).
+pub const FRAME_RESYNC: u8 = 2;
+
+/// Cap on the exponential-backoff shift: the retransmit interval saturates
+/// at `timeout << MAX_BACKOFF_SHIFT` rounds so a long-dead peer can never
+/// push the shift toward overflow.
+pub const MAX_BACKOFF_SHIFT: u32 = 5;
+
+/// Backoff-ladder rungs a single frame climbs before the sender reports
+/// [`RetxSender::peer_down`].
+pub const GIVE_UP_ATTEMPTS: u32 = 8;
 
 /// Serial-number comparison: true when `a` precedes `b` modulo 2^16.
 fn seq_before(a: u16, b: u16) -> bool {
     a != b && b.wrapping_sub(a) < 0x8000
 }
 
-/// Builds a data frame: kind, little-endian sequence number, payload, CRC.
-fn data_frame(seq: u16, payload: &[u8]) -> Vec<u8> {
-    let mut inner = Vec::with_capacity(3 + payload.len());
+/// Serial-number comparison for epoch bytes: true when `a` precedes `b`
+/// modulo 2^8.
+fn epoch_before(a: u8, b: u8) -> bool {
+    a != b && b.wrapping_sub(a) < 0x80
+}
+
+/// Builds a data frame: kind, session epoch, receiver boot epoch,
+/// little-endian sequence number, payload, CRC.
+fn data_frame(session: u8, rx_epoch: u8, seq: u16, payload: &[u8]) -> Vec<u8> {
+    let mut inner = Vec::with_capacity(5 + payload.len());
     inner.push(FRAME_DATA);
+    inner.push(session);
+    inner.push(rx_epoch);
     inner.extend_from_slice(&seq.to_le_bytes());
     inner.extend_from_slice(payload);
     frame(&inner)
 }
 
-/// Builds an ack frame: kind, little-endian sequence number, CRC.
-fn ack_frame(seq: u16) -> Vec<u8> {
-    let mut inner = Vec::with_capacity(3);
+/// Builds an ack frame: kind, session epoch, little-endian sequence
+/// number, CRC.
+fn ack_frame(session: u8, seq: u16) -> Vec<u8> {
+    let mut inner = Vec::with_capacity(4);
     inner.push(FRAME_ACK);
+    inner.push(session);
     inner.extend_from_slice(&seq.to_le_bytes());
     frame(&inner)
+}
+
+/// Builds a resync frame: kind, receiver boot epoch, CRC.
+fn resync_frame(boot_epoch: u8) -> Vec<u8> {
+    frame(&[FRAME_RESYNC, boot_epoch])
 }
 
 #[derive(Debug, Clone)]
@@ -57,11 +120,13 @@ struct Pending {
 }
 
 /// The sending half: a bounded window of unacked frames with timeout-driven
-/// retransmission and exponential backoff.
+/// retransmission, exponential backoff, and epoch resync.
 #[derive(Debug, Clone)]
 pub struct RetxSender {
     window: usize,
     timeout: u64,
+    epoch: u8,
+    rx_epoch: u8,
     next_seq: u16,
     inflight: BTreeMap<u16, Pending>,
     queue: VecDeque<Vec<u8>>,
@@ -69,23 +134,43 @@ pub struct RetxSender {
     pub retransmissions: u64,
     /// Frames acknowledged.
     pub acked: u64,
+    /// Acks from a previous session epoch, counted and dropped.
+    pub stale_acks_dropped: u64,
+    /// Session restarts forced by a receiver resync.
+    pub resyncs: u64,
 }
 
 impl RetxSender {
     /// A sender with the given window (max unacked frames) and base
-    /// retransmit timeout in rounds.
+    /// retransmit timeout in rounds, starting at session epoch 0.
     pub fn new(window: usize, timeout: u64) -> RetxSender {
+        RetxSender::with_epoch(window, timeout, 0)
+    }
+
+    /// A sender starting at the given session epoch — the value a rebooted
+    /// node reads from its non-volatile boot counter. The receiver's boot
+    /// epoch is volatile and relearned via resync (assumed 0 until told).
+    pub fn with_epoch(window: usize, timeout: u64, epoch: u8) -> RetxSender {
         assert!(window > 0, "retx window must be positive");
         assert!(timeout > 0, "retx timeout must be at least one round");
         RetxSender {
             window,
             timeout,
+            epoch,
+            rx_epoch: 0,
             next_seq: 0,
             inflight: BTreeMap::new(),
             queue: VecDeque::new(),
             retransmissions: 0,
             acked: 0,
+            stale_acks_dropped: 0,
+            resyncs: 0,
         }
+    }
+
+    /// The current session epoch stamped on outgoing frames.
+    pub fn epoch(&self) -> u8 {
+        self.epoch
     }
 
     /// Queues a payload for reliable delivery.
@@ -98,28 +183,72 @@ impl RetxSender {
         self.queue.len() + self.inflight.len()
     }
 
-    /// One round of protocol work: drain acks from `ack_port`, retransmit
-    /// expired frames on `data_port`, then fill the window from the queue.
+    /// True while some frame has been retransmitted [`GIVE_UP_ATTEMPTS`]
+    /// times without an ack. A level, not a latch: the first ack or resync
+    /// from a recovered peer clears it.
+    pub fn peer_down(&self) -> bool {
+        self.inflight
+            .values()
+            .any(|p| p.attempts >= GIVE_UP_ATTEMPTS)
+    }
+
+    /// Restarts the session: bump the epoch, return every in-flight
+    /// payload to the front of the queue in sequence order, and reset the
+    /// sequence space. The bumped epoch makes every outstanding ack stale.
+    fn restart_session(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        let inflight = std::mem::take(&mut self.inflight);
+        for (_, p) in inflight.into_iter().rev() {
+            self.queue.push_front(p.payload);
+        }
+        self.next_seq = 0;
+        self.resyncs += 1;
+    }
+
+    /// One round of protocol work: drain acks and resyncs from `ack_port`,
+    /// retransmit expired frames on `data_port`, then fill the window from
+    /// the queue.
     pub fn poll(&mut self, io: &mut dyn NodeIo, data_port: &str, ack_port: &str) {
-        // 1. Acks. A corrupt ack fails the CRC and is ignored; the data
-        //    frame it covered simply retransmits later.
+        // 1. Acks and resyncs. A corrupt frame fails the CRC and is
+        //    ignored; the data frame it covered simply retransmits later.
         while let Some(raw) = io.recv(ack_port) {
             let Some(inner) = deframe(&raw) else { continue };
-            if inner.len() != 3 || inner[0] != FRAME_ACK {
-                continue;
-            }
-            let seq = u16::from_le_bytes([inner[1], inner[2]]);
-            if self.inflight.remove(&seq).is_some() {
-                self.acked += 1;
+            match inner.first() {
+                Some(&FRAME_ACK) if inner.len() == 4 => {
+                    if inner[1] != self.epoch {
+                        // An ack from a previous session: the frame it
+                        // covers no longer exists. Matching it against the
+                        // new session's sequence space would mis-ack.
+                        self.stale_acks_dropped += 1;
+                        continue;
+                    }
+                    let seq = u16::from_le_bytes([inner[2], inner[3]]);
+                    if self.inflight.remove(&seq).is_some() {
+                        self.acked += 1;
+                    }
+                }
+                // The receiver rebooted: adopt its new boot epoch and
+                // restart the session. Duplicate or stale resyncs (the
+                // wire reorders) compare as not-newer and are ignored.
+                Some(&FRAME_RESYNC)
+                    if inner.len() == 2 && epoch_before(self.rx_epoch, inner[1]) =>
+                {
+                    self.rx_epoch = inner[1];
+                    self.restart_session();
+                }
+                _ => {}
             }
         }
         let now = io.round();
-        // 2. Retransmissions. Timeout doubles per attempt (capped so the
-        //    shift cannot overflow); a full wire just waits for next round.
+        // 2. Retransmissions. Timeout doubles per attempt, the shift
+        //    saturating at MAX_BACKOFF_SHIFT so the slot arithmetic cannot
+        //    overflow however long the peer stays dead.
         let expired: Vec<u16> = self
             .inflight
             .iter()
-            .filter(|(_, p)| now >= p.last_sent + (self.timeout << p.attempts.min(5)))
+            .filter(|(_, p)| {
+                now >= p.last_sent + (self.timeout << p.attempts.min(MAX_BACKOFF_SHIFT))
+            })
             .map(|(&seq, _)| seq)
             .collect();
         for seq in expired {
@@ -128,13 +257,17 @@ impl RetxSender {
             let Some(p) = self.inflight.get_mut(&seq) else {
                 continue;
             };
-            let f = data_frame(seq, &p.payload);
+            let f = data_frame(self.epoch, self.rx_epoch, seq, &p.payload);
+            // The backoff ladder advances whether or not the wire accepts
+            // the frame: a dead peer's wire fills up and stays full, and
+            // the give-up level must still be reached. Only an actual
+            // transmission counts as a retransmission.
             if io.send(data_port, f).is_ok() {
-                p.last_sent = now;
-                p.attempts += 1;
                 self.retransmissions += 1;
                 io.note_retransmit(seq);
             }
+            p.last_sent = now;
+            p.attempts = p.attempts.saturating_add(1);
         }
         // 3. New transmissions, up to the window.
         while self.inflight.len() < self.window {
@@ -142,7 +275,8 @@ impl RetxSender {
                 break;
             };
             let seq = self.next_seq;
-            if io.send(data_port, data_frame(seq, &payload)).is_err() {
+            let f = data_frame(self.epoch, self.rx_epoch, seq, &payload);
+            if io.send(data_port, f).is_err() {
                 // Wire full: put it back and try next round.
                 self.queue.push_front(payload);
                 break;
@@ -160,9 +294,12 @@ impl RetxSender {
     }
 }
 
-/// The receiving half: CRC guard, duplicate suppression, in-order release.
+/// The receiving half: CRC guard, epoch guard, duplicate suppression,
+/// in-order release.
 #[derive(Debug, Clone)]
 pub struct RetxReceiver {
+    boot_epoch: u8,
+    session: Option<u8>,
     expected: u16,
     buffer: BTreeMap<u16, Vec<u8>>,
     /// Frames rejected by the CRC or malformed past it. Never delivered —
@@ -170,25 +307,48 @@ pub struct RetxReceiver {
     pub corrupt_rejected: u64,
     /// Valid frames ignored as duplicates (still acked).
     pub duplicates_ignored: u64,
+    /// Frames from a stale epoch (a pre-reboot straggler or a superseded
+    /// session), dropped unacked.
+    pub stale_epoch_dropped: u64,
+    /// Session adoptions after the first (the sender restarted).
+    pub resyncs: u64,
     /// Payloads released to the application, in order.
     pub delivered: u64,
 }
 
 impl RetxReceiver {
-    /// A receiver expecting sequence 0 first.
+    /// A receiver at boot epoch 0, expecting sequence 0 first.
     pub fn new() -> RetxReceiver {
+        RetxReceiver::with_epoch(0)
+    }
+
+    /// A receiver at the given boot epoch — the value a rebooted node
+    /// reads from its non-volatile boot counter. Until the sender learns
+    /// this epoch (via resync) its frames are dropped as stale.
+    pub fn with_epoch(boot_epoch: u8) -> RetxReceiver {
         RetxReceiver {
+            boot_epoch,
+            session: None,
             expected: 0,
             buffer: BTreeMap::new(),
             corrupt_rejected: 0,
             duplicates_ignored: 0,
+            stale_epoch_dropped: 0,
+            resyncs: 0,
             delivered: 0,
         }
     }
 
+    /// The receiver's own boot epoch.
+    pub fn epoch(&self) -> u8 {
+        self.boot_epoch
+    }
+
     /// One round of protocol work: drain `data_port`, ack every valid
-    /// frame on `ack_port`, and return the in-order payload run.
+    /// current-epoch frame on `ack_port` (answering stale-epoch frames
+    /// with a single resync instead), and return the in-order payload run.
     pub fn poll(&mut self, io: &mut dyn NodeIo, data_port: &str, ack_port: &str) -> Vec<Vec<u8>> {
+        let mut resync_wanted = false;
         while let Some(raw) = io.recv(data_port) {
             // The CRC guard: damaged frames die here, unacked, before any
             // of their bytes are believed.
@@ -196,20 +356,52 @@ impl RetxReceiver {
                 self.corrupt_rejected += 1;
                 continue;
             };
-            if inner.len() < 3 || inner[0] != FRAME_DATA {
+            if inner.len() < 5 || inner[0] != FRAME_DATA {
                 self.corrupt_rejected += 1;
                 continue;
             }
-            let seq = u16::from_le_bytes([inner[1], inner[2]]);
-            let payload = inner[3..].to_vec();
+            let session = inner[1];
+            if inner[2] != self.boot_epoch {
+                // The sender believes a receiver incarnation that no
+                // longer exists (or never did). Never ack — an ack would
+                // be mistaken for one covering the *new* sequence space.
+                // Advertise the true boot epoch instead.
+                self.stale_epoch_dropped += 1;
+                resync_wanted = true;
+                continue;
+            }
+            match self.session {
+                None => self.session = Some(session),
+                Some(cur) if session == cur => {}
+                Some(cur) if epoch_before(cur, session) => {
+                    // The sender restarted its sequence space: drop the
+                    // old session's buffered fragments and start over.
+                    self.buffer.clear();
+                    self.expected = 0;
+                    self.session = Some(session);
+                    self.resyncs += 1;
+                }
+                Some(_) => {
+                    // A straggler from a superseded session.
+                    self.stale_epoch_dropped += 1;
+                    continue;
+                }
+            }
+            let seq = u16::from_le_bytes([inner[3], inner[4]]);
+            let payload = inner[5..].to_vec();
             // Ack even duplicates: the earlier ack may be the thing that
             // was lost. A full ack wire is fine — the data retransmits.
-            let _ = io.send(ack_port, ack_frame(seq));
+            let _ = io.send(ack_port, ack_frame(session, seq));
             if seq_before(seq, self.expected) || self.buffer.contains_key(&seq) {
                 self.duplicates_ignored += 1;
                 continue;
             }
             self.buffer.insert(seq, payload);
+        }
+        if resync_wanted {
+            // One resync per poll is enough: the sender's retransmissions
+            // re-trigger it next round if this frame is lost.
+            let _ = io.send(ack_port, resync_frame(self.boot_epoch));
         }
         let mut out = Vec::new();
         while let Some(payload) = self.buffer.remove(&self.expected) {
@@ -402,6 +594,30 @@ mod tests {
         assert!(seq_before(5, 6));
     }
 
+    #[test]
+    fn epoch_comparison_wraps() {
+        assert!(epoch_before(0xFF, 0));
+        assert!(epoch_before(0, 1));
+        assert!(!epoch_before(1, 0));
+        assert!(!epoch_before(3, 3));
+        assert!(epoch_before(0x80, 0x81));
+        assert!(!epoch_before(0, 0x80 + 1));
+    }
+
+    #[test]
+    fn one_resync_per_poll_regardless_of_stale_frame_count() {
+        let mut io = PortIo::default();
+        let mut rx = RetxReceiver::with_epoch(2);
+        for seq in 0..5u16 {
+            io.stage("data", data_frame(0, 0, seq, b"x"));
+        }
+        let out = rx.poll(&mut io, "data", "ack");
+        assert!(out.is_empty());
+        assert_eq!(rx.stale_epoch_dropped, 5);
+        assert_eq!(io.resyncs_sent(), vec![2], "one resync with the boot epoch");
+        assert!(io.acks_sent().is_empty(), "stale frames are never acked");
+    }
+
     /// A scripted [`NodeIo`] for protocol edge cases: incoming frames are
     /// staged per port, outgoing frames and retransmit notes are recorded.
     #[derive(Default)]
@@ -425,8 +641,35 @@ mod tests {
                 .iter()
                 .filter(|(port, _)| port == "ack")
                 .filter_map(|(_, raw)| deframe(raw))
-                .filter(|inner| inner.len() == 3 && inner[0] == FRAME_ACK)
-                .map(|inner| u16::from_le_bytes([inner[1], inner[2]]))
+                .filter(|inner| inner.len() == 4 && inner[0] == FRAME_ACK)
+                .map(|inner| u16::from_le_bytes([inner[2], inner[3]]))
+                .collect()
+        }
+
+        fn resyncs_sent(&self) -> Vec<u8> {
+            self.sent
+                .iter()
+                .filter(|(port, _)| port == "ack")
+                .filter_map(|(_, raw)| deframe(raw))
+                .filter(|inner| inner.len() == 2 && inner[0] == FRAME_RESYNC)
+                .map(|inner| inner[1])
+                .collect()
+        }
+
+        fn data_sent(&self) -> Vec<(u8, u8, u16, Vec<u8>)> {
+            self.sent
+                .iter()
+                .filter(|(port, _)| port == "data")
+                .filter_map(|(_, raw)| deframe(raw))
+                .filter(|inner| inner.len() >= 5 && inner[0] == FRAME_DATA)
+                .map(|inner| {
+                    (
+                        inner[1],
+                        inner[2],
+                        u16::from_le_bytes([inner[3], inner[4]]),
+                        inner[5..].to_vec(),
+                    )
+                })
                 .collect()
         }
     }
@@ -454,9 +697,9 @@ mod tests {
         // release each payload exactly once, in order, while still acking
         // all three arrivals (an earlier ack may be what was lost).
         let mut io = PortIo::default();
-        io.stage("data", data_frame(1, b"one"));
-        io.stage("data", data_frame(0, b"zero"));
-        io.stage("data", data_frame(0, b"zero"));
+        io.stage("data", data_frame(0, 0, 1, b"one"));
+        io.stage("data", data_frame(0, 0, 0, b"zero"));
+        io.stage("data", data_frame(0, 0, 0, b"zero"));
         let mut rx = RetxReceiver::new();
         let out = rx.poll(&mut io, "data", "ack");
         assert_eq!(out, vec![b"zero".to_vec(), b"one".to_vec()]);
@@ -465,7 +708,7 @@ mod tests {
         assert_eq!(io.acks_sent(), vec![1, 0, 0]);
         // A straggler copy of an already-released frame is also ignored —
         // `seq_before` catches it even though the buffer has moved on.
-        io.stage("data", data_frame(1, b"one"));
+        io.stage("data", data_frame(0, 0, 1, b"one"));
         assert!(rx.poll(&mut io, "data", "ack").is_empty());
         assert_eq!(rx.delivered, 2);
         assert_eq!(rx.duplicates_ignored, 2);
@@ -484,9 +727,9 @@ mod tests {
         tx.poll(&mut io, "data", "ack");
         assert_eq!(tx.pending(), 2);
         io.now = 10;
-        io.stage("ack", ack_frame(1));
-        io.stage("ack", ack_frame(0));
-        io.stage("ack", ack_frame(0));
+        io.stage("ack", ack_frame(0, 1));
+        io.stage("ack", ack_frame(0, 0));
+        io.stage("ack", ack_frame(0, 0));
         tx.poll(&mut io, "data", "ack");
         assert_eq!(tx.acked, 2);
         assert_eq!(tx.pending(), 0);
@@ -511,6 +754,197 @@ mod tests {
         tx.poll(&mut io, "data", "ack");
         assert_eq!(tx.retransmissions, 2);
         assert_eq!(io.retx_notes, vec![0, 0]);
+    }
+
+    #[test]
+    fn backoff_shift_saturates_at_the_cap() {
+        // Drive one frame through more attempts than MAX_BACKOFF_SHIFT and
+        // pin the interval sequence: it doubles up to timeout << cap, then
+        // stays flat. With timeout=1 the expected gaps between resends are
+        // 1, 2, 4, 8, 16, 32, 32, 32, ... — an uncapped shift would keep
+        // doubling (and overflow u64 after attempt 63).
+        let mut io = PortIo::default();
+        let mut tx = RetxSender::new(1, 1);
+        tx.enqueue(b"x".to_vec());
+        tx.poll(&mut io, "data", "ack"); // fresh send at round 0
+        let mut resend_rounds = Vec::new();
+        let mut now = 0u64;
+        while resend_rounds.len() < GIVE_UP_ATTEMPTS as usize + 2 {
+            now += 1;
+            io.now = now;
+            let before = tx.retransmissions;
+            tx.poll(&mut io, "data", "ack");
+            if tx.retransmissions > before {
+                resend_rounds.push(now);
+            }
+            assert!(now < 10_000, "backoff ran away");
+        }
+        let gaps: Vec<u64> = resend_rounds.windows(2).map(|w| w[1] - w[0]).collect();
+        let capped = 1u64 << MAX_BACKOFF_SHIFT;
+        assert_eq!(resend_rounds[0], 1, "first resend after the base timeout");
+        assert_eq!(
+            gaps,
+            vec![2, 4, 8, 16, capped, capped, capped, capped, capped],
+            "shift must saturate exactly at MAX_BACKOFF_SHIFT"
+        );
+        // And the give-up level is now lit...
+        assert!(tx.peer_down(), "peer silent past GIVE_UP_ATTEMPTS resends");
+        // ...until a single ack clears it.
+        io.stage("ack", ack_frame(tx.epoch(), 0));
+        tx.poll(&mut io, "data", "ack");
+        assert!(!tx.peer_down(), "an ack clears the peer-down level");
+    }
+
+    #[test]
+    fn receiver_reboot_forces_resync_and_fresh_session() {
+        // Sender mid-stream at session 0; the receiver reboots to boot
+        // epoch 1. Stale frames are dropped unacked and answered with a
+        // resync; the sender restarts the session and redelivers from
+        // sequence 0 at session 1.
+        let mut io = PortIo::default();
+        let mut tx = RetxSender::new(4, 2);
+        tx.enqueue(b"a".to_vec());
+        tx.enqueue(b"b".to_vec());
+        tx.poll(&mut io, "data", "ack"); // seq 0,1 in flight at epoch (0,0)
+
+        // The rebooted receiver sees the in-flight frames: all stale.
+        let mut rx = RetxReceiver::with_epoch(1);
+        for (_, raw) in io.sent.clone() {
+            io.stage("rx_data", raw);
+        }
+        let out = rx.poll(&mut io, "rx_data", "rx_ack");
+        assert!(out.is_empty(), "stale frames must not be delivered");
+        assert_eq!(rx.stale_epoch_dropped, 2);
+        let resyncs: Vec<Vec<u8>> = io
+            .sent
+            .iter()
+            .filter(|(p, _)| p == "rx_ack")
+            .map(|(_, raw)| raw.clone())
+            .collect();
+        assert_eq!(resyncs.len(), 1, "exactly one resync per poll");
+
+        // The sender adopts the new boot epoch: session bumps, both
+        // payloads requeue in order, sequence space restarts.
+        io.stage("ack", resyncs[0].clone());
+        io.sent.clear();
+        io.now = 1;
+        tx.poll(&mut io, "data", "ack");
+        assert_eq!(tx.resyncs, 1);
+        assert_eq!(tx.epoch(), 1);
+        let sent = io.data_sent();
+        assert_eq!(
+            sent,
+            vec![(1, 1, 0, b"a".to_vec()), (1, 1, 1, b"b".to_vec()),],
+            "redelivery restarts at seq 0, session 1, rx epoch 1"
+        );
+
+        // The new receiver incarnation accepts the fresh session.
+        for (p, raw) in io.sent.clone() {
+            if p == "data" {
+                io.stage("rx_data", raw);
+            }
+        }
+        let out = rx.poll(&mut io, "rx_data", "rx_ack");
+        assert_eq!(out, vec![b"a".to_vec(), b"b".to_vec()]);
+    }
+
+    #[test]
+    fn sender_reboot_is_adopted_and_stale_acks_dropped() {
+        // A receiver that accepted session 0 up to seq 2 meets a rebooted
+        // sender at session 1: it must reset its sequence space and accept
+        // the new stream from seq 0 — and the old session's acks must not
+        // be believed by the new sender.
+        let mut io = PortIo::default();
+        let mut rx = RetxReceiver::new();
+        io.stage("data", data_frame(0, 0, 0, b"old0"));
+        io.stage("data", data_frame(0, 0, 1, b"old1"));
+        let out = rx.poll(&mut io, "data", "ack");
+        assert_eq!(out, vec![b"old0".to_vec(), b"old1".to_vec()]);
+
+        // The sender reboots: its boot counter gives session epoch 1.
+        let mut tx = RetxSender::with_epoch(4, 2, 1);
+        // Stale acks from the old incarnation arrive first.
+        io.stage("tx_ack", ack_frame(0, 0));
+        io.stage("tx_ack", ack_frame(0, 1));
+        tx.enqueue(b"new0".to_vec());
+        tx.poll(&mut io, "tx_data", "tx_ack");
+        assert_eq!(tx.stale_acks_dropped, 2);
+        assert_eq!(tx.pending(), 1, "stale acks must not clear new frames");
+
+        // The receiver adopts the newer session and delivers from seq 0.
+        io.stage("data", data_frame(1, 0, 0, b"new0"));
+        let out = rx.poll(&mut io, "data", "ack");
+        assert_eq!(out, vec![b"new0".to_vec()]);
+        assert_eq!(rx.resyncs, 1);
+        // A straggler from the superseded session is dropped, unacked.
+        let acks_before = io.acks_sent().len();
+        io.stage("data", data_frame(0, 0, 2, b"old2"));
+        assert!(rx.poll(&mut io, "data", "ack").is_empty());
+        assert_eq!(rx.stale_epoch_dropped, 1);
+        assert_eq!(io.acks_sent().len(), acks_before, "stale frames unacked");
+    }
+
+    #[test]
+    fn full_reboot_cycle_over_a_lossy_wire_stays_in_order() {
+        // End-to-end over real wires: stream 20 payloads, "reboot" the
+        // receiver mid-stream (epoch bump, fresh state), and check the
+        // tail of the stream still arrives in order at the new
+        // incarnation, with the sender's peer-down level cleared.
+        let got = Arc::new(Mutex::new(Vec::new()));
+        struct RebootingSink {
+            rx: RetxReceiver,
+            got: Arc<Mutex<Vec<Vec<u8>>>>,
+            reboot_at: u64,
+            rebooted: bool,
+        }
+        impl Node for RebootingSink {
+            fn name(&self) -> &str {
+                "sink"
+            }
+            fn step(&mut self, io: &mut dyn NodeIo) {
+                if !self.rebooted && io.round() >= self.reboot_at {
+                    let epoch = self.rx.epoch().wrapping_add(1);
+                    self.rx = RetxReceiver::with_epoch(epoch);
+                    self.rebooted = true;
+                }
+                let msgs = self.rx.poll(io, "data", "ack");
+                self.got.lock().unwrap().extend(msgs);
+            }
+        }
+        let mut net = Network::new();
+        let src = net.add_node(Box::new(Source {
+            tx: RetxSender::new(4, 2),
+            fed: 0,
+            count: 20,
+        }));
+        let dst = net.add_node(Box::new(RebootingSink {
+            rx: RetxReceiver::new(),
+            got: Arc::clone(&got),
+            reboot_at: 10,
+            rebooted: false,
+        }));
+        net.connect_lossy(
+            src,
+            "data",
+            dst,
+            "data",
+            16,
+            1,
+            LossModel::new(0xB007).with_drop(100),
+        );
+        net.connect(dst, "ack", src, "ack", 16, 1);
+        net.run(400);
+        let delivered = got.lock().unwrap().clone();
+        // The new incarnation re-receives whatever was unacked at reboot
+        // time, then the rest — strictly in order with no gaps from the
+        // resync point on. The full expected stream is a prefix delivered
+        // to the old incarnation, then a suffix (with overlap) to the new.
+        let all = expected(20);
+        assert_eq!(
+            delivered.last(),
+            Some(&all[19]),
+            "tail of the stream must reach the new incarnation"
+        );
     }
 
     /// A [`Source`] that mirrors its sender counters into a shared cell so

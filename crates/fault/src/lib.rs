@@ -15,13 +15,18 @@
 //! * [`plan`] — [`plan::FaultPlan`]: a schedule of kernel-side faults
 //!   (memory bit-flips inside a regime's partition, spurious or dropped
 //!   interrupts, serial line errors, outright regime faults).
+//! * [`outage`] — [`outage::OutagePlan`]: whole-node crash/recover
+//!   schedules (the node loses all volatile state and reboots from its
+//!   boot image at the recover round).
 //! * [`loss`] — [`loss::LossModel`]: per-link wire misbehaviour
 //!   (drop/duplicate/reorder/corrupt) expressed in per-mille rates.
 
 #![forbid(unsafe_code)]
 
 pub mod loss;
+pub mod outage;
 pub mod plan;
 
 pub use loss::{LossModel, WireFault};
+pub use outage::{Outage, OutagePlan};
 pub use plan::{FaultKind, FaultPlan, PlannedFault};

@@ -1,0 +1,195 @@
+//! Seeded schedules of whole-node outages (crash → reboot → recover).
+//!
+//! Where [`crate::plan::FaultPlan`] injects faults *inside* a running
+//! kernel, an [`OutagePlan`] takes the whole node down: at the crash round
+//! the node stops executing and loses all volatile state; at the recover
+//! round it reboots from its boot image. The fleet layer owns the reboot
+//! mechanics; this type owns the *when*, reproducible from a single seed.
+
+use sep_model::rng::SplitMix64;
+
+/// One scheduled outage: the node is down for every round in
+/// `[crash, recover)` and reboots at the start of `recover`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Outage {
+    /// First round the node is down.
+    pub crash: u64,
+    /// First round the node is back up (exclusive end of the outage).
+    pub recover: u64,
+}
+
+impl Outage {
+    /// Rounds the node spends down.
+    pub fn down_rounds(&self) -> u64 {
+        self.recover - self.crash
+    }
+}
+
+/// A reproducible schedule of non-overlapping outages, sorted by crash
+/// round.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OutagePlan {
+    seed: u64,
+    outages: Vec<Outage>,
+}
+
+impl OutagePlan {
+    /// An empty plan (the node never crashes).
+    pub fn none() -> OutagePlan {
+        OutagePlan::default()
+    }
+
+    /// A single outage: down for `down_rounds` starting at `crash`.
+    pub fn single(crash: u64, down_rounds: u64) -> OutagePlan {
+        let mut p = OutagePlan::none();
+        p.add(crash, down_rounds);
+        p
+    }
+
+    /// Adds one outage, keeping the schedule sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-length outage or one that overlaps or touches an
+    /// existing one (touching outages would merge the reboot round of the
+    /// first into the crash round of the second).
+    pub fn add(&mut self, crash: u64, down_rounds: u64) {
+        assert!(down_rounds > 0, "an outage must last at least one round");
+        let o = Outage {
+            crash,
+            recover: crash + down_rounds,
+        };
+        assert!(
+            self.outages
+                .iter()
+                .all(|e| o.recover < e.crash || e.recover < o.crash),
+            "outage [{}, {}) overlaps or touches an existing one",
+            o.crash,
+            o.recover
+        );
+        self.outages.push(o);
+        self.outages.sort_by_key(|o| o.crash);
+    }
+
+    /// Generates `count` non-overlapping outages over `[0, horizon)`,
+    /// reproducible from `seed`. The horizon is cut into `count` equal
+    /// slices; each slice gets one outage lasting between `min_down` and
+    /// `max_down` rounds (clamped to fit its slice, so outages can never
+    /// touch). Panics if a slice is too small to hold `min_down` plus one
+    /// up round on either side.
+    pub fn generate(
+        seed: u64,
+        horizon: u64,
+        count: usize,
+        min_down: u64,
+        max_down: u64,
+    ) -> OutagePlan {
+        assert!(count > 0, "outage plan needs at least one outage");
+        assert!(min_down > 0, "an outage must last at least one round");
+        assert!(min_down <= max_down, "min_down must not exceed max_down");
+        let slice = horizon / count as u64;
+        assert!(
+            slice >= min_down + 2,
+            "horizon too short for {count} outages of at least {min_down} rounds"
+        );
+        let mut rng = SplitMix64::new(seed);
+        let outages = (0..count as u64)
+            .map(|i| {
+                let lo = i * slice;
+                // Keep one up round at each end of the slice so adjacent
+                // outages never merge into one long one.
+                let down = min_down + rng.below((max_down - min_down + 1) as usize) as u64;
+                let down = down.min(slice - 2);
+                let crash = lo + 1 + rng.below((slice - down - 1) as usize) as u64;
+                Outage {
+                    crash,
+                    recover: crash + down,
+                }
+            })
+            .collect();
+        OutagePlan { seed, outages }
+    }
+
+    /// The seed this plan was generated from (recorded in reports).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// All scheduled outages, sorted by crash round.
+    pub fn outages(&self) -> &[Outage] {
+        &self.outages
+    }
+
+    /// True if no outage is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.outages.is_empty()
+    }
+
+    /// True while `round` falls inside an outage.
+    pub fn down_at(&self, round: u64) -> bool {
+        self.outages
+            .iter()
+            .any(|o| o.crash <= round && round < o.recover)
+    }
+
+    /// True exactly at the reboot round that closes an outage.
+    pub fn recovers_at(&self, round: u64) -> bool {
+        self.outages.iter().any(|o| o.recover == round)
+    }
+
+    /// Total down rounds over the whole schedule.
+    pub fn total_down(&self) -> u64 {
+        self.outages.iter().map(Outage::down_rounds).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = OutagePlan::generate(11, 1000, 4, 10, 50);
+        let b = OutagePlan::generate(11, 1000, 4, 10, 50);
+        assert_eq!(a, b);
+        let c = OutagePlan::generate(12, 1000, 4, 10, 50);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_outages_are_sorted_disjoint_and_bounded() {
+        let p = OutagePlan::generate(3, 800, 5, 5, 40);
+        assert_eq!(p.outages().len(), 5);
+        let mut last_recover = 0;
+        for o in p.outages() {
+            assert!(o.crash > last_recover || last_recover == 0);
+            assert!(o.crash >= last_recover, "outages overlap");
+            assert!(o.recover > o.crash);
+            assert!(o.down_rounds() >= 5);
+            assert!(o.down_rounds() <= 40);
+            assert!(o.recover < 800);
+            last_recover = o.recover;
+        }
+    }
+
+    #[test]
+    fn down_at_and_recovers_at_mark_the_half_open_interval() {
+        let p = OutagePlan::single(10, 3);
+        assert!(!p.down_at(9));
+        assert!(p.down_at(10));
+        assert!(p.down_at(12));
+        assert!(!p.down_at(13));
+        assert!(p.recovers_at(13));
+        assert!(!p.recovers_at(12));
+        assert_eq!(p.total_down(), 3);
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let p = OutagePlan::none();
+        assert!(p.is_empty());
+        assert!(!p.down_at(0));
+        assert!(!p.recovers_at(0));
+        assert_eq!(p.total_down(), 0);
+    }
+}

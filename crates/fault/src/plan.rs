@@ -177,4 +177,60 @@ mod tests {
         assert_eq!(p.remaining(), 0);
         assert!(p.due(u64::MAX).is_empty());
     }
+
+    /// A hand-built plan for the `next_due` boundary cases (batched
+    /// drivers slice `step_n` runs on this value).
+    fn plan_at(steps: &[u64]) -> FaultPlan {
+        let mut faults: Vec<PlannedFault> = steps
+            .iter()
+            .map(|&step| PlannedFault {
+                step,
+                regime: 0,
+                kind: FaultKind::SerialError,
+            })
+            .collect();
+        faults.sort_by_key(|f| f.step);
+        FaultPlan {
+            seed: 0,
+            faults,
+            cursor: 0,
+        }
+    }
+
+    #[test]
+    fn next_due_on_empty_plan_is_none() {
+        assert_eq!(FaultPlan::none().next_due(), None);
+    }
+
+    #[test]
+    fn next_due_at_step_zero_fires_before_any_batch() {
+        // A fault due at step 0 must be visible before the first step runs
+        // — a batched driver that asked for a fault-free stretch first
+        // would inject one step late.
+        let mut p = plan_at(&[0, 5]);
+        assert_eq!(p.next_due(), Some(0));
+        let drained = p.due(0);
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].step, 0);
+        assert_eq!(p.next_due(), Some(5));
+    }
+
+    #[test]
+    fn next_due_with_two_faults_in_one_slot_drains_both_at_once() {
+        // Two faults in the same slot: `next_due` reports the slot once,
+        // and one `due` call at that step must drain both — a driver that
+        // assumed one-fault-per-slot would re-run the batch boundary and
+        // double-apply.
+        let mut p = plan_at(&[3, 3, 7]);
+        assert_eq!(p.next_due(), Some(3));
+        let drained = p.due(3);
+        assert_eq!(drained.len(), 2);
+        assert!(drained.iter().all(|f| f.step == 3));
+        assert_eq!(p.next_due(), Some(7));
+        assert_eq!(p.remaining(), 1);
+        // Draining past the end leaves `next_due` empty for good.
+        assert_eq!(p.due(7).len(), 1);
+        assert_eq!(p.next_due(), None);
+        assert!(p.due(u64::MAX).is_empty());
+    }
 }

@@ -36,6 +36,10 @@ pub struct LoadTotals {
     pub errored: u64,
     /// Local sends refused by channel back-pressure.
     pub send_rejected: u64,
+    /// Timed-out requests retransmitted (same request id).
+    pub retried: u64,
+    /// Responses for ids no longer pending (late duplicates).
+    pub dup_responses: u64,
     /// Merged issue-to-response latency.
     pub hist: LatencyHistogram,
 }
@@ -314,9 +318,12 @@ impl Fleet {
         let gauges = &mut self.gauges;
         let gate_gauges = &mut self.gate_gauges;
         let rounds = &mut self.rounds;
-        self.net.run_with(n, &mut |_| {
+        self.net.run_with(n, &mut |completed| {
             *rounds += 1;
-            sample(nodes, gauges, gate_gauges);
+            // `completed` is the post-increment round counter, so the
+            // round just executed is `completed - 1` — what `silent` must
+            // be asked about.
+            sample(nodes, gauges, gate_gauges, completed - 1);
         });
     }
 
@@ -344,6 +351,8 @@ impl Fleet {
                 t.denied += lg.denied;
                 t.errored += lg.errored;
                 t.send_rejected += lg.send_rejected;
+                t.retried += lg.retried;
+                t.dup_responses += lg.dup_responses;
                 t.hist.merge(&lg.hist);
             }
         });
@@ -360,6 +369,34 @@ impl Fleet {
             }
         });
         (served, denials)
+    }
+
+    /// Total server-side duplicate replays across the fleet (retried
+    /// requests answered from the dedup cache instead of re-executed).
+    pub fn fs_duplicates_total(&mut self) -> u64 {
+        let mut dups = 0;
+        self.for_each_component(&mut |_, c| {
+            if let Some(fs) = c.as_any().downcast_mut::<FileServer>() {
+                dups += fs.duplicates_replayed;
+            }
+        });
+        dups
+    }
+
+    /// Total node reboots across the fleet.
+    pub fn reboots_total(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.lock().expect("fleet node lock").reboots)
+            .sum()
+    }
+
+    /// Total rounds spent down across the fleet.
+    pub fn downtime_total(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.lock().expect("fleet node lock").downtime_rounds)
+            .sum()
     }
 
     /// Advisories sitting in Guard review queues right now.
@@ -381,6 +418,7 @@ impl Fleet {
             .iter()
             .map(ChannelGauge::to_json)
             .collect();
+        let ttr: Vec<Json> = node.time_to_recover.iter().map(|&r| Json::Int(r)).collect();
         Json::obj()
             .field("name", self.names[i].as_str())
             .field("steps", node.kernel.stats.steps)
@@ -389,6 +427,12 @@ impl Fleet {
             .field("bytes_copied", node.kernel.stats.bytes_copied)
             .field("faults", totals.faults)
             .field("restarts", totals.restarts)
+            .field("reboots", node.reboots)
+            .field("downtime_rounds", node.downtime_rounds)
+            .field("time_to_recover", Json::Arr(ttr))
+            .field("resyncs", node.resyncs())
+            .field("stale_epochs", node.stale_epochs())
+            .field("peers_down", node.peers_down())
             .field("channels", Json::Arr(channels))
             .field("gateway", Json::Arr(gateway))
     }
@@ -438,6 +482,8 @@ impl Fleet {
             .field("denied", lt.denied)
             .field("errored", lt.errored)
             .field("send_rejected", lt.send_rejected)
+            .field("retried", lt.retried)
+            .field("dup_responses", lt.dup_responses)
             .field("goodput_milli", lt.completed * 1000 / rounds)
             .field("latency", lt.hist.to_json())
             .field("fs_requests_served", fs_served)
@@ -446,6 +492,8 @@ impl Fleet {
             .field("wire_messages", wt.wire_messages)
             .field("wire_bytes", wt.wire_bytes)
             .field("retransmissions", wt.retransmissions)
+            .field("reboots", self.reboots_total())
+            .field("downtime_rounds", self.downtime_total())
             .field("wires", self.wires_json())
             .field("node_detail", Json::Arr(nodes))
     }
@@ -458,9 +506,16 @@ fn sample(
     nodes: &[Arc<Mutex<KernelNode>>],
     gauges: &mut [Vec<ChannelGauge>],
     gate_gauges: &mut [Vec<ChannelGauge>],
+    round: u64,
 ) {
     for (i, shared) in nodes.iter().enumerate() {
         let node = shared.lock().expect("fleet node lock");
+        if node.silent(round) {
+            // A dead or mid-outage node has no meaningful queues: a
+            // crash-at-boot node must contribute zero gauge samples, not a
+            // run of zeros.
+            continue;
+        }
         for (j, g) in gauges[i].iter_mut().enumerate() {
             g.observe(node.kernel.channels[j].queue().len());
         }

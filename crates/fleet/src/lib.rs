@@ -32,7 +32,7 @@ pub mod node;
 pub mod topology;
 
 pub use fleet::{Fleet, LoadTotals};
-pub use loadgen::{BurstPhase, LoadGen, LoadGenCfg, LoopMode, Reflector, WorkloadMix};
+pub use loadgen::{BurstPhase, LoadGen, LoadGenCfg, LoopMode, Reflector, RetryCfg, WorkloadMix};
 pub use metrics::{ChannelGauge, LatencyHistogram};
 pub use node::{KernelNode, SharedNode, EGRESS_HIGH_WATER, RETX_TIMEOUT, RETX_WINDOW};
 pub use topology::{FleetTopology, LinkSpec, NodeSpec};

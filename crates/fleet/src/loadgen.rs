@@ -26,7 +26,7 @@ use sep_components::proto::Status;
 use sep_model::rng::SplitMix64;
 use sep_policy::level::SecurityLevel;
 use std::any::Any;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Request pacing.
 #[derive(Debug, Clone, Copy)]
@@ -84,6 +84,28 @@ impl WorkloadMix {
     }
 }
 
+/// End-to-end retry policy: requests carry idempotent ids
+/// ([`request::tagged`]) and are retransmitted, same id, until a response
+/// arrives — so a server reboot loses nothing the client won't replay, and
+/// the server's dedup window keeps the replay from committing twice.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryCfg {
+    /// Rounds before the first retransmit of an unanswered request.
+    pub timeout: u64,
+    /// Backoff cap: the retry interval saturates at
+    /// `timeout << backoff_shift_cap` rounds.
+    pub backoff_shift_cap: u32,
+}
+
+impl Default for RetryCfg {
+    fn default() -> Self {
+        RetryCfg {
+            timeout: 16,
+            backoff_shift_cap: 4,
+        }
+    }
+}
+
 /// Configuration for one generator (one node's population).
 #[derive(Debug, Clone)]
 pub struct LoadGenCfg {
@@ -99,11 +121,31 @@ pub struct LoadGenCfg {
     pub phases: Vec<BurstPhase>,
     /// The session level every simulated user runs at.
     pub level: SecurityLevel,
+    /// End-to-end retry with idempotent request ids (`None` = classic
+    /// fire-and-forget matching, responses paired FIFO).
+    pub retry: Option<RetryCfg>,
 }
 
 /// A seeded client population. Ports: `fs.req`/`fs.rsp` to a file server,
 /// `guard.req`/`guard.rsp` through a Guard (only used when the mix has
 /// Guard traffic).
+/// One unanswered tagged request, kept for retransmission.
+#[derive(Debug, Clone)]
+struct PendingReq {
+    /// Round the request was first issued (latency is end-to-end across
+    /// retries).
+    issued: u64,
+    last_sent: u64,
+    attempts: u32,
+    /// The exact tagged frame — a retry resends it byte-identical, same
+    /// id, so the server can deduplicate.
+    frame: Vec<u8>,
+}
+
+/// A seeded client population as a component: issues file-server and
+/// Guard requests, measures round-trip latency, and (with
+/// [`RetryCfg`]) retries unanswered requests with capped exponential
+/// backoff under idempotent request ids.
 pub struct LoadGen {
     name: String,
     cfg: LoadGenCfg,
@@ -112,6 +154,10 @@ pub struct LoadGen {
     created: u64,
     fs_pending: VecDeque<u64>,
     guard_pending: VecDeque<u64>,
+    /// Retry mode: unanswered requests by id, per port.
+    fs_retry: BTreeMap<u64, PendingReq>,
+    guard_retry: BTreeMap<u64, PendingReq>,
+    next_id: u64,
     /// Issue-to-response latency, in rounds.
     pub hist: LatencyHistogram,
     /// Requests issued onto the wire.
@@ -124,6 +170,11 @@ pub struct LoadGen {
     pub errored: u64,
     /// Sends refused by the local channel (node-side back-pressure).
     pub send_rejected: u64,
+    /// Retransmissions of unanswered requests (retry mode).
+    pub retried: u64,
+    /// Responses for ids no longer pending — duplicates of an answer
+    /// already counted (retry mode). Never double-completed.
+    pub dup_responses: u64,
 }
 
 impl LoadGen {
@@ -138,18 +189,26 @@ impl LoadGen {
             created: 0,
             fs_pending: VecDeque::new(),
             guard_pending: VecDeque::new(),
+            fs_retry: BTreeMap::new(),
+            guard_retry: BTreeMap::new(),
+            next_id: 1,
             hist: LatencyHistogram::new(),
             issued: 0,
             completed: 0,
             denied: 0,
             errored: 0,
             send_rejected: 0,
+            retried: 0,
+            dup_responses: 0,
         }
     }
 
     /// Requests currently outstanding.
     pub fn outstanding(&self) -> u64 {
-        (self.fs_pending.len() + self.guard_pending.len()) as u64
+        (self.fs_pending.len()
+            + self.guard_pending.len()
+            + self.fs_retry.len()
+            + self.guard_retry.len()) as u64
     }
 
     /// The burst level in effect at `round` (phases cycle).
@@ -185,6 +244,52 @@ impl LoadGen {
         }
     }
 
+    /// Sends one request, through the tagged-retry machinery when retry is
+    /// configured. Returns whether the send was accepted.
+    fn dispatch(
+        &mut self,
+        io: &mut dyn ComponentIo,
+        round: u64,
+        port: &str,
+        inner: &[u8],
+        guard: bool,
+    ) -> bool {
+        if self.cfg.retry.is_some() {
+            let id = self.next_id;
+            let frame = request::tagged(id, inner);
+            if io.send(port, &frame) {
+                self.next_id += 1;
+                let p = PendingReq {
+                    issued: round,
+                    last_sent: round,
+                    attempts: 0,
+                    frame,
+                };
+                if guard {
+                    self.guard_retry.insert(id, p);
+                } else {
+                    self.fs_retry.insert(id, p);
+                }
+                self.issued += 1;
+                true
+            } else {
+                self.send_rejected += 1;
+                false
+            }
+        } else if io.send(port, inner) {
+            if guard {
+                self.guard_pending.push_back(round);
+            } else {
+                self.fs_pending.push_back(round);
+            }
+            self.issued += 1;
+            true
+        } else {
+            self.send_rejected += 1;
+            false
+        }
+    }
+
     fn issue_one(&mut self, io: &mut dyn ComponentIo, round: u64) {
         // Draws happen unconditionally so the request stream is a pure
         // function of the seed, independent of transient back-pressure.
@@ -194,12 +299,7 @@ impl LoadGen {
         let mix = self.cfg.mix;
         if roll < mix.guard_pm {
             let msg = format!("advisory u{uid} n{}", self.issued);
-            if io.send("guard.req", msg.as_bytes()) {
-                self.guard_pending.push_back(round);
-                self.issued += 1;
-            } else {
-                self.send_rejected += 1;
-            }
+            self.dispatch(io, round, "guard.req", msg.as_bytes(), true);
         } else if roll < mix.guard_pm + mix.write_pm || self.created == 0 {
             // Writes alternate between creating a fresh file and appending
             // user data to an existing one (first write must create).
@@ -212,25 +312,45 @@ impl LoadGen {
                 let name = format!("{}/f{pick}", self.name);
                 request::append(&name, self.cfg.level, &uid.to_le_bytes())
             };
-            if io.send("fs.req", &frame) {
-                if creating {
-                    self.created += 1;
-                }
-                self.fs_pending.push_back(round);
-                self.issued += 1;
-            } else {
-                self.send_rejected += 1;
+            if self.dispatch(io, round, "fs.req", &frame, false) && creating {
+                self.created += 1;
             }
         } else {
             let pick = self.rng.below(self.created as usize) as u64;
             let name = format!("{}/f{pick}", self.name);
             let frame = request::read(&name, self.cfg.level);
-            if io.send("fs.req", &frame) {
-                self.fs_pending.push_back(round);
-                self.issued += 1;
+            self.dispatch(io, round, "fs.req", &frame, false);
+        }
+    }
+
+    /// Retransmits unanswered tagged requests whose backoff has expired,
+    /// byte-identical frames with the same id.
+    fn retransmit(&mut self, io: &mut dyn ComponentIo, round: u64) {
+        let Some(rc) = self.cfg.retry else { return };
+        let cap = rc.backoff_shift_cap;
+        for guard in [false, true] {
+            let (map, port) = if guard {
+                (&mut self.guard_retry, "guard.req")
             } else {
-                self.send_rejected += 1;
+                (&mut self.fs_retry, "fs.req")
+            };
+            let expired: Vec<u64> = map
+                .iter()
+                .filter(|(_, p)| round >= p.last_sent + (rc.timeout << p.attempts.min(cap)))
+                .map(|(&id, _)| id)
+                .collect();
+            let mut resent = 0;
+            for id in expired {
+                let Some(p) = map.get_mut(&id) else { continue };
+                if io.send(port, &p.frame) {
+                    p.last_sent = round;
+                    p.attempts = p.attempts.saturating_add(1);
+                    resent += 1;
+                }
+                // A refused send is back-pressure, not failure: the entry
+                // stays pending and expires again next round.
             }
+            self.retried += resent;
         }
     }
 
@@ -252,18 +372,41 @@ impl Component for LoadGen {
 
     fn step(&mut self, io: &mut dyn ComponentIo) {
         let round = io.round();
+        let retrying = self.cfg.retry.is_some();
         // Responses first: in closed loop they release this round's quota.
         while let Some(rsp) = io.recv("fs.rsp") {
-            if let Some(t) = self.fs_pending.pop_front() {
+            if retrying {
+                // Match by id, not arrival order: retries mean a response
+                // can be duplicated or arrive after its sibling.
+                match request::untag(&rsp).and_then(|(id, inner)| {
+                    self.fs_retry
+                        .remove(&id)
+                        .map(|p| (p.issued, inner.to_vec()))
+                }) {
+                    Some((issued, inner)) => {
+                        let (status, _) = request::decode(&inner);
+                        self.complete(round, issued, Some(status));
+                    }
+                    None => self.dup_responses += 1,
+                }
+            } else if let Some(t) = self.fs_pending.pop_front() {
                 let (status, _) = request::decode(&rsp);
                 self.complete(round, t, Some(status));
             }
         }
-        while io.recv("guard.rsp").is_some() {
-            if let Some(t) = self.guard_pending.pop_front() {
+        while let Some(rsp) = io.recv("guard.rsp") {
+            if retrying {
+                // The guard pipeline echoes the advisory verbatim, tagged
+                // envelope included, so the id survives the round trip.
+                match request::untag(&rsp).and_then(|(id, _)| self.guard_retry.remove(&id)) {
+                    Some(p) => self.complete(round, p.issued, None),
+                    None => self.dup_responses += 1,
+                }
+            } else if let Some(t) = self.guard_pending.pop_front() {
                 self.complete(round, t, None);
             }
         }
+        self.retransmit(io, round);
         let quota = self.quota(round);
         for _ in 0..quota {
             self.issue_one(io, round);
@@ -279,12 +422,17 @@ impl Component for LoadGen {
             created: self.created,
             fs_pending: self.fs_pending.clone(),
             guard_pending: self.guard_pending.clone(),
+            fs_retry: self.fs_retry.clone(),
+            guard_retry: self.guard_retry.clone(),
+            next_id: self.next_id,
             hist: self.hist.clone(),
             issued: self.issued,
             completed: self.completed,
             denied: self.denied,
             errored: self.errored,
             send_rejected: self.send_rejected,
+            retried: self.retried,
+            dup_responses: self.dup_responses,
         })
     }
 
@@ -348,6 +496,7 @@ mod tests {
             mix: WorkloadMix::rw(600, 400),
             phases: Vec::new(),
             level: SecurityLevel::unclassified(),
+            retry: None,
         }
     }
 
@@ -415,6 +564,85 @@ mod tests {
         let sent = io.take_sent("fs.req");
         assert_eq!(sent.len(), 1);
         assert_eq!(sent[0][0], op::CREATE);
+    }
+
+    fn retry_cfg(mode: LoopMode, timeout: u64) -> LoadGenCfg {
+        let mut c = cfg(mode);
+        c.retry = Some(RetryCfg {
+            timeout,
+            backoff_shift_cap: 3,
+        });
+        c
+    }
+
+    #[test]
+    fn retry_mode_tags_requests_with_unique_ids() {
+        let mut lg = LoadGen::new("lg", retry_cfg(LoopMode::Open { rate_milli: 3000 }, 8));
+        let mut io = TestIo::new();
+        io.run(&mut lg, 2);
+        let sent = io.take_sent("fs.req");
+        assert_eq!(sent.len(), 6);
+        let ids: Vec<u64> = sent
+            .iter()
+            .map(|f| request::untag(f).expect("tagged").0)
+            .collect();
+        let unique: std::collections::BTreeSet<u64> = ids.iter().copied().collect();
+        assert_eq!(unique.len(), ids.len(), "ids must be unique");
+    }
+
+    #[test]
+    fn unanswered_request_retries_with_the_same_frame_and_backs_off() {
+        let mut lg = LoadGen::new("lg", retry_cfg(LoopMode::Closed { window: 1 }, 4));
+        let mut io = TestIo::new();
+        io.run(&mut lg, 1); // round 0: issue
+        let first = io.take_sent("fs.req");
+        assert_eq!(first.len(), 1);
+        // Rounds 1..4: inside the timeout, nothing resent.
+        io.run(&mut lg, 3);
+        assert!(io.take_sent("fs.req").is_empty());
+        assert_eq!(lg.retried, 0);
+        // Round 4: timeout expires, one byte-identical resend.
+        io.run(&mut lg, 1);
+        let resent = io.take_sent("fs.req");
+        assert_eq!(resent, first, "retry must repeat the same tagged frame");
+        assert_eq!(lg.retried, 1);
+        assert_eq!(lg.issued, 1, "a retry is not a new request");
+        // Backoff doubled: next resend at round 4 + 8 = 12.
+        io.run(&mut lg, 7);
+        assert_eq!(lg.retried, 1);
+        io.run(&mut lg, 1);
+        assert_eq!(lg.retried, 2);
+    }
+
+    #[test]
+    fn retry_backoff_saturates_at_the_cap() {
+        let mut lg = LoadGen::new("lg", retry_cfg(LoopMode::Closed { window: 1 }, 1));
+        let mut io = TestIo::new();
+        // Run long enough for many expiries; with timeout=1, cap=3 the
+        // gaps go 1, 2, 4, 8, 8, 8, ... — so by round 48 there must be
+        // exactly 4 + (48 - 15) / 8 = 8 resends, and one more by 56.
+        io.run(&mut lg, 49);
+        assert_eq!(lg.retried, 8, "capped backoff schedule");
+        io.run(&mut lg, 8);
+        assert_eq!(lg.retried, 9, "interval stays flat at timeout << cap");
+    }
+
+    #[test]
+    fn response_completes_by_id_and_duplicates_are_ignored() {
+        let mut lg = LoadGen::new("lg", retry_cfg(LoopMode::Closed { window: 2 }, 4));
+        let mut io = TestIo::new();
+        io.run(&mut lg, 1);
+        let sent = io.take_sent("fs.req");
+        assert_eq!(sent.len(), 2);
+        let (id1, _) = request::untag(&sent[1]).unwrap();
+        // Answer the *second* request first (out of order), twice.
+        let rsp = request::tagged(id1, &[Status::Ok.code()]);
+        io.push("fs.rsp", &rsp);
+        io.push("fs.rsp", &rsp);
+        io.run(&mut lg, 1);
+        assert_eq!(lg.completed, 1, "one completion per id");
+        assert_eq!(lg.dup_responses, 1, "the duplicate is counted, not matched");
+        assert_eq!(lg.outstanding(), 2, "window refilled by the completion");
     }
 
     #[test]

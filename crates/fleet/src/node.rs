@@ -28,7 +28,7 @@ use crate::topology::NodeSpec;
 use sep_components::component::{PortBinding, RegimeComponent};
 use sep_components::Component;
 use sep_distributed::{Node, NodeIo, RetxReceiver, RetxSender};
-use sep_fault::FaultPlan;
+use sep_fault::{FaultPlan, OutagePlan};
 use sep_kernel::config::{KernelConfig, RegimeSpec};
 use sep_kernel::fault;
 use sep_kernel::kernel::SeparationKernel;
@@ -100,6 +100,28 @@ pub struct KernelNode {
     slots_per_round: u64,
     plan: FaultPlan,
     kill_at: Option<u64>,
+    outages: OutagePlan,
+    /// The pristine kernel image a recovery reboots from — the same state
+    /// `from_spec` booted, kept only when an outage is scheduled.
+    boot_image: Option<Box<SeparationKernel>>,
+    /// The node's non-volatile boot counter: the ARQ boot epoch of every
+    /// ingress gateway. This single byte (plus one session byte per egress
+    /// gateway, read out of the old sender at reboot) is all the state
+    /// that survives a crash.
+    boot_count: u8,
+    /// Reboots completed.
+    pub reboots: u64,
+    /// Rounds spent down across all outages so far.
+    pub downtime_rounds: u64,
+    /// Per recovery, rounds from the reboot until the first post-reboot
+    /// ARQ delivery or ack (0 for nodes with no reliable gateways).
+    pub time_to_recover: Vec<u64>,
+    /// Reboot round of a recovery whose first ARQ activity is still
+    /// pending.
+    recovering_since: Option<u64>,
+    /// Gateway counters accumulated from incarnations before the last
+    /// reboot: (stale epochs dropped, epoch resyncs).
+    carried: (u64, u64),
     inputs: Vec<GateIn>,
     outputs: Vec<GateOut>,
     channel_names: Vec<String>,
@@ -128,7 +150,15 @@ impl KernelNode {
             slots_per_round,
             fault_plan,
             kill_at,
+            outages,
+            pending_crash,
         } = spec;
+        // A crash_at with no recover_after is a permanent crash — exactly
+        // kill_at, so fold it in (the earlier of the two wins).
+        let kill_at = match pending_crash {
+            Some(c) => Some(kill_at.map_or(c, |k| k.min(c))),
+            None => kill_at,
+        };
         let n = components.len();
         let uplink = n;
         let comp_names: Vec<String> = components
@@ -214,12 +244,25 @@ impl KernelNode {
             cfg = cfg.with_channel(from, to, cap);
         }
         let kernel = SeparationKernel::boot(cfg).expect("fleet node boot");
+        // The boot image is the kernel as booted — the separation-kernel
+        // analogue of re-imaging from installation media. Kept only when a
+        // recovery is actually scheduled; a `Clone` of the kernel is
+        // byte-identical to a fresh boot (pinned by the hotpath tests).
+        let boot_image = (!outages.is_empty()).then(|| Box::new(kernel.clone()));
         KernelNode {
             name,
             kernel,
             slots_per_round: slots_per_round.unwrap_or(n as u64 + 1),
             plan: fault_plan,
             kill_at,
+            outages,
+            boot_image,
+            boot_count: 0,
+            reboots: 0,
+            downtime_rounds: 0,
+            time_to_recover: Vec::new(),
+            recovering_since: None,
+            carried: (0, 0),
             inputs: gates_in,
             outputs: gates_out,
             channel_names,
@@ -240,6 +283,95 @@ impl KernelNode {
     /// Whether the node has crash-stopped as of `round`.
     pub fn killed(&self, round: u64) -> bool {
         self.kill_at.is_some_and(|k| round >= k)
+    }
+
+    /// Whether the node is silent during `round` — permanently crashed or
+    /// inside a scheduled outage. A silent node emits no frames and its
+    /// queues are not meaningfully observable (the fleet skips its gauge
+    /// samples).
+    pub fn silent(&self, round: u64) -> bool {
+        self.killed(round) || self.outages.down_at(round)
+    }
+
+    /// Stale-epoch frames and stale acks dropped by this node's gateways,
+    /// cumulative across reboots.
+    pub fn stale_epochs(&self) -> u64 {
+        let live: u64 = self
+            .inputs
+            .iter()
+            .filter_map(|g| g.rx.as_ref().map(|rx| rx.stale_epoch_dropped))
+            .chain(
+                self.outputs
+                    .iter()
+                    .filter_map(|g| g.tx.as_ref().map(|tx| tx.stale_acks_dropped)),
+            )
+            .sum();
+        self.carried.0 + live
+    }
+
+    /// Epoch resyncs performed by this node's gateways (sessions adopted
+    /// or restarted), cumulative across reboots.
+    pub fn resyncs(&self) -> u64 {
+        let live: u64 = self
+            .inputs
+            .iter()
+            .filter_map(|g| g.rx.as_ref().map(|rx| rx.resyncs))
+            .chain(
+                self.outputs
+                    .iter()
+                    .filter_map(|g| g.tx.as_ref().map(|tx| tx.resyncs)),
+            )
+            .sum();
+        self.carried.1 + live
+    }
+
+    /// Egress gateways currently reporting a dead peer (give-up level).
+    pub fn peers_down(&self) -> u64 {
+        self.outputs
+            .iter()
+            .filter(|g| g.tx.as_ref().is_some_and(RetxSender::peer_down))
+            .count() as u64
+    }
+
+    /// Reboots the node from its boot image: the kernel and every gateway
+    /// queue are replaced wholesale — all volatile state is gone. What
+    /// survives is the non-volatile boot counter (bumped, so every peer's
+    /// in-flight frames go stale) and, per egress, the old session epoch
+    /// (bumped, so every outstanding ack goes stale).
+    fn reboot(&mut self, round: u64) {
+        let image = self
+            .boot_image
+            .as_deref()
+            .expect("reboot without a boot image");
+        self.kernel = image.clone();
+        self.boot_count = self.boot_count.wrapping_add(1);
+        let mut had_arq = false;
+        for g in &mut self.inputs {
+            g.spool.clear();
+            if let Some(rx) = &mut g.rx {
+                self.carried.0 += rx.stale_epoch_dropped;
+                self.carried.1 += rx.resyncs;
+                *rx = RetxReceiver::with_epoch(self.boot_count);
+                had_arq = true;
+            }
+        }
+        for g in &mut self.outputs {
+            g.spool.clear();
+            if let Some(tx) = &mut g.tx {
+                self.carried.0 += tx.stale_acks_dropped;
+                self.carried.1 += tx.resyncs;
+                *tx = RetxSender::with_epoch(RETX_WINDOW, RETX_TIMEOUT, tx.epoch().wrapping_add(1));
+                had_arq = true;
+            }
+        }
+        self.reboots += 1;
+        if had_arq {
+            self.recovering_since = Some(round);
+        } else {
+            // Nothing to resync: the node is fully recovered the moment
+            // the image is back up.
+            self.time_to_recover.push(0);
+        }
     }
 
     /// Gateway queue depths and saturation bounds, in a fixed order
@@ -288,12 +420,23 @@ impl KernelNode {
 
     /// One network round: ingress, kernel slots, egress.
     pub fn step_io(&mut self, io: &mut dyn NodeIo) {
-        if self.killed(io.round()) {
+        let round = io.round();
+        if self.killed(round) {
             // Crash-stop: the kernel freezes and the ports fall silent. The
             // node does not even drain its incoming wires — frames pile up
             // against the wire capacity exactly as they would against a
             // dead network interface.
             return;
+        }
+        if self.outages.down_at(round) {
+            // Mid-outage: same silence as a crash-stop, but counted, and
+            // the volatile state is already doomed — the reboot below
+            // discards it wholesale at the recover round.
+            self.downtime_rounds += 1;
+            return;
+        }
+        if self.outages.recovers_at(round) {
+            self.reboot(round);
         }
 
         // Ingress: wire (through the ARQ where present) → spool → channel.
@@ -366,6 +509,24 @@ impl KernelNode {
                         }
                     }
                 }
+            }
+        }
+
+        // Time-to-recover: the reboot is only *useful* once the ARQ is
+        // flowing again. Gateway counters were zeroed at the reboot, so
+        // any delivery or ack is post-reboot traffic.
+        if let Some(since) = self.recovering_since {
+            let resynced = self
+                .inputs
+                .iter()
+                .any(|g| g.rx.as_ref().is_some_and(|rx| rx.delivered > 0))
+                || self
+                    .outputs
+                    .iter()
+                    .any(|g| g.tx.as_ref().is_some_and(|tx| tx.acked > 0));
+            if resynced {
+                self.time_to_recover.push(round - since);
+                self.recovering_since = None;
             }
         }
     }

@@ -10,7 +10,7 @@
 //! byte-identical fleets.
 
 use sep_components::Component;
-use sep_fault::{FaultPlan, LossModel};
+use sep_fault::{FaultPlan, LossModel, OutagePlan};
 use sep_kernel::FaultPolicy;
 
 /// A component hosted on a node, with its regime-level protection knobs.
@@ -70,6 +70,14 @@ pub struct NodeSpec {
     /// Round at which the whole node goes permanently silent (crash-stop:
     /// the kernel freezes and every port stops sending and receiving).
     pub kill_at: Option<u64>,
+    /// Scheduled outages: at each crash round the node goes silent and
+    /// loses all volatile state; at the matching recover round it reboots
+    /// from its boot image (see [`NodeSpec::crash_at`]).
+    pub outages: OutagePlan,
+    /// A [`NodeSpec::crash_at`] waiting for its
+    /// [`NodeSpec::recover_after`]. Left dangling, the crash is permanent
+    /// — equivalent to [`NodeSpec::kill_at`].
+    pub pending_crash: Option<u64>,
 }
 
 impl NodeSpec {
@@ -84,6 +92,8 @@ impl NodeSpec {
             slots_per_round: None,
             fault_plan: FaultPlan::none(),
             kill_at: None,
+            outages: OutagePlan::none(),
+            pending_crash: None,
         }
     }
 
@@ -167,6 +177,43 @@ impl NodeSpec {
     /// Crash-stops the whole node at the given round.
     pub fn kill_at(mut self, round: u64) -> NodeSpec {
         self.kill_at = Some(round);
+        self
+    }
+
+    /// Crashes the node at the given round, losing all volatile state.
+    /// Follow with [`NodeSpec::recover_after`] to schedule the reboot; a
+    /// crash with no recovery is permanent (same as [`NodeSpec::kill_at`]).
+    pub fn crash_at(mut self, round: u64) -> NodeSpec {
+        assert!(
+            self.pending_crash.is_none(),
+            "crash_at called twice without recover_after on node {}",
+            self.name
+        );
+        self.pending_crash = Some(round);
+        self
+    }
+
+    /// Completes a [`NodeSpec::crash_at`]: after `down_rounds` rounds of
+    /// silence the node reboots from its boot image.
+    ///
+    /// # Panics
+    ///
+    /// Panics without a preceding `crash_at`, or if the outage overlaps an
+    /// already-scheduled one.
+    pub fn recover_after(mut self, down_rounds: u64) -> NodeSpec {
+        let crash = self
+            .pending_crash
+            .take()
+            .unwrap_or_else(|| panic!("recover_after without crash_at on node {}", self.name));
+        self.outages.add(crash, down_rounds);
+        self
+    }
+
+    /// Attaches a whole seeded outage schedule (see
+    /// [`sep_fault::OutagePlan::generate`]), replacing any previously
+    /// scheduled outages.
+    pub fn outage_plan(mut self, plan: OutagePlan) -> NodeSpec {
+        self.outages = plan;
         self
     }
 }

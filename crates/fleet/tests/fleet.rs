@@ -17,7 +17,7 @@ use sep_components::{FileServer, FsClient, Guard};
 use sep_fault::LossModel;
 use sep_fleet::{
     BurstPhase, Fleet, FleetTopology, LinkSpec, LoadGen, LoadGenCfg, LoopMode, NodeSpec, Reflector,
-    WorkloadMix,
+    RetryCfg, WorkloadMix,
 };
 use sep_policy::SecurityLevel;
 
@@ -37,6 +37,25 @@ fn fs_node(name: &str, clients: usize) -> NodeSpec {
         })
         .collect();
     let mut spec = NodeSpec::new(name).component(Box::new(FileServer::new(fs_clients)));
+    for i in 0..clients {
+        spec = spec
+            .input(&format!("c{i}.req"), 0, &format!("c{i}.req"))
+            .output(0, &format!("c{i}.rsp"), &format!("c{i}.rsp"));
+    }
+    spec
+}
+
+fn fs_node_dedup(name: &str, clients: usize, window: usize) -> NodeSpec {
+    let fs_clients = (0..clients)
+        .map(|i| FsClient {
+            name: format!("c{i}"),
+            level: SecurityLevel::unclassified(),
+            special_delete: false,
+        })
+        .collect();
+    let mut spec = NodeSpec::new(name).component(Box::new(
+        FileServer::new(fs_clients).with_dedup_window(window),
+    ));
     for i in 0..clients {
         spec = spec
             .input(&format!("c{i}.req"), 0, &format!("c{i}.req"))
@@ -75,6 +94,7 @@ fn pair_fleet(loss_pm: u16) -> Fleet {
         mix: WorkloadMix::rw(600, 400),
         phases: burst_then_idle(120),
         level: SecurityLevel::unclassified(),
+        retry: None,
     };
     let lg = top.node(lg_node("lg0", cfg));
     let fs = top.node(fs_node("fs0", 1));
@@ -130,6 +150,7 @@ fn lossless_pair_round_trips_with_flat_latency() {
         mix: WorkloadMix::rw(500, 500),
         phases: burst_then_idle(50),
         level: SecurityLevel::unclassified(),
+        retry: None,
     };
     let lg = top.node(lg_node("lg0", cfg));
     let fs = top.node(fs_node("fs0", 1));
@@ -180,6 +201,7 @@ fn different_seed_changes_the_report() {
         mix: WorkloadMix::rw(600, 400),
         phases: burst_then_idle(120),
         level: SecurityLevel::unclassified(),
+        retry: None,
     };
     let lg = top.node(lg_node("lg0", cfg));
     let fs = top.node(fs_node("fs0", 1));
@@ -216,6 +238,7 @@ fn quad_fleet(kill_fs1: bool) -> Fleet {
         mix: WorkloadMix::rw(500, 500),
         phases: Vec::new(),
         level: SecurityLevel::unclassified(),
+        retry: None,
     };
     let lg0 = top.node(lg_node("lg0", cfg(0xC0)));
     let lg1 = top.node(lg_node("lg1", cfg(0xC1)));
@@ -313,6 +336,7 @@ fn guard_round_trips_pay_the_review_pipeline() {
         },
         phases: Vec::new(),
         level: SecurityLevel::unclassified(),
+        retry: None,
     };
     let lg = top.node(
         NodeSpec::new("lg0")
@@ -343,6 +367,132 @@ fn guard_round_trips_pay_the_review_pipeline() {
     );
 }
 
+/// One retrying client against a dedup-window file server; `outage`
+/// crash-reboots the server for the given `(crash, down_rounds)`.
+fn retry_fleet(outage: Option<(u64, u64)>, loss_pm: u16, timeout: u64) -> Fleet {
+    let mut top = FleetTopology::new();
+    let cfg = LoadGenCfg {
+        seed: 0xEC0,
+        users: 2_000,
+        mode: LoopMode::Closed { window: 4 },
+        mix: WorkloadMix::rw(300, 700),
+        phases: burst_then_idle(260),
+        level: SecurityLevel::unclassified(),
+        retry: Some(RetryCfg {
+            timeout,
+            backoff_shift_cap: 3,
+        }),
+    };
+    let lg = top.node(lg_node("lg0", cfg));
+    let mut fs_spec = fs_node_dedup("fs0", 1, 256);
+    if let Some((crash, down)) = outage {
+        fs_spec = fs_spec.crash_at(crash).recover_after(down);
+    }
+    let fs = top.node(fs_spec);
+    top.link(
+        LinkSpec::new(lg, "fs.req", fs, "c0.req")
+            .reliable()
+            .loss(lossy(0x91, loss_pm))
+            .ack_loss(lossy(0x92, loss_pm)),
+    );
+    top.link(
+        LinkSpec::new(fs, "c0.rsp", lg, "fs.rsp")
+            .reliable()
+            .loss(lossy(0x93, loss_pm))
+            .ack_loss(lossy(0x94, loss_pm)),
+    );
+    Fleet::build(top)
+}
+
+#[test]
+fn end_to_end_retries_never_double_commit_on_a_healthy_server() {
+    // A retry timeout tighter than the worst-case RTT under loss forces
+    // real client retries over wires the ARQ already repairs — so the
+    // server sees genuine duplicates and must deduplicate them.
+    let mut fleet = retry_fleet(None, 150, 6);
+    fleet.set_tracing(false);
+    fleet.run_rounds(700);
+    let lt = fleet.loadgen_totals();
+    let (served, _) = fleet.fileserver_totals();
+    assert!(lt.issued > 50, "burst generated load: {}", lt.issued);
+    assert!(lt.retried > 0, "the tight timeout forced retries");
+    assert!(
+        fleet.fs_duplicates_total() > 0,
+        "duplicates reached the server and were answered from cache"
+    );
+    assert_eq!(
+        lt.completed, lt.issued,
+        "every request completed exactly once at the client"
+    );
+    assert_eq!(
+        served, lt.issued,
+        "every request executed exactly once at the server: \
+         retries replayed the cached response, never the operation"
+    );
+}
+
+#[test]
+fn client_retries_ride_through_a_server_reboot() {
+    let crash = 100;
+    let down = 40;
+    let mut fleet = retry_fleet(Some((crash, down)), 0, 24);
+    fleet.set_tracing(false);
+
+    // Run to the reboot round, then note progress made so far.
+    fleet.run_rounds(crash + down);
+    let mid = fleet.loadgen_totals().completed;
+    assert!(mid > 20, "pre-crash progress: {mid}");
+
+    // Run through recovery and the idle drain.
+    fleet.run_rounds(700 - (crash + down));
+    let lt = fleet.loadgen_totals();
+    assert_eq!(fleet.reboots_total(), 1, "the server rebooted once");
+    assert_eq!(fleet.downtime_total(), down);
+    assert!(
+        lt.completed > mid,
+        "goodput recovered after the reboot: {} -> {}",
+        mid,
+        lt.completed
+    );
+    assert_eq!(
+        lt.completed, lt.issued,
+        "every request — including those lost in the crash — was \
+         retried to completion"
+    );
+    assert!(lt.retried > 0, "requests lost to the crash were retried");
+
+    // The ARQ epoch machinery actually engaged: the rebooted receiver
+    // forced a resync, and in-flight pre-crash frames were dropped as
+    // stale rather than delivered into the new incarnation.
+    {
+        let client = fleet.node(0);
+        let c = client.lock().expect("node lock");
+        assert!(
+            c.resyncs() > 0,
+            "the client's sender adopted the rebooted receiver's epoch"
+        );
+    }
+    let victim = fleet.node(1);
+    let n = victim.lock().expect("node lock");
+    assert_eq!(n.reboots, 1);
+    assert_eq!(n.downtime_rounds, down);
+    assert!(
+        n.stale_epochs() > 0,
+        "pre-crash frames were dropped as stale, not delivered"
+    );
+    assert_eq!(
+        n.time_to_recover.len(),
+        1,
+        "one recovery measurement: {:?}",
+        n.time_to_recover
+    );
+    assert!(
+        n.time_to_recover[0] < 64,
+        "traffic resumed promptly after reboot: {:?}",
+        n.time_to_recover
+    );
+}
+
 #[test]
 fn open_loop_overload_shows_up_as_saturation_and_rejections() {
     let mut top = FleetTopology::new();
@@ -353,6 +503,7 @@ fn open_loop_overload_shows_up_as_saturation_and_rejections() {
         mix: WorkloadMix::rw(500, 500),
         phases: Vec::new(),
         level: SecurityLevel::unclassified(),
+        retry: None,
     };
     let lg = top.node(lg_node("lg0", cfg));
     let fs = top.node(fs_node("fs0", 1));

@@ -12,7 +12,7 @@ use sep_components::{FileServer, FsClient, Guard};
 use sep_fault::{FaultPlan, LossModel};
 use sep_fleet::{
     BurstPhase, Fleet, FleetTopology, LinkSpec, LoadGen, LoadGenCfg, LoopMode, NodeSpec, Reflector,
-    WorkloadMix, EGRESS_HIGH_WATER,
+    RetryCfg, WorkloadMix, EGRESS_HIGH_WATER,
 };
 use sep_kernel::regime::PARTITION_SIZE;
 use sep_kernel::FaultPolicy;
@@ -68,6 +68,7 @@ fn closed_cfg(seed: u64, users: u64, window: u64) -> LoadGenCfg {
             },
         ],
         level: SecurityLevel::unclassified(),
+        retry: None,
     }
 }
 
@@ -211,6 +212,94 @@ fn fault_plan_recovery_is_worker_invariant() {
     assert_worker_invariant("fault-plan", &faulted_fleet, 200);
 }
 
+/// A retrying client against a dedup-window server that crash-reboots
+/// mid-run: reboot timing, epoch resync, stale-frame drops, and client
+/// retransmissions must all be scheduled identically at every worker
+/// count.
+fn recovery_fleet() -> Fleet {
+    let mut top = FleetTopology::new();
+    let mut cfg = closed_cfg(0xEC0, 2_000, 4);
+    cfg.retry = Some(RetryCfg {
+        timeout: 24,
+        backoff_shift_cap: 3,
+    });
+    let lg = top.node(lg_node("lg0", cfg));
+    let fs_clients = vec![FsClient {
+        name: "c0".to_string(),
+        level: SecurityLevel::unclassified(),
+        special_delete: false,
+    }];
+    let fs = top.node(
+        NodeSpec::new("fs0")
+            .component(Box::new(FileServer::new(fs_clients).with_dedup_window(128)))
+            .input("c0.req", 0, "c0.req")
+            .output(0, "c0.rsp", "c0.rsp")
+            .crash_at(80)
+            .recover_after(30),
+    );
+    top.link(
+        LinkSpec::new(lg, "fs.req", fs, "c0.req")
+            .reliable()
+            .loss(lossy(0xD1, 100))
+            .ack_loss(lossy(0xD2, 100)),
+    );
+    top.link(
+        LinkSpec::new(fs, "c0.rsp", lg, "fs.rsp")
+            .reliable()
+            .loss(lossy(0xD3, 100))
+            .ack_loss(lossy(0xD4, 100)),
+    );
+    Fleet::build(top)
+}
+
+#[test]
+fn crash_recovery_reboot_is_worker_invariant() {
+    assert_worker_invariant("crash-recovery", &recovery_fleet, 280);
+}
+
+#[test]
+fn a_node_killed_at_boot_is_accepted_and_stays_silent() {
+    // kill_at(0) is the degenerate crash schedule: the node exists in the
+    // topology but never executes a round. Build must accept it, and the
+    // corpse must be invisible everywhere — no frames, no trace lines, no
+    // gauge samples.
+    let mut top = FleetTopology::new();
+    let lg = top.node(lg_node("lg0", closed_cfg(0x5117, 500, 2)));
+    let fs = top.node(fs_node("fs0", 1).kill_at(0));
+    top.link(LinkSpec::new(lg, "fs.req", fs, "c0.req").reliable());
+    top.link(LinkSpec::new(fs, "c0.rsp", lg, "fs.rsp").reliable());
+    let mut fleet = Fleet::build(top);
+    fleet.run_rounds(80);
+    assert!(
+        fleet.network().traces.trace("fs0").is_empty(),
+        "a node dead from round 0 must never appear in the traces"
+    );
+    for g in fleet
+        .channel_gauges(fs)
+        .iter()
+        .chain(fleet.gateway_gauges(fs))
+    {
+        assert_eq!(
+            g.samples, 0,
+            "gauge {} sampled a dead node's channels",
+            g.name
+        );
+    }
+    let lt = {
+        let rc = fleet.node(lg);
+        let mut n = rc.lock().expect("node lock");
+        let lg = n
+            .component_mut(0)
+            .expect("component")
+            .as_any()
+            .downcast_mut::<LoadGen>()
+            .expect("load generator");
+        (lg.issued, lg.completed)
+    };
+    assert!(lt.0 > 0, "the surviving client still issued requests");
+    assert_eq!(lt.1, 0, "nothing ever answered from the corpse");
+}
+
 /// Open-loop overload into capacity-2 wires: admission control at the
 /// wire-capacity edge is exactly where a racy executor would diverge.
 fn saturated_fleet() -> Fleet {
@@ -222,6 +311,7 @@ fn saturated_fleet() -> Fleet {
         mix: WorkloadMix::rw(500, 500),
         phases: Vec::new(),
         level: SecurityLevel::unclassified(),
+        retry: None,
     };
     let lg = top.node(lg_node("lg0", cfg));
     let fs = top.node(fs_node("fs0", 1));
@@ -249,6 +339,7 @@ fn guard_fleet() -> Fleet {
         },
         phases: Vec::new(),
         level: SecurityLevel::unclassified(),
+        retry: None,
     };
     let lg = top.node(
         NodeSpec::new("lg0")
@@ -406,6 +497,7 @@ fn arq_gateway_saturation_is_reported_under_back_pressure() {
         mix: WorkloadMix::rw(500, 500),
         phases: Vec::new(),
         level: SecurityLevel::unclassified(),
+        retry: None,
     };
     let lg = top.node(lg_node("lg0", cfg));
     let fs = top.node(fs_node("fs0", 1).kill_at(0));

@@ -24,6 +24,7 @@ fn lg(name: &str, seed: u64) -> NodeSpec {
         mix: WorkloadMix::rw(600, 400),
         phases: Vec::new(),
         level: SecurityLevel::unclassified(),
+        retry: None,
     };
     NodeSpec::new(name)
         .component(Box::new(LoadGen::new(name, cfg)))

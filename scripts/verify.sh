@@ -43,7 +43,8 @@ test -s BENCH_obs_e10_hotpath.json
 echo "==> fleet suite (release: determinism, containment, loss, saturation)"
 cargo test --release -q -p sep-fleet --test fleet
 
-echo "==> fleet differential suite (release: 1/2/4/8 workers byte-identical)"
+echo "==> fleet differential suite (release: 1/2/4/8 workers byte-identical,"
+echo "    incl. crash-recovery reboot and kill-at-boot regressions)"
 cargo test --release -q -p sep-fleet --test fleet_differential
 cargo test --release -q -p sep-distributed
 
@@ -51,6 +52,11 @@ echo "==> e11 fleet bench (16 nodes, 100k clients; workers sweep, byte-determini
 echo "    >=2x speedup at 4 workers on >=4-core hosts)"
 cargo run -q --release -p sep-bench --bin e11_fleet > /dev/null
 test -s BENCH_obs_e11_fleet.json
+
+echo "==> e12 crash-recovery bench (reboot, epoch resync, exactly-once retry;"
+echo "    bystander byte-identity, zero duplicate commits, goodput recovery)"
+cargo run -q --release -p sep-bench --bin e12_crash_recovery > /dev/null
+test -s BENCH_obs_e12_crash_recovery.json
 
 echo "==> clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
