@@ -2,8 +2,9 @@
 //!
 //! Three claims, each pinned against the slow path it replaces:
 //!
-//! 1. **Execution**: a kernel run is byte-identical with the fast-path
-//!    caches on and off — same events, stats, state vector, and rendered
+//! 1. **Execution**: a kernel run is byte-identical across all three
+//!    engines — the slow path, the decode-cache-only path, and the full
+//!    superblock tier — same events, stats, state vector, and rendered
 //!    observability report (the report excludes the hot-path counters by
 //!    design, so this equality is exact).
 //! 2. **Recovery**: `FaultPolicy::Restart` re-imaging behaves identically
@@ -45,15 +46,32 @@ fn workload() -> KernelConfig {
     ])
 }
 
-/// Everything two kernel runs could disagree on, with the fast path forced
-/// on or off before the first step.
+/// The three execution engines the machine offers: no caches at all, the
+/// decode cache + TLB alone, and the full superblock tier on top.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Engine {
+    Slow,
+    Decode,
+    Tier,
+}
+
+fn select_engine(k: &mut SeparationKernel, engine: Engine) {
+    match engine {
+        Engine::Slow => k.machine.set_hotpath(false),
+        Engine::Decode => k.machine.set_superblocks(false),
+        Engine::Tier => assert!(k.machine.superblocks(), "tier is the default"),
+    }
+}
+
+/// Everything two kernel runs could disagree on, with the execution engine
+/// forced before the first step.
 fn fingerprint(
     cfg: KernelConfig,
-    hotpath: bool,
+    engine: Engine,
     steps: u64,
 ) -> (Vec<KernelEvent>, String, Vec<u64>, String) {
     let mut k = SeparationKernel::boot(cfg.with_trace(64)).unwrap();
-    k.machine.set_hotpath(hotpath);
+    select_engine(&mut k, engine);
     let events = k.run(steps);
     let trace = k.machine.obs.disable_tracing();
     let report = RunReport::new("hotpath_differential")
@@ -64,10 +82,15 @@ fn fingerprint(
 }
 
 #[test]
-fn kernel_run_is_byte_identical_with_caches_on_and_off() {
-    let fast = fingerprint(workload(), true, 3000);
-    let slow = fingerprint(workload(), false, 3000);
-    assert_eq!(fast, slow, "the fast path is architecturally visible");
+fn kernel_run_is_byte_identical_across_all_engines() {
+    let slow = fingerprint(workload(), Engine::Slow, 3000);
+    for engine in [Engine::Decode, Engine::Tier] {
+        assert_eq!(
+            fingerprint(workload(), engine, 3000),
+            slow,
+            "{engine:?} is architecturally visible"
+        );
+    }
 }
 
 #[test]
@@ -91,14 +114,16 @@ runs:   .word 0
             RegimeSpec::assembly("worker", COUNTER),
         ])
     };
-    let fast = fingerprint(build(), true, 800);
-    let slow = fingerprint(build(), false, 800);
-    assert_eq!(
-        fast, slow,
-        "re-imaging behaves differently under warm caches"
-    );
+    let slow = fingerprint(build(), Engine::Slow, 800);
+    for engine in [Engine::Decode, Engine::Tier] {
+        assert_eq!(
+            fingerprint(build(), engine, 800),
+            slow,
+            "re-imaging behaves differently under {engine:?}"
+        );
+    }
     assert!(
-        fast.0
+        slow.0
             .iter()
             .any(|e| matches!(e, KernelEvent::Restarted { regime: 0 })),
         "the restart actually happened"
@@ -106,10 +131,10 @@ runs:   .word 0
 }
 
 #[test]
-fn fault_storm_runs_are_identical_with_caches_on_and_off() {
+fn fault_storm_runs_are_identical_across_all_engines() {
     // Seeded fault injection (bit flips, regime faults, interrupt noise)
     // exercises partition re-imaging and MMU reprogramming mid-run.
-    let run = |hotpath: bool| {
+    let run = |engine: Engine| {
         let cfg = KernelConfig::new(vec![
             RegimeSpec::assembly("victim", COUNTER).with_fault_policy(FaultPolicy::Restart {
                 budget: 3,
@@ -118,7 +143,7 @@ fn fault_storm_runs_are_identical_with_caches_on_and_off() {
             RegimeSpec::assembly("worker", COUNTER),
         ]);
         let mut k = SeparationKernel::boot(cfg.with_trace(64)).unwrap();
-        k.machine.set_hotpath(hotpath);
+        select_engine(&mut k, engine);
         let mut plan = FaultPlan::generate(0xFEED, &[0], 1500, 16, PARTITION_SIZE);
         let mut events = Vec::new();
         for _ in 0..3000 {
@@ -131,11 +156,10 @@ fn fault_storm_runs_are_identical_with_caches_on_and_off() {
             .render();
         (events, k.state_vector(), report)
     };
-    assert_eq!(
-        run(true),
-        run(false),
-        "fault storm diverged across cache settings"
-    );
+    let slow = run(Engine::Slow);
+    for engine in [Engine::Decode, Engine::Tier] {
+        assert_eq!(run(engine), slow, "fault storm diverged under {engine:?}");
+    }
 }
 
 // ---------------------------------------------------------------------------

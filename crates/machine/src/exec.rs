@@ -13,6 +13,10 @@ use crate::hotpath::{Cached, DecodeCache, FetchWin, Tlb};
 use crate::isa::{decode, BinOp, BranchCond, Instr, Operand, UnOp};
 use crate::mem::{Memory, IO_BASE};
 use crate::mmu::{Access, Mmu, MmuAbort};
+use crate::psw::Psw;
+use crate::superblock::{
+    SbOp, SbTerm, SuperBlock, SuperCache, HOT_THRESHOLD, MAX_BLOCK_OPS, NO_SUCC,
+};
 use crate::types::{is_neg_b, is_neg_w, sign_extend_byte, PhysAddr, Word, SIGN_W};
 use sep_obs::{ObsEvent, Recorder, TrapKind, NO_CONTEXT};
 
@@ -103,6 +107,18 @@ pub struct Machine {
     tlb: Tlb,
     /// One-entry instruction-fetch window in front of the TLB.
     win: FetchWin,
+    /// Whether the superblock tier compiles and chains hot straight-line
+    /// runs. Meaningful only while `hotpath` is also on.
+    superblocks: bool,
+    /// Compiled superblocks plus the hotness profile that feeds them.
+    sb: SuperCache,
+    /// Write guard over the physical span of compiled code: a machine-path
+    /// store into `[sb_guard_lo, sb_guard_hi)` sets `sb_dirty`, which drops
+    /// every block before the tier runs again. Kept directly on the machine
+    /// (not in [`SuperCache`]) so the store hot path pays two compares.
+    sb_guard_lo: PhysAddr,
+    sb_guard_hi: PhysAddr,
+    sb_dirty: bool,
 }
 
 /// Cloning resets the fast-path caches: they memoize pure functions, so an
@@ -124,6 +140,11 @@ impl Clone for Machine {
             icache: DecodeCache::new(),
             tlb: Tlb::new(),
             win: FetchWin::new(),
+            superblocks: self.superblocks,
+            sb: SuperCache::default(),
+            sb_guard_lo: PhysAddr::MAX,
+            sb_guard_hi: 0,
+            sb_dirty: false,
         }
     }
 }
@@ -157,6 +178,11 @@ impl Machine {
             icache: DecodeCache::new(),
             tlb: Tlb::new(),
             win: FetchWin::new(),
+            superblocks: true,
+            sb: SuperCache::default(),
+            sb_guard_lo: PhysAddr::MAX,
+            sb_guard_hi: 0,
+            sb_dirty: false,
         }
     }
 
@@ -169,12 +195,38 @@ impl Machine {
             self.icache = DecodeCache::new();
             self.tlb = Tlb::new();
             self.win = FetchWin::new();
+            self.sb_drop_all();
         }
     }
 
     /// Whether the fast-path caches are in use.
     pub fn hotpath(&self) -> bool {
         self.hotpath
+    }
+
+    /// Enables or disables the superblock tier (hot-run compilation and
+    /// chaining on top of the decode cache). On by default, but inert
+    /// unless the fast path is also on. Turning it off drops all compiled
+    /// blocks and the hotness profile, so a re-enable starts cold.
+    pub fn set_superblocks(&mut self, on: bool) {
+        self.superblocks = on;
+        if !on {
+            self.sb_drop_all();
+        }
+    }
+
+    /// Whether the superblock tier is in use.
+    pub fn superblocks(&self) -> bool {
+        self.superblocks
+    }
+
+    /// Drops every compiled superblock, the hotness profile, and the write
+    /// guard — the tier's "forget everything" switch.
+    fn sb_drop_all(&mut self) {
+        self.sb = SuperCache::default();
+        self.sb_guard_lo = PhysAddr::MAX;
+        self.sb_guard_hi = 0;
+        self.sb_dirty = false;
     }
 
     /// Advances the machine one step: the tick phase (device time and DMA)
@@ -312,11 +364,36 @@ impl Machine {
         let retired_before = self.instructions;
         let mut taken = 0;
         let mut outcome = None;
+        let sb_tier = self.hotpath && self.superblocks;
+        if sb_tier {
+            self.sb_begin_batch();
+        }
+        // The tier is entered right after a backward control transfer (the
+        // only place hot entries live) — and once at batch start, since the
+        // PC may be resuming a compiled loop from the previous batch.
+        let mut try_tier = sb_tier && self.sb.has_blocks();
         while taken < n {
+            if try_tier {
+                try_tier = false;
+                let (advanced, tier_outcome) = self.run_superblocks(n - taken);
+                taken += advanced;
+                if tier_outcome.is_some() {
+                    outcome = tier_outcome;
+                    break;
+                }
+                if taken >= n {
+                    break;
+                }
+            }
             self.steps += 1;
             taken += 1;
+            let pc_before = self.cpu.pc;
             match self.execute_inner(false) {
-                Ok(Event::Ran) => {}
+                Ok(Event::Ran) => {
+                    if sb_tier && self.cpu.pc <= pc_before {
+                        try_tier = self.sb_note_backward_edge();
+                    }
+                }
                 Ok(ev) => {
                     outcome = Some(ev);
                     break;
@@ -335,6 +412,417 @@ impl Machine {
             self.note_trap(*trap);
         }
         (taken, outcome)
+    }
+
+    // ------------------------------------------------------------------
+    // The superblock tier (see the `superblock` module docs).
+    // ------------------------------------------------------------------
+
+    /// Batch prologue for the tier: drop every block if the MMU generation
+    /// or enable flag moved since the blocks were compiled, or if a guarded
+    /// store landed in compiled code, then open a new validation batch.
+    fn sb_begin_batch(&mut self) {
+        let generation = self.mmu.generation();
+        let enabled = self.mmu.enabled;
+        if self.sb.stale(generation, enabled) || self.sb_dirty {
+            let had = self.sb.has_blocks();
+            self.sb.flush(generation, enabled);
+            self.sb_guard_lo = PhysAddr::MAX;
+            self.sb_guard_hi = 0;
+            self.sb_dirty = false;
+            if had {
+                self.obs.metrics.hotpath.sb_flushes += 1;
+            }
+        }
+        self.sb.batch += 1;
+    }
+
+    /// Profiles a backward control transfer that just landed on
+    /// `self.cpu.pc`: bump the target's heat and compile it when it crosses
+    /// the threshold. Returns true when a compiled block now exists at the
+    /// PC, i.e. the tier is worth entering.
+    fn sb_note_backward_edge(&mut self) -> bool {
+        let pc = self.cpu.pc;
+        let mode = self.cpu.psw.mode();
+        if self.sb.lookup(pc, mode).is_some() {
+            return true;
+        }
+        if self.sb.has_failed(pc, mode) || self.sb.heat_bump(pc, mode) != HOT_THRESHOLD {
+            return false;
+        }
+        let Some(block) = self.compile_superblock(pc) else {
+            self.sb.mark_failed(pc, mode);
+            return false;
+        };
+        let Some(idx) = self.sb.insert(mode, block) else {
+            return false; // cache full; wait for the next flush
+        };
+        self.obs.metrics.hotpath.sb_compiles += 1;
+        // The block was compiled from live memory, so it is valid for the
+        // rest of this batch without a memcmp.
+        let batch = self.sb.batch;
+        let b = &mut self.sb.blocks[idx as usize];
+        b.validated_batch = batch;
+        let (lo, hi) = (b.phys, b.phys + b.image.len() as u32);
+        self.sb_guard_lo = self.sb_guard_lo.min(lo);
+        self.sb_guard_hi = self.sb_guard_hi.max(hi);
+        true
+    }
+
+    /// Runs compiled superblocks starting at the current PC until the step
+    /// budget runs low, a side exit fires, or control leaves compiled code.
+    /// Returns the steps consumed and the event that cut execution short,
+    /// if any. The cache is moved out of `self` for the duration so block
+    /// data and the mutable machine can coexist; the write guard lives on
+    /// `self` and stays armed throughout.
+    fn run_superblocks(&mut self, budget: u64) -> (u64, Option<Event>) {
+        let mut sb = std::mem::take(&mut self.sb);
+        let result = self.superblock_loop(&mut sb, budget);
+        self.sb = sb;
+        result
+    }
+
+    fn superblock_loop(&mut self, sb: &mut SuperCache, budget: u64) -> (u64, Option<Event>) {
+        let mode = self.cpu.psw.mode();
+        // A guarded store earlier in this batch (per-instruction path)
+        // poisons every block: drop them all before trusting any image.
+        if self.sb_dirty {
+            sb.flush(self.mmu.generation(), self.mmu.enabled);
+            self.sb_guard_lo = PhysAddr::MAX;
+            self.sb_guard_hi = 0;
+            self.sb_dirty = false;
+            self.obs.metrics.hotpath.sb_flushes += 1;
+            return (0, None);
+        }
+        let Some(first) = sb.lookup(self.cpu.pc, mode) else {
+            return (0, None);
+        };
+        let mut idx = first;
+        let mut advanced: u64 = 0;
+        let mut outcome = None;
+        let (mut hits, mut chains, mut compiles, mut flushes) = (0u64, 0u64, 0u64, 0u64);
+        'outer: loop {
+            let block = &sb.blocks[idx as usize];
+            if block.cost > budget - advanced {
+                break; // not enough budget for a full run; step singly
+            }
+            // Once per batch, prove the block's instruction bytes are still
+            // exactly what was compiled (re-imaging, kernel copies, DMA and
+            // host pokes all happen between batches; in-batch stores trip
+            // the write guard instead). Interior ops never write memory, so
+            // a block can never invalidate itself mid-flight.
+            if block.validated_batch != sb.batch {
+                if self.mem.range(block.phys, block.image.len() as u32) != &block.image[..] {
+                    sb.flush(self.mmu.generation(), self.mmu.enabled);
+                    self.sb_guard_lo = PhysAddr::MAX;
+                    self.sb_guard_hi = 0;
+                    flushes += 1;
+                    break;
+                }
+                sb.blocks[idx as usize].validated_batch = sb.batch;
+            }
+            let block = &sb.blocks[idx as usize];
+            let term = block.term;
+            let cost = block.cost;
+            let entry = block.entry;
+            let ops = &block.ops;
+            if block.pure {
+                // Pure blocks cannot trap and cannot touch memory: hand the
+                // CPU alone to the specialized executor, which follows the
+                // self-chain internally at register speed and returns how
+                // many complete runs it retired (at least one — the budget
+                // check above guarantees headroom for the first).
+                let runs =
+                    run_pure_block(&mut self.cpu, ops, term, entry, (budget - advanced) / cost);
+                advanced += runs * cost;
+                hits += runs;
+                chains += runs - 1;
+                if matches!(term, SbTerm::FallThrough { .. }) {
+                    break; // control left compiled code
+                }
+            } else {
+                // Run the block, and rerun it in place while its terminator
+                // lands back on its own entry (the tight-loop steady state):
+                // the self-chain needs no new validation — memory cannot change
+                // under it — and touches no cache structure at all.
+                loop {
+                    // Interiors. The pure register forms skip PC maintenance
+                    // entirely (they cannot trap and cannot observe the PC —
+                    // classification admits only R0–R5) and hit the register
+                    // file directly; generic forms get the PC pre-set to its
+                    // post-fetch value so extension-word fetches, PC-relative
+                    // operands, and traps behave exactly as on the
+                    // per-instruction path.
+                    let mut exit: Option<(u64, Result<Event, Trap>)> = None;
+                    for (k, op) in ops.iter().enumerate() {
+                        let r = match *op {
+                            SbOp::RegReg { op, src, dst } => {
+                                let s = self.cpu.r[src as usize];
+                                let d = self.cpu.r[dst as usize];
+                                let (wb, (n, z, v, c)) = alu2_w(op, s, d, self.cpu.psw.c());
+                                if let Some(r) = wb {
+                                    self.cpu.r[dst as usize] = r;
+                                }
+                                self.cpu.psw.set_nzvc(n, z, v, c);
+                                continue;
+                            }
+                            SbOp::ImmReg { op, imm, dst } => {
+                                let d = self.cpu.r[dst as usize];
+                                let (wb, (n, z, v, c)) = alu2_w(op, imm, d, self.cpu.psw.c());
+                                if let Some(r) = wb {
+                                    self.cpu.r[dst as usize] = r;
+                                }
+                                self.cpu.psw.set_nzvc(n, z, v, c);
+                                continue;
+                            }
+                            SbOp::OneReg { op, reg } => {
+                                let d = self.cpu.r[reg as usize];
+                                let (wb, (n, z, v, c)) =
+                                    alu1_w(op, d, self.cpu.psw.n(), self.cpu.psw.c());
+                                if let Some(r) = wb {
+                                    self.cpu.r[reg as usize] = r;
+                                }
+                                self.cpu.psw.set_nzvc(n, z, v, c);
+                                continue;
+                            }
+                            SbOp::Generic {
+                                word,
+                                instr,
+                                pc_after,
+                            } => {
+                                self.cpu.pc = pc_after;
+                                self.dispatch(word, instr)
+                            }
+                        };
+                        match r {
+                            Ok(Event::Ran) => {}
+                            other => {
+                                // Side exit mid-block: op k ran (and trapped).
+                                // The trapping instruction counts as retired,
+                                // exactly as `execute_inner` counts before
+                                // dispatching.
+                                exit = Some((k as u64 + 1, other));
+                                break;
+                            }
+                        }
+                    }
+                    if let Some((done, r)) = exit {
+                        advanced += done;
+                        outcome = Some(match r {
+                            Ok(ev) => ev,
+                            Err(t) => Event::Trap(t),
+                        });
+                        break 'outer;
+                    }
+                    // Full block: run the terminator and account exactly.
+                    match term {
+                        SbTerm::Branch {
+                            cond,
+                            offset,
+                            pc_after,
+                        } => {
+                            self.cpu.pc = pc_after;
+                            self.exec_branch(cond, offset);
+                        }
+                        SbTerm::Sob {
+                            reg,
+                            offset,
+                            pc_after,
+                            ..
+                        } => {
+                            self.cpu.pc = pc_after;
+                            let v = self.cpu.reg(reg).wrapping_sub(1);
+                            self.cpu.set_reg(reg, v);
+                            if v != 0 {
+                                self.cpu.pc = self.cpu.pc.wrapping_sub(2 * offset as Word);
+                            }
+                        }
+                        SbTerm::FallThrough { next_pc } => {
+                            self.cpu.pc = next_pc;
+                        }
+                    }
+                    advanced += cost;
+                    hits += 1;
+                    if matches!(term, SbTerm::FallThrough { .. }) {
+                        break 'outer; // control left compiled code
+                    }
+                    if self.cpu.pc == entry && cost <= budget - advanced {
+                        chains += 1;
+                        continue;
+                    }
+                    break;
+                }
+            }
+            // Chain to the successor block: the memo first, then the index,
+            // then chain-compilation — a terminator target reached from a
+            // hot block is hot by construction, so it skips the heat count.
+            let next_pc = self.cpu.pc;
+            if next_pc == entry {
+                break; // the self-loop stopped only because the budget ran out
+            }
+            let b = &sb.blocks[idx as usize];
+            let next_idx = if b.succ_idx != NO_SUCC && b.succ_pc == next_pc {
+                b.succ_idx
+            } else if let Some(i) = sb.lookup(next_pc, mode) {
+                let b = &mut sb.blocks[idx as usize];
+                b.succ_pc = next_pc;
+                b.succ_idx = i;
+                i
+            } else {
+                if sb.has_failed(next_pc, mode) {
+                    break;
+                }
+                let Some(nb) = self.compile_superblock(next_pc) else {
+                    sb.mark_failed(next_pc, mode);
+                    break;
+                };
+                let Some(i) = sb.insert(mode, nb) else {
+                    break; // cache full; wait for the next flush
+                };
+                compiles += 1;
+                let batch = sb.batch;
+                let nb = &mut sb.blocks[i as usize];
+                nb.validated_batch = batch;
+                let (lo, hi) = (nb.phys, nb.phys + nb.image.len() as u32);
+                self.sb_guard_lo = self.sb_guard_lo.min(lo);
+                self.sb_guard_hi = self.sb_guard_hi.max(hi);
+                let b = &mut sb.blocks[idx as usize];
+                b.succ_pc = next_pc;
+                b.succ_idx = i;
+                i
+            };
+            chains += 1;
+            idx = next_idx;
+        }
+        // Deviceless batches equate steps and instructions, and nothing
+        // inside the tier reads either counter, so both flush once here —
+        // including the instructions of a partially retired block, so
+        // `step_n`'s recorder accounting stays exact across side exits.
+        self.steps += advanced;
+        self.instructions += advanced;
+        let h = &mut self.obs.metrics.hotpath;
+        h.sb_hits += hits;
+        h.sb_chains += chains;
+        h.sb_compiles += compiles;
+        h.sb_flushes += flushes;
+        h.sb_instructions += advanced;
+        (advanced, outcome)
+    }
+
+    /// Compiles the straight-line run starting at `entry` into a
+    /// [`SuperBlock`], or `None` when nothing worth compiling starts there.
+    ///
+    /// The instruction-stream span is translated **once, here**: under the
+    /// MMU the entry's whole segment must be resident and lie entirely in
+    /// RAM (never the I/O page, so a block can never shadow live device
+    /// registers); with the MMU off the identity-mapped RAM region plays
+    /// that role. Compilation stops at the segment limit, so a PDR length
+    /// boundary bisects a run and the instruction beyond it traps on the
+    /// per-instruction path exactly as it would have without the tier.
+    /// Reads are pure (`Mmu::translate` + direct RAM reads) — compiling
+    /// perturbs no cache or counter.
+    fn compile_superblock(&self, entry: Word) -> Option<SuperBlock> {
+        if entry & 1 != 0 {
+            return None;
+        }
+        let mode = self.cpu.psw.mode();
+        // The virtual window [lo, hi) the run may occupy and the physical
+        // base it maps to.
+        let (lo, hi, base) = if self.mmu.enabled {
+            let seg = entry >> 13;
+            let d = self.mmu.segment(mode, seg as usize);
+            if d.is_empty() {
+                return None;
+            }
+            if d.base() + d.len() > IO_BASE {
+                return None;
+            }
+            (seg << 13, ((seg as u32) << 13) + d.len(), d.base())
+        } else {
+            // 16-bit compatibility map: everything below 0o160000 is RAM
+            // identity-mapped; the top segment is the I/O page.
+            (0, 0o160000, 0)
+        };
+        let phys_of = |v: u32| base + (v - lo as u32);
+        let mut v = entry as u32; // fetch cursor, one past Word range at most
+        let mut ops: Vec<SbOp> = Vec::new();
+        let (term, img_end) = loop {
+            if ops.len() >= MAX_BLOCK_OPS || v + 2 > hi || v < lo as u32 {
+                break (SbTerm::FallThrough { next_pc: v as Word }, v);
+            }
+            let word = self.mem.read_word(phys_of(v));
+            let Some(instr) = decode(word) else {
+                break (SbTerm::FallThrough { next_pc: v as Word }, v);
+            };
+            let pc_after = (v + 2) as Word;
+            match classify(instr) {
+                Class::Pure(op) => {
+                    ops.push(op);
+                    v += 2;
+                }
+                Class::PureImm { op, dst } => {
+                    if v + 4 > hi {
+                        break (SbTerm::FallThrough { next_pc: v as Word }, v);
+                    }
+                    let imm = self.mem.read_word(phys_of(v + 2));
+                    ops.push(SbOp::ImmReg { op, imm, dst });
+                    v += 4;
+                }
+                Class::Slow(exts) => {
+                    let end = v + 2 + 2 * exts;
+                    if end > hi {
+                        break (SbTerm::FallThrough { next_pc: v as Word }, v);
+                    }
+                    ops.push(SbOp::Generic {
+                        word,
+                        instr,
+                        pc_after,
+                    });
+                    v = end;
+                }
+                Class::Term => {
+                    let t = match instr {
+                        Instr::Branch { cond, offset } => SbTerm::Branch {
+                            cond,
+                            offset,
+                            pc_after,
+                        },
+                        Instr::Sob { reg, offset } => SbTerm::Sob {
+                            word,
+                            reg,
+                            offset,
+                            pc_after,
+                        },
+                        _ => unreachable!("only branches and SOB terminate"),
+                    };
+                    break (t, v + 2);
+                }
+                Class::Stop => {
+                    break (SbTerm::FallThrough { next_pc: v as Word }, v);
+                }
+            }
+        };
+        let term_cost = !matches!(term, SbTerm::FallThrough { .. }) as u64;
+        let cost = ops.len() as u64 + term_cost;
+        // Not worth a block: nothing compiled, or a fall-through so short
+        // the dispatcher does as well without the entry overhead.
+        if cost == 0 || (term_cost == 0 && cost < 2) {
+            return None;
+        }
+        let phys = phys_of(entry as u32);
+        let pure = !ops.iter().any(|o| matches!(o, SbOp::Generic { .. }));
+        Some(SuperBlock {
+            entry,
+            phys,
+            image: self.mem.range(phys, img_end - entry as u32).into(),
+            ops: ops.into(),
+            term,
+            pure,
+            cost,
+            validated_batch: 0,
+            succ_pc: 0,
+            succ_idx: NO_SUCC,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -411,6 +899,9 @@ impl Machine {
             };
             self.write_word_p(aligned, new)
         } else {
+            if p < self.sb_guard_hi && p.wrapping_add(1) > self.sb_guard_lo {
+                self.sb_dirty = true;
+            }
             self.mem.write_byte(p, value);
             Ok(())
         }
@@ -443,6 +934,9 @@ impl Machine {
                 None => Err(Trap::BusError { addr }),
             }
         } else {
+            if addr < self.sb_guard_hi && addr.wrapping_add(2) > self.sb_guard_lo {
+                self.sb_dirty = true;
+            }
             self.mem.write_word(addr, value);
             Ok(())
         }
@@ -936,25 +1430,7 @@ impl Machine {
     }
 
     fn exec_branch(&mut self, cond: BranchCond, offset: i8) {
-        let p = self.cpu.psw;
-        let take = match cond {
-            BranchCond::Br => true,
-            BranchCond::Bne => !p.z(),
-            BranchCond::Beq => p.z(),
-            BranchCond::Bge => p.n() == p.v(),
-            BranchCond::Blt => p.n() != p.v(),
-            BranchCond::Bgt => !p.z() && (p.n() == p.v()),
-            BranchCond::Ble => p.z() || (p.n() != p.v()),
-            BranchCond::Bpl => !p.n(),
-            BranchCond::Bmi => p.n(),
-            BranchCond::Bhi => !p.c() && !p.z(),
-            BranchCond::Blos => p.c() || p.z(),
-            BranchCond::Bvc => !p.v(),
-            BranchCond::Bvs => p.v(),
-            BranchCond::Bcc => !p.c(),
-            BranchCond::Bcs => p.c(),
-        };
-        if take {
+        if branch_taken(self.cpu.psw, cond) {
             self.cpu.pc = self
                 .cpu
                 .pc
@@ -1023,6 +1499,117 @@ impl Machine {
         self.cpu.psw.set_nzvc(r < 0, r == 0, v_flag, c);
         Ok(())
     }
+}
+
+/// Evaluates a branch condition against unpacked condition codes.
+#[inline]
+fn cond_taken(cond: BranchCond, n: bool, z: bool, v: bool, c: bool) -> bool {
+    match cond {
+        BranchCond::Br => true,
+        BranchCond::Bne => !z,
+        BranchCond::Beq => z,
+        BranchCond::Bge => n == v,
+        BranchCond::Blt => n != v,
+        BranchCond::Bgt => !z && (n == v),
+        BranchCond::Ble => z || (n != v),
+        BranchCond::Bpl => !n,
+        BranchCond::Bmi => n,
+        BranchCond::Bhi => !c && !z,
+        BranchCond::Blos => c || z,
+        BranchCond::Bvc => !v,
+        BranchCond::Bvs => v,
+        BranchCond::Bcc => !c,
+        BranchCond::Bcs => c,
+    }
+}
+
+/// Evaluates a branch condition against the condition codes.
+#[inline]
+fn branch_taken(p: Psw, cond: BranchCond) -> bool {
+    cond_taken(cond, p.n(), p.z(), p.v(), p.c())
+}
+
+/// Executes a pure superblock (no `Generic` interiors) up to `max_runs`
+/// times, following the self-chain while the terminator lands back on the
+/// block's own entry. A pure block cannot trap and cannot touch memory, so
+/// it runs against the CPU alone — no machine state is reachable — and the
+/// condition codes live in four locals for the whole run (host registers
+/// instead of a packed PSW read-modify-write per op), folded back into the
+/// PSW exactly once on the way out. Returns the number of complete runs
+/// retired (at least one when `max_runs >= 1`).
+#[inline]
+fn run_pure_block(cpu: &mut Cpu, ops: &[SbOp], term: SbTerm, entry: Word, max_runs: u64) -> u64 {
+    let mut runs = 0;
+    let p = cpu.psw;
+    let (mut n, mut z, mut v, mut c) = (p.n(), p.z(), p.v(), p.c());
+    while runs < max_runs {
+        for op in ops {
+            match *op {
+                SbOp::RegReg { op, src, dst } => {
+                    let s = cpu.r[src as usize];
+                    let d = cpu.r[dst as usize];
+                    let (wb, f) = alu2_w(op, s, d, c);
+                    if let Some(r) = wb {
+                        cpu.r[dst as usize] = r;
+                    }
+                    (n, z, v, c) = f;
+                }
+                SbOp::ImmReg { op, imm, dst } => {
+                    let d = cpu.r[dst as usize];
+                    let (wb, f) = alu2_w(op, imm, d, c);
+                    if let Some(r) = wb {
+                        cpu.r[dst as usize] = r;
+                    }
+                    (n, z, v, c) = f;
+                }
+                SbOp::OneReg { op, reg } => {
+                    let d = cpu.r[reg as usize];
+                    let (wb, f) = alu1_w(op, d, n, c);
+                    if let Some(r) = wb {
+                        cpu.r[reg as usize] = r;
+                    }
+                    (n, z, v, c) = f;
+                }
+                SbOp::Generic { .. } => unreachable!("generic interior in a pure block"),
+            }
+        }
+        runs += 1;
+        match term {
+            SbTerm::Branch {
+                cond,
+                offset,
+                pc_after,
+            } => {
+                cpu.pc = pc_after;
+                if cond_taken(cond, n, z, v, c) {
+                    cpu.pc = cpu.pc.wrapping_add((offset as i16 as Word).wrapping_mul(2));
+                }
+            }
+            SbTerm::Sob {
+                reg,
+                offset,
+                pc_after,
+                ..
+            } => {
+                cpu.pc = pc_after;
+                let count = cpu.reg(reg).wrapping_sub(1);
+                cpu.set_reg(reg, count);
+                if count != 0 {
+                    cpu.pc = cpu.pc.wrapping_sub(2 * offset as Word);
+                }
+            }
+            SbTerm::FallThrough { next_pc } => {
+                cpu.pc = next_pc;
+                cpu.psw.set_nzvc(n, z, v, c);
+                return runs;
+            }
+        }
+        if cpu.pc != entry {
+            break;
+        }
+    }
+    cpu.psw.set_nzvc(n, z, v, c);
+    runs
 }
 
 /// Word-size double-operand ALU semantics, shared by the generic dispatcher
@@ -1134,6 +1721,85 @@ fn alu1_w(op: UnOp, d: Word, n_in: bool, c: bool) -> (Option<Word>, (bool, bool,
             let r = if n_in { 0o177777 } else { 0 };
             (Some(r), (n_in, !n_in, false, c))
         }
+    }
+}
+
+/// How the superblock compiler treats one decoded instruction.
+enum Class {
+    /// Register-only op with no extension words: runs without the
+    /// dispatcher and without PC maintenance.
+    Pure(SbOp),
+    /// Immediate-source register op: one extension word, captured into the
+    /// block at compile time.
+    PureImm { op: BinOp, dst: u8 },
+    /// Includable but dispatched generically, consuming `n` extension
+    /// words from the instruction stream.
+    Slow(u32),
+    /// Terminates the block (branch or SOB): the chaining point.
+    Term,
+    /// Not includable (writes memory or the PC, transfers control, or
+    /// leaves user-mode execution): the block ends before it.
+    Stop,
+}
+
+/// Classifies an instruction for superblock inclusion.
+///
+/// The interior invariant is **no memory writes and no PC writes**: memory
+/// stays constant while a block runs (so the once-per-batch image check
+/// plus the write guard make stale code impossible), and the next
+/// instruction is statically known (so the run really is straight-line).
+/// Operand *reads* of any addressing mode are fine — they go through the
+/// generic dispatcher with an exact PC and side-exit on traps.
+fn classify(instr: Instr) -> Class {
+    // The pure forms mirror `Cached::specialize`'s fast shapes, restricted
+    // to R0–R5: reading the PC needs the maintained value only the generic
+    // path has (and writing it ends the run), and the SP is banked by
+    // processor mode, so excluding both lets the tier index the register
+    // file directly instead of resolving through `Cpu::reg`.
+    match Cached::specialize(instr) {
+        Cached::RegReg { op, src, dst } if src < 6 && dst < 6 => {
+            return Class::Pure(SbOp::RegReg { op, src, dst });
+        }
+        Cached::ImmReg { op, dst } if dst < 6 => return Class::PureImm { op, dst },
+        Cached::OneReg { op, reg } if reg < 6 => {
+            return Class::Pure(SbOp::OneReg { op, reg });
+        }
+        _ => {}
+    }
+    // Extension words an operand consumes from the instruction stream.
+    let ext = |o: Operand| -> u32 {
+        (o.mode >= 6 || (o.reg == 7 && (o.mode == 2 || o.mode == 3))) as u32
+    };
+    // Auto-decrement through the PC rewrites it: never straight-line.
+    let hostile = |o: Operand| o.reg == 7 && matches!(o.mode, 4 | 5);
+    match instr {
+        Instr::Double { op, src, dst, .. } => {
+            let writes = !matches!(op, BinOp::Cmp | BinOp::Bit);
+            if hostile(src) || hostile(dst) || (writes && (dst.mode != 0 || dst.reg == 7)) {
+                Class::Stop
+            } else {
+                Class::Slow(ext(src) + ext(dst))
+            }
+        }
+        Instr::Single { op, dst, .. } => {
+            let writes = !matches!(op, UnOp::Tst);
+            if hostile(dst) || (writes && (dst.mode != 0 || dst.reg == 7)) {
+                Class::Stop
+            } else {
+                Class::Slow(ext(dst))
+            }
+        }
+        Instr::Branch { .. } | Instr::Sob { .. } => Class::Term,
+        // MUL/DIV write reg (and reg|1 / reg+1): keep them clear of SP/PC.
+        Instr::Mul { reg, src } | Instr::Div { reg, src } if reg < 6 && !hostile(src) => {
+            Class::Slow(ext(src))
+        }
+        Instr::Ash { reg, src } if reg != 7 && !hostile(src) => Class::Slow(ext(src)),
+        Instr::Xor { reg: _, dst } if dst.mode == 0 && dst.reg != 7 => Class::Slow(0),
+        Instr::CondCode { .. } => Class::Slow(0),
+        // Control transfers, trap instructions, WAIT/HALT/RESET, RTI/RTT,
+        // and everything else privileged or PC-writing.
+        _ => Class::Stop,
     }
 }
 

@@ -33,6 +33,7 @@ pub mod isa;
 pub mod mem;
 pub mod mmu;
 pub mod psw;
+mod superblock;
 pub mod types;
 
 pub use asm::{assemble, AsmError};

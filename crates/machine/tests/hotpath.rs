@@ -440,6 +440,455 @@ fn io_page_segment_reads_the_device_not_a_cached_value() {
     assert!(m.obs.metrics.hotpath.tlb_hits > 0, "the path was cached");
 }
 
+// ---------------------------------------------------------------------------
+// Superblock tier: the compiled-trace layer above the decode cache. Every
+// test pins the tier byte-identical to the slow path; several then assert
+// the tier actually engaged, so the equality means something.
+// ---------------------------------------------------------------------------
+
+/// Drives the batched engine to the run's terminal event.
+fn run_batched(m: &mut Machine, batch: u64) -> Event {
+    loop {
+        let (taken, outcome) = m.step_n(batch);
+        assert!(taken <= batch);
+        if let Some(ev) = outcome {
+            return ev;
+        }
+        assert_eq!(taken, batch, "a full batch reports all steps taken");
+    }
+}
+
+/// A user-mode machine under the MMU with segment 0 mapped to 0o40000 at
+/// the given length, running `src` from virtual 0.
+fn mapped_with(src: &str, len: u32) -> Machine {
+    let prog = assemble(src).expect("assembly failed");
+    let mut m = Machine::new();
+    m.obs = Recorder::with_trace(256);
+    m.mem.load_words(0o40000, &prog.words);
+    m.mmu.enabled = true;
+    m.mmu.set_segment(
+        Mode::User,
+        0,
+        SegmentDescriptor::mapping(0o40000, len, Access::ReadWrite),
+    );
+    m.cpu.psw.set_mode(Mode::User);
+    m.cpu.pc = prog.origin;
+    m.cpu.set_reg(6, 0o17776);
+    m
+}
+
+#[test]
+fn superblock_tier_executes_workloads_identically() {
+    // Three-way sweep: slow step loop, decode-cache-only step_n, and the
+    // full tier, in awkward batch sizes so blocks straddle batch edges.
+    for (i, src) in WORKLOADS.iter().enumerate() {
+        let mut slow = machine_with(src);
+        slow.set_hotpath(false);
+        let ev_slow = slow.run_until_event(10_000).expect("slow run halts").0;
+
+        let mut decode = machine_with(src);
+        decode.set_superblocks(false);
+        let ev_decode = run_batched(&mut decode, 7);
+
+        let mut tier = machine_with(src);
+        assert!(tier.superblocks(), "the tier is the default");
+        let ev_tier = run_batched(&mut tier, 7);
+
+        assert_eq!(
+            decode.obs.metrics.hotpath.sb_hits + decode.obs.metrics.hotpath.sb_compiles,
+            0,
+            "workload {i}: superblocks ran with the tier off"
+        );
+        let tier_obs = observable(&mut tier, ev_tier);
+        assert_eq!(
+            tier_obs,
+            observable(&mut slow, ev_slow),
+            "workload {i}: the tier changed the architecture"
+        );
+        assert_eq!(
+            tier_obs,
+            observable(&mut decode, ev_decode),
+            "workload {i}: the tier diverged from the decode path"
+        );
+    }
+    // The tight register loop runs 100 iterations: the tier must engage.
+    let mut hot = machine_with(WORKLOADS[0]);
+    run_batched(&mut hot, 1000);
+    let hp = &hot.obs.metrics.hotpath;
+    assert!(hp.sb_compiles >= 1, "hot loop never compiled: {hp:?}");
+    assert!(hp.sb_hits > 0 && hp.sb_instructions > 0, "{hp:?}");
+}
+
+#[test]
+fn interior_mmu_fault_side_exits_with_exact_state() {
+    // A compiled block whose generic interior walks a pointer across the
+    // PDR length boundary: the fault must side-exit mid-block with the
+    // same registers, counters, and trap as the slow path — including the
+    // partially executed block's retired instructions.
+    let src = "
+start:  MOV #0o400, R1
+        MOV #0o300, R3
+loop:   ADD #1, R4
+        MOV (R1)+, R2
+        SOB R3, loop
+        HALT
+";
+    let mut slow = mapped_with(src, 0o1000);
+    slow.set_hotpath(false);
+    let ev_slow = slow.run_until_event(10_000).expect("slow run traps").0;
+    assert!(
+        matches!(ev_slow, Event::Trap(Trap::Mmu(a)) if a.reason == AbortReason::LengthViolation),
+        "workload must die on the segment boundary: {ev_slow:?}"
+    );
+
+    let mut tier = mapped_with(src, 0o1000);
+    let ev_tier = run_batched(&mut tier, 97);
+    let hp = tier.obs.metrics.hotpath.clone();
+    assert!(hp.sb_hits > 0, "the faulting loop never ran in the tier");
+    assert_eq!(
+        observable(&mut tier, ev_tier),
+        observable(&mut slow, ev_slow),
+        "interior MMU fault diverged from the slow path"
+    );
+}
+
+#[test]
+fn interior_odd_address_side_exits_with_exact_state() {
+    // Warm a block through SOB, then re-enter it with an odd pointer: the
+    // generic interior's side exit must match the slow path exactly.
+    let src = "
+        MOV #src, R1
+        MOV #0o20, R3
+warm:   ADD #1, R4
+        MOV (R1), R2
+        SOB R3, warm
+        ADD #1, R1
+        MOV #4, R3
+        BR warm
+src:    .word 0o123
+";
+    let mut slow = machine_with(src);
+    slow.set_hotpath(false);
+    let ev_slow = slow.run_until_event(10_000).expect("slow run traps").0;
+    assert!(
+        matches!(ev_slow, Event::Trap(Trap::OddAddress { .. })),
+        "workload must die on the odd pointer: {ev_slow:?}"
+    );
+
+    let mut tier = machine_with(src);
+    let ev_tier = run_batched(&mut tier, 23);
+    assert!(tier.obs.metrics.hotpath.sb_hits > 0);
+    assert_eq!(
+        observable(&mut tier, ev_tier),
+        observable(&mut slow, ev_slow),
+        "odd-address side exit diverged from the slow path"
+    );
+}
+
+#[test]
+fn interior_device_touch_side_exits_with_exact_state() {
+    // Re-enter a hot block with the pointer aimed at the I/O window on a
+    // deviceless machine: the bus error must fall back mid-block.
+    let src = "
+        MOV #src, R1
+        MOV #0o20, R3
+warm:   ADD #1, R4
+        MOV (R1), R2
+        SOB R3, warm
+        MOV #0o177560, R1
+        MOV #4, R3
+        BR warm
+src:    .word 0o123
+";
+    let mut slow = machine_with(src);
+    slow.set_hotpath(false);
+    let ev_slow = slow.run_until_event(10_000).expect("slow run traps").0;
+    assert!(
+        matches!(ev_slow, Event::Trap(Trap::BusError { .. })),
+        "workload must die on the empty I/O page: {ev_slow:?}"
+    );
+
+    let mut tier = machine_with(src);
+    let ev_tier = run_batched(&mut tier, 31);
+    assert!(tier.obs.metrics.hotpath.sb_hits > 0);
+    assert_eq!(
+        observable(&mut tier, ev_tier),
+        observable(&mut slow, ev_slow),
+        "device-touch side exit diverged from the slow path"
+    );
+}
+
+#[test]
+fn pdr_boundary_bisects_a_compiled_block() {
+    // The straight-line tail after the hot loop runs to the end of a short
+    // segment: compilation clips the block at the PDR limit, execution
+    // falls through, and the next fetch traps exactly like the slow path.
+    // Pad the tail with INCs so the program fills the 64-byte segment
+    // exactly: the last INC sits on the final word, and the fetch after it
+    // crosses the PDR limit.
+    let src = format!(
+        "
+start:  MOV #0o20, R3
+loop:   ADD #1, R4
+        SOB R3, loop
+{}",
+        "        INC R4\n".repeat(27)
+    );
+    let src = src.as_str();
+    let prog_bytes = 2 * assemble(src).unwrap().words.len() as u32;
+    assert_eq!(prog_bytes, 64, "program must fill the segment exactly");
+    let mut slow = mapped_with(src, prog_bytes);
+    slow.set_hotpath(false);
+    let ev_slow = slow.run_until_event(10_000).expect("slow run traps").0;
+    assert!(
+        matches!(ev_slow, Event::Trap(Trap::Mmu(a)) if a.reason == AbortReason::LengthViolation),
+        "the run must fetch off the segment end: {ev_slow:?}"
+    );
+
+    let mut tier = mapped_with(src, prog_bytes);
+    let ev_tier = run_batched(&mut tier, 13);
+    let hp = tier.obs.metrics.hotpath.clone();
+    assert!(
+        hp.sb_compiles >= 2,
+        "both the loop and the clipped tail should compile: {hp:?}"
+    );
+    assert_eq!(
+        observable(&mut tier, ev_tier),
+        observable(&mut slow, ev_slow),
+        "the clipped block diverged from the slow path"
+    );
+}
+
+#[test]
+fn in_batch_code_store_trips_the_write_guard() {
+    // The program overwrites its own hot loop with HALT through the
+    // machine's store path mid-batch: the write guard must poison the
+    // compiled block before the next tier entry.
+    let src = "
+        MOV #0o40, R3
+loop:   ADD #1, R4
+        SOB R3, loop
+        MOV #0, loop
+        BR loop
+";
+    let mut slow = machine_with(src);
+    slow.set_hotpath(false);
+    let ev_slow = slow.run_until_event(10_000).expect("slow run halts").0;
+    assert_eq!(ev_slow, Event::Trap(Trap::Halt), "the store plants a HALT");
+
+    let mut tier = machine_with(src);
+    let ev_tier = run_batched(&mut tier, 1000);
+    let hp = tier.obs.metrics.hotpath.clone();
+    assert!(hp.sb_hits > 0, "the loop never ran compiled: {hp:?}");
+    assert!(
+        hp.sb_flushes >= 1,
+        "the self-modifying store never flushed the cache: {hp:?}"
+    );
+    assert_eq!(
+        observable(&mut tier, ev_tier),
+        observable(&mut slow, ev_slow),
+        "self-modifying code diverged from the slow path"
+    );
+}
+
+#[test]
+fn between_batch_code_poke_fails_validation_and_flushes() {
+    // Host writes (re-imaging, DMA, debugger pokes) happen between batches
+    // and bypass the write guard: the once-per-batch image check must
+    // catch them. The slow twin gets the identical poke at the identical
+    // retired-instruction count, so the final states must agree.
+    let src = "
+        MOV #0o17777, R3
+loop:   ADD #1, R4
+        SOB R3, loop
+        HALT
+";
+    let loop_addr = 0o4; // MOV #imm is two words; `loop:` labels the third.
+    let drive = |superblocks: bool| {
+        let mut m = machine_with(src);
+        m.set_superblocks(superblocks);
+        for _ in 0..2 {
+            let (taken, ev) = m.step_n(500);
+            assert_eq!((taken, ev), (500, None));
+        }
+        m.mem.write_word(loop_addr, 0); // ADD #1, R4 becomes HALT
+        let ev = run_batched(&mut m, 500);
+        let obs = observable(&mut m, ev);
+        (obs, m)
+    };
+    let (slow_obs, _) = drive(false);
+    let (tier_obs, tier) = drive(true);
+    assert_eq!(tier_obs.0, Event::Trap(Trap::Halt));
+    assert_eq!(tier_obs, slow_obs, "the poked code diverged");
+    let hp = &tier.obs.metrics.hotpath;
+    assert!(hp.sb_hits > 0, "the loop never ran compiled: {hp:?}");
+    assert!(
+        hp.sb_flushes >= 1,
+        "the stale image was never flushed: {hp:?}"
+    );
+}
+
+/// A user-mode register loop under the MMU that the tier compiles — the
+/// no-store counterpart of [`mapped_machine`], for cache-hygiene tests.
+fn hot_user_machine() -> Machine {
+    let prog = assemble(
+        "
+start:  INC R1
+        BIC #0o177774, R1
+        ADD R1, R2
+        BR start
+",
+    )
+    .unwrap();
+    let mut m = Machine::new();
+    m.obs = Recorder::with_trace(256);
+    m.mem.load_words(0o40000, &prog.words);
+    m.mmu.enabled = true;
+    m.mmu.set_segment(
+        Mode::User,
+        0,
+        SegmentDescriptor::mapping(0o40000, 0o20000, Access::ReadWrite),
+    );
+    m.cpu.psw.set_mode(Mode::User);
+    m.cpu.pc = 0;
+    m.cpu.set_reg(6, 0o17776);
+    m
+}
+
+#[test]
+fn clone_under_warm_superblock_cache_behaves_like_fresh_boot() {
+    // Clone a machine whose superblock cache is hot; the clone must replay
+    // a cold machine's exact trace — compiled state is never cloned.
+    let mut warm = hot_user_machine();
+    let (taken, ev) = warm.step_n(600);
+    assert_eq!((taken, ev), (600, None));
+    assert!(warm.obs.metrics.hotpath.sb_hits > 0, "cache is warm");
+
+    let mut cloned = warm.clone();
+    let mut cold = hot_user_machine();
+    cold.set_hotpath(false);
+    for _ in 0..600 {
+        assert_eq!(cold.step(), Event::Ran);
+    }
+    assert_eq!(cloned.cpu, cold.cpu, "state differs at the fork point");
+
+    // Continue in lockstep: batched (tier re-warms from scratch) against
+    // the single-stepped slow control.
+    let (taken, ev) = cloned.step_n(700);
+    assert_eq!((taken, ev), (700, None));
+    for _ in 0..700 {
+        assert_eq!(cold.step(), Event::Ran);
+    }
+    assert_eq!(cloned.cpu, cold.cpu, "clone diverged after the fork");
+    assert_eq!(
+        cloned.mem.dump_words(0o40000, 32),
+        cold.mem.dump_words(0o40000, 32)
+    );
+}
+
+#[test]
+fn reimage_from_template_discards_compiled_blocks() {
+    // The kernel's restart pattern under a warm tier: run a working copy
+    // hot, then re-image from the boot template. The re-imaged machine
+    // must replay a pristine machine exactly.
+    let template = hot_user_machine();
+    let mut working = template.clone();
+    let (taken, ev) = working.step_n(900);
+    assert_eq!((taken, ev), (900, None));
+    assert!(working.obs.metrics.hotpath.sb_hits > 0);
+
+    let mut reimaged = template.clone();
+    let mut pristine = hot_user_machine();
+    let (taken, ev) = reimaged.step_n(800);
+    assert_eq!((taken, ev), (800, None));
+    let (taken, ev) = pristine.step_n(800);
+    assert_eq!((taken, ev), (800, None));
+    assert_eq!(reimaged.cpu, pristine.cpu, "re-image kept donor state");
+}
+
+#[test]
+fn disabling_the_tier_drops_compiled_state_and_stops_engaging() {
+    let mut m = hot_user_machine();
+    m.step_n(500);
+    assert!(m.obs.metrics.hotpath.sb_hits > 0, "tier engaged");
+
+    // Tier off: compiled state is dropped and no sb counter moves again.
+    m.set_superblocks(false);
+    let before = m.obs.metrics.hotpath.clone();
+    m.step_n(500);
+    let after = &m.obs.metrics.hotpath;
+    assert_eq!(
+        (before.sb_hits, before.sb_compiles, before.sb_instructions),
+        (after.sb_hits, after.sb_compiles, after.sb_instructions),
+        "superblocks ran with the tier off"
+    );
+
+    // Tier back on: it re-heats and engages again from nothing.
+    m.set_superblocks(true);
+    m.step_n(500);
+    assert!(
+        m.obs.metrics.hotpath.sb_compiles > before.sb_compiles,
+        "tier never recompiled after re-enable"
+    );
+
+    // `set_hotpath(false)` implies the tier is off too.
+    let mut m2 = hot_user_machine();
+    m2.step_n(500);
+    m2.set_hotpath(false);
+    let frozen = m2.obs.metrics.hotpath.clone();
+    m2.step_n(500);
+    assert_eq!(
+        frozen.sb_hits, m2.obs.metrics.hotpath.sb_hits,
+        "hotpath off must silence the tier"
+    );
+}
+
+#[test]
+fn event_boundary_accounting_is_exact_across_engines() {
+    // `steps`, `instructions`, and the recorder's retired count must be
+    // bit-exact across slow / decode / tier engines and across batch
+    // sizes, including the batch the terminal event cuts short.
+    for (i, src) in WORKLOADS.iter().enumerate() {
+        let mut slow = machine_with(src);
+        slow.set_hotpath(false);
+        let ev_slow = slow.run_until_event(10_000).expect("slow run halts").0;
+        let want = (
+            ev_slow,
+            slow.steps,
+            slow.instructions,
+            slow.obs.metrics.totals.instructions,
+        );
+        for batch in [1u64, 3, 7, 1000] {
+            let mut decode = machine_with(src);
+            decode.set_superblocks(false);
+            let ev = run_batched(&mut decode, batch);
+            assert_eq!(
+                (
+                    ev,
+                    decode.steps,
+                    decode.instructions,
+                    decode.obs.metrics.totals.instructions,
+                ),
+                want,
+                "workload {i}: decode path accounting drifted at batch {batch}"
+            );
+
+            let mut tier = machine_with(src);
+            let ev = run_batched(&mut tier, batch);
+            assert_eq!(
+                (
+                    ev,
+                    tier.steps,
+                    tier.instructions,
+                    tier.obs.metrics.totals.instructions,
+                ),
+                want,
+                "workload {i}: tier accounting drifted at batch {batch}"
+            );
+        }
+    }
+}
+
 #[test]
 fn mmu_disabled_compat_window_is_unaffected_by_hotpath() {
     // With the MMU off the TLB never engages; the 0o160000.. I/O window

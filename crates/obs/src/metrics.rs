@@ -77,6 +77,17 @@ pub struct HotPathCounters {
     /// Generation bumps that invalidated the whole TLB (PAR/PDR loads,
     /// i.e. every regime switch and partition re-image).
     pub tlb_invalidations: u64,
+    /// Superblocks compiled (hot straight-line runs translated).
+    pub sb_compiles: u64,
+    /// Superblock executions (full runs entered through the tier).
+    pub sb_hits: u64,
+    /// Direct block-to-block transitions that skipped the dispatcher.
+    pub sb_chains: u64,
+    /// Wholesale superblock-cache drops (generation bump, code store,
+    /// image mismatch, or tier shutdown).
+    pub sb_flushes: u64,
+    /// Instructions retired inside superblocks (subset of the run total).
+    pub sb_instructions: u64,
     /// States the checker deduplicated by 128-bit fingerprint.
     pub fp_states: u64,
     /// Resident seen-set bytes under fingerprint dedup (16 per state).

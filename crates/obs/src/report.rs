@@ -230,6 +230,14 @@ pub fn metrics_json(m: &Metrics) -> Json {
 /// default serialization would break the pinned guarantee that run reports
 /// are byte-identical with the fast path on and off. The E10 bench attaches
 /// this explicitly where cache behaviour *is* the measurement.
+///
+/// Schema note: the `sb_*` members describe the superblock tier —
+/// `sb_compiles` (runs translated), `sb_hits` (full block executions),
+/// `sb_chains` (block→block transitions that skipped the dispatcher),
+/// `sb_flushes` (wholesale cache drops), and `sb_instructions` (retired
+/// inside blocks, a subset of the run's instruction total). Like every
+/// other member here they are how-counters, excluded from [`metrics_json`]
+/// so run reports stay byte-identical with the tier on and off.
 pub fn hotpath_json(m: &Metrics) -> Json {
     let h = &m.hotpath;
     Json::obj()
@@ -238,6 +246,11 @@ pub fn hotpath_json(m: &Metrics) -> Json {
         .field("tlb_hits", h.tlb_hits)
         .field("tlb_misses", h.tlb_misses)
         .field("tlb_invalidations", h.tlb_invalidations)
+        .field("sb_compiles", h.sb_compiles)
+        .field("sb_hits", h.sb_hits)
+        .field("sb_chains", h.sb_chains)
+        .field("sb_flushes", h.sb_flushes)
+        .field("sb_instructions", h.sb_instructions)
         .field("fp_states", h.fp_states)
         .field("fp_bytes", h.fp_bytes)
 }
@@ -299,12 +312,46 @@ mod tests {
         let mut with = Metrics::new();
         with.hotpath.icache_hits = 1_000;
         with.hotpath.tlb_hits = 2_000;
+        with.hotpath.sb_compiles = 3;
+        with.hotpath.sb_hits = 4_000;
+        with.hotpath.sb_chains = 3_900;
+        with.hotpath.sb_flushes = 2;
+        with.hotpath.sb_instructions = 9_000;
         let without = Metrics::new();
         let render = |m: &Metrics| RunReport::new("e10").run("run", m).render();
         assert_eq!(render(&with), render(&without));
         let j = hotpath_json(&with).to_compact();
         assert!(j.contains("\"icache_hits\":1000"));
         assert!(j.contains("\"tlb_hits\":2000"));
+        assert!(j.contains("\"sb_compiles\":3"));
+        assert!(j.contains("\"sb_hits\":4000"));
+        assert!(j.contains("\"sb_chains\":3900"));
+        assert!(j.contains("\"sb_flushes\":2"));
+        assert!(j.contains("\"sb_instructions\":9000"));
+    }
+
+    #[test]
+    fn superblock_counters_never_leak_into_metrics_json() {
+        // The leak test from first principles: serialize the default report
+        // with extreme superblock counters and confirm no `sb_` key (or
+        // value) appears anywhere in the bytes.
+        let mut m = Metrics::new();
+        m.register_regime(0, "red");
+        m.totals.instructions = 7;
+        m.hotpath.sb_compiles = u64::MAX;
+        m.hotpath.sb_hits = u64::MAX;
+        m.hotpath.sb_chains = u64::MAX;
+        m.hotpath.sb_flushes = u64::MAX;
+        m.hotpath.sb_instructions = u64::MAX;
+        let rendered = RunReport::new("e10").run("run", &m).render();
+        assert!(!rendered.contains("sb_"));
+        assert!(!rendered.contains(&u64::MAX.to_string()));
+        assert_eq!(rendered, {
+            let mut clean = Metrics::new();
+            clean.register_regime(0, "red");
+            clean.totals.instructions = 7;
+            RunReport::new("e10").run("run", &clean).render()
+        });
     }
 
     #[test]

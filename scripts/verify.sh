@@ -32,11 +32,12 @@ echo "==> e9 fault storm bench (goodput under loss; seeds recorded in the report
 cargo run -q --release -p sep-bench --bin e9_fault_storm > /dev/null
 test -s BENCH_obs_e9_fault_storm.json
 
-echo "==> hot-path differential suite (release: caches on vs off, fp vs exact dedup)"
+echo "==> hot-path differential suite (release: slow vs decode vs superblock tier,"
+echo "    side exits, self-modifying code, clone hygiene, fp vs exact dedup)"
 cargo test --release -q -p sep-machine --test hotpath
 cargo test --release -q -p sep-kernel --test hotpath_differential
 
-echo "==> e10 hot-path bench (asserts >=2x warm instruction throughput)"
+echo "==> e10 hot-path bench (asserts >=2x warm decode and >=3x superblock tier)"
 cargo run -q --release -p sep-bench --bin e10_hotpath > /dev/null
 test -s BENCH_obs_e10_hotpath.json
 
